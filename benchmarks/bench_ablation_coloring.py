@@ -1,0 +1,53 @@
+"""Ablation: colour-class schedule for Algorithm 2.
+
+The circle-method classes can be visited in the paper's published order or
+in plain rotation order; both are valid 1-factorisations, so the parallel
+local search must converge either way.  This bench checks that schedule
+choice changes neither correctness nor quality materially, and compares
+sweep counts — the only thing the visit order can affect.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import prepared_matrix, profile_grid
+from repro.assignment import get_solver
+from repro.coloring.groups import build_edge_groups
+from repro.localsearch import local_search_parallel
+
+_N = max(n for n, _ in profile_grid())
+_T = sorted({t for _, t in profile_grid()})[-1]
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return prepared_matrix(_N, _T)
+
+
+@pytest.mark.parametrize("order", ["paper", "round"])
+def test_schedule_timing(benchmark, order, matrix):
+    groups = build_edge_groups(matrix.shape[0], order=order)
+    result = benchmark(lambda: local_search_parallel(matrix, groups=groups))
+    benchmark.extra_info.update(
+        {"order": order, "total": result.total, "sweeps": result.sweeps}
+    )
+
+
+def test_schedules_equivalent_quality(benchmark, matrix):
+    optimum = get_solver("scipy").solve(matrix).total
+
+    def run():
+        return {
+            order: local_search_parallel(
+                matrix, groups=build_edge_groups(matrix.shape[0], order=order)
+            ).total
+            for order in ("paper", "round")
+        }
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["totals"] = totals
+    for total in totals.values():
+        assert optimum <= total <= 1.10 * optimum
+    lo, hi = min(totals.values()), max(totals.values())
+    assert (hi - lo) <= 0.03 * lo

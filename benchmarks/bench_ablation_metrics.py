@@ -1,0 +1,75 @@
+"""Ablation: cost-metric choice.
+
+The paper fixes SAD (Eq. 1).  This bench compares SAD against SSD (GEMM
+expansion) and the luminance-only metric on Step-2 time and final mosaic
+quality, exposing the trade the error function makes: luminance is orders
+of magnitude cheaper but ignores intra-tile structure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import prepared_tiles, profile_grid
+from repro import generate_photomosaic, standard_image
+from repro.cost.matrix import error_matrix
+from repro.imaging.metrics import psnr
+
+_N = max(n for n, _ in profile_grid())
+_T = sorted({t for _, t in profile_grid()})[-1]
+
+METRICS = ("sad", "ssd", "luminance", "gradient")
+
+
+@pytest.mark.parametrize("metric", METRICS)
+def test_metric_step2_timing(benchmark, metric):
+    tiles_in, tiles_tg = prepared_tiles(_N, _T)
+    matrix = benchmark(lambda: error_matrix(tiles_in, tiles_tg, metric))
+    benchmark.extra_info.update({"S": matrix.shape[0], "metric": metric})
+    assert (matrix >= 0).all()
+
+
+def test_metric_quality_comparison(benchmark):
+    """Mosaic quality (PSNR vs target) per metric, optimization algorithm."""
+    inp = standard_image("portrait", _N)
+    tgt = standard_image("sailboat", _N)
+
+    def run():
+        return {
+            metric: psnr(
+                generate_photomosaic(
+                    inp,
+                    tgt,
+                    tile_size=_N // _T,
+                    algorithm="optimization",
+                    metric=metric,
+                ).image,
+                tgt,
+            )
+            for metric in METRICS
+        }
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["psnr_by_metric"] = scores
+    # Pixel-structure-aware metrics must beat the mean-only metric.
+    assert scores["sad"] > scores["luminance"]
+    assert scores["ssd"] > scores["luminance"]
+
+
+def test_luminance_is_cheapest(benchmark):
+    """The O(S^2) metric must beat the O(S^2 M^2) metrics on time."""
+    from repro.utils.timing import Stopwatch
+
+    tiles_in, tiles_tg = prepared_tiles(_N, _T)
+
+    def run():
+        times = {}
+        for metric in METRICS:
+            with Stopwatch() as sw:
+                error_matrix(tiles_in, tiles_tg, metric)
+            times[metric] = sw.elapsed
+        return times
+
+    times = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["seconds_by_metric"] = times
+    assert times["luminance"] < times["sad"]

@@ -1,0 +1,78 @@
+"""Ablation: hierarchical coarse-to-fine vs flat Step 3.
+
+The pyramid replaces the flat local search's cold start with an exact
+coarse assignment expanded to the fine grid.  This bench measures whether
+the warm start pays for the coarse stage: fine-sweep counts, totals and
+end-to-end Step-3 time for both strategies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import prepared_tiles, profile_grid
+from repro.cost.matrix import error_matrix
+from repro.localsearch import local_search_parallel
+from repro.mosaic.pyramid import coarse_to_fine_rearrange
+from repro.tiles.grid import TileGrid
+from repro.utils.timing import Stopwatch
+
+_N = max(n for n, _ in profile_grid())
+_T = sorted({t for _, t in profile_grid()})[-1]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tiles_in, tiles_tg = prepared_tiles(_N, _T)
+    grid = TileGrid.from_tile_count(_N, _T)
+    matrix = error_matrix(tiles_in, tiles_tg)
+    return grid, tiles_in, tiles_tg, matrix
+
+
+def test_flat_step3(benchmark, setup):
+    _, _, _, matrix = setup
+    result = benchmark(lambda: local_search_parallel(matrix))
+    benchmark.extra_info.update({"total": result.total, "sweeps": result.sweeps})
+
+
+@pytest.mark.parametrize("factor", [2, 4])
+def test_pyramid_step3(benchmark, setup, factor):
+    grid, tiles_in, tiles_tg, matrix = setup
+    result = benchmark(
+        lambda: coarse_to_fine_rearrange(
+            tiles_in, tiles_tg, grid, factor=factor, fine_matrix=matrix
+        )
+    )
+    benchmark.extra_info.update(
+        {
+            "factor": factor,
+            "total": result.total,
+            "coarse_total": result.coarse_total,
+            "warm_start_total": result.warm_start_total,
+            "fine_sweeps": result.fine_sweeps,
+        }
+    )
+
+
+def test_pyramid_quality_and_convergence(benchmark, setup):
+    grid, tiles_in, tiles_tg, matrix = setup
+
+    def run():
+        flat = local_search_parallel(matrix)
+        pyramid = coarse_to_fine_rearrange(
+            tiles_in, tiles_tg, grid, factor=2, fine_matrix=matrix
+        )
+        return flat, pyramid
+
+    flat, pyramid = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "flat_total": flat.total,
+            "pyramid_total": pyramid.total,
+            "flat_sweeps": flat.sweeps,
+            "pyramid_fine_sweeps": pyramid.fine_sweeps,
+        }
+    )
+    # The warm start must not cost quality and must not add sweeps.
+    assert pyramid.total <= 1.05 * flat.total
+    assert pyramid.fine_sweeps <= flat.sweeps

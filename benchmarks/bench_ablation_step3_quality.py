@@ -1,0 +1,93 @@
+"""Ablation: how much quality each Step-3 method buys per unit time.
+
+The paper offers two points on the quality/time curve: exact matching
+(optimal, slow) and 2-opt local search (~2% gap, fast).  This bench places
+the repository's extensions on the same curve — windowed search (cheaper
+sweeps), multi-start, and simulated annealing — quantifying each method's
+gap to the optimum.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import prepared_matrix, prepared_tiles, profile_grid
+from repro.assignment import get_solver
+from repro.localsearch import (
+    local_search_serial,
+    local_search_windowed,
+    multi_start_local_search,
+    refine_three_opt,
+    simulated_annealing,
+)
+from repro.tiles.features import mean_luminance
+
+_N = max(n for n, _ in profile_grid())
+_T = sorted({t for _, t in profile_grid()})[-1]
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return prepared_matrix(_N, _T)
+
+
+@pytest.fixture(scope="module")
+def luminance():
+    tiles_in, _ = prepared_tiles(_N, _T)
+    return mean_luminance(tiles_in)
+
+
+@pytest.fixture(scope="module")
+def optimum(matrix):
+    return get_solver("scipy").solve(matrix).total
+
+
+def _two_opt_plus_three_opt(m):
+    base = local_search_serial(m)
+    return refine_three_opt(m, base.permutation, seed=0).total
+
+
+def _methods(luminance):
+    return {
+        "local_search": lambda m: local_search_serial(m).total,
+        "windowed_16": lambda m: local_search_windowed(m, luminance, window=16).total,
+        "multistart_4": lambda m: multi_start_local_search(m, restarts=4).total,
+        "annealing": lambda m: simulated_annealing(m, seed=0).total,
+        "three_opt": _two_opt_plus_three_opt,
+        "exact": lambda m: get_solver("scipy").solve(m).total,
+    }
+
+
+@pytest.mark.parametrize(
+    "method",
+    ["local_search", "windowed_16", "multistart_4", "annealing", "three_opt", "exact"],
+)
+def test_step3_method(benchmark, method, matrix, luminance, optimum):
+    run = _methods(luminance)[method]
+    total = benchmark(lambda: run(matrix))
+    gap = 100.0 * (total - optimum) / optimum
+    benchmark.extra_info.update(
+        {"S": matrix.shape[0], "total": total, "gap_to_optimal_pct": gap}
+    )
+    assert total >= optimum
+    # Every method stays within the usable band.
+    assert gap <= 10.0
+
+
+def test_quality_ordering(benchmark, matrix, luminance, optimum):
+    """The expected dominance order: exact <= annealing/multistart <= plain
+    local search; windowed within a small premium of plain."""
+
+    def run():
+        methods = _methods(luminance)
+        return {name: fn(matrix) for name, fn in methods.items()}
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["totals"] = totals
+    assert totals["exact"] == optimum
+    assert totals["annealing"] <= totals["local_search"]
+    assert totals["multistart_4"] <= totals["local_search"]
+    assert totals["three_opt"] <= totals["local_search"]
+    # The window covers 16/256 of each sweep's candidates; a high-single-
+    # digit premium over the full sweep is the expected trade.
+    assert totals["windowed_16"] <= 1.10 * totals["local_search"]

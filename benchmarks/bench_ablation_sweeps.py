@@ -1,0 +1,62 @@
+"""Ablation: local-search sweep strategy.
+
+Algorithm 1's pair order is one of many 2-opt schedules.  This bench
+compares the paper-faithful first-improvement sweep, the vectorised
+best-per-row sweep, and the colour-class parallel sweep: all reach 2-opt
+local optima, so the ablation quantifies the time/quality trade the paper
+implicitly made.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import prepared_matrix, profile_grid
+from repro.assignment import get_solver
+from repro.localsearch import local_search_parallel, local_search_serial
+
+_N = max(n for n, _ in profile_grid())
+_T = sorted({t for _, t in profile_grid()})[-1]
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return prepared_matrix(_N, _T)
+
+
+@pytest.fixture(scope="module")
+def optimum(matrix):
+    return get_solver("scipy").solve(matrix).total
+
+
+STRATEGIES = {
+    "first": lambda m: local_search_serial(m, strategy="first"),
+    "best_row": lambda m: local_search_serial(m, strategy="best_row"),
+    "parallel": lambda m: local_search_parallel(m),
+}
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+def test_sweep_strategy(benchmark, strategy, matrix, optimum):
+    run = STRATEGIES[strategy]
+    result = benchmark(lambda: run(matrix))
+    benchmark.extra_info.update(
+        {
+            "S": matrix.shape[0],
+            "total": result.total,
+            "sweeps": result.sweeps,
+            "gap_to_optimal_pct": 100.0 * (result.total - optimum) / optimum,
+        }
+    )
+    assert result.total >= optimum
+    assert result.total <= 1.10 * optimum  # all schedules land near-optimal
+
+
+def test_strategies_reach_comparable_quality(benchmark, matrix):
+    def run():
+        return {name: fn(matrix).total for name, fn in STRATEGIES.items()}
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["totals"] = totals
+    lo, hi = min(totals.values()), max(totals.values())
+    assert (hi - lo) <= 0.05 * lo

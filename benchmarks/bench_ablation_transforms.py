@@ -1,0 +1,59 @@
+"""Ablation: dihedral tile transforms (extension beyond the paper).
+
+Allowing each tile to be rotated/flipped multiplies Step-2 work by 8 and
+buys a strictly lower optimal error.  This bench measures both sides of
+the trade across the profile's tile grids.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import prepared_tiles, profile_grid
+from repro.assignment import get_solver
+from repro.cost.matrix import error_matrix
+from repro.cost.transformed import transformed_error_matrix
+from repro.utils.timing import Stopwatch
+
+_N = max(n for n, _ in profile_grid())
+_TILE_GRIDS = sorted({t for _, t in profile_grid()})
+
+
+@pytest.mark.parametrize("tiles_per_side", _TILE_GRIDS)
+def test_transformed_step2_timing(benchmark, tiles_per_side):
+    tiles_in, tiles_tg = prepared_tiles(_N, tiles_per_side)
+    matrix, codes = benchmark(
+        lambda: transformed_error_matrix(tiles_in, tiles_tg)
+    )
+    with Stopwatch() as sw:
+        plain = error_matrix(tiles_in, tiles_tg)
+    benchmark.extra_info.update(
+        {
+            "S": tiles_per_side**2,
+            "plain_step2_seconds": sw.elapsed,
+            "work_ratio": benchmark.stats["mean"] / max(sw.elapsed, 1e-9),
+            "transformed_entry_fraction": float((codes != 0).mean()),
+        }
+    )
+    assert (matrix <= plain).all()
+
+
+def test_transforms_improve_optimal_error(benchmark):
+    t = _TILE_GRIDS[-1]
+    tiles_in, tiles_tg = prepared_tiles(_N, t)
+
+    def run():
+        plain = get_solver("scipy").solve(error_matrix(tiles_in, tiles_tg)).total
+        best, _ = transformed_error_matrix(tiles_in, tiles_tg)
+        transformed = get_solver("scipy").solve(best).total
+        return plain, transformed
+
+    plain, transformed = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "plain_optimal": plain,
+            "transformed_optimal": transformed,
+            "improvement_pct": 100.0 * (plain - transformed) / plain,
+        }
+    )
+    assert transformed <= plain

@@ -1,0 +1,87 @@
+"""Figures 2 & 7 reproduction: output quality across algorithms and S.
+
+The paper's visual claims, quantified:
+
+* S=16^2 'does not reproduce the target image well', S=32^2 'becomes
+  better', S=64^2 'very similar to the target' -> PSNR/SSIM vs the target
+  must increase monotonically with S;
+* optimization and approximation outputs are 'virtually the same' ->
+  cross-algorithm SSIM stays high at every S.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import profile_grid
+from repro import generate_photomosaic, standard_image
+from repro.imaging.metrics import psnr, ssim
+
+_N = max(n for n, _ in profile_grid())
+_TILE_GRIDS = sorted({t for _, t in profile_grid()})
+
+
+@pytest.mark.parametrize("algorithm", ["optimization", "parallel"])
+def test_fig7_quality_improves_with_s(benchmark, algorithm):
+    inp = standard_image("portrait", _N)
+    tgt = standard_image("sailboat", _N)
+
+    def run():
+        scores = {}
+        for t in _TILE_GRIDS:
+            result = generate_photomosaic(
+                inp, tgt, tile_size=_N // t, algorithm=algorithm
+            )
+            scores[t] = (psnr(result.image, tgt), ssim(result.image, tgt))
+        return scores
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["scores_by_s"] = {
+        str(t): {"psnr": p, "ssim": s} for t, (p, s) in scores.items()
+    }
+    psnrs = [scores[t][0] for t in _TILE_GRIDS]
+    ssims = [scores[t][1] for t in _TILE_GRIDS]
+    assert psnrs == sorted(psnrs)
+    assert ssims == sorted(ssims)
+
+
+def test_fig7_algorithms_visually_equivalent(benchmark):
+    inp = standard_image("portrait", _N)
+    tgt = standard_image("sailboat", _N)
+    t = _TILE_GRIDS[-1]
+
+    def run():
+        opt = generate_photomosaic(
+            inp, tgt, tile_size=_N // t, algorithm="optimization"
+        )
+        apx = generate_photomosaic(inp, tgt, tile_size=_N // t, algorithm="parallel")
+        return ssim(opt.image, apx.image)
+
+    similarity = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["cross_algorithm_ssim"] = similarity
+    assert similarity > 0.9
+
+
+def test_fig8_gallery_pairs(benchmark):
+    """Fig. 8: the three extra pairs at 32x32 tiles all reproduce their
+    targets better than the unrearranged input does."""
+    pairs = [("airplane", "portrait"), ("peppers", "barbara"), ("tiffany", "baboon")]
+    n = min(_N, 256)
+
+    def run():
+        out = {}
+        for src, dst in pairs:
+            inp = standard_image(src, n)
+            tgt = standard_image(dst, n)
+            result = generate_photomosaic(
+                inp, tgt, tile_size=n // 32, algorithm="optimization"
+            )
+            out[f"{src}->{dst}"] = (psnr(result.image, tgt), psnr(inp, tgt))
+        return out
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["psnr_mosaic_vs_input"] = {
+        k: {"mosaic": a, "input": b} for k, (a, b) in scores.items()
+    }
+    for mosaic_psnr, input_psnr in scores.values():
+        assert mosaic_psnr > input_psnr

@@ -1,0 +1,53 @@
+"""Host-side parallel Step 2: the multicore counterpart of the GPU kernel.
+
+The paper notes its serial baselines could be multithreaded but leaves CPU
+parallelism out of scope; this bench fills that gap for the reproduction:
+the process-pool error-matrix computation against the single-process
+vectorised one, plus the correctness guarantee that parallelisation is
+bit-exact.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.conftest import prepared_tiles, profile_grid
+from repro.cost.matrix import error_matrix
+from repro.cost.parallel_matrix import error_matrix_parallel
+
+_N = max(n for n, _ in profile_grid())
+_T = sorted({t for _, t in profile_grid()})[-1]
+_WORKERS = min(4, os.cpu_count() or 1)
+
+
+def test_serial_vectorized_baseline(benchmark):
+    tiles_in, tiles_tg = prepared_tiles(_N, _T)
+    matrix = benchmark(lambda: error_matrix(tiles_in, tiles_tg))
+    benchmark.extra_info["S"] = matrix.shape[0]
+
+
+def test_process_pool_step2(benchmark):
+    tiles_in, tiles_tg = prepared_tiles(_N, _T)
+    serial = error_matrix(tiles_in, tiles_tg)
+    matrix = benchmark(
+        lambda: error_matrix_parallel(
+            tiles_in, tiles_tg, workers=_WORKERS, force=True
+        )
+    )
+    benchmark.extra_info.update({"S": matrix.shape[0], "workers": _WORKERS})
+    assert (matrix == serial).all()
+
+
+def test_small_problem_fallback_avoids_pool_cost(benchmark):
+    """Below the work threshold the adaptive path must match the serial
+    path's performance class (no multi-hundred-ms pool spin-up)."""
+    tiles_in, tiles_tg = prepared_tiles(min(n for n, _ in profile_grid()), 4)
+
+    def run():
+        return error_matrix_parallel(tiles_in, tiles_tg, workers=_WORKERS)
+
+    benchmark(run)
+    # Pool startup costs ~100ms+; the fallback must keep this tiny cell fast.
+    assert benchmark.stats["mean"] < 0.05

@@ -1,0 +1,54 @@
+"""Section IV-A claim: the local search converges in few sweeps.
+
+Paper: 'the value k takes at most 9, 8, and 16 for S = 16x16, 32x32, and
+64x64' — i.e. k stays in the low double digits and does not explode with
+S.  Reproduced across the profile's S grid for both sweep orders, plus the
+convergence-curve property that most of the error drop happens in the
+first sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import prepared_matrix, profile_grid
+from repro.localsearch import local_search_parallel, local_search_serial
+
+_N = max(n for n, _ in profile_grid())
+_TILE_GRIDS = sorted({t for _, t in profile_grid()})
+
+
+@pytest.mark.parametrize("tiles_per_side", _TILE_GRIDS)
+def test_sweep_count_stays_small(benchmark, tiles_per_side):
+    matrix = prepared_matrix(_N, tiles_per_side)
+
+    def run():
+        serial = local_search_serial(matrix)
+        parallel = local_search_parallel(matrix)
+        return serial.sweeps, parallel.sweeps
+
+    serial_k, parallel_k = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {"S": tiles_per_side**2, "serial_k": serial_k, "parallel_k": parallel_k}
+    )
+    assert serial_k <= 20
+    assert parallel_k <= 20
+
+
+def test_first_sweep_does_most_of_the_work(benchmark):
+    matrix = prepared_matrix(_N, _TILE_GRIDS[-1])
+
+    def run():
+        return local_search_serial(matrix)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    import numpy as np
+
+    start = int(matrix[np.arange(matrix.shape[0]), np.arange(matrix.shape[0])].sum())
+    after_first = result.trace.totals[0]
+    final = result.total
+    benchmark.extra_info.update(
+        {"start": start, "after_first_sweep": after_first, "final": final}
+    )
+    # The bulk (>= 80%) of the total improvement lands in sweep 1.
+    assert (start - after_first) >= 0.8 * (start - final)

@@ -1,0 +1,66 @@
+"""Table I reproduction: total error of the three algorithms.
+
+Paper Table I (portrait->sailboat, N=512):
+
+    S        optimization   approx (CPU)   approx (GPU)
+    16x16         7529146        7701450        7676311
+    32x32         5410140        5520554        5506782
+    64x64         3877820        3945836        4047410
+
+The *shape* asserted here: optimization strictly lower-bounds both
+approximations; the two approximation orders differ by a small margin; the
+total error decreases as S grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import prepared_matrix, profile_grid
+from repro.assignment import get_solver
+from repro.localsearch import local_search_parallel, local_search_serial
+
+# Table I varies S at fixed N: take the largest N of the active profile.
+_N = max(n for n, _ in profile_grid())
+_TILE_GRIDS = sorted({t for _, t in profile_grid()})
+
+
+@pytest.mark.parametrize("tiles_per_side", _TILE_GRIDS)
+def test_table1_quality_row(benchmark, tiles_per_side):
+    matrix = prepared_matrix(_N, tiles_per_side)
+
+    def run():
+        opt = get_solver("scipy").solve(matrix)
+        serial = local_search_serial(matrix)
+        parallel = local_search_parallel(matrix)
+        return opt.total, serial.total, parallel.total
+
+    opt, serial, parallel = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "N": _N,
+            "S": tiles_per_side**2,
+            "optimization": opt,
+            "approximation_cpu_order": serial,
+            "approximation_gpu_order": parallel,
+            "gap_serial_pct": 100.0 * (serial - opt) / opt,
+            "gap_parallel_pct": 100.0 * (parallel - opt) / opt,
+        }
+    )
+    # Paper shape: optimum below both approximations, both within a few %.
+    assert opt <= serial
+    assert opt <= parallel
+    assert serial <= 1.10 * opt
+    assert parallel <= 1.10 * opt
+
+
+def test_table1_error_decreases_with_s(benchmark):
+    def run():
+        return [
+            get_solver("scipy").solve(prepared_matrix(_N, t)).total
+            for t in _TILE_GRIDS
+        ]
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["totals_by_s"] = dict(zip(_TILE_GRIDS, totals))
+    assert totals == sorted(totals, reverse=True)

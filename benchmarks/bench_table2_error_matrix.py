@@ -1,0 +1,79 @@
+"""Table II reproduction: Step-2 error-matrix computation time.
+
+Paper Table II compares a scalar single-thread CPU loop against the GPU
+kernel across N in {512, 1024, 2048} x S in {16^2, 32^2, 64^2}, reporting
+58-93x speedups.  Here:
+
+* "CPU" = the pure-Python triple loop (`cost.reference`),
+* "GPU" = the vectorised kernel (`cost.matrix`), the same data-parallel
+  arithmetic the paper's kernel performs,
+
+and the calibrated performance model supplies the paper-scale prediction
+recorded in extra_info.  Asserted shape: the data-parallel implementation
+wins everywhere, and the gap is large (>= 5x even at toy sizes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import prepared_tiles, profile_grid
+from repro.cost.matrix import error_matrix
+from repro.cost.reference import error_matrix_reference
+from repro.gpusim.perfmodel import PerformanceModel
+from repro.utils.timing import Stopwatch
+
+_MODEL = PerformanceModel()
+
+
+@pytest.mark.parametrize("n,tiles_per_side", profile_grid())
+def test_table2_gpu_model_row(benchmark, n, tiles_per_side):
+    """Times the vectorised (GPU-model) Step 2 and records the CPU ratio."""
+    tiles_in, tiles_tg = prepared_tiles(n, tiles_per_side)
+    result = benchmark(lambda: error_matrix(tiles_in, tiles_tg))
+    with Stopwatch() as sw:
+        reference = error_matrix_reference(tiles_in, tiles_tg)
+    assert (reference == result).all()
+    gpu_seconds = benchmark.stats["mean"]
+    s = tiles_per_side**2
+    benchmark.extra_info.update(
+        {
+            "N": n,
+            "S": s,
+            "cpu_seconds": sw.elapsed,
+            "measured_speedup": sw.elapsed / gpu_seconds,
+            "model_cpu_seconds": _MODEL.error_matrix_time(n, s, "cpu"),
+            "model_gpu_seconds": _MODEL.error_matrix_time(n, s, "gpu"),
+            "model_speedup": _MODEL.error_matrix_time(n, s, "cpu")
+            / _MODEL.error_matrix_time(n, s, "gpu"),
+        }
+    )
+    assert sw.elapsed / gpu_seconds >= 5.0
+
+
+def test_table2_time_scales_with_image_and_tiles(benchmark):
+    """Paper: 'When the size of images is larger, the computing time is
+    longer. Also, when the number of tiles is larger, the computing time
+    is longer.'  Checked on the exact work term S * N^2 of the model and
+    the measured vectorised times."""
+    grid = profile_grid()
+    times: dict[tuple[int, int], float] = {}
+
+    def run():
+        for n, t in grid:
+            tiles_in, tiles_tg = prepared_tiles(n, t)
+            with Stopwatch() as sw:
+                error_matrix(tiles_in, tiles_tg)
+            times[(n, t)] = sw.elapsed
+        return times
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    sizes = sorted({n for n, _ in grid})
+    tile_grids = sorted({t for _, t in grid})
+    # Fixing S, time grows with N (strict on the model, lenient measured).
+    for t in tile_grids:
+        model = [_MODEL.error_matrix_time(n, t * t, "cpu") for n in sizes]
+        assert model == sorted(model)
+        measured = [times[(n, t)] for n in sizes]
+        assert measured[-1] > measured[0]
+    benchmark.extra_info["measured_seconds"] = {str(k): v for k, v in times.items()}

@@ -1,0 +1,47 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Benchmarks run at the profile selected by ``REPRO_BENCH_FULL`` (see
+DESIGN.md section 5): the default profile shrinks the paper's grid so the
+whole suite finishes in minutes while preserving every comparison's shape.
+
+Each bench both times its subject with pytest-benchmark and attaches the
+paper-facing quantities (total errors, speedups, sweep counts) as
+``benchmark.extra_info`` so the JSON export carries the full reproduction
+record.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchharness.workloads import default_profile, paper_grid, workload_pair
+from repro.cost.matrix import error_matrix
+from repro.imaging.histogram import match_histogram
+from repro.tiles.grid import TileGrid
+
+
+def profile_grid() -> list[tuple[int, int]]:
+    """The active (N, tiles_per_side) grid."""
+    return paper_grid(default_profile())
+
+
+@pytest.fixture(scope="session")
+def bench_profile() -> str:
+    return default_profile()
+
+
+def prepared_matrix(n: int, tiles_per_side: int) -> np.ndarray:
+    """Histogram-matched error matrix for the canonical pair at (n, tiles)."""
+    w = workload_pair(n, tiles_per_side)
+    inp, tgt = w.images()
+    grid = TileGrid.from_tile_count(n, tiles_per_side)
+    return error_matrix(grid.split(match_histogram(inp, tgt)), grid.split(tgt))
+
+
+def prepared_tiles(n: int, tiles_per_side: int) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram-matched tile stacks for the canonical pair."""
+    w = workload_pair(n, tiles_per_side)
+    inp, tgt = w.images()
+    grid = TileGrid.from_tile_count(n, tiles_per_side)
+    return grid.split(match_histogram(inp, tgt)), grid.split(tgt)

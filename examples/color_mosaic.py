@@ -1,0 +1,61 @@
+"""Colour photomosaic — the Section-II extension, end to end.
+
+The paper: "we can easily extend the proposed photomosaic method to deal
+with color images only by changing the error function."  This example does
+exactly that: colour renditions of the stand-in images are rearranged
+under the channel-weighted colour metric, and the result is compared with
+the grayscale pipeline on the same pair.
+
+Run:  python examples/color_mosaic.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import generate_photomosaic, save_image, standard_image, standard_image_color
+from repro.imaging import psnr, rgb_to_gray, side_by_side
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "output", "color")
+
+
+def main() -> None:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    size = 256
+    tile_size = size // 32
+
+    input_color = standard_image_color("peppers", size)
+    target_color = standard_image_color("portrait", size)
+    result_color = generate_photomosaic(
+        input_color,
+        target_color,
+        tile_size=tile_size,
+        algorithm="parallel",
+        metric="color",  # the changed error function
+    )
+    save_image(os.path.join(OUT_DIR, "input.png"), input_color)
+    save_image(os.path.join(OUT_DIR, "target.png"), target_color)
+    save_image(os.path.join(OUT_DIR, "mosaic_color.png"), result_color.image)
+    save_image(
+        os.path.join(OUT_DIR, "sheet.png"),
+        side_by_side(input_color, target_color, result_color.image),
+    )
+
+    # Grayscale reference on the same content.
+    result_gray = generate_photomosaic(
+        rgb_to_gray(input_color),
+        rgb_to_gray(target_color),
+        tile_size=tile_size,
+        algorithm="parallel",
+    )
+    print(f"colour  : total error {result_color.total_error:>10}, "
+          f"PSNR vs target {psnr(result_color.image, target_color):6.2f} dB, "
+          f"k={result_color.sweeps}")
+    print(f"grayscale: total error {result_gray.total_error:>10}, "
+          f"PSNR vs target {psnr(result_gray.image, rgb_to_gray(target_color)):6.2f} dB, "
+          f"k={result_gray.sweeps}")
+    print(f"images written to {OUT_DIR}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""The virtual GPU in action: kernels, counters and the performance model.
+
+Runs the paper's two kernels (Section V) on the SIMT virtual GPU, shows the
+metered work they report, and prints the calibrated performance model's
+predictions for the paper's full evaluation grid — the numbers behind the
+Table II-IV "paper-scale" columns in EXPERIMENTS.md.
+
+Run:  python examples/gpu_simulation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import standard_image
+from repro.benchharness.tables import format_table
+from repro.coloring import build_edge_groups
+from repro.cost import error_matrix
+from repro.gpusim import TESLA_K40, KernelStats, PerformanceModel
+from repro.gpusim.kernels import error_matrix_gpu, run_swap_class_on_device
+from repro.imaging.histogram import match_histogram
+from repro.tiles import TileGrid, identity_permutation
+
+
+def main() -> None:
+    size, tiles_per_side = 256, 16
+    inp = match_histogram(
+        standard_image("portrait", size), standard_image("sailboat", size)
+    )
+    tgt = standard_image("sailboat", size)
+    grid = TileGrid.from_tile_count(size, tiles_per_side)
+    tiles_in, tiles_tg = grid.split(inp), grid.split(tgt)
+    s = grid.tile_count
+
+    print(f"device: {TESLA_K40.name} ({TESLA_K40.total_cores} cores, "
+          f"{TESLA_K40.mem_bandwidth / 1e9:.0f} GB/s)\n")
+
+    # --- Step 2 kernel -----------------------------------------------------
+    stats = KernelStats()
+    matrix = error_matrix_gpu(tiles_in, tiles_tg, stats=stats)
+    reference = error_matrix(tiles_in, tiles_tg)
+    assert (matrix == reference).all(), "kernel result must match host result"
+    print("Step 2 kernel (error matrix):")
+    print(f"  launches={stats.launches} blocks={stats.blocks} "
+          f"lane_ops={stats.lane_ops:,} barriers={stats.barriers}")
+    print(f"  exact SAD op count S*N^2 = {s * size * size:,}\n")
+
+    # --- Step 3 kernel -----------------------------------------------------
+    perm = identity_permutation(s)
+    groups = build_edge_groups(s)
+    stats = KernelStats()
+    swaps = 0
+    for us, vs in groups.classes:
+        swaps += run_swap_class_on_device(matrix, perm, us, vs, stats=stats)
+    print("Step 3 kernel (one sweep of Algorithm 2):")
+    print(f"  launches={stats.launches} (= number of colour classes with pairs)")
+    print(f"  committed swaps in first sweep: {swaps}\n")
+
+    # --- Simulated device timeline -------------------------------------
+    from repro.gpusim import SimulatedTimeline
+    from repro.tiles.permutation import identity_permutation as ident
+
+    timeline = SimulatedTimeline()
+    stats = KernelStats()
+    error_matrix_gpu(tiles_in, tiles_tg, stats=stats)
+    timeline.record("error_matrix", stats, bytes_moved=s * s * grid.pixels_per_tile * 2)
+    perm2 = ident(s)
+    for index, (us, vs) in enumerate(groups.classes[:8]):
+        if us.size == 0:
+            continue
+        stats = KernelStats()
+        run_swap_class_on_device(matrix, perm2, us, vs, stats=stats)
+        timeline.record(f"swap_P{index + 1}", stats, bytes_moved=int(us.size) * 48)
+    print("Simulated device timeline (Step 2 + first 8 swap classes):")
+    print(timeline.render())
+    print()
+
+    # --- Performance model --------------------------------------------------
+    model = PerformanceModel()
+    rows = []
+    for n in (512, 1024, 2048):
+        for t in (16, 32, 64):
+            s_cell = t * t
+            rows.append(
+                [
+                    f"{n}x{n}",
+                    f"{t}x{t}",
+                    model.error_matrix_time(n, s_cell, "cpu"),
+                    model.error_matrix_time(n, s_cell, "gpu"),
+                    model.matching_time(s_cell),
+                    model.approximation_time(s_cell, "cpu"),
+                    model.approximation_time(s_cell, "gpu"),
+                    model.speedup(n, s_cell, "optimization"),
+                    model.speedup(n, s_cell, "approximation"),
+                ]
+            )
+    print(
+        format_table(
+            "Performance-model predictions for the paper's hardware",
+            ["size", "S", "step2 CPU", "step2 GPU", "matching",
+             "apx CPU", "apx GPU", "opt spdup", "apx spdup"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+This environment has no ``wheel`` package and no network access, so PEP 660
+editable installs (which require building a wheel) fail.  Keeping a
+``setup.py`` alongside ``pyproject.toml`` lets ``pip install -e .`` fall
+back to the classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""Analysis tools: rearrangement statistics and convergence curves."""
+
+from __future__ import annotations
+
+from repro.analysis.convergence import convergence_curve, convergence_table
+from repro.analysis.displacement import (
+    DisplacementStats,
+    displacement_stats,
+    tile_displacements,
+)
+
+__all__ = [
+    "convergence_curve",
+    "convergence_table",
+    "DisplacementStats",
+    "displacement_stats",
+    "tile_displacements",
+]

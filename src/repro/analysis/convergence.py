@@ -1,0 +1,51 @@
+"""Convergence-curve utilities for the local-search algorithms.
+
+The paper reports only the terminal sweep count ``k``; these helpers
+expose the whole curve — error and swap count per sweep — as arrays and as
+a formatted table, for the analysis example and the convergence bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.benchharness.tables import format_table
+from repro.exceptions import ValidationError
+from repro.localsearch.base import ConvergenceTrace
+
+__all__ = ["convergence_curve", "convergence_table"]
+
+
+def convergence_curve(trace: ConvergenceTrace, start_total: int | None = None) -> dict[str, np.ndarray]:
+    """Arrays describing a trace: sweep index, totals, swaps, improvement.
+
+    ``start_total``, when given, prepends the pre-search error so the
+    improvement of sweep 1 is included; otherwise improvements start at
+    sweep 2.
+    """
+    if trace.sweeps == 0:
+        raise ValidationError("trace has no sweeps")
+    totals = np.array(trace.totals, dtype=np.int64)
+    swaps = np.array(trace.swap_counts, dtype=np.int64)
+    if start_total is not None:
+        reference = np.concatenate([[start_total], totals[:-1]])
+    else:
+        reference = np.concatenate([[totals[0]], totals[:-1]])
+    return {
+        "sweep": np.arange(1, trace.sweeps + 1),
+        "total": totals,
+        "swaps": swaps,
+        "improvement": reference - totals,
+    }
+
+
+def convergence_table(trace: ConvergenceTrace, *, title: str = "Convergence") -> str:
+    """Human-readable per-sweep table."""
+    curve = convergence_curve(trace)
+    rows = [
+        [int(s), int(t), int(w), int(i)]
+        for s, t, w, i in zip(
+            curve["sweep"], curve["total"], curve["swaps"], curve["improvement"]
+        )
+    ]
+    return format_table(title, ["sweep", "total error", "swaps", "improvement"], rows)

@@ -1,0 +1,39 @@
+"""Minimum-weight bipartite matching solvers (the optimization algorithm).
+
+The paper reduces tile rearrangement to minimum-weight perfect matching on
+a complete bipartite graph (Section III) and solves it with Blossom V.  On
+bipartite instances that problem *is* the linear assignment problem, so
+this package provides four interchangeable solvers — from-scratch
+Hungarian, Jonker-Volgenant and auction implementations plus a SciPy
+reference — and a greedy baseline, all behind one registry.
+"""
+
+from __future__ import annotations
+
+from repro.assignment.auction import AuctionSolver
+from repro.assignment.base import AssignmentResult, AssignmentSolver, get_solver, register_solver
+from repro.assignment.blossom import BlossomSolver
+from repro.assignment.bruteforce import BruteForceSolver
+from repro.assignment.greedy import GreedySolver
+from repro.assignment.hungarian import HungarianSolver
+from repro.assignment.jonker_volgenant import JonkerVolgenantSolver
+from repro.assignment.rectangular import solve_rectangular
+from repro.assignment.scipy_solver import ScipySolver
+from repro.assignment.validation import check_result, verify_optimality_certificate
+
+__all__ = [
+    "AssignmentResult",
+    "AssignmentSolver",
+    "get_solver",
+    "register_solver",
+    "HungarianSolver",
+    "JonkerVolgenantSolver",
+    "AuctionSolver",
+    "BlossomSolver",
+    "BruteForceSolver",
+    "GreedySolver",
+    "ScipySolver",
+    "solve_rectangular",
+    "check_result",
+    "verify_optimality_certificate",
+]

@@ -1,0 +1,112 @@
+"""Solver abstraction and registry for the assignment problem.
+
+All solvers consume the library's canonical error matrix ``E[u, v]``
+(input tile ``u`` at target position ``v``) and return an
+:class:`AssignmentResult` whose ``permutation`` follows the library
+convention ``p[v] = u``, so ``total = sum_v E[p[v], v]``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.types import ErrorMatrix, PermutationArray
+from repro.utils.validation import check_error_matrix, check_permutation
+
+__all__ = ["AssignmentResult", "AssignmentSolver", "register_solver", "get_solver"]
+
+
+@dataclass(frozen=True)
+class AssignmentResult:
+    """Outcome of one assignment solve.
+
+    Attributes
+    ----------
+    permutation:
+        ``p[v] = u``: input tile placed at each target position.
+    total:
+        Objective value ``sum_v E[p[v], v]``.
+    optimal:
+        Whether the solver guarantees optimality (greedy sets ``False``).
+    dual_row, dual_col:
+        LP dual potentials when the solver produces them
+        (``dual_row[u] + dual_col[v] <= E[u, v]`` with equality on matched
+        edges); ``None`` otherwise.  See
+        :func:`repro.assignment.validation.verify_optimality_certificate`.
+    iterations:
+        Solver-specific work counter (augmentations, auction rounds, ...).
+    """
+
+    permutation: PermutationArray
+    total: int
+    optimal: bool
+    dual_row: np.ndarray | None = None
+    dual_col: np.ndarray | None = None
+    iterations: int = 0
+    meta: dict = field(default_factory=dict)
+
+
+class AssignmentSolver(ABC):
+    """Base class: validates input, delegates to ``_solve``."""
+
+    #: Registry key; subclasses override.
+    name: str = "abstract"
+
+    #: Whether the algorithm guarantees a minimum-weight perfect matching.
+    exact: bool = True
+
+    def solve(self, matrix: ErrorMatrix) -> AssignmentResult:
+        """Solve the assignment problem for ``matrix``.
+
+        Validates the matrix, runs the concrete algorithm, then validates
+        the returned permutation and recomputes the objective from scratch
+        so a buggy solver can never report an inconsistent total.
+        """
+        matrix = check_error_matrix(matrix)
+        result = self._solve(matrix)
+        perm = check_permutation(result.permutation, matrix.shape[0])
+        true_total = int(matrix[perm, np.arange(matrix.shape[0])].sum())
+        if true_total != result.total:
+            raise ValidationError(
+                f"solver {self.name!r} reported total {result.total}, "
+                f"actual {true_total}"
+            )
+        return result
+
+    @abstractmethod
+    def _solve(self, matrix: ErrorMatrix) -> AssignmentResult:
+        """Concrete algorithm; ``matrix`` is a validated ``int64`` square."""
+
+
+_REGISTRY: dict[str, type[AssignmentSolver]] = {}
+
+
+def register_solver(cls: type[AssignmentSolver]) -> type[AssignmentSolver]:
+    """Class decorator: register a solver under its ``name``."""
+    if not issubclass(cls, AssignmentSolver):
+        raise ValidationError(f"{cls!r} is not an AssignmentSolver subclass")
+    if cls.name in _REGISTRY:
+        raise ValidationError(f"duplicate solver name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_solver(name: str | AssignmentSolver, **kwargs: object) -> AssignmentSolver:
+    """Resolve a solver by registry name (or pass an instance through)."""
+    if isinstance(name, AssignmentSolver):
+        return name
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise ValidationError(
+            f"unknown solver {name!r} (available: {sorted(_REGISTRY)})"
+        )
+    return cls(**kwargs)  # type: ignore[call-arg]
+
+
+def available_solvers() -> list[str]:
+    """Names of all registered solvers."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,50 @@
+"""Greedy assignment baseline.
+
+Sort all ``S^2`` tile/position pairs by error and accept each pair whose
+tile and position are both still free.  O(S^2 log S) and typically within a
+few percent of optimal on natural images, but with no guarantee — it is the
+"obvious baseline" the exact solvers are judged against in the ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.assignment.base import AssignmentResult, AssignmentSolver, register_solver
+from repro.types import ErrorMatrix
+
+__all__ = ["GreedySolver"]
+
+
+@register_solver
+class GreedySolver(AssignmentSolver):
+    """Globally-greedy matching (no optimality guarantee)."""
+
+    name = "greedy"
+    exact = False
+
+    def _solve(self, matrix: ErrorMatrix) -> AssignmentResult:
+        n = matrix.shape[0]
+        order = np.argsort(matrix, axis=None, kind="stable")
+        rows_free = np.ones(n, dtype=bool)
+        cols_free = np.ones(n, dtype=bool)
+        perm = np.full(n, -1, dtype=np.intp)
+        assigned = 0
+        accepted_scans = 0
+        for flat in order:
+            u, v = divmod(int(flat), n)
+            accepted_scans += 1
+            if rows_free[u] and cols_free[v]:
+                perm[v] = u
+                rows_free[u] = False
+                cols_free[v] = False
+                assigned += 1
+                if assigned == n:
+                    break
+        total = int(matrix[perm, np.arange(n)].sum())
+        return AssignmentResult(
+            permutation=perm,
+            total=total,
+            optimal=False,
+            iterations=accepted_scans,
+        )

@@ -1,0 +1,194 @@
+"""Jonker-Volgenant (LAPJV) assignment solver.
+
+The classic three-phase dense LAP algorithm (Jonker & Volgenant, 1987):
+
+1. **Column reduction** — scan columns in reverse, set each column
+   potential to its column minimum and greedily match unclaimed rows.
+2. **Reduction transfer + augmenting row reduction** — two auction-like
+   passes that re-match most of the remaining free rows while improving
+   column potentials.
+3. **Augmentation** — for each still-free row, a Dijkstra-style shortest
+   alternating path in the reduced-cost graph, followed by a dual update
+   over the scanned ("ready") columns.
+
+Phases 1-2 typically leave only a small fraction of rows for the expensive
+phase 3, which is why LAPJV beats plain Hungarian in practice — the
+solver ablation bench shows exactly that.  Integer arithmetic throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.assignment.base import AssignmentResult, AssignmentSolver, register_solver
+from repro.types import ErrorMatrix
+
+__all__ = ["JonkerVolgenantSolver"]
+
+_INF = np.iinfo(np.int64).max // 4
+
+
+@register_solver
+class JonkerVolgenantSolver(AssignmentSolver):
+    """From-scratch LAPJV with vectorised path relaxation."""
+
+    name = "jv"
+    exact = True
+
+    def _solve(self, matrix: ErrorMatrix) -> AssignmentResult:
+        cost = matrix
+        n = cost.shape[0]
+        x = np.full(n, -1, dtype=np.intp)  # row -> column
+        y = np.full(n, -1, dtype=np.intp)  # column -> row
+        v = np.zeros(n, dtype=np.int64)  # column potentials
+
+        free = self._column_reduction(cost, x, y, v)
+        free = self._augmenting_row_reduction(cost, x, y, v, free)
+        iterations = self._augmentation(cost, x, y, v, free)
+
+        perm = np.empty(n, dtype=np.intp)
+        perm[x] = np.arange(n, dtype=np.intp)  # p[column] = row
+        total = int(cost[perm, np.arange(n)].sum())
+        dual_row = cost[np.arange(n), x] - v[x]
+        return AssignmentResult(
+            permutation=perm,
+            total=total,
+            optimal=True,
+            dual_row=dual_row.astype(np.int64),
+            dual_col=v.copy(),
+            iterations=iterations,
+        )
+
+    @staticmethod
+    def _column_reduction(
+        cost: np.ndarray, x: np.ndarray, y: np.ndarray, v: np.ndarray
+    ) -> list[int]:
+        """Phase 1 + reduction transfer.  Returns the free-row list."""
+        n = cost.shape[0]
+        matches = np.zeros(n, dtype=np.int64)
+        # Reverse order matters: ties then favour low-numbered columns,
+        # reproducing the original algorithm's behaviour.
+        for j in range(n - 1, -1, -1):
+            i = int(np.argmin(cost[:, j]))
+            v[j] = cost[i, j]
+            matches[i] += 1
+            if matches[i] == 1:
+                x[i] = j
+                y[j] = i
+        free: list[int] = [int(i) for i in np.flatnonzero(matches == 0)]
+        # Reduction transfer for rows matched exactly once: push slack from
+        # the matched column so another row can afford it later.
+        for i in np.flatnonzero(matches == 1):
+            j1 = int(x[i])
+            reduced = cost[i] - v
+            reduced[j1] = _INF
+            v[j1] -= int(reduced.min())
+        return free
+
+    @staticmethod
+    def _augmenting_row_reduction(
+        cost: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray,
+        v: np.ndarray,
+        free: list[int],
+    ) -> list[int]:
+        """Phase 2: two auction-like passes over the free rows."""
+        for _ in range(2):
+            if not free:
+                break
+            pending = list(free)
+            next_free: list[int] = []
+            k = 0
+            while k < len(pending):
+                i = pending[k]
+                k += 1
+                reduced = cost[i] - v
+                j1 = int(np.argmin(reduced))
+                u1 = int(reduced[j1])
+                reduced[j1] = _INF
+                j2 = int(np.argmin(reduced))
+                u2 = int(reduced[j2])
+                i0 = int(y[j1])
+                if u1 < u2:
+                    v[j1] -= u2 - u1
+                elif i0 != -1:
+                    # Tie: take the second-best column to avoid thrashing.
+                    j1 = j2
+                    i0 = int(y[j1])
+                x[i] = j1
+                y[j1] = i
+                if i0 != -1:
+                    if u1 < u2:
+                        # Displaced row is reconsidered immediately.
+                        k -= 1
+                        pending[k] = i0
+                    else:
+                        next_free.append(i0)
+            free = next_free
+        return free
+
+    @staticmethod
+    def _augmentation(
+        cost: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray,
+        v: np.ndarray,
+        free: list[int],
+    ) -> int:
+        """Phase 3: shortest augmenting paths for the remaining free rows."""
+        n = cost.shape[0]
+        scans = 0
+        for f in free:
+            d = (cost[f] - v).astype(np.int64)
+            pred = np.full(n, f, dtype=np.intp)
+            todo = np.ones(n, dtype=bool)
+            ready = np.zeros(n, dtype=bool)
+            scan: list[int] = []
+            mu = 0
+            end_j = -1
+            while end_j == -1:
+                if not scan:
+                    todo_idx = np.flatnonzero(todo)
+                    mu = int(d[todo_idx].min())
+                    batch = todo_idx[d[todo_idx] == mu]
+                    todo[batch] = False
+                    unmatched = batch[y[batch] == -1]
+                    if unmatched.size:
+                        end_j = int(unmatched[0])
+                        break
+                    scan = [int(j) for j in batch]
+                j0 = scan.pop()
+                i = int(y[j0])
+                ready[j0] = True
+                scans += 1
+                # Relax every still-unreached column through row i.
+                todo_idx = np.flatnonzero(todo)
+                if todo_idx.size:
+                    slack = mu + (cost[i, todo_idx] - v[todo_idx]) - (
+                        cost[i, j0] - v[j0]
+                    )
+                    better = slack < d[todo_idx]
+                    upd = todo_idx[better]
+                    d[upd] = slack[better]
+                    pred[upd] = i
+                    tight = upd[d[upd] == mu]
+                    if tight.size:
+                        unmatched = tight[y[tight] == -1]
+                        if unmatched.size:
+                            end_j = int(unmatched[0])
+                            break
+                        todo[tight] = False
+                        scan.extend(int(j) for j in tight)
+            # Dual update on the columns whose shortest distance is final.
+            ready_idx = np.flatnonzero(ready)
+            v[ready_idx] += d[ready_idx] - mu
+            # Augment: flip the alternating path back to the free row.
+            j = end_j
+            while True:
+                i = int(pred[j])
+                y[j] = i
+                j, x[i] = int(x[i]), j
+                if i == f:
+                    break
+        return scans

@@ -1,0 +1,64 @@
+"""Rectangular assignment: more candidates than positions.
+
+The database-mosaic mode without tile reuse (paper Fig. 1 pipeline, "each
+database image at most once") is a rectangular LAP: ``R`` candidate tiles,
+``C <= R`` target positions, choose ``C`` distinct candidates minimising
+total cost.  The classic reduction squares the matrix with zero-cost dummy
+columns — dummies absorb the unused candidates without changing the
+objective — after which any exact square solver applies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.assignment.base import AssignmentSolver, get_solver
+from repro.exceptions import ValidationError
+from repro.types import ERROR_DTYPE
+
+__all__ = ["solve_rectangular"]
+
+
+def solve_rectangular(
+    costs: np.ndarray,
+    solver: str | AssignmentSolver = "jv",
+) -> tuple[np.ndarray, int]:
+    """Min-cost injective assignment of columns to rows.
+
+    Parameters
+    ----------
+    costs:
+        ``(R, C)`` non-negative cost matrix with ``R >= C`` (rows =
+        candidates, columns = positions).
+    solver:
+        Square-solver registry name or instance used on the padded matrix.
+
+    Returns
+    -------
+    (choice, total):
+        ``choice[c]`` is the row assigned to column ``c`` (all distinct);
+        ``total`` is the exact objective value.
+    """
+    costs = np.asarray(costs)
+    if costs.ndim != 2:
+        raise ValidationError(f"costs must be 2-D, got shape {costs.shape}")
+    rows, cols = costs.shape
+    if rows < cols:
+        raise ValidationError(
+            f"need rows >= cols (candidates >= positions), got {rows} < {cols}"
+        )
+    if rows == 0 or cols == 0:
+        raise ValidationError("costs must be non-empty")
+    if not np.issubdtype(costs.dtype, np.integer):
+        raise ValidationError(f"costs must be integer, got dtype {costs.dtype}")
+    if (costs < 0).any():
+        raise ValidationError("costs must be non-negative")
+    # Pad with zero-cost dummy columns: every unused candidate matches a
+    # dummy for free, so the real columns' assignment is unchanged.
+    padded = np.zeros((rows, rows), dtype=ERROR_DTYPE)
+    padded[:, :cols] = costs
+    result = get_solver(solver).solve(padded)
+    # result.permutation[v] = row at (padded) column v; keep real columns.
+    choice = result.permutation[:cols].copy()
+    total = int(costs[choice, np.arange(cols)].sum())
+    return choice, total

@@ -1,0 +1,37 @@
+"""Benchmark harness: workloads, experiment runners and table formatting
+for the paper's Tables I-IV and figures."""
+
+from __future__ import annotations
+
+from repro.benchharness.runner import (
+    measure_error_matrix,
+    measure_rearrangement,
+    measure_total_pipeline,
+    quality_comparison,
+)
+from repro.benchharness.tables import format_table, speedup
+from repro.benchharness.workloads import (
+    PAPER_IMAGE_SIZES,
+    PAPER_PAIRS,
+    PAPER_TILE_GRIDS,
+    Workload,
+    default_profile,
+    paper_grid,
+    workload_pair,
+)
+
+__all__ = [
+    "Workload",
+    "workload_pair",
+    "paper_grid",
+    "default_profile",
+    "PAPER_IMAGE_SIZES",
+    "PAPER_TILE_GRIDS",
+    "PAPER_PAIRS",
+    "measure_error_matrix",
+    "measure_rearrangement",
+    "measure_total_pipeline",
+    "quality_comparison",
+    "format_table",
+    "speedup",
+]

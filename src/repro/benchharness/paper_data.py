@@ -1,0 +1,83 @@
+"""The paper's published numbers, transcribed once, used everywhere.
+
+Single source of truth for Tables I-IV and the Section IV-A sweep counts
+of Yang, Ito & Nakano (2017).  The export/report generators, the
+performance-model calibration tests and the benchmark assertions all read
+from here, so a transcription fix propagates everywhere at once.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1_TOTAL_ERROR",
+    "TABLE2_STEP2_TIME",
+    "TABLE3_STEP3_TIME",
+    "TABLE4_SPEEDUP",
+    "SWEEP_COUNTS",
+    "IMAGE_SIZES",
+    "TILE_COUNTS",
+    "headline_speedups",
+]
+
+#: The paper's evaluation grid.
+IMAGE_SIZES: tuple[int, ...] = (512, 1024, 2048)
+TILE_COUNTS: tuple[int, ...] = (256, 1024, 4096)  # 16^2, 32^2, 64^2
+
+#: Table I (portrait->sailboat at N=512):
+#: S -> (optimization, approximation CPU order, approximation GPU order).
+TABLE1_TOTAL_ERROR: dict[int, tuple[int, int, int]] = {
+    256: (7529146, 7701450, 7676311),
+    1024: (5410140, 5520554, 5506782),
+    4096: (3877820, 3945836, 4047410),
+}
+
+#: Table II: (N, S) -> (CPU seconds, GPU seconds, speedup).
+TABLE2_STEP2_TIME: dict[tuple[int, int], tuple[float, float, float]] = {
+    (512, 256): (0.397, 0.005, 78.30),
+    (512, 1024): (1.599, 0.017, 92.12),
+    (512, 4096): (6.253, 0.107, 58.22),
+    (1024, 256): (1.574, 0.020, 77.28),
+    (1024, 1024): (6.178, 0.077, 80.00),
+    (1024, 4096): (24.890, 0.269, 92.70),
+    (2048, 256): (6.238, 0.079, 78.56),
+    (2048, 1024): (20.980, 0.316, 66.39),
+    (2048, 4096): (98.485, 1.230, 80.08),
+}
+
+#: Table III: (N, S) -> (optimization CPU s, approx CPU s, approx GPU s,
+#: approx speedup).
+TABLE3_STEP3_TIME: dict[tuple[int, int], tuple[float, float, float, float]] = {
+    (512, 256): (0.062, 0.006, 0.012, 0.50),
+    (512, 1024): (15.686, 0.179, 0.063, 2.84),
+    (512, 4096): (1209.082, 6.660, 0.343, 19.42),
+    (1024, 256): (0.070, 0.006, 0.011, 0.55),
+    (1024, 1024): (15.518, 0.180, 0.069, 2.61),
+    (1024, 4096): (1280.027, 6.906, 0.372, 18.56),
+    (2048, 256): (0.070, 0.008, 0.014, 0.57),
+    (2048, 1024): (15.877, 0.169, 0.065, 2.60),
+    (2048, 4096): (1304.024, 7.467, 0.352, 21.21),
+}
+
+#: Table IV: (N, S) -> (optimization end-to-end speedup, approximation
+#: end-to-end speedup).
+TABLE4_SPEEDUP: dict[tuple[int, int], tuple[float, float]] = {
+    (512, 256): (6.76, 23.24),
+    (512, 1024): (1.10, 21.98),
+    (512, 4096): (1.01, 28.67),
+    (1024, 256): (17.89, 47.79),
+    (1024, 1024): (1.39, 43.04),
+    (1024, 4096): (1.02, 49.45),
+    (2048, 256): (40.74, 63.57),
+    (2048, 1024): (2.28, 54.75),
+    (2048, 4096): (1.07, 66.76),
+}
+
+#: Section IV-A: maximum sweep count k per tile count.
+SWEEP_COUNTS: dict[int, int] = {256: 9, 1024: 8, 4096: 16}
+
+
+def headline_speedups() -> tuple[float, float]:
+    """The abstract's claims: (optimization 40x, approximation 66x)."""
+    optimization = max(v[0] for v in TABLE4_SPEEDUP.values())
+    approximation = max(v[1] for v in TABLE4_SPEEDUP.values())
+    return optimization, approximation

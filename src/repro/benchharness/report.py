@@ -1,0 +1,144 @@
+"""Report generation: regenerate the paper's tables as text.
+
+Each ``table_*`` function returns a formatted string with (a) the paper's
+published numbers (for reference), (b) the calibrated model prediction for
+the paper's hardware, and (c) measurements of this repository's
+implementations on the current machine at the active profile.  The CLI
+(``python -m repro.cli bench``) and EXPERIMENTS.md are built from these.
+"""
+
+from __future__ import annotations
+
+from repro.benchharness.runner import (
+    measure_error_matrix,
+    measure_rearrangement,
+    measure_total_pipeline,
+    quality_comparison,
+)
+from repro.benchharness.tables import format_table
+from repro.benchharness.workloads import paper_grid, workload_pair
+from repro.gpusim.perfmodel import PerformanceModel
+
+__all__ = ["table1", "table2", "table3", "table4", "all_tables"]
+
+from repro.benchharness.paper_data import TABLE1_TOTAL_ERROR
+
+_MODEL = PerformanceModel()
+
+#: Paper Table I keyed by tiles-per-side (the CLI table's row label).
+PAPER_TABLE1 = {16: TABLE1_TOTAL_ERROR[256], 32: TABLE1_TOTAL_ERROR[1024],
+                64: TABLE1_TOTAL_ERROR[4096]}
+
+
+def table1(profile: str | None = None) -> str:
+    """Total error: optimization vs approximation (CPU and GPU order)."""
+    rows = []
+    if (profile or "default") == "full":
+        grid = [(512, t) for t in (16, 32, 64)]
+    else:
+        grid = [(256, t) for t in (4, 8, 16)]
+    for n, tiles in grid:
+        q = quality_comparison(workload_pair(n, tiles))
+        paper = PAPER_TABLE1.get(tiles, ("-", "-", "-")) if n == 512 else ("-", "-", "-")
+        rows.append(
+            [
+                f"{tiles}x{tiles}",
+                q["optimization"],
+                q["approximation_cpu"],
+                q["approximation_gpu"],
+                paper[0],
+                paper[1],
+                paper[2],
+            ]
+        )
+    return format_table(
+        "Table I reproduction - total error (measured | paper)",
+        ["S", "opt", "approx CPU-order", "approx GPU-order",
+         "paper opt", "paper apx CPU", "paper apx GPU"],
+        rows,
+    )
+
+
+def table2(profile: str | None = None) -> str:
+    """Step-2 error-matrix time: CPU model vs GPU model vs paper model."""
+    rows = []
+    for n, tiles in paper_grid(profile):
+        m = measure_error_matrix(workload_pair(n, tiles))
+        rows.append(
+            [
+                f"{n}x{n}",
+                f"{tiles}x{tiles}",
+                m.cpu_seconds,
+                m.gpu_seconds,
+                m.measured_speedup,
+                m.model_cpu_seconds,
+                m.model_gpu_seconds,
+                m.model_speedup,
+            ]
+        )
+    return format_table(
+        "Table II reproduction - Step 2 error values computation",
+        ["size", "S", "CPU[s]", "GPU[s]", "speedup",
+         "model CPU[s]", "model GPU[s]", "model speedup"],
+        rows,
+    )
+
+
+def table3(profile: str | None = None) -> str:
+    """Step-3 rearrangement time for both algorithms."""
+    rows = []
+    for n, tiles in paper_grid(profile):
+        m = measure_rearrangement(workload_pair(n, tiles))
+        opt, apx = m["optimization"], m["approximation"]
+        rows.append(
+            [
+                f"{n}x{n}",
+                f"{tiles}x{tiles}",
+                opt.cpu_seconds,
+                apx.cpu_seconds,
+                apx.gpu_seconds,
+                apx.measured_speedup,
+                opt.model_cpu_seconds,
+                apx.model_speedup,
+            ]
+        )
+    return format_table(
+        "Table III reproduction - Step 3 rearrangement of tiles",
+        ["size", "S", "opt CPU[s]", "apx CPU[s]", "apx GPU[s]",
+         "apx speedup", "model opt[s]", "model apx speedup"],
+        rows,
+    )
+
+
+def table4(profile: str | None = None) -> str:
+    """End-to-end generation time for both algorithms."""
+    rows = []
+    for n, tiles in paper_grid(profile):
+        m = measure_total_pipeline(workload_pair(n, tiles))
+        opt, apx = m["optimization"], m["approximation"]
+        rows.append(
+            [
+                f"{n}x{n}",
+                f"{tiles}x{tiles}",
+                opt.cpu_seconds,
+                opt.gpu_seconds,
+                opt.measured_speedup,
+                apx.cpu_seconds,
+                apx.gpu_seconds,
+                apx.measured_speedup,
+                opt.model_speedup,
+                apx.model_speedup,
+            ]
+        )
+    return format_table(
+        "Table IV reproduction - total photomosaic generation time",
+        ["size", "S", "opt CPU[s]", "opt CPU+GPU[s]", "opt spdup",
+         "apx CPU[s]", "apx GPU[s]", "apx spdup",
+         "model opt spdup", "model apx spdup"],
+        rows,
+    )
+
+
+def all_tables(profile: str | None = None) -> str:
+    """All four tables, separated by blank lines."""
+    return "\n\n".join(fn(profile) for fn in (table1, table2, table3, table4))

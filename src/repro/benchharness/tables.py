@@ -1,0 +1,43 @@
+"""Plain-text table formatting in the style of the paper's tables."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "speedup"]
+
+
+def speedup(cpu_seconds: float, gpu_seconds: float) -> float:
+    """CPU/GPU ratio, the paper's "Speed-up" column."""
+    if gpu_seconds <= 0:
+        return float("inf")
+    return cpu_seconds / gpu_seconds
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.1f}"
+        if value >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render an aligned monospace table with a title line."""
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Workload definitions mirroring the paper's evaluation grid.
+
+The paper evaluates on image sizes 512/1024/2048 with 16^2/32^2/64^2 tiles
+and four image pairs (Figs. 7-8).  Pure-Python baselines make the largest
+cells impractically slow on CI, so the harness exposes two profiles (see
+DESIGN.md section 5): ``default`` (scaled down, same shape) and ``full``
+(the paper grid, enabled with ``REPRO_BENCH_FULL=1``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.imaging.synthetic import standard_image
+from repro.tiles.grid import TileGrid
+from repro.types import GrayImage, TileStack
+
+__all__ = [
+    "Workload",
+    "workload_pair",
+    "paper_grid",
+    "default_profile",
+    "PAPER_IMAGE_SIZES",
+    "PAPER_TILE_GRIDS",
+    "PAPER_PAIRS",
+]
+
+#: The paper's evaluation grid (Tables II-IV).
+PAPER_IMAGE_SIZES: tuple[int, ...] = (512, 1024, 2048)
+#: Tiles per side: S = 16^2, 32^2, 64^2.
+PAPER_TILE_GRIDS: tuple[int, ...] = (16, 32, 64)
+
+#: The four (input -> target) pairs of Figs. 7-8, with ``portrait``
+#: standing in for Lena (see DESIGN.md substitutions).
+PAPER_PAIRS: tuple[tuple[str, str], ...] = (
+    ("portrait", "sailboat"),
+    ("airplane", "portrait"),
+    ("peppers", "barbara"),
+    ("tiffany", "baboon"),
+)
+
+#: Scaled-down grid with the same sweep shape: sizes shrink 8x, tile counts
+#: 4x.  The cap keeps the pure-Python "serial CPU" baselines (O(S * N^2)
+#: scalar operations for Step 2) within seconds per cell.
+_DEFAULT_IMAGE_SIZES: tuple[int, ...] = (64, 128, 256)
+_DEFAULT_TILE_GRIDS: tuple[int, ...] = (4, 8, 16)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One experiment cell: an image pair at a given size and tiling."""
+
+    input_name: str
+    target_name: str
+    n: int
+    tiles_per_side: int
+
+    @property
+    def tile_count(self) -> int:
+        return self.tiles_per_side**2
+
+    @property
+    def tile_size(self) -> int:
+        return self.n // self.tiles_per_side
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.input_name}->{self.target_name} "
+            f"{self.n}x{self.n} S={self.tiles_per_side}^2"
+        )
+
+    def images(self) -> tuple[GrayImage, GrayImage]:
+        """Deterministic (input, target) images for this cell."""
+        return (
+            standard_image(self.input_name, self.n),
+            standard_image(self.target_name, self.n),
+        )
+
+    def tiles(self) -> tuple[TileStack, TileStack]:
+        """Pre-split tile stacks for this cell."""
+        inp, tgt = self.images()
+        grid = TileGrid.from_tile_count(self.n, self.tiles_per_side)
+        return grid.split(inp), grid.split(tgt)
+
+
+def default_profile() -> str:
+    """Active profile name: ``"full"`` when ``REPRO_BENCH_FULL=1``."""
+    return "full" if os.environ.get("REPRO_BENCH_FULL", "") == "1" else "default"
+
+
+def paper_grid(profile: str | None = None) -> list[tuple[int, int]]:
+    """The ``(N, tiles_per_side)`` grid for ``profile``.
+
+    ``full`` is the paper's own grid; ``default`` shrinks every axis while
+    preserving the sweep shape so crossovers stay visible.
+    """
+    profile = profile or default_profile()
+    if profile == "full":
+        sizes, grids = PAPER_IMAGE_SIZES, PAPER_TILE_GRIDS
+    elif profile == "default":
+        sizes, grids = _DEFAULT_IMAGE_SIZES, _DEFAULT_TILE_GRIDS
+    else:
+        raise ValueError(f"unknown profile {profile!r} (use default|full)")
+    return [(n, t) for n in sizes for t in grids]
+
+
+def workload_pair(
+    n: int, tiles_per_side: int, pair_index: int = 0
+) -> Workload:
+    """Workload for one of the paper's image pairs."""
+    input_name, target_name = PAPER_PAIRS[pair_index % len(PAPER_PAIRS)]
+    return Workload(
+        input_name=input_name,
+        target_name=target_name,
+        n=n,
+        tiles_per_side=tiles_per_side,
+    )

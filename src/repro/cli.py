@@ -1,0 +1,218 @@
+"""Command-line interface.
+
+Subcommands
+-----------
+``generate``
+    Produce one photomosaic from two images (paths or standard-image
+    names) and write the output plus, optionally, the adjusted input.
+``bench``
+    Regenerate one or all of the paper's tables at the chosen profile.
+``demo``
+    Write a gallery of example outputs (the Figs. 2/7/8 analogues).
+
+Examples::
+
+    photomosaic generate --input portrait --target sailboat \
+        --size 512 --tile-size 16 --algorithm parallel --output mosaic.png
+    photomosaic bench --table 2
+    photomosaic demo --outdir gallery/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.benchharness import report
+from repro.imaging import (
+    STANDARD_IMAGES,
+    ensure_gray,
+    load_image,
+    save_image,
+    standard_image,
+)
+from repro.mosaic import MosaicConfig, PhotomosaicGenerator
+
+__all__ = ["main", "build_parser"]
+
+
+def _resolve_image(spec: str, size: int):
+    """Interpret ``spec`` as a standard-image name or a file path."""
+    if spec in STANDARD_IMAGES:
+        return standard_image(spec, size)
+    if not os.path.exists(spec):
+        raise SystemExit(
+            f"error: {spec!r} is neither a file nor a standard image "
+            f"({', '.join(STANDARD_IMAGES)})"
+        )
+    return ensure_gray(load_image(spec))
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    input_image = _resolve_image(args.input, args.size)
+    target_image = _resolve_image(args.target, args.size)
+    if input_image.shape != target_image.shape:
+        raise SystemExit(
+            f"error: input {input_image.shape} and target {target_image.shape} "
+            "must have identical shapes (resize beforehand)"
+        )
+    config = MosaicConfig(
+        tile_size=args.tile_size,
+        algorithm=args.algorithm,
+        metric=args.metric,
+        solver=args.solver,
+        histogram_match=not args.no_histogram_match,
+    )
+    result = PhotomosaicGenerator(config).generate(input_image, target_image)
+    save_image(args.output, result.image)
+    print(f"wrote {args.output}")
+    print(f"algorithm       : {args.algorithm}")
+    print(f"tiles           : {result.permutation.shape[0]}")
+    print(f"total error     : {result.total_error}")
+    if result.sweeps is not None:
+        print(f"sweeps (k)      : {result.sweeps}")
+    for phase, seconds in result.timings.phases.items():
+        print(f"{phase:<16}: {seconds:.4f}s")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    profile = args.profile
+    tables = {
+        "1": report.table1,
+        "2": report.table2,
+        "3": report.table3,
+        "4": report.table4,
+        "all": report.all_tables,
+    }
+    print(tables[args.table](profile))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    # Deferred import keeps CLI startup fast for the other subcommands.
+    from repro.benchharness.workloads import PAPER_PAIRS
+
+    os.makedirs(args.outdir, exist_ok=True)
+    config = MosaicConfig(tile_size=args.size // 32, algorithm="parallel")
+    generator = PhotomosaicGenerator(config)
+    for input_name, target_name in PAPER_PAIRS:
+        inp = standard_image(input_name, args.size)
+        tgt = standard_image(target_name, args.size)
+        result = generator.generate(inp, tgt)
+        base = os.path.join(args.outdir, f"{input_name}_to_{target_name}")
+        save_image(base + "_input.png", inp)
+        save_image(base + "_target.png", tgt)
+        save_image(base + "_mosaic.png", result.image)
+        print(f"{input_name} -> {target_name}: error {result.total_error}, "
+              f"k={result.sweeps}  ({base}_mosaic.png)")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.benchharness.export import generate_report
+
+    report = generate_report(args.profile)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(report)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_video(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.mosaic.video import VideoMosaicSession
+
+    input_image = _resolve_image(args.input, args.size)
+    base_target = _resolve_image(args.target, args.size)
+    session = VideoMosaicSession(input_image, args.tile_size)
+    if args.outdir:
+        os.makedirs(args.outdir, exist_ok=True)
+    for index in range(args.frames):
+        # Simple synthetic motion: drifting brightness over the target.
+        shift = int(20 * np.sin(2 * np.pi * index / max(1, args.frames)))
+        frame = np.clip(base_target.astype(int) + shift, 0, 255).astype(np.uint8)
+        result = session.process_frame(frame)
+        line = (
+            f"frame {index:3d}: error {result.total_error:>10}  "
+            f"k={result.sweeps}  "
+            f"step3 {result.timings.get('step3_rearrangement') * 1000:6.1f} ms"
+        )
+        if args.outdir:
+            path = os.path.join(args.outdir, f"frame_{index:03d}.png")
+            save_image(path, result.image)
+            line += f"  -> {path}"
+        print(line)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="photomosaic",
+        description="Photomosaic generation by rearranging subimages "
+        "(reproduction of Yang, Ito & Nakano 2017).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate one photomosaic")
+    gen.add_argument("--input", required=True, help="input image path or standard name")
+    gen.add_argument("--target", required=True, help="target image path or standard name")
+    gen.add_argument("--output", default="mosaic.png", help="output file (.png/.bmp/.pgm)")
+    gen.add_argument("--size", type=int, default=512, help="side for standard images")
+    gen.add_argument("--tile-size", type=int, default=16, help="tile side M")
+    gen.add_argument(
+        "--algorithm",
+        choices=("optimization", "approximation", "parallel"),
+        default="parallel",
+    )
+    gen.add_argument("--metric", default="sad", help="cost metric name")
+    gen.add_argument("--solver", default="scipy", help="assignment solver name")
+    gen.add_argument(
+        "--no-histogram-match",
+        action="store_true",
+        help="skip the Section II intensity adjustment",
+    )
+    gen.set_defaults(func=_cmd_generate)
+
+    bench = sub.add_parser("bench", help="regenerate the paper's tables")
+    bench.add_argument("--table", choices=("1", "2", "3", "4", "all"), default="all")
+    bench.add_argument("--profile", choices=("default", "full"), default=None)
+    bench.set_defaults(func=_cmd_bench)
+
+    demo = sub.add_parser("demo", help="write the example gallery")
+    demo.add_argument("--outdir", default="gallery")
+    demo.add_argument("--size", type=int, default=512)
+    demo.set_defaults(func=_cmd_demo)
+
+    export = sub.add_parser(
+        "export", help="run all experiments and write EXPERIMENTS.md"
+    )
+    export.add_argument("--profile", choices=("default", "full"), default="default")
+    export.add_argument("--out", default="EXPERIMENTS.md")
+    export.set_defaults(func=_cmd_export)
+
+    video = sub.add_parser(
+        "video", help="run the real-time video-mosaic scenario"
+    )
+    video.add_argument("--input", default="portrait")
+    video.add_argument("--target", default="sailboat")
+    video.add_argument("--frames", type=int, default=8)
+    video.add_argument("--size", type=int, default=256)
+    video.add_argument("--tile-size", type=int, default=16)
+    video.add_argument("--outdir", default=None, help="write frames here (optional)")
+    video.set_defaults(func=_cmd_video)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Packed edge groups ``P_1 .. P_S`` for the parallel swap kernel.
+
+Section IV-B: the groups depend only on the tile count ``S``, so they are
+computed once, stored as packed index arrays, and reused across images
+("they are not independent from input images and their size" — i.e. they
+*are* independent of them).  :class:`EdgeGroups` is that precomputed,
+cached artefact: each class is a pair of aligned ``(u_array, v_array)``
+columns ready for vectorised gather/scatter in the swap kernel.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.coloring.round_robin import edge_coloring_complete
+from repro.coloring.verify import verify_color_classes
+from repro.types import INDEX_DTYPE
+from repro.utils.validation import check_positive_int
+
+__all__ = ["EdgeGroups", "build_edge_groups"]
+
+
+@dataclass(frozen=True)
+class EdgeGroups:
+    """Colour classes of ``K_S`` packed as index-array pairs.
+
+    ``classes[i]`` is ``(us, vs)``: two equal-length ``intp`` arrays such
+    that the ``j``-th concurrent swap candidate of class ``i`` is the tile
+    pair ``(us[j], vs[j])``.  All tiles within one class are distinct, so
+    the class's swaps may commit simultaneously.
+    """
+
+    size: int
+    classes: tuple[tuple[np.ndarray, np.ndarray], ...]
+
+    @property
+    def class_count(self) -> int:
+        return len(self.classes)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(us.shape[0] for us, _ in self.classes)
+
+    def as_pair_lists(self) -> list[list[tuple[int, int]]]:
+        """Back-conversion to plain pair lists (for inspection/tests)."""
+        return [
+            [(int(u), int(v)) for u, v in zip(us, vs)] for us, vs in self.classes
+        ]
+
+
+@functools.lru_cache(maxsize=32)
+def build_edge_groups(size: int, *, order: str = "paper") -> EdgeGroups:
+    """Build (and cache) the edge groups for ``S = size`` tiles.
+
+    The construction is verified by :func:`verify_color_classes` before
+    caching — an invalid schedule would silently corrupt the parallel
+    algorithm, so the check is unconditional.
+    """
+    size = check_positive_int(size, "size")
+    raw = edge_coloring_complete(size, order=order)
+    verify_color_classes(raw, size)
+    packed = tuple(
+        (
+            np.array([u for u, _ in pairs], dtype=INDEX_DTYPE),
+            np.array([v for _, v in pairs], dtype=INDEX_DTYPE),
+        )
+        for pairs in raw
+    )
+    return EdgeGroups(size=size, classes=packed)

@@ -1,0 +1,79 @@
+"""Circle-method edge colouring of the complete graph ``K_n``.
+
+Theorem 1 of the paper: ``K_n`` is ``(n-1)``-edge-colourable for even ``n``
+and ``n``-edge-colourable for odd ``n``.  The constructive proof is the
+round-robin tournament schedule ("circle method"): fix one vertex, place
+the remaining ``n-1`` on a circle, and rotate; each rotation is a perfect
+matching (a colour class).
+
+For even ``n`` the classes can be emitted in the paper's published order
+(Section IV-B lists ``P_1 .. P_16`` for ``K_16``): class ``P_i`` consists
+of the pairs whose 1-indexed endpoint sum is congruent to ``2i + 1``
+modulo ``n - 1`` (with the fixed vertex ``n`` standing in for its circle
+twin).  ``order="round"`` keeps plain rotation order instead.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["edge_coloring_complete"]
+
+
+def _circle_rounds(n_even: int) -> list[list[tuple[int, int]]]:
+    """Rotation rounds of the circle method for even ``n_even`` (0-indexed).
+
+    Round ``r`` pairs the fixed vertex ``n-1`` with circle vertex ``r`` and
+    pairs ``(r+k) mod (n-1)`` with ``(r-k) mod (n-1)`` for each chord ``k``.
+    """
+    m = n_even - 1  # circle size
+    rounds: list[list[tuple[int, int]]] = []
+    for r in range(m):
+        pairs = [(min(r, n_even - 1), max(r, n_even - 1))]
+        for k in range(1, m // 2 + 1):
+            a = (r + k) % m
+            b = (r - k) % m
+            pairs.append((min(a, b), max(a, b)))
+        rounds.append(sorted(pairs))
+    return rounds
+
+
+def edge_coloring_complete(n: int, *, order: str = "paper") -> list[list[tuple[int, int]]]:
+    """Partition the edges of ``K_n`` into at most ``n`` matchings.
+
+    Returns a list of colour classes; each class is a sorted list of
+    0-indexed pairs ``(u, v)`` with ``u < v``, and no two pairs within a
+    class share a vertex.  For even ``n`` there are ``n`` classes, the last
+    one empty (the paper's ``P_S = emptyset`` convention); for odd ``n``
+    there are exactly ``n`` (non-empty) classes, each leaving one vertex
+    idle.
+
+    ``order="paper"`` (default) reproduces the class numbering of the
+    paper's ``K_16`` example; ``order="round"`` is plain rotation order.
+    """
+    n = check_positive_int(n, "n")
+    if order not in ("paper", "round"):
+        raise ValidationError(f"unknown order {order!r} (use paper|round)")
+    if n == 1:
+        return [[]]
+    if n % 2 == 0:
+        rounds = _circle_rounds(n)
+        if order == "paper":
+            m = n - 1
+            inv2 = pow(2, -1, m)  # m is odd, so 2 is invertible
+            ordered: list[list[tuple[int, int]]] = [[] for _ in range(m)]
+            for r, pairs in enumerate(rounds):
+                # 1-indexed chord sums in round r are congruent to 2r + 2
+                # (mod m); the paper's P_i holds sums congruent to 2i + 1.
+                signature = (2 * r + 2) % m
+                i = ((signature - 1) * inv2) % m  # solves 2i + 1 = signature
+                index = m - 1 if i == 0 else i - 1  # 1-indexed i in 1..m
+                ordered[index] = pairs
+            rounds = ordered
+        rounds.append([])  # P_S = empty set for even S
+        return rounds
+    # Odd n: run the even construction on n+1 vertices and drop the pairs
+    # that touch the dummy vertex n (each class then has one bye vertex).
+    rounds = _circle_rounds(n + 1)
+    return [[(u, v) for (u, v) in pairs if v != n] for pairs in rounds]

@@ -1,0 +1,60 @@
+"""Validity checks for complete-graph edge colourings.
+
+The parallel approximation algorithm (Algorithm 2) is only correct if every
+colour class is a matching (no shared tile between concurrent swaps) and if
+together the classes cover every pair exactly once.  These checks are the
+runtime guard and the test oracle for :mod:`repro.coloring.round_robin`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import ValidationError
+
+__all__ = ["verify_color_classes", "is_valid_complete_coloring"]
+
+ColorClasses = Sequence[Sequence[tuple[int, int]]]
+
+
+def verify_color_classes(classes: ColorClasses, n: int) -> None:
+    """Raise :class:`ValidationError` unless ``classes`` is a proper
+    edge colouring of ``K_n``: classes are matchings, pairs are normalised
+    ``u < v`` within range, every edge appears exactly once, and the number
+    of classes respects Theorem 1 (``<= n``).
+    """
+    if len(classes) > max(n, 1):
+        raise ValidationError(
+            f"{len(classes)} colour classes exceed Theorem 1 bound {n}"
+        )
+    seen: set[tuple[int, int]] = set()
+    for index, pairs in enumerate(classes):
+        used: set[int] = set()
+        for u, v in pairs:
+            if not (0 <= u < v < n):
+                raise ValidationError(
+                    f"class {index} has out-of-range or unnormalised pair ({u}, {v})"
+                )
+            if u in used or v in used:
+                raise ValidationError(
+                    f"class {index} is not a matching: vertex reused by ({u}, {v})"
+                )
+            used.add(u)
+            used.add(v)
+            if (u, v) in seen:
+                raise ValidationError(f"edge ({u}, {v}) coloured twice")
+            seen.add((u, v))
+    expected = n * (n - 1) // 2
+    if len(seen) != expected:
+        raise ValidationError(
+            f"colouring covers {len(seen)} edges of K_{n}, expected {expected}"
+        )
+
+
+def is_valid_complete_coloring(classes: ColorClasses, n: int) -> bool:
+    """Boolean form of :func:`verify_color_classes`."""
+    try:
+        verify_color_classes(classes, n)
+    except ValidationError:
+        return False
+    return True

@@ -1,0 +1,34 @@
+"""Tile-error model: cost metrics and error-matrix computation (Step 2)."""
+
+from __future__ import annotations
+
+from repro.cost.base import CostMetric, get_metric, register_metric
+from repro.cost.color import WeightedColorMetric
+from repro.cost.gradient import GradientMetric
+from repro.cost.luminance import LuminanceMetric
+from repro.cost.matrix import (
+    error_matrix,
+    total_error,
+    total_error_of_permutation,
+)
+from repro.cost.parallel_matrix import error_matrix_parallel
+from repro.cost.reference import error_matrix_reference, tile_error_reference
+from repro.cost.sad import SADMetric
+from repro.cost.ssd import SSDMetric
+
+__all__ = [
+    "CostMetric",
+    "get_metric",
+    "register_metric",
+    "SADMetric",
+    "SSDMetric",
+    "LuminanceMetric",
+    "WeightedColorMetric",
+    "GradientMetric",
+    "error_matrix",
+    "error_matrix_parallel",
+    "total_error",
+    "total_error_of_permutation",
+    "error_matrix_reference",
+    "tile_error_reference",
+]

@@ -1,0 +1,35 @@
+"""Mean-luminance metric: the cheap feature used by classic mosaic systems.
+
+``E(I_u, T_v) = M^2 * |mean(I_u) - mean(T_v)|`` — scaled by the pixel count
+so its magnitude is comparable to SAD (SAD >= this value by the triangle
+inequality, with equality for constant tiles).  O(S^2) instead of
+O(S^2 M^2), at the price of ignoring intra-tile structure; the metric
+ablation quantifies that trade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cost.base import CostMetric, register_metric
+from repro.types import TileStack
+
+__all__ = ["LuminanceMetric"]
+
+
+@register_metric
+class LuminanceMetric(CostMetric):
+    """Tile error from mean intensities only."""
+
+    name = "luminance"
+
+    def prepare(self, tiles: TileStack) -> np.ndarray:
+        tiles = np.asarray(tiles)
+        flat = tiles.reshape(tiles.shape[0], -1).astype(np.float64)
+        # Keep the *sum* rather than the mean: integer-valued for uint8
+        # tiles, so pairwise differences stay exact.
+        return flat.sum(axis=1)[:, None]
+
+    def pairwise(self, input_features: np.ndarray, target_features: np.ndarray) -> np.ndarray:
+        diff = np.abs(input_features[:, 0][:, None] - target_features[:, 0][None, :])
+        return self._as_error(diff)

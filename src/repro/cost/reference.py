@@ -1,0 +1,66 @@
+"""Pure-Python reference implementations — the "serial CPU" model.
+
+The paper's Table II compares a single-threaded scalar CPU loop against the
+GPU.  These functions are that scalar baseline: nested Python loops over
+tiles and pixels, no NumPy vectorisation in the inner loop.  They are used
+
+* as the ground truth the vectorised/GPU-simulated kernels are tested
+  against, and
+* as the measured "CPU" column of the Table II/IV reproductions.
+
+Intentionally slow — never call them on full-size workloads outside the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.types import ERROR_DTYPE, ErrorMatrix, TileStack
+
+__all__ = ["tile_error_reference", "error_matrix_reference"]
+
+
+def tile_error_reference(tile_a: np.ndarray, tile_b: np.ndarray) -> int:
+    """Paper Eq. (1) with explicit per-pixel Python loops (SAD)."""
+    tile_a = np.asarray(tile_a)
+    tile_b = np.asarray(tile_b)
+    if tile_a.shape != tile_b.shape:
+        raise ValidationError(f"tile shapes differ: {tile_a.shape} vs {tile_b.shape}")
+    flat_a = tile_a.reshape(-1).tolist()
+    flat_b = tile_b.reshape(-1).tolist()
+    total = 0
+    for pa, pb in zip(flat_a, flat_b):
+        diff = pa - pb
+        total += diff if diff >= 0 else -diff
+    return total
+
+
+def error_matrix_reference(input_tiles: TileStack, target_tiles: TileStack) -> ErrorMatrix:
+    """Step 2 as a scalar triple loop: tiles x tiles x pixels (SAD).
+
+    O(S^2 M^2) scalar operations, mirroring the paper's sequential CPU
+    implementation one-to-one.
+    """
+    input_tiles = np.asarray(input_tiles)
+    target_tiles = np.asarray(target_tiles)
+    if input_tiles.shape != target_tiles.shape:
+        raise ValidationError(
+            f"tile stacks differ: {input_tiles.shape} vs {target_tiles.shape}"
+        )
+    s = input_tiles.shape[0]
+    # Pre-flatten to Python lists once; the measured loop is the pairwise part.
+    flat_in = [tile.reshape(-1).tolist() for tile in input_tiles]
+    flat_tg = [tile.reshape(-1).tolist() for tile in target_tiles]
+    out = np.zeros((s, s), dtype=ERROR_DTYPE)
+    for u in range(s):
+        row_u = flat_in[u]
+        for v in range(s):
+            row_v = flat_tg[v]
+            total = 0
+            for pa, pb in zip(row_u, row_v):
+                diff = pa - pb
+                total += diff if diff >= 0 else -diff
+            out[u, v] = total
+    return out

@@ -1,0 +1,46 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors from NumPy or the standard library.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "ImageFormatError",
+    "TilingError",
+    "SolverError",
+    "ConvergenceError",
+    "GpuSimError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (shape, dtype, range or semantics)."""
+
+
+class ImageFormatError(ReproError, ValueError):
+    """An image file or byte stream could not be parsed or encoded."""
+
+
+class TilingError(ReproError, ValueError):
+    """An image cannot be divided into the requested tile grid."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """An assignment solver failed to produce a valid perfect matching."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative algorithm exceeded its iteration budget."""
+
+
+class GpuSimError(ReproError, RuntimeError):
+    """The virtual GPU was misused (bad launch config, memory fault, ...)."""

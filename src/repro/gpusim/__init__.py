@@ -1,0 +1,46 @@
+"""Virtual GPU: a CUDA-like SIMT execution model with a performance model.
+
+This package is the reproduction's substitute for the paper's Tesla K40
+(see DESIGN.md).  It provides
+
+* :class:`~repro.gpusim.device.DeviceProperties` — hardware descriptions
+  (a K40-class GPU and a Core-i7-class scalar CPU);
+* :class:`~repro.gpusim.memory.GlobalMemory` /
+  :class:`~repro.gpusim.memory.SharedMemory` — the two CUDA memory spaces,
+  with byte-traffic accounting;
+* :func:`~repro.gpusim.kernel.launch_kernel` — grid/block kernel launches
+  whose thread lanes execute as lock-step NumPy vector operations
+  (:mod:`repro.gpusim.simt`);
+* :class:`~repro.gpusim.perfmodel.PerformanceModel` — an analytic timing
+  model calibrated to the paper's published measurements, used for the
+  "paper-scale" columns of the Table II-IV reproductions;
+* the two kernels of Section V (:mod:`repro.gpusim.kernels`).
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.device import CORE_I7_3770, TESLA_K40, DeviceProperties
+from repro.gpusim.kernel import KernelStats, launch_kernel
+from repro.gpusim.memory import GlobalMemory, SharedMemory
+from repro.gpusim.occupancy import OccupancyReport, best_block_dim, occupancy
+from repro.gpusim.perfmodel import PerformanceModel
+from repro.gpusim.roofline import RooflineEstimate, estimate_kernel_time
+from repro.gpusim.trace import SimulatedTimeline, TraceEvent
+
+__all__ = [
+    "SimulatedTimeline",
+    "TraceEvent",
+    "RooflineEstimate",
+    "estimate_kernel_time",
+    "OccupancyReport",
+    "occupancy",
+    "best_block_dim",
+    "DeviceProperties",
+    "TESLA_K40",
+    "CORE_I7_3770",
+    "GlobalMemory",
+    "SharedMemory",
+    "launch_kernel",
+    "KernelStats",
+    "PerformanceModel",
+]

@@ -1,0 +1,103 @@
+"""Hardware descriptions for the virtual GPU and the reference CPU.
+
+Numbers for :data:`TESLA_K40` follow NVIDIA's published specification
+(paper ref [23]); :data:`CORE_I7_3770` describes one core of the paper's
+host CPU at its 3.9 GHz turbo clock.  The *effective* throughput constants
+used for time prediction live in :mod:`repro.gpusim.perfmodel` — raw peak
+numbers never predict real kernels well, so the model is calibrated against
+the paper's measured tables instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+
+__all__ = ["DeviceProperties", "TESLA_K40", "CORE_I7_3770"]
+
+
+@dataclass(frozen=True)
+class DeviceProperties:
+    """Static properties of an execution device.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    sm_count:
+        Streaming multiprocessors (1 for a CPU core).
+    cores_per_sm:
+        Scalar lanes per SM.
+    clock_hz:
+        Core clock.
+    mem_bandwidth:
+        Peak DRAM bandwidth, bytes/second.
+    shared_mem_per_block:
+        Shared-memory capacity available to one block, bytes.
+    max_threads_per_block:
+        Launch-config upper bound.
+    warp_size:
+        SIMT width (lanes that execute in lock step).
+    kernel_launch_overhead:
+        Fixed host-side cost per kernel launch, seconds.
+    """
+
+    name: str
+    sm_count: int
+    cores_per_sm: int
+    clock_hz: float
+    mem_bandwidth: float
+    shared_mem_per_block: int
+    max_threads_per_block: int
+    warp_size: int
+    kernel_launch_overhead: float
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "sm_count",
+            "cores_per_sm",
+            "shared_mem_per_block",
+            "max_threads_per_block",
+            "warp_size",
+        ):
+            if getattr(self, field_name) < 1:
+                raise ValidationError(f"{field_name} must be >= 1")
+        if self.clock_hz <= 0 or self.mem_bandwidth <= 0:
+            raise ValidationError("clock_hz and mem_bandwidth must be positive")
+        if self.kernel_launch_overhead < 0:
+            raise ValidationError("kernel_launch_overhead must be non-negative")
+
+    @property
+    def total_cores(self) -> int:
+        """Total scalar lanes."""
+        return self.sm_count * self.cores_per_sm
+
+
+#: The paper's GPU: Tesla K40, 15 SMX x 192 cores at 875 MHz boost,
+#: 288 GB/s GDDR5, 48 KiB shared memory per block.
+TESLA_K40 = DeviceProperties(
+    name="NVIDIA Tesla K40",
+    sm_count=15,
+    cores_per_sm=192,
+    clock_hz=875e6,
+    mem_bandwidth=288e9,
+    shared_mem_per_block=48 * 1024,
+    max_threads_per_block=1024,
+    warp_size=32,
+    kernel_launch_overhead=5e-6,
+)
+
+#: One core of the paper's host CPU (Core i7-3770 at 3.9 GHz turbo),
+#: modelled as a 1-lane device with no launch overhead.
+CORE_I7_3770 = DeviceProperties(
+    name="Intel Core i7-3770 (1 thread)",
+    sm_count=1,
+    cores_per_sm=1,
+    clock_hz=3.9e9,
+    mem_bandwidth=25.6e9,
+    shared_mem_per_block=32 * 1024,  # L1 data cache as the analogue
+    max_threads_per_block=1,
+    warp_size=1,
+    kernel_launch_overhead=0.0,
+)

@@ -1,0 +1,121 @@
+"""Kernel-launch API for the virtual GPU.
+
+A kernel is a Python callable ``kernel(ctx, *args)`` where ``ctx`` is a
+:class:`BlockContext` giving it CUDA's view of the world: its block index,
+the launch dimensions, a fresh :class:`~repro.gpusim.memory.SharedMemory`,
+the device :class:`~repro.gpusim.memory.GlobalMemory`, and the SIMT lane
+vector (``ctx.lanes`` — the ``threadIdx.x`` values, to be used as a NumPy
+index so "each thread" computes one slot of a vector operation).
+
+:func:`launch_kernel` validates the launch configuration against the
+device limits and hands execution to :mod:`repro.gpusim.simt`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import GpuSimError
+from repro.gpusim.device import DeviceProperties
+from repro.gpusim.memory import GlobalMemory, SharedMemory
+
+__all__ = ["BlockContext", "KernelStats", "launch_kernel"]
+
+
+@dataclass
+class KernelStats:
+    """Aggregate execution counters for one or more launches.
+
+    ``lane_ops`` counts scalar operations as reported by kernels via
+    :meth:`BlockContext.count_ops`; together with the global-memory byte
+    counters it feeds the roofline estimate in
+    :class:`~repro.gpusim.perfmodel.PerformanceModel`.
+    """
+
+    launches: int = 0
+    blocks: int = 0
+    lane_ops: int = 0
+    barriers: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def merge(self, other: "KernelStats") -> None:
+        self.launches += other.launches
+        self.blocks += other.blocks
+        self.lane_ops += other.lane_ops
+        self.barriers += other.barriers
+
+
+class BlockContext:
+    """What one thread block sees while executing."""
+
+    def __init__(
+        self,
+        block_idx: int,
+        grid_dim: int,
+        block_dim: int,
+        global_mem: GlobalMemory,
+        shared: SharedMemory,
+        stats: KernelStats,
+    ) -> None:
+        self.block_idx = block_idx
+        self.grid_dim = grid_dim
+        self.block_dim = block_dim
+        self.global_mem = global_mem
+        self.shared = shared
+        self._stats = stats
+        #: threadIdx.x for every lane of the block, in lock step.
+        self.lanes = np.arange(block_dim, dtype=np.intp)
+
+    def global_thread_ids(self) -> np.ndarray:
+        """``blockIdx.x * blockDim.x + threadIdx.x`` for every lane."""
+        return self.block_idx * self.block_dim + self.lanes
+
+    def count_ops(self, n: int) -> None:
+        """Report ``n`` scalar lane operations to the stats counter."""
+        if n < 0:
+            raise GpuSimError(f"negative op count {n}")
+        self._stats.lane_ops += int(n)
+
+    def syncthreads(self) -> None:
+        """Block-level barrier.
+
+        Lane execution is already lock-step in this simulator, so the
+        barrier only increments a counter — but kernels still call it where
+        CUDA would require it, keeping them portable to a real backend.
+        """
+        self._stats.barriers += 1
+
+
+def launch_kernel(
+    device: DeviceProperties,
+    global_mem: GlobalMemory,
+    kernel: Callable[..., None],
+    *args: object,
+    grid_dim: int,
+    block_dim: int,
+    stats: KernelStats | None = None,
+) -> KernelStats:
+    """Launch ``kernel`` over ``grid_dim`` blocks of ``block_dim`` threads.
+
+    Returns the :class:`KernelStats` for the launch (merged into ``stats``
+    when one is passed in).  Raises :class:`GpuSimError` for launch
+    configurations the device cannot execute.
+    """
+    if grid_dim < 1:
+        raise GpuSimError(f"grid_dim must be >= 1, got {grid_dim}")
+    if not 1 <= block_dim <= device.max_threads_per_block:
+        raise GpuSimError(
+            f"block_dim {block_dim} outside 1..{device.max_threads_per_block} "
+            f"for {device.name}"
+        )
+    from repro.gpusim.simt import execute_grid  # deferred: avoids module cycle
+
+    local = KernelStats(launches=1)
+    execute_grid(device, global_mem, kernel, args, grid_dim, block_dim, local)
+    if stats is not None:
+        stats.merge(local)
+        return stats
+    return local

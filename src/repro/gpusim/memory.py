@@ -1,0 +1,128 @@
+"""CUDA-style memory spaces for the virtual GPU.
+
+:class:`GlobalMemory` models the off-chip DRAM: named buffers allocated by
+the host, visible to every block, with all traffic metered (the performance
+model consumes the byte counters).  :class:`SharedMemory` models the
+per-block on-chip scratchpad: capacity-checked, zeroed at block start and
+inaccessible to other blocks — the isolation rule CUDA enforces and kernels
+must be written against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GpuSimError
+
+__all__ = ["GlobalMemory", "SharedMemory"]
+
+
+class GlobalMemory:
+    """Named device-global buffers with byte-traffic accounting."""
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+        self.bytes_allocated = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def alloc(self, name: str, shape: tuple[int, ...], dtype: np.dtype | type) -> np.ndarray:
+        """Allocate a zeroed buffer; returns it for host-side inspection."""
+        if name in self._buffers:
+            raise GpuSimError(f"global buffer {name!r} already allocated")
+        buf = np.zeros(shape, dtype=dtype)
+        self._buffers[name] = buf
+        self.bytes_allocated += buf.nbytes
+        return buf
+
+    def upload(self, name: str, host_array: np.ndarray) -> np.ndarray:
+        """Host-to-device copy (cudaMemcpy H2D): allocates and fills."""
+        if name in self._buffers:
+            raise GpuSimError(f"global buffer {name!r} already allocated")
+        buf = np.array(host_array, copy=True)
+        self._buffers[name] = buf
+        self.bytes_allocated += buf.nbytes
+        self.bytes_written += buf.nbytes
+        return buf
+
+    def attach(self, name: str, host_array: np.ndarray) -> np.ndarray:
+        """Register ``host_array`` as a device buffer *without copying*.
+
+        Models a long-lived device-resident buffer (the paper keeps the
+        error matrix and permutation on the device across kernel launches):
+        writes through the device API mutate the caller's array, and no
+        upload traffic is metered.
+        """
+        if name in self._buffers:
+            raise GpuSimError(f"global buffer {name!r} already allocated")
+        host_array = np.asarray(host_array)
+        self._buffers[name] = host_array
+        self.bytes_allocated += host_array.nbytes
+        return host_array
+
+    def download(self, name: str) -> np.ndarray:
+        """Device-to-host copy (cudaMemcpy D2H): returns a host copy."""
+        buf = self.buffer(name)
+        self.bytes_read += buf.nbytes
+        return buf.copy()
+
+    def buffer(self, name: str) -> np.ndarray:
+        """Raw device buffer (device-side view; kernels use read()/write())."""
+        buf = self._buffers.get(name)
+        if buf is None:
+            raise GpuSimError(f"no global buffer named {name!r}")
+        return buf
+
+    def read(self, name: str, index: object) -> np.ndarray:
+        """Metered device read ``buffer[name][index]``."""
+        value = self.buffer(name)[index]
+        self.bytes_read += np.asarray(value).nbytes
+        return value
+
+    def write(self, name: str, index: object, value: np.ndarray) -> None:
+        """Metered device write ``buffer[name][index] = value``."""
+        buf = self.buffer(name)
+        buf[index] = value
+        self.bytes_written += np.asarray(value).nbytes
+
+    def free(self, name: str) -> None:
+        """Release a buffer."""
+        buf = self._buffers.pop(name, None)
+        if buf is None:
+            raise GpuSimError(f"no global buffer named {name!r}")
+        self.bytes_allocated -= buf.nbytes
+
+
+class SharedMemory:
+    """Per-block scratchpad with a hard capacity limit."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 1:
+            raise GpuSimError(f"shared memory capacity must be >= 1, got {capacity_bytes}")
+        self.capacity_bytes = int(capacity_bytes)
+        self._arrays: dict[str, np.ndarray] = {}
+        self._used = 0
+
+    @property
+    def bytes_used(self) -> int:
+        return self._used
+
+    def alloc(self, name: str, shape: tuple[int, ...], dtype: np.dtype | type) -> np.ndarray:
+        """Allocate a zeroed shared array; raises on capacity overflow."""
+        if name in self._arrays:
+            raise GpuSimError(f"shared array {name!r} already allocated")
+        arr = np.zeros(shape, dtype=dtype)
+        if self._used + arr.nbytes > self.capacity_bytes:
+            raise GpuSimError(
+                f"shared memory overflow: {self._used + arr.nbytes} bytes "
+                f"requested, capacity {self.capacity_bytes}"
+            )
+        self._arrays[name] = arr
+        self._used += arr.nbytes
+        return arr
+
+    def get(self, name: str) -> np.ndarray:
+        arr = self._arrays.get(name)
+        if arr is None:
+            raise GpuSimError(f"no shared array named {name!r}")
+        return arr

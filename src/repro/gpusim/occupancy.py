@@ -1,0 +1,108 @@
+"""CUDA-style occupancy calculator for the virtual GPU.
+
+Section V's kernels pick block sizes (the paper uses "multiple threads" per
+block without elaborating); this module provides the standard tooling for
+that choice: given a device and a kernel's per-block resource footprint,
+compute how many blocks fit on one SM, the resulting warp occupancy, and
+the block size maximising it.
+
+The model covers the three classic limiters — threads per SM, blocks per
+SM, and shared memory per SM — which are the ones the paper's kernels can
+actually hit (they use no register pressure worth modelling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+from repro.gpusim.device import DeviceProperties
+
+__all__ = ["OccupancyReport", "occupancy", "best_block_dim"]
+
+# K40-class SM limits (Kepler SMX), used as defaults; callers can override.
+_DEFAULT_MAX_THREADS_PER_SM = 2048
+_DEFAULT_MAX_BLOCKS_PER_SM = 16
+_DEFAULT_SHARED_PER_SM = 48 * 1024
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """Occupancy of one launch configuration on one SM."""
+
+    block_dim: int
+    blocks_per_sm: int
+    active_threads: int
+    max_threads_per_sm: int
+    limiter: str
+
+    @property
+    def occupancy(self) -> float:
+        """Active threads / device maximum, in ``[0, 1]``."""
+        return self.active_threads / self.max_threads_per_sm
+
+
+def occupancy(
+    device: DeviceProperties,
+    block_dim: int,
+    shared_bytes_per_block: int = 0,
+    *,
+    max_threads_per_sm: int = _DEFAULT_MAX_THREADS_PER_SM,
+    max_blocks_per_sm: int = _DEFAULT_MAX_BLOCKS_PER_SM,
+    shared_per_sm: int = _DEFAULT_SHARED_PER_SM,
+) -> OccupancyReport:
+    """Occupancy of ``block_dim``-thread blocks on ``device``.
+
+    Returns the per-SM block count under the binding limiter and the
+    fraction of the SM's thread capacity kept active.
+    """
+    if not 1 <= block_dim <= device.max_threads_per_block:
+        raise ValidationError(
+            f"block_dim {block_dim} outside 1..{device.max_threads_per_block}"
+        )
+    if shared_bytes_per_block < 0:
+        raise ValidationError("shared_bytes_per_block must be >= 0")
+    if shared_bytes_per_block > device.shared_mem_per_block:
+        raise ValidationError(
+            f"kernel needs {shared_bytes_per_block} B shared memory, block "
+            f"limit is {device.shared_mem_per_block} B"
+        )
+    limits = {
+        "threads": max_threads_per_sm // block_dim,
+        "blocks": max_blocks_per_sm,
+        "shared_memory": (
+            shared_per_sm // shared_bytes_per_block
+            if shared_bytes_per_block > 0
+            else max_blocks_per_sm
+        ),
+    }
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = max(0, limits[limiter])
+    return OccupancyReport(
+        block_dim=block_dim,
+        blocks_per_sm=blocks,
+        active_threads=blocks * block_dim,
+        max_threads_per_sm=max_threads_per_sm,
+        limiter=limiter,
+    )
+
+
+def best_block_dim(
+    device: DeviceProperties,
+    shared_bytes_per_block: int = 0,
+    *,
+    candidates: tuple[int, ...] = (32, 64, 128, 256, 512, 1024),
+) -> OccupancyReport:
+    """Pick the candidate block size with the highest occupancy.
+
+    Ties break toward smaller blocks (finer scheduling granularity), the
+    conventional CUDA guidance.
+    """
+    feasible = [c for c in candidates if c <= device.max_threads_per_block]
+    if not feasible:
+        raise ValidationError(
+            f"no candidate block size fits {device.name}'s limit "
+            f"{device.max_threads_per_block}"
+        )
+    reports = [occupancy(device, c, shared_bytes_per_block) for c in feasible]
+    return max(reports, key=lambda r: (r.occupancy, -r.block_dim))

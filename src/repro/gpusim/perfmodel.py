@@ -1,0 +1,164 @@
+"""Analytic performance model calibrated to the paper's measurements.
+
+The reproduction has no physical K40, so absolute paper-scale timings come
+from this model rather than from wall clocks.  The model has two parts:
+
+* **throughput terms** — each algorithm's operation count is exact
+  (``S * N^2`` pixel comparisons for Step 2; ``k * S(S-1)/2`` pair tests per
+  local-search run; ``S`` kernel launches per parallel sweep), and each
+  device contributes an effective rate plus per-launch overhead.  The
+  rates are calibrated once against the paper's Tables II/III (see the
+  constants below and EXPERIMENTS.md for the fit quality).
+* **anchored power law** — the optimization algorithm's matching time
+  (Blossom V, not reimplemented at the paper's scale) is log-log
+  interpolated between the paper's own anchors.
+
+The model intentionally predicts the *paper's* hardware, not this
+machine; measured columns in the benchmark harness come from real timings
+of the Python implementations instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+
+__all__ = ["PerformanceModel", "interpolate_loglog"]
+
+# Effective rates fitted to the paper's tables (see EXPERIMENTS.md):
+#   Table II CPU times are S * N^2 pixel comparisons at ~1.7e8/s
+#   (e.g. N=2048, S=64^2: 4096 * 2048^2 / 1.7e8 = 101 s vs measured 98.5 s).
+_CPU_PIXEL_RATE = 1.7e8  # pixel comparisons / s, scalar single thread
+_GPU_PIXEL_RATE = 1.2e10  # pixel comparisons / s, K40 SAD kernel
+_GPU_ERROR_LAUNCH_OVERHEAD = 2.5e-3  # one Step-2 launch incl. staging, s
+
+#   Table III approximation CPU: k * S(S-1)/2 pair tests at ~2.4e7/s
+#   (S=64^2, k=16: 16 * 8.39e6 / 2.4e7 = 5.6 s vs measured 6.7-7.5 s).
+_CPU_PAIR_RATE = 2.4e7  # swap tests / s, scalar
+_GPU_PAIR_RATE = 5e9  # swap tests / s inside a kernel
+_GPU_SWAP_LAUNCH_OVERHEAD = 5e-6  # per colour-class kernel launch, s
+
+# Paper-reported sweep counts k for S = 16^2, 32^2, 64^2 (Section IV-A).
+_SWEEP_ANCHORS = {256: 9, 1024: 8, 4096: 16}
+
+# Paper-reported Blossom V matching times (Table III, averaged over N since
+# Step 3 does not depend on N).
+_MATCHING_ANCHORS = {256: 0.067, 1024: 15.694, 4096: 1264.378}
+
+
+def interpolate_loglog(anchors: dict[int, float], x: float) -> float:
+    """Piecewise power-law interpolation through ``anchors``.
+
+    Between anchors the value follows the local power law; outside the
+    anchor range the nearest segment's exponent extrapolates.  Exact at
+    every anchor.
+    """
+    if x <= 0:
+        raise ValidationError(f"x must be positive, got {x}")
+    if len(anchors) < 2:
+        raise ValidationError("need at least two anchors")
+    xs = sorted(anchors)
+    if x <= xs[0]:
+        lo, hi = xs[0], xs[1]
+    elif x >= xs[-1]:
+        lo, hi = xs[-2], xs[-1]
+    else:
+        lo = max(p for p in xs if p <= x)
+        hi = min(p for p in xs if p >= x)
+        if lo == hi:
+            return anchors[lo]
+    exponent = math.log(anchors[hi] / anchors[lo]) / math.log(hi / lo)
+    return anchors[lo] * (x / lo) ** exponent
+
+
+@dataclass(frozen=True)
+class PerformanceModel:
+    """Timing predictions for the paper's CPU/GPU pair.
+
+    All methods take the image side ``n`` and/or tile count ``s`` and
+    return predicted seconds on the *paper's* hardware.
+    """
+
+    cpu_pixel_rate: float = _CPU_PIXEL_RATE
+    gpu_pixel_rate: float = _GPU_PIXEL_RATE
+    gpu_error_launch_overhead: float = _GPU_ERROR_LAUNCH_OVERHEAD
+    cpu_pair_rate: float = _CPU_PAIR_RATE
+    gpu_pair_rate: float = _GPU_PAIR_RATE
+    gpu_swap_launch_overhead: float = _GPU_SWAP_LAUNCH_OVERHEAD
+
+    @staticmethod
+    def _check(n: int | None, s: int) -> None:
+        if n is not None and n < 1:
+            raise ValidationError(f"n must be >= 1, got {n}")
+        if s < 1:
+            raise ValidationError(f"s must be >= 1, got {s}")
+
+    def expected_sweeps(self, s: int) -> int:
+        """Paper-anchored estimate of the local-search sweep count ``k``."""
+        self._check(None, s)
+        if s in _SWEEP_ANCHORS:
+            return _SWEEP_ANCHORS[s]
+        return max(1, round(interpolate_loglog(
+            {k: float(v) for k, v in _SWEEP_ANCHORS.items()}, s
+        )))
+
+    def error_matrix_time(self, n: int, s: int, device: str) -> float:
+        """Step 2: the S x S SAD matrix costs exactly ``s * n^2`` comparisons."""
+        self._check(n, s)
+        work = s * n * n
+        if device == "cpu":
+            return work / self.cpu_pixel_rate
+        if device == "gpu":
+            return self.gpu_error_launch_overhead + work / self.gpu_pixel_rate
+        raise ValidationError(f"unknown device {device!r} (use cpu|gpu)")
+
+    def matching_time(self, s: int) -> float:
+        """Step 3, optimization algorithm (CPU only, as in the paper)."""
+        self._check(None, s)
+        return interpolate_loglog(_MATCHING_ANCHORS, s)
+
+    def approximation_time(self, s: int, device: str, sweeps: int | None = None) -> float:
+        """Step 3, local search: ``k`` full sweeps of ``S(S-1)/2`` pair tests.
+
+        The GPU adds one kernel launch per colour class per sweep — for
+        small ``S`` that overhead dominates and the GPU *loses* to the CPU,
+        reproducing the paper's < 1x speedups at S = 16^2.
+        """
+        self._check(None, s)
+        k = self.expected_sweeps(s) if sweeps is None else sweeps
+        if k < 1:
+            raise ValidationError(f"sweeps must be >= 1, got {k}")
+        tests = k * s * (s - 1) // 2
+        if device == "cpu":
+            return tests / self.cpu_pair_rate
+        if device == "gpu":
+            launches = k * s  # S colour classes per sweep (Algorithm 2)
+            return launches * self.gpu_swap_launch_overhead + tests / self.gpu_pair_rate
+        raise ValidationError(f"unknown device {device!r} (use cpu|gpu)")
+
+    def pipeline_time(self, n: int, s: int, algorithm: str, device: str) -> float:
+        """End-to-end Step 2 + Step 3 (Table IV).
+
+        ``device="gpu"`` means the paper's accelerated variant: Step 2 on
+        the GPU always; Step 3 on the GPU only for the approximation
+        algorithm (the matching stays on the CPU — Section V).
+        """
+        if algorithm == "optimization":
+            step2 = self.error_matrix_time(n, s, device)
+            step3 = self.matching_time(s)
+            return step2 + step3
+        if algorithm == "approximation":
+            step2 = self.error_matrix_time(n, s, device)
+            step3 = self.approximation_time(s, device)
+            return step2 + step3
+        raise ValidationError(
+            f"unknown algorithm {algorithm!r} (use optimization|approximation)"
+        )
+
+    def speedup(self, n: int, s: int, algorithm: str) -> float:
+        """Predicted CPU/GPU end-to-end speedup factor (Table IV columns)."""
+        return self.pipeline_time(n, s, algorithm, "cpu") / self.pipeline_time(
+            n, s, algorithm, "gpu"
+        )

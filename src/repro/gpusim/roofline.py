@@ -1,0 +1,88 @@
+"""Roofline-style time estimation from metered kernel counters.
+
+:mod:`repro.gpusim.perfmodel` predicts from analytic operation counts;
+this module closes the loop from the *instrumented* side: a kernel run on
+the virtual GPU reports its lane-op and byte counters
+(:class:`~repro.gpusim.kernel.KernelStats` + the global memory's byte
+meters), and :func:`estimate_kernel_time` converts those into a predicted
+execution time on a given device via the classic roofline rule
+
+``time = launches * overhead + max(compute_time, memory_time)``
+
+with ``compute_time = ops / (cores * clock * ipc)`` and
+``memory_time = bytes / bandwidth``.  This gives per-kernel predictions
+for *any* device description without re-deriving operation counts by
+hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+from repro.gpusim.device import DeviceProperties
+from repro.gpusim.kernel import KernelStats
+from repro.gpusim.memory import GlobalMemory
+
+__all__ = ["RooflineEstimate", "estimate_kernel_time"]
+
+
+@dataclass(frozen=True)
+class RooflineEstimate:
+    """Breakdown of a roofline prediction (seconds)."""
+
+    compute_seconds: float
+    memory_seconds: float
+    launch_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.launch_seconds + max(self.compute_seconds, self.memory_seconds)
+
+    @property
+    def bound(self) -> str:
+        """``"compute"`` or ``"memory"``, whichever roof binds."""
+        return "compute" if self.compute_seconds >= self.memory_seconds else "memory"
+
+
+def estimate_kernel_time(
+    stats: KernelStats,
+    device: DeviceProperties,
+    *,
+    global_mem: GlobalMemory | None = None,
+    bytes_moved: int | None = None,
+    instructions_per_op: float = 4.0,
+) -> RooflineEstimate:
+    """Predict execution time for the work recorded in ``stats``.
+
+    Parameters
+    ----------
+    stats:
+        Counters accumulated by one or more kernel launches.
+    device:
+        Target device description.
+    global_mem / bytes_moved:
+        Source of the byte count: pass the kernel's
+        :class:`GlobalMemory` (its read+write meters are used) or an
+        explicit byte count.  One of the two is required.
+    instructions_per_op:
+        Scalar instructions behind one reported lane op (load, load,
+        subtract, absolute/accumulate for the SAD kernel); part of the
+        model, exposed for calibration.
+    """
+    if bytes_moved is None:
+        if global_mem is None:
+            raise ValidationError("pass either global_mem or bytes_moved")
+        bytes_moved = global_mem.bytes_read + global_mem.bytes_written
+    if bytes_moved < 0:
+        raise ValidationError(f"bytes_moved must be >= 0, got {bytes_moved}")
+    if instructions_per_op <= 0:
+        raise ValidationError(
+            f"instructions_per_op must be positive, got {instructions_per_op}"
+        )
+    throughput = device.total_cores * device.clock_hz / instructions_per_op
+    return RooflineEstimate(
+        compute_seconds=stats.lane_ops / throughput,
+        memory_seconds=bytes_moved / device.mem_bandwidth,
+        launch_seconds=stats.launches * device.kernel_launch_overhead,
+    )

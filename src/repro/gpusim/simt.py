@@ -1,0 +1,49 @@
+"""SIMT grid executor.
+
+Blocks execute one after another (their semantics are order-independent —
+CUDA gives no inter-block ordering guarantees within a launch, and kernels
+written for this simulator must not rely on any).  Each block gets a fresh
+:class:`~repro.gpusim.memory.SharedMemory`, enforcing CUDA's rule that
+blocks cannot share on-chip state.
+
+Within a block, "threads" are NumPy vector lanes: a kernel indexes its
+work by ``ctx.lanes`` / ``ctx.global_thread_ids()`` and performs whole-
+block operations as single array expressions.  That is exactly the
+lock-step warp-synchronous model — every lane executes the same
+instruction on different data — which is why results are bit-identical to
+a real data-parallel execution of the same kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.gpusim.device import DeviceProperties
+from repro.gpusim.kernel import BlockContext, KernelStats
+from repro.gpusim.memory import GlobalMemory, SharedMemory
+
+__all__ = ["execute_grid"]
+
+
+def execute_grid(
+    device: DeviceProperties,
+    global_mem: GlobalMemory,
+    kernel: Callable[..., None],
+    args: tuple[object, ...],
+    grid_dim: int,
+    block_dim: int,
+    stats: KernelStats,
+) -> None:
+    """Run every block of the launch; updates ``stats`` in place."""
+    for block_idx in range(grid_dim):
+        shared = SharedMemory(device.shared_mem_per_block)
+        ctx = BlockContext(
+            block_idx=block_idx,
+            grid_dim=grid_dim,
+            block_dim=block_dim,
+            global_mem=global_mem,
+            shared=shared,
+            stats=stats,
+        )
+        kernel(ctx, *args)
+        stats.blocks += 1

@@ -1,0 +1,93 @@
+"""Simulated execution timeline for the virtual GPU.
+
+Runs of the paper's pipeline on the simulator can be traced: each kernel
+launch contributes an event whose *duration* comes from the roofline
+estimator applied to that launch's metered counters.  The timeline then
+answers "what would the device-side wall clock have been?" — a third,
+instrumentation-driven timing estimate alongside the measured host times
+and the calibrated analytic model (see docs/gpu_model.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ValidationError
+from repro.gpusim.device import DeviceProperties, TESLA_K40
+from repro.gpusim.kernel import KernelStats
+from repro.gpusim.roofline import estimate_kernel_time
+
+__all__ = ["TraceEvent", "SimulatedTimeline"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One kernel launch on the simulated device timeline."""
+
+    name: str
+    start: float
+    duration: float
+    lane_ops: int
+    bytes_moved: int
+    bound: str
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class SimulatedTimeline:
+    """Accumulates launch events into a serialized device timeline.
+
+    The paper's kernels synchronise at every launch boundary (one launch
+    per colour class), so a serial timeline is the faithful model — there
+    is no inter-kernel overlap to account for.
+    """
+
+    device: DeviceProperties = TESLA_K40
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, name: str, stats: KernelStats, bytes_moved: int) -> TraceEvent:
+        """Append a launch; duration from the roofline estimate."""
+        if not name:
+            raise ValidationError("event name must be non-empty")
+        estimate = estimate_kernel_time(stats, self.device, bytes_moved=bytes_moved)
+        event = TraceEvent(
+            name=name,
+            start=self.total_seconds,
+            duration=estimate.total_seconds,
+            lane_ops=stats.lane_ops,
+            bytes_moved=bytes_moved,
+            bound=estimate.bound,
+        )
+        self.events.append(event)
+        return event
+
+    @property
+    def total_seconds(self) -> float:
+        return self.events[-1].end if self.events else 0.0
+
+    def by_name(self) -> dict[str, float]:
+        """Total simulated seconds per event name."""
+        totals: dict[str, float] = {}
+        for event in self.events:
+            totals[event.name] = totals.get(event.name, 0.0) + event.duration
+        return totals
+
+    def render(self, *, width: int = 48) -> str:
+        """Text Gantt chart of the timeline."""
+        if not self.events:
+            return "(empty timeline)"
+        total = self.total_seconds or 1.0
+        lines = [f"simulated timeline on {self.device.name} "
+                 f"({total * 1e3:.3f} ms total)"]
+        for event in self.events:
+            offset = int(width * event.start / total)
+            length = max(1, int(width * event.duration / total))
+            bar = " " * offset + "#" * length
+            lines.append(
+                f"{event.name:<20} |{bar:<{width}}| "
+                f"{event.duration * 1e6:9.1f} us ({event.bound})"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Image substrate: codecs, conversion, resizing, histograms, synthesis.
+
+This package replaces PIL/USC-SIPI for the reproduction: it can read and
+write Netpbm (PGM/PPM), PNG and BMP files, convert between grayscale and
+colour, resize, match histograms (the paper's pre-processing step) and
+synthesise deterministic stand-ins for the standard test images.
+"""
+
+from __future__ import annotations
+
+from repro.imaging.convert import ensure_gray, gray_to_rgb, rgb_to_gray
+from repro.imaging.draw import draw_tile_borders, montage, side_by_side
+from repro.imaging.filters import (
+    box_blur,
+    gaussian_blur,
+    gradient_magnitude,
+    sobel_gradients,
+)
+from repro.imaging.histogram import (
+    cumulative_histogram,
+    histogram,
+    histogram_equalize,
+    match_histogram,
+)
+from repro.imaging.io_bmp import write_bmp
+from repro.imaging.io_pgm import read_netpbm, write_pgm, write_ppm
+from repro.imaging.io_png import read_png, write_png
+from repro.imaging.iohub import load_image, save_image
+from repro.imaging.metrics import mae, mse, psnr, ssim
+from repro.imaging.resize import crop_to_multiple, pad_to_multiple, resize
+from repro.imaging.synthetic import STANDARD_IMAGES, standard_image, synthetic_image
+from repro.imaging.synthetic_color import standard_image_color
+
+__all__ = [
+    "ensure_gray",
+    "gray_to_rgb",
+    "rgb_to_gray",
+    "draw_tile_borders",
+    "montage",
+    "side_by_side",
+    "box_blur",
+    "gaussian_blur",
+    "gradient_magnitude",
+    "sobel_gradients",
+    "histogram",
+    "cumulative_histogram",
+    "histogram_equalize",
+    "match_histogram",
+    "read_netpbm",
+    "write_pgm",
+    "write_ppm",
+    "read_png",
+    "write_png",
+    "write_bmp",
+    "load_image",
+    "save_image",
+    "mae",
+    "mse",
+    "psnr",
+    "ssim",
+    "resize",
+    "crop_to_multiple",
+    "pad_to_multiple",
+    "STANDARD_IMAGES",
+    "standard_image",
+    "standard_image_color",
+    "synthetic_image",
+]

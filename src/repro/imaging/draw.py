@@ -1,0 +1,95 @@
+"""Figure-composition helpers: montages, tile borders, labels-free sheets.
+
+Used by the examples to build Fig.-7-style comparison sheets (several
+images side by side) and to visualise tile boundaries the way the paper's
+small-S outputs expose them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.types import AnyImage
+from repro.utils.validation import check_image, check_positive_int
+
+__all__ = ["montage", "draw_tile_borders", "side_by_side"]
+
+
+def draw_tile_borders(
+    image: AnyImage, tile_size: int, *, intensity: int = 0
+) -> AnyImage:
+    """Overlay 1-px grid lines on every tile boundary.
+
+    Returns a copy; the input is untouched.  ``intensity`` is the border
+    gray level (or applied to all channels for colour images).
+    """
+    image = check_image(image)
+    tile_size = check_positive_int(tile_size, "tile_size")
+    if not 0 <= intensity <= 255:
+        raise ValidationError(f"intensity must be in [0, 255], got {intensity}")
+    h, w = image.shape[:2]
+    if h % tile_size or w % tile_size:
+        raise ValidationError(
+            f"tile size {tile_size} does not divide image {h}x{w}"
+        )
+    out = image.copy()
+    out[::tile_size, :] = intensity
+    out[:, ::tile_size] = intensity
+    # Close the bottom/right edges so every tile is fully framed.
+    out[h - 1, :] = intensity
+    out[:, w - 1] = intensity
+    return out
+
+
+def montage(
+    images: Sequence[AnyImage],
+    *,
+    cols: int | None = None,
+    pad: int = 4,
+    background: int = 255,
+) -> AnyImage:
+    """Arrange equally-sized images into a padded grid (row-major).
+
+    All images must share shape and gray/colour kind.  Missing cells in the
+    last row are filled with the background level.
+    """
+    if not images:
+        raise ValidationError("montage needs at least one image")
+    images = [check_image(img) for img in images]
+    first = images[0]
+    for img in images[1:]:
+        if img.shape != first.shape:
+            raise ValidationError(
+                f"montage images must share shape: {img.shape} vs {first.shape}"
+            )
+    if pad < 0:
+        raise ValidationError(f"pad must be >= 0, got {pad}")
+    if not 0 <= background <= 255:
+        raise ValidationError(f"background must be in [0, 255], got {background}")
+    count = len(images)
+    if cols is None:
+        cols = int(np.ceil(np.sqrt(count)))
+    cols = check_positive_int(cols, "cols")
+    rows = (count + cols - 1) // cols
+    h, w = first.shape[:2]
+    out_shape: tuple[int, ...] = (
+        rows * h + (rows + 1) * pad,
+        cols * w + (cols + 1) * pad,
+    )
+    if first.ndim == 3:
+        out_shape = (*out_shape, 3)
+    out = np.full(out_shape, background, dtype=np.uint8)
+    for index, img in enumerate(images):
+        r, c = divmod(index, cols)
+        top = pad + r * (h + pad)
+        left = pad + c * (w + pad)
+        out[top : top + h, left : left + w] = img
+    return out
+
+
+def side_by_side(*images: AnyImage, pad: int = 4, background: int = 255) -> AnyImage:
+    """One-row montage convenience wrapper."""
+    return montage(list(images), cols=max(1, len(images)), pad=pad, background=background)

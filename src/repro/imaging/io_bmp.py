@@ -1,0 +1,68 @@
+"""BMP writer (uncompressed BITMAPINFOHEADER, 24-bit or 8-bit palette).
+
+BMP is write-only in this library: the examples emit it as a dependency-free
+viewable format next to PNG; nothing in the pipeline reads BMPs back.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import numpy as np
+
+from repro.types import AnyImage
+from repro.utils.validation import check_image
+
+__all__ = ["write_bmp"]
+
+
+def write_bmp(path: str | os.PathLike[str], image: AnyImage) -> None:
+    """Write ``image`` as a BMP file.
+
+    Grayscale images are written as 8-bit palettised BMPs with an identity
+    gray palette; colour images as 24-bit BGR.  Rows are bottom-up and padded
+    to 4-byte boundaries per the format.
+    """
+    image = check_image(image)
+    height, width = image.shape[:2]
+    if image.ndim == 2:
+        bits = 8
+        palette = bytearray()
+        for level in range(256):
+            palette += bytes((level, level, level, 0))  # BGRA palette entry
+        row_bytes = width
+        raster_rows = image
+    else:
+        bits = 24
+        palette = bytearray()
+        row_bytes = width * 3
+        raster_rows = image[:, :, ::-1]  # RGB -> BGR
+    pad = (-row_bytes) % 4
+    padded_stride = row_bytes + pad
+    raster = bytearray()
+    for row in range(height - 1, -1, -1):  # BMP stores rows bottom-up
+        raster += np.ascontiguousarray(raster_rows[row]).tobytes()
+        raster += b"\x00" * pad
+    header_size = 14 + 40 + len(palette)
+    file_size = header_size + len(raster)
+    with open(path, "wb") as fh:
+        fh.write(struct.pack("<2sIHHI", b"BM", file_size, 0, 0, header_size))
+        fh.write(
+            struct.pack(
+                "<IiiHHIIiiII",
+                40,
+                width,
+                height,
+                1,
+                bits,
+                0,  # BI_RGB, uncompressed
+                padded_stride * height,
+                2835,  # ~72 DPI
+                2835,
+                256 if bits == 8 else 0,
+                0,
+            )
+        )
+        fh.write(bytes(palette))
+        fh.write(bytes(raster))

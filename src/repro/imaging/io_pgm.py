@@ -1,0 +1,128 @@
+"""Netpbm (PGM ``P5`` / PPM ``P6`` and their ASCII forms) codec.
+
+Binary 8-bit Netpbm is the simplest lossless container for the library's
+``uint8`` images; it is also what most academic imaging pipelines of the
+paper's era consumed.  The reader accepts both binary (``P5``/``P6``) and
+ASCII (``P2``/``P3``) variants with arbitrary whitespace and ``#`` comments;
+the writers always emit the binary variants.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import re
+
+import numpy as np
+
+from repro.exceptions import ImageFormatError
+from repro.types import AnyImage
+from repro.utils.validation import check_gray_image, check_image
+
+__all__ = ["read_netpbm", "write_pgm", "write_ppm"]
+
+_TOKEN_RE = re.compile(rb"\S+")
+
+
+def _read_tokens(stream: io.BufferedIOBase, count: int) -> list[bytes]:
+    """Read ``count`` whitespace-separated tokens, skipping ``#`` comments.
+
+    Consumes exactly one whitespace byte after the final token (the Netpbm
+    spec's single-separator rule before binary raster data).
+    """
+    tokens: list[bytes] = []
+    current = b""
+    in_comment = False
+    while len(tokens) < count:
+        byte = stream.read(1)
+        if not byte:
+            raise ImageFormatError("unexpected end of Netpbm header")
+        if in_comment:
+            if byte in b"\r\n":
+                in_comment = False
+            continue
+        if byte == b"#":
+            in_comment = True
+            continue
+        if byte.isspace():
+            if current:
+                tokens.append(current)
+                current = b""
+        else:
+            current += byte
+    return tokens
+
+
+def read_netpbm(source: str | os.PathLike[str] | bytes) -> AnyImage:
+    """Read a PGM/PPM file (binary or ASCII) into a ``uint8`` array.
+
+    ``source`` may be a filesystem path or raw bytes.  Returns ``(H, W)``
+    for PGM and ``(H, W, 3)`` for PPM.  Only ``maxval <= 255`` is supported
+    (the library's pixel model is 8-bit).
+    """
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, "rb") as fh:
+            data = fh.read()
+    else:
+        data = source
+    stream = io.BytesIO(data)
+    magic = stream.read(2)
+    if magic not in (b"P2", b"P3", b"P5", b"P6"):
+        raise ImageFormatError(f"not a supported Netpbm file (magic {magic!r})")
+    ascii_form = magic in (b"P2", b"P3")
+    color = magic in (b"P3", b"P6")
+    width_tok, height_tok, maxval_tok = _read_tokens(stream, 3)
+    try:
+        width, height, maxval = int(width_tok), int(height_tok), int(maxval_tok)
+    except ValueError as exc:
+        raise ImageFormatError("malformed Netpbm header") from exc
+    if width <= 0 or height <= 0:
+        raise ImageFormatError(f"invalid Netpbm dimensions {width}x{height}")
+    if not (0 < maxval <= 255):
+        raise ImageFormatError(f"unsupported Netpbm maxval {maxval} (need 1..255)")
+    channels = 3 if color else 1
+    count = width * height * channels
+    if ascii_form:
+        raster = stream.read()
+        values = _TOKEN_RE.findall(raster)
+        if len(values) < count:
+            raise ImageFormatError(
+                f"Netpbm raster truncated: expected {count} samples, got {len(values)}"
+            )
+        flat = np.array([int(v) for v in values[:count]], dtype=np.int64)
+    else:
+        raster = stream.read(count)
+        if len(raster) < count:
+            raise ImageFormatError(
+                f"Netpbm raster truncated: expected {count} bytes, got {len(raster)}"
+            )
+        flat = np.frombuffer(raster, dtype=np.uint8, count=count).astype(np.int64)
+    if flat.max(initial=0) > maxval:
+        raise ImageFormatError("Netpbm sample exceeds declared maxval")
+    if maxval != 255:
+        # Rescale to the full 8-bit range, rounding half-up like most readers.
+        flat = (flat * 255 + maxval // 2) // maxval
+    image = flat.astype(np.uint8)
+    if color:
+        return image.reshape(height, width, 3)
+    return image.reshape(height, width)
+
+
+def write_pgm(path: str | os.PathLike[str], image: AnyImage) -> None:
+    """Write a grayscale image as binary PGM (``P5``, maxval 255)."""
+    image = check_gray_image(image)
+    header = f"P5\n{image.shape[1]} {image.shape[0]}\n255\n".encode("ascii")
+    with open(path, "wb") as fh:
+        fh.write(header)
+        fh.write(np.ascontiguousarray(image).tobytes())
+
+
+def write_ppm(path: str | os.PathLike[str], image: AnyImage) -> None:
+    """Write a colour image as binary PPM (``P6``, maxval 255)."""
+    image = check_image(image)
+    if image.ndim != 3:
+        raise ImageFormatError("write_ppm requires a (H, W, 3) colour image")
+    header = f"P6\n{image.shape[1]} {image.shape[0]}\n255\n".encode("ascii")
+    with open(path, "wb") as fh:
+        fh.write(header)
+        fh.write(np.ascontiguousarray(image).tobytes())

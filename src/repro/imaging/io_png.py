@@ -1,0 +1,161 @@
+"""Minimal PNG codec (8-bit grayscale and truecolour, no interlacing).
+
+Implements just enough of RFC 2083 for the library's needs: the writer emits
+valid single-IDAT PNGs with filter type 0 on every scanline; the reader
+handles 8-bit grayscale (colour type 0) and RGB (colour type 2) images with
+all five scanline filters, multiple IDAT chunks, and verifies CRCs.
+
+The codec exists so outputs of the examples and benchmarks open in any
+viewer without PIL being installed.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+import numpy as np
+
+from repro.exceptions import ImageFormatError
+from repro.types import AnyImage
+from repro.utils.validation import check_image
+
+__all__ = ["read_png", "write_png"]
+
+_PNG_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+
+def _chunk(tag: bytes, payload: bytes) -> bytes:
+    """Serialise one PNG chunk (length, tag, payload, CRC32)."""
+    return (
+        struct.pack(">I", len(payload))
+        + tag
+        + payload
+        + struct.pack(">I", zlib.crc32(tag + payload) & 0xFFFFFFFF)
+    )
+
+
+def write_png(path: str | os.PathLike[str], image: AnyImage, *, compress_level: int = 6) -> None:
+    """Write ``image`` as an 8-bit PNG (grayscale or RGB).
+
+    Every scanline uses filter type 0 (None): photomosaic outputs are noisy
+    at tile boundaries, so fancier filters rarely help, and filter 0 keeps
+    the encoder trivially correct.
+    """
+    image = check_image(image)
+    height, width = image.shape[:2]
+    color_type = 2 if image.ndim == 3 else 0
+    ihdr = struct.pack(">IIBBBBB", width, height, 8, color_type, 0, 0, 0)
+    raw = np.ascontiguousarray(image).reshape(height, -1)
+    # Prepend the per-scanline filter byte (0 = None).
+    filtered = np.empty((height, raw.shape[1] + 1), dtype=np.uint8)
+    filtered[:, 0] = 0
+    filtered[:, 1:] = raw
+    idat = zlib.compress(filtered.tobytes(), compress_level)
+    with open(path, "wb") as fh:
+        fh.write(_PNG_SIGNATURE)
+        fh.write(_chunk(b"IHDR", ihdr))
+        fh.write(_chunk(b"IDAT", idat))
+        fh.write(_chunk(b"IEND", b""))
+
+
+def _unfilter(filtered: np.ndarray, height: int, stride: int, bpp: int) -> np.ndarray:
+    """Undo PNG scanline filtering; returns raw bytes of shape (H, stride)."""
+    out = np.zeros((height, stride), dtype=np.uint8)
+    for row in range(height):
+        ftype = int(filtered[row, 0])
+        line = filtered[row, 1:].astype(np.int32)
+        prev = out[row - 1].astype(np.int32) if row > 0 else np.zeros(stride, dtype=np.int32)
+        if ftype == 0:  # None
+            recon = line
+        elif ftype == 1:  # Sub
+            recon = line.copy()
+            for i in range(bpp, stride):
+                recon[i] = (recon[i] + recon[i - bpp]) & 0xFF
+        elif ftype == 2:  # Up
+            recon = (line + prev) & 0xFF
+        elif ftype == 3:  # Average
+            recon = line.copy()
+            for i in range(stride):
+                left = recon[i - bpp] if i >= bpp else 0
+                recon[i] = (recon[i] + (left + prev[i]) // 2) & 0xFF
+        elif ftype == 4:  # Paeth
+            recon = line.copy()
+            for i in range(stride):
+                left = int(recon[i - bpp]) if i >= bpp else 0
+                up = int(prev[i])
+                upleft = int(prev[i - bpp]) if i >= bpp else 0
+                p = left + up - upleft
+                pa, pb, pc = abs(p - left), abs(p - up), abs(p - upleft)
+                if pa <= pb and pa <= pc:
+                    pred = left
+                elif pb <= pc:
+                    pred = up
+                else:
+                    pred = upleft
+                recon[i] = (recon[i] + pred) & 0xFF
+        else:
+            raise ImageFormatError(f"unsupported PNG filter type {ftype}")
+        out[row] = recon.astype(np.uint8)
+    return out
+
+
+def read_png(source: str | os.PathLike[str] | bytes) -> AnyImage:
+    """Read an 8-bit grayscale or RGB PNG into a ``uint8`` array."""
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, "rb") as fh:
+            data = fh.read()
+    else:
+        data = source
+    if data[:8] != _PNG_SIGNATURE:
+        raise ImageFormatError("not a PNG file (bad signature)")
+    pos = 8
+    width = height = None
+    color_type = bit_depth = None
+    idat_parts: list[bytes] = []
+    while pos + 8 <= len(data):
+        (length,) = struct.unpack(">I", data[pos : pos + 4])
+        tag = data[pos + 4 : pos + 8]
+        payload = data[pos + 8 : pos + 8 + length]
+        if len(payload) != length:
+            raise ImageFormatError("truncated PNG chunk")
+        (crc,) = struct.unpack(">I", data[pos + 8 + length : pos + 12 + length])
+        if crc != (zlib.crc32(tag + payload) & 0xFFFFFFFF):
+            raise ImageFormatError(f"CRC mismatch in PNG chunk {tag!r}")
+        pos += 12 + length
+        if tag == b"IHDR":
+            width, height, bit_depth, color_type, comp, filt, interlace = struct.unpack(
+                ">IIBBBBB", payload
+            )
+            if bit_depth != 8:
+                raise ImageFormatError(f"unsupported PNG bit depth {bit_depth} (need 8)")
+            if color_type not in (0, 2):
+                raise ImageFormatError(
+                    f"unsupported PNG colour type {color_type} (need 0 or 2)"
+                )
+            if comp != 0 or filt != 0:
+                raise ImageFormatError("unsupported PNG compression/filter method")
+            if interlace != 0:
+                raise ImageFormatError("interlaced PNG not supported")
+        elif tag == b"IDAT":
+            idat_parts.append(payload)
+        elif tag == b"IEND":
+            break
+    if width is None or height is None:
+        raise ImageFormatError("PNG missing IHDR chunk")
+    if not idat_parts:
+        raise ImageFormatError("PNG missing IDAT data")
+    channels = 3 if color_type == 2 else 1
+    stride = width * channels
+    raw = zlib.decompress(b"".join(idat_parts))
+    expected = height * (stride + 1)
+    if len(raw) != expected:
+        raise ImageFormatError(
+            f"PNG raster has {len(raw)} bytes, expected {expected}"
+        )
+    filtered = np.frombuffer(raw, dtype=np.uint8).reshape(height, stride + 1)
+    image = _unfilter(filtered, height, stride, channels)
+    if channels == 3:
+        return image.reshape(height, width, 3)
+    return image.reshape(height, width)

@@ -1,0 +1,54 @@
+"""Extension-dispatched image load/save helpers."""
+
+from __future__ import annotations
+
+import os
+
+from repro.exceptions import ImageFormatError
+from repro.imaging.io_bmp import write_bmp
+from repro.imaging.io_pgm import read_netpbm, write_pgm, write_ppm
+from repro.imaging.io_png import read_png, write_png
+from repro.types import AnyImage
+
+__all__ = ["load_image", "save_image"]
+
+_READERS = {
+    ".pgm": read_netpbm,
+    ".ppm": read_netpbm,
+    ".pnm": read_netpbm,
+    ".png": read_png,
+}
+
+
+def load_image(path: str | os.PathLike[str]) -> AnyImage:
+    """Load an image, dispatching the codec on the file extension.
+
+    Supported: ``.pgm``/``.ppm``/``.pnm`` (Netpbm) and ``.png``.
+    """
+    ext = os.path.splitext(os.fspath(path))[1].lower()
+    reader = _READERS.get(ext)
+    if reader is None:
+        raise ImageFormatError(
+            f"cannot read {ext!r} files (supported: {sorted(_READERS)})"
+        )
+    return reader(path)
+
+
+def save_image(path: str | os.PathLike[str], image: AnyImage) -> None:
+    """Save an image, dispatching the codec on the file extension.
+
+    Supported: ``.pgm`` (gray), ``.ppm`` (colour), ``.png`` and ``.bmp``.
+    """
+    ext = os.path.splitext(os.fspath(path))[1].lower()
+    if ext == ".png":
+        write_png(path, image)
+    elif ext == ".bmp":
+        write_bmp(path, image)
+    elif ext == ".pgm":
+        write_pgm(path, image)
+    elif ext == ".ppm":
+        write_ppm(path, image)
+    else:
+        raise ImageFormatError(
+            f"cannot write {ext!r} files (supported: .png .bmp .pgm .ppm)"
+        )

@@ -1,0 +1,225 @@
+"""Deterministic procedural stand-ins for the USC-SIPI test images.
+
+The paper evaluates on Lena, Sailboat, Airplane, Peppers, Barbara, Baboon
+and Tiffany.  Those photographs are not redistributable here, so this module
+synthesises images with a similar *statistical character* — smooth shaded
+regions, strong edges, fine oscillating texture, highlights — from seeded
+procedural primitives.  The rearrangement algorithms only consume pixel
+arrays, and every evaluation in the paper compares algorithms *on the same
+image pair*, so a structure-rich deterministic stand-in preserves the
+comparisons (see DESIGN.md, substitutions table).
+
+All generators accept any side length ``n`` and are pixel-deterministic for
+a fixed ``(name, n, seed)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.types import GrayImage
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["STANDARD_IMAGES", "standard_image", "synthetic_image"]
+
+
+def _grid(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Normalised coordinate grid in ``[0, 1]`` (y rows, x cols)."""
+    axis = (np.arange(n) + 0.5) / n
+    return np.meshgrid(axis, axis, indexing="ij")
+
+
+def _value_noise(n: int, cells: int, rng: np.random.Generator) -> np.ndarray:
+    """Smooth value noise in ``[0, 1]``: bilinear upsampling of a coarse grid."""
+    coarse = rng.random((cells + 1, cells + 1))
+    ys = np.linspace(0, cells, n, endpoint=False)
+    xs = np.linspace(0, cells, n, endpoint=False)
+    y0 = np.floor(ys).astype(np.intp)
+    x0 = np.floor(xs).astype(np.intp)
+    fy = (ys - y0).reshape(-1, 1)
+    fx = (xs - x0).reshape(1, -1)
+    # Smoothstep fade gives C1-continuous noise, avoiding grid artefacts.
+    fy = fy * fy * (3 - 2 * fy)
+    fx = fx * fx * (3 - 2 * fx)
+    c00 = coarse[y0][:, x0]
+    c01 = coarse[y0][:, x0 + 1]
+    c10 = coarse[y0 + 1][:, x0]
+    c11 = coarse[y0 + 1][:, x0 + 1]
+    return c00 * (1 - fy) * (1 - fx) + c01 * (1 - fy) * fx + c10 * fy * (1 - fx) + c11 * fy * fx
+
+
+def _fractal_noise(n: int, rng: np.random.Generator, octaves: int = 4) -> np.ndarray:
+    """Sum of value-noise octaves, normalised to ``[0, 1]``."""
+    total = np.zeros((n, n))
+    amplitude = 1.0
+    cells = 4
+    norm = 0.0
+    for _ in range(octaves):
+        total += amplitude * _value_noise(n, min(cells, n), rng)
+        norm += amplitude
+        amplitude *= 0.5
+        cells *= 2
+    return total / norm
+
+
+def _blob(y: np.ndarray, x: np.ndarray, cy: float, cx: float, sy: float, sx: float) -> np.ndarray:
+    """Anisotropic Gaussian blob in ``[0, 1]``."""
+    return np.exp(-(((y - cy) / sy) ** 2 + ((x - cx) / sx) ** 2))
+
+
+def _to_uint8(field: np.ndarray) -> GrayImage:
+    """Rescale an arbitrary float field to the full ``[0, 255]`` range."""
+    lo = field.min()
+    hi = field.max()
+    if hi - lo < 1e-12:
+        return np.full(field.shape, 128, dtype=np.uint8)
+    scaled = (field - lo) / (hi - lo) * 255.0
+    return np.clip(np.rint(scaled), 0, 255).astype(np.uint8)
+
+
+def _portrait(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Lena stand-in: soft diagonal lighting, a dominant oval, hat-like band."""
+    y, x = _grid(n)
+    base = 0.55 + 0.3 * (x - y)  # diagonal illumination
+    face = 0.35 * _blob(y, x, 0.52, 0.55, 0.22, 0.17)
+    hat = -0.3 * _blob(y, x, 0.18, 0.45, 0.12, 0.35)
+    shoulder = -0.2 * _blob(y, x, 0.95, 0.3, 0.25, 0.3)
+    texture = 0.08 * _fractal_noise(n, rng)
+    stripes = 0.05 * np.sin(34 * np.pi * (x + 0.35 * y))  # feathery hat texture
+    return base + face + hat + shoulder + texture + stripes * _blob(y, x, 0.2, 0.5, 0.2, 0.45)
+
+
+def _sailboat(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Sailboat-on-lake stand-in: bright sky, dark shore, triangular sail."""
+    y, x = _grid(n)
+    sky = np.where(y < 0.45, 0.85 - 0.25 * y, 0.0)
+    water = np.where(y >= 0.45, 0.35 - 0.15 * (y - 0.45), 0.0)
+    ripples = 0.06 * np.sin(60 * np.pi * y) * (y >= 0.5)
+    sail = 0.5 * ((x - 0.45 < 0.35 * (0.55 - y)) & (x > 0.42) & (y > 0.15) & (y < 0.55))
+    mast = 0.4 * ((np.abs(x - 0.55) < 0.008) & (y > 0.1) & (y < 0.6))
+    trees = -0.25 * _blob(y, x, 0.42, 0.15, 0.1, 0.2) - 0.25 * _blob(y, x, 0.4, 0.85, 0.08, 0.15)
+    texture = 0.07 * _fractal_noise(n, rng)
+    return sky + water + ripples + sail + mast + trees + texture
+
+
+def _airplane(n: int, rng: np.random.Generator) -> np.ndarray:
+    """F-16 stand-in: very bright fuselage on mid-gray terrain, sharp edges."""
+    y, x = _grid(n)
+    terrain = 0.45 + 0.12 * _fractal_noise(n, rng)
+    body = 0.5 * _blob(y, x, 0.5, 0.5, 0.08, 0.32)
+    wing = 0.45 * _blob(y, x, 0.55, 0.5, 0.22, 0.1)
+    tail = 0.4 * _blob(y, x, 0.35, 0.24, 0.12, 0.05)
+    canopy = -0.2 * _blob(y, x, 0.47, 0.68, 0.03, 0.05)
+    stripes = 0.08 * np.sin(8 * np.pi * y) * (terrain < 0.5)
+    return terrain + body + wing + tail + canopy + stripes
+
+
+def _peppers(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Peppers stand-in: several large glossy rounded regions + highlights."""
+    y, x = _grid(n)
+    field = 0.35 + 0.1 * _fractal_noise(n, rng)
+    centres = [(0.3, 0.3, 0.2, 0.18), (0.35, 0.72, 0.18, 0.15), (0.7, 0.45, 0.24, 0.2),
+               (0.75, 0.82, 0.15, 0.12), (0.12, 0.55, 0.1, 0.12)]
+    for i, (cy, cx, sy, sx) in enumerate(centres):
+        sign = 1.0 if i % 2 == 0 else -0.7
+        field += 0.35 * sign * _blob(y, x, cy, cx, sy, sx)
+        field += 0.25 * _blob(y, x, cy - 0.4 * sy, cx - 0.4 * sx, sy * 0.2, sx * 0.2)
+    return field
+
+
+def _barbara(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Barbara stand-in: strong oriented high-frequency stripe texture."""
+    y, x = _grid(n)
+    base = 0.5 + 0.15 * (x - 0.5) + 0.1 * _fractal_noise(n, rng)
+    cloth1 = 0.22 * np.sin(48 * np.pi * (x + 0.6 * y)) * _blob(y, x, 0.65, 0.3, 0.3, 0.25)
+    cloth2 = 0.22 * np.sin(56 * np.pi * (y - 0.4 * x)) * _blob(y, x, 0.35, 0.75, 0.28, 0.22)
+    table = 0.18 * np.sin(30 * np.pi * x) * (y > 0.8)
+    face = 0.2 * _blob(y, x, 0.25, 0.4, 0.12, 0.1)
+    return base + cloth1 + cloth2 + table + face
+
+
+def _baboon(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Baboon stand-in: dominated by fine fur noise with a bright nose ridge."""
+    y, x = _grid(n)
+    fur = 0.5 * _fractal_noise(n, rng, octaves=6)
+    whiskers = 0.15 * np.sin(80 * np.pi * (x + 0.2 * np.sin(6 * np.pi * y)))
+    nose = 0.35 * _blob(y, x, 0.55, 0.5, 0.3, 0.07)
+    eyes = -0.3 * (_blob(y, x, 0.3, 0.36, 0.04, 0.05) + _blob(y, x, 0.3, 0.64, 0.04, 0.05))
+    return 0.3 + fur + 0.4 * whiskers * _blob(y, x, 0.6, 0.5, 0.35, 0.45) + nose + eyes
+
+
+def _tiffany(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Tiffany stand-in: bright, low-contrast portrait (high-key lighting)."""
+    y, x = _grid(n)
+    base = 0.75 - 0.08 * y
+    face = 0.12 * _blob(y, x, 0.45, 0.5, 0.25, 0.2)
+    hair = -0.18 * _blob(y, x, 0.25, 0.2, 0.25, 0.12) - 0.18 * _blob(y, x, 0.3, 0.8, 0.25, 0.1)
+    texture = 0.05 * _fractal_noise(n, rng)
+    return base + face + hair + texture
+
+
+_GENERATORS = {
+    "portrait": _portrait,  # Lena stand-in
+    "sailboat": _sailboat,
+    "airplane": _airplane,
+    "peppers": _peppers,
+    "barbara": _barbara,
+    "baboon": _baboon,
+    "tiffany": _tiffany,
+}
+
+#: Names of the available standard-image stand-ins.
+STANDARD_IMAGES: tuple[str, ...] = tuple(sorted(_GENERATORS))
+
+# Fixed per-image seeds so every (name, n) pair is globally deterministic.
+_NAME_SEEDS = {name: 1000 + idx for idx, name in enumerate(STANDARD_IMAGES)}
+
+
+def standard_image(name: str, n: int = 512) -> GrayImage:
+    """Return the deterministic ``n x n`` stand-in named ``name``.
+
+    ``name`` is one of :data:`STANDARD_IMAGES`; ``portrait`` plays the role
+    of Lena in the paper's figures.
+    """
+    n = check_positive_int(n, "n")
+    generator = _GENERATORS.get(name)
+    if generator is None:
+        raise ValidationError(
+            f"unknown standard image {name!r} (available: {', '.join(STANDARD_IMAGES)})"
+        )
+    rng = make_rng(_NAME_SEEDS[name])
+    return _to_uint8(generator(n, rng))
+
+
+def synthetic_image(
+    n: int = 512,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    smoothness: float = 0.5,
+    contrast: float = 1.0,
+) -> GrayImage:
+    """Generate a generic random test image.
+
+    ``smoothness`` in ``[0, 1]`` blends fine fractal noise (0) against a
+    large-scale blob composition (1); ``contrast`` scales the deviation from
+    mid-gray before requantisation.  Used by property tests and workload
+    generators that need many distinct images.
+    """
+    n = check_positive_int(n, "n")
+    if not 0.0 <= smoothness <= 1.0:
+        raise ValidationError(f"smoothness must be in [0, 1], got {smoothness}")
+    if contrast <= 0:
+        raise ValidationError(f"contrast must be positive, got {contrast}")
+    rng = make_rng(seed)
+    fine = _fractal_noise(n, rng, octaves=5)
+    y, x = _grid(n)
+    coarse = np.zeros((n, n))
+    for _ in range(5):
+        cy, cx = rng.random(2)
+        sy, sx = 0.1 + 0.3 * rng.random(2)
+        coarse += (rng.random() - 0.3) * _blob(y, x, cy, cx, sy, sx)
+    field = (1 - smoothness) * fine + smoothness * coarse
+    field = 0.5 + contrast * (field - field.mean())
+    return _to_uint8(field)

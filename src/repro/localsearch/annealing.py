@@ -1,0 +1,156 @@
+"""Simulated-annealing rearrangement (extension beyond the paper).
+
+Algorithm 1 terminates at a 2-opt local optimum, which Table I shows is
+1.7-2.3% above the true optimum.  Annealing closes part of that gap
+without the O(S^3) matching: random pair swaps are accepted when improving
+and with probability ``exp(gain / T)`` when not, under a geometric cooling
+schedule, and the run ends with a plain local-search polish so the result
+is still 2-opt optimal.
+
+Everything is integer error arithmetic; only the Metropolis test uses
+floats.  Fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.localsearch.base import ConvergenceTrace, LocalSearchResult
+from repro.localsearch.serial import local_search_serial
+from repro.tiles.permutation import identity_permutation
+from repro.types import ErrorMatrix, PermutationArray
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_error_matrix, check_permutation
+
+__all__ = ["simulated_annealing"]
+
+
+def simulated_annealing(
+    matrix: ErrorMatrix,
+    initial: PermutationArray | None = None,
+    *,
+    seed: int | np.random.Generator = 0,
+    initial_temperature: float | None = None,
+    cooling: float = 0.95,
+    steps_per_temperature: int | None = None,
+    min_temperature: float = 0.5,
+    polish: bool = True,
+) -> LocalSearchResult:
+    """Anneal a rearrangement, then (optionally) polish with Algorithm 1.
+
+    Parameters
+    ----------
+    matrix:
+        Error matrix ``E[u, v]``.
+    initial:
+        Starting rearrangement (identity when omitted).
+    seed:
+        RNG seed; results are deterministic per seed.
+    initial_temperature:
+        Starting temperature; defaults to the mean absolute swap gain of a
+        random sample, so roughly half of all proposals start accepted.
+    cooling:
+        Geometric cooling factor in ``(0, 1)``.
+    steps_per_temperature:
+        Proposals per temperature level; defaults to ``4 * S``.
+    min_temperature:
+        Stop annealing below this temperature.
+    polish:
+        Run Algorithm 1 afterwards so the output is 2-opt optimal.
+    """
+    matrix = check_error_matrix(matrix)
+    s = matrix.shape[0]
+    if initial is None:
+        perm = identity_permutation(s)
+    else:
+        perm = check_permutation(initial, s).copy()
+    if not 0.0 < cooling < 1.0:
+        raise ValidationError(f"cooling must be in (0, 1), got {cooling}")
+    if min_temperature <= 0:
+        raise ValidationError(f"min_temperature must be positive, got {min_temperature}")
+    rng = make_rng(seed)
+    steps = steps_per_temperature if steps_per_temperature is not None else 4 * s
+    if steps < 1:
+        raise ValidationError(f"steps_per_temperature must be >= 1, got {steps}")
+
+    positions = np.arange(s)
+    current = int(matrix[perm, positions].sum())
+    best_perm = perm.copy()
+    best = current
+
+    if initial_temperature is None:
+        # Sample the gain scale so acceptance starts permissive.
+        sample = min(256, s * (s - 1) // 2) or 1
+        a = rng.integers(0, s, size=sample)
+        b = rng.integers(0, s, size=sample)
+        gains = (
+            matrix[perm[a], a]
+            + matrix[perm[b], b]
+            - matrix[perm[b], a]
+            - matrix[perm[a], b]
+        )
+        initial_temperature = float(np.abs(gains).mean()) or 1.0
+    if initial_temperature <= 0:
+        raise ValidationError(
+            f"initial_temperature must be positive, got {initial_temperature}"
+        )
+
+    temperature = initial_temperature
+    totals: list[int] = []
+    accepted_counts: list[int] = []
+    if s > 1:
+        while temperature > min_temperature:
+            accepted = 0
+            pair_a = rng.integers(0, s, size=steps)
+            pair_b = rng.integers(0, s, size=steps)
+            uniforms = rng.random(steps)
+            for idx in range(steps):
+                u = int(pair_a[idx])
+                v = int(pair_b[idx])
+                if u == v:
+                    continue
+                tile_u = perm[u]
+                tile_v = perm[v]
+                gain = int(
+                    matrix[tile_u, u]
+                    + matrix[tile_v, v]
+                    - matrix[tile_v, u]
+                    - matrix[tile_u, v]
+                )
+                if gain > 0 or uniforms[idx] < math.exp(
+                    min(0.0, gain / temperature)
+                ):
+                    perm[u] = tile_v
+                    perm[v] = tile_u
+                    current -= gain
+                    accepted += 1
+                    if current < best:
+                        best = current
+                        best_perm = perm.copy()
+            totals.append(current)
+            accepted_counts.append(accepted)
+            temperature *= cooling
+
+    # Keep the best permutation ever seen, not the last one.
+    perm = best_perm
+    annealing_levels = len(totals)
+    if polish:
+        polished = local_search_serial(matrix, perm, strategy="best_row")
+        perm = polished.permutation
+        totals.append(polished.total)
+        accepted_counts.append(polished.trace.total_swaps)
+    final = int(matrix[perm, positions].sum())
+    return LocalSearchResult(
+        permutation=perm,
+        total=final,
+        trace=ConvergenceTrace(tuple(accepted_counts), tuple(totals or [final])),
+        strategy="annealing",
+        meta={
+            "initial_temperature": initial_temperature,
+            "temperature_levels": annealing_levels,
+            "polished": polish,
+        },
+    )

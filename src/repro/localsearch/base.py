@@ -1,0 +1,77 @@
+"""Shared types and primitives for the local-search algorithms.
+
+Both algorithms operate on the precomputed error matrix ``E[u, v]`` and a
+permutation ``p`` (``p[v]`` = input tile at target position ``v``).  The
+swap test at positions ``(a, b)`` is the paper's line 4:
+
+``E(I_a, T_a) + E(I_b, T_b) > E(I_b, T_a) + E(I_a, T_b)``
+
+which in matrix terms is ``E[p[a], a] + E[p[b], b] > E[p[b], a] + E[p[a], b]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.types import ErrorMatrix, PermutationArray
+
+__all__ = ["ConvergenceTrace", "LocalSearchResult", "swap_gains"]
+
+
+@dataclass(frozen=True)
+class ConvergenceTrace:
+    """Per-sweep convergence record.
+
+    ``swap_counts[k]`` is the number of committed swaps in sweep ``k``;
+    ``totals[k]`` is the total error after sweep ``k``.  The paper's
+    reported quantity "the value k takes at most 9, 8, and 16" is
+    :attr:`sweeps` (the number of full passes including the final
+    swap-free one).
+    """
+
+    swap_counts: tuple[int, ...]
+    totals: tuple[int, ...]
+
+    @property
+    def sweeps(self) -> int:
+        return len(self.swap_counts)
+
+    @property
+    def total_swaps(self) -> int:
+        return sum(self.swap_counts)
+
+
+@dataclass(frozen=True)
+class LocalSearchResult:
+    """Outcome of a local-search run."""
+
+    permutation: PermutationArray
+    total: int
+    trace: ConvergenceTrace
+    strategy: str
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def sweeps(self) -> int:
+        """Number of full sweeps performed (the paper's ``k``)."""
+        return self.trace.sweeps
+
+
+def swap_gains(
+    matrix: ErrorMatrix,
+    perm: PermutationArray,
+    positions_a: np.ndarray,
+    positions_b: np.ndarray,
+) -> np.ndarray:
+    """Vectorised swap gains for aligned position pairs.
+
+    ``gain[j] > 0`` means swapping the tiles at ``positions_a[j]`` and
+    ``positions_b[j]`` reduces the total error by exactly ``gain[j]``.
+    """
+    tiles_a = perm[positions_a]
+    tiles_b = perm[positions_b]
+    current = matrix[tiles_a, positions_a] + matrix[tiles_b, positions_b]
+    swapped = matrix[tiles_b, positions_a] + matrix[tiles_a, positions_b]
+    return current - swapped

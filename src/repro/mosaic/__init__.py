@@ -1,0 +1,28 @@
+"""High-level photomosaic pipeline (the paper's Steps 1-3, end to end)."""
+
+from __future__ import annotations
+
+from repro.mosaic.config import MosaicConfig
+from repro.mosaic.database import DatabaseMosaic, TileDatabase
+from repro.mosaic.generator import PhotomosaicGenerator, generate_photomosaic
+from repro.mosaic.pyramid import (
+    PyramidResult,
+    coarse_to_fine_rearrange,
+    expand_coarse_permutation,
+)
+from repro.mosaic.result import MosaicResult
+from repro.mosaic.video import FrameResult, VideoMosaicSession
+
+__all__ = [
+    "MosaicConfig",
+    "MosaicResult",
+    "PhotomosaicGenerator",
+    "generate_photomosaic",
+    "TileDatabase",
+    "DatabaseMosaic",
+    "VideoMosaicSession",
+    "FrameResult",
+    "PyramidResult",
+    "coarse_to_fine_rearrange",
+    "expand_coarse_permutation",
+]

@@ -1,0 +1,78 @@
+"""Pipeline configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ValidationError
+
+__all__ = ["MosaicConfig", "ALGORITHMS"]
+
+#: Rearrangement algorithms: the paper's optimization (Section III), serial
+#: approximation (Algorithm 1), parallel approximation (Algorithm 2), and
+#: the coarse-to-fine pyramid extension.
+ALGORITHMS = ("optimization", "approximation", "parallel", "pyramid")
+
+
+@dataclass(frozen=True)
+class MosaicConfig:
+    """All knobs of the rearrangement pipeline.
+
+    Attributes
+    ----------
+    tile_size:
+        Side length ``M`` of each square tile.
+    algorithm:
+        One of :data:`ALGORITHMS`.
+    metric:
+        Cost-metric registry name (``"sad"`` reproduces the paper).
+    solver:
+        Assignment-solver registry name for the optimization algorithm
+        (``"scipy"`` is the Blossom V stand-in; ``"hungarian"``, ``"jv"``,
+        ``"auction"`` and ``"greedy"`` are also available).
+    histogram_match:
+        Pre-adjust the input's intensity distribution to the target's
+        (paper Section II).  Grayscale pipelines only.
+    serial_strategy:
+        Sweep strategy for ``algorithm="approximation"``
+        (``"first"`` = Algorithm 1 verbatim, ``"best_row"`` = vectorised).
+    parallel_backend:
+        Backend for ``algorithm="parallel"``
+        (``"vectorized"`` | ``"threads"`` | ``"gpusim"``).
+    allow_transforms:
+        Permit the 8 dihedral orientations (rotations/flips) per tile; the
+        pairing error becomes the minimum over orientations (an extension
+        beyond the paper — see ``repro.tiles.transforms``).
+    max_sweeps:
+        Safety bound for the local-search algorithms.
+    """
+
+    tile_size: int = 16
+    algorithm: str = "parallel"
+    metric: str = "sad"
+    solver: str = "scipy"
+    histogram_match: bool = True
+    serial_strategy: str = "first"
+    parallel_backend: str = "vectorized"
+    allow_transforms: bool = False
+    pyramid_factor: int = 2
+    max_sweeps: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.tile_size < 1:
+            raise ValidationError(f"tile_size must be >= 1, got {self.tile_size}")
+        if self.algorithm not in ALGORITHMS:
+            raise ValidationError(
+                f"unknown algorithm {self.algorithm!r} (use one of {ALGORITHMS})"
+            )
+        if self.max_sweeps < 1:
+            raise ValidationError(f"max_sweeps must be >= 1, got {self.max_sweeps}")
+        if self.pyramid_factor < 1:
+            raise ValidationError(
+                f"pyramid_factor must be >= 1, got {self.pyramid_factor}"
+            )
+        if self.algorithm == "pyramid" and self.allow_transforms:
+            raise ValidationError(
+                "pyramid and allow_transforms cannot combine: the coarse "
+                "stage has no orientation bookkeeping"
+            )

@@ -1,0 +1,191 @@
+"""The end-to-end rearrangement pipeline (paper Section II, Steps 1-3).
+
+Step 1 divides the input and target images into ``S`` tiles; Step 2
+computes the ``S x S`` error matrix; Step 3 rearranges the input tiles with
+the configured algorithm.  The input image is histogram-matched to the
+target first (Section II) unless disabled.
+
+:func:`generate_photomosaic` is the one-call convenience wrapper;
+:class:`PhotomosaicGenerator` keeps the configuration and exposes the
+intermediate artefacts (tiles, error matrix) for callers that reuse them —
+e.g. the video example, which re-solves Step 3 for each frame while
+keeping the Step-1 decomposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.assignment import get_solver
+from repro.cost import error_matrix, total_error
+from repro.exceptions import ValidationError
+from repro.imaging.histogram import match_histogram
+from repro.localsearch import local_search_parallel, local_search_serial
+from repro.mosaic.config import MosaicConfig
+from repro.mosaic.result import MosaicResult
+from repro.tiles.grid import TileGrid
+from repro.types import AnyImage, ErrorMatrix
+from repro.utils.timing import TimingBreakdown
+from repro.utils.validation import check_image
+
+__all__ = ["PhotomosaicGenerator", "generate_photomosaic"]
+
+
+class PhotomosaicGenerator:
+    """Configured photomosaic pipeline."""
+
+    def __init__(self, config: MosaicConfig | None = None) -> None:
+        self.config = config or MosaicConfig()
+
+    def preprocess(self, input_image: AnyImage, target_image: AnyImage) -> AnyImage:
+        """Histogram-match the input to the target (Section II).
+
+        Returns the adjusted input image (or the original when matching is
+        disabled or the images are colour — the paper's adjustment is
+        defined on intensity histograms).
+        """
+        input_image = check_image(input_image, "input_image")
+        target_image = check_image(target_image, "target_image")
+        if not self.config.histogram_match:
+            return input_image
+        if input_image.ndim != 2 or target_image.ndim != 2:
+            return input_image
+        return match_histogram(input_image, target_image)
+
+    def build_error_matrix(
+        self, input_image: AnyImage, target_image: AnyImage
+    ) -> tuple[TileGrid, ErrorMatrix]:
+        """Steps 1 + 2 only: tile grid and error matrix (no rearrangement)."""
+        input_image = check_image(input_image, "input_image")
+        target_image = check_image(target_image, "target_image")
+        if input_image.shape != target_image.shape:
+            raise ValidationError(
+                f"input {input_image.shape} and target {target_image.shape} "
+                "must have identical shapes"
+            )
+        grid = TileGrid.for_image(input_image, self.config.tile_size)
+        matrix = error_matrix(
+            grid.split(input_image), grid.split(target_image), self.config.metric
+        )
+        return grid, matrix
+
+    def rearrange(self, matrix: ErrorMatrix) -> tuple[np.ndarray, object, dict]:
+        """Step 3 only: returns ``(permutation, trace_or_None, meta)``."""
+        cfg = self.config
+        if cfg.algorithm == "optimization":
+            result = get_solver(cfg.solver).solve(matrix)
+            meta = {
+                "solver": cfg.solver,
+                "optimal": result.optimal,
+                "iterations": result.iterations,
+            }
+            return result.permutation, None, meta
+        if cfg.algorithm == "pyramid":
+            raise ValidationError(
+                "the pyramid algorithm needs tile stacks; use generate() "
+                "or call repro.mosaic.pyramid.coarse_to_fine_rearrange directly"
+            )
+        if cfg.algorithm == "approximation":
+            result = local_search_serial(
+                matrix, strategy=cfg.serial_strategy, max_sweeps=cfg.max_sweeps
+            )
+        else:  # "parallel"
+            result = local_search_parallel(
+                matrix, backend=cfg.parallel_backend, max_sweeps=cfg.max_sweeps
+            )
+        meta = {"strategy": result.strategy, **result.meta}
+        return result.permutation, result.trace, meta
+
+    def generate(self, input_image: AnyImage, target_image: AnyImage) -> MosaicResult:
+        """Run the full pipeline and return a :class:`MosaicResult`."""
+        input_image = check_image(input_image, "input_image")
+        target_image = check_image(target_image, "target_image")
+        if input_image.shape != target_image.shape:
+            raise ValidationError(
+                f"input {input_image.shape} and target {target_image.shape} "
+                "must have identical shapes"
+            )
+        timings = TimingBreakdown()
+        with timings.measure("histogram_match"):
+            adjusted = self.preprocess(input_image, target_image)
+        with timings.measure("step1_tiling"):
+            grid = TileGrid.for_image(adjusted, self.config.tile_size)
+            input_tiles = grid.split(adjusted)
+            target_tiles = grid.split(target_image)
+        orientation_codes = None
+        with timings.measure("step2_error_matrix"):
+            if self.config.allow_transforms:
+                from repro.cost.transformed import transformed_error_matrix
+
+                matrix, orientation_codes = transformed_error_matrix(
+                    input_tiles, target_tiles, self.config.metric
+                )
+            else:
+                matrix = error_matrix(input_tiles, target_tiles, self.config.metric)
+        with timings.measure("step3_rearrangement"):
+            if self.config.algorithm == "pyramid":
+                from repro.mosaic.pyramid import coarse_to_fine_rearrange
+
+                pyramid = coarse_to_fine_rearrange(
+                    input_tiles,
+                    target_tiles,
+                    grid,
+                    factor=self.config.pyramid_factor,
+                    metric=self.config.metric,
+                    solver=self.config.solver,
+                    fine_matrix=matrix,
+                )
+                perm = pyramid.permutation
+                trace = pyramid.fine_result.trace
+                meta = {
+                    "coarse_total": pyramid.coarse_total,
+                    "warm_start_total": pyramid.warm_start_total,
+                    "pyramid_factor": self.config.pyramid_factor,
+                }
+            else:
+                perm, trace, meta = self.rearrange(matrix)
+        placed = input_tiles[perm]
+        if orientation_codes is not None:
+            from repro.tiles.transforms import apply_transforms_to_stack
+
+            positions = np.arange(grid.tile_count)
+            chosen = orientation_codes[perm, positions].astype(np.intp)
+            placed = apply_transforms_to_stack(placed, chosen)
+            meta = {
+                **meta,
+                "orientations": chosen,
+                "transformed_fraction": float((chosen != 0).mean()),
+            }
+        image = grid.assemble(placed)
+        return MosaicResult(
+            image=image,
+            permutation=perm,
+            total_error=total_error(matrix, perm),
+            timings=timings,
+            config=self.config,
+            trace=trace,
+            meta=meta,
+        )
+
+
+def generate_photomosaic(
+    input_image: AnyImage,
+    target_image: AnyImage,
+    *,
+    tile_size: int = 16,
+    algorithm: str = "parallel",
+    **config_kwargs: object,
+) -> MosaicResult:
+    """One-call photomosaic generation.
+
+    >>> from repro.imaging import standard_image
+    >>> result = generate_photomosaic(
+    ...     standard_image("portrait", 64),
+    ...     standard_image("sailboat", 64),
+    ...     tile_size=8,
+    ... )
+    >>> result.image.shape
+    (64, 64)
+    """
+    config = MosaicConfig(tile_size=tile_size, algorithm=algorithm, **config_kwargs)  # type: ignore[arg-type]
+    return PhotomosaicGenerator(config).generate(input_image, target_image)

@@ -1,0 +1,51 @@
+"""Result object returned by the pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.localsearch.base import ConvergenceTrace
+from repro.mosaic.config import MosaicConfig
+from repro.types import AnyImage, PermutationArray
+from repro.utils.timing import TimingBreakdown
+
+__all__ = ["MosaicResult"]
+
+
+@dataclass(frozen=True)
+class MosaicResult:
+    """Everything a caller needs about one photomosaic generation.
+
+    Attributes
+    ----------
+    image:
+        The rearranged (photomosaic) image.
+    permutation:
+        ``p[v] = u``: which input tile landed at each target position.
+    total_error:
+        Paper Eq. (2) for the produced rearrangement.
+    timings:
+        Phase breakdown with keys ``"step1_tiling"``,
+        ``"step2_error_matrix"``, ``"step3_rearrangement"`` and
+        ``"histogram_match"`` (when enabled).
+    config:
+        The configuration that produced this result.
+    trace:
+        Local-search convergence trace (``None`` for the optimization
+        algorithm).
+    meta:
+        Algorithm-specific extras (solver iterations, kernel launches...).
+    """
+
+    image: AnyImage
+    permutation: PermutationArray
+    total_error: int
+    timings: TimingBreakdown
+    config: MosaicConfig
+    trace: ConvergenceTrace | None = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def sweeps(self) -> int | None:
+        """Local-search sweep count ``k`` (``None`` for optimization)."""
+        return None if self.trace is None else self.trace.sweeps

@@ -1,0 +1,26 @@
+"""Tiling: grid decomposition, reassembly and tile permutations."""
+
+from __future__ import annotations
+
+from repro.tiles.features import mean_luminance, tile_features
+from repro.tiles.grid import TileGrid
+from repro.tiles.permutation import (
+    apply_permutation,
+    compose,
+    identity_permutation,
+    invert,
+    permutation_from_pairs,
+    random_permutation,
+)
+
+__all__ = [
+    "TileGrid",
+    "apply_permutation",
+    "compose",
+    "identity_permutation",
+    "invert",
+    "permutation_from_pairs",
+    "random_permutation",
+    "tile_features",
+    "mean_luminance",
+]

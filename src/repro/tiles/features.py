@@ -1,0 +1,59 @@
+"""Tile feature extraction.
+
+Used by the classic database-driven mosaic mode (paper Fig. 1) and by the
+luminance cost metric: cheap per-tile summaries that stand in for full
+pixel-by-pixel comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.types import TileStack
+
+__all__ = ["mean_luminance", "tile_features"]
+
+
+def _check_stack(tiles: TileStack) -> np.ndarray:
+    tiles = np.asarray(tiles)
+    if tiles.ndim not in (3, 4):
+        raise ValidationError(f"tile stack must be 3-D or 4-D, got shape {tiles.shape}")
+    if tiles.ndim == 4 and tiles.shape[3] != 3:
+        raise ValidationError(f"colour tiles need 3 channels, got {tiles.shape[3]}")
+    return tiles
+
+
+def mean_luminance(tiles: TileStack) -> np.ndarray:
+    """Per-tile mean intensity, shape ``(S,)`` float64.
+
+    Colour tiles are reduced with BT.601 luma weights first.
+    """
+    tiles = _check_stack(tiles)
+    if tiles.ndim == 4:
+        luma = tiles.astype(np.float64) @ np.array([0.299, 0.587, 0.114])
+        return luma.reshape(tiles.shape[0], -1).mean(axis=1)
+    return tiles.reshape(tiles.shape[0], -1).mean(axis=1, dtype=np.float64)
+
+
+def tile_features(tiles: TileStack, grid: int = 2) -> np.ndarray:
+    """Downsampled block-mean features, shape ``(S, grid*grid[*3])``.
+
+    Each tile is reduced to a ``grid x grid`` grid of block means — the
+    standard cheap descriptor database-mosaic systems match on before (or
+    instead of) exact pixel comparison.
+    """
+    tiles = _check_stack(tiles)
+    if grid < 1:
+        raise ValidationError(f"grid must be >= 1, got {grid}")
+    m = tiles.shape[1]
+    if m % grid:
+        raise ValidationError(f"feature grid {grid} does not divide tile size {m}")
+    block = m // grid
+    if tiles.ndim == 3:
+        view = tiles.reshape(tiles.shape[0], grid, block, grid, block)
+        means = view.mean(axis=(2, 4), dtype=np.float64)
+        return means.reshape(tiles.shape[0], grid * grid)
+    view = tiles.reshape(tiles.shape[0], grid, block, grid, block, 3)
+    means = view.mean(axis=(2, 4), dtype=np.float64)
+    return means.reshape(tiles.shape[0], grid * grid * 3)

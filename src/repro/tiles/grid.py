@@ -1,0 +1,154 @@
+"""Tile-grid decomposition and reassembly (Step 1 of the paper's method).
+
+A :class:`TileGrid` describes how an ``N x N`` (or more generally
+``H x W``) image divides into ``S = (H/M) * (W/M)`` square ``M x M`` tiles.
+Tiles are indexed in row-major order, matching the paper's
+``I_1 .. I_S`` / ``T_1 .. T_S`` numbering (zero-based here).
+
+Splitting and assembling are pure reshape/transpose operations — no pixel
+copies beyond the final ``ascontiguousarray`` — so they are O(N^2) memory
+traffic and never the bottleneck (the guides' "views, not copies" rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import TilingError
+from repro.types import AnyImage, TileStack
+from repro.utils.validation import check_image, check_permutation, check_positive_int
+
+__all__ = ["TileGrid"]
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """Geometry of a tile decomposition.
+
+    Attributes
+    ----------
+    height, width:
+        Image dimensions in pixels.
+    tile_size:
+        Side length ``M`` of each square tile.
+    """
+
+    height: int
+    width: int
+    tile_size: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.height, "height")
+        check_positive_int(self.width, "width")
+        check_positive_int(self.tile_size, "tile_size")
+        if self.height % self.tile_size or self.width % self.tile_size:
+            raise TilingError(
+                f"tile size {self.tile_size} does not divide image "
+                f"{self.height}x{self.width}"
+            )
+
+    @classmethod
+    def for_image(cls, image: AnyImage, tile_size: int) -> "TileGrid":
+        """Build the grid matching ``image``'s shape."""
+        image = check_image(image)
+        return cls(image.shape[0], image.shape[1], tile_size)
+
+    @classmethod
+    def from_tile_count(cls, side: int, tiles_per_side: int) -> "TileGrid":
+        """Grid for a square ``side x side`` image with ``tiles_per_side^2`` tiles."""
+        check_positive_int(side, "side")
+        check_positive_int(tiles_per_side, "tiles_per_side")
+        if side % tiles_per_side:
+            raise TilingError(
+                f"{tiles_per_side} tiles per side does not divide image side {side}"
+            )
+        return cls(side, side, side // tiles_per_side)
+
+    @property
+    def rows(self) -> int:
+        """Number of tile rows."""
+        return self.height // self.tile_size
+
+    @property
+    def cols(self) -> int:
+        """Number of tile columns."""
+        return self.width // self.tile_size
+
+    @property
+    def tile_count(self) -> int:
+        """Total number of tiles ``S``."""
+        return self.rows * self.cols
+
+    @property
+    def pixels_per_tile(self) -> int:
+        """``M * M``."""
+        return self.tile_size * self.tile_size
+
+    def tile_index(self, row: int, col: int) -> int:
+        """Row-major linear index of tile ``(row, col)``."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise TilingError(
+                f"tile ({row}, {col}) outside grid {self.rows}x{self.cols}"
+            )
+        return row * self.cols + col
+
+    def tile_position(self, index: int) -> tuple[int, int]:
+        """Inverse of :meth:`tile_index`."""
+        if not 0 <= index < self.tile_count:
+            raise TilingError(f"tile index {index} outside 0..{self.tile_count - 1}")
+        return divmod(index, self.cols)
+
+    def tile_slice(self, index: int) -> tuple[slice, slice]:
+        """Pixel slices of tile ``index`` within the image."""
+        row, col = self.tile_position(index)
+        m = self.tile_size
+        return (slice(row * m, (row + 1) * m), slice(col * m, (col + 1) * m))
+
+    def _check_shape(self, image: AnyImage) -> AnyImage:
+        image = check_image(image)
+        if image.shape[:2] != (self.height, self.width):
+            raise TilingError(
+                f"image shape {image.shape[:2]} does not match grid "
+                f"{self.height}x{self.width}"
+            )
+        return image
+
+    def split(self, image: AnyImage) -> TileStack:
+        """Split ``image`` into a ``(S, M, M[, 3])`` stack of tiles."""
+        image = self._check_shape(image)
+        m = self.tile_size
+        if image.ndim == 2:
+            stack = image.reshape(self.rows, m, self.cols, m).transpose(0, 2, 1, 3)
+            return np.ascontiguousarray(stack.reshape(self.tile_count, m, m))
+        stack = image.reshape(self.rows, m, self.cols, m, 3).transpose(0, 2, 1, 3, 4)
+        return np.ascontiguousarray(stack.reshape(self.tile_count, m, m, 3))
+
+    def assemble(self, tiles: TileStack) -> AnyImage:
+        """Inverse of :meth:`split`: rebuild the image from a tile stack."""
+        tiles = np.asarray(tiles)
+        m = self.tile_size
+        if tiles.ndim == 3:
+            expected = (self.tile_count, m, m)
+        elif tiles.ndim == 4:
+            expected = (self.tile_count, m, m, 3)
+        else:
+            raise TilingError(f"tile stack must be 3-D or 4-D, got shape {tiles.shape}")
+        if tiles.shape != expected:
+            raise TilingError(f"tile stack shape {tiles.shape}, expected {expected}")
+        if tiles.ndim == 3:
+            grid = tiles.reshape(self.rows, self.cols, m, m).transpose(0, 2, 1, 3)
+            return np.ascontiguousarray(grid.reshape(self.height, self.width))
+        grid = tiles.reshape(self.rows, self.cols, m, m, 3).transpose(0, 2, 1, 3, 4)
+        return np.ascontiguousarray(grid.reshape(self.height, self.width, 3))
+
+    def rearrange(self, image: AnyImage, permutation: np.ndarray) -> AnyImage:
+        """Apply a tile rearrangement to ``image``.
+
+        ``permutation[v] = u`` places input tile ``u`` at target position
+        ``v`` (the library-wide convention; see :mod:`repro.types`).
+        """
+        perm = check_permutation(permutation, self.tile_count)
+        tiles = self.split(image)
+        return self.assemble(tiles[perm])

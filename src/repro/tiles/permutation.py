@@ -1,0 +1,96 @@
+"""Permutation algebra for tile rearrangements.
+
+A rearrangement is a permutation array ``p`` with ``p[v] = u``: input tile
+``u`` goes to target position ``v``.  These helpers keep the algebra (apply,
+compose, invert) in one place so the solvers, local search and pipeline all
+agree on orientation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.types import INDEX_DTYPE, PermutationArray
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_permutation, check_positive_int
+
+__all__ = [
+    "identity_permutation",
+    "random_permutation",
+    "invert",
+    "compose",
+    "apply_permutation",
+    "permutation_from_pairs",
+]
+
+
+def identity_permutation(size: int) -> PermutationArray:
+    """The identity rearrangement (every tile stays in place)."""
+    size = check_positive_int(size, "size")
+    return np.arange(size, dtype=INDEX_DTYPE)
+
+
+def random_permutation(size: int, seed: int | np.random.Generator | None = 0) -> PermutationArray:
+    """A uniformly random permutation, deterministic for a given ``seed``."""
+    size = check_positive_int(size, "size")
+    rng = make_rng(seed)
+    return rng.permutation(size).astype(INDEX_DTYPE)
+
+
+def invert(perm: PermutationArray) -> PermutationArray:
+    """Inverse permutation: if ``p[v] = u`` then ``invert(p)[u] = v``."""
+    perm = check_permutation(perm)
+    inverse = np.empty_like(perm)
+    inverse[perm] = np.arange(perm.shape[0], dtype=INDEX_DTYPE)
+    return inverse
+
+
+def compose(outer: PermutationArray, inner: PermutationArray) -> PermutationArray:
+    """Composition ``(outer . inner)[v] = outer[inner[v]]``.
+
+    Applying ``compose(outer, inner)`` equals applying ``inner`` first and
+    then ``outer`` when both are position->tile maps.
+    """
+    outer = check_permutation(outer, name="outer")
+    inner = check_permutation(inner, size=outer.shape[0], name="inner")
+    return outer[inner]
+
+
+def apply_permutation(items: np.ndarray, perm: PermutationArray) -> np.ndarray:
+    """Reorder ``items`` so slot ``v`` holds ``items[perm[v]]``."""
+    perm = check_permutation(perm)
+    items = np.asarray(items)
+    if items.shape[0] != perm.shape[0]:
+        raise ValidationError(
+            f"items length {items.shape[0]} does not match permutation {perm.shape[0]}"
+        )
+    return items[perm]
+
+
+def permutation_from_pairs(pairs: Iterable[tuple[int, int]], size: int) -> PermutationArray:
+    """Build a permutation from explicit ``(input_tile, target_position)`` pairs.
+
+    Every tile and every position must appear exactly once — this is the
+    matching-to-permutation bridge used by the assignment solvers.
+    """
+    size = check_positive_int(size, "size")
+    perm = np.full(size, -1, dtype=INDEX_DTYPE)
+    seen_inputs = np.zeros(size, dtype=bool)
+    for input_tile, target_pos in pairs:
+        if not (0 <= input_tile < size and 0 <= target_pos < size):
+            raise ValidationError(
+                f"pair ({input_tile}, {target_pos}) outside 0..{size - 1}"
+            )
+        if perm[target_pos] != -1:
+            raise ValidationError(f"target position {target_pos} assigned twice")
+        if seen_inputs[input_tile]:
+            raise ValidationError(f"input tile {input_tile} assigned twice")
+        perm[target_pos] = input_tile
+        seen_inputs[input_tile] = True
+    if (perm == -1).any():
+        missing = int(np.flatnonzero(perm == -1)[0])
+        raise ValidationError(f"target position {missing} never assigned")
+    return perm

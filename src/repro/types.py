@@ -1,0 +1,50 @@
+"""Shared type aliases and dtype conventions.
+
+The whole library standardises on:
+
+* grayscale images: ``uint8`` arrays of shape ``(H, W)``;
+* colour images: ``uint8`` arrays of shape ``(H, W, 3)``;
+* error matrices: ``int64`` arrays of shape ``(S, S)`` where entry
+  ``E[u, v]`` is the error of placing *input* tile ``u`` at *target*
+  position ``v`` (the paper's ``w_{u,v}``);
+* permutations: ``intp`` arrays ``p`` of length ``S`` where ``p[v] = u``
+  means input tile ``u`` is placed at target position ``v``.
+"""
+
+from __future__ import annotations
+
+from typing import TypeAlias
+
+import numpy as np
+import numpy.typing as npt
+
+__all__ = [
+    "GrayImage",
+    "ColorImage",
+    "AnyImage",
+    "ErrorMatrix",
+    "PermutationArray",
+    "TileStack",
+    "PIXEL_DTYPE",
+    "ERROR_DTYPE",
+    "INDEX_DTYPE",
+]
+
+#: Pixel storage dtype for all images.
+PIXEL_DTYPE = np.uint8
+
+#: Accumulator dtype for tile errors; ``2048**2 * 255 < 2**40`` so int64 is
+#: safe for any image size this library supports.
+ERROR_DTYPE = np.int64
+
+#: Index dtype for permutations and tile ids.
+INDEX_DTYPE = np.intp
+
+GrayImage: TypeAlias = npt.NDArray[np.uint8]
+ColorImage: TypeAlias = npt.NDArray[np.uint8]
+AnyImage: TypeAlias = npt.NDArray[np.uint8]
+ErrorMatrix: TypeAlias = npt.NDArray[np.int64]
+PermutationArray: TypeAlias = npt.NDArray[np.intp]
+
+#: Stack of S tiles, shape ``(S, M, M)`` (gray) or ``(S, M, M, 3)`` (colour).
+TileStack: TypeAlias = npt.NDArray[np.uint8]

@@ -1,0 +1,27 @@
+"""Shared infrastructure: validation, timing, RNG and logging helpers."""
+
+from __future__ import annotations
+
+from repro.utils.rng import make_rng
+from repro.utils.timing import Stopwatch, TimingBreakdown, time_callable
+from repro.utils.validation import (
+    check_error_matrix,
+    check_gray_image,
+    check_image,
+    check_permutation,
+    check_positive_int,
+    check_power_compatible,
+)
+
+__all__ = [
+    "make_rng",
+    "Stopwatch",
+    "TimingBreakdown",
+    "time_callable",
+    "check_error_matrix",
+    "check_gray_image",
+    "check_image",
+    "check_permutation",
+    "check_positive_int",
+    "check_power_compatible",
+]

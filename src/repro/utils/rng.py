@@ -1,0 +1,25 @@
+"""Deterministic random-number-generator helpers.
+
+Every randomised component of the library takes either an integer seed or an
+existing :class:`numpy.random.Generator`; :func:`make_rng` normalises both
+forms. Passing ``None`` yields a generator seeded from entropy — allowed but
+never the default anywhere in this library, so examples and benches are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng"]
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``Generator`` instances pass through unchanged so callers can thread one
+    generator through a pipeline and keep a single random stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

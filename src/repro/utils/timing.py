@@ -1,0 +1,110 @@
+"""Timing primitives for the benchmark harness.
+
+``Stopwatch`` is a context manager around :func:`time.perf_counter`;
+``TimingBreakdown`` accumulates named phase durations, mirroring the paper's
+separation of Step 2 (error matrix) and Step 3 (rearrangement) times.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+__all__ = ["Stopwatch", "TimingBreakdown", "time_callable"]
+
+T = TypeVar("T")
+
+
+class Stopwatch:
+    """Context-manager stopwatch measuring wall-clock seconds.
+
+    >>> with Stopwatch() as sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class TimingBreakdown:
+    """Accumulates named phase durations (seconds).
+
+    Phases repeat-add, so calling :meth:`add` twice for the same phase sums
+    the durations — convenient for iterative algorithms.
+    """
+
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Add ``seconds`` to the accumulated time of ``phase``."""
+        if seconds < 0:
+            raise ValueError(f"negative duration for phase {phase!r}: {seconds}")
+        self.phases[phase] = self.phases.get(phase, 0.0) + seconds
+
+    def measure(self, phase: str) -> "_PhaseTimer":
+        """Return a context manager that times a block into ``phase``."""
+        return _PhaseTimer(self, phase)
+
+    @property
+    def total(self) -> float:
+        """Sum of all phase durations."""
+        return sum(self.phases.values())
+
+    def __getitem__(self, phase: str) -> float:
+        return self.phases[phase]
+
+    def get(self, phase: str, default: float = 0.0) -> float:
+        return self.phases.get(phase, default)
+
+    def merged(self, other: "TimingBreakdown") -> "TimingBreakdown":
+        """Return a new breakdown with phase-wise sums of ``self`` and ``other``."""
+        out = TimingBreakdown(dict(self.phases))
+        for phase, seconds in other.phases.items():
+            out.add(phase, seconds)
+        return out
+
+
+class _PhaseTimer:
+    def __init__(self, breakdown: TimingBreakdown, phase: str) -> None:
+        self._breakdown = breakdown
+        self._phase = phase
+        self._sw = Stopwatch()
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._sw.__enter__()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._sw.__exit__(*exc_info)
+        self._breakdown.add(self._phase, self._sw.elapsed)
+
+
+def time_callable(fn: Callable[[], T], repeats: int = 1) -> tuple[T, float]:
+    """Run ``fn`` ``repeats`` times; return (last result, best wall time).
+
+    Taking the minimum over repeats follows the standard ``timeit``
+    recommendation: the minimum is the least noisy estimator of the true
+    cost because all noise is additive.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    result: T
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best

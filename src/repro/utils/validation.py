@@ -1,0 +1,127 @@
+"""Argument-validation helpers.
+
+All public entry points of the library validate their inputs through these
+functions so error messages are uniform and failures happen at the API
+boundary, not deep inside a vectorised kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.types import ERROR_DTYPE, PIXEL_DTYPE
+
+__all__ = [
+    "check_positive_int",
+    "check_image",
+    "check_gray_image",
+    "check_error_matrix",
+    "check_permutation",
+    "check_power_compatible",
+]
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Return ``value`` as an ``int`` after checking it is a positive integer.
+
+    Accepts Python ints and NumPy integer scalars; rejects bools, floats and
+    anything non-positive.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_image(image: Any, name: str = "image") -> np.ndarray:
+    """Validate a grayscale or colour image and return it as ``uint8``.
+
+    A valid image is a ``(H, W)`` or ``(H, W, 3)`` ``uint8`` array with
+    ``H, W >= 1``.  Arrays of other integer dtypes are accepted if their
+    values fit in ``[0, 255]`` and are copied to ``uint8``.
+    """
+    if not isinstance(image, np.ndarray):
+        raise ValidationError(f"{name} must be a numpy array, got {type(image).__name__}")
+    if image.ndim not in (2, 3):
+        raise ValidationError(f"{name} must have 2 or 3 dimensions, got shape {image.shape}")
+    if image.ndim == 3 and image.shape[2] != 3:
+        raise ValidationError(f"{name} colour images must have 3 channels, got {image.shape[2]}")
+    if image.size == 0:
+        raise ValidationError(f"{name} must be non-empty, got shape {image.shape}")
+    if image.dtype == PIXEL_DTYPE:
+        return image
+    if not np.issubdtype(image.dtype, np.integer):
+        raise ValidationError(f"{name} must have an integer dtype, got {image.dtype}")
+    if image.min() < 0 or image.max() > 255:
+        raise ValidationError(f"{name} values must lie in [0, 255] to convert to uint8")
+    return image.astype(PIXEL_DTYPE)
+
+
+def check_gray_image(image: Any, name: str = "image") -> np.ndarray:
+    """Validate a grayscale image; reject colour arrays."""
+    image = check_image(image, name)
+    if image.ndim != 2:
+        raise ValidationError(f"{name} must be grayscale (2-D), got shape {image.shape}")
+    return image
+
+
+def check_error_matrix(matrix: Any, name: str = "error_matrix") -> np.ndarray:
+    """Validate a square, non-negative error matrix; return it as ``int64``."""
+    if not isinstance(matrix, np.ndarray):
+        raise ValidationError(f"{name} must be a numpy array, got {type(matrix).__name__}")
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValidationError(f"{name} must be square, got shape {matrix.shape}")
+    if matrix.shape[0] == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    if not np.issubdtype(matrix.dtype, np.integer) and not np.issubdtype(
+        matrix.dtype, np.floating
+    ):
+        raise ValidationError(f"{name} must be numeric, got dtype {matrix.dtype}")
+    if np.issubdtype(matrix.dtype, np.floating):
+        if not np.isfinite(matrix).all():
+            raise ValidationError(f"{name} must be finite")
+        matrix = np.rint(matrix)
+    if (matrix < 0).any():
+        raise ValidationError(f"{name} must be non-negative")
+    return matrix.astype(ERROR_DTYPE, copy=False)
+
+
+def check_permutation(perm: Any, size: int | None = None, name: str = "permutation") -> np.ndarray:
+    """Validate that ``perm`` is a permutation of ``0..len(perm)-1``.
+
+    When ``size`` is given the permutation must additionally have exactly
+    that length.  Returns the permutation as an ``intp`` array.
+    """
+    perm = np.asarray(perm)
+    if perm.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got shape {perm.shape}")
+    if not np.issubdtype(perm.dtype, np.integer):
+        raise ValidationError(f"{name} must be integer, got dtype {perm.dtype}")
+    n = perm.shape[0]
+    if size is not None and n != size:
+        raise ValidationError(f"{name} must have length {size}, got {n}")
+    if n == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    seen = np.zeros(n, dtype=bool)
+    if perm.min() < 0 or perm.max() >= n:
+        raise ValidationError(f"{name} entries must lie in [0, {n - 1}]")
+    seen[perm] = True
+    if not seen.all():
+        raise ValidationError(f"{name} is not a bijection: some indices repeat")
+    return perm.astype(np.intp, copy=False)
+
+
+def check_power_compatible(image_side: int, tile_side: int) -> int:
+    """Check ``tile_side`` evenly divides ``image_side``; return tiles/side."""
+    image_side = check_positive_int(image_side, "image_side")
+    tile_side = check_positive_int(tile_side, "tile_side")
+    if image_side % tile_side != 0:
+        raise ValidationError(
+            f"tile size {tile_side} does not evenly divide image side {image_side}"
+        )
+    return image_side // tile_side

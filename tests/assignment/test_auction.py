@@ -1,0 +1,44 @@
+"""Auction-solver specifics (epsilon-scaling behaviour)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assignment.auction import AuctionSolver
+from repro.assignment import get_solver
+from repro.exceptions import SolverError, ValidationError
+
+
+def test_scaling_factor_validated():
+    with pytest.raises(ValidationError, match="scaling_factor"):
+        AuctionSolver(scaling_factor=1)
+
+
+def test_round_budget_enforced():
+    solver = AuctionSolver(max_rounds=1)
+    m = np.arange(9, dtype=np.int64).reshape(3, 3)
+    with pytest.raises(SolverError, match="rounds"):
+        solver.solve(m)
+
+
+@pytest.mark.parametrize("scaling", [2, 5, 10])
+def test_any_scaling_factor_is_exact(scaling, rng):
+    solver = AuctionSolver(scaling_factor=scaling)
+    reference = get_solver("scipy")
+    for _ in range(6):
+        n = int(rng.integers(2, 20))
+        m = rng.integers(0, 500, size=(n, n)).astype(np.int64)
+        assert solver.solve(m).total == reference.solve(m).total
+
+
+def test_meta_reports_phases(random_matrix):
+    result = AuctionSolver().solve(random_matrix)
+    assert result.meta["epsilon_phases"] >= 1
+    assert result.iterations > 0
+
+
+def test_constant_matrix():
+    """All costs equal: every permutation optimal; auction must terminate."""
+    m = np.full((10, 10), 42, dtype=np.int64)
+    assert AuctionSolver().solve(m).total == 420

@@ -1,0 +1,58 @@
+"""Tests for the blossom-based solver (the paper's solver family)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assignment import get_solver
+from repro.assignment.blossom import BlossomSolver
+from repro.exceptions import ValidationError
+
+
+class TestBlossom:
+    def test_registered(self):
+        assert get_solver("blossom").name == "blossom"
+
+    def test_matches_lap_solvers_on_random(self, rng):
+        """The paper's reduction: on the bipartite tile graph, Blossom and
+        the assignment solvers must find the same minimum."""
+        solver = BlossomSolver()
+        reference = get_solver("scipy")
+        for _ in range(10):
+            n = int(rng.integers(1, 16))
+            m = rng.integers(0, 1000, size=(n, n)).astype(np.int64)
+            assert solver.solve(m).total == reference.solve(m).total
+
+    def test_matches_oracle_on_tiny(self, rng):
+        from repro.assignment.bruteforce import BruteForceSolver
+
+        for _ in range(8):
+            n = int(rng.integers(1, 6))
+            m = rng.integers(0, 200, size=(n, n)).astype(np.int64)
+            assert (
+                BlossomSolver().solve(m).total == BruteForceSolver().solve(m).total
+            )
+
+    def test_on_real_error_matrix(self, small_error_matrix):
+        blossom = BlossomSolver().solve(small_error_matrix)
+        scipy_result = get_solver("scipy").solve(small_error_matrix)
+        assert blossom.total == scipy_result.total
+
+    def test_permutation_valid(self, rng):
+        m = rng.integers(0, 100, size=(12, 12)).astype(np.int64)
+        result = BlossomSolver().solve(m)
+        assert (np.sort(result.permutation) == np.arange(12)).all()
+
+    def test_ties_handled(self):
+        m = np.zeros((8, 8), dtype=np.int64)  # fully degenerate
+        assert BlossomSolver().solve(m).total == 0
+
+    def test_size_limit_enforced(self):
+        solver = BlossomSolver(size_limit=4)
+        with pytest.raises(ValidationError, match="limited"):
+            solver.solve(np.zeros((5, 5), dtype=np.int64))
+
+    def test_bad_limit(self):
+        with pytest.raises(ValidationError):
+            BlossomSolver(size_limit=0)

@@ -1,0 +1,58 @@
+"""Tests for result validation and duality certificates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assignment.base import AssignmentResult
+from repro.assignment.validation import check_result, verify_optimality_certificate
+from repro.exceptions import SolverError
+
+
+def _result(perm, total, dual_row=None, dual_col=None):
+    return AssignmentResult(
+        permutation=np.asarray(perm, dtype=np.intp),
+        total=total,
+        optimal=True,
+        dual_row=None if dual_row is None else np.asarray(dual_row, dtype=np.int64),
+        dual_col=None if dual_col is None else np.asarray(dual_col, dtype=np.int64),
+    )
+
+
+MATRIX = np.array([[1, 5], [7, 2]], dtype=np.int64)
+
+
+class TestCheckResult:
+    def test_accepts_consistent(self):
+        check_result(_result([0, 1], 3), MATRIX)
+
+    def test_rejects_wrong_total(self):
+        with pytest.raises(SolverError, match="total"):
+            check_result(_result([0, 1], 4), MATRIX)
+
+
+class TestCertificate:
+    def test_valid_certificate(self):
+        # duals: row (1, 2), col (0, 0): tight on diagonal, feasible off it.
+        result = _result([0, 1], 3, dual_row=[1, 2], dual_col=[0, 0])
+        assert verify_optimality_certificate(result, MATRIX)
+
+    def test_no_duals_returns_false(self):
+        assert not verify_optimality_certificate(_result([0, 1], 3), MATRIX)
+
+    def test_infeasible_duals_raise(self):
+        result = _result([0, 1], 3, dual_row=[10, 2], dual_col=[0, 0])
+        with pytest.raises(SolverError, match="infeasible"):
+            verify_optimality_certificate(result, MATRIX)
+
+    def test_non_tight_matched_edge_raises(self):
+        # Feasible but not tight on matched edges -> certificate broken.
+        result = _result([0, 1], 3, dual_row=[0, 1], dual_col=[0, 0])
+        with pytest.raises(SolverError, match="tight"):
+            verify_optimality_certificate(result, MATRIX)
+
+    def test_wrong_dual_shape_raises(self):
+        result = _result([0, 1], 3, dual_row=[1], dual_col=[0, 0])
+        with pytest.raises(SolverError, match="shape"):
+            verify_optimality_certificate(result, MATRIX)

@@ -1,0 +1,67 @@
+"""Tests for the EXPERIMENTS.md exporter."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.benchharness.export as export_mod
+from repro.benchharness.export import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    _fmt,
+    _table,
+    generate_report,
+)
+
+
+class TestHelpers:
+    def test_fmt_ranges(self):
+        assert _fmt(123.456) == "123.5"
+        assert _fmt(1.23456) == "1.235"
+        assert _fmt(0.00123, 5) == "0.00123"
+
+    def test_table_markdown_shape(self):
+        lines = _table(["a", "b"], [["1", "2"], ["3", "4"]])
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 5  # header + sep + 2 rows + trailing blank
+
+
+class TestPaperConstants:
+    def test_table1_matches_paper(self):
+        assert PAPER_TABLE1[256] == (7529146, 7701450, 7676311)
+        assert PAPER_TABLE1[4096] == (3877820, 3945836, 4047410)
+
+    def test_table2_grid_complete(self):
+        assert len(PAPER_TABLE2) == 9
+        for (n, s), (cpu, gpu, speedup) in PAPER_TABLE2.items():
+            assert cpu / gpu == pytest.approx(speedup, rel=0.05)
+
+    def test_table3_grid_complete(self):
+        assert len(PAPER_TABLE3) == 9
+        for (_, _), (opt, apx_cpu, apx_gpu, speedup) in PAPER_TABLE3.items():
+            assert opt > apx_cpu  # matching always dominated the local search
+            assert apx_cpu / apx_gpu == pytest.approx(speedup, rel=0.1)
+
+    def test_table4_headline_numbers(self):
+        assert PAPER_TABLE4[(2048, 256)][0] == 40.74  # the 40x claim
+        assert PAPER_TABLE4[(2048, 4096)][1] == 66.76  # the 66x claim
+
+
+class TestGenerateReport:
+    def test_report_structure_on_tiny_grid(self, monkeypatch):
+        # Shrink the measured grid so the test runs in well under a second.
+        monkeypatch.setattr(
+            export_mod, "paper_grid", lambda profile: [(64, 4)]
+        )
+        report = generate_report("default")
+        assert "# EXPERIMENTS" in report
+        assert "## Table I" in report
+        assert "## Table II" in report
+        assert "## Table III" in report
+        assert "## Table IV" in report
+        assert "## Figures" in report
+        # The headline paper numbers must appear in the fidelity line.
+        assert "66.76" in report

@@ -1,0 +1,81 @@
+"""Consistency tests for the transcribed paper data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchharness.paper_data import (
+    IMAGE_SIZES,
+    SWEEP_COUNTS,
+    TABLE1_TOTAL_ERROR,
+    TABLE2_STEP2_TIME,
+    TABLE3_STEP3_TIME,
+    TABLE4_SPEEDUP,
+    TILE_COUNTS,
+    headline_speedups,
+)
+
+
+class TestGridCompleteness:
+    @pytest.mark.parametrize(
+        "table", [TABLE2_STEP2_TIME, TABLE3_STEP3_TIME, TABLE4_SPEEDUP]
+    )
+    def test_every_cell_present(self, table):
+        assert set(table) == {(n, s) for n in IMAGE_SIZES for s in TILE_COUNTS}
+
+    def test_table1_covers_tile_counts(self):
+        assert set(TABLE1_TOTAL_ERROR) == set(TILE_COUNTS)
+        assert set(SWEEP_COUNTS) == set(TILE_COUNTS)
+
+
+class TestInternalConsistency:
+    def test_table1_optimization_is_minimum(self):
+        for opt, cpu, gpu in TABLE1_TOTAL_ERROR.values():
+            assert opt < cpu
+            assert opt < gpu
+
+    def test_table1_error_decreases_with_s(self):
+        opts = [TABLE1_TOTAL_ERROR[s][0] for s in sorted(TABLE1_TOTAL_ERROR)]
+        assert opts == sorted(opts, reverse=True)
+
+    def test_table2_speedup_column_consistent(self):
+        for cpu, gpu, speedup in TABLE2_STEP2_TIME.values():
+            assert cpu / gpu == pytest.approx(speedup, rel=0.05)
+
+    def test_table2_cpu_time_grows_with_n_and_s(self):
+        for s in TILE_COUNTS:
+            series = [TABLE2_STEP2_TIME[(n, s)][0] for n in IMAGE_SIZES]
+            assert series == sorted(series)
+        for n in IMAGE_SIZES:
+            series = [TABLE2_STEP2_TIME[(n, s)][0] for s in TILE_COUNTS]
+            assert series == sorted(series)
+
+    def test_table3_matching_independent_of_n(self):
+        """Step 3 'does not depend on the size of image': the optimization
+        column varies only ~13% across N at fixed S (paper noise band)."""
+        for s in TILE_COUNTS:
+            series = [TABLE3_STEP3_TIME[(n, s)][0] for n in IMAGE_SIZES]
+            assert max(series) <= 1.15 * min(series)
+
+    def test_table3_speedup_column_consistent(self):
+        for _, apx_cpu, apx_gpu, speedup in TABLE3_STEP3_TIME.values():
+            assert apx_cpu / apx_gpu == pytest.approx(speedup, rel=0.1)
+
+    def test_table3_gpu_loses_at_smallest_s(self):
+        for n in IMAGE_SIZES:
+            assert TABLE3_STEP3_TIME[(n, 256)][3] < 1.0
+
+    def test_table4_approx_speedup_grows_with_n(self):
+        for s in TILE_COUNTS:
+            series = [TABLE4_SPEEDUP[(n, s)][1] for n in IMAGE_SIZES]
+            assert series == sorted(series)
+
+    def test_table4_opt_speedup_collapses_with_s(self):
+        for n in IMAGE_SIZES:
+            series = [TABLE4_SPEEDUP[(n, s)][0] for s in TILE_COUNTS]
+            assert series == sorted(series, reverse=True)
+
+    def test_headline_claims(self):
+        opt, apx = headline_speedups()
+        assert opt == 40.74  # "up to 40 times"
+        assert apx == 66.76  # "up to 66 times"

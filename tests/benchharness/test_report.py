@@ -1,0 +1,48 @@
+"""Tests for the CLI table generators (repro.benchharness.report)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.benchharness.report as report_mod
+from repro.benchharness.report import all_tables, table1, table2, table3, table4
+
+
+@pytest.fixture(autouse=True)
+def tiny_grid(monkeypatch):
+    """Shrink the measured grid so every table builds in well under a second."""
+    monkeypatch.setattr(report_mod, "paper_grid", lambda profile: [(64, 4), (64, 8)])
+
+
+class TestTables:
+    def test_table1_structure(self):
+        text = table1()
+        assert text.startswith("Table I reproduction")
+        assert "paper opt" in text
+
+    def test_table2_rows_match_grid(self):
+        text = table2()
+        lines = text.splitlines()
+        assert len(lines) == 3 + 2  # title + header + separator + 2 cells
+
+    def test_table3_contains_sweeps_column(self):
+        assert "apx GPU[s]" in table3()
+
+    def test_table4_contains_model_columns(self):
+        text = table4()
+        assert "model opt spdup" in text
+        assert "model apx spdup" in text
+
+    def test_all_tables_concatenates(self):
+        text = all_tables()
+        for fragment in ("Table I", "Table II", "Table III", "Table IV"):
+            assert fragment in text
+
+
+class TestCliBench(object):
+    def test_bench_subcommand_prints_table(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "--table", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II reproduction" in out

@@ -1,0 +1,80 @@
+"""Tests for the experiment runners (small workloads only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchharness.runner import (
+    measure_error_matrix,
+    measure_rearrangement,
+    measure_total_pipeline,
+    quality_comparison,
+)
+from repro.benchharness.workloads import workload_pair
+
+SMALL = workload_pair(64, 8)  # 64 tiles of 8x8 px
+
+
+class TestMeasureErrorMatrix:
+    def test_cpu_slower_than_gpu_model(self):
+        """The table's defining shape: scalar loop loses to vectorised."""
+        m = measure_error_matrix(SMALL)
+        assert m.cpu_seconds > m.gpu_seconds
+
+    def test_model_fields_positive(self):
+        m = measure_error_matrix(SMALL)
+        assert m.model_cpu_seconds > 0
+        assert m.model_gpu_seconds > 0
+        # At this toy size the model rightly predicts launch overhead
+        # dominating; at paper scale it must predict a large win.
+        paper = measure_error_matrix.__globals__["_MODEL"]
+        assert (
+            paper.error_matrix_time(2048, 4096, "cpu")
+            / paper.error_matrix_time(2048, 4096, "gpu")
+            > 30
+        )
+
+
+class TestMeasureRearrangement:
+    def test_returns_both_algorithms(self):
+        out = measure_rearrangement(SMALL)
+        assert set(out) == {"optimization", "approximation"}
+
+    def test_quality_ordering_in_extras(self):
+        out = measure_rearrangement(SMALL)
+        extras = out["approximation"].extras
+        assert extras["optimal_error"] <= extras["serial_error"]
+        assert extras["optimal_error"] <= extras["parallel_error"]
+
+    def test_sweep_counts_recorded(self):
+        extras = measure_rearrangement(SMALL)["approximation"].extras
+        assert extras["serial_sweeps"] >= 1
+        assert extras["parallel_sweeps"] >= 1
+
+
+class TestMeasureTotalPipeline:
+    def test_totals_are_sums(self):
+        out = measure_total_pipeline(SMALL)
+        for algo in ("optimization", "approximation"):
+            m = out[algo]
+            assert m.cpu_seconds > 0
+            assert m.gpu_seconds > 0
+
+    def test_model_speedup_shapes(self):
+        out = measure_total_pipeline(SMALL)
+        assert out["approximation"].model_speedup > 0
+        assert out["optimization"].model_speedup > 0
+
+
+class TestQualityComparison:
+    def test_table1_row(self):
+        q = quality_comparison(SMALL)
+        assert q["optimization"] <= q["approximation_cpu"]
+        assert q["optimization"] <= q["approximation_gpu"]
+        assert q["total_error_check"] == q["optimization"]
+
+    def test_cpu_gpu_orders_close(self):
+        """Paper: 'their total errors differ, but the difference is small'."""
+        q = quality_comparison(SMALL)
+        gap = abs(q["approximation_cpu"] - q["approximation_gpu"])
+        assert gap <= 0.05 * q["approximation_cpu"]

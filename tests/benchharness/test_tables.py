@@ -1,0 +1,37 @@
+"""Tests for table formatting."""
+
+from __future__ import annotations
+
+import math
+
+from repro.benchharness.tables import format_table, speedup
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_zero_gpu_is_inf(self):
+        assert speedup(1.0, 0.0) == math.inf
+
+
+class TestFormatTable:
+    def test_contains_title_and_headers(self):
+        text = format_table("My Table", ["a", "bb"], [[1, 2.5]])
+        assert text.startswith("My Table")
+        assert "bb" in text
+
+    def test_row_count(self):
+        text = format_table("T", ["x"], [[1], [2], [3]])
+        assert len(text.splitlines()) == 2 + 3 + 1  # title + header + sep + rows
+
+    def test_alignment_width(self):
+        text = format_table("T", ["col"], [[123456]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[3])
+
+    def test_float_formatting(self):
+        text = format_table("T", ["v"], [[0.12345], [1.23456], [123.456]])
+        assert "0.1234" in text or "0.1235" in text
+        assert "1.235" in text
+        assert "123.5" in text

@@ -1,0 +1,69 @@
+"""Tests for workload definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchharness.workloads import (
+    PAPER_IMAGE_SIZES,
+    PAPER_PAIRS,
+    PAPER_TILE_GRIDS,
+    Workload,
+    default_profile,
+    paper_grid,
+    workload_pair,
+)
+
+
+class TestPaperGrid:
+    def test_full_profile_is_paper_grid(self):
+        grid = paper_grid("full")
+        assert len(grid) == 9
+        assert (2048, 64) in grid
+        assert {n for n, _ in grid} == set(PAPER_IMAGE_SIZES)
+        assert {t for _, t in grid} == set(PAPER_TILE_GRIDS)
+
+    def test_default_profile_scaled_down(self):
+        grid = paper_grid("default")
+        assert len(grid) == 9
+        assert max(n for n, _ in grid) <= 512
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError, match="profile"):
+            paper_grid("huge")
+
+    def test_default_profile_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+        assert default_profile() == "default"
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        assert default_profile() == "full"
+
+
+class TestWorkload:
+    def test_derived_quantities(self):
+        w = Workload("portrait", "sailboat", n=512, tiles_per_side=32)
+        assert w.tile_count == 1024
+        assert w.tile_size == 16
+        assert "S=32^2" in w.label
+
+    def test_images_deterministic(self):
+        w = workload_pair(128, 8)
+        a_in, a_tg = w.images()
+        b_in, b_tg = w.images()
+        assert (a_in == b_in).all()
+        assert (a_tg == b_tg).all()
+
+    def test_tiles_shapes(self):
+        w = workload_pair(128, 8)
+        tiles_in, tiles_tg = w.tiles()
+        assert tiles_in.shape == (64, 16, 16)
+        assert tiles_tg.shape == tiles_in.shape
+
+    def test_pair_index_wraps(self):
+        assert workload_pair(128, 8, pair_index=len(PAPER_PAIRS)).input_name == (
+            PAPER_PAIRS[0][0]
+        )
+
+    def test_first_pair_is_portrait_sailboat(self):
+        w = workload_pair(128, 8, pair_index=0)
+        assert (w.input_name, w.target_name) == ("portrait", "sailboat")

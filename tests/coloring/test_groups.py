@@ -1,0 +1,61 @@
+"""Tests for packed edge groups."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coloring.groups import build_edge_groups
+from repro.coloring.round_robin import edge_coloring_complete
+from repro.exceptions import ValidationError
+
+
+class TestBuildEdgeGroups:
+    def test_matches_pair_lists(self):
+        groups = build_edge_groups(16)
+        raw = edge_coloring_complete(16)
+        assert groups.as_pair_lists() == raw
+
+    def test_edge_count(self):
+        groups = build_edge_groups(10)
+        assert groups.edge_count == 10 * 9 // 2
+
+    def test_class_count_even(self):
+        assert build_edge_groups(16).class_count == 16
+
+    def test_class_count_odd(self):
+        assert build_edge_groups(9).class_count == 9
+
+    def test_arrays_are_intp(self):
+        groups = build_edge_groups(8)
+        for us, vs in groups.classes:
+            assert us.dtype == np.intp
+            assert vs.dtype == np.intp
+            assert us.shape == vs.shape
+
+    def test_disjoint_within_class(self):
+        groups = build_edge_groups(20)
+        for us, vs in groups.classes:
+            ids = np.concatenate([us, vs])
+            assert len(np.unique(ids)) == ids.size
+
+    def test_caching_returns_same_object(self):
+        assert build_edge_groups(12) is build_edge_groups(12)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            build_edge_groups(0)
+
+    def test_networkx_cross_check(self):
+        """Every class must be a matching of K_n per networkx."""
+        import networkx as nx
+
+        n = 14
+        graph = nx.complete_graph(n)
+        groups = build_edge_groups(n)
+        covered = set()
+        for us, vs in groups.classes:
+            pairs = {(int(u), int(v)) for u, v in zip(us, vs)}
+            assert nx.is_matching(graph, pairs)
+            covered |= pairs
+        assert covered == {(min(u, v), max(u, v)) for u, v in graph.edges}

@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imaging.synthetic import standard_image, synthetic_image
+from repro.tiles.grid import TileGrid
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Deterministic RNG; tests that need randomness draw from this."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def portrait_64() -> np.ndarray:
+    return standard_image("portrait", 64)
+
+
+@pytest.fixture(scope="session")
+def sailboat_64() -> np.ndarray:
+    return standard_image("sailboat", 64)
+
+
+@pytest.fixture(scope="session")
+def small_pair() -> tuple[np.ndarray, np.ndarray]:
+    """A 64x64 (input, target) pair."""
+    return standard_image("portrait", 64), standard_image("sailboat", 64)
+
+
+@pytest.fixture(scope="session")
+def tile_stacks_8x8() -> tuple[np.ndarray, np.ndarray]:
+    """Tile stacks with S=64 tiles of 8x8 px from the 64x64 pair."""
+    grid = TileGrid.from_tile_count(64, 8)
+    return (
+        grid.split(standard_image("portrait", 64)),
+        grid.split(standard_image("sailboat", 64)),
+    )
+
+
+@pytest.fixture()
+def random_matrix(rng: np.random.Generator) -> np.ndarray:
+    """A random 24x24 integer error matrix."""
+    return rng.integers(0, 10_000, size=(24, 24)).astype(np.int64)
+
+
+@pytest.fixture(scope="session")
+def small_error_matrix() -> np.ndarray:
+    """Deterministic 64x64 error matrix from the real pipeline."""
+    from repro.cost.matrix import error_matrix
+
+    grid = TileGrid.from_tile_count(64, 8)
+    return error_matrix(
+        grid.split(standard_image("portrait", 64)),
+        grid.split(standard_image("sailboat", 64)),
+    )
+
+
+@pytest.fixture()
+def noisy_image(rng: np.random.Generator) -> np.ndarray:
+    return synthetic_image(48, seed=rng, smoothness=0.2)

@@ -1,0 +1,79 @@
+"""Tests for the gradient-aware cost metric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cost import get_metric
+from repro.cost.gradient import GradientMetric
+from repro.cost.matrix import error_matrix
+from repro.cost.sad import SADMetric
+from repro.exceptions import ValidationError
+
+
+class TestGradientMetric:
+    def test_registered(self):
+        assert get_metric("gradient").name == "gradient"
+
+    def test_identical_tiles_zero(self, rng):
+        tile = rng.integers(0, 256, size=(8, 8)).astype(np.uint8)
+        assert GradientMetric().tile_error(tile, tile) == 0
+
+    def test_weight_zero_equals_sad(self, tile_stacks_8x8):
+        tiles_in, tiles_tg = tile_stacks_8x8
+        grad0 = error_matrix(tiles_in, tiles_tg, GradientMetric(weight=0))
+        sad = error_matrix(tiles_in, tiles_tg, SADMetric())
+        assert (grad0 == sad).all()
+
+    def test_dominates_sad(self, tile_stacks_8x8):
+        """Adding a non-negative gradient term can only raise the error."""
+        tiles_in, tiles_tg = tile_stacks_8x8
+        grad = error_matrix(tiles_in, tiles_tg, GradientMetric(weight=2))
+        sad = error_matrix(tiles_in, tiles_tg, SADMetric())
+        assert (grad >= sad).all()
+
+    def test_penalises_edge_mismatch(self):
+        """Two tiles with equal intensity-SAD to a target: the one whose
+        edge structure matches must win under the gradient metric."""
+        target = np.zeros((8, 8), dtype=np.uint8)
+        target[:, 4:] = 100  # vertical edge
+        match = np.zeros((8, 8), dtype=np.uint8)
+        match[:, 4:] = 90  # same edge, slightly dimmer
+        flat = np.full((8, 8), 45, dtype=np.uint8)  # no edge at all
+        sad = SADMetric()
+        # Construct comparable intensity errors.
+        sad_match = sad.tile_error(match, target)
+        sad_flat = sad.tile_error(flat, target)
+        metric = GradientMetric(weight=4)
+        g_match = metric.tile_error(match, target)
+        g_flat = metric.tile_error(flat, target)
+        # The gradient term must penalise the flat tile far more than the
+        # edge-preserving tile, relative to the plain SAD baseline.
+        assert (g_flat - sad_flat) > (g_match - sad_match)
+
+    def test_weight_scales_gradient_term(self, rng):
+        a = rng.integers(0, 256, size=(8, 8)).astype(np.uint8)
+        b = rng.integers(0, 256, size=(8, 8)).astype(np.uint8)
+        sad = SADMetric().tile_error(a, b)
+        e1 = GradientMetric(weight=1).tile_error(a, b)
+        e3 = GradientMetric(weight=3).tile_error(a, b)
+        assert (e3 - sad) == 3 * (e1 - sad)
+
+    def test_rejects_color_tiles(self):
+        with pytest.raises(ValidationError, match="gray"):
+            GradientMetric().prepare(np.zeros((2, 4, 4, 3), dtype=np.uint8))
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ValidationError, match="weight"):
+            GradientMetric(weight=-1)
+        with pytest.raises(ValidationError, match="weight"):
+            GradientMetric(weight=1.5)
+
+    def test_pipeline_integration(self, small_pair):
+        from repro import generate_photomosaic
+
+        inp, tgt = small_pair
+        result = generate_photomosaic(inp, tgt, tile_size=8, metric="gradient")
+        assert result.total_error > 0
+        assert result.image.shape == inp.shape

@@ -1,0 +1,149 @@
+"""Tests for the cost metrics (paper Eq. 1 and its variants)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cost import (
+    LuminanceMetric,
+    SADMetric,
+    SSDMetric,
+    WeightedColorMetric,
+    get_metric,
+)
+from repro.exceptions import ValidationError
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["sad", "ssd", "luminance", "color"])
+    def test_lookup(self, name):
+        assert get_metric(name).name == name
+
+    def test_instance_passes_through(self):
+        metric = SADMetric()
+        assert get_metric(metric) is metric
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError, match="unknown cost metric"):
+            get_metric("l3")
+
+
+class TestSAD:
+    def test_identical_tiles_zero(self, rng):
+        tile = rng.integers(0, 256, size=(8, 8)).astype(np.uint8)
+        assert SADMetric().tile_error(tile, tile) == 0
+
+    def test_known_value(self):
+        a = np.zeros((2, 2), dtype=np.uint8)
+        b = np.array([[1, 2], [3, 4]], dtype=np.uint8)
+        assert SADMetric().tile_error(a, b) == 10
+
+    def test_symmetric(self, rng):
+        a = rng.integers(0, 256, size=(4, 4)).astype(np.uint8)
+        b = rng.integers(0, 256, size=(4, 4)).astype(np.uint8)
+        m = SADMetric()
+        assert m.tile_error(a, b) == m.tile_error(b, a)
+
+    def test_max_value(self):
+        a = np.zeros((4, 4), dtype=np.uint8)
+        b = np.full((4, 4), 255, dtype=np.uint8)
+        assert SADMetric().tile_error(a, b) == 16 * 255
+
+    def test_triangle_inequality(self, rng):
+        m = SADMetric()
+        a, b, c = (rng.integers(0, 256, size=(4, 4)).astype(np.uint8) for _ in range(3))
+        assert m.tile_error(a, c) <= m.tile_error(a, b) + m.tile_error(b, c)
+
+    def test_color_tiles_flatten_channels(self):
+        a = np.zeros((2, 2, 3), dtype=np.uint8)
+        b = np.ones((2, 2, 3), dtype=np.uint8)
+        assert SADMetric().tile_error(a, b) == 12
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError, match="differ"):
+            SADMetric().tile_error(
+                np.zeros((2, 2), dtype=np.uint8), np.zeros((3, 3), dtype=np.uint8)
+            )
+
+
+class TestSSD:
+    def test_known_value(self):
+        a = np.zeros((2, 2), dtype=np.uint8)
+        b = np.array([[1, 2], [3, 4]], dtype=np.uint8)
+        assert SSDMetric().tile_error(a, b) == 1 + 4 + 9 + 16
+
+    def test_identical_zero(self, rng):
+        tile = rng.integers(0, 256, size=(8, 8)).astype(np.uint8)
+        assert SSDMetric().tile_error(tile, tile) == 0
+
+    def test_gemm_expansion_matches_direct(self, rng):
+        """The |a|^2 - 2ab + |b|^2 trick must be exact for uint8 inputs."""
+        m = SSDMetric()
+        a = rng.integers(0, 256, size=(6, 8, 8)).astype(np.uint8)
+        b = rng.integers(0, 256, size=(6, 8, 8)).astype(np.uint8)
+        block = m.pairwise(m.prepare(a), m.prepare(b))
+        direct = (
+            (a.reshape(6, 1, -1).astype(np.int64) - b.reshape(1, 6, -1).astype(np.int64))
+            ** 2
+        ).sum(axis=2)
+        assert (block == direct).all()
+
+    def test_dominates_sad_squared_bound(self, rng):
+        """Cauchy-Schwarz: SAD^2 <= P * SSD for P pixels."""
+        a = rng.integers(0, 256, size=(4, 4)).astype(np.uint8)
+        b = rng.integers(0, 256, size=(4, 4)).astype(np.uint8)
+        sad = SADMetric().tile_error(a, b)
+        ssd = SSDMetric().tile_error(a, b)
+        assert sad * sad <= 16 * ssd
+
+
+class TestLuminance:
+    def test_equal_means_zero(self):
+        a = np.zeros((4, 4), dtype=np.uint8)
+        a[0, 0] = 80
+        b = np.zeros((4, 4), dtype=np.uint8)
+        b[3, 3] = 80
+        assert LuminanceMetric().tile_error(a, b) == 0
+
+    def test_scaled_mean_difference(self):
+        a = np.full((4, 4), 10, dtype=np.uint8)
+        b = np.full((4, 4), 14, dtype=np.uint8)
+        # |sum difference| = 16 px * 4
+        assert LuminanceMetric().tile_error(a, b) == 64
+
+    def test_lower_bounds_sad(self, rng):
+        """|sum a - sum b| <= sum|a - b| (triangle inequality)."""
+        for _ in range(10):
+            a = rng.integers(0, 256, size=(4, 4)).astype(np.uint8)
+            b = rng.integers(0, 256, size=(4, 4)).astype(np.uint8)
+            assert LuminanceMetric().tile_error(a, b) <= SADMetric().tile_error(a, b)
+
+
+class TestWeightedColor:
+    def test_requires_color_tiles(self):
+        with pytest.raises(ValidationError, match="color metric"):
+            WeightedColorMetric().prepare(np.zeros((2, 4, 4), dtype=np.uint8))
+
+    def test_weights_applied_per_channel(self):
+        a = np.zeros((1, 1, 3), dtype=np.uint8)
+        b = np.zeros((1, 1, 3), dtype=np.uint8)
+        b[0, 0] = (1, 1, 1)
+        metric = WeightedColorMetric(weights=(3, 6, 1))
+        assert metric.tile_error(a, b) == 10
+
+    def test_green_weighted_highest_by_default(self):
+        base = np.zeros((2, 2, 3), dtype=np.uint8)
+        metric = WeightedColorMetric()
+        errs = []
+        for channel in range(3):
+            other = base.copy()
+            other[:, :, channel] = 50
+            errs.append(metric.tile_error(base, other))
+        assert errs[1] == max(errs)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValidationError, match="weights"):
+            WeightedColorMetric(weights=(0, 0, 0))
+        with pytest.raises(ValidationError, match="weights"):
+            WeightedColorMetric(weights=(1, -1, 1))

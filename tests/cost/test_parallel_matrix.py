@@ -1,0 +1,72 @@
+"""Tests for the multiprocess error-matrix computation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cost.matrix import error_matrix
+from repro.cost.parallel_matrix import error_matrix_parallel
+from repro.exceptions import ValidationError
+
+
+class TestCorrectness:
+    def test_matches_serial(self, tile_stacks_8x8):
+        tiles_in, tiles_tg = tile_stacks_8x8
+        serial = error_matrix(tiles_in, tiles_tg)
+        parallel = error_matrix_parallel(tiles_in, tiles_tg, workers=3, force=True)
+        assert (serial == parallel).all()
+
+    @pytest.mark.parametrize("workers", [1, 2, 5])
+    def test_any_worker_count(self, workers, tile_stacks_8x8):
+        tiles_in, tiles_tg = tile_stacks_8x8
+        expected = error_matrix(tiles_in, tiles_tg)
+        got = error_matrix_parallel(
+            tiles_in, tiles_tg, workers=workers, force=True
+        )
+        assert (got == expected).all()
+
+    def test_workers_exceeding_rows(self, tile_stacks_8x8):
+        tiles_in, tiles_tg = tile_stacks_8x8
+        got = error_matrix_parallel(tiles_in, tiles_tg, workers=1000, force=True)
+        assert (got == error_matrix(tiles_in, tiles_tg)).all()
+
+    @pytest.mark.parametrize("metric", ["sad", "ssd", "luminance"])
+    def test_all_named_metrics(self, metric, tile_stacks_8x8):
+        tiles_in, tiles_tg = tile_stacks_8x8
+        expected = error_matrix(tiles_in, tiles_tg, metric)
+        got = error_matrix_parallel(
+            tiles_in, tiles_tg, metric, workers=2, force=True
+        )
+        assert (got == expected).all()
+
+    def test_small_problem_fallback(self, tile_stacks_8x8):
+        """Below the work threshold the serial path runs (same result)."""
+        tiles_in, tiles_tg = tile_stacks_8x8
+        got = error_matrix_parallel(tiles_in, tiles_tg, workers=4)  # no force
+        assert (got == error_matrix(tiles_in, tiles_tg)).all()
+
+    def test_single_tile(self):
+        tile = np.full((1, 4, 4), 7, dtype=np.uint8)
+        got = error_matrix_parallel(tile, tile, force=True)
+        assert got.shape == (1, 1)
+        assert got[0, 0] == 0
+
+
+class TestValidation:
+    def test_rejects_metric_instance(self, tile_stacks_8x8):
+        from repro.cost.sad import SADMetric
+
+        tiles_in, tiles_tg = tile_stacks_8x8
+        with pytest.raises(ValidationError, match="registry name"):
+            error_matrix_parallel(tiles_in, tiles_tg, SADMetric())
+
+    def test_rejects_zero_workers(self, tile_stacks_8x8):
+        tiles_in, tiles_tg = tile_stacks_8x8
+        with pytest.raises(ValidationError, match="workers"):
+            error_matrix_parallel(tiles_in, tiles_tg, workers=0)
+
+    def test_rejects_mismatched_stacks(self, tile_stacks_8x8):
+        tiles_in, _ = tile_stacks_8x8
+        with pytest.raises(ValidationError, match="differ"):
+            error_matrix_parallel(tiles_in, tiles_in[:3])

@@ -1,0 +1,52 @@
+"""Tests for the pure-Python reference implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cost.reference import error_matrix_reference, tile_error_reference
+from repro.exceptions import ValidationError
+
+
+class TestTileErrorReference:
+    def test_known_value(self):
+        a = np.array([[0, 10], [20, 30]], dtype=np.uint8)
+        b = np.array([[5, 5], [25, 25]], dtype=np.uint8)
+        assert tile_error_reference(a, b) == 5 + 5 + 5 + 5
+
+    def test_identical_zero(self, rng):
+        t = rng.integers(0, 256, size=(8, 8)).astype(np.uint8)
+        assert tile_error_reference(t, t) == 0
+
+    def test_matches_vectorized_metric(self, rng):
+        from repro.cost.sad import SADMetric
+
+        metric = SADMetric()
+        for _ in range(5):
+            a = rng.integers(0, 256, size=(6, 6)).astype(np.uint8)
+            b = rng.integers(0, 256, size=(6, 6)).astype(np.uint8)
+            assert tile_error_reference(a, b) == metric.tile_error(a, b)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            tile_error_reference(
+                np.zeros((2, 2), dtype=np.uint8), np.zeros((2, 3), dtype=np.uint8)
+            )
+
+
+class TestErrorMatrixReference:
+    def test_small_case_by_hand(self):
+        tiles_in = np.array([[[0]], [[10]]], dtype=np.uint8)
+        tiles_tg = np.array([[[5]], [[20]]], dtype=np.uint8)
+        m = error_matrix_reference(tiles_in, tiles_tg)
+        assert m.tolist() == [[5, 20], [5, 10]]
+
+    def test_dtype(self, rng):
+        tiles = rng.integers(0, 256, size=(4, 4, 4)).astype(np.uint8)
+        assert error_matrix_reference(tiles, tiles).dtype == np.int64
+
+    def test_mismatch_raises(self, rng):
+        tiles = rng.integers(0, 256, size=(4, 4, 4)).astype(np.uint8)
+        with pytest.raises(ValidationError):
+            error_matrix_reference(tiles, tiles[:2])

@@ -1,0 +1,107 @@
+"""Tests for orientation-minimised error matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cost.matrix import error_matrix
+from repro.cost.transformed import transformed_error_matrix
+from repro.exceptions import ValidationError
+from repro.tiles.transforms import apply_transform
+
+
+class TestTransformedMatrix:
+    def test_lower_bounds_plain_matrix(self, tile_stacks_8x8):
+        tiles_in, tiles_tg = tile_stacks_8x8
+        plain = error_matrix(tiles_in, tiles_tg)
+        best, codes = transformed_error_matrix(tiles_in, tiles_tg)
+        assert (best <= plain).all()
+        assert codes.shape == best.shape
+
+    def test_codes_achieve_reported_minimum(self, tile_stacks_8x8):
+        from repro.cost.sad import SADMetric
+
+        tiles_in, tiles_tg = tile_stacks_8x8
+        best, codes = transformed_error_matrix(tiles_in, tiles_tg)
+        metric = SADMetric()
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            u = int(rng.integers(0, tiles_in.shape[0]))
+            v = int(rng.integers(0, tiles_in.shape[0]))
+            oriented = apply_transform(tiles_in[u], int(codes[u, v]))
+            assert metric.tile_error(oriented, tiles_tg[v]) == best[u, v]
+
+    def test_codes_are_true_argmin(self, tile_stacks_8x8):
+        from repro.cost.sad import SADMetric
+
+        tiles_in, tiles_tg = tile_stacks_8x8
+        best, _ = transformed_error_matrix(tiles_in, tiles_tg)
+        metric = SADMetric()
+        u, v = 3, 40
+        errors = [
+            metric.tile_error(apply_transform(tiles_in[u], k), tiles_tg[v])
+            for k in range(8)
+        ]
+        assert best[u, v] == min(errors)
+
+    def test_symmetric_tile_prefers_identity(self):
+        """Ties must resolve to orientation 0."""
+        flat = np.full((1, 4, 4), 100, dtype=np.uint8)  # invariant under D4
+        _, codes = transformed_error_matrix(flat, flat)
+        assert codes[0, 0] == 0
+
+    def test_rotated_input_fully_recovered(self):
+        """If the input tiles are rotated copies of the targets, the
+        minimised diagonal must be exactly zero."""
+        rng = np.random.default_rng(1)
+        targets = rng.integers(0, 256, size=(6, 8, 8)).astype(np.uint8)
+        rotated = np.stack(
+            [apply_transform(t, (i % 7) + 1) for i, t in enumerate(targets)]
+        )
+        best, _ = transformed_error_matrix(rotated, targets)
+        assert (np.diag(best) == 0).all()
+
+    def test_rejects_mismatched_stacks(self, tile_stacks_8x8):
+        tiles_in, _ = tile_stacks_8x8
+        with pytest.raises(ValidationError):
+            transformed_error_matrix(tiles_in, tiles_in[:4])
+
+
+class TestPipelineIntegration:
+    def test_transforms_never_hurt_optimal_error(self, small_pair):
+        from repro import generate_photomosaic
+
+        inp, tgt = small_pair
+        plain = generate_photomosaic(
+            inp, tgt, tile_size=8, algorithm="optimization"
+        )
+        transformed = generate_photomosaic(
+            inp, tgt, tile_size=8, algorithm="optimization", allow_transforms=True
+        )
+        assert transformed.total_error <= plain.total_error
+        assert 0.0 <= transformed.meta["transformed_fraction"] <= 1.0
+
+    def test_pixel_multiset_preserved_under_transforms(self, small_pair):
+        """Rotating/flipping tiles permutes pixels, never invents them."""
+        from repro import generate_photomosaic
+        from repro.imaging.histogram import match_histogram
+
+        inp, tgt = small_pair
+        result = generate_photomosaic(
+            inp, tgt, tile_size=8, algorithm="parallel", allow_transforms=True
+        )
+        adjusted = match_histogram(inp, tgt)
+        assert (np.sort(result.image.ravel()) == np.sort(adjusted.ravel())).all()
+
+    def test_orientations_recorded_per_position(self, small_pair):
+        from repro import generate_photomosaic
+
+        inp, tgt = small_pair
+        result = generate_photomosaic(
+            inp, tgt, tile_size=8, allow_transforms=True
+        )
+        orientations = result.meta["orientations"]
+        assert orientations.shape == (64,)
+        assert orientations.min() >= 0
+        assert orientations.max() < 8

@@ -1,0 +1,108 @@
+"""Tests for kernel launch and SIMT execution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GpuSimError
+from repro.gpusim.device import CORE_I7_3770, TESLA_K40, DeviceProperties
+from repro.gpusim.kernel import KernelStats, launch_kernel
+from repro.gpusim.memory import GlobalMemory
+
+
+def _saxpy_kernel(ctx, alpha):
+    """Toy kernel: out = alpha * x + y, one element per global thread."""
+    ids = ctx.global_thread_ids()
+    n = ctx.global_mem.buffer("x").shape[0]
+    ids = ids[ids < n]
+    if ids.size == 0:
+        return
+    x = ctx.global_mem.read("x", ids)
+    y = ctx.global_mem.read("y", ids)
+    ctx.count_ops(2 * ids.size)
+    ctx.global_mem.write("out", ids, alpha * x + y)
+
+
+class TestLaunch:
+    def test_computes_correctly(self):
+        gmem = GlobalMemory()
+        gmem.upload("x", np.arange(10, dtype=np.float64))
+        gmem.upload("y", np.ones(10))
+        gmem.alloc("out", (10,), np.float64)
+        launch_kernel(TESLA_K40, gmem, _saxpy_kernel, 2.0, grid_dim=3, block_dim=4)
+        assert np.allclose(gmem.buffer("out"), 2.0 * np.arange(10) + 1)
+
+    def test_stats_accumulate(self):
+        gmem = GlobalMemory()
+        gmem.upload("x", np.arange(8, dtype=np.float64))
+        gmem.upload("y", np.zeros(8))
+        gmem.alloc("out", (8,), np.float64)
+        stats = KernelStats()
+        launch_kernel(
+            TESLA_K40, gmem, _saxpy_kernel, 1.0, grid_dim=2, block_dim=4, stats=stats
+        )
+        launch_kernel(
+            TESLA_K40, gmem, _saxpy_kernel, 1.0, grid_dim=2, block_dim=4, stats=stats
+        )
+        assert stats.launches == 2
+        assert stats.blocks == 4
+        assert stats.lane_ops == 2 * 2 * 8
+
+    def test_block_dim_limit(self):
+        gmem = GlobalMemory()
+        with pytest.raises(GpuSimError, match="block_dim"):
+            launch_kernel(
+                TESLA_K40, gmem, _saxpy_kernel, 1.0, grid_dim=1, block_dim=2048
+            )
+
+    def test_cpu_device_single_lane(self):
+        gmem = GlobalMemory()
+        with pytest.raises(GpuSimError):
+            launch_kernel(
+                CORE_I7_3770, gmem, _saxpy_kernel, 1.0, grid_dim=1, block_dim=2
+            )
+
+    def test_grid_dim_positive(self):
+        with pytest.raises(GpuSimError, match="grid_dim"):
+            launch_kernel(
+                TESLA_K40, GlobalMemory(), _saxpy_kernel, 1.0, grid_dim=0, block_dim=1
+            )
+
+
+def _shared_leak_kernel(ctx):
+    """Tries to observe another block's shared memory (must fail)."""
+    if ctx.block_idx == 0:
+        ctx.shared.alloc("secret", (1,), np.int64)[0] = 7
+    else:
+        # CUDA semantics: a new block sees fresh shared memory.
+        arr = ctx.shared.alloc("secret", (1,), np.int64)
+        ctx.global_mem.write("leak", ctx.block_idx - 1, arr[0])
+
+
+class TestSharedIsolation:
+    def test_blocks_do_not_share_shared_memory(self):
+        gmem = GlobalMemory()
+        gmem.alloc("leak", (3,), np.int64)
+        launch_kernel(TESLA_K40, gmem, _shared_leak_kernel, grid_dim=4, block_dim=1)
+        assert (gmem.buffer("leak") == 0).all()
+
+
+class TestDeviceProperties:
+    def test_k40_spec(self):
+        assert TESLA_K40.total_cores == 2880
+        assert TESLA_K40.warp_size == 32
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            DeviceProperties(
+                name="bad",
+                sm_count=0,
+                cores_per_sm=1,
+                clock_hz=1.0,
+                mem_bandwidth=1.0,
+                shared_mem_per_block=1,
+                max_threads_per_block=1,
+                warp_size=1,
+                kernel_launch_overhead=0.0,
+            )

@@ -1,0 +1,108 @@
+"""Tests for the virtual-GPU memory spaces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GpuSimError
+from repro.gpusim.memory import GlobalMemory, SharedMemory
+
+
+class TestGlobalMemory:
+    def test_alloc_zeroed(self):
+        gmem = GlobalMemory()
+        buf = gmem.alloc("a", (4, 4), np.int64)
+        assert (buf == 0).all()
+        assert gmem.bytes_allocated == 4 * 4 * 8
+
+    def test_upload_copies(self):
+        gmem = GlobalMemory()
+        host = np.arange(6)
+        dev = gmem.upload("x", host)
+        host[0] = 99
+        assert dev[0] == 0  # device copy unaffected by later host writes
+
+    def test_attach_aliases(self):
+        gmem = GlobalMemory()
+        host = np.arange(6)
+        gmem.attach("x", host)
+        gmem.write("x", 0, 42)
+        assert host[0] == 42  # attach is zero-copy by design
+
+    def test_download_copies(self):
+        gmem = GlobalMemory()
+        gmem.upload("x", np.arange(3))
+        out = gmem.download("x")
+        out[0] = 7
+        assert gmem.buffer("x")[0] == 0
+
+    def test_read_write_metered(self):
+        gmem = GlobalMemory()
+        gmem.alloc("a", (10,), np.int64)
+        gmem.write("a", slice(0, 4), np.arange(4))
+        gmem.read("a", slice(0, 2))
+        assert gmem.bytes_written == 4 * 8
+        assert gmem.bytes_read == 2 * 8
+
+    def test_duplicate_name_rejected(self):
+        gmem = GlobalMemory()
+        gmem.alloc("a", (1,), np.uint8)
+        with pytest.raises(GpuSimError, match="already allocated"):
+            gmem.alloc("a", (1,), np.uint8)
+        with pytest.raises(GpuSimError, match="already allocated"):
+            gmem.upload("a", np.zeros(1))
+
+    def test_missing_buffer(self):
+        with pytest.raises(GpuSimError, match="no global buffer"):
+            GlobalMemory().buffer("nope")
+
+    def test_free_releases(self):
+        gmem = GlobalMemory()
+        gmem.alloc("a", (8,), np.int64)
+        gmem.free("a")
+        assert gmem.bytes_allocated == 0
+        with pytest.raises(GpuSimError):
+            gmem.buffer("a")
+
+    def test_free_unknown(self):
+        with pytest.raises(GpuSimError):
+            GlobalMemory().free("nope")
+
+
+class TestSharedMemory:
+    def test_alloc_within_capacity(self):
+        smem = SharedMemory(1024)
+        arr = smem.alloc("tile", (64,), np.int16)
+        assert arr.nbytes == 128
+        assert smem.bytes_used == 128
+
+    def test_overflow_rejected(self):
+        smem = SharedMemory(100)
+        with pytest.raises(GpuSimError, match="overflow"):
+            smem.alloc("big", (200,), np.int8)
+
+    def test_cumulative_overflow(self):
+        smem = SharedMemory(100)
+        smem.alloc("a", (60,), np.int8)
+        with pytest.raises(GpuSimError, match="overflow"):
+            smem.alloc("b", (60,), np.int8)
+
+    def test_get(self):
+        smem = SharedMemory(64)
+        smem.alloc("a", (4,), np.int8)
+        assert smem.get("a").shape == (4,)
+
+    def test_get_missing(self):
+        with pytest.raises(GpuSimError, match="no shared array"):
+            SharedMemory(64).get("a")
+
+    def test_duplicate_name(self):
+        smem = SharedMemory(64)
+        smem.alloc("a", (4,), np.int8)
+        with pytest.raises(GpuSimError, match="already allocated"):
+            smem.alloc("a", (4,), np.int8)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(GpuSimError):
+            SharedMemory(0)

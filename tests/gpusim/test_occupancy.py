@@ -1,0 +1,82 @@
+"""Tests for the occupancy calculator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.gpusim.device import TESLA_K40
+from repro.gpusim.occupancy import best_block_dim, occupancy
+
+
+class TestOccupancy:
+    def test_full_occupancy_no_shared(self):
+        report = occupancy(TESLA_K40, 256)
+        assert report.blocks_per_sm == 8  # 2048 threads / 256
+        assert report.occupancy == 1.0
+        assert report.limiter == "threads"
+
+    def test_block_limit_binds_for_tiny_blocks(self):
+        report = occupancy(TESLA_K40, 32)
+        assert report.limiter == "blocks"
+        assert report.blocks_per_sm == 16
+        assert report.occupancy == pytest.approx(16 * 32 / 2048)
+
+    def test_shared_memory_limiter(self):
+        # 8 KiB per block -> 6 blocks fit in 48 KiB.
+        report = occupancy(TESLA_K40, 256, shared_bytes_per_block=8 * 1024)
+        assert report.limiter == "shared_memory"
+        assert report.blocks_per_sm == 6
+        assert report.occupancy == pytest.approx(6 * 256 / 2048)
+
+    def test_occupancy_bounded(self):
+        for block in (32, 100, 256, 1024):
+            report = occupancy(TESLA_K40, block, shared_bytes_per_block=1024)
+            assert 0.0 <= report.occupancy <= 1.0
+
+    def test_rejects_oversized_block(self):
+        with pytest.raises(ValidationError, match="block_dim"):
+            occupancy(TESLA_K40, 2048)
+
+    def test_rejects_oversized_shared(self):
+        with pytest.raises(ValidationError, match="shared memory"):
+            occupancy(TESLA_K40, 256, shared_bytes_per_block=64 * 1024)
+
+    def test_rejects_negative_shared(self):
+        with pytest.raises(ValidationError):
+            occupancy(TESLA_K40, 256, shared_bytes_per_block=-1)
+
+
+class TestBestBlockDim:
+    def test_prefers_full_occupancy(self):
+        report = best_block_dim(TESLA_K40)
+        assert report.occupancy == 1.0
+
+    def test_ties_break_small(self):
+        # 128, 256, 512, 1024 all reach occupancy 1 with no shared memory;
+        # the smallest winning candidate must be returned.
+        report = best_block_dim(TESLA_K40)
+        assert report.block_dim == 128
+
+    def test_shared_memory_changes_choice(self):
+        # 16 KiB/block -> only 3 blocks fit per SM; only 1024-thread blocks
+        # (limited to 2 by the thread cap instead) still reach the full
+        # 2048 active threads.
+        tight = best_block_dim(TESLA_K40, shared_bytes_per_block=16 * 1024)
+        assert tight.block_dim == 1024
+        assert tight.occupancy == 1.0
+        assert tight.limiter == "threads"
+
+    def test_error_kernel_footprint(self):
+        """The paper's Step-2 kernel stages one tile (<= 2 KiB int16 at
+        M=32): occupancy must not be shared-memory limited."""
+        report = best_block_dim(TESLA_K40, shared_bytes_per_block=2 * 1024)
+        assert report.limiter != "shared_memory"
+        assert report.occupancy == 1.0
+
+    def test_no_feasible_candidate(self):
+        from dataclasses import replace
+
+        tiny = replace(TESLA_K40, max_threads_per_block=16)
+        with pytest.raises(ValidationError, match="no candidate"):
+            best_block_dim(tiny)

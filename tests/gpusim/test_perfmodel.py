@@ -1,0 +1,155 @@
+"""Tests for the calibrated performance model.
+
+The model's contract is to reproduce the paper's published tables: each
+test pins a paper number and requires the prediction within a stated
+tolerance, so any recalibration that breaks fidelity fails loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.gpusim.perfmodel import PerformanceModel, interpolate_loglog
+
+MODEL = PerformanceModel()
+
+
+def within(value: float, target: float, rel: float) -> bool:
+    return abs(value - target) <= rel * target
+
+
+class TestInterpolateLoglog:
+    def test_exact_at_anchors(self):
+        anchors = {10: 1.0, 100: 100.0}
+        assert interpolate_loglog(anchors, 10) == pytest.approx(1.0)
+        assert interpolate_loglog(anchors, 100) == pytest.approx(100.0)
+
+    def test_power_law_between(self):
+        anchors = {10: 1.0, 1000: 100.0}  # exponent 1
+        assert interpolate_loglog(anchors, 100) == pytest.approx(10.0)
+
+    def test_extrapolates_with_boundary_slope(self):
+        anchors = {10: 10.0, 100: 100.0}  # linear
+        assert interpolate_loglog(anchors, 1000) == pytest.approx(1000.0)
+        assert interpolate_loglog(anchors, 1) == pytest.approx(1.0)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValidationError):
+            interpolate_loglog({10: 1.0, 20: 2.0}, 0)
+        with pytest.raises(ValidationError):
+            interpolate_loglog({10: 1.0}, 5)
+
+
+class TestTable2Fidelity:
+    """Paper Table II, CPU column (seconds)."""
+
+    @pytest.mark.parametrize(
+        "n,tiles,paper",
+        [
+            (512, 16, 0.397),
+            (512, 32, 1.599),
+            (512, 64, 6.253),
+            (1024, 32, 6.178),
+            (2048, 64, 98.485),
+        ],
+    )
+    def test_cpu_times(self, n, tiles, paper):
+        predicted = MODEL.error_matrix_time(n, tiles * tiles, "cpu")
+        assert within(predicted, paper, 0.15)
+
+    @pytest.mark.parametrize(
+        "n,tiles,paper",
+        [(512, 32, 0.017), (1024, 32, 0.077), (2048, 64, 1.230)],
+    )
+    def test_gpu_times(self, n, tiles, paper):
+        predicted = MODEL.error_matrix_time(n, tiles * tiles, "gpu")
+        assert within(predicted, paper, 0.6)
+
+    def test_speedup_range_matches_paper(self):
+        """Paper: 58-93x across the grid."""
+        for n in (512, 1024, 2048):
+            for t in (16, 32, 64):
+                s = t * t
+                ratio = MODEL.error_matrix_time(n, s, "cpu") / MODEL.error_matrix_time(
+                    n, s, "gpu"
+                )
+                assert 30 <= ratio <= 130
+
+
+class TestTable3Fidelity:
+    def test_matching_anchors_exact(self):
+        assert MODEL.matching_time(256) == pytest.approx(0.067, rel=1e-6)
+        assert MODEL.matching_time(1024) == pytest.approx(15.694, rel=1e-6)
+        assert MODEL.matching_time(4096) == pytest.approx(1264.378, rel=1e-6)
+
+    @pytest.mark.parametrize(
+        "tiles,paper_cpu",
+        [(16, 0.0067), (32, 0.176), (64, 7.0)],
+    )
+    def test_approximation_cpu(self, tiles, paper_cpu):
+        predicted = MODEL.approximation_time(tiles * tiles, "cpu")
+        assert within(predicted, paper_cpu, 0.95)
+
+    def test_gpu_loses_at_small_s(self):
+        """Paper Table III: speedup ~0.5 at S=16^2 (launch overhead wins)."""
+        s = 256
+        cpu = MODEL.approximation_time(s, "cpu")
+        gpu = MODEL.approximation_time(s, "gpu")
+        assert gpu > 0.5 * cpu  # no big win
+
+    def test_gpu_wins_at_large_s(self):
+        """Paper: >= 18x at S=64^2."""
+        s = 4096
+        ratio = MODEL.approximation_time(s, "cpu") / MODEL.approximation_time(s, "gpu")
+        assert ratio >= 10
+
+
+class TestTable4Fidelity:
+    @pytest.mark.parametrize(
+        "n,tiles,paper",
+        [(512, 16, 6.76), (1024, 16, 17.89), (2048, 16, 40.74)],
+    )
+    def test_optimization_speedup(self, n, tiles, paper):
+        assert within(MODEL.speedup(n, tiles * tiles, "optimization"), paper, 0.25)
+
+    def test_optimization_speedup_collapses_for_large_s(self):
+        """Paper: matching dominates, speedup -> ~1 for S=64^2."""
+        assert MODEL.speedup(2048, 4096, "optimization") < 1.5
+
+    @pytest.mark.parametrize(
+        "n,tiles,paper",
+        [(512, 16, 23.24), (1024, 32, 43.04), (2048, 64, 66.76)],
+    )
+    def test_approximation_speedup(self, n, tiles, paper):
+        assert within(MODEL.speedup(n, tiles * tiles, "approximation"), paper, 0.3)
+
+    def test_approximation_speedup_grows_with_n(self):
+        for t in (16, 32, 64):
+            s = t * t
+            speedups = [MODEL.speedup(n, s, "approximation") for n in (512, 1024, 2048)]
+            assert speedups[0] < speedups[1] < speedups[2]
+
+
+class TestValidationAndSweeps:
+    def test_expected_sweeps_anchors(self):
+        assert MODEL.expected_sweeps(256) == 9
+        assert MODEL.expected_sweeps(1024) == 8
+        assert MODEL.expected_sweeps(4096) == 16
+
+    def test_expected_sweeps_interpolates(self):
+        assert 1 <= MODEL.expected_sweeps(512) <= 20
+
+    def test_rejects_bad_device(self):
+        with pytest.raises(ValidationError, match="device"):
+            MODEL.error_matrix_time(512, 256, "tpu")
+
+    def test_rejects_bad_algorithm(self):
+        with pytest.raises(ValidationError, match="algorithm"):
+            MODEL.pipeline_time(512, 256, "genetic", "cpu")
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValidationError):
+            MODEL.error_matrix_time(0, 256, "cpu")
+        with pytest.raises(ValidationError):
+            MODEL.approximation_time(256, "cpu", sweeps=0)

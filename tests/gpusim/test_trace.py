@@ -1,0 +1,77 @@
+"""Tests for the simulated execution timeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.gpusim.device import TESLA_K40
+from repro.gpusim.kernel import KernelStats
+from repro.gpusim.trace import SimulatedTimeline
+
+
+def _stats(ops=1_000_000, launches=1):
+    return KernelStats(launches=launches, lane_ops=ops)
+
+
+class TestTimeline:
+    def test_events_serialize(self):
+        tl = SimulatedTimeline()
+        a = tl.record("step2", _stats(), bytes_moved=10**6)
+        b = tl.record("step3", _stats(), bytes_moved=10**5)
+        assert a.start == 0.0
+        assert b.start == pytest.approx(a.duration)
+        assert tl.total_seconds == pytest.approx(a.duration + b.duration)
+
+    def test_by_name_accumulates(self):
+        tl = SimulatedTimeline()
+        tl.record("swap", _stats(ops=100), bytes_moved=100)
+        tl.record("swap", _stats(ops=100), bytes_moved=100)
+        tl.record("error", _stats(ops=100), bytes_moved=100)
+        per_name = tl.by_name()
+        assert set(per_name) == {"swap", "error"}
+        assert per_name["swap"] == pytest.approx(2 * per_name["error"])
+
+    def test_empty_timeline(self):
+        tl = SimulatedTimeline()
+        assert tl.total_seconds == 0.0
+        assert tl.render() == "(empty timeline)"
+
+    def test_render_contains_events(self):
+        tl = SimulatedTimeline()
+        tl.record("kernel_a", _stats(), bytes_moved=0)
+        text = tl.render()
+        assert "kernel_a" in text
+        assert TESLA_K40.name in text
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError, match="name"):
+            SimulatedTimeline().record("", _stats(), bytes_moved=0)
+
+
+class TestPipelineTrace:
+    def test_trace_of_real_swap_sweep(self, small_error_matrix):
+        """Trace one Algorithm-2 sweep through the virtual GPU."""
+        import numpy as np
+
+        from repro.coloring.groups import build_edge_groups
+        from repro.gpusim.kernels.swap_kernel import run_swap_class_on_device
+        from repro.tiles.permutation import identity_permutation
+
+        s = small_error_matrix.shape[0]
+        groups = build_edge_groups(s)
+        perm = identity_permutation(s)
+        tl = SimulatedTimeline()
+        for index, (us, vs) in enumerate(groups.classes):
+            if us.size == 0:
+                continue
+            stats = KernelStats()
+            run_swap_class_on_device(small_error_matrix, perm, us, vs, stats=stats)
+            tl.record(f"class_{index}", stats, bytes_moved=int(us.size) * 6 * 8)
+        assert len(tl.events) == s - 1  # even S: one empty class
+        assert tl.total_seconds > 0
+        # Launch overhead must dominate at this tiny S (the paper's
+        # small-S GPU slowdown, visible in the simulated clock too).
+        overhead = (s - 1) * TESLA_K40.kernel_launch_overhead
+        assert tl.total_seconds >= overhead
+        assert tl.total_seconds < 2 * overhead

@@ -1,0 +1,60 @@
+"""Tests for grayscale/colour conversion."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.imaging.convert import ensure_gray, gray_to_rgb, rgb_to_gray
+
+
+class TestRgbToGray:
+    def test_pure_channels_use_bt601_weights(self):
+        img = np.zeros((1, 3, 3), dtype=np.uint8)
+        img[0, 0] = (255, 0, 0)
+        img[0, 1] = (0, 255, 0)
+        img[0, 2] = (0, 0, 255)
+        gray = rgb_to_gray(img)
+        assert gray[0, 0] == round(0.299 * 255)
+        assert gray[0, 1] == round(0.587 * 255)
+        assert gray[0, 2] == round(0.114 * 255)
+
+    def test_white_stays_white(self):
+        img = np.full((2, 2, 3), 255, dtype=np.uint8)
+        assert (rgb_to_gray(img) == 255).all()
+
+    def test_gray_passes_through(self):
+        img = np.full((2, 2), 7, dtype=np.uint8)
+        assert rgb_to_gray(img) is img
+
+    def test_neutral_rgb_is_identity(self, rng):
+        levels = rng.integers(0, 256, size=(4, 4)).astype(np.uint8)
+        img = np.repeat(levels[:, :, None], 3, axis=2)
+        assert (rgb_to_gray(img) == levels).all()
+
+
+class TestGrayToRgb:
+    def test_replicates_channels(self):
+        img = np.array([[5, 9]], dtype=np.uint8)
+        rgb = gray_to_rgb(img)
+        assert rgb.shape == (1, 2, 3)
+        assert (rgb[:, :, 0] == rgb[:, :, 1]).all()
+        assert (rgb[:, :, 1] == rgb[:, :, 2]).all()
+        assert rgb[0, 1, 0] == 9
+
+    def test_color_passes_through(self):
+        img = np.zeros((2, 2, 3), dtype=np.uint8)
+        assert gray_to_rgb(img) is img
+
+
+class TestEnsureGray:
+    def test_on_gray(self):
+        img = np.zeros((3, 3), dtype=np.uint8)
+        assert ensure_gray(img).ndim == 2
+
+    def test_on_color(self):
+        img = np.zeros((3, 3, 3), dtype=np.uint8)
+        assert ensure_gray(img).ndim == 2
+
+    def test_roundtrip_gray_rgb_gray(self, rng):
+        gray = rng.integers(0, 256, size=(6, 6)).astype(np.uint8)
+        assert (ensure_gray(gray_to_rgb(gray)) == gray).all()

@@ -1,0 +1,92 @@
+"""Tests for figure-composition helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.imaging.draw import draw_tile_borders, montage, side_by_side
+
+
+class TestDrawTileBorders:
+    def test_grid_lines_set(self):
+        img = np.full((16, 16), 200, dtype=np.uint8)
+        out = draw_tile_borders(img, 8, intensity=0)
+        assert (out[0, :] == 0).all()
+        assert (out[8, :] == 0).all()
+        assert (out[:, 8] == 0).all()
+        assert (out[15, :] == 0).all()  # closing edge
+
+    def test_interior_untouched(self):
+        img = np.full((16, 16), 200, dtype=np.uint8)
+        out = draw_tile_borders(img, 8)
+        assert out[4, 4] == 200
+
+    def test_input_not_mutated(self):
+        img = np.full((8, 8), 100, dtype=np.uint8)
+        draw_tile_borders(img, 4)
+        assert (img == 100).all()
+
+    def test_color_image(self):
+        img = np.full((8, 8, 3), 100, dtype=np.uint8)
+        out = draw_tile_borders(img, 4, intensity=255)
+        assert (out[0, 0] == 255).all()
+
+    def test_rejects_nondivisible(self):
+        with pytest.raises(ValidationError, match="divide"):
+            draw_tile_borders(np.zeros((10, 10), dtype=np.uint8), 3)
+
+    def test_rejects_bad_intensity(self):
+        with pytest.raises(ValidationError, match="intensity"):
+            draw_tile_borders(np.zeros((8, 8), dtype=np.uint8), 4, intensity=300)
+
+
+class TestMontage:
+    def test_shape_two_by_two(self):
+        imgs = [np.zeros((10, 12), dtype=np.uint8)] * 4
+        out = montage(imgs, cols=2, pad=2)
+        assert out.shape == (2 * 10 + 3 * 2, 2 * 12 + 3 * 2)
+
+    def test_default_cols_square(self):
+        imgs = [np.zeros((4, 4), dtype=np.uint8)] * 9
+        out = montage(imgs, pad=0)
+        assert out.shape == (12, 12)
+
+    def test_images_placed_row_major(self):
+        a = np.full((4, 4), 10, dtype=np.uint8)
+        b = np.full((4, 4), 20, dtype=np.uint8)
+        out = montage([a, b], cols=2, pad=0)
+        assert out[0, 0] == 10
+        assert out[0, 4] == 20
+
+    def test_background_fills_missing_cells(self):
+        imgs = [np.zeros((4, 4), dtype=np.uint8)] * 3
+        out = montage(imgs, cols=2, pad=0, background=255)
+        assert out[4, 4] == 255  # empty fourth cell
+
+    def test_color_montage(self):
+        imgs = [np.zeros((4, 4, 3), dtype=np.uint8)] * 2
+        out = montage(imgs, cols=2)
+        assert out.ndim == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="at least one"):
+            montage([])
+
+    def test_rejects_mixed_shapes(self):
+        with pytest.raises(ValidationError, match="share shape"):
+            montage(
+                [np.zeros((4, 4), dtype=np.uint8), np.zeros((5, 5), dtype=np.uint8)]
+            )
+
+    def test_rejects_negative_pad(self):
+        with pytest.raises(ValidationError, match="pad"):
+            montage([np.zeros((4, 4), dtype=np.uint8)], pad=-1)
+
+
+class TestSideBySide:
+    def test_single_row(self):
+        imgs = [np.zeros((6, 6), dtype=np.uint8)] * 3
+        out = side_by_side(*imgs, pad=1)
+        assert out.shape == (6 + 2, 3 * 6 + 4)

@@ -1,0 +1,105 @@
+"""Tests for spatial filters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.imaging.filters import (
+    box_blur,
+    gaussian_blur,
+    gradient_magnitude,
+    sobel_gradients,
+)
+
+
+class TestBoxBlur:
+    def test_constant_invariant(self):
+        img = np.full((10, 10), 77, dtype=np.uint8)
+        assert (box_blur(img) == 77).all()
+
+    def test_reduces_variance(self, rng):
+        img = rng.integers(0, 256, size=(32, 32)).astype(np.uint8)
+        assert box_blur(img, radius=2).std() < img.std()
+
+    def test_known_interior_value(self):
+        img = np.zeros((5, 5), dtype=np.uint8)
+        img[2, 2] = 9
+        out = box_blur(img, radius=1)
+        assert out[2, 2] == 1  # 9/9 rounded
+
+    def test_preserves_mean_approximately(self, rng):
+        img = rng.integers(0, 256, size=(64, 64)).astype(np.uint8)
+        assert abs(float(box_blur(img).mean()) - float(img.mean())) < 2.0
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValidationError):
+            box_blur(np.zeros((4, 4), dtype=np.uint8), radius=0)
+
+
+class TestGaussianBlur:
+    def test_constant_invariant(self):
+        img = np.full((8, 8), 200, dtype=np.uint8)
+        assert (gaussian_blur(img, sigma=2.0) == 200).all()
+
+    def test_larger_sigma_smoother(self, rng):
+        img = rng.integers(0, 256, size=(48, 48)).astype(np.uint8)
+        mild = gaussian_blur(img, sigma=0.5)
+        strong = gaussian_blur(img, sigma=3.0)
+        assert strong.std() < mild.std()
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValidationError, match="sigma"):
+            gaussian_blur(np.zeros((4, 4), dtype=np.uint8), sigma=0.0)
+
+
+class TestSobel:
+    def test_flat_image_zero_gradient(self):
+        img = np.full((8, 8), 120, dtype=np.uint8)
+        gy, gx = sobel_gradients(img)
+        assert (gy == 0).all()
+        assert (gx == 0).all()
+
+    def test_vertical_edge_detected_by_gx(self):
+        img = np.zeros((8, 8), dtype=np.uint8)
+        img[:, 4:] = 200
+        gy, gx = sobel_gradients(img)
+        assert np.abs(gx).max() > 0
+        assert np.abs(gy).max() == 0
+
+    def test_horizontal_edge_detected_by_gy(self):
+        img = np.zeros((8, 8), dtype=np.uint8)
+        img[4:, :] = 200
+        gy, gx = sobel_gradients(img)
+        assert np.abs(gy).max() > 0
+        assert np.abs(gx).max() == 0
+
+    def test_step_edge_magnitude(self):
+        # Classic Sobel response to a unit step of height h: 4h at the edge.
+        img = np.zeros((8, 8), dtype=np.uint8)
+        img[:, 4:] = 50
+        _, gx = sobel_gradients(img)
+        assert np.abs(gx).max() == 4 * 50
+
+
+class TestGradientMagnitude:
+    def test_dtype_and_range(self, rng):
+        img = rng.integers(0, 256, size=(16, 16)).astype(np.uint8)
+        mag = gradient_magnitude(img)
+        assert mag.dtype == np.uint8
+
+    def test_normalized_hits_255_on_edges(self):
+        img = np.zeros((8, 8), dtype=np.uint8)
+        img[:, 4:] = 255
+        assert gradient_magnitude(img, normalize=True).max() == 255
+
+    def test_unnormalized_clips(self):
+        img = np.zeros((8, 8), dtype=np.uint8)
+        img[:, 4:] = 255  # raw magnitude 1020 >> 255
+        mag = gradient_magnitude(img, normalize=False)
+        assert mag.max() == 255
+
+    def test_flat_is_zero(self):
+        img = np.full((8, 8), 99, dtype=np.uint8)
+        assert (gradient_magnitude(img) == 0).all()

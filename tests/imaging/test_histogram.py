@@ -1,0 +1,111 @@
+"""Tests for histograms, equalization and specification (paper Fig. 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.imaging.histogram import (
+    cumulative_histogram,
+    histogram,
+    histogram_equalize,
+    match_histogram,
+)
+from repro.imaging.synthetic import standard_image
+
+
+class TestHistogram:
+    def test_counts_sum_to_pixels(self, rng):
+        img = rng.integers(0, 256, size=(13, 17)).astype(np.uint8)
+        assert histogram(img).sum() == img.size
+
+    def test_has_256_bins(self):
+        assert histogram(np.zeros((4, 4), dtype=np.uint8)).shape == (256,)
+
+    def test_constant_image_single_bin(self):
+        img = np.full((5, 5), 42, dtype=np.uint8)
+        h = histogram(img)
+        assert h[42] == 25
+        assert h.sum() == 25
+
+    def test_cdf_monotone_and_normalised(self, rng):
+        img = rng.integers(0, 256, size=(20, 20)).astype(np.uint8)
+        cdf = cumulative_histogram(img)
+        assert (np.diff(cdf) >= 0).all()
+        assert cdf[-1] == 1.0
+
+    def test_cdf_unnormalised(self):
+        img = np.zeros((4, 4), dtype=np.uint8)
+        cdf = cumulative_histogram(img, normalized=False)
+        assert cdf[-1] == 16
+
+
+class TestEqualize:
+    def test_flattens_concentrated_histogram(self, rng):
+        # Narrow dynamic range in [100, 140).
+        img = (100 + rng.integers(0, 40, size=(64, 64))).astype(np.uint8)
+        out = histogram_equalize(img)
+        assert out.max() - out.min() > 200  # stretched to (almost) full range
+
+    def test_constant_image_is_fixed_point(self):
+        img = np.full((8, 8), 99, dtype=np.uint8)
+        assert (histogram_equalize(img) == 99).all()
+
+    def test_preserves_shape_and_dtype(self, rng):
+        img = rng.integers(0, 256, size=(7, 9)).astype(np.uint8)
+        out = histogram_equalize(img)
+        assert out.shape == img.shape
+        assert out.dtype == np.uint8
+
+    def test_monotone_in_intensity(self, rng):
+        img = rng.integers(0, 256, size=(32, 32)).astype(np.uint8)
+        out = histogram_equalize(img)
+        order = np.argsort(img.ravel(), kind="stable")
+        assert (np.diff(out.ravel()[order].astype(int)) >= 0).all()
+
+
+class TestMatchHistogram:
+    def test_moves_cdf_toward_reference(self):
+        img = standard_image("portrait", 64)
+        ref = standard_image("sailboat", 64)
+        matched = match_histogram(img, ref)
+        ref_cdf = cumulative_histogram(ref)
+        before = np.abs(cumulative_histogram(img) - ref_cdf).mean()
+        after = np.abs(cumulative_histogram(matched) - ref_cdf).mean()
+        assert after < before
+
+    def test_self_match_is_near_identity(self, rng):
+        img = rng.integers(0, 256, size=(32, 32)).astype(np.uint8)
+        matched = match_histogram(img, img)
+        # CDF inversion of a discrete self-match can shift levels by at most
+        # one occupied level; mean drift must be tiny.
+        assert np.abs(matched.astype(int) - img.astype(int)).mean() < 2.0
+
+    def test_mapping_is_monotone(self, rng):
+        img = rng.integers(0, 256, size=(32, 32)).astype(np.uint8)
+        ref = rng.integers(0, 256, size=(32, 32)).astype(np.uint8)
+        matched = match_histogram(img, ref)
+        order = np.argsort(img.ravel(), kind="stable")
+        assert (np.diff(matched.ravel()[order].astype(int)) >= 0).all()
+
+    def test_match_to_constant(self, rng):
+        img = rng.integers(0, 256, size=(16, 16)).astype(np.uint8)
+        ref = np.full((16, 16), 200, dtype=np.uint8)
+        assert (match_histogram(img, ref) == 200).all()
+
+    def test_reduces_rearrangement_error(self):
+        """The paper's rationale: adjustment helps the rearrangement."""
+        from repro.cost.matrix import error_matrix, total_error
+        from repro.localsearch import local_search_parallel
+        from repro.tiles.grid import TileGrid
+
+        inp = standard_image("tiffany", 64)  # bright, low contrast
+        tgt = standard_image("sailboat", 64)
+        grid = TileGrid.from_tile_count(64, 8)
+        tgt_tiles = grid.split(tgt)
+
+        def solve(image):
+            m = error_matrix(grid.split(image), tgt_tiles)
+            r = local_search_parallel(m)
+            return total_error(m, r.permutation)
+
+        assert solve(match_histogram(inp, tgt)) < solve(inp)

@@ -1,0 +1,74 @@
+"""Tests for the BMP writer (structure-level checks; BMP is write-only)."""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.imaging.io_bmp import write_bmp
+
+
+def _parse_header(data: bytes):
+    magic, file_size, _, _, offset = struct.unpack("<2sIHHI", data[:14])
+    (hdr_size, width, height, planes, bits) = struct.unpack("<IiiHH", data[14:30])
+    return {
+        "magic": magic,
+        "file_size": file_size,
+        "offset": offset,
+        "width": width,
+        "height": height,
+        "bits": bits,
+        "planes": planes,
+    }
+
+
+def test_gray_header_fields(tmp_path):
+    img = np.zeros((5, 7), dtype=np.uint8)
+    path = tmp_path / "g.bmp"
+    write_bmp(path, img)
+    h = _parse_header(path.read_bytes())
+    assert h["magic"] == b"BM"
+    assert (h["width"], h["height"]) == (7, 5)
+    assert h["bits"] == 8
+    assert h["planes"] == 1
+
+
+def test_color_header_fields(tmp_path):
+    img = np.zeros((4, 4, 3), dtype=np.uint8)
+    path = tmp_path / "c.bmp"
+    write_bmp(path, img)
+    h = _parse_header(path.read_bytes())
+    assert h["bits"] == 24
+
+
+def test_file_size_matches_declared(tmp_path, rng):
+    img = rng.integers(0, 256, size=(6, 5)).astype(np.uint8)
+    path = tmp_path / "s.bmp"
+    write_bmp(path, img)
+    data = path.read_bytes()
+    assert len(data) == _parse_header(data)["file_size"]
+
+
+def test_gray_pixel_recoverable(tmp_path):
+    # Bottom-up rows with an identity palette: last raster row is image row 0.
+    img = np.array([[10, 20], [30, 40]], dtype=np.uint8)
+    path = tmp_path / "p.bmp"
+    write_bmp(path, img)
+    data = path.read_bytes()
+    offset = _parse_header(data)["offset"]
+    stride = 4  # width 2 padded to 4
+    bottom_row = data[offset : offset + 2]
+    assert list(bottom_row) == [30, 40]
+    top_row = data[offset + stride : offset + stride + 2]
+    assert list(top_row) == [10, 20]
+
+
+def test_color_stored_bgr(tmp_path):
+    img = np.zeros((1, 1, 3), dtype=np.uint8)
+    img[0, 0] = (255, 0, 10)  # RGB
+    path = tmp_path / "bgr.bmp"
+    write_bmp(path, img)
+    data = path.read_bytes()
+    offset = _parse_header(data)["offset"]
+    assert list(data[offset : offset + 3]) == [10, 0, 255]  # BGR

@@ -1,0 +1,92 @@
+"""Tests for the Netpbm codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ImageFormatError
+from repro.imaging.io_pgm import read_netpbm, write_pgm, write_ppm
+
+
+class TestRoundTrip:
+    def test_pgm_roundtrip(self, tmp_path, rng):
+        img = rng.integers(0, 256, size=(13, 9)).astype(np.uint8)
+        path = tmp_path / "a.pgm"
+        write_pgm(path, img)
+        assert (read_netpbm(path) == img).all()
+
+    def test_ppm_roundtrip(self, tmp_path, rng):
+        img = rng.integers(0, 256, size=(7, 11, 3)).astype(np.uint8)
+        path = tmp_path / "a.ppm"
+        write_ppm(path, img)
+        assert (read_netpbm(path) == img).all()
+
+    def test_single_pixel(self, tmp_path):
+        img = np.array([[200]], dtype=np.uint8)
+        path = tmp_path / "one.pgm"
+        write_pgm(path, img)
+        assert read_netpbm(path)[0, 0] == 200
+
+
+class TestReaderVariants:
+    def test_reads_bytes_directly(self):
+        data = b"P5\n2 2\n255\n" + bytes([1, 2, 3, 4])
+        img = read_netpbm(data)
+        assert img.shape == (2, 2)
+        assert img[1, 1] == 4
+
+    def test_ascii_pgm(self):
+        data = b"P2\n3 2\n255\n0 10 20\n30 40 50\n"
+        img = read_netpbm(data)
+        assert img.shape == (2, 3)
+        assert img[1, 2] == 50
+
+    def test_ascii_ppm(self):
+        data = b"P3\n1 1\n255\n10 20 30\n"
+        img = read_netpbm(data)
+        assert img.shape == (1, 1, 3)
+        assert list(img[0, 0]) == [10, 20, 30]
+
+    def test_comments_in_header(self):
+        data = b"P5 # magic\n# a comment line\n2 1\n# another\n255\n" + bytes([9, 8])
+        img = read_netpbm(data)
+        assert img.shape == (1, 2)
+        assert img[0, 0] == 9
+
+    def test_maxval_rescaling(self):
+        # maxval 15: value 15 must map to 255, 0 to 0.
+        data = b"P5\n2 1\n15\n" + bytes([0, 15])
+        img = read_netpbm(data)
+        assert img[0, 0] == 0
+        assert img[0, 1] == 255
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(ImageFormatError, match="magic"):
+            read_netpbm(b"P9\n1 1\n255\n\x00")
+
+    def test_truncated_raster(self):
+        with pytest.raises(ImageFormatError, match="truncated"):
+            read_netpbm(b"P5\n4 4\n255\n\x00\x00")
+
+    def test_truncated_header(self):
+        with pytest.raises(ImageFormatError, match="end of Netpbm header"):
+            read_netpbm(b"P5\n4")
+
+    def test_zero_dimension(self):
+        with pytest.raises(ImageFormatError, match="dimensions"):
+            read_netpbm(b"P5\n0 4\n255\n")
+
+    def test_maxval_too_large(self):
+        with pytest.raises(ImageFormatError, match="maxval"):
+            read_netpbm(b"P5\n1 1\n65535\n\x00\x00")
+
+    def test_sample_exceeds_maxval(self):
+        with pytest.raises(ImageFormatError, match="exceeds"):
+            read_netpbm(b"P2\n1 1\n100\n101\n")
+
+    def test_write_ppm_rejects_gray(self, tmp_path):
+        with pytest.raises(ImageFormatError, match="colour"):
+            write_ppm(tmp_path / "x.ppm", np.zeros((4, 4), dtype=np.uint8))

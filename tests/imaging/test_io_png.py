@@ -1,0 +1,148 @@
+"""Tests for the PNG codec."""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ImageFormatError
+from repro.imaging.io_png import read_png, write_png
+
+
+def _make_png(width, height, color_type, raster, bit_depth=8):
+    """Hand-roll a PNG for reader tests."""
+
+    def chunk(tag, payload):
+        return (
+            struct.pack(">I", len(payload))
+            + tag
+            + payload
+            + struct.pack(">I", zlib.crc32(tag + payload) & 0xFFFFFFFF)
+        )
+
+    ihdr = struct.pack(">IIBBBBB", width, height, bit_depth, color_type, 0, 0, 0)
+    return (
+        b"\x89PNG\r\n\x1a\n"
+        + chunk(b"IHDR", ihdr)
+        + chunk(b"IDAT", zlib.compress(raster))
+        + chunk(b"IEND", b"")
+    )
+
+
+class TestRoundTrip:
+    def test_gray_roundtrip(self, tmp_path, rng):
+        img = rng.integers(0, 256, size=(20, 15)).astype(np.uint8)
+        path = tmp_path / "g.png"
+        write_png(path, img)
+        assert (read_png(path) == img).all()
+
+    def test_color_roundtrip(self, tmp_path, rng):
+        img = rng.integers(0, 256, size=(9, 14, 3)).astype(np.uint8)
+        path = tmp_path / "c.png"
+        write_png(path, img)
+        assert (read_png(path) == img).all()
+
+    def test_roundtrip_from_bytes(self, tmp_path):
+        img = np.arange(16, dtype=np.uint8).reshape(4, 4)
+        path = tmp_path / "b.png"
+        write_png(path, img)
+        data = path.read_bytes()
+        assert (read_png(data) == img).all()
+
+    def test_compress_levels(self, tmp_path, rng):
+        img = rng.integers(0, 256, size=(32, 32)).astype(np.uint8)
+        for level in (0, 1, 9):
+            path = tmp_path / f"l{level}.png"
+            write_png(path, img, compress_level=level)
+            assert (read_png(path) == img).all()
+
+
+class TestFilters:
+    """The writer always uses filter 0; the reader must handle all five."""
+
+    @pytest.mark.parametrize("ftype", [0, 1, 2, 3, 4])
+    def test_each_filter_type(self, ftype, rng):
+        width = height = 6
+        img = rng.integers(0, 256, size=(height, width)).astype(np.uint8)
+        # Forward-filter the raster with the given type on every row.
+        raster = bytearray()
+        prev = np.zeros(width, dtype=np.int32)
+        for row in range(height):
+            line = img[row].astype(np.int32)
+            out = np.zeros(width, dtype=np.int32)
+            for i in range(width):
+                left = int(line[i - 1]) if i > 0 else 0
+                up = int(prev[i])
+                upleft = int(prev[i - 1]) if i > 0 else 0
+                if ftype == 0:
+                    pred = 0
+                elif ftype == 1:
+                    pred = left
+                elif ftype == 2:
+                    pred = up
+                elif ftype == 3:
+                    pred = (left + up) // 2
+                else:
+                    p = left + up - upleft
+                    pa, pb, pc = abs(p - left), abs(p - up), abs(p - upleft)
+                    pred = left if pa <= pb and pa <= pc else (up if pb <= pc else upleft)
+                out[i] = (int(line[i]) - pred) & 0xFF
+            raster.append(ftype)
+            raster += bytes(int(v) for v in out)
+            prev = line
+        data = _make_png(width, height, 0, bytes(raster))
+        assert (read_png(data) == img).all()
+
+
+class TestErrors:
+    def test_bad_signature(self):
+        with pytest.raises(ImageFormatError, match="signature"):
+            read_png(b"NOTPNG" + b"\x00" * 30)
+
+    def test_crc_mismatch(self, tmp_path):
+        img = np.zeros((4, 4), dtype=np.uint8)
+        path = tmp_path / "x.png"
+        write_png(path, img)
+        data = bytearray(path.read_bytes())
+        data[-5] ^= 0xFF  # corrupt the IEND CRC
+        with pytest.raises(ImageFormatError, match="CRC"):
+            read_png(bytes(data))
+
+    def test_unsupported_bit_depth(self):
+        raster = b"\x00" + b"\x00"
+        data = _make_png(4, 1, 0, raster, bit_depth=16)
+        with pytest.raises(ImageFormatError, match="bit depth"):
+            read_png(data)
+
+    def test_unsupported_colour_type(self):
+        data = _make_png(1, 1, 3, b"\x00\x00")  # palette
+        with pytest.raises(ImageFormatError, match="colour type"):
+            read_png(data)
+
+    def test_missing_idat(self):
+        def chunk(tag, payload):
+            return (
+                struct.pack(">I", len(payload))
+                + tag
+                + payload
+                + struct.pack(">I", zlib.crc32(tag + payload) & 0xFFFFFFFF)
+            )
+
+        ihdr = struct.pack(">IIBBBBB", 1, 1, 8, 0, 0, 0, 0)
+        data = b"\x89PNG\r\n\x1a\n" + chunk(b"IHDR", ihdr) + chunk(b"IEND", b"")
+        with pytest.raises(ImageFormatError, match="IDAT"):
+            read_png(data)
+
+    def test_wrong_raster_size(self):
+        data = _make_png(4, 4, 0, b"\x00" * 3)  # way too short
+        with pytest.raises(ImageFormatError, match="raster"):
+            read_png(data)
+
+    def test_bad_filter_type(self):
+        raster = b"\x07\x00"  # filter 7 does not exist
+        data = _make_png(1, 1, 0, raster)
+        with pytest.raises(ImageFormatError, match="filter type"):
+            read_png(data)

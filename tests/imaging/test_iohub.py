@@ -1,0 +1,52 @@
+"""Tests for extension-based load/save dispatch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ImageFormatError
+from repro.imaging.iohub import load_image, save_image
+
+
+@pytest.mark.parametrize("ext", [".png", ".pgm"])
+def test_gray_roundtrip(ext, tmp_path, rng):
+    img = rng.integers(0, 256, size=(10, 12)).astype(np.uint8)
+    path = tmp_path / f"img{ext}"
+    save_image(path, img)
+    assert (load_image(path) == img).all()
+
+
+@pytest.mark.parametrize("ext", [".png", ".ppm"])
+def test_color_roundtrip(ext, tmp_path, rng):
+    img = rng.integers(0, 256, size=(8, 8, 3)).astype(np.uint8)
+    path = tmp_path / f"img{ext}"
+    save_image(path, img)
+    assert (load_image(path) == img).all()
+
+
+def test_bmp_write_only(tmp_path):
+    img = np.zeros((4, 4), dtype=np.uint8)
+    path = tmp_path / "x.bmp"
+    save_image(path, img)
+    assert path.exists()
+    with pytest.raises(ImageFormatError, match="cannot read"):
+        load_image(path)
+
+
+def test_unknown_write_extension(tmp_path):
+    with pytest.raises(ImageFormatError, match="cannot write"):
+        save_image(tmp_path / "x.jpeg", np.zeros((4, 4), dtype=np.uint8))
+
+
+def test_unknown_read_extension(tmp_path):
+    (tmp_path / "x.dat").write_bytes(b"junk")
+    with pytest.raises(ImageFormatError, match="cannot read"):
+        load_image(tmp_path / "x.dat")
+
+
+def test_case_insensitive_extension(tmp_path, rng):
+    img = rng.integers(0, 256, size=(5, 5)).astype(np.uint8)
+    path = tmp_path / "UP.PNG"
+    save_image(path, img)
+    assert (load_image(path) == img).all()

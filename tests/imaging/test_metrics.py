@@ -1,0 +1,84 @@
+"""Tests for image quality metrics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.imaging.metrics import mae, mse, psnr, ssim
+
+
+class TestMae:
+    def test_identical_is_zero(self, rng):
+        img = rng.integers(0, 256, size=(8, 8)).astype(np.uint8)
+        assert mae(img, img) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((2, 2), dtype=np.uint8)
+        b = np.full((2, 2), 10, dtype=np.uint8)
+        assert mae(a, b) == 10.0
+
+    def test_symmetric(self, rng):
+        a = rng.integers(0, 256, size=(6, 6)).astype(np.uint8)
+        b = rng.integers(0, 256, size=(6, 6)).astype(np.uint8)
+        assert mae(a, b) == mae(b, a)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError, match="differ"):
+            mae(np.zeros((2, 2), dtype=np.uint8), np.zeros((3, 3), dtype=np.uint8))
+
+
+class TestMsePsnr:
+    def test_mse_known_value(self):
+        a = np.zeros((2, 2), dtype=np.uint8)
+        b = np.full((2, 2), 3, dtype=np.uint8)
+        assert mse(a, b) == 9.0
+
+    def test_psnr_identical_is_inf(self):
+        img = np.zeros((4, 4), dtype=np.uint8)
+        assert psnr(img, img) == math.inf
+
+    def test_psnr_known_value(self):
+        a = np.zeros((2, 2), dtype=np.uint8)
+        b = np.full((2, 2), 255, dtype=np.uint8)
+        assert psnr(a, b) == pytest.approx(0.0)
+
+    def test_psnr_decreases_with_noise(self, rng):
+        base = rng.integers(100, 156, size=(16, 16)).astype(np.uint8)
+        small = np.clip(base.astype(int) + 2, 0, 255).astype(np.uint8)
+        large = np.clip(base.astype(int) + 40, 0, 255).astype(np.uint8)
+        assert psnr(base, small) > psnr(base, large)
+
+
+class TestSsim:
+    def test_identical_is_one(self, rng):
+        img = rng.integers(0, 256, size=(16, 16)).astype(np.uint8)
+        assert ssim(img, img) == pytest.approx(1.0)
+
+    def test_bounded(self, rng):
+        a = rng.integers(0, 256, size=(16, 16)).astype(np.uint8)
+        b = rng.integers(0, 256, size=(16, 16)).astype(np.uint8)
+        value = ssim(a, b)
+        assert -1.0 <= value <= 1.0
+
+    def test_more_distortion_lower_ssim(self, rng):
+        base = rng.integers(60, 200, size=(24, 24)).astype(np.uint8)
+        mild = np.clip(base.astype(int) + rng.integers(-5, 6, base.shape), 0, 255).astype(np.uint8)
+        harsh = rng.integers(0, 256, size=base.shape).astype(np.uint8)
+        assert ssim(base, mild) > ssim(base, harsh)
+
+    def test_color_averages_channels(self, rng):
+        img = rng.integers(0, 256, size=(16, 16, 3)).astype(np.uint8)
+        assert ssim(img, img) == pytest.approx(1.0)
+
+    def test_window_too_large(self):
+        with pytest.raises(ValidationError, match="window"):
+            ssim(np.zeros((4, 4), dtype=np.uint8), np.zeros((4, 4), dtype=np.uint8), window=8)
+
+    def test_window_too_small(self):
+        img = np.zeros((8, 8), dtype=np.uint8)
+        with pytest.raises(ValidationError, match="window"):
+            ssim(img, img, window=1)

@@ -1,0 +1,90 @@
+"""Tests for resizing and shape adjustment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.imaging.resize import crop_to_multiple, pad_to_multiple, resize
+
+
+class TestResize:
+    def test_identity_returns_copy(self, rng):
+        img = rng.integers(0, 256, size=(8, 8)).astype(np.uint8)
+        out = resize(img, 8, 8)
+        assert (out == img).all()
+        assert out is not img
+
+    @pytest.mark.parametrize("method", ["nearest", "bilinear"])
+    def test_constant_image_stays_constant(self, method):
+        img = np.full((10, 10), 77, dtype=np.uint8)
+        out = resize(img, 23, 5, method=method)
+        assert (out == 77).all()
+        assert out.shape == (23, 5)
+
+    def test_nearest_upscale_2x_repeats(self):
+        img = np.array([[0, 100], [200, 50]], dtype=np.uint8)
+        out = resize(img, 4, 4, method="nearest")
+        assert (out[:2, :2] == 0).all()
+        assert (out[2:, :2] == 200).all()
+
+    def test_bilinear_downscale_averages(self):
+        img = np.array([[0, 0], [200, 200]], dtype=np.uint8)
+        out = resize(img, 1, 1, method="bilinear")
+        assert out[0, 0] == 100
+
+    def test_color_resize(self, rng):
+        img = rng.integers(0, 256, size=(6, 6, 3)).astype(np.uint8)
+        out = resize(img, 12, 3)
+        assert out.shape == (12, 3, 3)
+
+    def test_bilinear_preserves_range(self, rng):
+        img = rng.integers(0, 256, size=(9, 7)).astype(np.uint8)
+        out = resize(img, 20, 20)
+        assert out.min() >= img.min()
+        assert out.max() <= img.max()
+
+    def test_unknown_method(self):
+        with pytest.raises(ValidationError, match="method"):
+            resize(np.zeros((4, 4), dtype=np.uint8), 2, 2, method="cubic")
+
+    def test_rejects_zero_target(self):
+        with pytest.raises(ValidationError):
+            resize(np.zeros((4, 4), dtype=np.uint8), 0, 2)
+
+
+class TestCropToMultiple:
+    def test_exact_multiple_unchanged(self, rng):
+        img = rng.integers(0, 256, size=(16, 16)).astype(np.uint8)
+        assert (crop_to_multiple(img, 8) == img).all()
+
+    def test_crops_centre(self):
+        img = np.zeros((10, 10), dtype=np.uint8)
+        img[1:9, 1:9] = 1
+        out = crop_to_multiple(img, 8)
+        assert out.shape == (8, 8)
+        assert (out == 1).all()
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValidationError, match="smaller"):
+            crop_to_multiple(np.zeros((4, 4), dtype=np.uint8), 8)
+
+
+class TestPadToMultiple:
+    def test_exact_multiple_unchanged(self, rng):
+        img = rng.integers(0, 256, size=(8, 8)).astype(np.uint8)
+        out = pad_to_multiple(img, 4)
+        assert (out == img).all()
+
+    def test_pads_bottom_right(self):
+        img = np.full((5, 6), 3, dtype=np.uint8)
+        out = pad_to_multiple(img, 4)
+        assert out.shape == (8, 8)
+        # edge mode: padding replicates the boundary value
+        assert (out == 3).all()
+
+    def test_color_pad(self):
+        img = np.zeros((5, 5, 3), dtype=np.uint8)
+        out = pad_to_multiple(img, 4)
+        assert out.shape == (8, 8, 3)

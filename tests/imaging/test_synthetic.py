@@ -1,0 +1,86 @@
+"""Tests for the procedural standard-image stand-ins."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.imaging.synthetic import STANDARD_IMAGES, standard_image, synthetic_image
+
+
+class TestStandardImage:
+    @pytest.mark.parametrize("name", STANDARD_IMAGES)
+    def test_every_name_generates(self, name):
+        img = standard_image(name, 64)
+        assert img.shape == (64, 64)
+        assert img.dtype == np.uint8
+
+    @pytest.mark.parametrize("name", STANDARD_IMAGES)
+    def test_deterministic(self, name):
+        assert (standard_image(name, 32) == standard_image(name, 32)).all()
+
+    def test_names_give_distinct_images(self):
+        images = [standard_image(n, 32) for n in STANDARD_IMAGES]
+        for i in range(len(images)):
+            for j in range(i + 1, len(images)):
+                assert (images[i] != images[j]).any()
+
+    def test_full_dynamic_range(self):
+        img = standard_image("portrait", 128)
+        assert img.min() == 0
+        assert img.max() == 255
+
+    @pytest.mark.parametrize("n", [16, 64, 100, 256])
+    def test_arbitrary_sizes(self, n):
+        assert standard_image("baboon", n).shape == (n, n)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError, match="unknown standard image"):
+            standard_image("lenna", 64)
+
+    def test_has_structure_not_noise(self):
+        """Neighbouring pixels must correlate (a photograph-like property)."""
+        img = standard_image("sailboat", 128).astype(np.float64)
+        horiz = np.abs(np.diff(img, axis=1)).mean()
+        assert horiz < 30  # pure uniform noise would give ~85
+
+    def test_baboon_is_most_textured(self):
+        """The baboon stand-in mimics its namesake: highest high-frequency energy."""
+
+        def texture(name):
+            img = standard_image(name, 128).astype(np.float64)
+            return np.abs(np.diff(img, axis=1)).mean()
+
+        assert texture("baboon") > texture("tiffany")
+
+    def test_tiffany_is_high_key_like_original(self):
+        """Tiffany mimics its namesake's bright, high-key exposure."""
+        means = {name: standard_image(name, 128).mean() for name in STANDARD_IMAGES}
+        assert means["tiffany"] > 128
+        assert means["tiffany"] > np.median(list(means.values()))
+
+
+class TestSyntheticImage:
+    def test_deterministic_for_seed(self):
+        assert (synthetic_image(32, seed=5) == synthetic_image(32, seed=5)).all()
+
+    def test_seeds_differ(self):
+        assert (synthetic_image(32, seed=1) != synthetic_image(32, seed=2)).any()
+
+    def test_smoothness_reduces_gradient(self):
+        rough = synthetic_image(64, seed=3, smoothness=0.0).astype(np.float64)
+        smooth = synthetic_image(64, seed=3, smoothness=1.0).astype(np.float64)
+        assert np.abs(np.diff(smooth, axis=0)).mean() < np.abs(np.diff(rough, axis=0)).mean()
+
+    def test_rejects_bad_smoothness(self):
+        with pytest.raises(ValidationError, match="smoothness"):
+            synthetic_image(16, smoothness=1.5)
+
+    def test_rejects_bad_contrast(self):
+        with pytest.raises(ValidationError, match="contrast"):
+            synthetic_image(16, contrast=0.0)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValidationError):
+            synthetic_image(0)

@@ -1,0 +1,65 @@
+"""Tests for colour stand-in generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.imaging.convert import rgb_to_gray
+from repro.imaging.synthetic import STANDARD_IMAGES, standard_image
+from repro.imaging.synthetic_color import standard_image_color
+
+
+@pytest.mark.parametrize("name", STANDARD_IMAGES)
+def test_every_name_has_color_variant(name):
+    img = standard_image_color(name, 64)
+    assert img.shape == (64, 64, 3)
+    assert img.dtype == np.uint8
+
+
+def test_deterministic():
+    a = standard_image_color("peppers", 48)
+    b = standard_image_color("peppers", 48)
+    assert (a == b).all()
+
+
+def test_channels_not_identical():
+    """The hue perturbation must decorrelate the channels."""
+    img = standard_image_color("sailboat", 64)
+    assert (img[:, :, 0] != img[:, :, 2]).any()
+
+
+def test_luma_tracks_gray_original():
+    """The colour variant's luminance must correlate with the gray image
+    it was built from (structure preserved)."""
+    gray = standard_image("portrait", 64).astype(np.float64).ravel()
+    luma = rgb_to_gray(standard_image_color("portrait", 64)).astype(np.float64).ravel()
+    corr = np.corrcoef(gray, luma)[0, 1]
+    assert corr > 0.9
+
+
+def test_unknown_name():
+    with pytest.raises(ValidationError, match="unknown standard image"):
+        standard_image_color("lena", 64)
+
+
+def test_peppers_is_most_colorful():
+    """Peppers' palette has the widest channel spread (red vs green)."""
+
+    def spread(name):
+        img = standard_image_color(name, 64).astype(np.float64)
+        return np.abs(img[:, :, 0] - img[:, :, 1]).mean()
+
+    assert spread("peppers") > spread("airplane")
+
+
+def test_color_pipeline_end_to_end():
+    from repro import generate_photomosaic
+
+    inp = standard_image_color("peppers", 64)
+    tgt = standard_image_color("portrait", 64)
+    result = generate_photomosaic(inp, tgt, tile_size=8, metric="color")
+    assert result.image.shape == (64, 64, 3)
+    # Rearrangement preserves the pixel multiset of the (unadjusted) input.
+    assert (np.sort(result.image.ravel()) == np.sort(inp.ravel())).all()

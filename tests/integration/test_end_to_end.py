@@ -1,0 +1,126 @@
+"""Cross-module integration tests: the full pipeline against its parts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    PhotomosaicGenerator,
+    MosaicConfig,
+    generate_photomosaic,
+    load_image,
+    save_image,
+    standard_image,
+)
+from repro.cost.matrix import error_matrix, total_error, total_error_of_permutation
+from repro.imaging.histogram import match_histogram
+from repro.imaging.metrics import psnr
+from repro.tiles.grid import TileGrid
+
+
+class TestFullPipelineConsistency:
+    def test_pipeline_equals_manual_steps(self, small_pair):
+        """generate() must equal hand-running Steps 1-3."""
+        inp, tgt = small_pair
+        result = generate_photomosaic(inp, tgt, tile_size=8, algorithm="optimization")
+
+        adjusted = match_histogram(inp, tgt)
+        grid = TileGrid.for_image(adjusted, 8)
+        matrix = error_matrix(grid.split(adjusted), grid.split(tgt))
+        from repro.assignment import get_solver
+
+        manual = get_solver("scipy").solve(matrix)
+        assert result.total_error == manual.total
+        manual_image = grid.rearrange(adjusted, manual.permutation)
+        assert psnr(result.image, tgt) == pytest.approx(psnr(manual_image, tgt), abs=0.2)
+
+    def test_total_error_cross_check(self, small_pair):
+        """Eq. (2) from the matrix and straight from tiles must agree."""
+        inp, tgt = small_pair
+        result = generate_photomosaic(inp, tgt, tile_size=8, algorithm="parallel")
+        adjusted = match_histogram(inp, tgt)
+        grid = TileGrid.for_image(adjusted, 8)
+        direct = total_error_of_permutation(
+            grid.split(adjusted), grid.split(tgt), result.permutation
+        )
+        assert result.total_error == direct
+
+    def test_save_load_roundtrip_of_result(self, small_pair, tmp_path):
+        inp, tgt = small_pair
+        result = generate_photomosaic(inp, tgt, tile_size=8)
+        path = tmp_path / "mosaic.png"
+        save_image(path, result.image)
+        assert (load_image(path) == result.image).all()
+
+    def test_rearranging_back_recovers_input(self, small_pair):
+        """Applying the inverse permutation undoes the mosaic exactly."""
+        from repro.tiles.permutation import invert
+
+        inp, tgt = small_pair
+        result = generate_photomosaic(inp, tgt, tile_size=8, histogram_match=False)
+        grid = TileGrid.for_image(inp, 8)
+        restored = grid.rearrange(result.image, invert(result.permutation))
+        assert (restored == inp).all()
+
+
+class TestQualityScalesWithS:
+    def test_finer_tiles_better_mosaic(self):
+        """Paper Fig. 7: quality improves as S grows (16^2 -> 64^2)."""
+        inp = standard_image("portrait", 256)
+        tgt = standard_image("sailboat", 256)
+        errors = []
+        psnrs = []
+        for tiles_per_side in (4, 8, 16, 32):
+            result = generate_photomosaic(
+                inp, tgt, tile_size=256 // tiles_per_side, algorithm="parallel"
+            )
+            errors.append(result.total_error)
+            psnrs.append(psnr(result.image, tgt))
+        assert errors == sorted(errors, reverse=True)
+        assert psnrs == sorted(psnrs)
+
+
+class TestAllPairsRun:
+    @pytest.mark.parametrize(
+        "pair",
+        [("airplane", "portrait"), ("peppers", "barbara"), ("tiffany", "baboon")],
+    )
+    def test_fig8_pairs(self, pair):
+        inp = standard_image(pair[0], 128)
+        tgt = standard_image(pair[1], 128)
+        result = generate_photomosaic(inp, tgt, tile_size=8, algorithm="optimization")
+        assert result.total_error > 0
+        assert result.image.shape == (128, 128)
+
+
+class TestWarmStartVideo:
+    def test_warm_start_converges_faster(self):
+        """The video scenario: warm starts need fewer sweeps than cold."""
+        from repro.localsearch import local_search_parallel
+
+        inp = standard_image("portrait", 128)
+        tgt = standard_image("sailboat", 128)
+        grid = TileGrid.for_image(inp, 8)
+        adjusted = match_histogram(inp, tgt)
+        matrix = error_matrix(grid.split(adjusted), grid.split(tgt))
+        cold = local_search_parallel(matrix)
+        # A slightly perturbed target: shift intensities by 3.
+        tgt2 = np.clip(tgt.astype(int) + 3, 0, 255).astype(np.uint8)
+        matrix2 = error_matrix(grid.split(adjusted), grid.split(tgt2))
+        warm = local_search_parallel(matrix2, initial=cold.permutation)
+        cold2 = local_search_parallel(matrix2)
+        assert warm.sweeps <= cold2.sweeps
+        assert warm.total <= cold2.total * 1.01
+
+
+class TestGeneratorReuse:
+    def test_one_generator_many_images(self):
+        """A configured generator must be reusable without state bleed."""
+        gen = PhotomosaicGenerator(MosaicConfig(tile_size=8, algorithm="parallel"))
+        a1 = gen.generate(standard_image("portrait", 64), standard_image("sailboat", 64))
+        b = gen.generate(standard_image("peppers", 64), standard_image("baboon", 64))
+        a2 = gen.generate(standard_image("portrait", 64), standard_image("sailboat", 64))
+        assert a1.total_error == a2.total_error
+        assert (a1.permutation == a2.permutation).all()
+        assert b.total_error != a1.total_error

@@ -1,0 +1,123 @@
+"""Tests pinning the paper's qualitative claims (the reproduction contract).
+
+Each test quotes the claim it checks.  These run at reduced scale; the
+benchmark harness re-checks the same shapes at paper scale.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.assignment import get_solver
+from repro.benchharness.workloads import workload_pair
+from repro.cost.matrix import error_matrix
+from repro.cost.reference import error_matrix_reference
+from repro.imaging.histogram import match_histogram
+from repro.imaging.metrics import ssim
+from repro.localsearch import local_search_parallel, local_search_serial
+from repro.tiles.grid import TileGrid
+
+
+@pytest.fixture(scope="module")
+def matrix_256():
+    """Error matrix for the portrait->sailboat pair with S=16^2=256."""
+    w = workload_pair(256, 16)
+    inp, tgt = w.images()
+    grid = TileGrid.from_tile_count(256, 16)
+    return error_matrix(grid.split(match_histogram(inp, tgt)), grid.split(tgt))
+
+
+class TestSectionIII:
+    def test_matching_gives_minimum_error(self, matrix_256):
+        """'By solving the matching problem, we can obtain the best
+        rearrangement image.'"""
+        optimal = get_solver("scipy").solve(matrix_256).total
+        for seed in range(3):
+            from repro.tiles.permutation import random_permutation
+
+            perm = random_permutation(matrix_256.shape[0], seed=seed)
+            assert int(matrix_256[perm, np.arange(256)].sum()) >= optimal
+
+
+class TestSectionIV:
+    def test_approximation_error_larger_but_close(self, matrix_256):
+        """'the total error of the photomosaic image obtained by the
+        approximate algorithm must be larger than that by the optimization
+        algorithm ... the resulting photomosaic images ... are virtually
+        the same'."""
+        optimal = get_solver("scipy").solve(matrix_256).total
+        approx = local_search_serial(matrix_256).total
+        assert approx >= optimal
+        assert approx <= 1.10 * optimal  # paper Table I gaps are 1.7-2.3%
+
+    def test_sweep_count_claim(self, matrix_256):
+        """'the value k takes at most 9, 8, and 16 for S = 16x16, 32x32,
+        and 64x64' — at our scale k must stay in the same low regime."""
+        assert local_search_serial(matrix_256).sweeps <= 16
+
+    def test_parallel_and_serial_orders_differ_slightly(self, matrix_256):
+        """'since the order of executing the local search between the
+        sequential and parallel approximation algorithm is not the same,
+        their total errors differ, but the difference is small'."""
+        serial = local_search_serial(matrix_256).total
+        parallel = local_search_parallel(matrix_256).total
+        assert abs(serial - parallel) <= 0.05 * serial
+
+
+class TestVisualQualityClaim:
+    def test_images_virtually_identical_across_algorithms(self):
+        """Fig. 7: optimization vs approximation outputs are visually
+        indistinguishable -> SSIM between them must be very high."""
+        from repro import generate_photomosaic, standard_image
+
+        inp = standard_image("portrait", 256)
+        tgt = standard_image("sailboat", 256)
+        opt = generate_photomosaic(inp, tgt, tile_size=16, algorithm="optimization")
+        apx = generate_photomosaic(inp, tgt, tile_size=16, algorithm="parallel")
+        assert ssim(opt.image, apx.image) > 0.9
+
+
+class TestTableIIShape:
+    def test_vectorised_beats_scalar_and_scales(self):
+        """Table II: the GPU-model implementation wins, and more work means
+        more time on both devices."""
+        small = workload_pair(64, 8)
+        large = workload_pair(128, 8)
+
+        def times(w):
+            tiles_in, tiles_tg = w.tiles()
+            t0 = time.perf_counter()
+            error_matrix_reference(tiles_in, tiles_tg)
+            cpu = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            error_matrix(tiles_in, tiles_tg)
+            gpu = time.perf_counter() - t0
+            return cpu, gpu
+
+        cpu_small, gpu_small = times(small)
+        cpu_large, _ = times(large)
+        assert cpu_small > gpu_small  # vectorised wins
+        assert cpu_large > cpu_small  # work scales with N^2 * S
+
+
+class TestTableIIIShape:
+    def test_step3_time_depends_on_s_not_n(self):
+        """Table III: 'the computing time of rearrangement does not depend
+        on the size of image but on the number of tiles'."""
+        w_small = workload_pair(128, 8)
+        w_large = workload_pair(256, 8)  # same S, 4x the pixels
+
+        def step3_time(w):
+            tiles_in, tiles_tg = w.tiles()
+            matrix = error_matrix(tiles_in, tiles_tg)
+            t0 = time.perf_counter()
+            local_search_serial(matrix)
+            return time.perf_counter() - t0
+
+        a = step3_time(w_small)
+        b = step3_time(w_large)
+        # Same S: times must be within noise of each other (not ~4x apart).
+        assert max(a, b) < 3 * min(a, b) + 0.05

@@ -1,0 +1,103 @@
+"""Tests for the simulated-annealing extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assignment import get_solver
+from repro.cost.matrix import total_error
+from repro.exceptions import ValidationError
+from repro.localsearch.annealing import simulated_annealing
+from repro.localsearch.serial import local_search_serial
+
+
+class TestCorrectness:
+    def test_returns_valid_permutation(self, small_error_matrix):
+        result = simulated_annealing(small_error_matrix, seed=0)
+        n = small_error_matrix.shape[0]
+        assert (np.sort(result.permutation) == np.arange(n)).all()
+
+    def test_total_consistent(self, small_error_matrix):
+        result = simulated_annealing(small_error_matrix, seed=0)
+        assert result.total == total_error(small_error_matrix, result.permutation)
+
+    def test_bounded_below_by_optimum(self, small_error_matrix):
+        optimal = get_solver("scipy").solve(small_error_matrix).total
+        assert simulated_annealing(small_error_matrix, seed=0).total >= optimal
+
+    def test_polished_output_is_2opt_optimal(self, small_error_matrix):
+        result = simulated_annealing(small_error_matrix, seed=0, polish=True)
+        m = small_error_matrix
+        p = result.permutation
+        s = m.shape[0]
+        for u in range(s):
+            for v in range(u + 1, s):
+                assert m[p[u], u] + m[p[v], v] <= m[p[v], u] + m[p[u], v]
+
+    def test_deterministic_per_seed(self, small_error_matrix):
+        a = simulated_annealing(small_error_matrix, seed=7)
+        b = simulated_annealing(small_error_matrix, seed=7)
+        assert a.total == b.total
+        assert (a.permutation == b.permutation).all()
+
+    def test_seeds_can_differ(self, rng):
+        m = rng.integers(0, 10_000, size=(40, 40)).astype(np.int64)
+        totals = {
+            simulated_annealing(m, seed=s, polish=False).total for s in range(4)
+        }
+        assert len(totals) > 1
+
+    def test_s1(self):
+        result = simulated_annealing(np.array([[5]], dtype=np.int64), seed=0)
+        assert result.total == 5
+
+
+class TestQuality:
+    def test_beats_plain_local_search_on_random_in_aggregate(self, rng):
+        """Annealing explores beyond the 2-opt basin: individual trials can
+        land in a worse basin, but over several rugged random matrices it
+        must win most of the time and in total."""
+        wins = 0
+        plain_sum = annealed_sum = 0
+        for trial in range(5):
+            m = rng.integers(0, 10_000, size=(48, 48)).astype(np.int64)
+            plain = local_search_serial(m).total
+            annealed = simulated_annealing(m, seed=trial).total
+            plain_sum += plain
+            annealed_sum += annealed
+            if annealed < plain:
+                wins += 1
+        assert wins >= 3
+        assert annealed_sum < plain_sum
+
+    def test_closes_gap_on_real_matrix(self, small_error_matrix):
+        optimal = get_solver("scipy").solve(small_error_matrix).total
+        plain = local_search_serial(small_error_matrix).total
+        annealed = simulated_annealing(small_error_matrix, seed=0).total
+        assert annealed <= plain
+        assert (annealed - optimal) <= (plain - optimal)
+
+
+class TestValidation:
+    def test_bad_cooling(self, small_error_matrix):
+        with pytest.raises(ValidationError, match="cooling"):
+            simulated_annealing(small_error_matrix, cooling=1.0)
+
+    def test_bad_min_temperature(self, small_error_matrix):
+        with pytest.raises(ValidationError, match="min_temperature"):
+            simulated_annealing(small_error_matrix, min_temperature=0.0)
+
+    def test_bad_steps(self, small_error_matrix):
+        with pytest.raises(ValidationError, match="steps_per_temperature"):
+            simulated_annealing(small_error_matrix, steps_per_temperature=0)
+
+    def test_bad_initial_temperature(self, small_error_matrix):
+        with pytest.raises(ValidationError, match="initial_temperature"):
+            simulated_annealing(small_error_matrix, initial_temperature=-1.0)
+
+    def test_meta_recorded(self, small_error_matrix):
+        result = simulated_annealing(small_error_matrix, seed=0)
+        assert result.meta["temperature_levels"] >= 1
+        assert result.meta["polished"] is True
+        assert result.strategy == "annealing"

@@ -1,0 +1,75 @@
+"""Tests for multi-start local search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assignment import get_solver
+from repro.cost.matrix import total_error
+from repro.exceptions import ValidationError
+from repro.localsearch.restarts import multi_start_local_search
+from repro.localsearch.serial import local_search_serial
+
+
+def test_never_worse_than_identity_start(small_error_matrix):
+    single = local_search_serial(small_error_matrix).total
+    multi = multi_start_local_search(
+        small_error_matrix, restarts=4, algorithm="serial"
+    ).total
+    assert multi <= single
+
+
+def test_bounded_below_by_optimum(small_error_matrix):
+    optimal = get_solver("scipy").solve(small_error_matrix).total
+    assert multi_start_local_search(small_error_matrix).total >= optimal
+
+
+def test_total_consistent(small_error_matrix):
+    result = multi_start_local_search(small_error_matrix, restarts=3)
+    assert result.total == total_error(small_error_matrix, result.permutation)
+
+
+def test_attempt_totals_recorded(small_error_matrix):
+    result = multi_start_local_search(small_error_matrix, restarts=3)
+    assert len(result.meta["attempt_totals"]) == 3
+    assert result.total == min(result.meta["attempt_totals"])
+
+
+def test_deterministic(small_error_matrix):
+    a = multi_start_local_search(small_error_matrix, restarts=3, seed=1)
+    b = multi_start_local_search(small_error_matrix, restarts=3, seed=1)
+    assert a.total == b.total
+
+
+def test_restarts_one_with_identity_equals_plain(small_error_matrix):
+    plain = local_search_serial(small_error_matrix)
+    multi = multi_start_local_search(
+        small_error_matrix, restarts=1, algorithm="serial"
+    )
+    assert multi.total == plain.total
+
+
+@pytest.mark.parametrize("algorithm", ["serial", "parallel"])
+def test_both_algorithms_supported(algorithm, small_error_matrix):
+    result = multi_start_local_search(
+        small_error_matrix, restarts=2, algorithm=algorithm
+    )
+    assert result.strategy == f"multistart-{algorithm}"
+
+
+def test_rejects_bad_restarts(small_error_matrix):
+    with pytest.raises(ValidationError, match="restarts"):
+        multi_start_local_search(small_error_matrix, restarts=0)
+
+
+def test_rejects_bad_algorithm(small_error_matrix):
+    with pytest.raises(ValidationError, match="algorithm"):
+        multi_start_local_search(small_error_matrix, algorithm="annealing")
+
+
+def test_more_restarts_never_hurt(rng):
+    m = rng.integers(0, 10_000, size=(40, 40)).astype(np.int64)
+    few = multi_start_local_search(m, restarts=2, seed=0).total
+    many = multi_start_local_search(m, restarts=6, seed=0).total
+    assert many <= few

@@ -1,0 +1,90 @@
+"""Tests for the sampled 3-opt refinement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assignment import get_solver
+from repro.cost.matrix import total_error
+from repro.exceptions import ValidationError
+from repro.localsearch.serial import local_search_serial
+from repro.localsearch.threeopt import refine_three_opt
+
+
+class TestCorrectness:
+    def test_valid_permutation(self, small_error_matrix):
+        result = refine_three_opt(small_error_matrix, seed=0)
+        n = small_error_matrix.shape[0]
+        assert (np.sort(result.permutation) == np.arange(n)).all()
+
+    def test_total_consistent(self, small_error_matrix):
+        result = refine_three_opt(small_error_matrix, seed=0)
+        assert result.total == total_error(small_error_matrix, result.permutation)
+
+    def test_never_increases_error(self, small_error_matrix):
+        n = small_error_matrix.shape[0]
+        start = total_error(small_error_matrix, np.arange(n))
+        assert refine_three_opt(small_error_matrix, seed=0).total <= start
+
+    def test_bounded_below_by_optimum(self, small_error_matrix):
+        optimal = get_solver("scipy").solve(small_error_matrix).total
+        assert refine_three_opt(small_error_matrix, seed=0).total >= optimal
+
+    def test_refines_2opt_optimum(self, small_error_matrix):
+        """Starting from a 2-opt optimum, 3-opt can only hold or improve."""
+        two_opt = local_search_serial(small_error_matrix)
+        refined = refine_three_opt(
+            small_error_matrix, two_opt.permutation, seed=0
+        )
+        assert refined.total <= two_opt.total
+
+    def test_escapes_2opt_on_random_matrices(self, rng):
+        """Across rugged random instances, 3-opt must find improvements
+        that 2-opt could not on at least some of them."""
+        improved = 0
+        for trial in range(6):
+            m = rng.integers(0, 10_000, size=(40, 40)).astype(np.int64)
+            two_opt = local_search_serial(m)
+            refined = refine_three_opt(m, two_opt.permutation, seed=trial)
+            assert refined.total <= two_opt.total
+            if refined.total < two_opt.total:
+                improved += 1
+        assert improved >= 2
+
+    def test_deterministic_per_seed(self, small_error_matrix):
+        a = refine_three_opt(small_error_matrix, seed=3)
+        b = refine_three_opt(small_error_matrix, seed=3)
+        assert a.total == b.total
+        assert (a.permutation == b.permutation).all()
+
+    def test_monotone_totals(self, small_error_matrix):
+        result = refine_three_opt(small_error_matrix, seed=0)
+        totals = result.trace.totals
+        assert all(x >= y for x, y in zip(totals, totals[1:]))
+
+    def test_tiny_matrices(self):
+        for n in (1, 2):
+            m = np.arange(n * n, dtype=np.int64).reshape(n, n)
+            result = refine_three_opt(m, seed=0)
+            assert result.permutation.shape == (n,)
+
+    def test_initial_not_mutated(self, small_error_matrix):
+        init = np.arange(small_error_matrix.shape[0])
+        before = init.copy()
+        refine_three_opt(small_error_matrix, init, seed=0)
+        assert (init == before).all()
+
+
+class TestValidation:
+    def test_bad_max_rounds(self, small_error_matrix):
+        with pytest.raises(ValidationError, match="max_rounds"):
+            refine_three_opt(small_error_matrix, max_rounds=0)
+
+    def test_bad_patience(self, small_error_matrix):
+        with pytest.raises(ValidationError, match="patience"):
+            refine_three_opt(small_error_matrix, patience=0)
+
+    def test_bad_samples(self, small_error_matrix):
+        with pytest.raises(ValidationError, match="samples_per_round"):
+            refine_three_opt(small_error_matrix, samples_per_round=0)

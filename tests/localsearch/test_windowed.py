@@ -1,0 +1,77 @@
+"""Tests for the windowed local-search variant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cost.matrix import total_error
+from repro.exceptions import ValidationError
+from repro.localsearch.serial import local_search_serial
+from repro.localsearch.windowed import local_search_windowed
+from repro.tiles.features import mean_luminance
+
+
+@pytest.fixture()
+def luminance(tile_stacks_8x8):
+    tiles_in, _ = tile_stacks_8x8
+    return mean_luminance(tiles_in)
+
+
+class TestCorrectness:
+    def test_valid_permutation(self, small_error_matrix, luminance):
+        result = local_search_windowed(small_error_matrix, luminance, window=8)
+        n = small_error_matrix.shape[0]
+        assert (np.sort(result.permutation) == np.arange(n)).all()
+
+    def test_total_consistent(self, small_error_matrix, luminance):
+        result = local_search_windowed(small_error_matrix, luminance, window=8)
+        assert result.total == total_error(small_error_matrix, result.permutation)
+
+    def test_never_increases_error(self, small_error_matrix, luminance):
+        n = small_error_matrix.shape[0]
+        start = total_error(small_error_matrix, np.arange(n))
+        result = local_search_windowed(small_error_matrix, luminance, window=4)
+        assert result.total <= start
+
+    def test_full_window_reaches_2opt_quality(self, small_error_matrix, luminance):
+        n = small_error_matrix.shape[0]
+        full = local_search_windowed(small_error_matrix, luminance, window=n)
+        unrestricted = local_search_serial(small_error_matrix)
+        assert full.total <= 1.02 * unrestricted.total
+
+    def test_wider_window_not_worse(self, small_error_matrix, luminance):
+        narrow = local_search_windowed(small_error_matrix, luminance, window=2)
+        wide = local_search_windowed(small_error_matrix, luminance, window=32)
+        assert wide.total <= narrow.total * 1.02
+
+    def test_quality_close_to_full_search(self, small_error_matrix, luminance):
+        """The premise of the ablation: small windows lose very little."""
+        windowed = local_search_windowed(small_error_matrix, luminance, window=8)
+        full = local_search_serial(small_error_matrix)
+        assert windowed.total <= 1.05 * full.total
+
+    def test_strategy_label(self, small_error_matrix, luminance):
+        result = local_search_windowed(small_error_matrix, luminance, window=5)
+        assert result.strategy == "windowed-5"
+        assert result.meta["window"] == 5
+
+    def test_terminates_with_clean_sweep(self, small_error_matrix, luminance):
+        result = local_search_windowed(small_error_matrix, luminance, window=8)
+        assert result.trace.swap_counts[-1] == 0
+
+
+class TestValidation:
+    def test_rejects_wrong_luminance_shape(self, small_error_matrix):
+        with pytest.raises(ValidationError, match="tile_luminance"):
+            local_search_windowed(small_error_matrix, np.zeros(5))
+
+    def test_rejects_zero_window(self, small_error_matrix, luminance):
+        with pytest.raises(ValidationError, match="window"):
+            local_search_windowed(small_error_matrix, luminance, window=0)
+
+    def test_rejects_bad_max_sweeps(self, small_error_matrix, luminance):
+        with pytest.raises(ValidationError, match="max_sweeps"):
+            local_search_windowed(
+                small_error_matrix, luminance, window=4, max_sweeps=0
+            )

@@ -1,0 +1,41 @@
+"""Tests for MosaicConfig."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mosaic.config import ALGORITHMS, MosaicConfig
+
+
+def test_defaults():
+    cfg = MosaicConfig()
+    assert cfg.tile_size == 16
+    assert cfg.algorithm in ALGORITHMS
+    assert cfg.histogram_match is True
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_all_algorithms_accepted(algorithm):
+    assert MosaicConfig(algorithm=algorithm).algorithm == algorithm
+
+
+def test_rejects_unknown_algorithm():
+    with pytest.raises(ValidationError, match="algorithm"):
+        MosaicConfig(algorithm="annealing")
+
+
+def test_rejects_bad_tile_size():
+    with pytest.raises(ValidationError, match="tile_size"):
+        MosaicConfig(tile_size=0)
+
+
+def test_rejects_bad_max_sweeps():
+    with pytest.raises(ValidationError, match="max_sweeps"):
+        MosaicConfig(max_sweeps=0)
+
+
+def test_frozen():
+    cfg = MosaicConfig()
+    with pytest.raises(Exception):
+        cfg.tile_size = 8

@@ -1,0 +1,95 @@
+"""Tests for the database-mosaic baseline (paper Fig. 1 mode)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.imaging.synthetic import standard_image
+from repro.mosaic.database import DatabaseMosaic, TileDatabase
+
+
+@pytest.fixture(scope="module")
+def database() -> TileDatabase:
+    return TileDatabase.from_image_tiles(standard_image("baboon", 64), 8)
+
+
+class TestTileDatabase:
+    def test_from_image_tiles(self, database):
+        assert database.size == 64
+        assert database.tile_size == 8
+
+    def test_from_images_resizes(self):
+        images = [standard_image("peppers", 32), standard_image("sailboat", 48)]
+        db = TileDatabase.from_images(images, 8)
+        assert db.size == 2
+        assert db.tiles.shape == (2, 8, 8)
+
+    def test_from_images_empty(self):
+        with pytest.raises(ValidationError, match="at least one"):
+            TileDatabase.from_images([], 8)
+
+    def test_mixed_gray_color_rejected(self, rng):
+        gray = rng.integers(0, 256, size=(16, 16)).astype(np.uint8)
+        color = rng.integers(0, 256, size=(16, 16, 3)).astype(np.uint8)
+        with pytest.raises(ValidationError, match="all-gray or all-colour"):
+            TileDatabase.from_images([gray, color], 8)
+
+
+class TestDatabaseMosaic:
+    def test_with_reuse_is_argmin(self, database):
+        target = standard_image("portrait", 64)
+        mosaic, choice = DatabaseMosaic(database).generate(target, allow_reuse=True)
+        assert mosaic.shape == target.shape
+        # Each position independently takes its cheapest database tile.
+        from repro.cost import get_metric
+        from repro.tiles.grid import TileGrid
+
+        metric = get_metric("sad")
+        grid = TileGrid.for_image(target, 8)
+        target_tiles = grid.split(target)
+        costs = metric.pairwise(
+            metric.prepare(database.tiles), metric.prepare(target_tiles)
+        )
+        assert (choice == np.argmin(costs, axis=0)).all()
+
+    def test_without_reuse_all_distinct(self, database):
+        target = standard_image("portrait", 64)
+        _, choice = DatabaseMosaic(database).generate(target, allow_reuse=False)
+        assert len(np.unique(choice)) == choice.size
+
+    def test_without_reuse_needs_enough_tiles(self):
+        small_db = TileDatabase.from_image_tiles(standard_image("baboon", 32), 8)
+        target = standard_image("portrait", 64)  # needs 64 tiles, db has 16
+        with pytest.raises(ValidationError, match="needs >="):
+            DatabaseMosaic(small_db).generate(target, allow_reuse=False)
+
+    def test_reuse_total_cost_not_worse(self, database):
+        """Free reuse can only lower (or tie) the total matching cost."""
+        from repro.cost import get_metric
+        from repro.tiles.grid import TileGrid
+
+        target = standard_image("portrait", 64)
+        metric = get_metric("sad")
+        grid = TileGrid.for_image(target, 8)
+        costs = metric.pairwise(
+            metric.prepare(database.tiles), metric.prepare(grid.split(target))
+        )
+        gen = DatabaseMosaic(database)
+        _, reuse = gen.generate(target, allow_reuse=True)
+        _, unique = gen.generate(target, allow_reuse=False)
+        cols = np.arange(costs.shape[1])
+        assert costs[reuse, cols].sum() <= costs[unique, cols].sum()
+
+    def test_self_database_perfect_reconstruction(self):
+        """A target rendered from its own tile database must be exact."""
+        target = standard_image("portrait", 64)
+        db = TileDatabase.from_image_tiles(target, 8)
+        mosaic, _ = DatabaseMosaic(db).generate(target, allow_reuse=False)
+        assert (mosaic == target).all()
+
+    def test_gray_color_mismatch(self, database, rng):
+        color_target = rng.integers(0, 256, size=(64, 64, 3)).astype(np.uint8)
+        with pytest.raises(ValidationError, match="agree"):
+            DatabaseMosaic(database).generate(color_target)

@@ -1,0 +1,161 @@
+"""Tests for the end-to-end pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cost.matrix import error_matrix, total_error
+from repro.exceptions import ValidationError
+from repro.imaging.histogram import match_histogram
+from repro.mosaic.config import MosaicConfig
+from repro.mosaic.generator import PhotomosaicGenerator, generate_photomosaic
+from repro.tiles.grid import TileGrid
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("algorithm", ["optimization", "approximation", "parallel"])
+    def test_all_algorithms_run(self, algorithm, small_pair):
+        inp, tgt = small_pair
+        result = generate_photomosaic(inp, tgt, tile_size=8, algorithm=algorithm)
+        assert result.image.shape == inp.shape
+        assert result.total_error >= 0
+
+    def test_output_is_tile_permutation_of_adjusted_input(self, small_pair):
+        inp, tgt = small_pair
+        result = generate_photomosaic(inp, tgt, tile_size=8, algorithm="parallel")
+        adjusted = match_histogram(inp, tgt)
+        # Pixel multiset preserved: output tiles are a permutation of input tiles.
+        assert (np.sort(result.image.ravel()) == np.sort(adjusted.ravel())).all()
+
+    def test_total_error_consistent_with_matrix(self, small_pair):
+        inp, tgt = small_pair
+        result = generate_photomosaic(inp, tgt, tile_size=8, algorithm="optimization")
+        grid = TileGrid.for_image(inp, 8)
+        matrix = error_matrix(grid.split(match_histogram(inp, tgt)), grid.split(tgt))
+        assert result.total_error == total_error(matrix, result.permutation)
+
+    def test_optimization_lower_bounds_others(self, small_pair):
+        inp, tgt = small_pair
+        errors = {
+            alg: generate_photomosaic(inp, tgt, tile_size=8, algorithm=alg).total_error
+            for alg in ("optimization", "approximation", "parallel")
+        }
+        assert errors["optimization"] <= errors["approximation"]
+        assert errors["optimization"] <= errors["parallel"]
+
+    def test_rearrangement_improves_over_identity(self, small_pair):
+        inp, tgt = small_pair
+        result = generate_photomosaic(inp, tgt, tile_size=8, algorithm="parallel")
+        grid = TileGrid.for_image(inp, 8)
+        matrix = error_matrix(grid.split(match_histogram(inp, tgt)), grid.split(tgt))
+        identity_error = total_error(matrix, np.arange(grid.tile_count))
+        assert result.total_error <= identity_error
+
+    def test_timings_recorded(self, small_pair):
+        inp, tgt = small_pair
+        result = generate_photomosaic(inp, tgt, tile_size=8)
+        for phase in ("step1_tiling", "step2_error_matrix", "step3_rearrangement"):
+            assert phase in result.timings.phases
+
+    def test_trace_present_for_local_search(self, small_pair):
+        inp, tgt = small_pair
+        assert generate_photomosaic(inp, tgt, tile_size=8, algorithm="parallel").sweeps
+        assert (
+            generate_photomosaic(inp, tgt, tile_size=8, algorithm="optimization").sweeps
+            is None
+        )
+
+    def test_shape_mismatch_rejected(self, small_pair):
+        inp, _ = small_pair
+        tgt = np.zeros((32, 32), dtype=np.uint8)
+        with pytest.raises(ValidationError, match="identical shapes"):
+            generate_photomosaic(inp, tgt, tile_size=8)
+
+    def test_color_pipeline(self, rng):
+        inp = rng.integers(0, 256, size=(32, 32, 3)).astype(np.uint8)
+        tgt = rng.integers(0, 256, size=(32, 32, 3)).astype(np.uint8)
+        result = generate_photomosaic(inp, tgt, tile_size=8, metric="color")
+        assert result.image.shape == (32, 32, 3)
+        # Histogram matching is gray-only: colour input must pass through.
+        assert (np.sort(result.image.ravel()) == np.sort(inp.ravel())).all()
+
+    @pytest.mark.parametrize("solver", ["scipy", "jv", "hungarian", "auction"])
+    def test_all_exact_solvers_same_total(self, solver, small_pair):
+        inp, tgt = small_pair
+        result = generate_photomosaic(
+            inp, tgt, tile_size=8, algorithm="optimization", solver=solver
+        )
+        reference = generate_photomosaic(
+            inp, tgt, tile_size=8, algorithm="optimization", solver="scipy"
+        )
+        assert result.total_error == reference.total_error
+
+    def test_histogram_match_flag(self, small_pair):
+        inp, tgt = small_pair
+        on = generate_photomosaic(inp, tgt, tile_size=8, histogram_match=True)
+        off = generate_photomosaic(inp, tgt, tile_size=8, histogram_match=False)
+        # Without adjustment the pixel multiset is the raw input's.
+        assert (np.sort(off.image.ravel()) == np.sort(inp.ravel())).all()
+        assert on.total_error != off.total_error
+
+
+class TestPyramidAlgorithm:
+    def test_runs_end_to_end(self, small_pair):
+        inp, tgt = small_pair
+        result = generate_photomosaic(inp, tgt, tile_size=8, algorithm="pyramid")
+        assert result.image.shape == inp.shape
+        assert result.meta["pyramid_factor"] == 2
+        assert result.meta["coarse_total"] > 0
+
+    def test_quality_between_optimal_and_identity(self, small_pair):
+        inp, tgt = small_pair
+        pyramid = generate_photomosaic(inp, tgt, tile_size=8, algorithm="pyramid")
+        optimal = generate_photomosaic(
+            inp, tgt, tile_size=8, algorithm="optimization"
+        )
+        assert pyramid.total_error >= optimal.total_error
+        assert pyramid.total_error <= 1.1 * optimal.total_error
+
+    def test_custom_factor(self, small_pair):
+        inp, tgt = small_pair
+        result = generate_photomosaic(
+            inp, tgt, tile_size=8, algorithm="pyramid", pyramid_factor=4
+        )
+        assert result.meta["pyramid_factor"] == 4
+
+    def test_rearrange_stage_rejects_pyramid(self, small_error_matrix):
+        gen = PhotomosaicGenerator(MosaicConfig(tile_size=8, algorithm="pyramid"))
+        with pytest.raises(ValidationError, match="tile stacks"):
+            gen.rearrange(small_error_matrix)
+
+    def test_pyramid_with_transforms_rejected(self):
+        with pytest.raises(ValidationError, match="cannot combine"):
+            MosaicConfig(algorithm="pyramid", allow_transforms=True)
+
+
+class TestStagedAPI:
+    def test_build_error_matrix(self, small_pair):
+        inp, tgt = small_pair
+        gen = PhotomosaicGenerator(MosaicConfig(tile_size=8))
+        grid, matrix = gen.build_error_matrix(inp, tgt)
+        assert grid.tile_count == 64
+        assert matrix.shape == (64, 64)
+
+    def test_rearrange_stage(self, small_error_matrix):
+        gen = PhotomosaicGenerator(MosaicConfig(tile_size=8, algorithm="parallel"))
+        perm, trace, meta = gen.rearrange(small_error_matrix)
+        assert perm.shape == (64,)
+        assert trace is not None
+        assert "kernel_launches" in meta
+
+    def test_preprocess_matches_histograms(self, small_pair):
+        inp, tgt = small_pair
+        gen = PhotomosaicGenerator(MosaicConfig(tile_size=8))
+        adjusted = gen.preprocess(inp, tgt)
+        assert (adjusted == match_histogram(inp, tgt)).all()
+
+    def test_preprocess_disabled(self, small_pair):
+        inp, tgt = small_pair
+        gen = PhotomosaicGenerator(MosaicConfig(tile_size=8, histogram_match=False))
+        assert gen.preprocess(inp, tgt) is inp

@@ -1,0 +1,115 @@
+"""Tests for coarse-to-fine rearrangement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cost.matrix import error_matrix, total_error
+from repro.exceptions import ValidationError
+from repro.localsearch import local_search_parallel
+from repro.mosaic.pyramid import (
+    coarse_to_fine_rearrange,
+    expand_coarse_permutation,
+)
+from repro.tiles.grid import TileGrid
+from repro.tiles.permutation import identity_permutation, random_permutation
+
+
+class TestExpansion:
+    def test_identity_expands_to_identity(self):
+        coarse_grid = TileGrid(64, 64, 16)  # 4x4 coarse blocks
+        fine = expand_coarse_permutation(
+            identity_permutation(16), coarse_grid, factor=2
+        )
+        assert (fine == np.arange(64)).all()
+
+    def test_expansion_is_permutation(self):
+        coarse_grid = TileGrid(64, 64, 16)
+        for seed in range(4):
+            coarse = random_permutation(16, seed=seed)
+            fine = expand_coarse_permutation(coarse, coarse_grid, factor=2)
+            assert (np.sort(fine) == np.arange(64)).all()
+
+    def test_block_interiors_preserved(self):
+        """Tiles of one coarse block stay together at the same offsets."""
+        coarse_grid = TileGrid(64, 64, 32)  # 2x2 coarse blocks
+        coarse = np.array([1, 0, 2, 3], dtype=np.intp)  # swap top two blocks
+        fine = expand_coarse_permutation(coarse, coarse_grid, factor=2)
+        # Fine grid is 4x4 (cols=4).  Coarse slot 0 (rows 0-1, cols 0-1)
+        # receives coarse block 1 (rows 0-1, cols 2-3).
+        assert fine[0] == 2  # (0,0) <- (0,2)
+        assert fine[1] == 3
+        assert fine[4] == 6  # (1,0) <- (1,2)
+        # Bottom half untouched.
+        assert (fine[8:] == np.arange(8, 16)).all()
+
+    def test_rejects_wrong_length(self):
+        coarse_grid = TileGrid(64, 64, 16)
+        with pytest.raises(ValidationError, match="length"):
+            expand_coarse_permutation(identity_permutation(9), coarse_grid, 2)
+
+
+class TestCoarseToFine:
+    @pytest.fixture()
+    def setup(self, small_pair):
+        inp, tgt = small_pair
+        grid = TileGrid.for_image(inp, 8)  # 8x8 = 64 tiles
+        from repro.imaging.histogram import match_histogram
+
+        adjusted = match_histogram(inp, tgt)
+        return grid, grid.split(adjusted), grid.split(tgt)
+
+    def test_produces_valid_permutation(self, setup):
+        grid, tiles_in, tiles_tg = setup
+        result = coarse_to_fine_rearrange(tiles_in, tiles_tg, grid, factor=2)
+        assert (np.sort(result.permutation) == np.arange(64)).all()
+
+    def test_fine_search_improves_warm_start(self, setup):
+        grid, tiles_in, tiles_tg = setup
+        result = coarse_to_fine_rearrange(tiles_in, tiles_tg, grid, factor=2)
+        assert result.total <= result.warm_start_total
+
+    def test_total_consistent(self, setup):
+        grid, tiles_in, tiles_tg = setup
+        matrix = error_matrix(tiles_in, tiles_tg)
+        result = coarse_to_fine_rearrange(
+            tiles_in, tiles_tg, grid, factor=2, fine_matrix=matrix
+        )
+        assert result.total == total_error(matrix, result.permutation)
+
+    def test_quality_close_to_flat_search(self, setup):
+        grid, tiles_in, tiles_tg = setup
+        matrix = error_matrix(tiles_in, tiles_tg)
+        flat = local_search_parallel(matrix)
+        pyramid = coarse_to_fine_rearrange(
+            tiles_in, tiles_tg, grid, factor=2, fine_matrix=matrix
+        )
+        assert pyramid.total <= 1.05 * flat.total
+
+    def test_warm_start_reduces_fine_sweeps(self, setup):
+        grid, tiles_in, tiles_tg = setup
+        matrix = error_matrix(tiles_in, tiles_tg)
+        cold = local_search_parallel(matrix)
+        pyramid = coarse_to_fine_rearrange(
+            tiles_in, tiles_tg, grid, factor=2, fine_matrix=matrix
+        )
+        assert pyramid.fine_sweeps <= cold.sweeps
+
+    def test_factor_must_divide(self, setup):
+        grid, tiles_in, tiles_tg = setup
+        with pytest.raises(ValidationError, match="does not divide"):
+            coarse_to_fine_rearrange(tiles_in, tiles_tg, grid, factor=3)
+
+    def test_factor_one_equals_exact_plus_polish(self, setup):
+        """factor=1: the 'coarse' stage is the exact fine assignment, so
+        the fine search has nothing to improve."""
+        grid, tiles_in, tiles_tg = setup
+        matrix = error_matrix(tiles_in, tiles_tg)
+        result = coarse_to_fine_rearrange(
+            tiles_in, tiles_tg, grid, factor=1, fine_matrix=matrix
+        )
+        from repro.assignment import get_solver
+
+        assert result.total == get_solver("scipy").solve(matrix).total
+        assert result.fine_sweeps == 1

@@ -1,0 +1,94 @@
+"""Tests for the video mosaic session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.imaging.synthetic import standard_image
+from repro.mosaic.video import VideoMosaicSession
+
+
+@pytest.fixture()
+def session() -> VideoMosaicSession:
+    return VideoMosaicSession(standard_image("portrait", 64), tile_size=8)
+
+
+def _frames(count: int) -> list[np.ndarray]:
+    base = standard_image("sailboat", 64).astype(int)
+    return [
+        np.clip(base + 4 * i, 0, 255).astype(np.uint8) for i in range(count)
+    ]
+
+
+class TestProcessing:
+    def test_frame_shape_and_error(self, session):
+        frame = session.process_frame(standard_image("sailboat", 64))
+        assert frame.image.shape == (64, 64)
+        assert frame.total_error > 0
+        assert frame.frame_index == 0
+
+    def test_frame_counter(self, session):
+        for expected in range(3):
+            frame = session.process_frame(standard_image("sailboat", 64))
+            assert frame.frame_index == expected
+        assert session.frames_processed == 3
+
+    def test_warm_start_reduces_sweeps(self, session):
+        frames = _frames(3)
+        results = session.process_sequence(frames)
+        assert results[1].sweeps <= results[0].sweeps
+        assert results[2].sweeps <= results[0].sweeps
+
+    def test_identical_frame_converges_in_one_sweep(self, session):
+        target = standard_image("sailboat", 64)
+        session.process_frame(target)
+        second = session.process_frame(target)
+        assert second.sweeps == 1
+
+    def test_reset_forgets_warm_start(self, session):
+        target = standard_image("sailboat", 64)
+        first = session.process_frame(target)
+        session.reset()
+        again = session.process_frame(target)
+        assert again.sweeps == first.sweeps  # cold start repeats itself
+
+    def test_quality_matches_cold_pipeline(self, session):
+        """Warm-started results stay 2-opt optimal, so quality matches a
+        from-scratch run within a small band."""
+        from repro import generate_photomosaic
+
+        target = standard_image("sailboat", 64)
+        warm = session.process_frame(target)
+        cold = generate_photomosaic(
+            standard_image("portrait", 64), target, tile_size=8, algorithm="parallel"
+        )
+        assert abs(warm.total_error - cold.total_error) <= 0.05 * cold.total_error
+
+    def test_timings_per_frame(self, session):
+        frame = session.process_frame(standard_image("sailboat", 64))
+        for phase in ("step2_error_matrix", "step3_rearrangement"):
+            assert frame.timings.get(phase) > 0
+
+
+class TestValidation:
+    def test_rejects_wrong_frame_shape(self, session):
+        with pytest.raises(ValidationError, match="frame shape"):
+            session.process_frame(standard_image("sailboat", 32))
+
+    def test_groups_precomputed_once(self, session):
+        groups_before = session.groups
+        session.process_frame(standard_image("sailboat", 64))
+        assert session.groups is groups_before
+
+    def test_histogram_match_disabled(self):
+        session = VideoMosaicSession(
+            standard_image("portrait", 64), tile_size=8, histogram_match=False
+        )
+        frame = session.process_frame(standard_image("sailboat", 64))
+        # Output pixels are exactly the raw input's (no remap).
+        assert (
+            np.sort(frame.image.ravel())
+            == np.sort(standard_image("portrait", 64).ravel())
+        ).all()

@@ -1,0 +1,97 @@
+"""Property-based tests for the extension modules."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+from scipy.optimize import linear_sum_assignment
+
+from repro.assignment.bruteforce import BruteForceSolver
+from repro.assignment.rectangular import solve_rectangular
+from repro.cost.matrix import total_error
+from repro.localsearch.annealing import simulated_annealing
+from repro.localsearch.windowed import local_search_windowed
+
+tiny_matrices = arrays(
+    dtype=np.int64,
+    shape=st.tuples(
+        st.shared(st.integers(min_value=1, max_value=6), key="tn"),
+        st.shared(st.integers(min_value=1, max_value=6), key="tn"),
+    ),
+    elements=st.integers(min_value=0, max_value=500),
+)
+
+matrices = arrays(
+    dtype=np.int64,
+    shape=st.tuples(
+        st.shared(st.integers(min_value=1, max_value=16), key="n"),
+        st.shared(st.integers(min_value=1, max_value=16), key="n"),
+    ),
+    elements=st.integers(min_value=0, max_value=5000),
+)
+
+
+@given(tiny_matrices)
+@settings(max_examples=30, deadline=None)
+def test_bruteforce_is_true_lower_bound(m):
+    """The S! oracle lower-bounds every heuristic's result."""
+    oracle = BruteForceSolver().solve(m).total
+    lums = np.arange(m.shape[0], dtype=np.float64)
+    assert simulated_annealing(m, seed=0).total >= oracle
+    assert local_search_windowed(m, lums, window=3).total >= oracle
+
+
+@given(matrices, st.integers(min_value=0, max_value=100))
+@settings(max_examples=25, deadline=None)
+def test_annealing_valid_and_bounded(m, seed):
+    n = m.shape[0]
+    result = simulated_annealing(m, seed=seed, polish=False)
+    assert (np.sort(result.permutation) == np.arange(n)).all()
+    assert result.total == total_error(m, result.permutation)
+    assert result.total <= total_error(m, np.arange(n))  # never above start
+
+
+@given(matrices, st.integers(min_value=1, max_value=20))
+@settings(max_examples=25, deadline=None)
+def test_windowed_valid_and_monotone(m, window):
+    n = m.shape[0]
+    lums = (m.sum(axis=1) % 251).astype(np.float64)  # arbitrary but fixed
+    result = local_search_windowed(m, lums, window=window)
+    assert (np.sort(result.permutation) == np.arange(n)).all()
+    totals = result.trace.totals
+    assert all(a >= b for a, b in zip(totals, totals[1:]))
+    assert result.trace.swap_counts[-1] == 0
+
+
+@st.composite
+def rect_costs(draw):
+    rows = draw(st.integers(min_value=1, max_value=12))
+    cols = draw(st.integers(min_value=1, max_value=rows))
+    return draw(
+        arrays(
+            dtype=np.int64,
+            shape=(rows, cols),
+            elements=st.integers(min_value=0, max_value=1000),
+        )
+    )
+
+
+@given(rect_costs())
+@settings(max_examples=40, deadline=None)
+def test_rectangular_matches_scipy(costs):
+    choice, total = solve_rectangular(costs)
+    rows, cols = linear_sum_assignment(costs)
+    assert total == int(costs[rows, cols].sum())
+    assert len(np.unique(choice)) == choice.size
+    assert total == int(costs[choice, np.arange(costs.shape[1])].sum())
+
+
+@given(rect_costs(), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=25, deadline=None)
+def test_rectangular_shift_invariance(costs, shift):
+    """Adding a constant shifts the optimum by cols*shift."""
+    _, base = solve_rectangular(costs)
+    _, shifted = solve_rectangular(costs + shift)
+    assert shifted == base + costs.shape[1] * shift

@@ -1,0 +1,92 @@
+"""Property-based tests for the imaging substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.imaging.histogram import histogram, histogram_equalize, match_histogram
+from repro.imaging.io_pgm import read_netpbm, write_pgm
+from repro.imaging.io_png import read_png, write_png
+
+gray_images = arrays(
+    dtype=np.uint8,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=24), st.integers(min_value=1, max_value=24)
+    ),
+    elements=st.integers(min_value=0, max_value=255),
+)
+
+color_images = arrays(
+    dtype=np.uint8,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=1, max_value=16),
+        st.just(3),
+    ),
+    elements=st.integers(min_value=0, max_value=255),
+)
+
+
+def _roundtrip(img, writer, reader, suffix):
+    """Write with ``writer`` to a temp file, read back with ``reader``."""
+    import os
+    import tempfile
+
+    fd, path = tempfile.mkstemp(suffix=suffix)
+    os.close(fd)
+    try:
+        writer(path, img)
+        return reader(path)
+    finally:
+        os.unlink(path)
+
+
+@given(gray_images)
+@settings(max_examples=40, deadline=None)
+def test_png_gray_roundtrip(img):
+    assert (_roundtrip(img, write_png, read_png, ".png") == img).all()
+
+
+@given(color_images)
+@settings(max_examples=30, deadline=None)
+def test_png_color_roundtrip(img):
+    assert (_roundtrip(img, write_png, read_png, ".png") == img).all()
+
+
+@given(gray_images)
+@settings(max_examples=40, deadline=None)
+def test_pgm_roundtrip(img):
+    assert (_roundtrip(img, write_pgm, read_netpbm, ".pgm") == img).all()
+
+
+@given(gray_images)
+@settings(max_examples=40, deadline=None)
+def test_histogram_mass_conserved(img):
+    assert histogram(img).sum() == img.size
+
+
+@given(gray_images)
+@settings(max_examples=40, deadline=None)
+def test_equalize_is_monotone_remap(img):
+    out = histogram_equalize(img)
+    order = np.argsort(img.ravel(), kind="stable")
+    assert (np.diff(out.ravel()[order].astype(int)) >= 0).all()
+
+
+@given(gray_images, gray_images)
+@settings(max_examples=40, deadline=None)
+def test_match_histogram_output_levels_subset_of_reference(img, ref):
+    """Specification can only emit intensity levels the reference has."""
+    matched = match_histogram(img, ref)
+    assert set(np.unique(matched)) <= set(np.unique(ref))
+
+
+@given(gray_images)
+@settings(max_examples=30, deadline=None)
+def test_match_histogram_idempotent(img):
+    once = match_histogram(img, img)
+    twice = match_histogram(once, img)
+    assert (once == twice).all()

@@ -1,0 +1,89 @@
+"""Property-based tests for the local-search invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.assignment import get_solver
+from repro.cost.matrix import total_error
+from repro.localsearch import local_search_parallel, local_search_serial
+
+matrices = arrays(
+    dtype=np.int64,
+    shape=st.tuples(
+        st.shared(st.integers(min_value=1, max_value=20), key="n"),
+        st.shared(st.integers(min_value=1, max_value=20), key="n"),
+    ),
+    elements=st.integers(min_value=0, max_value=5_000),
+)
+
+
+def _is_2opt_optimal(matrix: np.ndarray, perm: np.ndarray) -> bool:
+    s = matrix.shape[0]
+    for u in range(s):
+        for v in range(u + 1, s):
+            if (
+                matrix[perm[u], u] + matrix[perm[v], v]
+                > matrix[perm[v], u] + matrix[perm[u], v]
+            ):
+                return False
+    return True
+
+
+@given(matrices)
+@settings(max_examples=40, deadline=None)
+def test_serial_reaches_2opt_optimum(m):
+    result = local_search_serial(m)
+    assert _is_2opt_optimal(m, result.permutation)
+
+
+@given(matrices)
+@settings(max_examples=40, deadline=None)
+def test_parallel_reaches_2opt_optimum(m):
+    result = local_search_parallel(m)
+    assert _is_2opt_optimal(m, result.permutation)
+
+
+@given(matrices)
+@settings(max_examples=40, deadline=None)
+def test_local_search_bounded_by_optimum_and_start(m):
+    n = m.shape[0]
+    optimal = get_solver("scipy").solve(m).total
+    start_error = total_error(m, np.arange(n))
+    for result in (local_search_serial(m), local_search_parallel(m)):
+        assert optimal <= result.total <= start_error
+
+
+@given(matrices)
+@settings(max_examples=30, deadline=None)
+def test_totals_monotone_nonincreasing(m):
+    for result in (local_search_serial(m), local_search_parallel(m)):
+        totals = result.trace.totals
+        assert all(a >= b for a, b in zip(totals, totals[1:]))
+
+
+@given(matrices)
+@settings(max_examples=30, deadline=None)
+def test_last_sweep_clean(m):
+    for result in (local_search_serial(m), local_search_parallel(m)):
+        assert result.trace.swap_counts[-1] == 0
+
+
+@given(matrices)
+@settings(max_examples=30, deadline=None)
+def test_result_is_permutation(m):
+    n = m.shape[0]
+    for result in (local_search_serial(m), local_search_parallel(m)):
+        assert (np.sort(result.permutation) == np.arange(n)).all()
+
+
+@given(matrices)
+@settings(max_examples=20, deadline=None)
+def test_idempotent_on_own_output(m):
+    first = local_search_serial(m)
+    second = local_search_serial(m, first.permutation)
+    assert second.total == first.total
+    assert second.sweeps == 1

@@ -1,0 +1,74 @@
+"""Property-based tests for permutation algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tiles.permutation import (
+    apply_permutation,
+    compose,
+    identity_permutation,
+    invert,
+    permutation_from_pairs,
+    random_permutation,
+)
+
+perm_sizes = st.integers(min_value=1, max_value=64)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@st.composite
+def permutations(draw, max_size: int = 64):
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    seed = draw(seeds)
+    return random_permutation(size, seed=seed)
+
+
+@given(permutations())
+def test_invert_is_involutive(p):
+    assert (invert(invert(p)) == p).all()
+
+
+@given(permutations())
+def test_inverse_composes_to_identity(p):
+    n = p.shape[0]
+    assert (compose(p, invert(p)) == identity_permutation(n)).all()
+    assert (compose(invert(p), p) == identity_permutation(n)).all()
+
+
+@given(st.data())
+def test_compose_associative(data):
+    size = data.draw(perm_sizes)
+    a = random_permutation(size, seed=data.draw(seeds))
+    b = random_permutation(size, seed=data.draw(seeds))
+    c = random_permutation(size, seed=data.draw(seeds))
+    assert (compose(compose(a, b), c) == compose(a, compose(b, c))).all()
+
+
+@given(st.data())
+def test_apply_respects_composition(data):
+    size = data.draw(perm_sizes)
+    a = random_permutation(size, seed=data.draw(seeds))
+    b = random_permutation(size, seed=data.draw(seeds))
+    items = np.arange(1000, 1000 + size)
+    assert (
+        apply_permutation(apply_permutation(items, a), b)
+        == apply_permutation(items, compose(a, b))
+    ).all()
+
+
+@given(permutations())
+def test_from_pairs_reconstructs(p):
+    n = p.shape[0]
+    pairs = [(int(p[v]), v) for v in range(n)]
+    assert (permutation_from_pairs(pairs, n) == p).all()
+
+
+@given(permutations())
+@settings(max_examples=30)
+def test_apply_preserves_multiset(p):
+    items = np.arange(p.shape[0]) ** 2
+    out = apply_permutation(items, p)
+    assert (np.sort(out) == np.sort(items)).all()

@@ -1,0 +1,106 @@
+"""Property-based tests for transforms and pyramid expansion."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tiles.grid import TileGrid
+from repro.tiles.permutation import random_permutation
+from repro.tiles.transforms import (
+    TRANSFORM_COUNT,
+    apply_transform,
+    compose_transforms,
+    invert_transform,
+)
+from repro.mosaic.pyramid import expand_coarse_permutation
+
+square_tiles = arrays(
+    dtype=np.uint8,
+    shape=st.tuples(
+        st.shared(st.integers(min_value=1, max_value=8), key="m"),
+        st.shared(st.integers(min_value=1, max_value=8), key="m"),
+    ),
+    elements=st.integers(min_value=0, max_value=255),
+)
+
+codes = st.integers(min_value=0, max_value=TRANSFORM_COUNT - 1)
+
+
+@given(square_tiles, codes)
+@settings(max_examples=50, deadline=None)
+def test_transform_preserves_pixel_multiset(tile, code):
+    out = apply_transform(tile, code)
+    assert (np.sort(out.ravel()) == np.sort(tile.ravel())).all()
+
+
+@given(square_tiles, codes, codes)
+@settings(max_examples=50, deadline=None)
+def test_composition_matches_sequential(tile, a, b):
+    direct = apply_transform(apply_transform(tile, a), b)
+    composed = apply_transform(tile, compose_transforms(a, b))
+    assert (direct == composed).all()
+
+
+@given(square_tiles, codes)
+@settings(max_examples=50, deadline=None)
+def test_inverse_restores(tile, code):
+    assert (
+        apply_transform(apply_transform(tile, code), invert_transform(code)) == tile
+    ).all()
+
+
+@given(codes, codes, codes)
+@settings(max_examples=50, deadline=None)
+def test_group_associativity(a, b, c):
+    left = compose_transforms(compose_transforms(a, b), c)
+    right = compose_transforms(a, compose_transforms(b, c))
+    assert left == right
+
+
+@st.composite
+def pyramid_instances(draw):
+    factor = draw(st.sampled_from([1, 2, 3]))
+    rows = draw(st.integers(min_value=1, max_value=4))
+    cols = draw(st.integers(min_value=1, max_value=4))
+    tile = 4
+    coarse_grid = TileGrid(rows * factor * tile, cols * factor * tile, factor * tile)
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    coarse = random_permutation(rows * cols, seed=seed)
+    return coarse, coarse_grid, factor
+
+
+@given(pyramid_instances())
+@settings(max_examples=50, deadline=None)
+def test_pyramid_expansion_is_permutation(instance):
+    coarse, coarse_grid, factor = instance
+    fine = expand_coarse_permutation(coarse, coarse_grid, factor)
+    n = coarse.shape[0] * factor * factor
+    assert (np.sort(fine) == np.arange(n)).all()
+
+
+@given(pyramid_instances())
+@settings(max_examples=30, deadline=None)
+def test_pyramid_expansion_preserves_blocks(instance):
+    """All fine tiles of one coarse block land inside one coarse slot."""
+    coarse, coarse_grid, factor = instance
+    fine = expand_coarse_permutation(coarse, coarse_grid, factor)
+    cols_c = coarse_grid.cols
+    cols_f = cols_c * factor
+
+    def coarse_cell_of_fine(index: int) -> tuple[int, int]:
+        r, c = divmod(int(index), cols_f)
+        return r // factor, c // factor
+
+    for slot in range(coarse.shape[0]):
+        slot_cell = divmod(slot, cols_c)
+        block = int(coarse[slot])
+        block_cell = divmod(block, cols_c)
+        # Every fine position of this slot must hold a tile from `block`.
+        slot_r, slot_c = slot_cell
+        for dy in range(factor):
+            for dx in range(factor):
+                fine_pos = (slot_r * factor + dy) * cols_f + slot_c * factor + dx
+                assert coarse_cell_of_fine(fine[fine_pos]) == block_cell

@@ -1,0 +1,92 @@
+"""Property-based tests for tiling and the cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.cost.matrix import error_matrix, total_error
+from repro.cost.sad import SADMetric
+from repro.tiles.grid import TileGrid
+from repro.tiles.permutation import random_permutation
+
+
+@st.composite
+def image_and_tile_size(draw):
+    tile = draw(st.sampled_from([1, 2, 4, 8]))
+    tiles_per_side = draw(st.integers(min_value=1, max_value=6))
+    n = tile * tiles_per_side
+    img = draw(
+        arrays(
+            dtype=np.uint8,
+            shape=(n, n),
+            elements=st.integers(min_value=0, max_value=255),
+        )
+    )
+    return img, tile
+
+
+@given(image_and_tile_size())
+@settings(max_examples=50, deadline=None)
+def test_split_assemble_identity(data):
+    img, tile = data
+    grid = TileGrid.for_image(img, tile)
+    assert (grid.assemble(grid.split(img)) == img).all()
+
+
+@given(image_and_tile_size(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=50, deadline=None)
+def test_rearrange_preserves_pixel_multiset(data, seed):
+    img, tile = data
+    grid = TileGrid.for_image(img, tile)
+    perm = random_permutation(grid.tile_count, seed=seed)
+    out = grid.rearrange(img, perm)
+    assert (np.sort(out.ravel()) == np.sort(img.ravel())).all()
+
+
+@st.composite
+def tile_stack_pairs(draw):
+    s = draw(st.integers(min_value=1, max_value=10))
+    m = draw(st.sampled_from([1, 2, 4]))
+    elements = st.integers(min_value=0, max_value=255)
+    a = draw(arrays(dtype=np.uint8, shape=(s, m, m), elements=elements))
+    b = draw(arrays(dtype=np.uint8, shape=(s, m, m), elements=elements))
+    return a, b
+
+
+@given(tile_stack_pairs())
+@settings(max_examples=50, deadline=None)
+def test_error_matrix_nonnegative_and_symmetric_on_swap(pair):
+    a, b = pair
+    m_ab = error_matrix(a, b)
+    m_ba = error_matrix(b, a)
+    assert (m_ab >= 0).all()
+    # SAD is symmetric in its two tiles: E_ab[u, v] == E_ba[v, u].
+    assert (m_ab == m_ba.T).all()
+
+
+@given(tile_stack_pairs())
+@settings(max_examples=50, deadline=None)
+def test_error_matrix_entries_match_single_tile_metric(pair):
+    a, b = pair
+    m = error_matrix(a, b)
+    metric = SADMetric()
+    s = a.shape[0]
+    rng = np.random.default_rng(0)
+    for _ in range(min(5, s * s)):
+        u = int(rng.integers(0, s))
+        v = int(rng.integers(0, s))
+        assert m[u, v] == metric.tile_error(a[u], b[v])
+
+
+@given(tile_stack_pairs(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_total_error_of_identity_on_equal_stacks_is_zero(pair, seed):
+    a, _ = pair
+    m = error_matrix(a, a)
+    assert total_error(m, np.arange(a.shape[0])) == 0
+    # And any other permutation cannot be negative.
+    perm = random_permutation(a.shape[0], seed=seed)
+    assert total_error(m, perm) >= 0

@@ -1,0 +1,98 @@
+"""Tests for the analysis package (displacement + convergence tools)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    convergence_curve,
+    convergence_table,
+    displacement_stats,
+    tile_displacements,
+)
+from repro.exceptions import ValidationError
+from repro.localsearch import local_search_serial
+from repro.localsearch.base import ConvergenceTrace
+from repro.tiles.grid import TileGrid
+from repro.tiles.permutation import identity_permutation
+
+
+class TestDisplacement:
+    def test_identity_all_zero(self):
+        grid = TileGrid(32, 32, 8)
+        d = tile_displacements(grid, identity_permutation(grid.tile_count))
+        assert (d == 0).all()
+
+    def test_single_swap_distance(self):
+        grid = TileGrid(32, 32, 8)  # 4x4 tiles
+        perm = identity_permutation(16)
+        perm[0], perm[1] = perm[1], perm[0]  # tiles 0 and 1 swap columns
+        d = tile_displacements(grid, perm)
+        assert d[0] == pytest.approx(1.0)
+        assert d[1] == pytest.approx(1.0)
+        assert (d[2:] == 0).all()
+
+    def test_diagonal_move(self):
+        grid = TileGrid(32, 32, 8)
+        perm = identity_permutation(16)
+        # Put tile 0 at the far corner (position 15) and vice versa.
+        perm[0], perm[15] = perm[15], perm[0]
+        d = tile_displacements(grid, perm)
+        assert d[0] == pytest.approx(np.hypot(3, 3))
+
+    def test_stats_identity(self):
+        grid = TileGrid(64, 64, 8)
+        stats = displacement_stats(grid, identity_permutation(grid.tile_count))
+        assert stats.stationary_fraction == 1.0
+        assert stats.mean == 0.0
+        assert stats.moved_fraction == 0.0
+
+    def test_histogram_sums_to_tiles(self):
+        grid = TileGrid(64, 64, 8)
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(grid.tile_count)
+        stats = displacement_stats(grid, perm)
+        assert sum(stats.displacement_histogram) == grid.tile_count
+
+    def test_real_rearrangement_is_partly_local(self, small_error_matrix):
+        """After histogram matching many tiles stay close to home."""
+        grid = TileGrid(64, 64, 8)
+        result = local_search_serial(small_error_matrix)
+        stats = displacement_stats(grid, result.permutation)
+        # Mean move well below the grid diameter.
+        assert stats.mean < np.hypot(grid.rows, grid.cols) / 2
+
+
+class TestConvergence:
+    def test_curve_shapes(self, small_error_matrix):
+        result = local_search_serial(small_error_matrix)
+        curve = convergence_curve(result.trace)
+        k = result.sweeps
+        assert curve["sweep"].shape == (k,)
+        assert curve["total"][-1] == result.total
+        assert curve["swaps"][-1] == 0
+
+    def test_improvement_with_start_total(self, small_error_matrix):
+        n = small_error_matrix.shape[0]
+        start = int(np.trace(small_error_matrix))
+        result = local_search_serial(small_error_matrix)
+        curve = convergence_curve(result.trace, start_total=start)
+        assert curve["improvement"][0] == start - result.trace.totals[0]
+        assert curve["improvement"].sum() == start - result.total
+
+    def test_improvements_nonnegative(self, small_error_matrix):
+        result = local_search_serial(small_error_matrix)
+        curve = convergence_curve(result.trace)
+        assert (curve["improvement"] >= 0).all()
+
+    def test_table_renders(self, small_error_matrix):
+        result = local_search_serial(small_error_matrix)
+        text = convergence_table(result.trace, title="T")
+        assert text.startswith("T")
+        assert "total error" in text
+        assert len(text.splitlines()) == 3 + result.sweeps
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValidationError, match="no sweeps"):
+            convergence_curve(ConvergenceTrace((), ()))

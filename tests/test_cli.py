@@ -1,0 +1,156 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.imaging import read_png, write_png
+
+
+class TestParser:
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(
+            ["generate", "--input", "portrait", "--target", "sailboat"]
+        )
+        assert args.algorithm == "parallel"
+        assert args.tile_size == 16
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bench_table_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--table", "9"])
+
+
+class TestGenerate:
+    def test_standard_names(self, tmp_path, capsys):
+        out = tmp_path / "m.png"
+        code = main(
+            [
+                "generate",
+                "--input",
+                "portrait",
+                "--target",
+                "sailboat",
+                "--size",
+                "64",
+                "--tile-size",
+                "8",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert read_png(out).shape == (64, 64)
+        captured = capsys.readouterr().out
+        assert "total error" in captured
+
+    def test_file_inputs(self, tmp_path, rng):
+        a = tmp_path / "a.png"
+        b = tmp_path / "b.png"
+        write_png(a, rng.integers(0, 256, size=(32, 32)).astype(np.uint8))
+        write_png(b, rng.integers(0, 256, size=(32, 32)).astype(np.uint8))
+        out = tmp_path / "out.png"
+        code = main(
+            [
+                "generate",
+                "--input", str(a),
+                "--target", str(b),
+                "--tile-size", "8",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+
+    def test_missing_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="neither"):
+            main(
+                [
+                    "generate",
+                    "--input", str(tmp_path / "nope.png"),
+                    "--target", "sailboat",
+                ]
+            )
+
+    def test_shape_mismatch_errors(self, tmp_path, rng):
+        a = tmp_path / "a.png"
+        write_png(a, rng.integers(0, 256, size=(32, 32)).astype(np.uint8))
+        with pytest.raises(SystemExit, match="identical shapes"):
+            main(
+                [
+                    "generate",
+                    "--input", str(a),
+                    "--target", "sailboat",
+                    "--size", "64",
+                ]
+            )
+
+    def test_optimization_algorithm(self, tmp_path, capsys):
+        out = tmp_path / "m.png"
+        code = main(
+            [
+                "generate",
+                "--input", "peppers",
+                "--target", "barbara",
+                "--size", "64",
+                "--tile-size", "8",
+                "--algorithm", "optimization",
+                "--solver", "jv",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        assert "sweeps" not in capsys.readouterr().out
+
+
+class TestVideo:
+    def test_runs_and_reports_frames(self, capsys):
+        code = main(
+            [
+                "video",
+                "--frames", "3",
+                "--size", "64",
+                "--tile-size", "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("frame") == 3
+        assert "k=" in out
+
+    def test_writes_frames_when_outdir_given(self, tmp_path, capsys):
+        code = main(
+            [
+                "video",
+                "--frames", "2",
+                "--size", "64",
+                "--tile-size", "8",
+                "--outdir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert len(list(tmp_path.glob("frame_*.png"))) == 2
+
+
+class TestExport:
+    def test_writes_report(self, tmp_path, monkeypatch, capsys):
+        import repro.benchharness.export as export_mod
+
+        monkeypatch.setattr(export_mod, "paper_grid", lambda profile: [(64, 4)])
+        out = tmp_path / "EXP.md"
+        code = main(["export", "--out", str(out)])
+        assert code == 0
+        assert out.read_text().startswith("# EXPERIMENTS")
+
+
+class TestDemo:
+    def test_writes_gallery(self, tmp_path, capsys):
+        code = main(["demo", "--outdir", str(tmp_path), "--size", "64"])
+        assert code == 0
+        written = list(tmp_path.glob("*_mosaic.png"))
+        assert len(written) == 4  # the four paper pairs

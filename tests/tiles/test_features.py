@@ -1,0 +1,62 @@
+"""Tests for tile feature extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.tiles.features import mean_luminance, tile_features
+
+
+class TestMeanLuminance:
+    def test_constant_tiles(self):
+        tiles = np.full((3, 4, 4), 100, dtype=np.uint8)
+        assert (mean_luminance(tiles) == 100.0).all()
+
+    def test_matches_numpy_mean(self, tile_stacks_8x8):
+        tiles, _ = tile_stacks_8x8
+        expected = tiles.reshape(tiles.shape[0], -1).mean(axis=1)
+        assert np.allclose(mean_luminance(tiles), expected)
+
+    def test_color_uses_luma_weights(self):
+        tiles = np.zeros((1, 2, 2, 3), dtype=np.uint8)
+        tiles[0, :, :, 1] = 255  # pure green
+        assert mean_luminance(tiles)[0] == pytest.approx(0.587 * 255)
+
+    def test_rejects_bad_ndim(self):
+        with pytest.raises(ValidationError):
+            mean_luminance(np.zeros((4, 4), dtype=np.uint8))
+
+
+class TestTileFeatures:
+    def test_grid1_equals_mean(self, tile_stacks_8x8):
+        tiles, _ = tile_stacks_8x8
+        feats = tile_features(tiles, grid=1)
+        assert feats.shape == (tiles.shape[0], 1)
+        assert np.allclose(feats[:, 0], mean_luminance(tiles))
+
+    def test_grid2_shape(self, tile_stacks_8x8):
+        tiles, _ = tile_stacks_8x8
+        assert tile_features(tiles, grid=2).shape == (tiles.shape[0], 4)
+
+    def test_block_means_correct(self):
+        tile = np.zeros((1, 4, 4), dtype=np.uint8)
+        tile[0, :2, :2] = 100  # top-left block only
+        feats = tile_features(tile, grid=2)
+        assert feats[0, 0] == 100.0
+        assert (feats[0, 1:] == 0.0).all()
+
+    def test_color_features_shape(self):
+        tiles = np.zeros((2, 8, 8, 3), dtype=np.uint8)
+        assert tile_features(tiles, grid=2).shape == (2, 12)
+
+    def test_rejects_nondivisible_grid(self, tile_stacks_8x8):
+        tiles, _ = tile_stacks_8x8
+        with pytest.raises(ValidationError, match="divide"):
+            tile_features(tiles, grid=3)
+
+    def test_rejects_grid_zero(self, tile_stacks_8x8):
+        tiles, _ = tile_stacks_8x8
+        with pytest.raises(ValidationError):
+            tile_features(tiles, grid=0)

@@ -1,0 +1,135 @@
+"""Tests for TileGrid (Step 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TilingError
+from repro.tiles.grid import TileGrid
+from repro.tiles.permutation import random_permutation
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        grid = TileGrid(64, 64, 8)
+        assert grid.rows == 8
+        assert grid.cols == 8
+        assert grid.tile_count == 64
+        assert grid.pixels_per_tile == 64
+
+    def test_rectangular(self):
+        grid = TileGrid(32, 64, 16)
+        assert grid.rows == 2
+        assert grid.cols == 4
+        assert grid.tile_count == 8
+
+    def test_rejects_nondivisible(self):
+        with pytest.raises(TilingError, match="does not divide"):
+            TileGrid(65, 64, 8)
+
+    def test_for_image(self, portrait_64):
+        grid = TileGrid.for_image(portrait_64, 16)
+        assert grid.tile_count == 16
+
+    def test_from_tile_count(self):
+        grid = TileGrid.from_tile_count(512, 32)
+        assert grid.tile_size == 16
+        assert grid.tile_count == 1024
+
+    def test_from_tile_count_rejects_nondivisor(self):
+        with pytest.raises(TilingError):
+            TileGrid.from_tile_count(100, 32)
+
+
+class TestIndexing:
+    def test_index_roundtrip(self):
+        grid = TileGrid(64, 96, 16)
+        for idx in range(grid.tile_count):
+            row, col = grid.tile_position(idx)
+            assert grid.tile_index(row, col) == idx
+
+    def test_row_major_order(self):
+        grid = TileGrid(32, 32, 16)
+        assert grid.tile_index(0, 1) == 1
+        assert grid.tile_index(1, 0) == 2
+
+    def test_out_of_range_index(self):
+        grid = TileGrid(32, 32, 16)
+        with pytest.raises(TilingError):
+            grid.tile_position(4)
+        with pytest.raises(TilingError):
+            grid.tile_index(2, 0)
+
+    def test_tile_slice_extracts_matching_tile(self, portrait_64):
+        grid = TileGrid.for_image(portrait_64, 8)
+        tiles = grid.split(portrait_64)
+        for idx in (0, 7, 35, 63):
+            ys, xs = grid.tile_slice(idx)
+            assert (portrait_64[ys, xs] == tiles[idx]).all()
+
+
+class TestSplitAssemble:
+    def test_split_shape(self, portrait_64):
+        tiles = TileGrid.for_image(portrait_64, 8).split(portrait_64)
+        assert tiles.shape == (64, 8, 8)
+        assert tiles.dtype == np.uint8
+
+    def test_assemble_inverts_split(self, portrait_64):
+        grid = TileGrid.for_image(portrait_64, 8)
+        assert (grid.assemble(grid.split(portrait_64)) == portrait_64).all()
+
+    def test_color_split_assemble(self, rng):
+        img = rng.integers(0, 256, size=(32, 32, 3)).astype(np.uint8)
+        grid = TileGrid.for_image(img, 8)
+        tiles = grid.split(img)
+        assert tiles.shape == (16, 8, 8, 3)
+        assert (grid.assemble(tiles) == img).all()
+
+    def test_first_tile_is_top_left(self, portrait_64):
+        grid = TileGrid.for_image(portrait_64, 16)
+        tiles = grid.split(portrait_64)
+        assert (tiles[0] == portrait_64[:16, :16]).all()
+
+    def test_split_rejects_wrong_shape(self, portrait_64):
+        grid = TileGrid(128, 128, 8)
+        with pytest.raises(TilingError, match="does not match"):
+            grid.split(portrait_64)
+
+    def test_assemble_rejects_wrong_count(self):
+        grid = TileGrid(32, 32, 8)
+        with pytest.raises(TilingError, match="expected"):
+            grid.assemble(np.zeros((15, 8, 8), dtype=np.uint8))
+
+    def test_assemble_rejects_bad_ndim(self):
+        grid = TileGrid(32, 32, 8)
+        with pytest.raises(TilingError, match="3-D or 4-D"):
+            grid.assemble(np.zeros((16, 64), dtype=np.uint8))
+
+
+class TestRearrange:
+    def test_identity_rearrangement(self, portrait_64):
+        grid = TileGrid.for_image(portrait_64, 8)
+        perm = np.arange(grid.tile_count)
+        assert (grid.rearrange(portrait_64, perm) == portrait_64).all()
+
+    def test_rearrange_is_permutation_of_tiles(self, portrait_64):
+        grid = TileGrid.for_image(portrait_64, 8)
+        perm = random_permutation(grid.tile_count, seed=3)
+        out = grid.rearrange(portrait_64, perm)
+        # Pixel multiset is preserved exactly.
+        assert (np.sort(out.ravel()) == np.sort(portrait_64.ravel())).all()
+
+    def test_rearrange_places_correct_tile(self, portrait_64):
+        grid = TileGrid.for_image(portrait_64, 8)
+        tiles = grid.split(portrait_64)
+        perm = random_permutation(grid.tile_count, seed=9)
+        out = grid.rearrange(portrait_64, perm)
+        out_tiles = TileGrid.for_image(out, 8).split(out)
+        for v in range(grid.tile_count):
+            assert (out_tiles[v] == tiles[perm[v]]).all()
+
+    def test_rearrange_rejects_bad_perm(self, portrait_64):
+        grid = TileGrid.for_image(portrait_64, 8)
+        with pytest.raises(Exception):
+            grid.rearrange(portrait_64, np.zeros(grid.tile_count, dtype=np.intp))

@@ -1,0 +1,122 @@
+"""Tests for permutation algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.tiles.permutation import (
+    apply_permutation,
+    compose,
+    identity_permutation,
+    invert,
+    permutation_from_pairs,
+    random_permutation,
+)
+
+
+class TestIdentity:
+    def test_is_arange(self):
+        assert (identity_permutation(5) == np.arange(5)).all()
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            identity_permutation(0)
+
+
+class TestRandom:
+    def test_is_valid_permutation(self):
+        p = random_permutation(50, seed=1)
+        assert (np.sort(p) == np.arange(50)).all()
+
+    def test_deterministic_per_seed(self):
+        assert (random_permutation(20, seed=4) == random_permutation(20, seed=4)).all()
+
+    def test_seeds_differ(self):
+        assert (random_permutation(50, seed=1) != random_permutation(50, seed=2)).any()
+
+
+class TestInvert:
+    def test_inverse_relation(self):
+        p = random_permutation(30, seed=7)
+        q = invert(p)
+        assert (q[p] == np.arange(30)).all()
+        assert (p[q] == np.arange(30)).all()
+
+    def test_double_inverse_is_identity_map(self):
+        p = random_permutation(30, seed=8)
+        assert (invert(invert(p)) == p).all()
+
+    def test_identity_self_inverse(self):
+        p = identity_permutation(10)
+        assert (invert(p) == p).all()
+
+
+class TestCompose:
+    def test_identity_neutral(self):
+        p = random_permutation(15, seed=2)
+        e = identity_permutation(15)
+        assert (compose(p, e) == p).all()
+        assert (compose(e, p) == p).all()
+
+    def test_compose_with_inverse_is_identity(self):
+        p = random_permutation(15, seed=3)
+        assert (compose(p, invert(p)) == identity_permutation(15)).all()
+
+    def test_associative(self):
+        a = random_permutation(12, seed=1)
+        b = random_permutation(12, seed=2)
+        c = random_permutation(12, seed=3)
+        assert (compose(compose(a, b), c) == compose(a, compose(b, c))).all()
+
+    def test_matches_sequential_application(self, rng):
+        items = rng.integers(0, 100, size=12)
+        a = random_permutation(12, seed=5)
+        b = random_permutation(12, seed=6)
+        two_steps = apply_permutation(apply_permutation(items, a), b)
+        one_step = apply_permutation(items, compose(a, b))
+        assert (two_steps == one_step).all()
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValidationError):
+            compose(identity_permutation(3), identity_permutation(4))
+
+
+class TestApply:
+    def test_reorders(self):
+        items = np.array([10, 20, 30])
+        assert (apply_permutation(items, np.array([2, 0, 1])) == [30, 10, 20]).all()
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError, match="length"):
+            apply_permutation(np.arange(4), np.array([0, 1, 2]))
+
+
+class TestFromPairs:
+    def test_builds_permutation(self):
+        p = permutation_from_pairs([(2, 0), (0, 1), (1, 2)], 3)
+        assert (p == [2, 0, 1]).all()
+
+    def test_order_independent(self):
+        pairs = [(0, 2), (1, 0), (2, 1)]
+        assert (
+            permutation_from_pairs(pairs, 3)
+            == permutation_from_pairs(list(reversed(pairs)), 3)
+        ).all()
+
+    def test_rejects_duplicate_target(self):
+        with pytest.raises(ValidationError, match="assigned twice"):
+            permutation_from_pairs([(0, 0), (1, 0), (2, 1)], 3)
+
+    def test_rejects_duplicate_input(self):
+        with pytest.raises(ValidationError, match="assigned twice"):
+            permutation_from_pairs([(0, 0), (0, 1), (2, 2)], 3)
+
+    def test_rejects_missing_position(self):
+        with pytest.raises(ValidationError, match="never assigned"):
+            permutation_from_pairs([(0, 0), (1, 1)], 3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError, match="outside"):
+            permutation_from_pairs([(0, 5)], 3)

@@ -1,0 +1,102 @@
+"""Tests for dihedral tile transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.tiles.transforms import (
+    TRANSFORM_COUNT,
+    all_orientations,
+    apply_transform,
+    apply_transforms_to_stack,
+    compose_transforms,
+    invert_transform,
+)
+
+
+@pytest.fixture()
+def marker():
+    return np.arange(16, dtype=np.uint8).reshape(4, 4)
+
+
+class TestGroupStructure:
+    def test_identity_is_code_zero(self, marker):
+        assert (apply_transform(marker, 0) == marker).all()
+
+    def test_eight_distinct_orientations(self, marker):
+        images = {apply_transform(marker, k).tobytes() for k in range(TRANSFORM_COUNT)}
+        assert len(images) == TRANSFORM_COUNT
+
+    def test_inverse_relation(self, marker):
+        for code in range(TRANSFORM_COUNT):
+            inv = invert_transform(code)
+            assert (
+                apply_transform(apply_transform(marker, code), inv) == marker
+            ).all()
+
+    def test_composition_table_correct(self, marker):
+        for a in range(TRANSFORM_COUNT):
+            for b in range(TRANSFORM_COUNT):
+                direct = apply_transform(apply_transform(marker, a), b)
+                via_table = apply_transform(marker, compose_transforms(a, b))
+                assert (direct == via_table).all()
+
+    def test_rotation_subgroup_cyclic(self, marker):
+        # Codes 0..3 are pure rotations: composing 1 four times = identity.
+        code = 0
+        for _ in range(4):
+            code = compose_transforms(code, 1)
+        assert code == 0
+
+    def test_flips_are_involutions(self, marker):
+        for code in (4, 5, 6, 7):
+            assert invert_transform(code) == code
+
+    def test_rotation_preserves_pixels(self, marker):
+        for code in range(TRANSFORM_COUNT):
+            out = apply_transform(marker, code)
+            assert (np.sort(out.ravel()) == np.sort(marker.ravel())).all()
+
+    def test_color_tile(self):
+        tile = np.arange(48, dtype=np.uint8).reshape(4, 4, 3)
+        out = apply_transform(tile, 1)  # rot90
+        assert out.shape == (4, 4, 3)
+        assert (out[:, :, 0] == np.rot90(tile[:, :, 0])).all()
+
+    def test_rejects_bad_code(self, marker):
+        with pytest.raises(ValidationError, match="0..7"):
+            apply_transform(marker, 8)
+        with pytest.raises(ValidationError):
+            invert_transform(-1)
+
+
+class TestStacks:
+    def test_all_orientations_shape(self, tile_stacks_8x8):
+        tiles, _ = tile_stacks_8x8
+        variants = all_orientations(tiles)
+        assert variants.shape == (8, *tiles.shape)
+
+    def test_all_orientations_matches_single(self, tile_stacks_8x8):
+        tiles, _ = tile_stacks_8x8
+        variants = all_orientations(tiles)
+        for code in range(TRANSFORM_COUNT):
+            for u in (0, 13, 63):
+                assert (variants[code, u] == apply_transform(tiles[u], code)).all()
+
+    def test_rejects_rectangular_tiles(self):
+        with pytest.raises(ValidationError, match="square"):
+            all_orientations(np.zeros((2, 4, 6), dtype=np.uint8))
+
+    def test_apply_transforms_to_stack(self, tile_stacks_8x8):
+        tiles, _ = tile_stacks_8x8
+        codes = np.arange(tiles.shape[0]) % TRANSFORM_COUNT
+        out = apply_transforms_to_stack(tiles, codes)
+        for u in (0, 5, 9):
+            assert (out[u] == apply_transform(tiles[u], int(codes[u]))).all()
+
+    def test_stack_codes_shape_checked(self, tile_stacks_8x8):
+        tiles, _ = tile_stacks_8x8
+        with pytest.raises(ValidationError, match="codes"):
+            apply_transforms_to_stack(tiles, np.zeros(3, dtype=np.intp))

@@ -1,0 +1,28 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+
+def test_same_seed_same_stream():
+    a = make_rng(7).integers(0, 1000, size=10)
+    b = make_rng(7).integers(0, 1000, size=10)
+    assert (a == b).all()
+
+
+def test_different_seeds_differ():
+    a = make_rng(1).integers(0, 1_000_000, size=20)
+    b = make_rng(2).integers(0, 1_000_000, size=20)
+    assert (a != b).any()
+
+
+def test_generator_passes_through():
+    gen = np.random.default_rng(0)
+    assert make_rng(gen) is gen
+
+
+def test_none_gives_generator():
+    assert isinstance(make_rng(None), np.random.Generator)

@@ -1,0 +1,74 @@
+"""Tests for repro.utils.timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.timing import Stopwatch, TimingBreakdown, time_callable
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as sw:
+            sum(range(10_000))
+        assert sw.elapsed > 0.0
+
+    def test_elapsed_zero_before_use(self):
+        assert Stopwatch().elapsed == 0.0
+
+
+class TestTimingBreakdown:
+    def test_add_accumulates(self):
+        tb = TimingBreakdown()
+        tb.add("a", 1.0)
+        tb.add("a", 0.5)
+        assert tb["a"] == pytest.approx(1.5)
+
+    def test_total_sums_phases(self):
+        tb = TimingBreakdown()
+        tb.add("a", 1.0)
+        tb.add("b", 2.0)
+        assert tb.total == pytest.approx(3.0)
+
+    def test_get_with_default(self):
+        assert TimingBreakdown().get("missing") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            TimingBreakdown().add("a", -1.0)
+
+    def test_measure_context_manager(self):
+        tb = TimingBreakdown()
+        with tb.measure("phase"):
+            sum(range(1_000))
+        assert tb["phase"] > 0.0
+
+    def test_measure_accumulates_across_blocks(self):
+        tb = TimingBreakdown()
+        for _ in range(3):
+            with tb.measure("p"):
+                pass
+        first = tb["p"]
+        with tb.measure("p"):
+            sum(range(10_000))
+        assert tb["p"] > first
+
+    def test_merged(self):
+        a = TimingBreakdown({"x": 1.0})
+        b = TimingBreakdown({"x": 2.0, "y": 3.0})
+        merged = a.merged(b)
+        assert merged["x"] == pytest.approx(3.0)
+        assert merged["y"] == pytest.approx(3.0)
+        # Inputs untouched.
+        assert a["x"] == pytest.approx(1.0)
+
+
+class TestTimeCallable:
+    def test_returns_result_and_time(self):
+        result, seconds = time_callable(lambda: 42, repeats=2)
+        assert result == 42
+        assert seconds >= 0.0
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError, match="repeats"):
+            time_callable(lambda: None, repeats=0)

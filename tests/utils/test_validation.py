@@ -1,0 +1,173 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import (
+    check_error_matrix,
+    check_gray_image,
+    check_image,
+    check_permutation,
+    check_positive_int,
+    check_power_compatible,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_python_int(self):
+        assert check_positive_int(5, "x") == 5
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(7), "x") == 7
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError, match="positive"):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match="positive"):
+            check_positive_int(-3, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError, match="integer"):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError, match="integer"):
+            check_positive_int(3.0, "x")
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(ValidationError, match="myarg"):
+            check_positive_int(-1, "myarg")
+
+
+class TestCheckImage:
+    def test_accepts_gray_uint8(self):
+        img = np.zeros((4, 6), dtype=np.uint8)
+        assert check_image(img) is img
+
+    def test_accepts_color(self):
+        img = np.zeros((4, 6, 3), dtype=np.uint8)
+        assert check_image(img).shape == (4, 6, 3)
+
+    def test_converts_int_in_range(self):
+        img = np.array([[0, 255], [128, 7]], dtype=np.int32)
+        out = check_image(img)
+        assert out.dtype == np.uint8
+        assert out[0, 1] == 255
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError, match=r"\[0, 255\]"):
+            check_image(np.array([[300]], dtype=np.int32))
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValidationError, match=r"\[0, 255\]"):
+            check_image(np.array([[-1]], dtype=np.int32))
+
+    def test_rejects_float_dtype(self):
+        with pytest.raises(ValidationError, match="integer"):
+            check_image(np.zeros((4, 4), dtype=np.float64))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValidationError, match="dimensions"):
+            check_image(np.zeros(5, dtype=np.uint8))
+
+    def test_rejects_two_channels(self):
+        with pytest.raises(ValidationError, match="3 channels"):
+            check_image(np.zeros((4, 4, 2), dtype=np.uint8))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            check_image(np.zeros((0, 4), dtype=np.uint8))
+
+    def test_rejects_non_array(self):
+        with pytest.raises(ValidationError, match="numpy array"):
+            check_image([[1, 2], [3, 4]])
+
+
+class TestCheckGrayImage:
+    def test_accepts_gray(self):
+        assert check_gray_image(np.zeros((3, 3), dtype=np.uint8)).ndim == 2
+
+    def test_rejects_color(self):
+        with pytest.raises(ValidationError, match="grayscale"):
+            check_gray_image(np.zeros((3, 3, 3), dtype=np.uint8))
+
+
+class TestCheckErrorMatrix:
+    def test_accepts_int_square(self):
+        m = check_error_matrix(np.ones((3, 3), dtype=np.int32))
+        assert m.dtype == np.int64
+
+    def test_rounds_float_matrix(self):
+        m = check_error_matrix(np.array([[1.4, 2.6], [0.0, 3.5]]))
+        assert m[0, 0] == 1 and m[0, 1] == 3
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_error_matrix(np.array([[np.nan, 1.0], [1.0, 1.0]]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            check_error_matrix(np.array([[-1, 0], [0, 0]], dtype=np.int64))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError, match="square"):
+            check_error_matrix(np.zeros((2, 3), dtype=np.int64))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            check_error_matrix(np.zeros((0, 0), dtype=np.int64))
+
+    def test_rejects_string_dtype(self):
+        with pytest.raises(ValidationError, match="numeric"):
+            check_error_matrix(np.array([["a", "b"], ["c", "d"]]))
+
+
+class TestCheckPermutation:
+    def test_accepts_identity(self):
+        p = check_permutation(np.arange(5))
+        assert p.dtype == np.intp
+
+    def test_accepts_shuffled(self):
+        check_permutation(np.array([2, 0, 1]))
+
+    def test_rejects_repeat(self):
+        with pytest.raises(ValidationError, match="bijection"):
+            check_permutation(np.array([0, 0, 2]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError, match=r"\[0, 2\]"):
+            check_permutation(np.array([0, 1, 3]))
+
+    def test_rejects_negative_entry(self):
+        with pytest.raises(ValidationError):
+            check_permutation(np.array([0, -1, 2]))
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(ValidationError, match="length 4"):
+            check_permutation(np.arange(3), size=4)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError, match="1-D"):
+            check_permutation(np.zeros((2, 2), dtype=np.intp))
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError, match="integer"):
+            check_permutation(np.array([0.0, 1.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            check_permutation(np.array([], dtype=np.intp))
+
+
+class TestCheckPowerCompatible:
+    def test_divides(self):
+        assert check_power_compatible(512, 16) == 32
+
+    def test_rejects_nondivisor(self):
+        with pytest.raises(ValidationError, match="does not evenly divide"):
+            check_power_compatible(100, 16)
