@@ -9,6 +9,10 @@ Subcommands
     Regenerate one or all of the paper's tables at the chosen profile.
 ``demo``
     Write a gallery of example outputs (the Figs. 2/7/8 analogues).
+``batch``
+    Run a JSON manifest of jobs through the service worker pool with the
+    shared artifact cache, then write results and a metrics report
+    (see docs/service.md).
 
 Examples::
 
@@ -16,6 +20,7 @@ Examples::
         --size 512 --tile-size 16 --algorithm parallel --output mosaic.png
     photomosaic bench --table 2
     photomosaic demo --outdir gallery/
+    photomosaic batch --manifest jobs.json --outdir results/ --workers 4
 """
 
 from __future__ import annotations
@@ -148,6 +153,76 @@ def _cmd_video(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    # Deferred import keeps CLI startup fast for the other subcommands.
+    import json
+
+    from repro.service import (
+        ArtifactCache,
+        JobState,
+        MetricsRegistry,
+        MosaicJobRunner,
+        WorkerPool,
+        load_manifest,
+    )
+
+    specs = load_manifest(args.manifest, seed=args.seed)
+    os.makedirs(args.outdir, exist_ok=True)
+    cache = ArtifactCache(
+        max_bytes=args.cache_mb * 2**20, spill_dir=args.spill_dir
+    )
+    metrics = MetricsRegistry()
+    pool = WorkerPool(
+        workers=args.workers,
+        kind=args.executor,
+        runner=MosaicJobRunner(cache=cache, outdir=args.outdir),
+        cache=cache,
+        metrics=metrics,
+        max_retries=args.retries,
+        default_timeout=args.timeout,
+        seed=args.seed,
+    )
+    records = pool.run(specs)
+    pool.shutdown()
+
+    for record in records:
+        line = (
+            f"{record.spec.name:<16} {record.state.value:<9} "
+            f"attempts={record.attempts}"
+        )
+        if record.state is JobState.DONE:
+            line += (
+                f"  error={record.result.total_error}"
+                f"  latency={record.latency:.3f}s"
+            )
+        elif record.error:
+            line += f"  ({record.error})"
+        print(line)
+
+    report = metrics.as_dict(
+        extra={
+            "cache": cache.stats.as_dict(),
+            "pool": {
+                "workers": args.workers,
+                "executor": args.executor,
+                "seed": args.seed,
+                "timings": pool.timings.as_dict(),
+            },
+            "jobs": [record.summary() for record in records],
+        }
+    )
+    metrics_path = args.metrics or os.path.join(args.outdir, "metrics.json")
+    with open(metrics_path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print()
+    print(metrics.summary_table())
+    print(f"cache hit rate  : {cache.stats.hit_rate:.3f}")
+    print(f"wrote {metrics_path}")
+    failed = sum(1 for record in records if record.state is JobState.FAILED)
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -204,6 +279,39 @@ def build_parser() -> argparse.ArgumentParser:
     video.add_argument("--tile-size", type=int, default=16)
     video.add_argument("--outdir", default=None, help="write frames here (optional)")
     video.set_defaults(func=_cmd_video)
+
+    batch = sub.add_parser(
+        "batch", help="run a manifest of mosaic jobs through the worker pool"
+    )
+    batch.add_argument("--manifest", required=True, help="JSON job manifest")
+    batch.add_argument("--outdir", default="batch_out", help="job outputs + report")
+    batch.add_argument("--workers", type=int, default=4)
+    batch.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="attempt executor (thread shares the artifact cache)",
+    )
+    batch.add_argument(
+        "--retries", type=int, default=1,
+        help="default extra attempts per job (manifest can override per job)",
+    )
+    batch.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-attempt budget in seconds",
+    )
+    batch.add_argument(
+        "--metrics", default=None,
+        help="metrics JSON path (default: <outdir>/metrics.json)",
+    )
+    batch.add_argument("--cache-mb", type=int, default=256, help="cache byte budget")
+    batch.add_argument(
+        "--spill-dir", default=None, help="spill evicted cache entries here"
+    )
+    batch.add_argument(
+        "--seed", type=int, default=0,
+        help="batch seed: derives per-job seeds and the pool's backoff "
+        "jitter via repro.utils.rng, so a re-run replays exactly",
+    )
+    batch.set_defaults(func=_cmd_batch)
     return parser
 
 

@@ -15,6 +15,9 @@ __all__ = [
     "SolverError",
     "ConvergenceError",
     "GpuSimError",
+    "JobError",
+    "JobTimeout",
+    "JobCancelled",
 ]
 
 
@@ -44,3 +47,15 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class GpuSimError(ReproError, RuntimeError):
     """The virtual GPU was misused (bad launch config, memory fault, ...)."""
+
+
+class JobError(ReproError, RuntimeError):
+    """A mosaic job failed: bad manifest entry, runner crash, or pool misuse."""
+
+
+class JobTimeout(JobError):
+    """A job attempt exceeded its wall-clock budget."""
+
+
+class JobCancelled(JobError):
+    """A job was cancelled before (or while) running."""

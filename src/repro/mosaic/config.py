@@ -32,7 +32,14 @@ class MosaicConfig:
         ``"auction"`` and ``"greedy"`` are also available).
     histogram_match:
         Pre-adjust the input's intensity distribution to the target's
-        (paper Section II).  Grayscale pipelines only.
+        (paper Section II).  The paper's adjustment is defined on
+        intensity histograms, so for colour images it is skipped with a
+        :class:`UserWarning` unless ``color_histogram_match`` is set.
+    color_histogram_match:
+        Extend histogram matching to colour pairs by matching each RGB
+        channel independently (an extension beyond the paper; channel-wise
+        matching can shift hues since channels are remapped separately).
+        Only meaningful when ``histogram_match`` is enabled.
     serial_strategy:
         Sweep strategy for ``algorithm="approximation"``
         (``"first"`` = Algorithm 1 verbatim, ``"best_row"`` = vectorised).
@@ -52,6 +59,7 @@ class MosaicConfig:
     metric: str = "sad"
     solver: str = "scipy"
     histogram_match: bool = True
+    color_histogram_match: bool = False
     serial_strategy: str = "first"
     parallel_backend: str = "vectorized"
     allow_transforms: bool = False

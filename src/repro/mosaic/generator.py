@@ -14,6 +14,8 @@ keeping the Step-1 decomposition.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.assignment import get_solver
@@ -32,25 +34,55 @@ __all__ = ["PhotomosaicGenerator", "generate_photomosaic"]
 
 
 class PhotomosaicGenerator:
-    """Configured photomosaic pipeline."""
+    """Configured photomosaic pipeline.
 
-    def __init__(self, config: MosaicConfig | None = None) -> None:
+    Pass an :class:`~repro.service.cache.ArtifactCache` as ``cache`` to
+    memoize the Step-1 tile stacks and Step-2 error matrix by content:
+    repeated targets or input libraries then skip straight to Step 3 —
+    the job service shares one cache across all its workers this way.
+    """
+
+    def __init__(self, config: MosaicConfig | None = None, *, cache=None) -> None:
         self.config = config or MosaicConfig()
+        self.cache = cache
 
     def preprocess(self, input_image: AnyImage, target_image: AnyImage) -> AnyImage:
         """Histogram-match the input to the target (Section II).
 
-        Returns the adjusted input image (or the original when matching is
-        disabled or the images are colour — the paper's adjustment is
-        defined on intensity histograms).
+        The paper's adjustment is defined on intensity histograms, so for
+        colour images matching is skipped with a :class:`UserWarning` —
+        unless :attr:`MosaicConfig.color_histogram_match` is set, in which
+        case each RGB channel is matched independently.  Returns the
+        adjusted input image (the original when matching is disabled or
+        skipped).
         """
         input_image = check_image(input_image, "input_image")
         target_image = check_image(target_image, "target_image")
         if not self.config.histogram_match:
             return input_image
-        if input_image.ndim != 2 or target_image.ndim != 2:
-            return input_image
-        return match_histogram(input_image, target_image)
+        if input_image.ndim == 2 and target_image.ndim == 2:
+            return match_histogram(input_image, target_image)
+        if (
+            self.config.color_histogram_match
+            and input_image.ndim == 3
+            and target_image.ndim == 3
+        ):
+            return np.stack(
+                [
+                    match_histogram(input_image[..., c], target_image[..., c])
+                    for c in range(3)
+                ],
+                axis=-1,
+            )
+        warnings.warn(
+            "histogram matching skipped: the paper's Section-II adjustment is "
+            "defined on intensity histograms, not colour images; set "
+            "MosaicConfig(color_histogram_match=True) for per-channel matching "
+            "or histogram_match=False to silence this warning",
+            UserWarning,
+            stacklevel=2,
+        )
+        return input_image
 
     def build_error_matrix(
         self, input_image: AnyImage, target_image: AnyImage
@@ -106,22 +138,39 @@ class PhotomosaicGenerator:
                 "must have identical shapes"
             )
         timings = TimingBreakdown()
+        cache_meta: dict[str, str] = {}
         with timings.measure("histogram_match"):
             adjusted = self.preprocess(input_image, target_image)
         with timings.measure("step1_tiling"):
             grid = TileGrid.for_image(adjusted, self.config.tile_size)
-            input_tiles = grid.split(adjusted)
-            target_tiles = grid.split(target_image)
+            if self.cache is None:
+                input_tiles = grid.split(adjusted)
+                target_tiles = grid.split(target_image)
+            else:
+                input_tiles, target_tiles, fingerprints = self._cached_tiles(
+                    grid, adjusted, target_image, cache_meta
+                )
         orientation_codes = None
         with timings.measure("step2_error_matrix"):
-            if self.config.allow_transforms:
-                from repro.cost.transformed import transformed_error_matrix
-
-                matrix, orientation_codes = transformed_error_matrix(
-                    input_tiles, target_tiles, self.config.metric
+            if self.cache is None:
+                matrix, orientation_codes = self._compute_matrix(
+                    input_tiles, target_tiles
                 )
             else:
-                matrix = error_matrix(input_tiles, target_tiles, self.config.metric)
+                from repro.service.cache import error_matrix_key
+
+                key = error_matrix_key(
+                    *fingerprints,
+                    self.config.tile_size,
+                    self.config.metric,
+                    self.config.allow_transforms,
+                )
+                cache_meta["step2_matrix"] = (
+                    "hit" if self.cache.contains(key) else "miss"
+                )
+                matrix, orientation_codes = self.cache.get_or_compute(
+                    key, lambda: self._compute_matrix(input_tiles, target_tiles)
+                )
         with timings.measure("step3_rearrangement"):
             if self.config.algorithm == "pyramid":
                 from repro.mosaic.pyramid import coarse_to_fine_rearrange
@@ -157,6 +206,8 @@ class PhotomosaicGenerator:
                 "transformed_fraction": float((chosen != 0).mean()),
             }
         image = grid.assemble(placed)
+        if cache_meta:
+            meta = {**meta, "cache": cache_meta}
         return MosaicResult(
             image=image,
             permutation=perm,
@@ -166,6 +217,44 @@ class PhotomosaicGenerator:
             trace=trace,
             meta=meta,
         )
+
+    def _compute_matrix(
+        self, input_tiles: np.ndarray, target_tiles: np.ndarray
+    ) -> tuple[ErrorMatrix, np.ndarray | None]:
+        """Step 2 proper: ``(matrix, orientation_codes_or_None)``."""
+        if self.config.allow_transforms:
+            from repro.cost.transformed import transformed_error_matrix
+
+            return transformed_error_matrix(
+                input_tiles, target_tiles, self.config.metric
+            )
+        return error_matrix(input_tiles, target_tiles, self.config.metric), None
+
+    def _cached_tiles(
+        self,
+        grid: TileGrid,
+        adjusted: AnyImage,
+        target_image: AnyImage,
+        cache_meta: dict[str, str],
+    ) -> tuple[np.ndarray, np.ndarray, tuple[str, str]]:
+        """Step 1 through the artifact cache, keyed by image content."""
+        from repro.service.cache import image_fingerprint, tile_grid_key
+
+        fp_input = image_fingerprint(adjusted)
+        fp_target = image_fingerprint(target_image)
+        key_input = tile_grid_key(fp_input, self.config.tile_size)
+        key_target = tile_grid_key(fp_target, self.config.tile_size)
+        cache_meta["step1_input"] = "hit" if self.cache.contains(key_input) else "miss"
+        cache_meta["step1_target"] = (
+            "hit" if self.cache.contains(key_target) else "miss"
+        )
+        input_tiles = self.cache.get_or_compute(
+            key_input, lambda: grid.split(adjusted)
+        )
+        target_tiles = self.cache.get_or_compute(
+            key_target, lambda: grid.split(target_image)
+        )
+        return input_tiles, target_tiles, (fp_input, fp_target)
 
 
 def generate_photomosaic(

@@ -1,0 +1,62 @@
+"""Mosaic job service: queued batch execution with caching and metrics.
+
+This subsystem turns the one-shot pipeline into a servable workload:
+
+* :mod:`repro.service.jobs` — the job model (specs, records, states,
+  deterministic IDs);
+* :mod:`repro.service.queue` — a thread-safe in-process priority queue;
+* :mod:`repro.service.workers` — a worker pool (thread/process executors)
+  with per-job timeouts, bounded retries with backoff, and graceful
+  drain;
+* :mod:`repro.service.cache` — a content-addressed LRU artifact cache
+  memoizing Step-1 tile grids and Step-2 error matrices;
+* :mod:`repro.service.metrics` — counters/gauges/latency histograms with
+  JSON export and a text summary;
+* :mod:`repro.service.manifest` — the batch manifest format consumed by
+  ``photomosaic batch``.
+
+See ``docs/service.md`` for the job lifecycle, cache keying scheme and
+metrics schema.
+"""
+
+from __future__ import annotations
+
+from repro.service.cache import (
+    ArtifactCache,
+    CacheStats,
+    error_matrix_key,
+    image_fingerprint,
+    tile_grid_key,
+)
+from repro.service.jobs import JobRecord, JobSpec, JobState
+from repro.service.manifest import load_manifest, parse_manifest
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.queue import JobQueue
+from repro.service.workers import (
+    EXECUTOR_KINDS,
+    MosaicJobRunner,
+    WorkerPool,
+    resolve_image,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "image_fingerprint",
+    "tile_grid_key",
+    "error_matrix_key",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "load_manifest",
+    "parse_manifest",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "JobQueue",
+    "EXECUTOR_KINDS",
+    "MosaicJobRunner",
+    "WorkerPool",
+    "resolve_image",
+]

@@ -1,0 +1,270 @@
+"""Content-addressed artifact cache for pipeline intermediates.
+
+The dominant costs of the pipeline are Step 1 (tiling) and above all
+Step 2 (the ``S x S`` error matrix).  Both are pure functions of their
+inputs, so the cache keys them by content: an image is fingerprinted by
+the SHA-256 of its bytes + shape + dtype, and the artifact keys compose
+fingerprints with the parameters that affect the result (tile size, cost
+metric, transform flag).  Two jobs that share a target image — the common
+case for batch workloads rendering many inputs against one target — hit
+the same Step-1/Step-2 entries and skip straight to Step 3.
+
+Storage is a thread-safe in-memory LRU with a byte budget.  With a
+``spill_dir`` configured, evicted entries are written to disk (``.npz``
+for array payloads, pickle otherwise) and transparently reloaded on the
+next miss, trading the byte budget for disk space instead of recompute.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "image_fingerprint",
+    "tile_grid_key",
+    "error_matrix_key",
+]
+
+_MISS = object()
+
+
+def image_fingerprint(image: np.ndarray) -> str:
+    """Content hash of an image: SHA-256 over dtype, shape and raw bytes."""
+    h = hashlib.sha256()
+    h.update(str(image.dtype).encode())
+    h.update(repr(image.shape).encode())
+    h.update(np.ascontiguousarray(image).tobytes())
+    return h.hexdigest()[:32]
+
+
+def tile_grid_key(fingerprint: str, tile_size: int) -> str:
+    """Cache key for a Step-1 tile stack of one image."""
+    return f"tiles/{fingerprint}/t{tile_size}"
+
+
+def error_matrix_key(
+    input_fingerprint: str,
+    target_fingerprint: str,
+    tile_size: int,
+    metric: str,
+    allow_transforms: bool = False,
+) -> str:
+    """Cache key for a Step-2 error matrix (and its orientation codes)."""
+    suffix = "+dihedral" if allow_transforms else ""
+    return (
+        f"matrix/{input_fingerprint}/{target_fingerprint}"
+        f"/t{tile_size}/{metric}{suffix}"
+    )
+
+
+def _payload_nbytes(value: Any) -> int:
+    """Best-effort byte size of a cached payload (arrays and containers)."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (tuple, list)):
+        return sum(_payload_nbytes(v) for v in value)
+    if value is None:
+        return 0
+    try:
+        return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 64  # unknown payloads get a nominal charge
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed in the metrics report."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    spill_writes: int = 0
+    spill_reads: int = 0
+    current_bytes: int = 0
+    entries: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when the cache was never queried)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "spill_writes": self.spill_writes,
+            "spill_reads": self.spill_reads,
+            "current_bytes": self.current_bytes,
+            "entries": self.entries,
+        }
+
+
+@dataclass
+class _Entry:
+    value: Any
+    nbytes: int = 0
+
+
+class ArtifactCache:
+    """Thread-safe content-addressed LRU cache with optional disk spill.
+
+    Parameters
+    ----------
+    max_bytes:
+        In-memory budget; least-recently-used entries are evicted (and
+        spilled, when ``spill_dir`` is set) once the budget is exceeded.
+        A single payload larger than the budget is still admitted alone.
+    spill_dir:
+        Directory for evicted entries (created on demand).  ``None``
+        disables spilling: evicted entries are simply recomputed on the
+        next miss.
+    """
+
+    def __init__(
+        self, max_bytes: int = 256 * 2**20, spill_dir: str | os.PathLike | None = None
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self.spill_dir = os.fspath(spill_dir) if spill_dir is not None else None
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        self._lock = threading.RLock()
+        self._stats = CacheStats()
+
+    # -- core operations ------------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look up ``key``; counts a hit/miss and refreshes LRU order."""
+        value = self._lookup(key)
+        return default if value is _MISS else value
+
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` is resident (memory or spill) — no stats impact."""
+        with self._lock:
+            if key in self._entries:
+                return True
+        return self._spill_path(key) is not None and os.path.exists(
+            self._spill_path(key)
+        )
+
+    def put(self, key: str, value: Any, nbytes: int | None = None) -> None:
+        """Insert/replace ``key``; evicts LRU entries to honour the budget."""
+        size = _payload_nbytes(value) if nbytes is None else int(nbytes)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._stats.current_bytes -= old.nbytes
+            self._entries[key] = _Entry(value, size)
+            self._stats.current_bytes += size
+            self._stats.entries = len(self._entries)
+            self._evict_over_budget()
+
+    def get_or_compute(
+        self, key: str, compute: Callable[[], Any], nbytes: int | None = None
+    ) -> Any:
+        """Return the cached value for ``key``, computing and storing on miss.
+
+        The compute callable runs outside the cache lock, so a slow Step-2
+        computation never blocks other workers' lookups; if two workers
+        race on the same key, both compute and the second insert wins —
+        acceptable because payloads are pure functions of the key.
+        """
+        value = self._lookup(key)
+        if value is not _MISS:
+            return value
+        value = compute()
+        self.put(key, value, nbytes=nbytes)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._stats.current_bytes = 0
+            self._stats.entries = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            snapshot = CacheStats(**vars(self._stats))
+            snapshot.entries = len(self._entries)
+            return snapshot
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- internals ------------------------------------------------------
+
+    def _lookup(self, key: str) -> Any:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+                return entry.value
+        value = self._load_spilled(key)
+        with self._lock:
+            if value is not _MISS:
+                self._stats.hits += 1
+                self._stats.spill_reads += 1
+            else:
+                self._stats.misses += 1
+        if value is not _MISS:
+            self.put(key, value)
+        return value
+
+    def _evict_over_budget(self) -> None:
+        # Caller holds the lock.  Never evict the entry just inserted
+        # (last), so oversized payloads are admitted alone.
+        while self._stats.current_bytes > self.max_bytes and len(self._entries) > 1:
+            key, entry = self._entries.popitem(last=False)
+            self._stats.current_bytes -= entry.nbytes
+            self._stats.evictions += 1
+            self._stats.entries = len(self._entries)
+            self._spill(key, entry.value)
+
+    def _spill_path(self, key: str) -> str | None:
+        if self.spill_dir is None:
+            return None
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:32]
+        return os.path.join(self.spill_dir, f"{digest}.pkl")
+
+    def _spill(self, key: str, value: Any) -> None:
+        path = self._spill_path(key)
+        if path is None:
+            return
+        os.makedirs(self.spill_dir, exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+            with self._lock:
+                self._stats.spill_writes += 1
+        except OSError:
+            # Spilling is best-effort; a full disk degrades to recompute.
+            if os.path.exists(tmp):
+                os.remove(tmp)
+
+    def _load_spilled(self, key: str) -> Any:
+        path = self._spill_path(key)
+        if path is None or not os.path.exists(path):
+            return _MISS
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            return _MISS

@@ -1,0 +1,202 @@
+"""Job model for the mosaic job service.
+
+A :class:`JobSpec` is an immutable description of one mosaic request —
+what to render, with which pipeline knobs, and with which scheduling
+parameters (priority, timeout, retries).  A :class:`JobRecord` is the
+mutable execution-side twin: it tracks the state machine
+
+    ``PENDING -> RUNNING -> DONE | FAILED | CANCELLED``
+
+(with ``RUNNING -> PENDING`` on a retried attempt), timestamps for the
+queue-wait/latency metrics, and the final :class:`~repro.mosaic.result.
+MosaicResult` when the job succeeds.
+
+Job IDs are deterministic: the same spec submitted at the same batch
+position always yields the same ID, so re-running a manifest produces
+stable artefact names and logs that diff cleanly.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass, field, fields
+
+from repro.exceptions import JobError
+from repro.mosaic.config import MosaicConfig
+
+__all__ = ["JobState", "JobSpec", "JobRecord"]
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle states of a submitted job."""
+
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    DONE = "DONE"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+
+
+#: Legal state transitions (RUNNING -> PENDING happens on a retry).
+_TRANSITIONS: dict[JobState, frozenset[JobState]] = {
+    JobState.PENDING: frozenset({JobState.RUNNING, JobState.CANCELLED}),
+    JobState.RUNNING: frozenset(
+        {JobState.DONE, JobState.FAILED, JobState.CANCELLED, JobState.PENDING}
+    ),
+    JobState.DONE: frozenset(),
+    JobState.FAILED: frozenset(),
+    JobState.CANCELLED: frozenset(),
+}
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One mosaic request plus its scheduling parameters.
+
+    ``input`` and ``target`` are file paths or standard-image names,
+    resolved lazily by the runner so specs stay cheap and picklable
+    (process executors ship them to workers).
+
+    Attributes
+    ----------
+    priority:
+        Higher runs first; ties are FIFO.
+    timeout:
+        Per-attempt wall-clock budget in seconds (``None`` = unlimited).
+    max_retries:
+        Extra attempts after the first failure/timeout (``None`` defers
+        to the pool default).
+    seed:
+        Seed for any randomised pipeline component; batch submission
+        derives per-job seeds from the manifest seed via
+        :func:`repro.utils.rng.spawn_seeds` when unset.
+    """
+
+    input: str
+    target: str
+    name: str = ""
+    output: str | None = None
+    size: int = 64
+    tile_size: int = 16
+    algorithm: str = "parallel"
+    metric: str = "sad"
+    solver: str = "scipy"
+    histogram_match: bool = True
+    priority: int = 0
+    timeout: float | None = None
+    max_retries: int | None = None
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.input or not self.target:
+            raise JobError("job spec needs non-empty 'input' and 'target'")
+        if self.timeout is not None and self.timeout <= 0:
+            raise JobError(f"timeout must be positive, got {self.timeout}")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise JobError(f"max_retries must be >= 0, got {self.max_retries}")
+
+    def job_id(self, index: int = 0) -> str:
+        """Deterministic ID: content hash of the spec plus batch position."""
+        payload = json.dumps(
+            {**asdict(self), "index": index}, sort_keys=True, default=str
+        )
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+        return f"job-{digest}"
+
+    def to_config(self) -> MosaicConfig:
+        """The :class:`MosaicConfig` this spec describes."""
+        return MosaicConfig(
+            tile_size=self.tile_size,
+            algorithm=self.algorithm,
+            metric=self.metric,
+            solver=self.solver,
+            histogram_match=self.histogram_match,
+        )
+
+    @classmethod
+    def field_names(cls) -> frozenset[str]:
+        """Names accepted in a manifest job entry."""
+        return frozenset(f.name for f in fields(cls))
+
+
+@dataclass
+class JobRecord:
+    """Mutable execution state of one submitted job.
+
+    All mutation goes through the helper methods, which enforce the state
+    machine and are safe to call from worker threads.
+    """
+
+    spec: JobSpec
+    job_id: str
+    state: JobState = JobState.PENDING
+    attempts: int = 0
+    error: str | None = None
+    result: object | None = None  # MosaicResult when DONE (kept opaque here)
+    submitted_at: float = field(default_factory=time.perf_counter)
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def transition(self, new_state: JobState) -> None:
+        """Move to ``new_state``, enforcing the lifecycle graph."""
+        with self._lock:
+            if new_state not in _TRANSITIONS[self.state]:
+                raise JobError(
+                    f"job {self.job_id}: illegal transition "
+                    f"{self.state.value} -> {new_state.value}"
+                )
+            self.state = new_state
+            now = time.perf_counter()
+            if new_state is JobState.RUNNING and self.started_at is None:
+                self.started_at = now
+            if new_state in (JobState.DONE, JobState.FAILED, JobState.CANCELLED):
+                self.finished_at = now
+
+    @property
+    def queue_wait(self) -> float | None:
+        """Seconds between submission and first run (``None`` if never ran)."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def latency(self) -> float | None:
+        """Seconds between submission and terminal state."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def summary(self) -> dict:
+        """JSON-ready snapshot for the metrics report."""
+        out = {
+            "job_id": self.job_id,
+            "name": self.spec.name or self.job_id,
+            "state": self.state.value,
+            "attempts": self.attempts,
+            "priority": self.spec.priority,
+            "queue_wait_s": self.queue_wait,
+            "latency_s": self.latency,
+            "error": self.error,
+        }
+        result = self.result
+        if result is not None:
+            out["total_error"] = int(result.total_error)
+            out["sweeps"] = result.sweeps
+            out["timings"] = result.timings.as_dict()
+        return out

@@ -1,0 +1,84 @@
+"""Batch manifest: a JSON file describing a set of mosaic jobs.
+
+Schema::
+
+    {
+      "defaults": { <any JobSpec field>: value, ... },     # optional
+      "jobs": [
+        { "input": "portrait", "target": "sailboat",
+          "output": "j0.png", "priority": 2, "timeout": 30.0, ... },
+        ...
+      ]
+    }
+
+Each job entry is merged over ``defaults`` and validated against the
+:class:`~repro.service.jobs.JobSpec` fields — unknown keys are an error,
+not silently ignored, so typos in a manifest fail fast.  Jobs without an
+explicit ``seed`` get deterministic per-job seeds derived from the batch
+seed via :func:`repro.utils.rng.spawn_seeds`, which keeps a whole batch
+reproducible regardless of worker count or scheduling order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.exceptions import JobError
+from repro.service.jobs import JobSpec
+from repro.utils.rng import spawn_seeds
+
+__all__ = ["load_manifest", "parse_manifest"]
+
+
+def load_manifest(path: str | os.PathLike, seed: int | None = 0) -> list[JobSpec]:
+    """Read and parse a manifest file; see :func:`parse_manifest`."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise JobError(f"cannot read manifest {os.fspath(path)!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise JobError(f"manifest {os.fspath(path)!r} is not valid JSON: {exc}") from exc
+    return parse_manifest(data, seed=seed)
+
+
+def parse_manifest(data: object, seed: int | None = 0) -> list[JobSpec]:
+    """Validate manifest ``data`` and return its jobs as :class:`JobSpec`.
+
+    ``seed`` is the batch seed used to derive per-job seeds for entries
+    that don't set their own.
+    """
+    if not isinstance(data, dict):
+        raise JobError(f"manifest must be a JSON object, got {type(data).__name__}")
+    unknown_top = set(data) - {"defaults", "jobs"}
+    if unknown_top:
+        raise JobError(f"unknown manifest keys: {sorted(unknown_top)}")
+    defaults = data.get("defaults", {})
+    if not isinstance(defaults, dict):
+        raise JobError("manifest 'defaults' must be an object")
+    entries = data.get("jobs")
+    if not isinstance(entries, list) or not entries:
+        raise JobError("manifest needs a non-empty 'jobs' array")
+
+    allowed = JobSpec.field_names()
+    job_seeds = spawn_seeds(seed, len(entries))
+    specs: list[JobSpec] = []
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise JobError(f"jobs[{position}] must be an object")
+        merged = {**defaults, **entry}
+        unknown = set(merged) - allowed
+        if unknown:
+            raise JobError(
+                f"jobs[{position}] has unknown keys {sorted(unknown)} "
+                f"(allowed: {sorted(allowed)})"
+            )
+        merged.setdefault("name", f"job{position}")
+        if merged.get("seed") is None:
+            merged["seed"] = job_seeds[position]
+        try:
+            specs.append(JobSpec(**merged))
+        except (TypeError, JobError) as exc:
+            raise JobError(f"jobs[{position}] is invalid: {exc}") from exc
+    return specs

@@ -1,0 +1,249 @@
+"""Counters, gauges and latency histograms for the job service.
+
+A deliberately small, dependency-free metrics layer in the Prometheus
+style: named :class:`Counter` / :class:`Gauge` / :class:`Histogram`
+instruments owned by a :class:`MetricsRegistry`.  Everything is
+thread-safe (workers record concurrently), serialises to a stable JSON
+schema via :meth:`MetricsRegistry.as_dict`, and pretty-prints as an
+aligned summary table for the CLI.
+
+Histograms keep cumulative bucket counts (Prometheus ``le`` semantics)
+plus exact observations up to a cap; quantiles are exact below the cap
+and bucket-interpolated beyond it, which is plenty for a local service
+report.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import threading
+from typing import Iterable, Mapping
+
+from repro.utils.timing import TimingBreakdown
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_LATENCY_BUCKETS"]
+
+#: Default histogram buckets (seconds): 1 ms .. 60 s, roughly 1-2-5 spaced.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0,
+    30.0, 60.0,
+)
+
+_OBSERVATION_CAP = 4096
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, active workers)."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Latency histogram with cumulative buckets and exact small-n quantiles."""
+
+    def __init__(
+        self, name: str, help: str = "", buckets: Iterable[float] | None = None
+    ) -> None:
+        self.name = name
+        self.help = help
+        bounds = tuple(sorted(buckets)) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        if not bounds:
+            raise ValueError(f"histogram {self.name!r} needs at least one bucket")
+        self.bounds = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)  # +1 for +Inf
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._observations: list[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            index = bisect.bisect_left(self.bounds, value)
+            self._bucket_counts[index] += 1
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+            if len(self._observations) < _OBSERVATION_CAP:
+                self._observations.append(value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (exact while under the observation cap)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            if self._count <= len(self._observations):
+                ordered = sorted(self._observations)
+                return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+            # Bucket interpolation: find the first cumulative bucket
+            # containing the target rank; report its upper bound.
+            target = q * self._count
+            running = 0
+            for index, count in enumerate(self._bucket_counts):
+                running += count
+                if running >= target:
+                    if index < len(self.bounds):
+                        return self.bounds[index]
+                    return self._max
+            return self._max
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            if self._count == 0:
+                return {"count": 0, "sum": 0.0}
+            cumulative = []
+            running = 0
+            for bound, count in zip(self.bounds, self._bucket_counts):
+                running += count
+                cumulative.append({"le": bound, "count": running})
+            cumulative.append({"le": "+Inf", "count": self._count})
+            body = {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "mean": self._sum / self._count,
+                "buckets": cumulative,
+            }
+        body["p50"] = self.quantile(0.50)
+        body["p90"] = self.quantile(0.90)
+        body["p99"] = self.quantile(0.99)
+        return body
+
+
+class MetricsRegistry:
+    """Factory and container for named instruments.
+
+    Re-requesting a name returns the existing instrument, so call sites
+    don't need to coordinate creation.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name, help)
+            return self._counters[name]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name, help)
+            return self._gauges[name]
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Iterable[float] | None = None
+    ) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name, help, buckets)
+            return self._histograms[name]
+
+    def record_timings(self, timings: TimingBreakdown, prefix: str = "step") -> None:
+        """Observe every phase of a breakdown into per-phase histograms."""
+        for phase, seconds in timings.as_dict().items():
+            self.histogram(f"{prefix}_{phase}_seconds").observe(seconds)
+
+    def as_dict(self, extra: Mapping | None = None) -> dict:
+        """Stable JSON schema: counters, gauges, histograms (+ extra blocks)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        out: dict = {
+            "counters": {n: c.value for n, c in sorted(counters.items())},
+            "gauges": {n: g.value for n, g in sorted(gauges.items())},
+            "histograms": {n: h.as_dict() for n, h in sorted(histograms.items())},
+        }
+        if extra:
+            out.update(extra)
+        return out
+
+    def to_json(self, extra: Mapping | None = None, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(extra), indent=indent, sort_keys=False)
+
+    def summary_table(self) -> str:
+        """Aligned plain-text summary (the CLI prints this after a batch)."""
+        data = self.as_dict()
+        lines: list[str] = []
+        width = max(
+            [len(n) for section in ("counters", "gauges") for n in data[section]]
+            + [len(n) for n in data["histograms"]]
+            + [12]
+        )
+        for name, value in data["counters"].items():
+            lines.append(f"{name:<{width}}  {value:>12g}")
+        for name, value in data["gauges"].items():
+            lines.append(f"{name:<{width}}  {value:>12g}")
+        for name, body in data["histograms"].items():
+            if body["count"] == 0:
+                lines.append(f"{name:<{width}}  {'(empty)':>12}")
+                continue
+            lines.append(
+                f"{name:<{width}}  count {body['count']:>6d}  "
+                f"mean {body['mean'] * 1000:9.2f}ms  "
+                f"p50 {body['p50'] * 1000:9.2f}ms  "
+                f"p99 {body['p99'] * 1000:9.2f}ms"
+            )
+        return "\n".join(lines)

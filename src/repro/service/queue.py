@@ -1,0 +1,102 @@
+"""Thread-safe in-process priority queue of job records.
+
+Ordering is (priority descending, submission order ascending): a higher
+``JobSpec.priority`` pops first, ties are FIFO.  Cancellation is lazy —
+:meth:`JobQueue.cancel` flips the record to ``CANCELLED`` immediately and
+consumers discard cancelled entries on pop, so cancel is O(1) and never
+blocks the workers.
+
+The queue supports a two-phase shutdown: :meth:`close` stops new pushes;
+with ``drain=True`` (the default) blocked consumers keep receiving the
+remaining records until the queue is empty, with ``drain=False`` pending
+records are cancelled and consumers wake immediately.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+
+from repro.exceptions import JobError
+from repro.service.jobs import JobRecord, JobState
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Priority queue of :class:`JobRecord`, safe for many producers/consumers."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, JobRecord]] = []
+        self._records: dict[str, JobRecord] = {}
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    def push(self, record: JobRecord) -> None:
+        """Enqueue a PENDING record; raises :class:`JobError` when closed."""
+        with self._not_empty:
+            if self._closed:
+                raise JobError("queue is closed")
+            if record.job_id in self._records:
+                raise JobError(f"duplicate job id {record.job_id!r}")
+            heapq.heappush(
+                self._heap, (-record.spec.priority, next(self._counter), record)
+            )
+            self._records[record.job_id] = record
+            self._not_empty.notify()
+
+    def pop(self, timeout: float | None = None) -> JobRecord | None:
+        """Dequeue the next runnable record.
+
+        Blocks until a record is available, the queue is closed and empty,
+        or ``timeout`` elapses; returns ``None`` in the latter two cases.
+        Cancelled records are skipped silently.
+        """
+        with self._not_empty:
+            while True:
+                while self._heap:
+                    _, _, record = heapq.heappop(self._heap)
+                    self._records.pop(record.job_id, None)
+                    if record.state is JobState.CANCELLED:
+                        continue
+                    return record
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a pending job; returns ``False`` if unknown or already popped."""
+        with self._lock:
+            record = self._records.pop(job_id, None)
+        if record is None:
+            return False
+        record.transition(JobState.CANCELLED)
+        return True
+
+    def close(self, drain: bool = True) -> int:
+        """Stop accepting pushes; with ``drain=False`` cancel everything
+        still queued.  Returns the number of records cancelled."""
+        with self._not_empty:
+            self._closed = True
+            cancelled = 0
+            if not drain:
+                for record in list(self._records.values()):
+                    record.transition(JobState.CANCELLED)
+                    cancelled += 1
+                self._records.clear()
+                self._heap.clear()
+            self._not_empty.notify_all()
+            return cancelled
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        """Number of queued (non-cancelled) records."""
+        with self._lock:
+            return len(self._records)

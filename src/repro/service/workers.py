@@ -1,0 +1,329 @@
+"""Worker pool executing queued mosaic jobs.
+
+``N`` supervisor threads consume the priority queue.  Each job attempt
+runs through :mod:`concurrent.futures` — a thread or a process executor,
+selectable per pool — so a per-attempt wall-clock timeout can be enforced
+by waiting on the future: on timeout the attempt is abandoned (its
+executor is shut down without waiting) and the supervisor moves on, which
+is what keeps one runaway job from ever stalling the queue.  Failed and
+timed-out attempts are retried with exponential backoff (jittered through
+:func:`repro.utils.rng.make_rng`, so a seeded pool backs off
+reproducibly) up to the job's retry budget, then marked ``FAILED``.
+
+Shutdown is graceful by default: the queue stops accepting work, the
+supervisors drain what is already queued, and ``shutdown`` returns when
+they exit.  ``drain=False`` cancels everything still pending instead.
+
+Caveat (CPython): a timed-out *thread* attempt cannot be killed — it is
+abandoned and keeps running to completion in the background with its
+result discarded.  Process attempts terminate with their executor.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+)
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.exceptions import JobCancelled, JobError, JobTimeout
+from repro.service.jobs import JobRecord, JobSpec, JobState
+from repro.service.metrics import MetricsRegistry
+from repro.service.queue import JobQueue
+from repro.utils.rng import make_rng, spawn_seeds
+from repro.utils.timing import TimingBreakdown
+
+__all__ = ["WorkerPool", "MosaicJobRunner", "resolve_image", "EXECUTOR_KINDS"]
+
+EXECUTOR_KINDS = ("thread", "process")
+
+
+def resolve_image(spec: str, size: int):
+    """Resolve a standard-image name or file path to a grayscale array."""
+    from repro.imaging import STANDARD_IMAGES, ensure_gray, load_image, standard_image
+
+    if spec in STANDARD_IMAGES:
+        return standard_image(spec, size)
+    if os.path.exists(spec):
+        return ensure_gray(load_image(spec))
+    raise JobError(
+        f"{spec!r} is neither a file nor a standard image "
+        f"({', '.join(STANDARD_IMAGES)})"
+    )
+
+
+class MosaicJobRunner:
+    """Default job payload: resolve images, run the pipeline, save output.
+
+    Picklable for process executors — the artifact cache is dropped from
+    the pickled state because an in-memory cache cannot be shared across
+    process boundaries (each worker process would warm its own; use the
+    thread executor to share one cache across workers).
+    """
+
+    def __init__(self, cache=None, outdir: str | None = None) -> None:
+        self.cache = cache
+        self.outdir = outdir
+
+    def __getstate__(self) -> dict:
+        return {"cache": None, "outdir": self.outdir}
+
+    def __call__(self, spec: JobSpec):
+        from repro.imaging import save_image
+        from repro.mosaic.generator import PhotomosaicGenerator
+
+        input_image = resolve_image(spec.input, spec.size)
+        target_image = resolve_image(spec.target, spec.size)
+        generator = PhotomosaicGenerator(spec.to_config(), cache=self.cache)
+        result = generator.generate(input_image, target_image)
+        if spec.output:
+            path = spec.output
+            if self.outdir is not None and not os.path.isabs(path):
+                path = os.path.join(self.outdir, path)
+            save_image(path, result.image)
+        return result
+
+
+class WorkerPool:
+    """Priority-queue worker pool with timeouts, retries and metrics.
+
+    Parameters
+    ----------
+    workers:
+        Number of concurrent supervisors (= max jobs in flight).
+    kind:
+        ``"thread"`` or ``"process"`` — the executor each attempt runs on.
+        Thread attempts without a timeout run inline (no executor cost).
+    runner:
+        ``Callable[[JobSpec], result]``; defaults to :class:`MosaicJobRunner`
+        with this pool's cache.  Must be picklable for ``kind="process"``.
+    max_retries:
+        Default extra attempts per job (``JobSpec.max_retries`` overrides).
+    backoff / backoff_factor:
+        Exponential backoff between attempts:
+        ``backoff * factor**attempt``, plus up to 10% seeded jitter.
+    default_timeout:
+        Per-attempt budget when the spec doesn't set one.
+    seed:
+        Seeds the per-worker backoff jitter streams via
+        :func:`~repro.utils.rng.spawn_seeds`.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        kind: str = "thread",
+        *,
+        runner: Callable[[JobSpec], Any] | None = None,
+        cache=None,
+        metrics: MetricsRegistry | None = None,
+        max_retries: int = 1,
+        backoff: float = 0.05,
+        backoff_factor: float = 2.0,
+        default_timeout: float | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        if workers < 1:
+            raise JobError(f"workers must be >= 1, got {workers}")
+        if kind not in EXECUTOR_KINDS:
+            raise JobError(f"unknown executor kind {kind!r} (use {EXECUTOR_KINDS})")
+        if max_retries < 0:
+            raise JobError(f"max_retries must be >= 0, got {max_retries}")
+        self.workers = workers
+        self.kind = kind
+        self.cache = cache
+        self.metrics = metrics or MetricsRegistry()
+        self.runner = runner if runner is not None else MosaicJobRunner(cache=cache)
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.backoff_factor = backoff_factor
+        self.default_timeout = default_timeout
+        self.timings = TimingBreakdown()  # phase-wise sum over all DONE jobs
+        self._queue = JobQueue()
+        self._records: dict[str, JobRecord] = {}
+        self._submitted = 0
+        self._open = 0  # submitted but not yet terminal
+        self._state_lock = threading.Lock()
+        self._all_done = threading.Condition(self._state_lock)
+        self._shut_down = False
+        self.metrics.gauge("workers", "configured pool size").set(workers)
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(make_rng(worker_seed),),
+                name=f"mosaic-worker-{i}",
+                daemon=True,
+            )
+            for i, worker_seed in enumerate(spawn_seeds(seed, workers))
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission / lifecycle -----------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobRecord:
+        """Queue one job; returns its (live) record."""
+        with self._state_lock:
+            if self._shut_down:
+                raise JobError("pool is shut down")
+            index = self._submitted
+            self._submitted += 1
+            self._open += 1
+        record = JobRecord(spec=spec, job_id=spec.job_id(index))
+        with self._state_lock:
+            self._records[record.job_id] = record
+        self._queue.push(record)
+        self.metrics.counter("jobs_submitted").inc()
+        self.metrics.gauge("queue_depth").set(len(self._queue))
+        return record
+
+    def run(self, specs: Iterable[JobSpec]) -> Sequence[JobRecord]:
+        """Submit a batch, wait for every job to finish, return the records."""
+        records = [self.submit(spec) for spec in specs]
+        self.join()
+        return records
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a still-queued job (running jobs are not interrupted)."""
+        if not self._queue.cancel(job_id):
+            return False
+        self.metrics.counter("jobs_cancelled").inc()
+        self.metrics.gauge("queue_depth").set(len(self._queue))
+        self._mark_terminal()
+        return True
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Block until every submitted job reached a terminal state."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._all_done:
+            while self._open > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        return False
+                self._all_done.wait(timeout=remaining)
+            return True
+
+    def shutdown(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the pool: drain (default) or cancel pending jobs, join workers."""
+        with self._state_lock:
+            self._shut_down = True
+        cancelled = self._queue.close(drain=drain)
+        if cancelled:
+            self.metrics.counter("jobs_cancelled").inc(cancelled)
+            with self._all_done:
+                self._open -= cancelled
+                self._all_done.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown(drain=True)
+
+    def records(self) -> list[JobRecord]:
+        """Snapshot of all submitted job records, in submission order."""
+        with self._state_lock:
+            return list(self._records.values())
+
+    # -- execution ------------------------------------------------------
+
+    def _worker_loop(self, rng) -> None:
+        while True:
+            record = self._queue.pop()
+            if record is None:
+                return
+            self.metrics.gauge("queue_depth").set(len(self._queue))
+            self._execute(record, rng)
+            self._mark_terminal()
+
+    def _execute(self, record: JobRecord, rng) -> None:
+        spec = record.spec
+        retries = spec.max_retries if spec.max_retries is not None else self.max_retries
+        active = self.metrics.gauge("active_workers")
+        error: str | None = None
+        for attempt in range(retries + 1):
+            record.transition(JobState.RUNNING)
+            record.attempts += 1
+            self.metrics.counter("attempts_total").inc()
+            active.inc()
+            started = time.perf_counter()
+            try:
+                result = self._run_attempt(spec)
+            except JobTimeout as exc:
+                error = str(exc)
+                self.metrics.counter("job_timeouts").inc()
+            except JobCancelled:
+                record.transition(JobState.CANCELLED)
+                self.metrics.counter("jobs_cancelled").inc()
+                return
+            except Exception as exc:  # noqa: BLE001 - job isolation boundary
+                error = f"{type(exc).__name__}: {exc}"
+            else:
+                self.metrics.histogram("attempt_seconds").observe(
+                    time.perf_counter() - started
+                )
+                self._finish_done(record, result)
+                return
+            finally:
+                active.dec()
+            self.metrics.histogram("attempt_seconds").observe(
+                time.perf_counter() - started
+            )
+            if attempt < retries:
+                record.transition(JobState.PENDING)  # requeue-in-place for retry
+                self.metrics.counter("job_retries").inc()
+                delay = self.backoff * self.backoff_factor**attempt
+                time.sleep(delay * (1.0 + 0.1 * float(rng.random())))
+        record.error = error
+        record.transition(JobState.FAILED)
+        self.metrics.counter("jobs_failed").inc()
+
+    def _finish_done(self, record: JobRecord, result: Any) -> None:
+        record.result = result
+        record.transition(JobState.DONE)
+        self.metrics.counter("jobs_done").inc()
+        if record.queue_wait is not None:
+            self.metrics.histogram("queue_wait_seconds").observe(record.queue_wait)
+        if record.latency is not None:
+            self.metrics.histogram("job_latency_seconds").observe(record.latency)
+        timings = getattr(result, "timings", None)
+        if isinstance(timings, TimingBreakdown):
+            for phase, seconds in timings.as_dict().items():
+                self.timings.add(phase, seconds)
+            self.metrics.record_timings(timings, prefix="phase")
+
+    def _run_attempt(self, spec: JobSpec) -> Any:
+        timeout = spec.timeout if spec.timeout is not None else self.default_timeout
+        if timeout is None and self.kind == "thread":
+            return self.runner(spec)  # no budget to enforce: skip executor cost
+        executor_cls = (
+            ThreadPoolExecutor if self.kind == "thread" else ProcessPoolExecutor
+        )
+        executor = executor_cls(max_workers=1)
+        try:
+            future = executor.submit(self.runner, spec)
+            try:
+                return future.result(timeout=timeout)
+            except FuturesTimeoutError:
+                future.cancel()
+                raise JobTimeout(
+                    f"job attempt exceeded its {timeout:.3f}s budget"
+                ) from None
+        finally:
+            # On timeout we must not wait: the whole point is to abandon
+            # the attempt and keep the supervisor (and queue) moving.
+            executor.shutdown(wait=timeout is None, cancel_futures=True)
+
+    def _mark_terminal(self) -> None:
+        with self._all_done:
+            self._open -= 1
+            self._all_done.notify_all()

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.utils.rng import make_rng
+from repro.utils.rng import make_rng, spawn_seeds
 from repro.utils.timing import Stopwatch, TimingBreakdown, time_callable
 from repro.utils.validation import (
     check_error_matrix,
@@ -15,6 +15,7 @@ from repro.utils.validation import (
 
 __all__ = [
     "make_rng",
+    "spawn_seeds",
     "Stopwatch",
     "TimingBreakdown",
     "time_callable",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["make_rng"]
+__all__ = ["make_rng", "spawn_seeds"]
 
 
 def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
@@ -23,3 +23,18 @@ def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def spawn_seeds(seed: int | None, n: int) -> list[int]:
+    """Derive ``n`` independent child seeds from ``seed``.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, so the children are
+    statistically independent and the whole family is reproducible from the
+    parent seed.  The job service hands each queued job its own child seed
+    this way: a batch re-run with the same manifest seed replays every job's
+    random stream exactly, regardless of worker count or completion order.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    parent = np.random.SeedSequence(seed)
+    return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in parent.spawn(n)]

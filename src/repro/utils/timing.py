@@ -7,9 +7,10 @@ separation of Step 2 (error matrix) and Step 3 (rearrangement) times.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, TypeVar
+from typing import Callable, Iterable, TypeVar
 
 __all__ = ["Stopwatch", "TimingBreakdown", "time_callable"]
 
@@ -43,16 +44,31 @@ class TimingBreakdown:
     """Accumulates named phase durations (seconds).
 
     Phases repeat-add, so calling :meth:`add` twice for the same phase sums
-    the durations — convenient for iterative algorithms.
+    the durations — convenient for iterative algorithms.  :meth:`add` is
+    thread-safe, so one breakdown can collect phases from a pool of workers
+    (the job service merges per-job breakdowns this way).
     """
 
     phases: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        # Locks don't pickle; breakdowns cross process boundaries inside
+        # MosaicResult when the job service runs with a process executor.
+        return {"phases": dict(self.phases)}
+
+    def __setstate__(self, state: dict) -> None:
+        self.phases = state["phases"]
+        self._lock = threading.Lock()
 
     def add(self, phase: str, seconds: float) -> None:
         """Add ``seconds`` to the accumulated time of ``phase``."""
         if seconds < 0:
             raise ValueError(f"negative duration for phase {phase!r}: {seconds}")
-        self.phases[phase] = self.phases.get(phase, 0.0) + seconds
+        with self._lock:
+            self.phases[phase] = self.phases.get(phase, 0.0) + seconds
 
     def measure(self, phase: str) -> "_PhaseTimer":
         """Return a context manager that times a block into ``phase``."""
@@ -75,6 +91,20 @@ class TimingBreakdown:
         for phase, seconds in other.phases.items():
             out.add(phase, seconds)
         return out
+
+    @classmethod
+    def merge_all(cls, breakdowns: Iterable["TimingBreakdown"]) -> "TimingBreakdown":
+        """Phase-wise sum of any number of breakdowns (empty input → empty)."""
+        out = cls()
+        for breakdown in breakdowns:
+            for phase, seconds in breakdown.phases.items():
+                out.add(phase, seconds)
+        return out
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot copy of the phase table (safe to mutate or serialise)."""
+        with self._lock:
+            return dict(self.phases)
 
 
 class _PhaseTimer:

@@ -75,9 +75,10 @@ class TestGenerate:
     def test_color_pipeline(self, rng):
         inp = rng.integers(0, 256, size=(32, 32, 3)).astype(np.uint8)
         tgt = rng.integers(0, 256, size=(32, 32, 3)).astype(np.uint8)
-        result = generate_photomosaic(inp, tgt, tile_size=8, metric="color")
+        with pytest.warns(UserWarning, match="histogram matching skipped"):
+            result = generate_photomosaic(inp, tgt, tile_size=8, metric="color")
         assert result.image.shape == (32, 32, 3)
-        # Histogram matching is gray-only: colour input must pass through.
+        # Histogram matching is gray-only by default: colour passes through.
         assert (np.sort(result.image.ravel()) == np.sort(inp.ravel())).all()
 
     @pytest.mark.parametrize("solver", ["scipy", "jv", "hungarian", "auction"])
@@ -159,3 +160,128 @@ class TestStagedAPI:
         inp, tgt = small_pair
         gen = PhotomosaicGenerator(MosaicConfig(tile_size=8, histogram_match=False))
         assert gen.preprocess(inp, tgt) is inp
+
+
+class TestColorHistogramMatch:
+    """The Section-II adjustment is intensity-only; colour behaviour is an
+    explicit choice: warn-and-skip (default) or per-channel matching."""
+
+    @pytest.fixture()
+    def color_pair(self, rng):
+        return (
+            rng.integers(0, 256, size=(32, 32, 3)).astype(np.uint8),
+            rng.integers(0, 256, size=(32, 32, 3)).astype(np.uint8),
+        )
+
+    def test_skip_warns_by_default(self, color_pair):
+        inp, tgt = color_pair
+        gen = PhotomosaicGenerator(MosaicConfig(tile_size=8))
+        with pytest.warns(UserWarning, match="color_histogram_match"):
+            assert gen.preprocess(inp, tgt) is inp
+
+    def test_disabled_matching_does_not_warn(self, color_pair):
+        import warnings
+
+        inp, tgt = color_pair
+        gen = PhotomosaicGenerator(MosaicConfig(tile_size=8, histogram_match=False))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert gen.preprocess(inp, tgt) is inp
+
+    def test_per_channel_matching(self, color_pair):
+        inp, tgt = color_pair
+        gen = PhotomosaicGenerator(
+            MosaicConfig(tile_size=8, color_histogram_match=True)
+        )
+        adjusted = gen.preprocess(inp, tgt)
+        assert adjusted.shape == inp.shape
+        for channel in range(3):
+            expected = match_histogram(inp[..., channel], tgt[..., channel])
+            assert (adjusted[..., channel] == expected).all()
+
+    def test_per_channel_end_to_end(self, color_pair):
+        inp, tgt = color_pair
+        result = generate_photomosaic(
+            inp, tgt, tile_size=8, metric="color", color_histogram_match=True
+        )
+        assert result.image.shape == inp.shape
+
+    def test_mixed_ndim_warns_and_skips(self, color_pair, small_pair):
+        inp_color, _ = color_pair
+        _, tgt_gray = small_pair
+        gen = PhotomosaicGenerator(MosaicConfig(tile_size=8))
+        with pytest.warns(UserWarning, match="skipped"):
+            assert gen.preprocess(inp_color, tgt_gray[:32, :32]) is inp_color
+
+
+class TestArtifactCacheHooks:
+    def test_second_run_hits_cache(self, small_pair):
+        from repro.service.cache import ArtifactCache
+
+        inp, tgt = small_pair
+        cache = ArtifactCache()
+        gen = PhotomosaicGenerator(MosaicConfig(tile_size=8), cache=cache)
+        first = gen.generate(inp, tgt)
+        second = gen.generate(inp, tgt)
+        assert first.meta["cache"] == {
+            "step1_input": "miss", "step1_target": "miss", "step2_matrix": "miss"
+        }
+        assert second.meta["cache"] == {
+            "step1_input": "hit", "step1_target": "hit", "step2_matrix": "hit"
+        }
+        assert second.total_error == first.total_error
+
+    def test_shared_target_hits_target_tiles(self, small_pair):
+        from repro.imaging import standard_image
+        from repro.service.cache import ArtifactCache
+
+        inp, tgt = small_pair
+        cache = ArtifactCache()
+        gen = PhotomosaicGenerator(MosaicConfig(tile_size=8), cache=cache)
+        gen.generate(inp, tgt)
+        other = gen.generate(standard_image("peppers", 64), tgt)
+        assert other.meta["cache"]["step1_target"] == "hit"
+        assert other.meta["cache"]["step2_matrix"] == "miss"  # new input
+
+    def test_cached_equals_uncached(self, small_pair):
+        from repro.service.cache import ArtifactCache
+
+        inp, tgt = small_pair
+        config = MosaicConfig(tile_size=8, algorithm="optimization")
+        cached = PhotomosaicGenerator(config, cache=ArtifactCache())
+        plain = PhotomosaicGenerator(config)
+        assert (
+            cached.generate(inp, tgt).total_error
+            == plain.generate(inp, tgt).total_error
+        )
+
+    def test_metric_change_misses_matrix_cache(self, small_pair):
+        from repro.service.cache import ArtifactCache
+
+        inp, tgt = small_pair
+        cache = ArtifactCache()
+        sad = PhotomosaicGenerator(MosaicConfig(tile_size=8, metric="sad"), cache=cache)
+        ssd = PhotomosaicGenerator(MosaicConfig(tile_size=8, metric="ssd"), cache=cache)
+        sad.generate(inp, tgt)
+        result = ssd.generate(inp, tgt)
+        assert result.meta["cache"]["step2_matrix"] == "miss"
+        assert result.meta["cache"]["step1_input"] == "hit"  # tiles metric-free
+
+    def test_no_cache_means_no_meta(self, small_pair):
+        inp, tgt = small_pair
+        result = PhotomosaicGenerator(MosaicConfig(tile_size=8)).generate(inp, tgt)
+        assert "cache" not in result.meta
+
+    def test_transforms_cached_with_orientations(self, small_pair):
+        from repro.service.cache import ArtifactCache
+
+        inp, tgt = small_pair
+        cache = ArtifactCache()
+        gen = PhotomosaicGenerator(
+            MosaicConfig(tile_size=8, allow_transforms=True), cache=cache
+        )
+        first = gen.generate(inp, tgt)
+        second = gen.generate(inp, tgt)
+        assert second.meta["cache"]["step2_matrix"] == "hit"
+        assert (second.meta["orientations"] == first.meta["orientations"]).all()
+        assert second.total_error == first.total_error

@@ -1,0 +1,107 @@
+"""Tests for the batch manifest parser."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import JobError
+from repro.service.manifest import load_manifest, parse_manifest
+
+
+def manifest(**overrides) -> dict:
+    base = {
+        "defaults": {"target": "sailboat", "size": 64, "tile_size": 8},
+        "jobs": [
+            {"input": "portrait", "output": "a.png"},
+            {"input": "peppers", "priority": 3},
+        ],
+    }
+    base.update(overrides)
+    return base
+
+
+class TestParse:
+    def test_defaults_merge_into_jobs(self):
+        specs = parse_manifest(manifest())
+        assert [s.input for s in specs] == ["portrait", "peppers"]
+        assert all(s.target == "sailboat" for s in specs)
+        assert all(s.tile_size == 8 for s in specs)
+        assert specs[1].priority == 3
+
+    def test_job_entry_overrides_defaults(self):
+        data = manifest()
+        data["jobs"][0]["tile_size"] = 16
+        specs = parse_manifest(data)
+        assert specs[0].tile_size == 16
+        assert specs[1].tile_size == 8
+
+    def test_auto_names(self):
+        specs = parse_manifest(manifest())
+        assert [s.name for s in specs] == ["job0", "job1"]
+
+    def test_explicit_name_kept(self):
+        data = manifest()
+        data["jobs"][0]["name"] = "hero"
+        assert parse_manifest(data)[0].name == "hero"
+
+    def test_per_job_seeds_derived_from_batch_seed(self):
+        first = parse_manifest(manifest(), seed=42)
+        second = parse_manifest(manifest(), seed=42)
+        other = parse_manifest(manifest(), seed=43)
+        assert [s.seed for s in first] == [s.seed for s in second]
+        assert [s.seed for s in first] != [s.seed for s in other]
+        # Sibling jobs get distinct seeds.
+        assert first[0].seed != first[1].seed
+
+    def test_explicit_seed_wins(self):
+        data = manifest()
+        data["jobs"][0]["seed"] = 123
+        assert parse_manifest(data, seed=0)[0].seed == 123
+
+
+class TestValidation:
+    def test_unknown_job_key_rejected(self):
+        data = manifest()
+        data["jobs"][0]["tile_sizee"] = 8
+        with pytest.raises(JobError, match="tile_sizee"):
+            parse_manifest(data)
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(JobError, match="unknown manifest keys"):
+            parse_manifest(manifest(extra=1))
+
+    def test_empty_jobs_rejected(self):
+        with pytest.raises(JobError, match="non-empty 'jobs'"):
+            parse_manifest(manifest(jobs=[]))
+
+    def test_non_object_manifest_rejected(self):
+        with pytest.raises(JobError, match="JSON object"):
+            parse_manifest([1, 2, 3])
+
+    def test_non_object_job_rejected(self):
+        with pytest.raises(JobError, match=r"jobs\[0\]"):
+            parse_manifest(manifest(jobs=["portrait"]))
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(JobError, match=r"jobs\[0\] is invalid"):
+            parse_manifest({"jobs": [{"target": "sailboat"}]})
+
+
+class TestLoad:
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps(manifest()))
+        specs = load_manifest(path, seed=7)
+        assert len(specs) == 2
+
+    def test_missing_file_errors(self, tmp_path):
+        with pytest.raises(JobError, match="cannot read"):
+            load_manifest(tmp_path / "nope.json")
+
+    def test_invalid_json_errors(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(JobError, match="not valid JSON"):
+            load_manifest(path)

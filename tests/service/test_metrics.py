@@ -1,0 +1,142 @@
+"""Tests for the metrics layer (counters, gauges, histograms, registry)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.utils.timing import TimingBreakdown
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("jobs")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("jobs").inc(-1)
+
+    def test_thread_safety(self):
+        c = Counter("jobs")
+        threads = [
+            threading.Thread(target=lambda: [c.inc() for _ in range(1000)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value == 6
+
+
+class TestHistogram:
+    def test_basic_stats(self):
+        h = Histogram("latency")
+        for v in (0.001, 0.003, 0.01, 0.1):
+            h.observe(v)
+        body = h.as_dict()
+        assert body["count"] == 4
+        assert body["sum"] == pytest.approx(0.114)
+        assert body["min"] == pytest.approx(0.001)
+        assert body["max"] == pytest.approx(0.1)
+
+    def test_quantiles_exact_under_cap(self):
+        h = Histogram("latency")
+        for v in range(100):
+            h.observe(v / 1000.0)
+        assert h.quantile(0.5) == pytest.approx(0.050)
+        assert h.quantile(0.99) == pytest.approx(0.099)
+
+    def test_empty_histogram(self):
+        h = Histogram("latency")
+        assert h.quantile(0.5) == 0.0
+        assert h.as_dict() == {"count": 0, "sum": 0.0}
+
+    def test_cumulative_buckets(self):
+        h = Histogram("latency", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.5, 5.0):
+            h.observe(v)
+        buckets = h.as_dict()["buckets"]
+        assert [b["count"] for b in buckets] == [1, 2, 3, 4]
+        assert buckets[-1]["le"] == "+Inf"
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError, match="quantile"):
+            Histogram("latency").quantile(1.5)
+
+
+class TestRegistry:
+    def test_instruments_are_memoized(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_as_dict_schema(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_done").inc(2)
+        registry.gauge("queue_depth").set(1)
+        registry.histogram("latency").observe(0.01)
+        data = registry.as_dict(extra={"cache": {"hit_rate": 0.5}})
+        assert data["counters"]["jobs_done"] == 2
+        assert data["gauges"]["queue_depth"] == 1
+        assert data["histograms"]["latency"]["count"] == 1
+        assert data["cache"]["hit_rate"] == 0.5
+
+    def test_to_json_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_done").inc()
+        registry.histogram("latency").observe(0.2)
+        parsed = json.loads(registry.to_json())
+        assert parsed["counters"]["jobs_done"] == 1
+        assert parsed["histograms"]["latency"]["p50"] == pytest.approx(0.2)
+
+    def test_record_timings(self):
+        registry = MetricsRegistry()
+        timings = TimingBreakdown({"step2_error_matrix": 0.4, "step3_rearrangement": 0.1})
+        registry.record_timings(timings, prefix="phase")
+        data = registry.as_dict()
+        assert data["histograms"]["phase_step2_error_matrix_seconds"]["count"] == 1
+        assert data["histograms"]["phase_step3_rearrangement_seconds"]["sum"] == pytest.approx(0.1)
+
+    def test_summary_table_mentions_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_done").inc(3)
+        registry.histogram("latency").observe(0.05)
+        registry.histogram("empty_one")
+        table = registry.summary_table()
+        assert "jobs_done" in table
+        assert "latency" in table
+        assert "p99" in table
+        assert "(empty)" in table
+
+    def test_concurrent_observation(self):
+        registry = MetricsRegistry()
+
+        def work() -> None:
+            for i in range(500):
+                registry.counter("n").inc()
+                registry.histogram("lat").observe(i / 1000.0)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counter("n").value == 2000
+        assert registry.histogram("lat").count == 2000

@@ -1,0 +1,123 @@
+"""Tests for the thread-safe job priority queue."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import JobError
+from repro.service.jobs import JobRecord, JobSpec, JobState
+from repro.service.queue import JobQueue
+
+
+def record(name: str, priority: int = 0) -> JobRecord:
+    spec = JobSpec(input="portrait", target="sailboat", name=name, priority=priority)
+    return JobRecord(spec=spec, job_id=f"job-{name}")
+
+
+class TestOrdering:
+    def test_higher_priority_pops_first(self):
+        q = JobQueue()
+        q.push(record("low", priority=0))
+        q.push(record("high", priority=5))
+        q.push(record("mid", priority=2))
+        names = [q.pop(timeout=0.1).spec.name for _ in range(3)]
+        assert names == ["high", "mid", "low"]
+
+    def test_fifo_within_priority(self):
+        q = JobQueue()
+        for name in ("a", "b", "c"):
+            q.push(record(name, priority=1))
+        names = [q.pop(timeout=0.1).spec.name for _ in range(3)]
+        assert names == ["a", "b", "c"]
+
+
+class TestLifecycle:
+    def test_pop_timeout_returns_none(self):
+        assert JobQueue().pop(timeout=0.01) is None
+
+    def test_len_counts_pending(self):
+        q = JobQueue()
+        q.push(record("a"))
+        q.push(record("b"))
+        assert len(q) == 2
+        q.pop(timeout=0.1)
+        assert len(q) == 1
+
+    def test_duplicate_id_rejected(self):
+        q = JobQueue()
+        q.push(record("a"))
+        with pytest.raises(JobError, match="duplicate"):
+            q.push(record("a"))
+
+    def test_push_after_close_rejected(self):
+        q = JobQueue()
+        q.close()
+        with pytest.raises(JobError, match="closed"):
+            q.push(record("a"))
+
+    def test_close_drain_delivers_remaining(self):
+        q = JobQueue()
+        q.push(record("a"))
+        q.close(drain=True)
+        assert q.pop(timeout=0.1).spec.name == "a"
+        assert q.pop(timeout=0.1) is None  # closed and empty
+
+    def test_close_no_drain_cancels_remaining(self):
+        q = JobQueue()
+        a, b = record("a"), record("b")
+        q.push(a)
+        q.push(b)
+        assert q.close(drain=False) == 2
+        assert a.state is JobState.CANCELLED
+        assert b.state is JobState.CANCELLED
+        assert q.pop(timeout=0.05) is None
+
+    def test_close_wakes_blocked_consumer(self):
+        q = JobQueue()
+        results = []
+        consumer = threading.Thread(target=lambda: results.append(q.pop()))
+        consumer.start()
+        q.close()
+        consumer.join(timeout=2.0)
+        assert not consumer.is_alive()
+        assert results == [None]
+
+
+class TestCancel:
+    def test_cancel_pending(self):
+        q = JobQueue()
+        a = record("a")
+        q.push(a)
+        assert q.cancel("job-a") is True
+        assert a.state is JobState.CANCELLED
+        assert q.pop(timeout=0.05) is None  # cancelled entries are skipped
+
+    def test_cancel_unknown_returns_false(self):
+        assert JobQueue().cancel("job-nope") is False
+
+    def test_cancelled_entry_does_not_block_others(self):
+        q = JobQueue()
+        q.push(record("a", priority=9))
+        q.push(record("b"))
+        q.cancel("job-a")
+        assert q.pop(timeout=0.1).spec.name == "b"
+
+
+class TestConcurrency:
+    def test_many_producers_one_consumer(self):
+        q = JobQueue()
+        total = 40
+
+        def produce(start: int) -> None:
+            for i in range(start, start + 10):
+                q.push(record(f"p{i}"))
+
+        threads = [threading.Thread(target=produce, args=(i * 10,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        seen = {q.pop(timeout=1.0).spec.name for _ in range(total)}
+        for t in threads:
+            t.join()
+        assert len(seen) == total

@@ -1,0 +1,294 @@
+"""Tests for the worker pool: concurrency, retries, timeouts, drain.
+
+Most tests drive the pool with tiny synthetic runners so they are fast
+and deterministic; the end-to-end mosaic tests at the bottom cover the
+acceptance scenario (a batch sharing one target must exceed 50% cache
+hit rate, and a timing-out job must fail without stalling the queue).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import JobError
+from repro.service.cache import ArtifactCache
+from repro.service.jobs import JobSpec, JobState
+from repro.service.metrics import MetricsRegistry
+from repro.service.workers import MosaicJobRunner, WorkerPool, resolve_image
+from repro.utils.timing import TimingBreakdown
+
+
+def spec(name: str = "j", **overrides) -> JobSpec:
+    base = dict(input="portrait", target="sailboat", size=64, tile_size=8, name=name)
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+def _echo_runner(job_spec: JobSpec) -> str:
+    return job_spec.name
+
+
+def _sleepy_runner(job_spec: JobSpec) -> str:  # used by the process-kind test
+    time.sleep(0.01)
+    return job_spec.name
+
+
+class TestPoolBasics:
+    def test_runs_jobs_and_returns_records(self):
+        with WorkerPool(workers=2, runner=_echo_runner) as pool:
+            records = pool.run([spec(f"j{i}") for i in range(5)])
+        assert [r.state for r in records] == [JobState.DONE] * 5
+        assert sorted(r.result for r in records) == [f"j{i}" for i in range(5)]
+
+    def test_deterministic_job_ids_across_pools(self):
+        with WorkerPool(workers=1, runner=_echo_runner) as pool_a:
+            ids_a = [pool_a.submit(spec(f"j{i}")).job_id for i in range(3)]
+            pool_a.join()
+        with WorkerPool(workers=1, runner=_echo_runner) as pool_b:
+            ids_b = [pool_b.submit(spec(f"j{i}")).job_id for i in range(3)]
+            pool_b.join()
+        assert ids_a == ids_b
+
+    def test_metrics_counters(self):
+        metrics = MetricsRegistry()
+        with WorkerPool(workers=2, runner=_echo_runner, metrics=metrics) as pool:
+            pool.run([spec(f"j{i}") for i in range(4)])
+        data = metrics.as_dict()
+        assert data["counters"]["jobs_submitted"] == 4
+        assert data["counters"]["jobs_done"] == 4
+        assert data["histograms"]["queue_wait_seconds"]["count"] == 4
+        assert data["histograms"]["job_latency_seconds"]["count"] == 4
+
+    def test_timings_merged_from_results(self):
+        class TimedResult:
+            timings = TimingBreakdown({"step2_error_matrix": 0.25})
+            total_error = 0
+            sweeps = None
+
+        with WorkerPool(workers=2, runner=lambda s: TimedResult()) as pool:
+            pool.run([spec(f"j{i}") for i in range(4)])
+            assert pool.timings["step2_error_matrix"] == pytest.approx(1.0)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(JobError, match="workers"):
+            WorkerPool(workers=0)
+        with pytest.raises(JobError, match="executor kind"):
+            WorkerPool(kind="fiber")
+        with pytest.raises(JobError, match="max_retries"):
+            WorkerPool(max_retries=-1)
+
+    def test_submit_after_shutdown_rejected(self):
+        pool = WorkerPool(workers=1, runner=_echo_runner)
+        pool.shutdown()
+        with pytest.raises(JobError, match="shut down"):
+            pool.submit(spec())
+
+
+class TestPriorities:
+    def test_high_priority_jobs_run_first(self):
+        order: list[str] = []
+        gate = threading.Event()
+
+        def runner(job_spec: JobSpec) -> None:
+            gate.wait(timeout=5.0)
+            order.append(job_spec.name)
+
+        pool = WorkerPool(workers=1, runner=runner)
+        pool.submit(spec("blocker"))  # occupies the single worker
+        time.sleep(0.05)
+        pool.submit(spec("low", priority=0))
+        pool.submit(spec("high", priority=9))
+        gate.set()
+        pool.join()
+        pool.shutdown()
+        assert order == ["blocker", "high", "low"]
+
+
+class TestRetries:
+    def test_flaky_job_retries_then_succeeds(self):
+        attempts = {"n": 0}
+
+        def flaky(job_spec: JobSpec) -> str:
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise RuntimeError("transient")
+            return "ok"
+
+        metrics = MetricsRegistry()
+        with WorkerPool(
+            workers=1, runner=flaky, metrics=metrics, max_retries=3, backoff=0.001
+        ) as pool:
+            (record,) = pool.run([spec()])
+        assert record.state is JobState.DONE
+        assert record.attempts == 3
+        assert metrics.counter("job_retries").value == 2
+
+    def test_permanent_failure_exhausts_budget(self):
+        def broken(job_spec: JobSpec) -> None:
+            raise ValueError("always broken")
+
+        metrics = MetricsRegistry()
+        with WorkerPool(
+            workers=1, runner=broken, metrics=metrics, max_retries=2, backoff=0.001
+        ) as pool:
+            (record,) = pool.run([spec()])
+        assert record.state is JobState.FAILED
+        assert record.attempts == 3
+        assert "always broken" in record.error
+        assert metrics.counter("jobs_failed").value == 1
+
+    def test_spec_retry_budget_overrides_pool_default(self):
+        calls = {"n": 0}
+
+        def broken(job_spec: JobSpec) -> None:
+            calls["n"] += 1
+            raise RuntimeError("nope")
+
+        with WorkerPool(workers=1, runner=broken, max_retries=5, backoff=0.001) as pool:
+            (record,) = pool.run([spec(max_retries=0)])
+        assert record.state is JobState.FAILED
+        assert calls["n"] == 1
+
+
+class TestTimeouts:
+    def test_timeout_retries_then_fails_without_stalling(self):
+        """The acceptance scenario: a hung job must be retried, marked
+        FAILED, and must not block other jobs from completing."""
+
+        def runner(job_spec: JobSpec) -> str:
+            if job_spec.name == "hung":
+                time.sleep(5.0)
+            return job_spec.name
+
+        metrics = MetricsRegistry()
+        pool = WorkerPool(
+            workers=2, runner=runner, metrics=metrics, max_retries=1, backoff=0.001
+        )
+        hung = pool.submit(spec("hung", timeout=0.05))
+        quick = [pool.submit(spec(f"q{i}")) for i in range(4)]
+        finished = pool.join(timeout=10.0)
+        pool.shutdown(timeout=1.0)
+        assert finished
+        assert hung.state is JobState.FAILED
+        assert hung.attempts == 2
+        assert "budget" in hung.error
+        assert all(r.state is JobState.DONE for r in quick)
+        assert metrics.counter("job_timeouts").value == 2
+
+    def test_pool_default_timeout_applies(self):
+        def slow(job_spec: JobSpec) -> None:
+            time.sleep(5.0)
+
+        with WorkerPool(
+            workers=1,
+            runner=slow,
+            max_retries=0,
+            default_timeout=0.05,
+            backoff=0.001,
+        ) as pool:
+            (record,) = pool.run([spec()])
+        assert record.state is JobState.FAILED
+
+
+class TestCancelAndShutdown:
+    def test_cancel_pending_job(self):
+        gate = threading.Event()
+
+        def runner(job_spec: JobSpec) -> None:
+            gate.wait(timeout=5.0)
+
+        pool = WorkerPool(workers=1, runner=runner)
+        pool.submit(spec("blocker"))
+        time.sleep(0.05)
+        victim = pool.submit(spec("victim"))
+        assert pool.cancel(victim.job_id) is True
+        gate.set()
+        assert pool.join(timeout=5.0)
+        pool.shutdown()
+        assert victim.state is JobState.CANCELLED
+
+    def test_shutdown_no_drain_cancels_pending(self):
+        gate = threading.Event()
+
+        def runner(job_spec: JobSpec) -> None:
+            gate.wait(timeout=5.0)
+
+        pool = WorkerPool(workers=1, runner=runner)
+        pool.submit(spec("running"))
+        time.sleep(0.05)
+        pending = [pool.submit(spec(f"p{i}")) for i in range(3)]
+        gate.set()
+        pool.shutdown(drain=False, timeout=5.0)
+        assert all(r.state is JobState.CANCELLED for r in pending)
+
+    def test_drain_completes_queued_work(self):
+        done: list[str] = []
+
+        def runner(job_spec: JobSpec) -> None:
+            time.sleep(0.01)
+            done.append(job_spec.name)
+
+        pool = WorkerPool(workers=2, runner=runner)
+        for i in range(6):
+            pool.submit(spec(f"j{i}"))
+        pool.shutdown(drain=True, timeout=10.0)
+        assert len(done) == 6
+
+
+class TestProcessExecutor:
+    def test_process_kind_runs_jobs(self):
+        with WorkerPool(workers=2, kind="process", runner=_sleepy_runner) as pool:
+            records = pool.run([spec(f"j{i}", timeout=30.0) for i in range(3)])
+        assert [r.state for r in records] == [JobState.DONE] * 3
+        assert sorted(r.result for r in records) == ["j0", "j1", "j2"]
+
+    def test_runner_pickles_without_cache(self):
+        import pickle
+
+        runner = MosaicJobRunner(cache=ArtifactCache(), outdir="/tmp/x")
+        clone = pickle.loads(pickle.dumps(runner))
+        assert clone.cache is None
+        assert clone.outdir == "/tmp/x"
+
+
+class TestMosaicIntegration:
+    def test_batch_sharing_target_exceeds_half_cache_hits(self):
+        """≥8 jobs sharing one target through the pool: hit rate > 0.5."""
+        cache = ArtifactCache()
+        metrics = MetricsRegistry()
+        inputs = ["portrait", "peppers", "portrait", "barbara",
+                  "portrait", "peppers", "baboon", "portrait"]
+        specs = [
+            spec(f"j{i}", input=name, target="sailboat") for i, name in enumerate(inputs)
+        ]
+        with WorkerPool(workers=4, cache=cache, metrics=metrics) as pool:
+            records = pool.run(specs)
+        assert all(r.state is JobState.DONE for r in records)
+        assert cache.stats.hit_rate > 0.5
+        # Identical inputs must produce identical mosaics through the cache.
+        by_input: dict[str, int] = {}
+        for record in records:
+            error = record.result.total_error
+            assert by_input.setdefault(record.spec.input, error) == error
+
+    def test_cached_results_match_uncached(self):
+        baseline_runner = MosaicJobRunner(cache=None)
+        baseline = baseline_runner(spec())
+        with WorkerPool(workers=2, cache=ArtifactCache()) as pool:
+            records = pool.run([spec("a"), spec("b")])
+        for record in records:
+            assert record.result.total_error == baseline.total_error
+
+    def test_resolve_image_rejects_unknown(self):
+        with pytest.raises(JobError, match="neither"):
+            resolve_image("no-such-image.png", 64)
+
+    def test_job_summary_carries_timings(self):
+        with WorkerPool(workers=1, cache=ArtifactCache()) as pool:
+            (record,) = pool.run([spec()])
+        summary = record.summary()
+        assert summary["state"] == "DONE"
+        assert "step2_error_matrix" in summary["timings"]

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -154,3 +156,120 @@ class TestDemo:
         assert code == 0
         written = list(tmp_path.glob("*_mosaic.png"))
         assert len(written) == 4  # the four paper pairs
+
+
+def write_manifest(path, jobs, defaults=None):
+    data = {"jobs": jobs}
+    data["defaults"] = defaults or {"target": "sailboat", "size": 64, "tile_size": 8}
+    path.write_text(json.dumps(data))
+    return path
+
+
+class TestBatch:
+    def shared_target_manifest(self, tmp_path):
+        inputs = ["portrait", "peppers", "portrait", "barbara",
+                  "portrait", "peppers", "baboon", "portrait"]
+        jobs = [{"input": name} for name in inputs]
+        jobs[0]["output"] = "first.png"
+        return write_manifest(tmp_path / "jobs.json", jobs)
+
+    def test_batch_completes_with_cache_hits(self, tmp_path, capsys):
+        manifest = self.shared_target_manifest(tmp_path)
+        outdir = tmp_path / "out"
+        code = main(
+            ["batch", "--manifest", str(manifest), "--outdir", str(outdir),
+             "--workers", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("DONE") == 8
+        assert (outdir / "first.png").exists()
+        report = json.loads((outdir / "metrics.json").read_text())
+        # The acceptance bar: ≥8 jobs sharing one target, hit rate > 0.5.
+        assert report["cache"]["hit_rate"] > 0.5
+        assert report["counters"]["jobs_done"] == 8
+        assert len(report["jobs"]) == 8
+        assert all(j["state"] == "DONE" for j in report["jobs"])
+        assert report["histograms"]["queue_wait_seconds"]["count"] == 8
+
+    def test_batch_is_reproducible_for_a_seed(self, tmp_path, capsys):
+        manifest = self.shared_target_manifest(tmp_path)
+
+        def run(outdir):
+            code = main(
+                ["batch", "--manifest", str(manifest), "--outdir", str(outdir),
+                 "--workers", "2", "--seed", "42"]
+            )
+            assert code == 0
+            report = json.loads((outdir / "metrics.json").read_text())
+            return [(j["job_id"], j.get("total_error")) for j in report["jobs"]]
+
+        first = run(tmp_path / "a")
+        capsys.readouterr()
+        second = run(tmp_path / "b")
+        assert first == second
+
+    def test_failing_job_sets_exit_code(self, tmp_path, capsys):
+        manifest = write_manifest(
+            tmp_path / "jobs.json",
+            [{"input": "portrait"}, {"input": "no-such-file.png", "max_retries": 0}],
+        )
+        code = main(
+            ["batch", "--manifest", str(manifest), "--outdir", str(tmp_path / "out"),
+             "--workers", "1", "--retries", "0"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "DONE" in out  # the good job still completed
+
+    def test_bad_manifest_raises_job_error(self, tmp_path):
+        from repro.exceptions import JobError
+
+        manifest = write_manifest(tmp_path / "jobs.json", [{"inptu": "portrait"}])
+        with pytest.raises(JobError, match="inptu"):
+            main(["batch", "--manifest", str(manifest)])
+
+    def test_metrics_path_override(self, tmp_path, capsys):
+        manifest = write_manifest(tmp_path / "jobs.json", [{"input": "portrait"}])
+        metrics_path = tmp_path / "custom_metrics.json"
+        code = main(
+            ["batch", "--manifest", str(manifest), "--outdir", str(tmp_path / "out"),
+             "--metrics", str(metrics_path), "--workers", "1"]
+        )
+        assert code == 0
+        assert metrics_path.exists()
+
+
+class TestSeedPlumbing:
+    """Every randomised component must route through repro.utils.rng so
+    batch jobs are reproducible (no direct entropy calls elsewhere)."""
+
+    def test_no_direct_numpy_entropy_outside_rng_module(self):
+        import pathlib
+
+        import repro
+
+        src_root = pathlib.Path(repro.__file__).parent
+        offenders = []
+        for path in src_root.rglob("*.py"):
+            if path.name == "rng.py" and path.parent.name == "utils":
+                continue
+            text = path.read_text(encoding="utf-8")
+            for needle in ("default_rng(", "np.random.seed", "random.Random("):
+                if needle in text:
+                    offenders.append(f"{path.relative_to(src_root)}: {needle}")
+        assert not offenders, (
+            "randomness must route through repro.utils.rng.make_rng/spawn_seeds: "
+            + "; ".join(offenders)
+        )
+
+    def test_batch_parser_exposes_seed(self):
+        args = build_parser().parse_args(
+            ["batch", "--manifest", "jobs.json", "--seed", "7"]
+        )
+        assert args.seed == 7
+
+    def test_batch_seed_defaults_to_zero(self):
+        args = build_parser().parse_args(["batch", "--manifest", "jobs.json"])
+        assert args.seed == 0

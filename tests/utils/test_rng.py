@@ -4,7 +4,35 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.utils.rng import make_rng
+import pytest
+
+from repro.utils.rng import make_rng, spawn_seeds
+
+
+def test_spawn_seeds_deterministic():
+    assert spawn_seeds(7, 5) == spawn_seeds(7, 5)
+
+
+def test_spawn_seeds_differ_across_parents_and_siblings():
+    family = spawn_seeds(1, 8)
+    assert len(set(family)) == 8
+    assert family != spawn_seeds(2, 8)
+
+
+def test_spawn_seeds_empty():
+    assert spawn_seeds(0, 0) == []
+
+
+def test_spawn_seeds_rejects_negative_count():
+    with pytest.raises(ValueError, match="n must be"):
+        spawn_seeds(0, -1)
+
+
+def test_spawn_seeds_feed_make_rng():
+    seeds = spawn_seeds(3, 2)
+    a = make_rng(seeds[0]).integers(0, 1_000_000, size=10)
+    b = make_rng(seeds[1]).integers(0, 1_000_000, size=10)
+    assert (a != b).any()
 
 
 def test_same_seed_same_stream():

@@ -62,6 +62,79 @@ class TestTimingBreakdown:
         # Inputs untouched.
         assert a["x"] == pytest.approx(1.0)
 
+    def test_merged_with_empty(self):
+        a = TimingBreakdown({"x": 1.0})
+        assert a.merged(TimingBreakdown()).phases == {"x": 1.0}
+        assert TimingBreakdown().merged(a).phases == {"x": 1.0}
+
+    def test_merged_is_commutative(self):
+        a = TimingBreakdown({"x": 1.0, "y": 0.5})
+        b = TimingBreakdown({"y": 2.0, "z": 3.0})
+        assert a.merged(b).phases == pytest.approx(b.merged(a).phases)
+
+    def test_merge_all(self):
+        parts = [TimingBreakdown({"x": 1.0}), TimingBreakdown({"x": 2.0, "y": 1.0}),
+                 TimingBreakdown({"y": 0.5})]
+        merged = TimingBreakdown.merge_all(parts)
+        assert merged.phases == pytest.approx({"x": 3.0, "y": 1.5})
+
+    def test_merge_all_empty_iterable(self):
+        assert TimingBreakdown.merge_all([]).phases == {}
+
+    def test_as_dict_returns_copy(self):
+        tb = TimingBreakdown({"x": 1.0})
+        snapshot = tb.as_dict()
+        snapshot["x"] = 99.0
+        assert tb["x"] == pytest.approx(1.0)
+
+
+class TestTimingBreakdownConcurrency:
+    """The job service merges breakdowns from many workers into one."""
+
+    def test_concurrent_adds_sum_exactly(self):
+        import threading
+
+        tb = TimingBreakdown()
+        workers, iterations = 8, 1000
+
+        def work() -> None:
+            for _ in range(iterations):
+                tb.add("shared", 0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tb["shared"] == pytest.approx(workers * iterations * 0.001)
+
+    def test_concurrent_merge_into_shared_breakdown(self):
+        import threading
+
+        shared = TimingBreakdown()
+        per_worker = TimingBreakdown({"step2": 0.25, "step3": 0.5})
+
+        def merge() -> None:
+            for phase, seconds in per_worker.as_dict().items():
+                shared.add(phase, seconds)
+
+        threads = [threading.Thread(target=merge) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert shared["step2"] == pytest.approx(16 * 0.25)
+        assert shared["step3"] == pytest.approx(16 * 0.5)
+
+    def test_picklable_across_process_boundary(self):
+        import pickle
+
+        tb = TimingBreakdown({"x": 1.0})
+        clone = pickle.loads(pickle.dumps(tb))
+        assert clone.phases == {"x": 1.0}
+        clone.add("x", 1.0)  # the lock was re-created on unpickle
+        assert clone["x"] == pytest.approx(2.0)
+
 
 class TestTimeCallable:
     def test_returns_result_and_time(self):
