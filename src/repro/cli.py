@@ -159,6 +159,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     from repro.service import (
         ArtifactCache,
+        CacheStack,
+        DiskCacheStore,
         JobState,
         MetricsRegistry,
         MosaicJobRunner,
@@ -168,10 +170,24 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     specs = load_manifest(args.manifest, seed=args.seed)
     os.makedirs(args.outdir, exist_ok=True)
-    cache = ArtifactCache(
+    metrics = MetricsRegistry()
+    memory_cache = ArtifactCache(
         max_bytes=args.cache_mb * 2**20, spill_dir=args.spill_dir
     )
-    metrics = MetricsRegistry()
+    if args.cache_dir:
+        # Two-tier stack: this process's LRU in front, one shared
+        # disk store behind — process workers pickle the stack and
+        # share artifacts through the store (see docs/service.md).
+        cache = CacheStack(
+            memory=memory_cache,
+            disk=DiskCacheStore(
+                args.cache_dir,
+                max_bytes=args.cache_budget * 2**20,
+                metrics=metrics,
+            ),
+        )
+    else:
+        cache = memory_cache
     pool = WorkerPool(
         workers=args.workers,
         kind=args.executor,
@@ -199,9 +215,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             line += f"  ({record.error})"
         print(line)
 
+    cache_stats = cache.stats
+    if args.cache_dir:
+        # Fold the (parent-process) memory-tier tallies into counters so
+        # the JSON report carries them; the disk tier already ticks its
+        # counters live through the registry.
+        metrics.merge_counts(
+            {
+                "cache_mem_hits_total": cache_stats.memory.hits,
+                "cache_mem_misses_total": cache_stats.memory.misses,
+                "cache_mem_evictions_total": cache_stats.memory.evictions,
+            }
+        )
     report = metrics.as_dict(
         extra={
-            "cache": cache.stats.as_dict(),
+            "cache": cache_stats.as_dict(),
             "pool": {
                 "workers": args.workers,
                 "executor": args.executor,
@@ -217,7 +245,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         fh.write("\n")
     print()
     print(metrics.summary_table())
-    print(f"cache hit rate  : {cache.stats.hit_rate:.3f}")
+    print(f"cache hit rate  : {cache_stats.hit_rate:.3f}")
+    # Artifact outcomes travel back with each job result, so this rate is
+    # accurate even when lookups happened inside process workers (where
+    # the parent's cache object never saw them).
+    artifact_hits = report["counters"].get("cache_artifact_hits", 0)
+    artifact_misses = report["counters"].get("cache_artifact_misses", 0)
+    if artifact_hits + artifact_misses:
+        rate = artifact_hits / (artifact_hits + artifact_misses)
+        print(f"artifact hit rate: {rate:.3f} (all workers)")
+    if args.cache_dir and cache_stats.disk is not None:
+        print(
+            f"disk cache      : {cache_stats.disk.entries} entries, "
+            f"{cache_stats.disk.current_bytes / 2**20:.1f} MiB "
+            f"(budget {args.cache_budget} MiB) at {args.cache_dir}"
+        )
     print(f"wrote {metrics_path}")
     failed = sum(1 for record in records if record.state is JobState.FAILED)
     return 1 if failed else 0
@@ -302,9 +344,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None,
         help="metrics JSON path (default: <outdir>/metrics.json)",
     )
-    batch.add_argument("--cache-mb", type=int, default=256, help="cache byte budget")
+    batch.add_argument(
+        "--cache-mb", type=int, default=256, help="in-memory cache budget (MiB)"
+    )
     batch.add_argument(
         "--spill-dir", default=None, help="spill evicted cache entries here"
+    )
+    batch.add_argument(
+        "--cache-dir", default=None,
+        help="shared disk cache root: artifacts persist across runs and are "
+        "shared by process workers (see docs/service.md)",
+    )
+    batch.add_argument(
+        "--cache-budget", type=int, default=2048,
+        help="disk cache byte budget in MiB (LRU-evicted past this)",
     )
     batch.add_argument(
         "--seed", type=int, default=0,

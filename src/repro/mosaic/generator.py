@@ -36,10 +36,15 @@ __all__ = ["PhotomosaicGenerator", "generate_photomosaic"]
 class PhotomosaicGenerator:
     """Configured photomosaic pipeline.
 
-    Pass an :class:`~repro.service.cache.ArtifactCache` as ``cache`` to
+    Pass any :class:`~repro.service.cache.CacheBackend` as ``cache`` to
     memoize the Step-1 tile stacks and Step-2 error matrix by content:
-    repeated targets or input libraries then skip straight to Step 3 —
-    the job service shares one cache across all its workers this way.
+    repeated targets or input libraries then skip straight to Step 3.
+    The job service shares one backend across all its workers this way —
+    an :class:`~repro.service.cache.ArtifactCache` for threads in one
+    process, or a :class:`~repro.service.cache.CacheStack` over a
+    :class:`~repro.service.diskcache.DiskCacheStore` to share artifacts
+    across *process* workers through one on-disk store.  Each artifact's
+    hit/miss outcome is reported in ``result.meta["cache"]``.
     """
 
     def __init__(self, config: MosaicConfig | None = None, *, cache=None) -> None:

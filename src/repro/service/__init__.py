@@ -8,8 +8,14 @@ This subsystem turns the one-shot pipeline into a servable workload:
 * :mod:`repro.service.workers` — a worker pool (thread/process executors)
   with per-job timeouts, bounded retries with backoff, and graceful
   drain;
-* :mod:`repro.service.cache` — a content-addressed LRU artifact cache
-  memoizing Step-1 tile grids and Step-2 error matrices;
+* :mod:`repro.service.cache` — content-addressed artifact caching
+  (memory LRU, the two-tier :class:`CacheStack`) memoizing Step-1 tile
+  grids and Step-2 error matrices;
+* :mod:`repro.service.diskcache` — the disk-first store shared across
+  thread *and* process workers (atomic writes, checksums, quarantine,
+  cross-process LRU eviction);
+* :mod:`repro.service.locks` — the cross-process file lock the disk
+  store builds on;
 * :mod:`repro.service.metrics` — counters/gauges/latency histograms with
   JSON export and a text summary;
 * :mod:`repro.service.manifest` — the batch manifest format consumed by
@@ -23,12 +29,18 @@ from __future__ import annotations
 
 from repro.service.cache import (
     ArtifactCache,
+    CacheBackend,
+    CacheStack,
     CacheStats,
+    StackStats,
+    config_fingerprint,
     error_matrix_key,
     image_fingerprint,
     tile_grid_key,
 )
+from repro.service.diskcache import DiskCacheStats, DiskCacheStore
 from repro.service.jobs import JobRecord, JobSpec, JobState
+from repro.service.locks import FileLock, LockTimeout
 from repro.service.manifest import load_manifest, parse_manifest
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.service.queue import JobQueue
@@ -41,7 +53,15 @@ from repro.service.workers import (
 
 __all__ = [
     "ArtifactCache",
+    "CacheBackend",
+    "CacheStack",
     "CacheStats",
+    "StackStats",
+    "DiskCacheStats",
+    "DiskCacheStore",
+    "FileLock",
+    "LockTimeout",
+    "config_fingerprint",
     "image_fingerprint",
     "tile_grid_key",
     "error_matrix_key",

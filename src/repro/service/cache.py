@@ -9,27 +9,38 @@ metric, transform flag).  Two jobs that share a target image — the common
 case for batch workloads rendering many inputs against one target — hit
 the same Step-1/Step-2 entries and skip straight to Step 3.
 
-Storage is a thread-safe in-memory LRU with a byte budget.  With a
-``spill_dir`` configured, evicted entries are written to disk (``.npz``
-for array payloads, pickle otherwise) and transparently reloaded on the
-next miss, trading the byte budget for disk space instead of recompute.
+Storage backends implement the small :class:`CacheBackend` protocol:
+
+* :class:`ArtifactCache` — thread-safe in-memory LRU with a byte budget
+  and optional disk spill of evicted entries;
+* :class:`~repro.service.diskcache.DiskCacheStore` — a disk-first store
+  shared across *processes* (content-addressed files, atomic writes,
+  checksums, cross-process LRU eviction);
+* :class:`CacheStack` — the two-tier combination (memory front, disk
+  store behind) that the service and the ``photomosaic batch`` CLI use,
+  and the only backend that survives pickling into process workers.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Any, Callable
+from dataclasses import asdict, dataclass, is_dataclass
+from typing import Any, Callable, Mapping, Protocol, runtime_checkable
 
 import numpy as np
 
 __all__ = [
     "ArtifactCache",
+    "CacheBackend",
+    "CacheStack",
     "CacheStats",
+    "StackStats",
+    "config_fingerprint",
     "image_fingerprint",
     "tile_grid_key",
     "error_matrix_key",
@@ -65,6 +76,36 @@ def error_matrix_key(
         f"matrix/{input_fingerprint}/{target_fingerprint}"
         f"/t{tile_size}/{metric}{suffix}"
     )
+
+
+def config_fingerprint(config: Any) -> str:
+    """Order-independent fingerprint of a configuration.
+
+    Accepts a mapping, a dataclass (e.g. :class:`~repro.mosaic.config.
+    MosaicConfig`) or any JSON-encodable value and hashes its canonical
+    JSON form (sorted keys), so two dicts with the same items in any
+    insertion order — or a config and its ``asdict`` — fingerprint
+    identically.  Use it to key custom artifacts by pipeline settings.
+    """
+    if is_dataclass(config) and not isinstance(config, type):
+        config = asdict(config)
+    payload = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """What the generator, worker pool and CLI need from a cache."""
+
+    def get(self, key: str, default: Any = None) -> Any: ...
+
+    def put(self, key: str, value: Any, nbytes: int | None = None) -> None: ...
+
+    def contains(self, key: str) -> bool: ...
+
+    def get_or_compute(
+        self, key: str, compute: Callable[[], Any], nbytes: int | None = None
+    ) -> Any: ...
 
 
 def _payload_nbytes(value: Any) -> int:
@@ -249,15 +290,25 @@ class ArtifactCache:
         os.makedirs(self.spill_dir, exist_ok=True)
         tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
         try:
+            # Atomic publish: a spill file only becomes visible complete.
+            # The fsync closes the crash window where os.replace survives
+            # a power cut but the data blocks don't — a writer killed at
+            # any point leaves either the old entry or an invisible temp,
+            # never a torn .pkl (the crash-window regression test kills a
+            # spilling process mid-write and reloads the store).
             with open(tmp, "wb") as fh:
                 pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
             with self._lock:
                 self._stats.spill_writes += 1
-        except OSError:
+        except (OSError, pickle.PicklingError):
             # Spilling is best-effort; a full disk degrades to recompute.
-            if os.path.exists(tmp):
+            try:
                 os.remove(tmp)
+            except OSError:
+                pass
 
     def _load_spilled(self, key: str) -> Any:
         path = self._spill_path(key)
@@ -268,3 +319,134 @@ class ArtifactCache:
                 return pickle.load(fh)
         except (OSError, pickle.UnpicklingError, EOFError):
             return _MISS
+
+
+# -- the two-tier stack --------------------------------------------------
+
+
+@dataclass
+class StackStats:
+    """Per-tier snapshot of a :class:`CacheStack`.
+
+    ``memory`` is this process's front tier; ``disk`` combines the
+    store-wide occupancy (entries/bytes, accurate machine-wide) with the
+    calling process's own hit/miss counters.
+    """
+
+    memory: CacheStats
+    disk: Any = None  # DiskCacheStats | None
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of stack lookups served by either tier.
+
+        Every lookup consults the memory tier first, so memory lookups
+        count the total; a memory miss answered by the disk tier is
+        still one served lookup.
+        """
+        lookups = self.memory.hits + self.memory.misses
+        if not lookups:
+            return 0.0
+        served = self.memory.hits + (self.disk.hits if self.disk else 0)
+        return min(1.0, served / lookups)
+
+    def as_dict(self) -> dict:
+        return {
+            "hit_rate": self.hit_rate,
+            "memory": self.memory.as_dict(),
+            "disk": self.disk.as_dict() if self.disk else None,
+        }
+
+
+class CacheStack:
+    """Two-tier cache: in-memory LRU front, shared disk store behind.
+
+    Lookups hit the memory tier first; a memory miss falls through to
+    the disk store and a disk hit is promoted back into memory.  Writes
+    go to both tiers (write-through), so every process sharing the disk
+    root benefits from any worker's compute.  ``get_or_compute``
+    delegates the miss path to the disk store's cross-process
+    single-flight lock, which is what makes N process workers compute
+    each artifact exactly once machine-wide.
+
+    The stack is picklable when its disk tier is (``process_safe``):
+    a process worker receives a *fresh, empty* memory tier plus the
+    shared on-disk store — in-memory entries never cross the process
+    boundary, the disk does the sharing.
+    """
+
+    def __init__(self, memory: ArtifactCache | None = None, disk=None) -> None:
+        self.memory = memory if memory is not None else ArtifactCache()
+        self.disk = disk
+
+    @property
+    def process_safe(self) -> bool:
+        """Whether pickling into a process worker preserves sharing."""
+        return self.disk is not None and getattr(self.disk, "process_safe", False)
+
+    def __getstate__(self) -> dict:
+        return {
+            "memory_max_bytes": self.memory.max_bytes,
+            "memory_spill_dir": self.memory.spill_dir,
+            "disk": self.disk,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.memory = ArtifactCache(
+            max_bytes=state["memory_max_bytes"], spill_dir=state["memory_spill_dir"]
+        )
+        self.disk = state["disk"]
+
+    # -- CacheBackend ----------------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        value = self.memory.get(key, _MISS)
+        if value is not _MISS:
+            return value
+        if self.disk is not None:
+            value = self.disk.get(key, _MISS)
+            if value is not _MISS:
+                self.memory.put(key, value)
+                return value
+        return default
+
+    def put(self, key: str, value: Any, nbytes: int | None = None) -> None:
+        self.memory.put(key, value, nbytes=nbytes)
+        if self.disk is not None:
+            self.disk.put(key, value)
+
+    def contains(self, key: str) -> bool:
+        if self.memory.contains(key):
+            return True
+        return self.disk is not None and self.disk.contains(key)
+
+    def get_or_compute(
+        self, key: str, compute: Callable[[], Any], nbytes: int | None = None
+    ) -> Any:
+        value = self.memory.get(key, _MISS)
+        if value is not _MISS:
+            return value
+        if self.disk is None:
+            # Memory stats already counted the miss; insert directly to
+            # avoid double-counting a second memory lookup.
+            value = compute()
+            self.memory.put(key, value, nbytes=nbytes)
+            return value
+        value = self.disk.get_or_compute(key, compute)
+        self.memory.put(key, value, nbytes=nbytes)
+        return value
+
+    def clear(self) -> None:
+        self.memory.clear()
+        if self.disk is not None:
+            self.disk.clear()
+
+    @property
+    def stats(self) -> StackStats:
+        return StackStats(
+            memory=self.memory.stats,
+            disk=self.disk.stats if self.disk is not None else None,
+        )
+
+    def __len__(self) -> int:
+        return len(self.memory)

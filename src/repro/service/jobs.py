@@ -199,4 +199,10 @@ class JobRecord:
             out["total_error"] = int(result.total_error)
             out["sweeps"] = result.sweeps
             out["timings"] = result.timings.as_dict()
+            meta = result.meta if isinstance(result.meta, dict) else {}
+            if isinstance(meta.get("cache"), dict):
+                # Per-artifact hit/miss outcomes; recorded in the worker
+                # process, so a report over process executors still shows
+                # which steps were served from the shared disk store.
+                out["cache"] = dict(meta["cache"])
         return out

@@ -1,0 +1,121 @@
+"""Cross-process file locks for the shared disk cache.
+
+:class:`FileLock` is an advisory, exclusive lock on a lock file —
+``fcntl.flock`` on POSIX, ``msvcrt.locking`` on Windows — with a polling
+timeout.  Every ``acquire`` opens its own file descriptor, so two locks
+on the same path exclude each other both across processes and across
+threads of one process (flock locks attach to the open file description,
+not the path).
+
+The disk cache uses two kinds of lock files: one guarding the store
+index (size accounting and eviction) and one per cache key making
+``get_or_compute`` single-flight across processes.  Plain payload reads
+never take a lock.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+__all__ = ["FileLock", "LockTimeout"]
+
+try:  # POSIX
+    import fcntl
+
+    def _lock_fd(fd: int) -> None:
+        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+
+    def _unlock_fd(fd: int) -> None:
+        fcntl.flock(fd, fcntl.LOCK_UN)
+
+except ImportError:  # pragma: no cover - Windows
+    import msvcrt
+
+    def _lock_fd(fd: int) -> None:
+        msvcrt.locking(fd, msvcrt.LK_NBLCK, 1)
+
+    def _unlock_fd(fd: int) -> None:
+        os.lseek(fd, 0, os.SEEK_SET)
+        msvcrt.locking(fd, msvcrt.LK_UNLCK, 1)
+
+
+class LockTimeout(TimeoutError):
+    """Raised when a :class:`FileLock` cannot be acquired in time."""
+
+
+class FileLock:
+    """Advisory exclusive lock on ``path`` with a polling timeout.
+
+    Usable as a context manager::
+
+        with FileLock("/tmp/store/index.lock", timeout=30.0):
+            ...  # exclusive across processes and threads
+
+    One instance guards one acquisition at a time; re-acquiring a held
+    instance raises ``RuntimeError`` (the lock is not reentrant).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        timeout: float = 30.0,
+        poll_interval: float = 0.005,
+    ) -> None:
+        if timeout < 0:
+            raise ValueError(f"timeout must be >= 0, got {timeout}")
+        self.path = os.fspath(path)
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        self._fd: int | None = None
+        self._owner_guard = threading.Lock()
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def acquire(self, timeout: float | None = None) -> None:
+        """Block (polling) until the lock is held; raise :class:`LockTimeout`."""
+        budget = self.timeout if timeout is None else timeout
+        with self._owner_guard:
+            if self._fd is not None:
+                raise RuntimeError(f"lock {self.path!r} is not reentrant")
+            os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+            fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+            deadline = time.monotonic() + budget
+            try:
+                while True:
+                    try:
+                        _lock_fd(fd)
+                        self._fd = fd
+                        return
+                    except OSError:
+                        if time.monotonic() >= deadline:
+                            raise LockTimeout(
+                                f"could not acquire {self.path!r} "
+                                f"within {budget:.3f}s"
+                            ) from None
+                        time.sleep(self.poll_interval)
+            except BaseException:
+                if self._fd is None:
+                    os.close(fd)
+                raise
+
+    def release(self) -> None:
+        """Release a held lock (no-op ordering errors raise)."""
+        with self._owner_guard:
+            if self._fd is None:
+                raise RuntimeError(f"lock {self.path!r} is not held")
+            try:
+                _unlock_fd(self._fd)
+            finally:
+                os.close(self._fd)
+                self._fd = None
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()

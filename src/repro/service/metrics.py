@@ -205,6 +205,19 @@ class MetricsRegistry:
         for phase, seconds in timings.as_dict().items():
             self.histogram(f"{prefix}_{phase}_seconds").observe(seconds)
 
+    def merge_counts(self, values: Mapping[str, float]) -> None:
+        """Bulk-increment counters from a ``{name: delta}`` mapping.
+
+        This is how out-of-registry tallies get folded in: the worker
+        pool merges per-job cache outcomes that travelled back from
+        process workers, and the batch CLI merges a cache tier's final
+        stats snapshot.  Zero deltas are skipped so merging a snapshot
+        never creates empty counters.
+        """
+        for name, delta in values.items():
+            if delta:
+                self.counter(name).inc(float(delta))
+
     def as_dict(self, extra: Mapping | None = None) -> dict:
         """Stable JSON schema: counters, gauges, histograms (+ extra blocks)."""
         with self._lock:

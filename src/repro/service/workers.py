@@ -60,10 +60,13 @@ def resolve_image(spec: str, size: int):
 class MosaicJobRunner:
     """Default job payload: resolve images, run the pipeline, save output.
 
-    Picklable for process executors — the artifact cache is dropped from
-    the pickled state because an in-memory cache cannot be shared across
-    process boundaries (each worker process would warm its own; use the
-    thread executor to share one cache across workers).
+    Picklable for process executors.  A ``process_safe`` cache backend —
+    a :class:`~repro.service.cache.CacheStack` over a
+    :class:`~repro.service.diskcache.DiskCacheStore` — is shipped along:
+    the worker process gets a fresh memory tier plus the shared on-disk
+    store, so Step-1/Step-2 artifacts are still computed once
+    machine-wide.  A purely in-memory cache cannot cross the process
+    boundary and is dropped instead (each process would warm its own).
     """
 
     def __init__(self, cache=None, outdir: str | None = None) -> None:
@@ -71,7 +74,8 @@ class MosaicJobRunner:
         self.outdir = outdir
 
     def __getstate__(self) -> dict:
-        return {"cache": None, "outdir": self.outdir}
+        cache = self.cache if getattr(self.cache, "process_safe", False) else None
+        return {"cache": cache, "outdir": self.outdir}
 
     def __call__(self, spec: JobSpec):
         from repro.imaging import save_image
@@ -300,6 +304,22 @@ class WorkerPool:
             for phase, seconds in timings.as_dict().items():
                 self.timings.add(phase, seconds)
             self.metrics.record_timings(timings, prefix="phase")
+        # Per-artifact cache outcomes travel in the result meta, so they
+        # survive the process boundary — the pool's registry sees hits
+        # that happened inside process workers, which the cache object's
+        # own (per-process) counters cannot.
+        meta = getattr(result, "meta", None)
+        if isinstance(meta, dict) and isinstance(meta.get("cache"), dict):
+            outcomes = {"hit": 0, "miss": 0}
+            for outcome in meta["cache"].values():
+                if outcome in outcomes:
+                    outcomes[outcome] += 1
+            self.metrics.merge_counts(
+                {
+                    "cache_artifact_hits": outcomes["hit"],
+                    "cache_artifact_misses": outcomes["miss"],
+                }
+            )
 
     def _run_attempt(self, spec: JobSpec) -> Any:
         timeout = spec.timeout if spec.timeout is not None else self.default_timeout

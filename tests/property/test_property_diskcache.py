@@ -1,0 +1,153 @@
+"""Property-based tests for cache keys and disk-store payloads.
+
+Two families of invariants:
+
+* **round-trips** — any tile-grid/error-matrix-shaped payload (arbitrary
+  dtype, shape, values, including NaNs and negative zeros) survives the
+  npz encode/decode and a full disk-store put/get **bit-exactly**;
+* **key stability** — artifact keys are pure functions of their inputs,
+  and :func:`~repro.service.cache.config_fingerprint` is invariant to
+  the insertion order of a :class:`~repro.mosaic.config.MosaicConfig`
+  mapping (dicts with the same items always fingerprint identically).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import asdict
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays, from_dtype
+
+from repro.mosaic.config import MosaicConfig
+from repro.service.cache import (
+    config_fingerprint,
+    error_matrix_key,
+    tile_grid_key,
+)
+from repro.service.diskcache import DiskCacheStore, decode_payload, encode_payload
+
+# Dtypes the pipeline plausibly caches: every integer width, both float
+# precisions used by the cost metrics, plus bools and complex for safety.
+DTYPES = st.sampled_from(
+    [
+        np.uint8,
+        np.int8,
+        np.uint16,
+        np.int16,
+        np.int32,
+        np.int64,
+        np.float16,
+        np.float32,
+        np.float64,
+        np.complex64,
+        np.bool_,
+    ]
+)
+
+SHAPES = st.lists(st.integers(0, 6), min_size=0, max_size=3).map(tuple)
+
+
+@st.composite
+def payload_arrays(draw):
+    dtype = np.dtype(draw(DTYPES))
+    shape = draw(SHAPES)
+    return draw(arrays(dtype=dtype, shape=shape, elements=from_dtype(dtype)))
+
+
+def _bit_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Bit-exact equality: dtype, shape and raw bytes (NaN-safe)."""
+    return a.dtype == b.dtype and a.shape == b.shape and a.tobytes() == b.tobytes()
+
+
+class TestPayloadRoundTrip:
+    @given(payload_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_codec_round_trips_arrays_bit_exact(self, arr):
+        data, layout = encode_payload(arr)
+        assert _bit_equal(decode_payload(data, layout), arr)
+
+    @given(payload_arrays(), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_codec_round_trips_matrix_tuples(self, matrix, with_codes):
+        codes = np.zeros(matrix.shape, dtype=np.intp) if with_codes else None
+        data, layout = encode_payload((matrix, codes))
+        out_matrix, out_codes = decode_payload(data, layout)
+        assert _bit_equal(out_matrix, matrix)
+        if with_codes:
+            assert _bit_equal(out_codes, codes)
+        else:
+            assert out_codes is None
+
+    @given(payload_arrays(), st.integers(0, 2**32 - 1))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_store_round_trips_through_disk(self, arr, key_salt):
+        with tempfile.TemporaryDirectory() as root:
+            store = DiskCacheStore(root)
+            key = f"tiles/prop{key_salt:08x}/t8"
+            store.put(key, arr)
+            assert _bit_equal(store.get(key), arr)
+
+
+class TestKeyStability:
+    @given(st.text(min_size=1, max_size=32), st.integers(1, 128))
+    @settings(max_examples=60)
+    def test_tile_grid_key_is_a_pure_function(self, fingerprint, tile_size):
+        assert tile_grid_key(fingerprint, tile_size) == tile_grid_key(
+            fingerprint, tile_size
+        )
+
+    @given(
+        st.text(min_size=1, max_size=16),
+        st.text(min_size=1, max_size=16),
+        st.integers(1, 64),
+        st.sampled_from(["sad", "ssd", "mse"]),
+        st.booleans(),
+    )
+    @settings(max_examples=60)
+    def test_error_matrix_key_separates_inputs(
+        self, fp_in, fp_tgt, tile, metric, transforms
+    ):
+        key = error_matrix_key(fp_in, fp_tgt, tile, metric, transforms)
+        flipped = error_matrix_key(fp_in, fp_tgt, tile, metric, not transforms)
+        assert key != flipped
+        assert key == error_matrix_key(fp_in, fp_tgt, tile, metric, transforms)
+
+
+class TestConfigFingerprint:
+    @given(st.permutations(sorted(asdict(MosaicConfig()).items())))
+    @settings(max_examples=60)
+    def test_invariant_to_mosaic_config_dict_ordering(self, items):
+        shuffled = dict(items)
+        canonical = asdict(MosaicConfig())
+        assert shuffled == canonical  # same items, possibly different order
+        assert config_fingerprint(shuffled) == config_fingerprint(canonical)
+
+    @given(st.permutations(sorted(asdict(MosaicConfig()).items())))
+    @settings(max_examples=30)
+    def test_dataclass_and_mapping_agree(self, items):
+        assert config_fingerprint(dict(items)) == config_fingerprint(
+            MosaicConfig()
+        )
+
+    @given(
+        st.integers(1, 64),
+        st.sampled_from(["sad", "ssd"]),
+        st.sampled_from(["parallel", "approximation", "optimization"]),
+    )
+    @settings(max_examples=40)
+    def test_sensitive_to_values(self, tile_size, metric, algorithm):
+        base = MosaicConfig()
+        varied = MosaicConfig(
+            tile_size=tile_size, metric=metric, algorithm=algorithm
+        )
+        if asdict(varied) != asdict(base):
+            assert config_fingerprint(varied) != config_fingerprint(base)
+        else:
+            assert config_fingerprint(varied) == config_fingerprint(base)

@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
+import os
+import pickle
+import signal
+import subprocess
+import sys
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -153,6 +159,50 @@ class TestSpill:
         matrix, codes = cache.get("pair")
         assert (matrix == np.arange(64)).all()
         assert codes is None
+
+
+class TestSpillCrashWindow:
+    """Spill writes are atomic: killing a spilling process mid-write must
+    leave a store where every visible ``.pkl`` unpickles cleanly."""
+
+    def test_sigkill_mid_spill_leaves_loadable_store(self, tmp_path):
+        spill_dir = tmp_path / "spill"
+        script = f"""
+import numpy as np, itertools
+from repro.service.cache import ArtifactCache
+# Budget of ~1 entry: every second put evicts + spills the previous one.
+cache = ArtifactCache(max_bytes=3 << 20, spill_dir={os.fspath(spill_dir)!r})
+payload = np.arange(262144, dtype=np.float64)  # ~2 MiB
+for i in itertools.count():
+    cache.put(f"k{{i % 8}}", payload + (i % 8))
+"""
+        env = dict(os.environ)
+        src = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        )
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen([sys.executable, "-c", script], env=env)
+        try:
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if spill_dir.exists() and any(spill_dir.glob("*.pkl")):
+                    break
+                time.sleep(0.02)
+            time.sleep(0.15)  # let a spill be in flight
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        visible = sorted(spill_dir.glob("*.pkl"))
+        assert visible  # the child did spill before dying
+        for path in visible:  # atomicity: no torn pickle is ever visible
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+            assert value.shape == (262144,)
+        # And a fresh cache over the same spill dir serves them as hits.
+        survivor = ArtifactCache(max_bytes=64 << 20, spill_dir=spill_dir)
+        reloaded = [survivor.get(f"k{i}") for i in range(8)]
+        assert any(value is not None for value in reloaded)
+        assert survivor.stats.spill_reads >= 1
 
 
 class TestConcurrency:

@@ -1,0 +1,146 @@
+"""Tests for the two-tier CacheStack (memory front, disk store behind)."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+
+from repro.service import MetricsRegistry
+from repro.service.cache import ArtifactCache, CacheBackend, CacheStack
+from repro.service.diskcache import DiskCacheStore
+
+
+def _stack(tmp_path, mem_bytes=1 << 20, disk_bytes=1 << 30, metrics=None):
+    return CacheStack(
+        memory=ArtifactCache(max_bytes=mem_bytes),
+        disk=DiskCacheStore(tmp_path / "cache", max_bytes=disk_bytes, metrics=metrics),
+    )
+
+
+class TestProtocol:
+    def test_backends_satisfy_cache_backend(self, tmp_path):
+        assert isinstance(ArtifactCache(), CacheBackend)
+        assert isinstance(DiskCacheStore(tmp_path), CacheBackend)
+        assert isinstance(CacheStack(), CacheBackend)
+
+    def test_memory_only_stack_not_process_safe(self):
+        stack = CacheStack()
+        assert not stack.process_safe
+
+    def test_disk_backed_stack_is_process_safe(self, tmp_path):
+        assert _stack(tmp_path).process_safe
+
+
+class TestTwoTierFlow:
+    def test_write_through_lands_in_both_tiers(self, tmp_path):
+        stack = _stack(tmp_path)
+        stack.put("tiles/a/t8", np.arange(8))
+        assert stack.memory.contains("tiles/a/t8")
+        assert stack.disk.contains("tiles/a/t8")
+
+    def test_disk_hit_promotes_into_memory(self, tmp_path):
+        stack = _stack(tmp_path)
+        stack.disk.put("tiles/a/t8", np.arange(8))
+        assert np.array_equal(stack.get("tiles/a/t8"), np.arange(8))
+        assert stack.memory.contains("tiles/a/t8")
+        # Second lookup is served by memory: disk hit count stays at 1.
+        stack.get("tiles/a/t8")
+        assert stack.stats.disk.hits == 1
+        assert stack.stats.memory.hits == 1
+
+    def test_get_or_compute_computes_once_across_tiers(self, tmp_path):
+        stack = _stack(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return np.ones(4)
+
+        stack.get_or_compute("k", compute)
+        stack.get_or_compute("k", compute)  # memory hit
+        stack.memory.clear()
+        stack.get_or_compute("k", compute)  # disk hit, promoted back
+        assert len(calls) == 1
+
+    def test_memory_only_get_or_compute(self):
+        stack = CacheStack()
+        value = stack.get_or_compute("k", lambda: np.full(3, 9))
+        assert np.array_equal(value, np.full(3, 9))
+        stats = stack.stats
+        assert stats.disk is None
+        assert stats.memory.misses == 1
+
+    def test_miss_returns_default(self, tmp_path):
+        stack = _stack(tmp_path)
+        assert stack.get("nope", default="sentinel") == "sentinel"
+
+    def test_contains_checks_both_tiers(self, tmp_path):
+        stack = _stack(tmp_path)
+        stack.disk.put("only/disk", np.zeros(2))
+        stack.memory.put("only/mem", np.zeros(2))
+        assert stack.contains("only/disk")
+        assert stack.contains("only/mem")
+        assert not stack.contains("neither")
+
+    def test_clear_empties_both_tiers(self, tmp_path):
+        stack = _stack(tmp_path)
+        stack.put("k", np.zeros(2))
+        stack.clear()
+        assert len(stack) == 0
+        assert stack.get("k") is None
+
+
+class TestStats:
+    def test_combined_hit_rate_counts_disk_serves(self, tmp_path):
+        stack = _stack(tmp_path)
+        stack.disk.put("k", np.zeros(2))
+        stack.get("k")  # memory miss, disk hit -> still a served lookup
+        assert stack.stats.hit_rate == 1.0
+
+    def test_hit_rate_zero_without_lookups(self, tmp_path):
+        assert _stack(tmp_path).stats.hit_rate == 0.0
+
+    def test_as_dict_shape(self, tmp_path):
+        body = _stack(tmp_path).stats.as_dict()
+        assert set(body) == {"hit_rate", "memory", "disk"}
+        assert "corruptions" in body["disk"]
+
+    def test_disk_tier_ticks_metrics_registry(self, tmp_path):
+        metrics = MetricsRegistry()
+        stack = _stack(tmp_path, metrics=metrics)
+        stack.put("k", np.zeros(2))
+        stack.memory.clear()
+        stack.get("k")
+        stack.get("missing")
+        counters = metrics.as_dict()["counters"]
+        assert counters["cache_disk_writes_total"] == 1
+        assert counters["cache_disk_hits_total"] == 1
+        assert counters["cache_disk_misses_total"] == 1
+
+
+class TestPickling:
+    def test_pickled_stack_shares_disk_not_memory(self, tmp_path):
+        stack = _stack(tmp_path, mem_bytes=4 << 20)
+        stack.put("tiles/a/t8", np.arange(16))
+        clone = pickle.loads(pickle.dumps(stack))
+        assert clone.memory.max_bytes == 4 << 20
+        assert len(clone.memory) == 0  # fresh memory tier
+        assert np.array_equal(clone.get("tiles/a/t8"), np.arange(16))  # via disk
+        assert clone.process_safe
+
+    def test_runner_keeps_process_safe_cache(self, tmp_path):
+        from repro.service import MosaicJobRunner
+
+        stack = _stack(tmp_path)
+        runner = pickle.loads(pickle.dumps(MosaicJobRunner(cache=stack)))
+        assert runner.cache is not None
+        assert runner.cache.process_safe
+
+    def test_runner_drops_memory_only_cache(self):
+        from repro.service import MosaicJobRunner
+
+        runner = pickle.loads(
+            pickle.dumps(MosaicJobRunner(cache=ArtifactCache()))
+        )
+        assert runner.cache is None

@@ -1,0 +1,224 @@
+"""Tests for the shared disk-first artifact store."""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.service.diskcache import (
+    DiskCacheStore,
+    decode_payload,
+    encode_payload,
+)
+
+SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+
+def _child_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class TestPayloadCodec:
+    def test_array_round_trip(self, rng):
+        arr = rng.integers(0, 256, size=(7, 5)).astype(np.uint8)
+        data, layout = encode_payload(arr)
+        out = decode_payload(data, layout)
+        assert out.dtype == arr.dtype and out.shape == arr.shape
+        assert out.tobytes() == arr.tobytes()
+
+    def test_tuple_with_none_round_trip(self, rng):
+        matrix = rng.random((4, 4))
+        data, layout = encode_payload((matrix, None))
+        out = decode_payload(data, layout)
+        assert isinstance(out, tuple) and len(out) == 2
+        assert np.array_equal(out[0], matrix) and out[1] is None
+
+    def test_list_round_trip(self):
+        data, layout = encode_payload([np.arange(3), np.ones(2)])
+        out = decode_payload(data, layout)
+        assert isinstance(out, list) and len(out) == 2
+
+    def test_pickle_fallback_for_arbitrary_payloads(self):
+        payload = {"nested": [1, 2, 3], "name": "x"}
+        data, layout = encode_payload(payload)
+        assert layout["kind"] == "pickle"
+        assert decode_payload(data, layout) == payload
+
+    def test_unknown_layout_rejected(self):
+        data, _ = encode_payload(np.arange(3))
+        with pytest.raises(ValueError, match="layout"):
+            decode_payload(data, {"kind": "wat"})
+
+
+class TestStoreBasics:
+    def test_miss_then_hit(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        assert store.get("tiles/a/t8") is None
+        store.put("tiles/a/t8", np.arange(16))
+        assert np.array_equal(store.get("tiles/a/t8"), np.arange(16))
+        stats = store.stats
+        assert stats.hits == 1 and stats.misses == 1 and stats.writes == 1
+
+    def test_sharded_content_addressed_layout(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        store.put("matrix/fpa/fpb/t8/sad", (np.ones((2, 2)), None))
+        digest = DiskCacheStore._digest("matrix/fpa/fpb/t8/sad")
+        shard = tmp_path / "store" / "matrix" / digest[:2]
+        assert (shard / f"{digest}.npz").exists()
+        sidecar = json.loads((shard / f"{digest}.json").read_text())
+        assert sidecar["key"] == "matrix/fpa/fpb/t8/sad"
+        assert sidecar["nbytes"] == (shard / f"{digest}.npz").stat().st_size
+
+    def test_weird_key_prefix_lands_in_misc(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        store.put("../../etc/passwd", np.zeros(2))
+        assert (tmp_path / "store" / "misc").is_dir()
+        assert np.array_equal(store.get("../../etc/passwd"), np.zeros(2))
+
+    def test_contains_no_stats(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        store.put("tiles/a/t8", np.zeros(4))
+        assert store.contains("tiles/a/t8")
+        assert not store.contains("tiles/b/t8")
+        stats = store.stats
+        assert stats.hits == 0 and stats.misses == 0
+
+    def test_get_or_compute_single_process(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return np.full(4, 7)
+
+        first = store.get_or_compute("tiles/x/t4", compute)
+        second = store.get_or_compute("tiles/x/t4", compute)
+        assert np.array_equal(first, second) and len(calls) == 1
+
+    def test_clear(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        store.put("tiles/a/t8", np.zeros(4))
+        store.put("tiles/b/t8", np.zeros(4))
+        store.clear()
+        assert len(store) == 0
+        assert store.get("tiles/a/t8") is None
+
+    def test_invalid_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            DiskCacheStore(tmp_path, max_bytes=0)
+
+    def test_persistence_across_instances(self, tmp_path):
+        DiskCacheStore(tmp_path).put("tiles/a/t8", np.arange(9))
+        fresh = DiskCacheStore(tmp_path)
+        assert np.array_equal(fresh.get("tiles/a/t8"), np.arange(9))
+
+    def test_pickling_preserves_configuration_only(self, tmp_path):
+        store = DiskCacheStore(tmp_path, max_bytes=12345, lock_timeout=1.5)
+        store.put("tiles/a/t8", np.zeros(3))
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.root == store.root
+        assert clone.max_bytes == 12345 and clone.lock_timeout == 1.5
+        assert clone.metrics is None and clone.stats.hits == 0
+        assert np.array_equal(clone.get("tiles/a/t8"), np.zeros(3))
+
+
+class TestEviction:
+    def test_budget_enforced_lru(self, tmp_path):
+        store = DiskCacheStore(tmp_path, max_bytes=5000)
+        for i in range(6):
+            store.put(f"tiles/k{i}/t1", np.zeros(256, dtype=np.float64))
+            time.sleep(0.01)  # distinct mtimes for deterministic LRU order
+        stats = store.stats
+        assert stats.current_bytes <= 5000
+        assert stats.evictions >= 1
+        assert not store.contains("tiles/k0/t1")  # oldest evicted first
+        assert store.contains("tiles/k5/t1")
+
+    def test_read_refreshes_recency(self, tmp_path):
+        store = DiskCacheStore(tmp_path, max_bytes=5200)
+        store.put("tiles/a/t1", np.zeros(256))
+        time.sleep(0.01)
+        store.put("tiles/b/t1", np.zeros(256))
+        time.sleep(0.01)
+        assert store.get("tiles/a/t1") is not None  # touch: a newer than b
+        time.sleep(0.01)
+        store.put("tiles/c/t1", np.zeros(256))  # evicts one entry
+        assert store.contains("tiles/a/t1")
+        assert not store.contains("tiles/b/t1")
+
+    def test_oversized_entry_admitted_alone(self, tmp_path):
+        store = DiskCacheStore(tmp_path, max_bytes=1000)
+        store.put("tiles/big/t1", np.zeros(4096))
+        assert store.contains("tiles/big/t1")
+
+    def test_index_rebuilds_after_deletion(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        store.put("tiles/a/t8", np.zeros(64))
+        os.remove(tmp_path / "index.json")
+        # A later write under the lock rebuilds accounting by scanning.
+        store.put("tiles/b/t8", np.zeros(64))
+        assert store.stats.entries == 2
+
+
+class TestCrashWindow:
+    """A writer killed mid-write must never corrupt the visible store."""
+
+    def test_simulated_torn_write_is_invisible(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        store.put("tiles/a/t8", np.arange(32))
+        digest = DiskCacheStore._digest("tiles/a/t8")
+        shard = tmp_path / "store" / "tiles" / digest[:2]
+        # A crashed writer leaves a half-written temp next to the entry.
+        (shard / f"{digest}.npz.tmp.9999.1").write_bytes(b"\x00" * 10)
+        assert np.array_equal(store.get("tiles/a/t8"), np.arange(32))
+        assert store.stats.corruptions == 0
+
+    def test_sigkill_mid_write_leaves_loadable_store(self, tmp_path):
+        """SIGKILL a child that is writing as fast as it can; the store
+        must still load: every visible entry passes its checksum and a
+        fresh reader sees only complete values or clean misses."""
+        script = f"""
+import numpy as np, itertools
+from repro.service.diskcache import DiskCacheStore
+store = DiskCacheStore({os.fspath(tmp_path)!r})
+payload = np.arange(262144, dtype=np.float64)  # ~2 MiB per entry
+for i in itertools.count():
+    store.put(f"tiles/crash{{i % 8}}/t1", payload)
+"""
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script], env=_child_env()
+        )
+        try:
+            store_dir = tmp_path / "store"
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if store_dir.exists() and any(store_dir.rglob("*.npz")):
+                    break
+                time.sleep(0.02)
+            time.sleep(0.15)  # let it get mid-write
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        expected = np.arange(262144, dtype=np.float64)
+        survivor = DiskCacheStore(tmp_path)
+        seen_value = False
+        for i in range(8):
+            value = survivor.get(f"tiles/crash{i}/t1")
+            if value is not None:
+                assert np.array_equal(value, expected)  # never torn
+                seen_value = True
+        assert seen_value  # the child did publish at least one entry
+        assert survivor.stats.corruptions == 0
+        # get_or_compute still works on every key, recomputing any gaps.
+        out = survivor.get_or_compute("tiles/crash0/t1", lambda: expected)
+        assert np.array_equal(out, expected)

@@ -1,0 +1,163 @@
+"""Fault-injection suite for the disk store's corruption handling.
+
+Every on-disk failure mode — truncation, bit-flips, zero-length files,
+garbage sidecars, vanished payloads — must be absorbed: the entry is
+quarantined, the ``cache_corruption_total`` counter ticks, and the
+caller sees a clean miss (and a recompute via ``get_or_compute``), never
+an exception.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.service import MetricsRegistry
+from repro.service.cache import ArtifactCache, CacheStack
+from repro.service.diskcache import DiskCacheStore
+
+KEY = "matrix/fpa/fpb/t8/sad"
+PAYLOAD_ARRAYS = (np.arange(256, dtype=np.float64).reshape(16, 16), None)
+
+
+def _entry_paths(root, key=KEY):
+    digest = DiskCacheStore._digest(key)
+    shard = root / "store" / DiskCacheStore._algo(key) / digest[:2]
+    return shard / f"{digest}.npz", shard / f"{digest}.json"
+
+
+@pytest.fixture()
+def seeded_store(tmp_path):
+    metrics = MetricsRegistry()
+    store = DiskCacheStore(tmp_path, metrics=metrics)
+    store.put(KEY, PAYLOAD_ARRAYS)
+    return store, tmp_path, metrics
+
+
+def _truncate_half(path):
+    size = os.path.getsize(path)
+    with open(path, "r+b") as fh:
+        fh.truncate(size // 2)
+
+
+def _bit_flip(path):
+    with open(path, "r+b") as fh:
+        data = bytearray(fh.read())
+        data[len(data) // 2] ^= 0x40
+        fh.seek(0)
+        fh.write(data)
+
+
+def _zero_length(path):
+    with open(path, "r+b") as fh:
+        fh.truncate(0)
+
+
+def _garbage_sidecar(path):
+    path.write_text("definitely { not json")
+
+
+def _missing_fields_sidecar(path):
+    path.write_text(json.dumps({"key": KEY}))
+
+
+CORRUPTIONS = {
+    "truncated_payload": ("payload", _truncate_half),
+    "bit_flipped_payload": ("payload", _bit_flip),
+    "zero_length_payload": ("payload", _zero_length),
+    "garbage_sidecar": ("sidecar", _garbage_sidecar),
+    "sidecar_missing_fields": ("sidecar", _missing_fields_sidecar),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+def test_corruption_becomes_miss_plus_quarantine(seeded_store, name):
+    store, root, metrics = seeded_store
+    target, corrupt = CORRUPTIONS[name]
+    payload_path, sidecar_path = _entry_paths(root)
+    corrupt(payload_path if target == "payload" else sidecar_path)
+
+    assert store.get(KEY) is None  # never an exception
+    assert store.stats.corruptions == 1
+    assert metrics.as_dict()["counters"]["cache_corruption_total"] == 1
+    # Both files were moved aside so the bad entry can never be re-read.
+    assert not payload_path.exists() and not sidecar_path.exists()
+    assert any((root / "quarantine").iterdir())
+
+
+@pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+def test_corruption_recomputes_through_get_or_compute(seeded_store, name):
+    store, root, metrics = seeded_store
+    target, corrupt = CORRUPTIONS[name]
+    payload_path, sidecar_path = _entry_paths(root)
+    corrupt(payload_path if target == "payload" else sidecar_path)
+
+    calls = []
+
+    def recompute():
+        calls.append(1)
+        return PAYLOAD_ARRAYS
+
+    value = store.get_or_compute(KEY, recompute)
+    assert len(calls) == 1
+    assert np.array_equal(value[0], PAYLOAD_ARRAYS[0]) and value[1] is None
+    # The recomputed entry is healthy again: next read is a verified hit.
+    again = store.get(KEY)
+    assert np.array_equal(again[0], PAYLOAD_ARRAYS[0])
+    assert store.stats.corruptions == 1  # only the original corruption
+
+
+def test_payload_vanished_behind_sidecar(seeded_store):
+    store, root, metrics = seeded_store
+    payload_path, sidecar_path = _entry_paths(root)
+    os.remove(payload_path)
+    assert store.get(KEY) is None
+    assert store.stats.corruptions == 1
+    assert not sidecar_path.exists()  # orphan sidecar quarantined too
+
+
+def test_quarantined_entry_leaves_index(seeded_store):
+    store, root, _metrics = seeded_store
+    payload_path, _ = _entry_paths(root)
+    _bit_flip(payload_path)
+    store.get(KEY)
+    assert store.stats.entries == 0  # index pruned under its lock
+
+
+def test_repeated_corruption_counts_each_event(seeded_store):
+    store, root, metrics = seeded_store
+    for expected in (1, 2):
+        payload_path, _ = _entry_paths(root)
+        _truncate_half(payload_path)
+        assert store.get(KEY) is None
+        assert store.stats.corruptions == expected
+        store.put(KEY, PAYLOAD_ARRAYS)
+    assert metrics.as_dict()["counters"]["cache_corruption_total"] == 2
+
+
+def test_stack_absorbs_disk_corruption(tmp_path):
+    """Through the two-tier stack the caller never sees disk faults."""
+    metrics = MetricsRegistry()
+    stack = CacheStack(
+        memory=ArtifactCache(max_bytes=1 << 20),
+        disk=DiskCacheStore(tmp_path, metrics=metrics),
+    )
+    stack.put(KEY, PAYLOAD_ARRAYS)
+    stack.memory.clear()  # force the next lookup down to disk
+    payload_path, _ = _entry_paths(tmp_path)
+    _bit_flip(payload_path)
+
+    calls = []
+
+    def recompute():
+        calls.append(1)
+        return PAYLOAD_ARRAYS
+
+    value = stack.get_or_compute(KEY, recompute)
+    assert len(calls) == 1
+    assert np.array_equal(value[0], PAYLOAD_ARRAYS[0])
+    assert metrics.as_dict()["counters"]["cache_corruption_total"] == 1
+    assert stack.stats.disk.corruptions == 1

@@ -1,0 +1,175 @@
+"""Multi-process stress tests for the shared disk store.
+
+Four *process* workers hammer one store concurrently.  The suite asserts
+the three contracts that make the store safe to share:
+
+* **exactly-once compute** — racing ``get_or_compute`` calls on the same
+  key run the compute callable once machine-wide (proved by a
+  filesystem compute-counter appended to on every compute);
+* **no torn reads** — every value a worker ever observes is bit-exact
+  for its key, even while other workers write and evict;
+* **budget** — after concurrent eviction the store's payload bytes
+  respect ``max_bytes``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.service.diskcache import DiskCacheStore
+
+SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+WORKERS = 4
+
+# Body shared by both stress scenarios.  A worker waits on the go-file
+# barrier (so all four hammer at once), then loops its key schedule
+# through get_or_compute, verifying every returned value bit-exactly and
+# appending one line to the key's compute-counter file per compute call
+# (O_APPEND single-line writes are atomic on POSIX).  It writes
+# ok-<id>.txt only if every check passed.
+_WORKER_BODY = """
+import hashlib, os, sys, time
+import numpy as np
+from repro.service.diskcache import DiskCacheStore
+
+root, counters, worker_id = sys.argv[1], sys.argv[2], int(sys.argv[3])
+budget, slow = int(sys.argv[4]), sys.argv[5] == "slow"
+keys = sys.argv[6].split(",")
+
+def expected(key):
+    seed = int(hashlib.sha256(key.encode()).hexdigest()[:8], 16)
+    return np.random.default_rng(seed).integers(0, 256, size=2048).astype(np.uint8)
+
+def make_compute(key):
+    def compute():
+        if slow:
+            time.sleep(0.05)  # widen the race window
+        with open(os.path.join(counters, key.replace("/", "_") + ".txt"),
+                  "a") as fh:
+            fh.write(f"{os.getpid()}\\n")
+        return expected(key)
+    return compute
+
+store = DiskCacheStore(root, max_bytes=budget)
+go = os.path.join(root, "go")
+deadline = time.monotonic() + 30
+while not os.path.exists(go):
+    if time.monotonic() > deadline:
+        sys.exit(3)
+    time.sleep(0.002)
+rng = np.random.default_rng(worker_id)
+for _round in range(4):
+    for key in rng.permutation(keys):
+        value = store.get_or_compute(str(key), make_compute(str(key)))
+        want = expected(str(key))
+        if value.tobytes() != want.tobytes():  # torn or wrong read
+            sys.exit(4)
+with open(os.path.join(root, f"ok-{worker_id}.txt"), "w") as fh:
+    fh.write("ok")
+"""
+
+
+def _run_workers(root, counters, keys_per_worker, budget, slow):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    procs = [
+        subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                _WORKER_BODY,
+                os.fspath(root),
+                os.fspath(counters),
+                str(worker_id),
+                str(budget),
+                "slow" if slow else "fast",
+                ",".join(keys_per_worker[worker_id]),
+            ],
+            env=env,
+        )
+        for worker_id in range(WORKERS)
+    ]
+    open(os.path.join(root, "go"), "w").close()  # barrier: all start together
+    try:
+        for proc in procs:
+            proc.wait(timeout=120)
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+    return [proc.returncode for proc in procs]
+
+
+@pytest.fixture()
+def stress_dirs(tmp_path):
+    root = tmp_path / "cache"
+    counters = tmp_path / "counters"
+    root.mkdir()
+    counters.mkdir()
+    return root, counters
+
+
+def test_exactly_once_compute_across_processes(stress_dirs):
+    """Identical + distinct keys, generous budget: one compute per key."""
+    root, counters = stress_dirs
+    shared = [f"matrix/shared{i}/t8/sad" for i in range(4)]
+    keys_per_worker = [
+        shared + [f"tiles/own-{worker_id}-{i}/t8" for i in range(3)]
+        for worker_id in range(WORKERS)
+    ]
+    codes = _run_workers(
+        root, counters, keys_per_worker, budget=1 << 30, slow=True
+    )
+    assert codes == [0] * WORKERS, codes
+    every_key = set(shared) | {
+        key for keys in keys_per_worker for key in keys
+    }
+    for key in every_key:
+        counter = counters / (key.replace("/", "_") + ".txt")
+        lines = counter.read_text().splitlines()
+        assert len(lines) == 1, (
+            f"{key} computed {len(lines)} times (by pids {lines})"
+        )
+
+
+def test_byte_budget_and_no_torn_reads_under_eviction(stress_dirs):
+    """A budget far below the working set forces concurrent eviction;
+    values stay bit-exact and the final footprint respects the budget."""
+    root, counters = stress_dirs
+    # ~2 KiB payloads, 24 distinct keys (~50 KiB working set), 16 KiB cap.
+    budget = 16 << 10
+    keys_per_worker = [
+        [f"tiles/evict-{worker_id}-{i}/t8" for i in range(4)]
+        + [f"matrix/churn{i}/t8/sad" for i in range(2)]
+        for worker_id in range(WORKERS)
+    ]
+    codes = _run_workers(
+        root, counters, keys_per_worker, budget=budget, slow=False
+    )
+    assert codes == [0] * WORKERS, codes
+    store = DiskCacheStore(root, max_bytes=budget)
+    stats = store.stats
+    assert stats.current_bytes <= budget
+    payload_bytes = sum(
+        path.stat().st_size for path in (root / "store").rglob("*.npz")
+    )
+    assert payload_bytes <= budget
+    # Surviving entries still round-trip bit-exactly after the churn.
+    survivors = 0
+    for keys in keys_per_worker:
+        for key in keys:
+            value = store.get(key)
+            if value is not None:
+                seed = int(hashlib.sha256(key.encode()).hexdigest()[:8], 16)
+                want = np.random.default_rng(seed).integers(
+                    0, 256, size=2048
+                ).astype(np.uint8)
+                assert value.tobytes() == want.tobytes()
+                survivors += 1
+    assert survivors >= 1

@@ -1,0 +1,107 @@
+"""Tests for the cross-process file lock."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.service.locks import FileLock, LockTimeout
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _child_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class TestBasics:
+    def test_context_manager_acquires_and_releases(self, tmp_path):
+        lock = FileLock(tmp_path / "a.lock")
+        with lock:
+            assert lock.held
+        assert not lock.held
+
+    def test_creates_parent_directory(self, tmp_path):
+        with FileLock(tmp_path / "deep" / "dir" / "a.lock"):
+            assert (tmp_path / "deep" / "dir" / "a.lock").exists()
+
+    def test_not_reentrant(self, tmp_path):
+        lock = FileLock(tmp_path / "a.lock")
+        with lock:
+            with pytest.raises(RuntimeError, match="not reentrant"):
+                lock.acquire()
+
+    def test_release_without_acquire_raises(self, tmp_path):
+        with pytest.raises(RuntimeError, match="not held"):
+            FileLock(tmp_path / "a.lock").release()
+
+    def test_negative_timeout_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="timeout"):
+            FileLock(tmp_path / "a.lock", timeout=-1)
+
+
+class TestExclusion:
+    def test_second_instance_times_out_while_held(self, tmp_path):
+        path = tmp_path / "a.lock"
+        with FileLock(path):
+            contender = FileLock(path, timeout=0.1, poll_interval=0.01)
+            with pytest.raises(LockTimeout):
+                contender.acquire()
+
+    def test_acquire_succeeds_after_release(self, tmp_path):
+        path = tmp_path / "a.lock"
+        first = FileLock(path)
+        first.acquire()
+        first.release()
+        with FileLock(path, timeout=0.5):
+            pass
+
+    def test_excludes_across_threads(self, tmp_path):
+        """Two FileLock instances on one path exclude across threads."""
+        path = tmp_path / "a.lock"
+        active = []
+        overlaps = []
+
+        def worker() -> None:
+            with FileLock(path, timeout=10.0):
+                active.append(1)
+                if len(active) > 1:
+                    overlaps.append(1)
+                time.sleep(0.02)
+                active.pop()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not overlaps
+
+    def test_excludes_across_processes(self, tmp_path):
+        """A child process cannot acquire a lock the parent holds."""
+        path = tmp_path / "a.lock"
+        script = (
+            "import sys\n"
+            "from repro.service.locks import FileLock, LockTimeout\n"
+            "try:\n"
+            f"    FileLock({os.fspath(path)!r}, timeout=0.3).acquire()\n"
+            "except LockTimeout:\n"
+            "    sys.exit(42)\n"
+            "sys.exit(0)\n"
+        )
+        with FileLock(path):
+            proc = subprocess.run(
+                [sys.executable, "-c", script], env=_child_env(), timeout=30
+            )
+        assert proc.returncode == 42  # blocked while the parent held it
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=_child_env(), timeout=30
+        )
+        assert proc.returncode == 0  # free after release

@@ -254,6 +254,75 @@ class TestProcessExecutor:
         assert clone.outdir == "/tmp/x"
 
 
+class TestProcessSharedDiskCache:
+    """Process workers share artifacts through one on-disk store."""
+
+    @staticmethod
+    def _pool(stack):
+        return WorkerPool(
+            workers=4,
+            kind="process",
+            runner=MosaicJobRunner(cache=stack),
+            cache=stack,
+            metrics=MetricsRegistry(),
+            seed=0,
+        )
+
+    def test_second_batch_hits_disk_across_processes(self, tmp_path):
+        from repro.service.cache import CacheStack
+        from repro.service.diskcache import DiskCacheStore
+
+        specs = [
+            spec(f"j{i}", input=name)
+            for i, name in enumerate(["portrait", "peppers", "barbara"])
+        ]
+
+        def run_batch():
+            # A fresh stack per batch: only the on-disk store persists,
+            # so any warm-batch hit must have come through the disk.
+            stack = CacheStack(
+                memory=ArtifactCache(),
+                disk=DiskCacheStore(tmp_path / "cache"),
+            )
+            with self._pool(stack) as pool:
+                records = pool.run(specs)
+            assert all(r.state is JobState.DONE for r in records)
+            return records
+
+        run_batch()
+        warm = run_batch()
+        for record in warm:
+            assert record.summary()["cache"] == {
+                "step1_input": "hit",
+                "step1_target": "hit",
+                "step2_matrix": "hit",
+            }
+
+    def test_pool_folds_worker_cache_outcomes_into_metrics(self, tmp_path):
+        from repro.service.cache import CacheStack
+        from repro.service.diskcache import DiskCacheStore
+
+        stack = CacheStack(disk=DiskCacheStore(tmp_path / "cache"))
+        metrics = MetricsRegistry()
+        pool = WorkerPool(
+            workers=2,
+            kind="process",
+            runner=MosaicJobRunner(cache=stack),
+            cache=stack,
+            metrics=metrics,
+            seed=0,
+        )
+        with pool:
+            pool.run([spec("a"), spec("b")])  # cold: populates the disk store
+            pool.run([spec("a"), spec("b")])  # warm: served across processes
+        counters = metrics.as_dict()["counters"]
+        # 4 jobs x 3 artifacts each; the warm batch's 6 artifacts were all
+        # served from the shared store even though each attempt ran in its
+        # own process with a fresh memory tier.
+        assert counters["cache_artifact_hits"] + counters["cache_artifact_misses"] == 12
+        assert counters["cache_artifact_hits"] >= 6
+
+
 class TestMosaicIntegration:
     def test_batch_sharing_target_exceeds_half_cache_hits(self):
         """≥8 jobs sharing one target through the pool: hit rate > 0.5."""
