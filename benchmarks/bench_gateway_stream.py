@@ -1,0 +1,119 @@
+"""Streaming-gateway overhead and event throughput.
+
+Two questions matter for serving:
+
+* how much latency does routing a batch through the async gateway —
+  per-event trampoline onto the loop, per-job asyncio queues, NDJSON
+  bookkeeping — add over driving the same :class:`WorkerPool` directly;
+* how many events per second can one gateway loop dispatch when jobs
+  stream fine-grained sweep progress.
+
+Both run on thread workers with the real mosaic runner, so the numbers
+include genuine per-sweep emissions, not synthetic no-op events.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    ArtifactCache,
+    JobSpec,
+    MosaicGateway,
+    MosaicJobRunner,
+    WorkerPool,
+)
+
+_INPUTS = ["portrait", "peppers", "barbara", "baboon"]
+_SIZE = 64
+_TILE = 8
+_WORKERS = 2
+
+
+def _specs() -> list[JobSpec]:
+    return [
+        JobSpec(input=name, target="sailboat", name=f"job{i}",
+                size=_SIZE, tile_size=_TILE, seed=i)
+        for i, name in enumerate(_INPUTS)
+    ]
+
+
+def _pool(cache) -> WorkerPool:
+    return WorkerPool(workers=_WORKERS, runner=MosaicJobRunner(cache=cache),
+                      cache=cache, seed=0)
+
+
+def test_pool_direct_baseline(benchmark):
+    """Reference: the same batch via WorkerPool.run, no streaming."""
+
+    def run():
+        with _pool(ArtifactCache(max_bytes=256 << 20)) as pool:
+            records = pool.run(_specs())
+        assert all(r.state.value == "DONE" for r in records)
+        return records
+
+    records = benchmark(run)
+    benchmark.extra_info["jobs"] = len(records)
+
+
+def test_gateway_streamed_batch(benchmark):
+    """The same batch through the gateway, consuming every event."""
+    counts = {}
+
+    def run():
+        async def go():
+            pool = _pool(ArtifactCache(max_bytes=256 << 20))
+            events = 0
+            async with MosaicGateway(pool, max_pending=8) as gateway:
+                streams = [await gateway.submit(spec) for spec in _specs()]
+                for stream in streams:
+                    events += len(await stream.collect())
+            pool.shutdown()
+            assert all(s.record.state.value == "DONE" for s in streams)
+            return events
+
+        counts["events"] = asyncio.run(go())
+
+    benchmark(run)
+    benchmark.extra_info["jobs"] = len(_INPUTS)
+    benchmark.extra_info["events_per_batch"] = counts["events"]
+    assert counts["events"] >= len(_INPUTS) * 4  # admitted+running+phases+done
+
+
+@pytest.mark.parametrize("jobs", [16])
+def test_event_dispatch_throughput(benchmark, jobs):
+    """Events/sec through the loop with a cheap, chatty runner."""
+
+    class ChattyRunner:
+        accepts_context = True
+
+        def __call__(self, spec, ctx=None):
+            if ctx is not None:
+                for step in range(50):
+                    ctx.emit("sweep", {"sweep": step, "swaps": 0, "total": 0})
+            return spec.name
+
+    def run():
+        async def go():
+            pool = WorkerPool(workers=_WORKERS, runner=ChattyRunner(), seed=0)
+            total = 0
+            async with MosaicGateway(pool, max_pending=jobs) as gateway:
+                streams = [
+                    await gateway.submit(
+                        JobSpec(input="x", target="y", name=f"j{i}")
+                    )
+                    for i in range(jobs)
+                ]
+                for stream in streams:
+                    total += len(await stream.collect())
+            pool.shutdown()
+            return total
+
+        return asyncio.run(go())
+
+    total = benchmark(run)
+    # 50 sweeps + admitted + RUNNING + DONE per job.
+    assert total == jobs * 53
+    benchmark.extra_info["events_per_round"] = total

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Regenerate the golden pipeline checksums in ``tests/data/goldens.json``.
+
+The golden layer pins full end-to-end pipeline outputs — the permutation,
+the rendered mosaic, the total error, and the bytes the uncompressed
+image writers produce — for a small table of deterministic cases.  The
+case table and the checksum computation live HERE, and the golden test
+imports them from this script, so test and regeneration can never drift
+apart.
+
+Run from the repository root after an intentional output-changing change:
+
+    PYTHONPATH=src python scripts/regen_goldens.py
+
+then commit the updated ``tests/data/goldens.json`` together with the
+change that motivated it.  The diff of the JSON file is the review
+artifact: an unexpected checksum change means the pipeline's output
+changed when it should not have.
+
+Determinism notes:
+
+* cases use the in-repo ``hungarian`` solver rather than ``scipy`` so
+  optimal-assignment tie-breaking cannot drift with library versions;
+* PGM and BMP files are written uncompressed, so their raw bytes are
+  checksummed; PNG involves zlib, whose output may vary across zlib
+  builds, so PNG is covered by a write/read pixel roundtrip instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+
+SCRIPT_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(SCRIPT_DIR)
+GOLDENS_PATH = os.path.join(REPO_ROOT, "tests", "data", "goldens.json")
+
+#: The golden case table.  Every knob that affects output is spelled out
+#: explicitly, so a default drifting elsewhere cannot silently change
+#: what these cases mean.
+CASES: dict[str, dict] = {
+    "optimization-hungarian-48": {
+        "input": "portrait",
+        "target": "sailboat",
+        "size": 48,
+        "tile_size": 8,
+        "algorithm": "optimization",
+        "solver": "hungarian",
+    },
+    "approximation-serial-48": {
+        "input": "portrait",
+        "target": "sailboat",
+        "size": 48,
+        "tile_size": 8,
+        "algorithm": "approximation",
+        "serial_strategy": "first",
+    },
+    "parallel-vectorized-64": {
+        "input": "peppers",
+        "target": "baboon",
+        "size": 64,
+        "tile_size": 8,
+        "algorithm": "parallel",
+        "parallel_backend": "vectorized",
+    },
+}
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def compute_case(name: str) -> dict:
+    """Run one golden case end to end and return its checksum record."""
+    import numpy as np
+
+    from repro import generate_photomosaic, standard_image
+    from repro.imaging.iohub import write_bmp, write_pgm
+
+    params = dict(CASES[name])
+    inp = standard_image(params.pop("input"), params.pop("size"))
+    tgt = standard_image(params["target"], inp.shape[0])
+    del params["target"]
+    result = generate_photomosaic(inp, tgt, **params)
+
+    record = {
+        "total_error": int(result.total_error),
+        "permutation_sha256": _sha256(
+            np.asarray(result.permutation, dtype=np.int64).tobytes()
+        ),
+        "image_sha256": _sha256(
+            np.ascontiguousarray(result.image, dtype=np.uint8).tobytes()
+        ),
+        "image_shape": list(result.image.shape),
+    }
+
+    # Uncompressed writers: pin the exact file bytes.
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        pgm = os.path.join(tmp, "mosaic.pgm")
+        bmp = os.path.join(tmp, "mosaic.bmp")
+        write_pgm(pgm, result.image)
+        write_bmp(bmp, result.image)
+        with open(pgm, "rb") as fh:
+            record["pgm_sha256"] = _sha256(fh.read())
+        with open(bmp, "rb") as fh:
+            record["bmp_sha256"] = _sha256(fh.read())
+    return record
+
+
+def compute_all() -> dict:
+    return {name: compute_case(name) for name in sorted(CASES)}
+
+
+def main() -> int:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    goldens = {
+        "_comment": (
+            "Golden end-to-end pipeline checksums. Regenerate with "
+            "`PYTHONPATH=src python scripts/regen_goldens.py` and commit "
+            "the diff alongside the change that altered the output."
+        ),
+        "cases": compute_all(),
+    }
+    os.makedirs(os.path.dirname(GOLDENS_PATH), exist_ok=True)
+    with open(GOLDENS_PATH, "w", encoding="utf-8") as fh:
+        json.dump(goldens, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(goldens['cases'])} golden cases to {GOLDENS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,12 @@ Subcommands
     Run a JSON manifest of jobs through the service worker pool with the
     shared artifact cache, then write results and a metrics report
     (see docs/service.md).
+``serve``
+    Streaming mode: read JSON job lines from stdin (or a manifest),
+    stream NDJSON progress events — state transitions, retries,
+    per-phase timings, 2-opt sweeps — to stdout as they happen, with
+    bounded admission and mid-job cancellation
+    (see docs/service.md, "Streaming gateway").
 
 Examples::
 
@@ -21,6 +27,8 @@ Examples::
     photomosaic bench --table 2
     photomosaic demo --outdir gallery/
     photomosaic batch --manifest jobs.json --outdir results/ --workers 4
+    printf '%s\\n' '{"input": "portrait", "target": "sailboat"}' \
+        | photomosaic serve --workers 2 --max-pending 8
 """
 
 from __future__ import annotations
@@ -153,14 +161,34 @@ def _cmd_video(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_cache(args: argparse.Namespace, metrics):
+    """Artifact cache per the CLI cache flags (shared by batch and serve)."""
+    from repro.service import ArtifactCache, CacheStack, DiskCacheStore
+
+    memory_cache = ArtifactCache(
+        max_bytes=args.cache_mb * 2**20,
+        spill_dir=getattr(args, "spill_dir", None),
+    )
+    if args.cache_dir:
+        # Two-tier stack: this process's LRU in front, one shared
+        # disk store behind — process workers pickle the stack and
+        # share artifacts through the store (see docs/service.md).
+        return CacheStack(
+            memory=memory_cache,
+            disk=DiskCacheStore(
+                args.cache_dir,
+                max_bytes=args.cache_budget * 2**20,
+                metrics=metrics,
+            ),
+        )
+    return memory_cache
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     # Deferred import keeps CLI startup fast for the other subcommands.
     import json
 
     from repro.service import (
-        ArtifactCache,
-        CacheStack,
-        DiskCacheStore,
         JobState,
         MetricsRegistry,
         MosaicJobRunner,
@@ -171,23 +199,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     specs = load_manifest(args.manifest, seed=args.seed)
     os.makedirs(args.outdir, exist_ok=True)
     metrics = MetricsRegistry()
-    memory_cache = ArtifactCache(
-        max_bytes=args.cache_mb * 2**20, spill_dir=args.spill_dir
-    )
-    if args.cache_dir:
-        # Two-tier stack: this process's LRU in front, one shared
-        # disk store behind — process workers pickle the stack and
-        # share artifacts through the store (see docs/service.md).
-        cache = CacheStack(
-            memory=memory_cache,
-            disk=DiskCacheStore(
-                args.cache_dir,
-                max_bytes=args.cache_budget * 2**20,
-                metrics=metrics,
-            ),
-        )
-    else:
-        cache = memory_cache
+    cache = _build_cache(args, metrics)
     pool = WorkerPool(
         workers=args.workers,
         kind=args.executor,
@@ -263,6 +275,142 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     print(f"wrote {metrics_path}")
     failed = sum(1 for record in records if record.state is JobState.FAILED)
     return 1 if failed else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Deferred imports: asyncio + service only when actually serving.
+    import asyncio
+    import json
+
+    from repro.exceptions import JobError
+    from repro.service import (
+        AdmissionRejected,
+        JobSpec,
+        JobState,
+        MetricsRegistry,
+        MosaicGateway,
+        MosaicJobRunner,
+        WorkerPool,
+        load_manifest,
+    )
+
+    def emit_line(payload: dict) -> None:
+        sys.stdout.write(json.dumps(payload, default=str) + "\n")
+        sys.stdout.flush()
+
+    async def pump(stream) -> None:
+        async for event in stream:
+            emit_line(event.to_dict())
+
+    async def serve() -> int:
+        os.makedirs(args.outdir, exist_ok=True)
+        metrics = MetricsRegistry()
+        cache = _build_cache(args, metrics)
+        pool = WorkerPool(
+            workers=args.workers,
+            kind=args.executor,
+            runner=MosaicJobRunner(cache=cache, outdir=args.outdir),
+            cache=cache,
+            metrics=metrics,
+            max_retries=args.retries,
+            default_timeout=args.timeout,
+            seed=args.seed,
+        )
+        gateway = MosaicGateway(
+            pool,
+            max_pending=args.max_pending,
+            metrics=metrics,
+            event_log=args.event_log,
+        )
+        pumps: list[asyncio.Task] = []
+        streams = []
+        by_name: dict[str, str] = {}  # job name -> job_id, for cancel lines
+
+        async def admit(spec: JobSpec, wait: bool) -> None:
+            try:
+                if wait:
+                    stream = await gateway.submit_when_admitted(spec)
+                else:
+                    stream = await gateway.submit(spec)
+            except AdmissionRejected as exc:
+                # Typed backpressure, surfaced as its own NDJSON line so a
+                # client can tell "shed" from "accepted" per job.
+                emit_line(
+                    {
+                        "job_id": None,
+                        "seq": None,
+                        "kind": "rejected",
+                        "terminal": True,
+                        "payload": {"name": spec.name, "error": str(exc)},
+                    }
+                )
+                return
+            if spec.name:
+                by_name[spec.name] = stream.job_id
+            streams.append(stream)
+            pumps.append(asyncio.create_task(pump(stream)))
+
+        try:
+            if args.manifest:
+                # Manifest intake blocks on admission instead of shedding:
+                # the bound then acts as a streaming window over the file.
+                for spec in load_manifest(args.manifest, seed=args.seed):
+                    await admit(spec, wait=True)
+            else:
+                loop = asyncio.get_running_loop()
+                while True:
+                    line = await loop.run_in_executor(None, sys.stdin.readline)
+                    if not line:  # EOF
+                        break
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                        if not isinstance(entry, dict):
+                            raise JobError("job line must be a JSON object")
+                        if "cancel" in entry:
+                            target = str(entry["cancel"])
+                            ok = await gateway.cancel(by_name.get(target, target))
+                            emit_line(
+                                {
+                                    "job_id": by_name.get(target, target),
+                                    "seq": None,
+                                    "kind": "cancel_request",
+                                    "terminal": False,
+                                    "payload": {"accepted": ok},
+                                }
+                            )
+                            continue
+                        spec = JobSpec(**entry)
+                    except (TypeError, ValueError, JobError) as exc:
+                        emit_line(
+                            {
+                                "job_id": None,
+                                "seq": None,
+                                "kind": "invalid",
+                                "terminal": True,
+                                "payload": {"line": line, "error": str(exc)},
+                            }
+                        )
+                        continue
+                    await admit(spec, wait=False)
+            await gateway.aclose(drain=True)
+        finally:
+            pool.shutdown()
+            for task in pumps:
+                await task
+        if args.metrics:
+            report = metrics.as_dict(
+                extra={"jobs": [s.record.summary() for s in streams]}
+            )
+            with open(args.metrics, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2)
+                fh.write("\n")
+        failed = sum(1 for s in streams if s.record.state is JobState.FAILED)
+        return 1 if failed else 0
+
+    return asyncio.run(serve())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -365,6 +513,60 @@ def build_parser() -> argparse.ArgumentParser:
         "jitter via repro.utils.rng, so a re-run replays exactly",
     )
     batch.set_defaults(func=_cmd_batch)
+
+    serve = sub.add_parser(
+        "serve",
+        help="stream jobs from stdin (or a manifest) through the async "
+        "gateway, emitting NDJSON progress events",
+    )
+    serve.add_argument(
+        "--manifest", default=None,
+        help="JSON job manifest; omit to read JSON job lines from stdin",
+    )
+    serve.add_argument("--outdir", default="serve_out", help="job outputs")
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="attempt executor (thread streams per-sweep progress; process "
+        "workers emit state/retry events only)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=16,
+        help="admission bound: jobs in flight before submissions are "
+        "rejected (stdin) or intake blocks (manifest)",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=1,
+        help="default extra attempts per job",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-attempt budget in seconds",
+    )
+    serve.add_argument(
+        "--metrics", default=None,
+        help="write a metrics JSON report here on exit",
+    )
+    serve.add_argument(
+        "--event-log", default=None,
+        help="append every streamed event to this NDJSON file",
+    )
+    serve.add_argument(
+        "--cache-mb", type=int, default=256, help="in-memory cache budget (MiB)"
+    )
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="shared disk cache root (see docs/service.md)",
+    )
+    serve.add_argument(
+        "--cache-budget", type=int, default=2048,
+        help="disk cache byte budget in MiB",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="seeds the pool's backoff jitter streams",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

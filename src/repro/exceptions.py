@@ -18,6 +18,7 @@ __all__ = [
     "JobError",
     "JobTimeout",
     "JobCancelled",
+    "AdmissionRejected",
 ]
 
 
@@ -59,3 +60,12 @@ class JobTimeout(JobError):
 
 class JobCancelled(JobError):
     """A job was cancelled before (or while) running."""
+
+
+class AdmissionRejected(JobError):
+    """The streaming gateway's bounded admission queue is full.
+
+    Raised by :meth:`repro.service.gateway.MosaicGateway.submit` as typed
+    backpressure: the caller decides whether to retry later, shed the job,
+    or block — the gateway never queues beyond its bound silently.
+    """

@@ -29,6 +29,7 @@ integer total error, so the outer repeat-until-no-swap loop terminates.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
 
 import numpy as np
 
@@ -89,6 +90,7 @@ def local_search_parallel(
     backend: str = "vectorized",
     workers: int = 4,
     max_sweeps: int = 10_000,
+    on_sweep: Callable[[int, int, int], None] | None = None,
 ) -> LocalSearchResult:
     """Run Algorithm 2 to a 2-opt local optimum.
 
@@ -107,6 +109,11 @@ def local_search_parallel(
         Thread count for the ``"threads"`` backend.
     max_sweeps:
         Safety bound; exceeding it raises :class:`ConvergenceError`.
+    on_sweep:
+        Optional progress hook called after every sweep with
+        ``(sweep_index, swaps_committed, total_error)``; exceptions it
+        raises propagate and abort the search (the gateway's
+        cancellation path).
     """
     matrix = check_error_matrix(matrix)
     s = matrix.shape[0]
@@ -157,6 +164,8 @@ def local_search_parallel(
                 kernel_launches += 1
             swap_counts.append(swaps)
             totals.append(int(matrix[perm, positions].sum()))
+            if on_sweep is not None:
+                on_sweep(len(swap_counts) - 1, swaps, totals[-1])
             if swaps == 0:
                 break
             if len(swap_counts) >= max_sweeps:

@@ -19,6 +19,8 @@ termination is guaranteed; ``max_sweeps`` is only a safety net.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.exceptions import ConvergenceError, ValidationError
@@ -85,6 +87,7 @@ def local_search_serial(
     *,
     strategy: str = "first",
     max_sweeps: int = 10_000,
+    on_sweep: Callable[[int, int, int], None] | None = None,
 ) -> LocalSearchResult:
     """Run the serial approximation algorithm to a 2-opt local optimum.
 
@@ -99,6 +102,11 @@ def local_search_serial(
         ``"first"`` (paper Algorithm 1) or ``"best_row"`` (vectorised).
     max_sweeps:
         Safety bound; exceeding it raises :class:`ConvergenceError`.
+    on_sweep:
+        Optional progress hook called after every sweep with
+        ``(sweep_index, swaps_committed, total_error)``.  Exceptions it
+        raises propagate and abort the search — that is the cancellation
+        path the streaming job gateway uses.
     """
     matrix = check_error_matrix(matrix)
     s = matrix.shape[0]
@@ -122,6 +130,8 @@ def local_search_serial(
             perm = np.array(perm_list, dtype=np.intp)
             swap_counts.append(swaps)
             totals.append(int(matrix[perm, positions].sum()))
+            if on_sweep is not None:
+                on_sweep(len(swap_counts) - 1, swaps, totals[-1])
             if swaps == 0:
                 break
             if len(swap_counts) >= max_sweeps:
@@ -133,6 +143,8 @@ def local_search_serial(
             swaps = _sweep_best_row(matrix, perm, s)
             swap_counts.append(swaps)
             totals.append(int(matrix[perm, positions].sum()))
+            if on_sweep is not None:
+                on_sweep(len(swap_counts) - 1, swaps, totals[-1])
             if swaps == 0:
                 break
             if len(swap_counts) >= max_sweeps:

@@ -15,6 +15,7 @@ keeping the Step-1 decomposition.
 from __future__ import annotations
 
 import warnings
+from typing import Callable
 
 import numpy as np
 
@@ -106,8 +107,17 @@ class PhotomosaicGenerator:
         )
         return grid, matrix
 
-    def rearrange(self, matrix: ErrorMatrix) -> tuple[np.ndarray, object, dict]:
-        """Step 3 only: returns ``(permutation, trace_or_None, meta)``."""
+    def rearrange(
+        self,
+        matrix: ErrorMatrix,
+        on_sweep: Callable[[int, int, int], None] | None = None,
+    ) -> tuple[np.ndarray, object, dict]:
+        """Step 3 only: returns ``(permutation, trace_or_None, meta)``.
+
+        ``on_sweep`` is forwarded to the local-search algorithms (called
+        after every 2-opt sweep); the optimisation path has no sweeps and
+        ignores it.
+        """
         cfg = self.config
         if cfg.algorithm == "optimization":
             result = get_solver(cfg.solver).solve(matrix)
@@ -124,17 +134,37 @@ class PhotomosaicGenerator:
             )
         if cfg.algorithm == "approximation":
             result = local_search_serial(
-                matrix, strategy=cfg.serial_strategy, max_sweeps=cfg.max_sweeps
+                matrix,
+                strategy=cfg.serial_strategy,
+                max_sweeps=cfg.max_sweeps,
+                on_sweep=on_sweep,
             )
         else:  # "parallel"
             result = local_search_parallel(
-                matrix, backend=cfg.parallel_backend, max_sweeps=cfg.max_sweeps
+                matrix,
+                backend=cfg.parallel_backend,
+                max_sweeps=cfg.max_sweeps,
+                on_sweep=on_sweep,
             )
         meta = {"strategy": result.strategy, **result.meta}
         return result.permutation, result.trace, meta
 
-    def generate(self, input_image: AnyImage, target_image: AnyImage) -> MosaicResult:
-        """Run the full pipeline and return a :class:`MosaicResult`."""
+    def generate(
+        self,
+        input_image: AnyImage,
+        target_image: AnyImage,
+        *,
+        observer: Callable[[str, dict], None] | None = None,
+    ) -> MosaicResult:
+        """Run the full pipeline and return a :class:`MosaicResult`.
+
+        ``observer(kind, payload)`` is an optional progress hook: it is
+        called with ``("phase", {"phase": name, "seconds": s})`` as each
+        pipeline phase completes and ``("sweep", {"sweep": k, "swaps": n,
+        "total": e})`` after every Step-3 local-search sweep.  Exceptions
+        raised by the observer propagate and abort the pipeline — the job
+        gateway cancels in-flight jobs this way.
+        """
         input_image = check_image(input_image, "input_image")
         target_image = check_image(target_image, "target_image")
         if input_image.shape != target_image.shape:
@@ -144,8 +174,20 @@ class PhotomosaicGenerator:
             )
         timings = TimingBreakdown()
         cache_meta: dict[str, str] = {}
+
+        def phase_done(phase: str) -> None:
+            if observer is not None:
+                observer("phase", {"phase": phase, "seconds": timings.get(phase)})
+
+        on_sweep = None
+        if observer is not None:
+
+            def on_sweep(sweep: int, swaps: int, total: int) -> None:
+                observer("sweep", {"sweep": sweep, "swaps": swaps, "total": total})
+
         with timings.measure("histogram_match"):
             adjusted = self.preprocess(input_image, target_image)
+        phase_done("histogram_match")
         with timings.measure("step1_tiling"):
             grid = TileGrid.for_image(adjusted, self.config.tile_size)
             if self.cache is None:
@@ -155,6 +197,7 @@ class PhotomosaicGenerator:
                 input_tiles, target_tiles, fingerprints = self._cached_tiles(
                     grid, adjusted, target_image, cache_meta
                 )
+        phase_done("step1_tiling")
         orientation_codes = None
         with timings.measure("step2_error_matrix"):
             if self.cache is None:
@@ -176,6 +219,7 @@ class PhotomosaicGenerator:
                 matrix, orientation_codes = self.cache.get_or_compute(
                     key, lambda: self._compute_matrix(input_tiles, target_tiles)
                 )
+        phase_done("step2_error_matrix")
         with timings.measure("step3_rearrangement"):
             if self.config.algorithm == "pyramid":
                 from repro.mosaic.pyramid import coarse_to_fine_rearrange
@@ -197,7 +241,8 @@ class PhotomosaicGenerator:
                     "pyramid_factor": self.config.pyramid_factor,
                 }
             else:
-                perm, trace, meta = self.rearrange(matrix)
+                perm, trace, meta = self.rearrange(matrix, on_sweep=on_sweep)
+        phase_done("step3_rearrangement")
         placed = input_tiles[perm]
         if orientation_codes is not None:
             from repro.tiles.transforms import apply_transforms_to_stack

@@ -19,7 +19,11 @@ This subsystem turns the one-shot pipeline into a servable workload:
 * :mod:`repro.service.metrics` — counters/gauges/latency histograms with
   JSON export and a text summary;
 * :mod:`repro.service.manifest` — the batch manifest format consumed by
-  ``photomosaic batch``.
+  ``photomosaic batch``;
+* :mod:`repro.service.gateway` — the asyncio streaming intake layer
+  (bounded admission with typed backpressure, per-job event streams,
+  cooperative cancellation, NDJSON event logs) behind
+  ``photomosaic serve``.
 
 See ``docs/service.md`` for the job lifecycle, cache keying scheme and
 metrics schema.
@@ -38,7 +42,14 @@ from repro.service.cache import (
     image_fingerprint,
     tile_grid_key,
 )
+from repro.exceptions import AdmissionRejected
 from repro.service.diskcache import DiskCacheStats, DiskCacheStore
+from repro.service.gateway import (
+    GatewayEvent,
+    JobStream,
+    MosaicGateway,
+    TERMINAL_STATES,
+)
 from repro.service.jobs import JobRecord, JobSpec, JobState
 from repro.service.locks import FileLock, LockTimeout
 from repro.service.manifest import load_manifest, parse_manifest
@@ -46,7 +57,9 @@ from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.service.queue import JobQueue
 from repro.service.workers import (
     EXECUTOR_KINDS,
+    JobContext,
     MosaicJobRunner,
+    SystemClock,
     WorkerPool,
     resolve_image,
 )
@@ -76,7 +89,14 @@ __all__ = [
     "MetricsRegistry",
     "JobQueue",
     "EXECUTOR_KINDS",
+    "JobContext",
     "MosaicJobRunner",
+    "SystemClock",
     "WorkerPool",
     "resolve_image",
+    "AdmissionRejected",
+    "GatewayEvent",
+    "JobStream",
+    "MosaicGateway",
+    "TERMINAL_STATES",
 ]

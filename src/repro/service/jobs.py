@@ -143,15 +143,39 @@ class JobRecord:
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
+        self._observer = None
+        self.cancel_event = threading.Event()
 
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
         state.pop("_lock", None)
+        state.pop("_observer", None)
+        state.pop("cancel_event", None)
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._lock = threading.Lock()
+        self._observer = None
+        self.cancel_event = threading.Event()
+
+    def set_observer(self, observer) -> None:
+        """Attach ``observer(record, kind, payload)``, the event hook.
+
+        The worker pool notifies it on every state transition
+        (``kind="state"``) and retry (``kind="retry"``); context-aware
+        runners stream progress through it (``"phase"``, ``"sweep"``).
+        The streaming gateway is the intended consumer — it must be set
+        *before* the record is queued so no transition is missed, which
+        is why :meth:`WorkerPool.submit` takes it as a parameter.
+        """
+        self._observer = observer
+
+    def notify(self, kind: str, payload: dict) -> None:
+        """Forward one event to the attached observer (no-op without one)."""
+        observer = self._observer
+        if observer is not None:
+            observer(self, kind, payload)
 
     def transition(self, new_state: JobState) -> None:
         """Move to ``new_state``, enforcing the lifecycle graph."""
@@ -167,6 +191,13 @@ class JobRecord:
                 self.started_at = now
             if new_state in (JobState.DONE, JobState.FAILED, JobState.CANCELLED):
                 self.finished_at = now
+            # Notify while still holding the lock: concurrent transitions
+            # (supervisor vs. a queue-side cancel) must deliver their
+            # events in commit order, or a stream could see a terminal
+            # state followed by RUNNING.
+            self.notify(
+                "state", {"state": new_state.value, "attempts": self.attempts}
+            )
 
     @property
     def queue_wait(self) -> float | None:

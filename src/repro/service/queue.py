@@ -72,10 +72,15 @@ class JobQueue:
         """Cancel a pending job; returns ``False`` if unknown or already popped."""
         with self._lock:
             record = self._records.pop(job_id, None)
-        if record is None:
-            return False
-        record.transition(JobState.CANCELLED)
-        return True
+            if record is None:
+                return False
+            # Transition while still holding the lock: pop() checks the
+            # state under this same lock, so a record is either cancelled
+            # before a consumer can claim it or already popped (and this
+            # returns False, letting the pool fall back to cooperative
+            # in-flight cancellation).
+            record.transition(JobState.CANCELLED)
+            return True
 
     def close(self, drain: bool = True) -> int:
         """Stop accepting pushes; with ``drain=False`` cancel everything

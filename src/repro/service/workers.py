@@ -31,6 +31,8 @@ from concurrent.futures import (
 )
 from typing import Any, Callable, Iterable, Sequence
 
+from dataclasses import dataclass, field
+
 from repro.exceptions import JobCancelled, JobError, JobTimeout
 from repro.service.jobs import JobRecord, JobSpec, JobState
 from repro.service.metrics import MetricsRegistry
@@ -38,9 +40,49 @@ from repro.service.queue import JobQueue
 from repro.utils.rng import make_rng, spawn_seeds
 from repro.utils.timing import TimingBreakdown
 
-__all__ = ["WorkerPool", "MosaicJobRunner", "resolve_image", "EXECUTOR_KINDS"]
+__all__ = [
+    "WorkerPool",
+    "MosaicJobRunner",
+    "JobContext",
+    "SystemClock",
+    "resolve_image",
+    "EXECUTOR_KINDS",
+]
 
 EXECUTOR_KINDS = ("thread", "process")
+
+
+class SystemClock:
+    """Real time source for the pool's backoff sleeps.
+
+    Tests inject a fake with the same two methods to make retry/backoff
+    behaviour instantaneous and assertable instead of wall-clock-flaky.
+    """
+
+    monotonic = staticmethod(time.monotonic)
+    sleep = staticmethod(time.sleep)
+
+
+@dataclass
+class JobContext:
+    """Execution context handed to context-aware runners.
+
+    A runner class advertising ``accepts_context = True`` is called as
+    ``runner(spec, ctx)`` (thread executors only; process workers cannot
+    receive the live context and get ``ctx=None``).  The context carries
+    the job identity, the cooperative-cancellation flag and an ``emit``
+    hook that streams progress events to whoever observes the record.
+    """
+
+    job_id: str
+    attempt: int
+    cancelled: threading.Event = field(default_factory=threading.Event)
+    emit: Callable[[str, dict], None] = lambda kind, payload: None
+
+    def check_cancelled(self) -> None:
+        """Raise :class:`JobCancelled` if cancellation was requested."""
+        if self.cancelled.is_set():
+            raise JobCancelled(f"job {self.job_id} cancelled")
 
 
 def resolve_image(spec: str, size: int):
@@ -67,7 +109,16 @@ class MosaicJobRunner:
     store, so Step-1/Step-2 artifacts are still computed once
     machine-wide.  A purely in-memory cache cannot cross the process
     boundary and is dropped instead (each process would warm its own).
+
+    The runner is context-aware: driven by a thread-executor pool it
+    receives a :class:`JobContext` and then (a) streams per-phase and
+    per-sweep progress events through ``ctx.emit`` and (b) aborts with
+    :class:`~repro.exceptions.JobCancelled` at the next phase/sweep
+    boundary once cooperative cancellation is requested.  Called without
+    a context (process workers, direct use) it behaves exactly as before.
     """
+
+    accepts_context = True
 
     def __init__(self, cache=None, outdir: str | None = None) -> None:
         self.cache = cache
@@ -77,14 +128,22 @@ class MosaicJobRunner:
         cache = self.cache if getattr(self.cache, "process_safe", False) else None
         return {"cache": cache, "outdir": self.outdir}
 
-    def __call__(self, spec: JobSpec):
+    def __call__(self, spec: JobSpec, ctx: JobContext | None = None):
         from repro.imaging import save_image
         from repro.mosaic.generator import PhotomosaicGenerator
+
+        observer = None
+        if ctx is not None:
+            ctx.check_cancelled()
+
+            def observer(kind: str, payload: dict) -> None:
+                ctx.check_cancelled()  # cancellation lands between phases/sweeps
+                ctx.emit(kind, payload)
 
         input_image = resolve_image(spec.input, spec.size)
         target_image = resolve_image(spec.target, spec.size)
         generator = PhotomosaicGenerator(spec.to_config(), cache=self.cache)
-        result = generator.generate(input_image, target_image)
+        result = generator.generate(input_image, target_image, observer=observer)
         if spec.output:
             path = spec.output
             if self.outdir is not None and not os.path.isabs(path):
@@ -116,6 +175,10 @@ class WorkerPool:
     seed:
         Seeds the per-worker backoff jitter streams via
         :func:`~repro.utils.rng.spawn_seeds`.
+    clock:
+        Time source for backoff sleeps (anything with ``sleep`` and
+        ``monotonic``); defaults to :class:`SystemClock`.  Tests inject a
+        fake clock to make retry timing deterministic.
     """
 
     def __init__(
@@ -131,6 +194,7 @@ class WorkerPool:
         backoff_factor: float = 2.0,
         default_timeout: float | None = None,
         seed: int | None = 0,
+        clock: SystemClock | None = None,
     ) -> None:
         if workers < 1:
             raise JobError(f"workers must be >= 1, got {workers}")
@@ -147,6 +211,7 @@ class WorkerPool:
         self.backoff = backoff
         self.backoff_factor = backoff_factor
         self.default_timeout = default_timeout
+        self.clock = clock if clock is not None else SystemClock()
         self.timings = TimingBreakdown()  # phase-wise sum over all DONE jobs
         self._queue = JobQueue()
         self._records: dict[str, JobRecord] = {}
@@ -170,8 +235,14 @@ class WorkerPool:
 
     # -- submission / lifecycle -----------------------------------------
 
-    def submit(self, spec: JobSpec) -> JobRecord:
-        """Queue one job; returns its (live) record."""
+    def submit(self, spec: JobSpec, observer=None) -> JobRecord:
+        """Queue one job; returns its (live) record.
+
+        ``observer(record, kind, payload)``, when given, is attached to
+        the record *before* it is queued, so it sees every state
+        transition including the first ``RUNNING`` (the streaming gateway
+        relies on this ordering).
+        """
         with self._state_lock:
             if self._shut_down:
                 raise JobError("pool is shut down")
@@ -179,6 +250,8 @@ class WorkerPool:
             self._submitted += 1
             self._open += 1
         record = JobRecord(spec=spec, job_id=spec.job_id(index))
+        if observer is not None:
+            record.set_observer(observer)
         with self._state_lock:
             self._records[record.job_id] = record
         self._queue.push(record)
@@ -193,12 +266,31 @@ class WorkerPool:
         return records
 
     def cancel(self, job_id: str) -> bool:
-        """Cancel a still-queued job (running jobs are not interrupted)."""
-        if not self._queue.cancel(job_id):
+        """Cancel a job: immediately while queued, cooperatively in flight.
+
+        A still-queued job flips straight to ``CANCELLED``.  A job already
+        claimed by a supervisor gets its record's ``cancel_event`` set:
+        context-aware runners observe it between sweeps and abort with
+        :class:`JobCancelled`, and the supervisor also checks it before
+        starting the next attempt — so cancellation lands at the next
+        cooperation point rather than never.  Returns ``False`` only when
+        the job is unknown or already terminal.
+        """
+        if self._queue.cancel(job_id):
+            self.metrics.counter("jobs_cancelled").inc()
+            self.metrics.gauge("queue_depth").set(len(self._queue))
+            self._mark_terminal()
+            return True
+        with self._state_lock:
+            record = self._records.get(job_id)
+        if record is None or record.state in (
+            JobState.DONE,
+            JobState.FAILED,
+            JobState.CANCELLED,
+        ):
             return False
-        self.metrics.counter("jobs_cancelled").inc()
-        self.metrics.gauge("queue_depth").set(len(self._queue))
-        self._mark_terminal()
+        record.cancel_event.set()
+        self.metrics.counter("cancel_requests").inc()
         return True
 
     def join(self, timeout: float | None = None) -> bool:
@@ -255,13 +347,17 @@ class WorkerPool:
         active = self.metrics.gauge("active_workers")
         error: str | None = None
         for attempt in range(retries + 1):
+            if record.cancel_event.is_set():
+                record.transition(JobState.CANCELLED)
+                self.metrics.counter("jobs_cancelled").inc()
+                return
+            record.attempts += 1  # before RUNNING so the event carries it
             record.transition(JobState.RUNNING)
-            record.attempts += 1
             self.metrics.counter("attempts_total").inc()
             active.inc()
             started = time.perf_counter()
             try:
-                result = self._run_attempt(spec)
+                result = self._run_attempt(record, spec)
             except JobTimeout as exc:
                 error = str(exc)
                 self.metrics.counter("job_timeouts").inc()
@@ -286,7 +382,12 @@ class WorkerPool:
                 record.transition(JobState.PENDING)  # requeue-in-place for retry
                 self.metrics.counter("job_retries").inc()
                 delay = self.backoff * self.backoff_factor**attempt
-                time.sleep(delay * (1.0 + 0.1 * float(rng.random())))
+                delay *= 1.0 + 0.1 * float(rng.random())
+                record.notify(
+                    "retry",
+                    {"attempt": record.attempts, "delay": delay, "error": error},
+                )
+                self.clock.sleep(delay)
         record.error = error
         record.transition(JobState.FAILED)
         self.metrics.counter("jobs_failed").inc()
@@ -321,16 +422,38 @@ class WorkerPool:
                 }
             )
 
-    def _run_attempt(self, spec: JobSpec) -> Any:
+    def _call_for(self, record: JobRecord) -> Callable[[JobSpec], Any]:
+        """The per-attempt callable: plain runner, or context-aware wrapper.
+
+        Context-aware runners (``accepts_context = True``) receive a
+        :class:`JobContext` wired to this record's cancel event and
+        observer — but only on thread executors; the live context (a
+        lock-bearing event plus a closure) cannot cross a process
+        boundary, so process workers run ``runner(spec)`` and keep
+        attempt-level granularity.
+        """
+        if not getattr(self.runner, "accepts_context", False) or self.kind != "thread":
+            return self.runner
+        context = JobContext(
+            job_id=record.job_id,
+            attempt=record.attempts,
+            cancelled=record.cancel_event,
+            emit=record.notify,
+        )
+        runner = self.runner
+        return lambda spec: runner(spec, context)
+
+    def _run_attempt(self, record: JobRecord, spec: JobSpec) -> Any:
+        call = self._call_for(record)
         timeout = spec.timeout if spec.timeout is not None else self.default_timeout
         if timeout is None and self.kind == "thread":
-            return self.runner(spec)  # no budget to enforce: skip executor cost
+            return call(spec)  # no budget to enforce: skip executor cost
         executor_cls = (
             ThreadPoolExecutor if self.kind == "thread" else ProcessPoolExecutor
         )
         executor = executor_cls(max_workers=1)
         try:
-            future = executor.submit(self.runner, spec)
+            future = executor.submit(call, spec)
             try:
                 return future.result(timeout=timeout)
             except FuturesTimeoutError:

@@ -1,0 +1,105 @@
+"""Golden end-to-end regression tests.
+
+Each case in ``scripts/regen_goldens.py`` runs the full pipeline
+(histogram match, Step 1 tiling, Step 2 error matrix, Step 3
+optimization or 2-opt approximation, rendering) and checksums every
+output: the permutation, the rendered mosaic, the total error, and the
+bytes produced by the uncompressed image writers (PGM, BMP).  PNG is
+compressed, so it is covered by an exact write/read pixel roundtrip
+rather than a byte pin.
+
+The case table and the checksum computation are imported FROM the
+regeneration script, so this test and ``regen_goldens.py`` cannot drift:
+a failure here means the pipeline's output changed.  If the change was
+intentional, regenerate with::
+
+    PYTHONPATH=src python scripts/regen_goldens.py
+
+and commit the ``tests/data/goldens.json`` diff with the change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import generate_photomosaic, load_image, standard_image
+from repro.imaging.iohub import write_pgm, write_png
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GOLDENS_PATH = REPO_ROOT / "tests" / "data" / "goldens.json"
+REGEN_PATH = REPO_ROOT / "scripts" / "regen_goldens.py"
+
+
+def _load_regen_module():
+    spec = importlib.util.spec_from_file_location("regen_goldens", REGEN_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+regen = _load_regen_module()
+GOLDENS = json.loads(GOLDENS_PATH.read_text())["cases"]
+CASE_NAMES = sorted(regen.CASES)
+
+
+def test_goldens_file_covers_exactly_the_case_table():
+    """goldens.json and the script's case table must list the same cases
+    (a case added without regeneration fails here, loudly)."""
+    assert sorted(GOLDENS) == CASE_NAMES
+
+
+@pytest.mark.parametrize("name", CASE_NAMES)
+class TestGoldenChecksums:
+    def test_pipeline_output_matches_golden(self, name):
+        assert regen.compute_case(name) == GOLDENS[name], (
+            f"golden case {name!r} drifted; if intentional, regenerate via "
+            "`PYTHONPATH=src python scripts/regen_goldens.py`"
+        )
+
+    def test_rerun_is_deterministic(self, name):
+        """The same case computed twice in-process is bit-identical
+        (guards against hidden global state in the pipeline)."""
+        assert regen.compute_case(name) == regen.compute_case(name)
+
+
+@pytest.mark.parametrize("name", CASE_NAMES)
+def test_png_roundtrip_preserves_golden_image(name, tmp_path):
+    """PNG bytes may differ across zlib builds, but decoding must give
+    back exactly the golden mosaic pixels."""
+    params = dict(regen.CASES[name])
+    inp = standard_image(params.pop("input"), params.pop("size"))
+    tgt = standard_image(params.pop("target"), inp.shape[0])
+    result = generate_photomosaic(inp, tgt, **params)
+
+    path = tmp_path / "mosaic.png"
+    write_png(path, result.image)
+    decoded = load_image(path)
+    assert (decoded == result.image).all()
+    digest = hashlib.sha256(
+        np.ascontiguousarray(decoded, dtype=np.uint8).tobytes()
+    ).hexdigest()
+    assert digest == GOLDENS[name]["image_sha256"]
+
+
+def test_pgm_roundtrip_preserves_golden_image(tmp_path):
+    """The PGM bytes are pinned by the goldens; loading them back must
+    reproduce the golden image checksum too."""
+    name = CASE_NAMES[0]
+    params = dict(regen.CASES[name])
+    inp = standard_image(params.pop("input"), params.pop("size"))
+    tgt = standard_image(params.pop("target"), inp.shape[0])
+    result = generate_photomosaic(inp, tgt, **params)
+
+    path = tmp_path / "mosaic.pgm"
+    write_pgm(path, result.image)
+    assert (
+        hashlib.sha256(path.read_bytes()).hexdigest()
+        == GOLDENS[name]["pgm_sha256"]
+    )
+    assert (load_image(path) == result.image).all()

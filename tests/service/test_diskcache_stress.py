@@ -27,6 +27,11 @@ from repro.service.diskcache import DiskCacheStore
 SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "..", "src"))
 WORKERS = 4
 
+# Four-process stress runs are legitimately slow on loaded CI machines;
+# give them a generous ceiling instead of letting a stall hang the run
+# (enforced when pytest-timeout is installed, inert otherwise).
+pytestmark = pytest.mark.timeout(180)
+
 # Body shared by both stress scenarios.  A worker waits on the go-file
 # barrier (so all four hammer at once), then loops its key schedule
 # through get_or_compute, verifying every returned value bit-exactly and

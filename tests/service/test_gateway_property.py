@@ -1,0 +1,155 @@
+"""Property test: random submit/cancel/complete/retry interleavings.
+
+Hypothesis drives a scripted runner through the gateway — per job it
+draws an attempt script (each attempt succeeds or fails), a number of
+progress emissions per attempt, and optionally a point in the stream at
+which the driver requests cancellation.  Whatever the interleaving, every
+per-job stream must satisfy the gateway contract:
+
+* events are per-job ordered (contiguous ``seq`` from 0),
+* the first event is ``admitted``,
+* exactly one terminal event, and it is the last event,
+* state transitions are legal for the job state machine,
+* no events after termination (the stream ends at the terminal event and
+  the record's final state matches it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.service import JobSpec, JobState, MosaicGateway, WorkerPool
+
+MAX_RETRIES = 2
+
+#: new-state -> states it may legally follow on a stream.  ``None`` is
+#: the implicit initial state (job admitted, not yet run).
+LEGAL_PREDECESSORS = {
+    "RUNNING": {None, "PENDING"},
+    "PENDING": {"RUNNING"},
+    "DONE": {"RUNNING"},
+    "FAILED": {"RUNNING"},
+    "CANCELLED": {None, "RUNNING", "PENDING"},
+}
+
+job_script = st.fixed_dictionaries(
+    {
+        # Outcome per attempt; the pool retries failures up to
+        # MAX_RETRIES times, so at most MAX_RETRIES + 1 entries are used.
+        "attempts": st.lists(
+            st.sampled_from(["ok", "fail"]), min_size=1, max_size=MAX_RETRIES + 1
+        ),
+        "sweeps": st.integers(min_value=0, max_value=3),
+        # Stream index at which the driver requests cancellation (None:
+        # never).  Index 0 is the ``admitted`` event, so small values
+        # cancel jobs that are still queued.
+        "cancel_at": st.one_of(st.none(), st.integers(min_value=0, max_value=6)),
+    }
+)
+
+
+class ScriptedRunner:
+    accepts_context = True
+
+    def __init__(self, scripts: dict[str, dict]) -> None:
+        self.scripts = scripts
+        self._attempts: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def __call__(self, spec: JobSpec, ctx=None) -> str:
+        script = self.scripts[spec.name]
+        with self._lock:
+            index = self._attempts.get(spec.name, 0)
+            self._attempts[spec.name] = index + 1
+        outcome = script["attempts"][min(index, len(script["attempts"]) - 1)]
+        for sweep in range(script["sweeps"]):
+            if ctx is not None:
+                ctx.check_cancelled()
+                ctx.emit("sweep", {"sweep": sweep, "swaps": 0, "total": 0})
+            time.sleep(0.0005)  # window for cancellation to interleave
+        if outcome == "fail":
+            raise RuntimeError(f"scripted failure on attempt {index}")
+        return spec.name
+
+
+async def _consume(gateway: MosaicGateway, stream, cancel_at):
+    events = []
+    async for event in stream:
+        if cancel_at is not None and len(events) == cancel_at:
+            await gateway.cancel(stream.job_id)
+        events.append(event)
+    return events
+
+
+def _assert_stream_contract(events, record) -> None:
+    assert events, "every admitted job yields at least admitted + terminal"
+    assert [e.seq for e in events] == list(range(len(events)))
+    assert events[0].kind == "admitted"
+    terminal_flags = [e.terminal for e in events]
+    assert terminal_flags.count(True) == 1
+    assert events[-1].terminal, "no events after the terminal event"
+    assert events[-1].kind == "state"
+    assert events[-1].state == record.state.value
+    previous = None
+    for event in events:
+        if event.kind != "state":
+            continue
+        assert previous in LEGAL_PREDECESSORS[event.state], (
+            f"illegal transition {previous} -> {event.state}"
+        )
+        previous = event.state
+    # Retry notices pair one-to-one with RUNNING -> PENDING demotions.
+    retries = sum(1 for e in events if e.kind == "retry")
+    pendings = sum(1 for e in events if e.state == "PENDING")
+    assert retries == pendings
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(scripts=st.lists(job_script, min_size=1, max_size=4), workers=st.integers(1, 2))
+def test_random_interleavings_preserve_stream_contract(scripts, workers):
+    async def main():
+        named = {f"job{i}": script for i, script in enumerate(scripts)}
+        runner = ScriptedRunner(named)
+        pool = WorkerPool(
+            workers=workers,
+            runner=runner,
+            max_retries=MAX_RETRIES,
+            backoff=0.001,
+            seed=7,
+        )
+        try:
+            async with MosaicGateway(pool, max_pending=len(named)) as gateway:
+                streams = [
+                    await gateway.submit(
+                        JobSpec(input="x", target="y", name=name)
+                    )
+                    for name in named
+                ]
+                collected = await asyncio.gather(
+                    *(
+                        _consume(gateway, stream, named[stream.record.spec.name]["cancel_at"])
+                        for stream in streams
+                    )
+                )
+            assert gateway.pending == 0
+        finally:
+            pool.shutdown()
+        for stream, events in zip(streams, collected):
+            _assert_stream_contract(events, stream.record)
+            assert stream.record.state in (
+                JobState.DONE, JobState.FAILED, JobState.CANCELLED,
+            )
+
+    asyncio.run(main())

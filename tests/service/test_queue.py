@@ -105,6 +105,67 @@ class TestCancel:
         assert q.pop(timeout=0.1).spec.name == "b"
 
 
+class TestCancelPopRace:
+    def test_concurrent_cancel_and_pop_never_conflict(self):
+        """Cancellation transitions under the queue lock, so a record is
+        either delivered to a consumer or CANCELLED — never both, and
+        never an illegal PENDING->RUNNING-after-CANCELLED transition.
+        Regression test for a race where cancel() transitioned outside
+        the lock while pop() handed the same record to a worker."""
+        for round_no in range(20):
+            q = JobQueue()
+            records = [record(f"r{round_no}-{i}") for i in range(8)]
+            for r in records:
+                q.push(r)
+            popped: list[JobRecord] = []
+            cancelled: list[str] = []
+            errors: list[BaseException] = []
+            start = threading.Barrier(3)
+
+            def consumer() -> None:
+                try:
+                    start.wait()
+                    while True:
+                        item = q.pop(timeout=0.2)
+                        if item is None:
+                            return
+                        item.transition(JobState.RUNNING)
+                        popped.append(item)
+                except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                    errors.append(exc)
+
+            def canceller() -> None:
+                try:
+                    start.wait()
+                    for r in records:
+                        if q.cancel(r.job_id):
+                            cancelled.append(r.job_id)
+                except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=consumer),
+                threading.Thread(target=canceller),
+            ]
+            for t in threads:
+                t.start()
+            start.wait()
+            for t in threads:
+                t.join(timeout=10.0)
+            assert errors == []
+            # Every record went exactly one way.
+            popped_ids = {r.job_id for r in popped}
+            assert popped_ids.isdisjoint(cancelled)
+            assert len(popped_ids) + len(cancelled) == len(records)
+            for r in records:
+                expected = (
+                    JobState.CANCELLED
+                    if r.job_id in cancelled
+                    else JobState.RUNNING
+                )
+                assert r.state is expected
+
+
 class TestConcurrency:
     def test_many_producers_one_consumer(self):
         q = JobQueue()

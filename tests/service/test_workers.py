@@ -36,6 +36,42 @@ def _sleepy_runner(job_spec: JobSpec) -> str:  # used by the process-kind test
     return job_spec.name
 
 
+class FakeClock:
+    """Drop-in for :class:`SystemClock` that records backoff sleeps and
+    advances virtual time instead of blocking — retry tests assert the
+    requested delays without ever sleeping for real."""
+
+    def __init__(self) -> None:
+        self.sleeps: list[float] = []
+        self._now = 0.0
+        self._lock = threading.Lock()
+
+    def monotonic(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        with self._lock:
+            self.sleeps.append(seconds)
+            self._now += seconds
+
+
+class BlockingRunner:
+    """Runner that signals when it starts and blocks until released —
+    replaces wall-clock sleeps when a test needs a busy worker."""
+
+    def __init__(self) -> None:
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self.order: list[str] = []
+
+    def __call__(self, job_spec: JobSpec) -> str:
+        self.started.set()
+        assert self.release.wait(timeout=10.0), "test never released the runner"
+        self.order.append(job_spec.name)
+        return job_spec.name
+
+
 class TestPoolBasics:
     def test_runs_jobs_and_returns_records(self):
         with WorkerPool(workers=2, runner=_echo_runner) as pool:
@@ -89,22 +125,16 @@ class TestPoolBasics:
 
 class TestPriorities:
     def test_high_priority_jobs_run_first(self):
-        order: list[str] = []
-        gate = threading.Event()
-
-        def runner(job_spec: JobSpec) -> None:
-            gate.wait(timeout=5.0)
-            order.append(job_spec.name)
-
+        runner = BlockingRunner()
         pool = WorkerPool(workers=1, runner=runner)
         pool.submit(spec("blocker"))  # occupies the single worker
-        time.sleep(0.05)
+        assert runner.started.wait(timeout=5.0)
         pool.submit(spec("low", priority=0))
         pool.submit(spec("high", priority=9))
-        gate.set()
+        runner.release.set()
         pool.join()
         pool.shutdown()
-        assert order == ["blocker", "high", "low"]
+        assert runner.order == ["blocker", "high", "low"]
 
 
 class TestRetries:
@@ -118,27 +148,38 @@ class TestRetries:
             return "ok"
 
         metrics = MetricsRegistry()
+        clock = FakeClock()
+        # The backoff is large on purpose: the fake clock proves the pool
+        # sleeps virtually, so the test cannot become slow or flaky.
         with WorkerPool(
-            workers=1, runner=flaky, metrics=metrics, max_retries=3, backoff=0.001
+            workers=1, runner=flaky, metrics=metrics, max_retries=3,
+            backoff=5.0, clock=clock,
         ) as pool:
             (record,) = pool.run([spec()])
         assert record.state is JobState.DONE
         assert record.attempts == 3
         assert metrics.counter("job_retries").value == 2
+        assert len(clock.sleeps) == 2  # one backoff per retry
+        assert all(delay > 0 for delay in clock.sleeps)
+        # Exponential schedule: the second backoff waits longer.
+        assert clock.sleeps[1] > clock.sleeps[0]
 
     def test_permanent_failure_exhausts_budget(self):
         def broken(job_spec: JobSpec) -> None:
             raise ValueError("always broken")
 
         metrics = MetricsRegistry()
+        clock = FakeClock()
         with WorkerPool(
-            workers=1, runner=broken, metrics=metrics, max_retries=2, backoff=0.001
+            workers=1, runner=broken, metrics=metrics, max_retries=2,
+            backoff=5.0, clock=clock,
         ) as pool:
             (record,) = pool.run([spec()])
         assert record.state is JobState.FAILED
         assert record.attempts == 3
         assert "always broken" in record.error
         assert metrics.counter("jobs_failed").value == 1
+        assert len(clock.sleeps) == 2  # no backoff after the final attempt
 
     def test_spec_retry_budget_overrides_pool_default(self):
         calls = {"n": 0}
@@ -147,7 +188,9 @@ class TestRetries:
             calls["n"] += 1
             raise RuntimeError("nope")
 
-        with WorkerPool(workers=1, runner=broken, max_retries=5, backoff=0.001) as pool:
+        with WorkerPool(
+            workers=1, runner=broken, max_retries=5, clock=FakeClock()
+        ) as pool:
             (record,) = pool.run([spec(max_retries=0)])
         assert record.state is JobState.FAILED
         assert calls["n"] == 1
@@ -158,19 +201,25 @@ class TestTimeouts:
         """The acceptance scenario: a hung job must be retried, marked
         FAILED, and must not block other jobs from completing."""
 
+        hang = threading.Event()
+
         def runner(job_spec: JobSpec) -> str:
             if job_spec.name == "hung":
-                time.sleep(5.0)
+                hang.wait(timeout=30.0)  # released in the finally below
             return job_spec.name
 
         metrics = MetricsRegistry()
         pool = WorkerPool(
-            workers=2, runner=runner, metrics=metrics, max_retries=1, backoff=0.001
+            workers=2, runner=runner, metrics=metrics, max_retries=1,
+            backoff=5.0, clock=FakeClock(),
         )
-        hung = pool.submit(spec("hung", timeout=0.05))
-        quick = [pool.submit(spec(f"q{i}")) for i in range(4)]
-        finished = pool.join(timeout=10.0)
-        pool.shutdown(timeout=1.0)
+        try:
+            hung = pool.submit(spec("hung", timeout=0.05))
+            quick = [pool.submit(spec(f"q{i}")) for i in range(4)]
+            finished = pool.join(timeout=10.0)
+        finally:
+            hang.set()  # unblock abandoned attempts immediately
+            pool.shutdown(timeout=5.0)
         assert finished
         assert hung.state is JobState.FAILED
         assert hung.attempts == 2
@@ -179,57 +228,55 @@ class TestTimeouts:
         assert metrics.counter("job_timeouts").value == 2
 
     def test_pool_default_timeout_applies(self):
-        def slow(job_spec: JobSpec) -> None:
-            time.sleep(5.0)
+        hang = threading.Event()
 
-        with WorkerPool(
-            workers=1,
-            runner=slow,
-            max_retries=0,
-            default_timeout=0.05,
-            backoff=0.001,
-        ) as pool:
-            (record,) = pool.run([spec()])
+        def slow(job_spec: JobSpec) -> None:
+            hang.wait(timeout=30.0)
+
+        try:
+            with WorkerPool(
+                workers=1,
+                runner=slow,
+                max_retries=0,
+                default_timeout=0.05,
+                clock=FakeClock(),
+            ) as pool:
+                (record,) = pool.run([spec()])
+        finally:
+            hang.set()
         assert record.state is JobState.FAILED
 
 
 class TestCancelAndShutdown:
     def test_cancel_pending_job(self):
-        gate = threading.Event()
-
-        def runner(job_spec: JobSpec) -> None:
-            gate.wait(timeout=5.0)
-
+        runner = BlockingRunner()
         pool = WorkerPool(workers=1, runner=runner)
         pool.submit(spec("blocker"))
-        time.sleep(0.05)
+        assert runner.started.wait(timeout=5.0)
         victim = pool.submit(spec("victim"))
         assert pool.cancel(victim.job_id) is True
-        gate.set()
+        runner.release.set()
         assert pool.join(timeout=5.0)
         pool.shutdown()
         assert victim.state is JobState.CANCELLED
 
     def test_shutdown_no_drain_cancels_pending(self):
-        gate = threading.Event()
-
-        def runner(job_spec: JobSpec) -> None:
-            gate.wait(timeout=5.0)
-
+        runner = BlockingRunner()
         pool = WorkerPool(workers=1, runner=runner)
         pool.submit(spec("running"))
-        time.sleep(0.05)
+        assert runner.started.wait(timeout=5.0)
         pending = [pool.submit(spec(f"p{i}")) for i in range(3)]
-        gate.set()
+        runner.release.set()
         pool.shutdown(drain=False, timeout=5.0)
         assert all(r.state is JobState.CANCELLED for r in pending)
 
     def test_drain_completes_queued_work(self):
         done: list[str] = []
+        lock = threading.Lock()
 
         def runner(job_spec: JobSpec) -> None:
-            time.sleep(0.01)
-            done.append(job_spec.name)
+            with lock:
+                done.append(job_spec.name)
 
         pool = WorkerPool(workers=2, runner=runner)
         for i in range(6):
