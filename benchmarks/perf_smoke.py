@@ -1,0 +1,223 @@
+#!/usr/bin/env python
+"""Machine-readable perf smoke for the acceleration layer (PR 4).
+
+Measures the four quantities the hot-path acceleration layer promises —
+error-matrix build time, 2-opt sweep time, pair evaluations saved by
+active-pair pruning, and bytes copied on warm cache hits — and writes
+them to ``BENCH_4.json``.  Invariants (bit-identical pruning, >= 3x fewer
+pair evaluations at S >= 1024, >= 5x smaller per-worker serialisation,
+zero warm-hit copies under mmap) are asserted on every run; wall-clock
+numbers are additionally compared against a committed baseline with
+``--baseline`` (used by the CI perf-smoke job, which fails on a > 2x
+regression).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py --out BENCH_4.json
+    PYTHONPATH=src python benchmarks/perf_smoke.py \
+        --baseline benchmarks/BENCH_4_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.accel.shm import SharedArrayPlane, shared_memory_available
+from repro.cost.base import get_metric
+from repro.cost.matrix import error_matrix
+from repro.imaging import standard_image
+from repro.localsearch import local_search_parallel
+from repro.mosaic.config import MosaicConfig
+from repro.mosaic.generator import PhotomosaicGenerator
+from repro.service.diskcache import DiskCacheStore
+
+SCHEMA = "repro-perf-smoke/1"
+
+#: Timing fields checked against the baseline (counters and ratios are
+#: machine-independent and asserted directly instead).
+TIMED_FIELDS = (
+    ("error_matrix", "seconds"),
+    ("sweeps", "pruned_seconds"),
+    ("sweeps", "unpruned_seconds"),
+)
+
+
+def build_instance(s: int, tile: int) -> np.ndarray:
+    """Pipeline-built error matrix with ``s`` tiles per image."""
+    side = int(round(s**0.5))
+    if side * side != s:
+        raise SystemExit(f"--s must be a perfect square, got {s}")
+    size = side * tile
+    gen = PhotomosaicGenerator(MosaicConfig(tile_size=tile))
+    inp = standard_image("portrait", size)
+    tgt = standard_image("sailboat", size)
+    start = time.perf_counter()
+    _, matrix = gen.build_error_matrix(inp, tgt)
+    elapsed = time.perf_counter() - start
+    return matrix, elapsed
+
+
+def bench_sweeps(matrix: np.ndarray) -> dict:
+    s = matrix.shape[0]
+    start = time.perf_counter()
+    unpruned = local_search_parallel(matrix, prune=False)
+    unpruned_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    pruned = local_search_parallel(matrix, prune=True)
+    pruned_seconds = time.perf_counter() - start
+    identical = bool(
+        (pruned.permutation == unpruned.permutation).all()
+        and pruned.trace.totals == unpruned.trace.totals
+    )
+    sweeps = len(pruned.trace.swap_counts)
+    pairs_full = sweeps * s * (s - 1) // 2
+    pairs_pruned = pruned.meta["pairs_evaluated"]
+    return {
+        "s": s,
+        "sweeps": sweeps,
+        "pruned_seconds": pruned_seconds,
+        "unpruned_seconds": unpruned_seconds,
+        "pairs_evaluated_unpruned": pairs_full,
+        "pairs_evaluated_pruned": pairs_pruned,
+        "pairs_skipped": pruned.meta["pairs_skipped"],
+        "eval_ratio": pairs_full / max(1, pairs_pruned),
+        "bit_identical": identical,
+        "total_error": int(pruned.total),
+    }
+
+
+def bench_serialization(matrix: np.ndarray) -> dict:
+    """Per-worker bytes: pickled feature payload vs shared-memory handle."""
+    tiles = np.zeros((matrix.shape[0], 8, 8), dtype=np.uint8)
+    features = get_metric("sad").prepare(tiles)
+    payload_bytes = len(pickle.dumps(features, protocol=pickle.HIGHEST_PROTOCOL))
+    if not shared_memory_available():
+        return {
+            "payload_bytes": payload_bytes,
+            "handle_bytes": None,
+            "ratio": None,
+        }
+    with SharedArrayPlane() as plane:
+        handle = plane.publish("bench-features", features)
+        handle_bytes = len(pickle.dumps(handle, protocol=pickle.HIGHEST_PROTOCOL))
+    return {
+        "payload_bytes": payload_bytes,
+        "handle_bytes": handle_bytes,
+        "ratio": payload_bytes / handle_bytes,
+    }
+
+
+def bench_warm_cache(matrix: np.ndarray) -> dict:
+    """Bytes heap-copied by a warm cache hit, mmap on vs off."""
+    out: dict = {}
+    for label, mode in (("mmap", "r"), ("copy", None)):
+        with tempfile.TemporaryDirectory(prefix="perf-smoke-") as root:
+            store = DiskCacheStore(root, mmap_mode=mode)
+            store.put("matrix/bench", matrix)
+            warm = store.get("matrix/bench")
+            assert np.array_equal(warm, matrix)
+            out[f"{label}_copied_bytes"] = store.stats.copied_bytes
+            out[f"{label}_mmap_hits"] = store.stats.mmap_hits
+    return out
+
+
+def check_invariants(report: dict) -> list[str]:
+    failures = []
+    sweeps = report["sweeps"]
+    if not sweeps["bit_identical"]:
+        failures.append("pruned sweep result differs from unpruned")
+    if sweeps["s"] >= 1024 and sweeps["eval_ratio"] < 3.0:
+        failures.append(
+            f"pruning saved only {sweeps['eval_ratio']:.2f}x pair "
+            f"evaluations at S={sweeps['s']} (need >= 3x)"
+        )
+    ser = report["serialization"]
+    if ser["ratio"] is not None and ser["ratio"] < 5.0:
+        failures.append(
+            f"shm handle is only {ser['ratio']:.1f}x smaller than the "
+            "pickled payload (need >= 5x)"
+        )
+    cache = report["warm_cache"]
+    if cache["mmap_copied_bytes"] != 0:
+        failures.append(
+            f"warm mmap hit copied {cache['mmap_copied_bytes']} bytes"
+        )
+    if cache["copy_copied_bytes"] <= 0:
+        failures.append("copying read measured no bytes (instrumentation bug)")
+    return failures
+
+
+def check_baseline(report: dict, baseline: dict, max_ratio: float) -> list[str]:
+    failures = []
+    for section, field in TIMED_FIELDS:
+        old = baseline.get(section, {}).get(field)
+        new = report.get(section, {}).get(field)
+        if not old or not new:
+            continue
+        if new > old * max_ratio:
+            failures.append(
+                f"{section}.{field}: {new:.3f}s vs baseline {old:.3f}s "
+                f"(> {max_ratio:.1f}x regression)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--s", type=int, default=1024, help="grid tiles S")
+    parser.add_argument("--tile", type=int, default=8, help="tile side M")
+    parser.add_argument("--out", default="BENCH_4.json", help="report path")
+    parser.add_argument(
+        "--baseline", default=None, help="compare timings against this report"
+    )
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.0,
+        help="fail when a timing exceeds baseline by this factor",
+    )
+    args = parser.parse_args(argv)
+
+    matrix, matrix_seconds = build_instance(args.s, args.tile)
+    report = {
+        "schema": SCHEMA,
+        "s": args.s,
+        "tile": args.tile,
+        "error_matrix": {"seconds": matrix_seconds, "backend": "numpy"},
+        "sweeps": bench_sweeps(matrix),
+        "serialization": bench_serialization(matrix),
+        "warm_cache": bench_warm_cache(matrix),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    print(
+        f"  error matrix  : {matrix_seconds:.3f}s at S={args.s}\n"
+        f"  sweeps        : pruned {report['sweeps']['pruned_seconds']:.3f}s, "
+        f"unpruned {report['sweeps']['unpruned_seconds']:.3f}s, "
+        f"{report['sweeps']['eval_ratio']:.2f}x fewer pair evaluations\n"
+        f"  serialization : {report['serialization']['payload_bytes']} B payload"
+        f" vs {report['serialization']['handle_bytes']} B handle\n"
+        f"  warm cache    : {report['warm_cache']['mmap_copied_bytes']} B copied"
+        " under mmap"
+    )
+
+    failures = check_invariants(report)
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            failures += check_baseline(report, json.load(fh), args.max_ratio)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

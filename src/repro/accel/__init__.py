@@ -1,0 +1,48 @@
+"""Hot-path acceleration layer.
+
+Three independent pieces, combinable per deployment:
+
+* :mod:`repro.accel.backend` — the ``xp`` array-module dispatch registry
+  (NumPy always; CuPy auto-detected when installed), so Step 2 and the
+  vectorised Step-3 commit path run unchanged on whichever array library
+  the host actually has.
+* :mod:`repro.accel.dirty` — active-pair pruning for the 2-opt sweeps:
+  a per-position dirty mask restricts late sweeps to pairs that can
+  still improve, dropping them from ``O(S^2)`` to ``O(S * dirty)``
+  while provably reaching the *same* fixed point (see the module doc).
+* :mod:`repro.accel.shm` — a zero-copy data plane over
+  :mod:`multiprocessing.shared_memory`: large arrays are published once
+  and process workers rehydrate tiny picklable handles instead of
+  re-pickling multi-hundred-MB payloads per fan-out.
+"""
+
+from repro.accel.backend import (
+    ArrayBackend,
+    BackendUnavailable,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.accel.dirty import ClassPruner, SweepPruner
+from repro.accel.shm import (
+    SharedArrayHandle,
+    SharedArrayPlane,
+    attach_shared_array,
+    reap_stale_segments,
+    shared_memory_available,
+)
+
+__all__ = [
+    "ArrayBackend",
+    "BackendUnavailable",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "ClassPruner",
+    "SweepPruner",
+    "SharedArrayHandle",
+    "SharedArrayPlane",
+    "attach_shared_array",
+    "reap_stale_segments",
+    "shared_memory_available",
+]

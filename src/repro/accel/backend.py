@@ -1,0 +1,169 @@
+"""Pluggable array-module dispatch — the SciPy-ecosystem ``xp`` pattern.
+
+An :class:`ArrayBackend` bundles an array module (``numpy``, ``cupy``)
+with the two conversions the pipeline needs at its boundaries:
+``asarray`` (host -> backend) and ``to_numpy`` (backend -> host).  All
+hot-path kernels are written against the NumPy API surface that CuPy
+mirrors (and that NEP-18 dispatches for ``np.*`` calls on foreign
+arrays), so the same code runs on whichever backend is selected.
+
+Backends register *loaders*, not instances: probing for CuPy imports the
+library and checks for a usable device only when the backend is first
+requested, so machines without a GPU pay nothing.  ``"auto"`` resolves
+to the best available backend (CuPy if usable, NumPy otherwise) and is
+what ``--backend auto`` on the CLI means.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "BackendUnavailable",
+    "available_backends",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+]
+
+#: Resolution order for ``"auto"``: first usable backend wins.
+AUTO_ORDER = ("cupy", "numpy")
+
+
+class BackendUnavailable(RuntimeError):
+    """The requested backend's library or device is not usable here."""
+
+
+@dataclass(frozen=True)
+class ArrayBackend:
+    """One array library plus its host-boundary conversions.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"numpy"``, ``"cupy"``).
+    xp:
+        The array module itself; hot paths call ``self.xp.arange`` etc.
+    asarray / to_numpy:
+        Host -> backend and backend -> host conversions.  For NumPy both
+        are no-copy pass-throughs.
+    synchronize:
+        Block until queued device work is complete (no-op on NumPy);
+        benchmarks call it so timings measure compute, not launch.
+    """
+
+    name: str
+    xp: Any
+    asarray: Callable[[Any], Any]
+    to_numpy: Callable[[Any], np.ndarray]
+    synchronize: Callable[[], None] = field(default=lambda: None)
+
+    @property
+    def is_numpy(self) -> bool:
+        return self.xp is np
+
+
+_LOCK = threading.Lock()
+_LOADERS: dict[str, Callable[[], ArrayBackend]] = {}
+_CACHE: dict[str, ArrayBackend] = {}
+
+
+def register_backend(name: str, loader: Callable[[], ArrayBackend]) -> None:
+    """Register a backend loader under ``name``.
+
+    The loader runs at most once (its result is cached) and must raise
+    :class:`BackendUnavailable` when the library or device is missing.
+    """
+    with _LOCK:
+        _LOADERS[name] = loader
+        _CACHE.pop(name, None)
+
+
+def backend_names() -> tuple[str, ...]:
+    """All registered backend names (usable or not), plus ``"auto"``."""
+    with _LOCK:
+        return ("auto", *sorted(_LOADERS))
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends that actually load on this machine."""
+    usable = []
+    for name in sorted(_LOADERS):
+        try:
+            get_backend(name)
+        except BackendUnavailable:
+            continue
+        usable.append(name)
+    return tuple(usable)
+
+
+def get_backend(name: str | ArrayBackend | None = None) -> ArrayBackend:
+    """Resolve a backend by name; ``None``/``"numpy"`` never fails.
+
+    ``"auto"`` walks :data:`AUTO_ORDER` and returns the first backend
+    that loads — NumPy is always registered, so ``"auto"`` cannot fail.
+    """
+    if isinstance(name, ArrayBackend):
+        return name
+    if name is None:
+        name = "numpy"
+    if name == "auto":
+        for candidate in AUTO_ORDER:
+            try:
+                return get_backend(candidate)
+            except BackendUnavailable:
+                continue
+        return get_backend("numpy")
+    with _LOCK:
+        cached = _CACHE.get(name)
+        loader = _LOADERS.get(name)
+    if cached is not None:
+        return cached
+    if loader is None:
+        raise BackendUnavailable(
+            f"unknown array backend {name!r} (registered: {sorted(_LOADERS)})"
+        )
+    backend = loader()  # outside the lock: loaders may import heavy libraries
+    with _LOCK:
+        _CACHE[name] = backend
+    return backend
+
+
+def _load_numpy() -> ArrayBackend:
+    return ArrayBackend(
+        name="numpy",
+        xp=np,
+        asarray=np.asarray,
+        to_numpy=np.asarray,
+    )
+
+
+def _load_cupy() -> ArrayBackend:
+    try:
+        import cupy  # type: ignore[import-not-found]
+    except Exception as exc:  # ImportError or a broken CUDA install
+        raise BackendUnavailable(f"cupy is not importable: {exc}") from exc
+    try:
+        if cupy.cuda.runtime.getDeviceCount() < 1:
+            raise BackendUnavailable("cupy found no CUDA device")
+        cupy.zeros(1).sum()  # smoke-test an actual allocation + kernel
+    except BackendUnavailable:
+        raise
+    except Exception as exc:
+        raise BackendUnavailable(f"cupy device unusable: {exc}") from exc
+    return ArrayBackend(
+        name="cupy",
+        xp=cupy,
+        asarray=cupy.asarray,
+        to_numpy=cupy.asnumpy,
+        synchronize=cupy.cuda.runtime.deviceSynchronize,
+    )
+
+
+register_backend("numpy", _load_numpy)
+register_backend("cupy", _load_cupy)

@@ -1,0 +1,286 @@
+"""Zero-copy fan-out of large arrays to process workers.
+
+The process-executor paths used to pickle the Step-2 feature matrices
+(hundreds of MB at paper scale) into every worker.  Here the parent
+*publishes* each array into a named :class:`multiprocessing.shared_memory`
+segment once, and ships workers a :class:`SharedArrayHandle` — a few
+hundred bytes of name/shape/dtype — which they rehydrate into a NumPy
+view over the same physical pages.  No per-worker copy, no pickle of the
+payload.
+
+Lifecycle rules (segments are kernel objects; leaking them strands
+``/dev/shm`` pages until reboot):
+
+* Every plane registers itself in a module-level table that an
+  :func:`atexit` hook drains, so normal interpreter exit unlinks
+  everything even if the owner forgot ``close()``.
+* Segment names embed the owning PID (``repro-accel-<pid>-<seq>-...``),
+  so :func:`reap_stale_segments` can find segments whose owner died
+  without cleanup (SIGKILL, OOM), unlink them, and tick the
+  ``shm_leaked_total`` metric.
+* Worker-side attachments are cached per process and *closed, never
+  unlinked* — only the publishing side owns the name.
+"""
+
+from __future__ import annotations
+
+import atexit
+import errno
+import os
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+try:  # pragma: no cover - always present on CPython >= 3.8
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+__all__ = [
+    "SHM_PREFIX",
+    "SharedArrayHandle",
+    "SharedArrayPlane",
+    "attach_shared_array",
+    "reap_stale_segments",
+    "shared_memory_available",
+]
+
+#: Prefix of every segment this module creates; the reaper only ever
+#: touches names under it.
+SHM_PREFIX = "repro-accel"
+
+_PLANES_LOCK = threading.Lock()
+_LIVE_PLANES: list["SharedArrayPlane"] = []
+_ATEXIT_REGISTERED = False
+
+# Worker-side attachment cache: name -> (SharedMemory, ndarray view).
+# Keeping the SharedMemory object referenced is what keeps the mapping
+# (and thus the view's buffer) valid for the life of the process.
+_ATTACHED_LOCK = threading.Lock()
+_ATTACHED: dict[str, tuple[object, np.ndarray]] = {}
+
+
+def shared_memory_available() -> bool:
+    """Whether this platform can create named shared-memory segments."""
+    return _shared_memory is not None
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """Picklable pointer to one published array.
+
+    ``pickle.dumps(handle)`` is a few hundred bytes regardless of the
+    payload size — that is the whole point.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+
+def attach_shared_array(handle: SharedArrayHandle) -> np.ndarray:
+    """Rehydrate a handle into a read-only view over the shared pages.
+
+    Attachments are cached per process: repeated calls for the same
+    segment return the same view without re-mapping, and the underlying
+    mapping stays alive until the process exits.
+    """
+    if _shared_memory is None:
+        raise RuntimeError("multiprocessing.shared_memory is unavailable here")
+    with _ATTACHED_LOCK:
+        cached = _ATTACHED.get(handle.name)
+        if cached is not None:
+            return cached[1]
+    segment = _shared_memory.SharedMemory(name=handle.name)
+    # Note on the resource tracker (CPython < 3.13 registers attach-side
+    # opens too): within one process tree the tracker keeps a single
+    # entry per name, and the publisher's ``unlink()`` un-registers it —
+    # so attachments need no bookkeeping of their own.  Attaching a
+    # segment published by an *unrelated* process tree would hand this
+    # tree's tracker delete rights over a segment it does not own; the
+    # plane API is worker-pool-scoped precisely to avoid that.
+    view = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype), buffer=segment.buf)
+    view.setflags(write=False)  # workers share pages; writes would race
+    with _ATTACHED_LOCK:
+        raced = _ATTACHED.setdefault(handle.name, (segment, view))
+    if raced[1] is not view:  # lost a racing attach; drop our duplicate
+        segment.close()
+    return raced[1]
+
+
+class SharedArrayPlane:
+    """Owner of a set of published segments, with guaranteed unlink.
+
+    Use as a context manager around the fan-out::
+
+        with SharedArrayPlane() as plane:
+            handle = plane.publish("features", big_array)
+            ...ship handle to workers...
+        # segments closed + unlinked here, even on error
+
+    A plane is also registered for :func:`atexit` cleanup, and
+    :meth:`close` is idempotent, so belt *and* suspenders.
+    """
+
+    _seq = 0
+    _seq_lock = threading.Lock()
+
+    def __init__(self, *, metrics=None) -> None:
+        if _shared_memory is None:
+            raise RuntimeError("multiprocessing.shared_memory is unavailable here")
+        self.metrics = metrics
+        self._segments: dict[str, object] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        _register_plane(self)
+
+    def publish(self, label: str, array: np.ndarray) -> SharedArrayHandle:
+        """Copy ``array`` into a fresh segment; return its handle.
+
+        The one copy here replaces a pickle-encode + pipe-write + decode
+        per *worker*; N workers then map the same pages.
+        """
+        array = np.ascontiguousarray(array)
+        with SharedArrayPlane._seq_lock:
+            SharedArrayPlane._seq += 1
+            seq = SharedArrayPlane._seq
+        safe_label = "".join(c if c.isalnum() else "-" for c in label)[:32]
+        name = f"{SHM_PREFIX}-{os.getpid()}-{seq}-{safe_label}"
+        segment = _shared_memory.SharedMemory(
+            name=name, create=True, size=max(1, array.nbytes)
+        )
+        target = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        target[...] = array
+        with self._lock:
+            if self._closed:  # closed concurrently: do not leak the segment
+                segment.close()
+                segment.unlink()
+                raise RuntimeError("plane is closed")
+            self._segments[name] = segment
+        if self.metrics is not None:
+            self.metrics.counter(
+                "shm_published_bytes_total", "bytes published to shared memory"
+            ).inc(array.nbytes)
+        return SharedArrayHandle(
+            name=name, shape=tuple(array.shape), dtype=array.dtype.str
+        )
+
+    def close(self) -> None:
+        """Close and unlink every published segment (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            segments = list(self._segments.values())
+            self._segments.clear()
+        for segment in segments:
+            try:
+                segment.close()
+            except OSError:
+                pass
+            try:
+                segment.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+        _unregister_plane(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "SharedArrayPlane":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # last-resort; atexit covers normal exit
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _register_plane(plane: SharedArrayPlane) -> None:
+    global _ATEXIT_REGISTERED
+    with _PLANES_LOCK:
+        _LIVE_PLANES.append(plane)
+        if not _ATEXIT_REGISTERED:
+            atexit.register(_close_all_planes)
+            _ATEXIT_REGISTERED = True
+
+
+def _unregister_plane(plane: SharedArrayPlane) -> None:
+    with _PLANES_LOCK:
+        try:
+            _LIVE_PLANES.remove(plane)
+        except ValueError:
+            pass
+
+
+def _close_all_planes() -> None:
+    with _PLANES_LOCK:
+        planes = list(_LIVE_PLANES)
+    for plane in planes:
+        plane.close()
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # exists, owned by someone else
+        return True
+    except OSError as exc:  # pragma: no cover - exotic platforms
+        return exc.errno != errno.ESRCH
+    return True
+
+
+def reap_stale_segments(metrics=None, *, shm_dir: str = "/dev/shm") -> int:
+    """Unlink segments stranded by dead owners; returns how many.
+
+    A worker killed with SIGKILL never runs its ``finally``/atexit
+    cleanup, so its segments outlive it.  Their names embed the owning
+    PID; any segment under our prefix whose PID no longer exists is
+    leaked by definition.  Each reaped segment ticks ``shm_leaked_total``
+    so operators can see leaks happening instead of discovering a full
+    ``/dev/shm`` later.
+    """
+    if _shared_memory is None or not os.path.isdir(shm_dir):
+        return 0
+    reaped = 0
+    try:
+        entries = os.listdir(shm_dir)
+    except OSError:
+        return 0
+    for entry in entries:
+        if not entry.startswith(f"{SHM_PREFIX}-"):
+            continue
+        parts = entry.split("-")
+        try:
+            pid = int(parts[2])
+        except (IndexError, ValueError):
+            continue
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            segment = _shared_memory.SharedMemory(name=entry)
+        except (FileNotFoundError, OSError):
+            continue
+        try:
+            segment.close()
+            segment.unlink()
+            reaped += 1
+        except (OSError, FileNotFoundError):
+            continue
+    if reaped and metrics is not None:
+        metrics.counter(
+            "shm_leaked_total", "stranded shared-memory segments reaped"
+        ).inc(reaped)
+    return reaped

@@ -76,15 +76,23 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         metric=args.metric,
         solver=args.solver,
         histogram_match=not args.no_histogram_match,
+        array_backend=args.backend,
+        prune_sweeps=not args.no_prune,
     )
     result = PhotomosaicGenerator(config).generate(input_image, target_image)
     save_image(args.output, result.image)
     print(f"wrote {args.output}")
     print(f"algorithm       : {args.algorithm}")
+    if "array_backend" in result.meta:
+        print(f"array backend   : {result.meta['array_backend']}")
     print(f"tiles           : {result.permutation.shape[0]}")
     print(f"total error     : {result.total_error}")
     if result.sweeps is not None:
         print(f"sweeps (k)      : {result.sweeps}")
+    if "pairs_skipped" in result.meta:
+        evaluated = result.meta["pairs_evaluated"]
+        skipped = result.meta["pairs_skipped"]
+        print(f"pairs evaluated : {evaluated} ({skipped} pruned)")
     for phase, seconds in result.timings.phases.items():
         print(f"{phase:<16}: {seconds:.4f}s")
     return 0
@@ -439,6 +447,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-histogram-match",
         action="store_true",
         help="skip the Section II intensity adjustment",
+    )
+    gen.add_argument(
+        "--backend",
+        choices=("numpy", "cupy", "auto"),
+        default="numpy",
+        help="array backend for the Step-2/Step-3 hot paths: numpy, cupy "
+        "(GPU, when installed), or auto (best available) — see "
+        "docs/performance.md",
+    )
+    gen.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="disable active-pair sweep pruning (results are bit-identical "
+        "either way; only useful for measuring the unpruned baseline)",
     )
     gen.set_defaults(func=_cmd_generate)
 

@@ -41,6 +41,23 @@ class CostMetric(ABC):
         ``(A, B)`` ``int64``.  Must be safe for arbitrary chunk sizes.
         """
 
+    def rowwise(self, input_features: np.ndarray, target_features: np.ndarray) -> np.ndarray:
+        """Aligned per-row errors: ``out[i] = error(input_i, target_i)``.
+
+        The diagonal of :meth:`pairwise` computed in ``O(rows * F)``
+        instead of materialising an ``O(rows^2 * F)`` block — this is
+        what Eq. (2) evaluation actually needs.  The base fallback calls
+        :meth:`pairwise` one row at a time (correct for any metric);
+        the built-in metrics override it with vectorised kernels.
+        """
+        rows = input_features.shape[0]
+        out = np.empty(rows, dtype=ERROR_DTYPE)
+        for i in range(rows):
+            out[i] = self.pairwise(
+                input_features[i : i + 1], target_features[i : i + 1]
+            )[0, 0]
+        return out
+
     def tile_error(self, tile_a: np.ndarray, tile_b: np.ndarray) -> int:
         """Error between two single tiles (convenience wrapper)."""
         tile_a = np.asarray(tile_a)

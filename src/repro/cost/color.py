@@ -52,3 +52,11 @@ class WeightedColorMetric(CostMetric):
             - target_features[None, :, :].astype(np.int64)
         )
         return self._as_error(diff @ weight_vec)
+
+    def rowwise(self, input_features: np.ndarray, target_features: np.ndarray) -> np.ndarray:
+        pixels = input_features.shape[1] // 3
+        weight_vec = np.repeat(np.array(self.weights, dtype=np.int64), pixels)
+        diff = np.abs(
+            input_features.astype(np.int64) - target_features.astype(np.int64)
+        )
+        return self._as_error(diff @ weight_vec)

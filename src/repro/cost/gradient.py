@@ -61,3 +61,14 @@ class GradientMetric(CostMetric):
             return self._as_error(intensity_part)
         gradient_part = diff[:, :, pixels:].sum(axis=2)
         return self._as_error(intensity_part + self.weight * gradient_part)
+
+    def rowwise(self, input_features: np.ndarray, target_features: np.ndarray) -> np.ndarray:
+        pixels = input_features.shape[1] if self.weight == 0 else input_features.shape[1] // 2
+        diff = np.abs(
+            input_features.astype(np.int64) - target_features.astype(np.int64)
+        )
+        intensity_part = diff[:, :pixels].sum(axis=1)
+        if self.weight == 0:
+            return self._as_error(intensity_part)
+        gradient_part = diff[:, pixels:].sum(axis=1)
+        return self._as_error(intensity_part + self.weight * gradient_part)

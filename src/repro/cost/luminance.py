@@ -33,3 +33,6 @@ class LuminanceMetric(CostMetric):
     def pairwise(self, input_features: np.ndarray, target_features: np.ndarray) -> np.ndarray:
         diff = np.abs(input_features[:, 0][:, None] - target_features[:, 0][None, :])
         return self._as_error(diff)
+
+    def rowwise(self, input_features: np.ndarray, target_features: np.ndarray) -> np.ndarray:
+        return self._as_error(np.abs(input_features[:, 0] - target_features[:, 0]))

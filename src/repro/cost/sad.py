@@ -31,3 +31,7 @@ class SADMetric(CostMetric):
     def pairwise(self, input_features: np.ndarray, target_features: np.ndarray) -> np.ndarray:
         diff = np.abs(input_features[:, None, :] - target_features[None, :, :])
         return self._as_error(diff.sum(axis=2, dtype=np.int64))
+
+    def rowwise(self, input_features: np.ndarray, target_features: np.ndarray) -> np.ndarray:
+        diff = np.abs(input_features - target_features)
+        return self._as_error(diff.sum(axis=1, dtype=np.int64))

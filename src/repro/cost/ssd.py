@@ -37,3 +37,7 @@ class SSDMetric(CostMetric):
         # Guard against -0.0000001 from float rounding of identical rows.
         np.maximum(block, 0.0, out=block)
         return self._as_error(block)
+
+    def rowwise(self, input_features: np.ndarray, target_features: np.ndarray) -> np.ndarray:
+        diff = input_features - target_features
+        return self._as_error(np.einsum("if,if->i", diff, diff))

@@ -21,6 +21,7 @@ from repro.exceptions import ValidationError
 from repro.localsearch.base import ConvergenceTrace, LocalSearchResult
 from repro.localsearch.serial import local_search_serial
 from repro.tiles.permutation import identity_permutation
+from repro.utils.arrays import cached_positions
 from repro.types import ErrorMatrix, PermutationArray
 from repro.utils.rng import make_rng
 from repro.utils.validation import check_error_matrix, check_permutation
@@ -76,7 +77,7 @@ def simulated_annealing(
     if steps < 1:
         raise ValidationError(f"steps_per_temperature must be >= 1, got {steps}")
 
-    positions = np.arange(s)
+    positions = cached_positions(s)
     current = int(matrix[perm, positions].sum())
     best_perm = perm.copy()
     best = current

@@ -33,20 +33,38 @@ from typing import Callable
 
 import numpy as np
 
+from repro.accel.backend import ArrayBackend, get_backend
+from repro.accel.dirty import ClassPruner
 from repro.coloring.groups import EdgeGroups, build_edge_groups
 from repro.exceptions import ConvergenceError, ValidationError
 from repro.localsearch.base import ConvergenceTrace, LocalSearchResult
 from repro.tiles.permutation import identity_permutation
 from repro.types import ErrorMatrix, PermutationArray
+from repro.utils.arrays import cached_positions
 from repro.utils.validation import check_error_matrix, check_permutation
 
 __all__ = ["local_search_parallel"]
 
 
 def _commit_class(
-    matrix: np.ndarray, perm: np.ndarray, us: np.ndarray, vs: np.ndarray
+    matrix: np.ndarray,
+    perm: np.ndarray,
+    us: np.ndarray,
+    vs: np.ndarray,
+    pruner: ClassPruner | None = None,
+    class_id: int = 0,
 ) -> int:
-    """Evaluate and commit all improving swaps of one colour class."""
+    """Evaluate and commit all improving swaps of one colour class.
+
+    With a :class:`~repro.accel.dirty.ClassPruner` the class is first
+    restricted to pairs with an endpoint touched since their last
+    evaluation — exact (the class commits *every* improving pair, so an
+    untouched pair's gain is known non-positive; see
+    :mod:`repro.accel.dirty`) — and committed endpoints are stamped with
+    the current class-step.
+    """
+    if pruner is not None:
+        us, vs = pruner.select(class_id, us, vs)
     if us.size == 0:
         return 0
     tiles_u = perm[us]
@@ -56,9 +74,13 @@ def _commit_class(
     improving = current > swapped
     if not improving.any():
         return 0
+    committed_us = us[improving]
+    committed_vs = vs[improving]
     # Disjointness of the class makes this scatter race-free.
-    perm[us[improving]] = tiles_v[improving]
-    perm[vs[improving]] = tiles_u[improving]
+    perm[committed_us] = tiles_v[improving]
+    perm[committed_vs] = tiles_u[improving]
+    if pruner is not None:
+        pruner.mark(committed_us, committed_vs)
     return int(improving.sum())
 
 
@@ -90,6 +112,8 @@ def local_search_parallel(
     backend: str = "vectorized",
     workers: int = 4,
     max_sweeps: int = 10_000,
+    prune: bool = True,
+    array_backend: str | ArrayBackend | None = None,
     on_sweep: Callable[[int, int, int], None] | None = None,
 ) -> LocalSearchResult:
     """Run Algorithm 2 to a 2-opt local optimum.
@@ -109,6 +133,22 @@ def local_search_parallel(
         Thread count for the ``"threads"`` backend.
     max_sweeps:
         Safety bound; exceeding it raises :class:`ConvergenceError`.
+    prune:
+        Active-pair pruning (``"vectorized"`` backend only): after the
+        first sweep a pair is evaluated only when an endpoint was
+        touched by a committed swap since the pair's own last
+        evaluation (per-pair timestamps).  Bit-identical results — the
+        class commits every improving pair and an untouched pair cannot
+        newly improve (see :mod:`repro.accel.dirty`) — while late
+        sweeps drop from ``O(S^2)`` to ``O(S * dirty)``.  The
+        ``"threads"`` and ``"gpusim"`` backends model full-width
+        execution and ignore it.
+    array_backend:
+        Array library for the swap kernels (``None``/``"numpy"``,
+        ``"cupy"``, ``"auto"`` — :mod:`repro.accel.backend`).  A
+        non-NumPy backend moves the matrix, permutation, edge groups and
+        dirty mask to the device once and sweeps there; only the
+        ``"vectorized"`` execution backend supports it.
     on_sweep:
         Optional progress hook called after every sweep with
         ``(sweep_index, swaps_committed, total_error)``; exceptions it
@@ -133,37 +173,64 @@ def local_search_parallel(
         )
     if max_sweeps < 1:
         raise ValidationError(f"max_sweeps must be >= 1, got {max_sweeps}")
+    xb = get_backend(array_backend)
+    if not xb.is_numpy and backend != "vectorized":
+        raise ValidationError(
+            f"array backend {xb.name!r} requires the vectorized execution "
+            f"backend, got {backend!r}"
+        )
 
+    # Device residency: with a non-NumPy array backend the matrix, the
+    # permutation, the packed edge groups and the dirty mask all move to
+    # the device once; sweeps run entirely there and only the scalar
+    # per-sweep total (and the final permutation) cross back.
+    work_matrix = matrix if xb.is_numpy else xb.asarray(matrix)
+    work_perm = perm if xb.is_numpy else xb.asarray(perm)
+    classes = groups.classes
+    if not xb.is_numpy:
+        classes = tuple((xb.asarray(us), xb.asarray(vs)) for us, vs in classes)
+
+    pruner = (
+        ClassPruner(s, xp=xb.xp) if prune and backend == "vectorized" else None
+    )
     if backend == "gpusim":
         # Deferred import: gpusim depends on this module's sibling packages.
         from repro.gpusim.kernels.swap_kernel import run_swap_class_on_device
 
-        def commit(us: np.ndarray, vs: np.ndarray) -> int:
-            return run_swap_class_on_device(matrix, perm, us, vs)
+        def commit(class_id: int, us: np.ndarray, vs: np.ndarray) -> int:
+            return run_swap_class_on_device(work_matrix, work_perm, us, vs)
 
     elif backend == "threads":
         pool = ThreadPoolExecutor(max_workers=workers)
 
-        def commit(us: np.ndarray, vs: np.ndarray) -> int:
-            return _commit_class_threads(matrix, perm, us, vs, pool, workers)
+        def commit(class_id: int, us: np.ndarray, vs: np.ndarray) -> int:
+            return _commit_class_threads(
+                work_matrix, work_perm, us, vs, pool, workers
+            )
 
     else:
 
-        def commit(us: np.ndarray, vs: np.ndarray) -> int:
-            return _commit_class(matrix, perm, us, vs)
+        def commit(class_id: int, us: np.ndarray, vs: np.ndarray) -> int:
+            return _commit_class(
+                work_matrix, work_perm, us, vs, pruner, class_id
+            )
 
-    positions = np.arange(s)
+    positions = (
+        cached_positions(s) if xb.is_numpy else xb.xp.arange(s, dtype=np.intp)
+    )
     swap_counts: list[int] = []
     totals: list[int] = []
     kernel_launches = 0
     try:
         while True:
             swaps = 0
-            for us, vs in groups.classes:
-                swaps += commit(us, vs)
+            for class_id, (us, vs) in enumerate(classes):
+                swaps += commit(class_id, us, vs)
                 kernel_launches += 1
+            if pruner is not None:
+                pruner.end_sweep()
             swap_counts.append(swaps)
-            totals.append(int(matrix[perm, positions].sum()))
+            totals.append(int(work_matrix[work_perm, positions].sum()))
             if on_sweep is not None:
                 on_sweep(len(swap_counts) - 1, swaps, totals[-1])
             if swaps == 0:
@@ -175,10 +242,21 @@ def local_search_parallel(
     finally:
         if backend == "threads":
             pool.shutdown(wait=True)
+    if not xb.is_numpy:
+        perm = np.asarray(xb.to_numpy(work_perm), dtype=np.intp)
+    else:
+        perm = work_perm
+    meta = {
+        "kernel_launches": kernel_launches,
+        "classes": groups.class_count,
+        "array_backend": xb.name,
+    }
+    if pruner is not None:
+        meta.update(pruner.stats())
     return LocalSearchResult(
         permutation=perm,
         total=totals[-1],
         trace=ConvergenceTrace(tuple(swap_counts), tuple(totals)),
         strategy=f"parallel-{backend}",
-        meta={"kernel_launches": kernel_launches, "classes": groups.class_count},
+        meta=meta,
     )

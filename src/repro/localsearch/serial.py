@@ -23,10 +23,12 @@ from typing import Callable
 
 import numpy as np
 
+from repro.accel.dirty import SweepPruner
 from repro.exceptions import ConvergenceError, ValidationError
 from repro.localsearch.base import ConvergenceTrace, LocalSearchResult
 from repro.tiles.permutation import identity_permutation
 from repro.types import ErrorMatrix, PermutationArray
+from repro.utils.arrays import cached_positions
 from repro.utils.validation import check_error_matrix, check_permutation
 
 __all__ = ["local_search_serial"]
@@ -57,26 +59,52 @@ def _sweep_first(matrix_list: list[list[int]], perm: list[int], s: int) -> int:
     return swaps
 
 
-def _sweep_best_row(matrix: np.ndarray, perm: np.ndarray, s: int) -> int:
-    """One best-improvement-per-row sweep (vectorised); returns swap count."""
-    positions = np.arange(s)
+def _sweep_best_row(
+    matrix: np.ndarray,
+    perm: np.ndarray,
+    s: int,
+    pruner: SweepPruner | None = None,
+) -> int:
+    """One best-improvement-per-row sweep (vectorised); returns swap count.
+
+    With a :class:`~repro.accel.dirty.SweepPruner`, rows are evaluated
+    only against candidates with a dirty endpoint: a pair both of whose
+    endpoints are untouched since its last evaluation had a non-positive
+    gain then and the same gain now, so skipping it cannot change the
+    committed swap — including ``argmax`` tie-breaking, since every tie
+    at a *positive* maximum is a dirty pair and pruning preserves their
+    relative order (see the :mod:`repro.accel.dirty` module doc).
+    """
+    positions = cached_positions(s)
     swaps = 0
     for u in range(s):
         rest = positions[u + 1 :]
         if rest.size == 0:
             break
+        if pruner is None:
+            candidates = rest
+        elif pruner.live[u]:
+            candidates = rest
+            pruner.count(rest.size, 0)
+        else:
+            candidates = rest[pruner.live[rest]]
+            pruner.count(candidates.size, rest.size - candidates.size)
+            if candidates.size == 0:
+                continue
         tile_u = perm[u]
-        tiles_rest = perm[rest]
+        tiles_rest = perm[candidates]
         gains = (
             matrix[tile_u, u]
-            + matrix[tiles_rest, rest]
+            + matrix[tiles_rest, candidates]
             - matrix[tiles_rest, u]
-            - matrix[tile_u, rest]
+            - matrix[tile_u, candidates]
         )
         best = int(np.argmax(gains))
         if gains[best] > 0:
-            v = int(rest[best])
+            v = int(candidates[best])
             perm[u], perm[v] = perm[v], perm[u]
+            if pruner is not None:
+                pruner.mark_pair(u, v)
             swaps += 1
     return swaps
 
@@ -87,6 +115,7 @@ def local_search_serial(
     *,
     strategy: str = "first",
     max_sweeps: int = 10_000,
+    prune: bool = True,
     on_sweep: Callable[[int, int, int], None] | None = None,
 ) -> LocalSearchResult:
     """Run the serial approximation algorithm to a 2-opt local optimum.
@@ -102,6 +131,13 @@ def local_search_serial(
         ``"first"`` (paper Algorithm 1) or ``"best_row"`` (vectorised).
     max_sweeps:
         Safety bound; exceeding it raises :class:`ConvergenceError`.
+    prune:
+        Active-pair pruning for ``"best_row"``: sweeps after the first
+        evaluate only pairs with at least one endpoint touched by a
+        committed swap (:mod:`repro.accel.dirty`).  Bit-identical results;
+        late sweeps drop from ``O(S^2)`` to ``O(S * dirty)``.  The
+        ``"first"`` strategy is the paper's measured scalar baseline and
+        is never pruned.
     on_sweep:
         Optional progress hook called after every sweep with
         ``(sweep_index, swaps_committed, total_error)``.  Exceptions it
@@ -121,7 +157,8 @@ def local_search_serial(
 
     swap_counts: list[int] = []
     totals: list[int] = []
-    positions = np.arange(s)
+    positions = cached_positions(s)
+    meta: dict = {}
     if strategy == "first":
         matrix_list = matrix.tolist()
         perm_list = perm.tolist()
@@ -139,8 +176,11 @@ def local_search_serial(
                     f"serial local search exceeded {max_sweeps} sweeps"
                 )
     else:
+        pruner = SweepPruner(s) if prune else None
         while True:
-            swaps = _sweep_best_row(matrix, perm, s)
+            swaps = _sweep_best_row(matrix, perm, s, pruner)
+            if pruner is not None:
+                pruner.end_sweep()
             swap_counts.append(swaps)
             totals.append(int(matrix[perm, positions].sum()))
             if on_sweep is not None:
@@ -151,9 +191,12 @@ def local_search_serial(
                 raise ConvergenceError(
                     f"serial local search exceeded {max_sweeps} sweeps"
                 )
+        if pruner is not None:
+            meta = pruner.stats()
     return LocalSearchResult(
         permutation=perm,
         total=totals[-1],
         trace=ConvergenceTrace(tuple(swap_counts), tuple(totals)),
         strategy=strategy,
+        meta=meta,
     )

@@ -19,6 +19,7 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.localsearch.base import ConvergenceTrace, LocalSearchResult
 from repro.tiles.permutation import identity_permutation
+from repro.utils.arrays import cached_positions
 from repro.types import ErrorMatrix, PermutationArray
 from repro.utils.rng import make_rng
 from repro.utils.validation import check_error_matrix, check_permutation
@@ -66,7 +67,7 @@ def refine_three_opt(
     if samples < 1:
         raise ValidationError(f"samples_per_round must be >= 1, got {samples}")
 
-    positions = np.arange(s)
+    positions = cached_positions(s)
     totals: list[int] = []
     commit_counts: list[int] = []
     stale = 0

@@ -19,6 +19,7 @@ import numpy as np
 from repro.exceptions import ConvergenceError, ValidationError
 from repro.localsearch.base import ConvergenceTrace, LocalSearchResult
 from repro.tiles.permutation import identity_permutation
+from repro.utils.arrays import cached_positions
 from repro.types import ErrorMatrix, PermutationArray
 from repro.utils.validation import check_error_matrix, check_permutation
 
@@ -62,7 +63,7 @@ def local_search_windowed(
     else:
         perm = check_permutation(initial, s).copy()
 
-    positions = np.arange(s)
+    positions = cached_positions(s)
     swap_counts: list[int] = []
     totals: list[int] = []
     while True:

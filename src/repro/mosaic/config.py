@@ -52,6 +52,16 @@ class MosaicConfig:
         beyond the paper — see ``repro.tiles.transforms``).
     max_sweeps:
         Safety bound for the local-search algorithms.
+    array_backend:
+        Array library for the Step-2/Step-3 hot paths: ``"numpy"``
+        (default), ``"cupy"`` (GPU, when installed), or ``"auto"`` (best
+        available) — see :mod:`repro.accel.backend`.  Orthogonal to
+        :attr:`parallel_backend`, which picks the *execution model*.
+    prune_sweeps:
+        Active-pair pruning for the 2-opt sweeps
+        (:mod:`repro.accel.dirty`): after the first sweep only pairs
+        with a dirty endpoint are evaluated.  Results are bit-identical;
+        disable only to measure the unpruned baseline.
     """
 
     tile_size: int = 16
@@ -65,6 +75,8 @@ class MosaicConfig:
     allow_transforms: bool = False
     pyramid_factor: int = 2
     max_sweeps: int = 10_000
+    array_backend: str = "numpy"
+    prune_sweeps: bool = True
 
     def __post_init__(self) -> None:
         if self.tile_size < 1:
@@ -83,4 +95,11 @@ class MosaicConfig:
             raise ValidationError(
                 "pyramid and allow_transforms cannot combine: the coarse "
                 "stage has no orientation bookkeeping"
+            )
+        from repro.accel.backend import backend_names
+
+        if self.array_backend not in backend_names():
+            raise ValidationError(
+                f"unknown array backend {self.array_backend!r} "
+                f"(use one of {backend_names()})"
             )

@@ -28,6 +28,7 @@ from repro.mosaic.config import MosaicConfig
 from repro.mosaic.result import MosaicResult
 from repro.tiles.grid import TileGrid
 from repro.types import AnyImage, ErrorMatrix
+from repro.utils.arrays import cached_positions
 from repro.utils.timing import TimingBreakdown
 from repro.utils.validation import check_image
 
@@ -103,7 +104,10 @@ class PhotomosaicGenerator:
             )
         grid = TileGrid.for_image(input_image, self.config.tile_size)
         matrix = error_matrix(
-            grid.split(input_image), grid.split(target_image), self.config.metric
+            grid.split(input_image),
+            grid.split(target_image),
+            self.config.metric,
+            backend=self.config.array_backend,
         )
         return grid, matrix
 
@@ -137,6 +141,7 @@ class PhotomosaicGenerator:
                 matrix,
                 strategy=cfg.serial_strategy,
                 max_sweeps=cfg.max_sweeps,
+                prune=cfg.prune_sweeps,
                 on_sweep=on_sweep,
             )
         else:  # "parallel"
@@ -144,6 +149,8 @@ class PhotomosaicGenerator:
                 matrix,
                 backend=cfg.parallel_backend,
                 max_sweeps=cfg.max_sweeps,
+                prune=cfg.prune_sweeps,
+                array_backend=cfg.array_backend,
                 on_sweep=on_sweep,
             )
         meta = {"strategy": result.strategy, **result.meta}
@@ -247,7 +254,7 @@ class PhotomosaicGenerator:
         if orientation_codes is not None:
             from repro.tiles.transforms import apply_transforms_to_stack
 
-            positions = np.arange(grid.tile_count)
+            positions = cached_positions(grid.tile_count)
             chosen = orientation_codes[perm, positions].astype(np.intp)
             placed = apply_transforms_to_stack(placed, chosen)
             meta = {
@@ -278,7 +285,15 @@ class PhotomosaicGenerator:
             return transformed_error_matrix(
                 input_tiles, target_tiles, self.config.metric
             )
-        return error_matrix(input_tiles, target_tiles, self.config.metric), None
+        return (
+            error_matrix(
+                input_tiles,
+                target_tiles,
+                self.config.metric,
+                backend=self.config.array_backend,
+            ),
+            None,
+        )
 
     def _cached_tiles(
         self,

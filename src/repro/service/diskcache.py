@@ -48,8 +48,10 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import mmap
 import os
 import pickle
+import struct
 import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
@@ -57,10 +59,15 @@ from typing import Any, Callable, Mapping
 import numpy as np
 
 from repro.service.locks import FileLock, LockTimeout
+from repro.utils.arrays import mmap_npz_arrays
 
 __all__ = ["DiskCacheStore", "DiskCacheStats", "encode_payload", "decode_payload"]
 
 _MISS = object()
+
+
+class _CorruptPayload(Exception):
+    """Internal: payload failed length/checksum verification."""
 
 #: Sidecar/layout format version; bump on incompatible layout changes.
 FORMAT_VERSION = 1
@@ -166,6 +173,8 @@ class DiskCacheStats:
     corruptions: int = 0
     entries: int = 0
     current_bytes: int = 0
+    mmap_hits: int = 0
+    copied_bytes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -182,6 +191,8 @@ class DiskCacheStats:
             "corruptions": self.corruptions,
             "entries": self.entries,
             "current_bytes": self.current_bytes,
+            "mmap_hits": self.mmap_hits,
+            "copied_bytes": self.copied_bytes,
         }
 
 
@@ -201,6 +212,13 @@ class DiskCacheStore:
         Budget for acquiring the index and per-key locks.  On expiry the
         store degrades gracefully: index updates are skipped and
         ``get_or_compute`` computes without single-flight protection.
+    mmap_mode:
+        ``"r"`` (default) memory-maps array payloads on read instead of
+        heap-copying them: the checksum is verified over the mapping and
+        the returned arrays are read-only zero-copy views backed by the
+        page cache, so warm hits on a multi-hundred-MB error matrix stop
+        copying (``stats.copied_bytes`` stays flat).  ``None`` restores
+        the copying read.  Pickle-layout payloads always copy.
     metrics:
         Optional :class:`~repro.service.metrics.MetricsRegistry`; the
         store ticks ``cache_disk_{hits,misses,writes,evictions}_total``
@@ -217,13 +235,17 @@ class DiskCacheStore:
         max_bytes: int = 1 << 30,
         *,
         lock_timeout: float = 30.0,
+        mmap_mode: str | None = "r",
         metrics=None,
     ) -> None:
         if max_bytes <= 0:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if mmap_mode not in (None, "r"):
+            raise ValueError(f"mmap_mode must be None or 'r', got {mmap_mode!r}")
         self.root = os.fspath(root)
         self.max_bytes = int(max_bytes)
         self.lock_timeout = lock_timeout
+        self.mmap_mode = mmap_mode
         self.metrics = metrics
         self._stats = DiskCacheStats()
         self._stats_lock = threading.Lock()
@@ -236,6 +258,7 @@ class DiskCacheStore:
             "root": self.root,
             "max_bytes": self.max_bytes,
             "lock_timeout": self.lock_timeout,
+            "mmap_mode": self.mmap_mode,
         }
 
     def __setstate__(self, state: dict) -> None:
@@ -243,6 +266,7 @@ class DiskCacheStore:
             state["root"],
             state["max_bytes"],
             lock_timeout=state["lock_timeout"],
+            mmap_mode=state.get("mmap_mode", "r"),
         )
 
     # -- paths -----------------------------------------------------------
@@ -395,6 +419,39 @@ class DiskCacheStore:
 
     # -- read path -------------------------------------------------------
 
+    def _read_mmap(self, payload_path: str, sidecar: Mapping[str, Any]) -> Any:
+        """Zero-copy read: checksum over the mapping, views into it.
+
+        Raises :class:`_CorruptPayload` on length/checksum mismatch (the
+        caller quarantines), and :class:`ValueError`/``OSError`` when the
+        payload simply cannot be mapped (the caller falls back to the
+        copying read, which re-verifies).
+        """
+        if os.path.getsize(payload_path) != sidecar["nbytes"]:
+            raise _CorruptPayload
+        with open(payload_path, "rb") as fh:
+            mapping = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        # Hashing the mapping reads pages straight from the page cache —
+        # no heap copy of the payload is ever made on this path.
+        if hashlib.sha256(mapping).hexdigest() != sidecar["checksum"]:
+            raise _CorruptPayload
+        members = mmap_npz_arrays(payload_path)
+        layout = sidecar["layout"]
+        kind = layout.get("kind")
+        if kind == "array":
+            return members["a0"]
+        if kind in ("tuple", "list"):
+            out: list[Any] = []
+            index = 0
+            for element in layout["elements"]:
+                if element == "none":
+                    out.append(None)
+                else:
+                    out.append(members[f"a{index}"])
+                index += 1
+            return tuple(out) if kind == "tuple" else out
+        raise ValueError(f"layout {kind!r} is not mappable")
+
     def _read(self, key: str, count_miss: bool = True) -> Any:
         algo, digest = self._algo(key), self._digest(key)
         payload_path, sidecar_path = self._entry_paths(algo, digest)
@@ -414,6 +471,34 @@ class DiskCacheStore:
             if count_miss:
                 self._tick("misses", "cache_disk_misses_total")
             return _MISS
+        layout = sidecar["layout"]
+        if (
+            self.mmap_mode == "r"
+            and isinstance(layout, dict)
+            and layout.get("kind") in ("array", "tuple", "list")
+        ):
+            try:
+                value = self._read_mmap(payload_path, sidecar)
+            except _CorruptPayload:
+                self._quarantine(payload_path, sidecar_path, digest)
+                if count_miss:
+                    self._tick("misses", "cache_disk_misses_total")
+                return _MISS
+            except FileNotFoundError:
+                self._quarantine(payload_path, sidecar_path, digest)
+                if count_miss:
+                    self._tick("misses", "cache_disk_misses_total")
+                return _MISS
+            except (OSError, ValueError, KeyError, struct.error):
+                pass  # unmappable, not necessarily corrupt: copying read
+            else:
+                try:
+                    os.utime(payload_path)  # refresh LRU recency, lock-free
+                except OSError:
+                    pass
+                self._tick("mmap_hits", "cache_disk_mmap_hits_total")
+                self._tick("hits", "cache_disk_hits_total")
+                return value
         try:
             with open(payload_path, "rb") as fh:
                 data = fh.read()
@@ -444,6 +529,7 @@ class DiskCacheStore:
         except OSError:
             pass
         self._tick("hits", "cache_disk_hits_total")
+        self._tick("copied_bytes", "cache_disk_copied_bytes_total", len(data))
         return value
 
     def _quarantine(self, payload_path: str, sidecar_path: str, digest: str) -> None:

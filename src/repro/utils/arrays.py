@@ -1,0 +1,81 @@
+"""Small shared array helpers for the hot paths."""
+
+from __future__ import annotations
+
+import functools
+import io
+import mmap
+import os
+import struct
+import zipfile
+
+import numpy as np
+from numpy.lib import format as _npformat
+
+__all__ = ["cached_positions", "mmap_npz_arrays"]
+
+
+@functools.lru_cache(maxsize=128)
+def cached_positions(size: int) -> np.ndarray:
+    """Read-only ``arange(size)`` shared across calls.
+
+    The sweep loops and Eq.-(2) evaluations used to allocate a fresh
+    ``np.arange(S)`` per call (per sweep, even); for video/batch
+    workloads that is thousands of identical allocations.  The returned
+    array is marked read-only so one caller cannot corrupt another's
+    view — callers that need to mutate must copy.
+    """
+    positions = np.arange(size, dtype=np.intp)
+    positions.setflags(write=False)
+    return positions
+
+
+def mmap_npz_arrays(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Memory-map the members of an *uncompressed* ``.npz`` file.
+
+    ``np.load`` ignores ``mmap_mode`` for zipped files, so a warm cache
+    hit through it always heap-copies the whole payload.  ``np.savez``
+    stores members uncompressed (``ZIP_STORED``), which means each
+    member's ``.npy`` bytes sit contiguously in the file — this maps the
+    file once and returns read-only ``np.frombuffer`` views over the
+    mapping, so repeated reads of a multi-hundred-MB error matrix cost
+    page-table entries, not copies.  The mapping stays alive through the
+    arrays' ``base`` references.
+
+    Raises :class:`ValueError` for compressed, object-dtype, or
+    otherwise unmappable members — callers fall back to a copying read.
+    """
+    with open(path, "rb") as fh:
+        mapping = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+    out: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive:  # central directory only
+        for info in archive.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise ValueError(f"member {info.filename!r} is compressed")
+            # The local file header's name/extra lengths may differ from
+            # the central directory's; read them from the header itself.
+            header = mapping[info.header_offset : info.header_offset + 30]
+            if len(header) != 30 or header[:4] != b"PK\x03\x04":
+                raise ValueError(f"bad local header for {info.filename!r}")
+            name_len, extra_len = struct.unpack("<HH", header[26:30])
+            start = info.header_offset + 30 + name_len + extra_len
+            member = io.BytesIO(mapping[start : start + min(info.file_size, 4096)])
+            version = _npformat.read_magic(member)
+            if version == (1, 0):
+                shape, fortran, dtype = _npformat.read_array_header_1_0(member)
+            elif version == (2, 0):
+                shape, fortran, dtype = _npformat.read_array_header_2_0(member)
+            else:
+                raise ValueError(f"unsupported npy format version {version}")
+            if dtype.hasobject:
+                raise ValueError(f"member {info.filename!r} has object dtype")
+            count = int(np.prod(shape, dtype=np.int64))
+            array = np.frombuffer(
+                mapping, dtype=dtype, count=count, offset=start + member.tell()
+            )
+            array = array.reshape(shape, order="F" if fortran else "C")
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[: -len(".npy")]
+            out[name] = array
+    return out

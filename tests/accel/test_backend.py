@@ -1,0 +1,149 @@
+"""Tests for the pluggable array-backend registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel import backend as backend_mod
+from repro.accel.backend import (
+    ArrayBackend,
+    BackendUnavailable,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+
+
+@pytest.fixture()
+def scratch_registry():
+    """Register test backends without polluting the process-wide registry."""
+    registered: list[str] = []
+
+    def register(name, loader):
+        register_backend(name, loader)
+        registered.append(name)
+
+    yield register
+    with backend_mod._LOCK:
+        for name in registered:
+            backend_mod._LOADERS.pop(name, None)
+            backend_mod._CACHE.pop(name, None)
+
+
+class TestResolution:
+    def test_none_is_numpy(self):
+        xb = get_backend(None)
+        assert xb.name == "numpy"
+        assert xb.xp is np
+        assert xb.is_numpy
+
+    def test_numpy_by_name(self):
+        assert get_backend("numpy").xp is np
+
+    def test_instance_passes_through(self):
+        xb = get_backend("numpy")
+        assert get_backend(xb) is xb
+
+    def test_unknown_name(self):
+        with pytest.raises(BackendUnavailable, match="unknown array backend"):
+            get_backend("tpu")
+
+    def test_auto_never_fails(self):
+        xb = get_backend("auto")
+        assert xb.name in ("numpy", "cupy")
+
+    def test_resolution_is_cached(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+
+class TestRegistry:
+    def test_names_include_auto_and_numpy(self):
+        names = backend_names()
+        assert "auto" in names
+        assert "numpy" in names
+        assert "cupy" in names
+
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+
+    def test_loader_runs_once(self, scratch_registry):
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return ArrayBackend(
+                name="fake", xp=np, asarray=np.asarray, to_numpy=np.asarray
+            )
+
+        scratch_registry("fake", loader)
+        first = get_backend("fake")
+        second = get_backend("fake")
+        assert first is second
+        assert len(calls) == 1
+
+    def test_unavailable_loader_propagates(self, scratch_registry):
+        def loader():
+            raise BackendUnavailable("no device")
+
+        scratch_registry("broken", loader)
+        with pytest.raises(BackendUnavailable, match="no device"):
+            get_backend("broken")
+        # Not listed as usable, but still registered by name.
+        assert "broken" not in available_backends()
+        assert "broken" in backend_names()
+
+    def test_reregistering_clears_cache(self, scratch_registry):
+        scratch_registry(
+            "swapme",
+            lambda: ArrayBackend(
+                name="v1", xp=np, asarray=np.asarray, to_numpy=np.asarray
+            ),
+        )
+        assert get_backend("swapme").name == "v1"
+        scratch_registry(
+            "swapme",
+            lambda: ArrayBackend(
+                name="v2", xp=np, asarray=np.asarray, to_numpy=np.asarray
+            ),
+        )
+        assert get_backend("swapme").name == "v2"
+
+
+class TestNumpyBackendConversions:
+    def test_asarray_no_copy(self):
+        xb = get_backend("numpy")
+        array = np.arange(6.0)
+        assert xb.asarray(array) is array
+        assert xb.to_numpy(array) is array
+
+    def test_synchronize_is_noop(self):
+        get_backend("numpy").synchronize()
+
+
+def _cupy_or_skip() -> ArrayBackend:
+    try:
+        return get_backend("cupy")
+    except BackendUnavailable as exc:
+        pytest.skip(f"cupy backend unavailable: {exc}")
+
+
+class TestCupyIfPresent:
+    """Exercised only on machines with a working CuPy + CUDA device."""
+
+    def test_roundtrip(self):
+        xb = _cupy_or_skip()
+        host = np.arange(12, dtype=np.int64).reshape(3, 4)
+        device = xb.asarray(host)
+        back = xb.to_numpy(device)
+        np.testing.assert_array_equal(back, host)
+
+    def test_error_matrix_matches_numpy(self, tile_stacks_8x8):
+        xb = _cupy_or_skip()
+        from repro.cost.matrix import error_matrix
+
+        tiles_in, tiles_tg = tile_stacks_8x8
+        cpu = error_matrix(tiles_in, tiles_tg)
+        gpu = error_matrix(tiles_in, tiles_tg, backend=xb)
+        np.testing.assert_array_equal(cpu, gpu)

@@ -1,0 +1,163 @@
+"""Unit tests for the active-pair sweep pruner."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel.dirty import ClassPruner, SweepPruner
+
+
+class TestFirstSweep:
+    def test_everything_live_initially(self):
+        pruner = SweepPruner(8)
+        assert pruner.live.all()
+        assert pruner.pairs_evaluated == 0
+        assert pruner.pairs_skipped == 0
+
+    def test_select_keeps_all_pairs(self):
+        pruner = SweepPruner(8)
+        us = np.array([0, 2, 4])
+        vs = np.array([1, 3, 5])
+        kept_us, kept_vs = pruner.select(us, vs)
+        assert kept_us is us and kept_vs is vs
+        assert pruner.pairs_evaluated == 3
+        assert pruner.pairs_skipped == 0
+
+
+class TestRolling:
+    def test_end_sweep_keeps_only_marked(self):
+        pruner = SweepPruner(6)
+        pruner.mark(np.array([1]), np.array([4]))
+        pruner.end_sweep()
+        expected = np.array([False, True, False, False, True, False])
+        np.testing.assert_array_equal(pruner.live, expected)
+
+    def test_clean_pairs_are_skipped_after_roll(self):
+        pruner = SweepPruner(6)
+        pruner.mark(np.array([1]), np.array([4]))
+        pruner.end_sweep()
+        us = np.array([0, 1, 2])
+        vs = np.array([3, 2, 5])
+        kept_us, kept_vs = pruner.select(us, vs)
+        # Only (1, 2) has a dirty endpoint.
+        np.testing.assert_array_equal(kept_us, [1])
+        np.testing.assert_array_equal(kept_vs, [2])
+        assert pruner.pairs_evaluated == 1
+        assert pruner.pairs_skipped == 2
+
+    def test_mark_is_live_within_the_same_sweep(self):
+        """A commit must dirty its endpoints for the *rest of this sweep*,
+        not only the next one — later colour classes see fresh tiles."""
+        pruner = SweepPruner(4)
+        pruner.end_sweep()  # nothing marked: everything clean now
+        assert not pruner.live.any()
+        pruner.mark(np.array([0]), np.array([3]))
+        us, vs = pruner.select(np.array([0, 1]), np.array([2, 2]))
+        np.testing.assert_array_equal(us, [0])
+        np.testing.assert_array_equal(vs, [2])
+
+    def test_mark_survives_exactly_one_roll(self):
+        pruner = SweepPruner(4)
+        pruner.mark_pair(2, 3)
+        pruner.end_sweep()
+        assert pruner.live[2] and pruner.live[3]
+        pruner.end_sweep()
+        assert not pruner.live.any()
+
+
+class TestAccounting:
+    def test_mark_pair_matches_mark(self):
+        vector = SweepPruner(5)
+        scalar = SweepPruner(5)
+        vector.mark(np.array([1, 2]), np.array([3, 4]))
+        scalar.mark_pair(1, 3)
+        scalar.mark_pair(2, 4)
+        np.testing.assert_array_equal(vector.live, scalar.live)
+        vector.end_sweep()
+        scalar.end_sweep()
+        np.testing.assert_array_equal(vector.live, scalar.live)
+
+    def test_count_adds_externally_selected(self):
+        pruner = SweepPruner(4)
+        pruner.count(10, 6)
+        assert pruner.pairs_evaluated == 10
+        assert pruner.pairs_skipped == 6
+
+    def test_stats_are_plain_ints(self):
+        pruner = SweepPruner(4)
+        pruner.select(np.array([0]), np.array([1]))
+        stats = pruner.stats()
+        assert stats == {"pairs_evaluated": 1, "pairs_skipped": 0}
+        assert all(type(v) is int for v in stats.values())
+
+    def test_sweep_counter(self):
+        pruner = SweepPruner(4)
+        assert pruner.sweeps == 0
+        pruner.end_sweep()
+        pruner.end_sweep()
+        assert pruner.sweeps == 2
+
+
+class TestClassPruner:
+    def test_first_sweep_evaluates_everything(self):
+        pruner = ClassPruner(8)
+        us = np.array([0, 2, 4])
+        vs = np.array([1, 3, 5])
+        kept_us, kept_vs = pruner.select(0, us, vs)
+        np.testing.assert_array_equal(kept_us, us)
+        np.testing.assert_array_equal(kept_vs, vs)
+        assert pruner.pairs_evaluated == 3
+
+    def test_untouched_pairs_skip_next_sweep(self):
+        pruner = ClassPruner(6)
+        us, vs = np.array([0, 2, 4]), np.array([1, 3, 5])
+        pruner.select(0, us, vs)  # sweep 1: all evaluated, nothing committed
+        kept_us, kept_vs = pruner.select(0, us, vs)  # sweep 2
+        assert kept_us.size == 0 and kept_vs.size == 0
+        assert pruner.pairs_skipped == 3
+
+    def test_own_commit_does_not_retrigger(self):
+        """A committed pair's gain is exactly negated — non-positive — so
+        its own touch must not force a re-evaluation next sweep."""
+        pruner = ClassPruner(4)
+        us, vs = np.array([0]), np.array([1])
+        pruner.select(0, us, vs)
+        pruner.mark(us, vs)  # the pair commits itself
+        kept_us, _ = pruner.select(0, us, vs)
+        assert kept_us.size == 0
+
+    def test_later_touch_retriggers(self):
+        pruner = ClassPruner(4)
+        class_a = (np.array([0]), np.array([1]))
+        class_b = (np.array([1]), np.array([2]))
+        pruner.select(0, *class_a)
+        pruner.select(1, *class_b)
+        pruner.mark(np.array([1]), np.array([2]))  # class b commits
+        # Next sweep: class a shares endpoint 1 with the commit.
+        kept_us, kept_vs = pruner.select(0, *class_a)
+        np.testing.assert_array_equal(kept_us, [0])
+        np.testing.assert_array_equal(kept_vs, [1])
+        # ... while class b itself (self-commit only) stays clean.
+        kept_us, _ = pruner.select(1, *class_b)
+        assert kept_us.size == 0
+
+    def test_partial_selection_preserves_alignment(self):
+        pruner = ClassPruner(8)
+        us, vs = np.array([0, 2, 4, 6]), np.array([1, 3, 5, 7])
+        pruner.select(0, us, vs)
+        pruner.mark(np.array([4]), np.array([5]))
+        other = (np.array([5]), np.array([6]))
+        pruner.select(1, *other)
+        pruner.mark(*other)
+        kept_us, kept_vs = pruner.select(0, us, vs)
+        np.testing.assert_array_equal(kept_us, [4, 6])
+        np.testing.assert_array_equal(kept_vs, [5, 7])
+
+    def test_stats_and_sweep_counter(self):
+        pruner = ClassPruner(4)
+        pruner.select(0, np.array([0]), np.array([1]))
+        pruner.end_sweep()
+        assert pruner.sweeps == 1
+        stats = pruner.stats()
+        assert stats == {"pairs_evaluated": 1, "pairs_skipped": 0}
+        assert all(type(v) is int for v in stats.values())

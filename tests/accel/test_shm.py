@@ -1,0 +1,185 @@
+"""Tests for the shared-memory fan-out plane and leak reaper."""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.accel.shm import (
+    SHM_PREFIX,
+    SharedArrayHandle,
+    SharedArrayPlane,
+    attach_shared_array,
+    reap_stale_segments,
+    shared_memory_available,
+)
+from repro.service.metrics import MetricsRegistry
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="no multiprocessing.shared_memory"
+)
+
+
+class TestRoundTrip:
+    def test_publish_attach_equality(self, rng):
+        array = rng.integers(0, 1000, size=(37, 11)).astype(np.int64)
+        with SharedArrayPlane() as plane:
+            handle = plane.publish("roundtrip", array)
+            view = attach_shared_array(handle)
+            np.testing.assert_array_equal(view, array)
+
+    def test_view_is_read_only(self):
+        with SharedArrayPlane() as plane:
+            handle = plane.publish("ro", np.arange(4))
+            view = attach_shared_array(handle)
+            assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[0] = 99
+
+    def test_attachments_are_cached(self):
+        with SharedArrayPlane() as plane:
+            handle = plane.publish("cached", np.arange(8))
+            assert attach_shared_array(handle) is attach_shared_array(handle)
+
+    def test_noncontiguous_input_is_published_contiguously(self):
+        array = np.arange(24).reshape(4, 6)[:, ::2]
+        with SharedArrayPlane() as plane:
+            handle = plane.publish("strided", array)
+            np.testing.assert_array_equal(attach_shared_array(handle), array)
+
+
+class TestHandle:
+    def test_pickle_is_tiny_regardless_of_payload(self):
+        """The whole point: N workers receive ~100 bytes, not the array."""
+        array = np.zeros((512, 512), dtype=np.float64)  # 2 MiB payload
+        with SharedArrayPlane() as plane:
+            handle = plane.publish("big", array)
+            wire = pickle.dumps(handle)
+            assert len(wire) < 512
+            assert array.nbytes // len(wire) > 1000
+            rehydrated = pickle.loads(wire)
+            assert rehydrated == handle
+
+    def test_nbytes(self):
+        handle = SharedArrayHandle(name="x", shape=(3, 5), dtype="<i8")
+        assert handle.nbytes == 3 * 5 * 8
+
+
+class TestLifecycle:
+    def test_close_unlinks_segments(self):
+        plane = SharedArrayPlane()
+        handle = plane.publish("gone", np.arange(16))
+        plane.close()
+        with pytest.raises(FileNotFoundError):
+            from multiprocessing import shared_memory
+
+            shared_memory.SharedMemory(name=handle.name)
+
+    def test_close_is_idempotent(self):
+        plane = SharedArrayPlane()
+        plane.publish("twice", np.arange(4))
+        plane.close()
+        plane.close()
+        assert plane.closed
+
+    def test_publish_after_close_raises_and_leaks_nothing(self):
+        plane = SharedArrayPlane()
+        plane.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            plane.publish("late", np.arange(4))
+
+    def test_context_manager_closes_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with SharedArrayPlane() as plane:
+                handle = plane.publish("err", np.arange(4))
+                raise RuntimeError("boom")
+        assert plane.closed
+        with pytest.raises(FileNotFoundError):
+            from multiprocessing import shared_memory
+
+            shared_memory.SharedMemory(name=handle.name)
+
+    def test_publish_metrics(self):
+        metrics = MetricsRegistry()
+        with SharedArrayPlane(metrics=metrics) as plane:
+            plane.publish("metered", np.zeros(100, dtype=np.uint8))
+        assert metrics.counter("shm_published_bytes_total").value == 100
+
+
+def _noop() -> None:
+    pass
+
+
+def _dead_pid() -> int:
+    """PID of a process that is guaranteed to have exited."""
+    proc = multiprocessing.Process(target=_noop)
+    proc.start()
+    proc.join()
+    return proc.pid
+
+
+class TestReaper:
+    def test_reaps_segment_of_dead_owner(self):
+        from multiprocessing import shared_memory
+
+        name = f"{SHM_PREFIX}-{_dead_pid()}-1-orphan"
+        segment = shared_memory.SharedMemory(name=name, create=True, size=64)
+        segment.close()
+        metrics = MetricsRegistry()
+        assert reap_stale_segments(metrics) >= 1
+        assert metrics.counter("shm_leaked_total").value >= 1
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_spares_live_owner(self):
+        with SharedArrayPlane() as plane:
+            handle = plane.publish("alive", np.arange(4))
+            reap_stale_segments()
+            # Our own segment (live PID) must survive the reap.
+            np.testing.assert_array_equal(
+                attach_shared_array(handle), np.arange(4)
+            )
+
+    def test_ignores_foreign_names(self, tmp_path):
+        (tmp_path / "unrelated-123-file").write_bytes(b"x")
+        assert reap_stale_segments(shm_dir=str(tmp_path)) == 0
+
+    def test_missing_dir_is_zero(self):
+        assert reap_stale_segments(shm_dir="/nonexistent-shm-dir") == 0
+
+
+class TestParallelMatrixFanOut:
+    def test_share_memory_matches_pickled(self, tile_stacks_8x8):
+        from repro.cost.matrix import error_matrix
+        from repro.cost.parallel_matrix import error_matrix_parallel
+
+        tiles_in, tiles_tg = tile_stacks_8x8
+        expected = error_matrix(tiles_in, tiles_tg)
+        shared = error_matrix_parallel(
+            tiles_in, tiles_tg, workers=2, force=True, share_memory=True
+        )
+        pickled = error_matrix_parallel(
+            tiles_in, tiles_tg, workers=2, force=True, share_memory=False
+        )
+        np.testing.assert_array_equal(shared, expected)
+        np.testing.assert_array_equal(pickled, expected)
+
+    def test_share_memory_leaves_no_segments(self, tile_stacks_8x8):
+        import os
+
+        tiles_in, tiles_tg = tile_stacks_8x8
+        from repro.cost.parallel_matrix import error_matrix_parallel
+
+        error_matrix_parallel(
+            tiles_in, tiles_tg, workers=2, force=True, share_memory=True
+        )
+        if os.path.isdir("/dev/shm"):
+            mine = [
+                entry
+                for entry in os.listdir("/dev/shm")
+                if entry.startswith(f"{SHM_PREFIX}-{os.getpid()}-")
+            ]
+            assert mine == []

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.cost import (
+    CostMetric,
     LuminanceMetric,
     SADMetric,
     SSDMetric,
@@ -147,3 +148,46 @@ class TestWeightedColor:
             WeightedColorMetric(weights=(0, 0, 0))
         with pytest.raises(ValidationError, match="weights"):
             WeightedColorMetric(weights=(1, -1, 1))
+
+
+class TestRowwise:
+    """rowwise must equal the diagonal of pairwise for every metric —
+    it is what Eq.-(2) evaluation uses instead of slab x slab blocks."""
+
+    @pytest.mark.parametrize(
+        "name", ["sad", "ssd", "luminance", "gradient"]
+    )
+    def test_matches_pairwise_diagonal_gray(self, name, rng):
+        metric = get_metric(name)
+        tiles_a = rng.integers(0, 256, size=(7, 8, 8)).astype(np.uint8)
+        tiles_b = rng.integers(0, 256, size=(7, 8, 8)).astype(np.uint8)
+        fa = metric.prepare(tiles_a)
+        fb = metric.prepare(tiles_b)
+        expected = np.diagonal(metric.pairwise(fa, fb))
+        got = metric.rowwise(fa, fb)
+        assert got.shape == (7,)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_matches_pairwise_diagonal_color(self, rng):
+        metric = get_metric("color")
+        tiles_a = rng.integers(0, 256, size=(5, 4, 4, 3)).astype(np.uint8)
+        tiles_b = rng.integers(0, 256, size=(5, 4, 4, 3)).astype(np.uint8)
+        fa = metric.prepare(tiles_a)
+        fb = metric.prepare(tiles_b)
+        np.testing.assert_array_equal(
+            metric.rowwise(fa, fb), np.diagonal(metric.pairwise(fa, fb))
+        )
+
+    def test_base_fallback_agrees(self, rng):
+        """A metric without a vectorised override still gets correct
+        (if slow) rowwise behaviour from the base class."""
+
+        class PlainSAD(SADMetric):
+            rowwise = CostMetric.rowwise
+
+        metric = PlainSAD()
+        fa = metric.prepare(rng.integers(0, 256, size=(4, 4, 4)).astype(np.uint8))
+        fb = metric.prepare(rng.integers(0, 256, size=(4, 4, 4)).astype(np.uint8))
+        np.testing.assert_array_equal(
+            metric.rowwise(fa, fb), SADMetric().rowwise(fa, fb)
+        )

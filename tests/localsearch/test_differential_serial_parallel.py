@@ -91,6 +91,51 @@ class TestSerialParallelDifferential:
         assert total_error(matrix, parallel.permutation) == parallel.total
 
 
+@pytest.mark.parametrize("size,tile,s,expected", INSTANCES, ids=IDS)
+class TestPrunedVsUnpruned:
+    """Active-pair pruning (:mod:`repro.accel.dirty`) must be invisible in
+    the results: identical permutations *and* identical sweep-by-sweep
+    traces, on every pinned instance (three grid sizes), while provably
+    skipping work after the first sweep."""
+
+    def test_parallel_bit_identical(self, size, tile, s, expected):
+        matrix = _matrix(size, tile)
+        pruned = local_search_parallel(matrix, prune=True)
+        unpruned = local_search_parallel(matrix, prune=False)
+        assert (pruned.permutation == unpruned.permutation).all()
+        assert pruned.trace.totals == unpruned.trace.totals
+        assert pruned.trace.swap_counts == unpruned.trace.swap_counts
+        assert pruned.total == unpruned.total == expected
+
+    def test_serial_best_row_bit_identical(self, size, tile, s, expected):
+        matrix = _matrix(size, tile)
+        pruned = local_search_serial(matrix, strategy="best_row", prune=True)
+        unpruned = local_search_serial(matrix, strategy="best_row", prune=False)
+        assert (pruned.permutation == unpruned.permutation).all()
+        assert pruned.trace.totals == unpruned.trace.totals
+        assert pruned.trace.swap_counts == unpruned.trace.swap_counts
+
+    def test_pruning_actually_skips_pairs(self, size, tile, s, expected):
+        """The trace assertion: pruning is doing work, not just agreeing.
+        Candidate accounting must also be exhaustive — evaluated plus
+        skipped equals the full ``S(S-1)/2`` candidates of every sweep."""
+        matrix = _matrix(size, tile)
+        for result in (
+            local_search_parallel(matrix, prune=True),
+            local_search_serial(matrix, strategy="best_row", prune=True),
+        ):
+            evaluated = result.meta["pairs_evaluated"]
+            skipped = result.meta["pairs_skipped"]
+            assert skipped > 0, result.strategy
+            sweeps = len(result.trace.swap_counts)
+            assert evaluated + skipped == sweeps * s * (s - 1) // 2
+
+    def test_unpruned_meta_has_no_pruner_stats(self, size, tile, s, expected):
+        matrix = _matrix(size, tile)
+        result = local_search_serial(matrix, strategy="best_row", prune=False)
+        assert "pairs_evaluated" not in result.meta
+
+
 def test_divergence_is_possible_elsewhere():
     """Sanity check on the premise: the two algorithms are *not* equal on
     every instance (the S=16 instance at image size 32 diverges by a few

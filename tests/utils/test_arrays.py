@@ -1,0 +1,26 @@
+"""Tests for the shared array helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.arrays import cached_positions
+
+
+class TestCachedPositions:
+    def test_values(self):
+        np.testing.assert_array_equal(cached_positions(5), np.arange(5))
+        assert cached_positions(5).dtype == np.intp
+
+    def test_shared_instance(self):
+        assert cached_positions(64) is cached_positions(64)
+
+    def test_read_only(self):
+        positions = cached_positions(8)
+        assert not positions.flags.writeable
+        with pytest.raises(ValueError):
+            positions[0] = 7
+
+    def test_zero_size(self):
+        assert cached_positions(0).size == 0
