@@ -19,6 +19,12 @@ Subcommands
     per-phase timings, 2-opt sweeps — to stdout as they happen, with
     bounded admission and mid-job cancellation
     (see docs/service.md, "Streaming gateway").
+``serve-http``
+    Network mode: the same streaming gateway behind a dependency-free
+    HTTP/1.1 + WebSocket server — submit jobs with ``POST /v1/jobs``,
+    follow them via NDJSON or WebSocket event streams with
+    ``?from_seq`` resume, scrape ``/metrics`` in Prometheus text format
+    (see docs/service.md, "HTTP API").
 
 Examples::
 
@@ -29,6 +35,7 @@ Examples::
     photomosaic batch --manifest jobs.json --outdir results/ --workers 4
     printf '%s\\n' '{"input": "portrait", "target": "sailboat"}' \
         | photomosaic serve --workers 2 --max-pending 8
+    photomosaic serve-http --port 8765 --workers 2 --max-pending 8
 """
 
 from __future__ import annotations
@@ -285,10 +292,42 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _install_drain_handlers(loop, on_first, on_second) -> None:
+    """SIGINT/SIGTERM → graceful drain (twice → cooperative cancel).
+
+    ``on_first`` runs on the first signal (stop intake, let running jobs
+    finish so every stream still ends with its terminal event);
+    ``on_second`` on any further signal (cancel in-flight jobs, which
+    terminates streams with ``CANCELLED`` instead of tearing down the
+    loop mid-event).  On platforms without ``add_signal_handler`` this
+    is a no-op and Ctrl-C keeps its default behaviour.
+    """
+    import signal
+
+    fired = {"count": 0}
+
+    def handler() -> None:
+        fired["count"] += 1
+        if fired["count"] == 1:
+            on_first()
+        else:
+            on_second()
+
+    for signame in ("SIGINT", "SIGTERM"):
+        signum = getattr(signal, signame, None)
+        if signum is None:
+            continue
+        try:
+            loop.add_signal_handler(signum, handler)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            return
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     # Deferred imports: asyncio + service only when actually serving.
     import asyncio
     import json
+    import threading
 
     from repro.exceptions import JobError
     from repro.service import (
@@ -333,6 +372,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pumps: list[asyncio.Task] = []
         streams = []
         by_name: dict[str, str] = {}  # job name -> job_id, for cancel lines
+        loop = asyncio.get_running_loop()
+        stop_intake = asyncio.Event()
+
+        async def cancel_in_flight() -> None:
+            for stream in list(streams):
+                await gateway.cancel(stream.job_id)
+
+        def on_first_signal() -> None:
+            emit_line(
+                {
+                    "job_id": None,
+                    "seq": None,
+                    "kind": "draining",
+                    "terminal": False,
+                    "payload": {"pending": gateway.pending},
+                }
+            )
+            stop_intake.set()
+
+        def on_second_signal() -> None:
+            loop.create_task(cancel_in_flight())
+
+        _install_drain_handlers(loop, on_first_signal, on_second_signal)
 
         async def admit(spec: JobSpec, wait: bool) -> None:
             try:
@@ -358,17 +420,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             streams.append(stream)
             pumps.append(asyncio.create_task(pump(stream)))
 
+        def read_stdin_into(queue: asyncio.Queue) -> None:
+            # Daemon thread: a blocked readline must never hold up a
+            # drain-triggered exit (executor threads are joined at
+            # interpreter shutdown, a daemon thread is not).
+            for raw_line in sys.stdin:
+                loop.call_soon_threadsafe(queue.put_nowait, raw_line)
+            loop.call_soon_threadsafe(queue.put_nowait, None)
+
         try:
             if args.manifest:
                 # Manifest intake blocks on admission instead of shedding:
                 # the bound then acts as a streaming window over the file.
                 for spec in load_manifest(args.manifest, seed=args.seed):
+                    if stop_intake.is_set():
+                        break
                     await admit(spec, wait=True)
             else:
-                loop = asyncio.get_running_loop()
-                while True:
-                    line = await loop.run_in_executor(None, sys.stdin.readline)
-                    if not line:  # EOF
+                lines: asyncio.Queue = asyncio.Queue()
+                threading.Thread(
+                    target=read_stdin_into, args=(lines,), daemon=True
+                ).start()
+                while not stop_intake.is_set():
+                    get_line = asyncio.ensure_future(lines.get())
+                    stopped = asyncio.ensure_future(stop_intake.wait())
+                    done, pending = await asyncio.wait(
+                        {get_line, stopped}, return_when=asyncio.FIRST_COMPLETED
+                    )
+                    for task in pending:
+                        task.cancel()
+                    if get_line not in done:
+                        break  # drain signal won the race
+                    line = get_line.result()
+                    if line is None:  # EOF
                         break
                     line = line.strip()
                     if not line:
@@ -403,6 +487,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         )
                         continue
                     await admit(spec, wait=False)
+            # Graceful end (EOF or drain signal): every admitted stream
+            # still runs to its terminal event before the loop exits.
             await gateway.aclose(drain=True)
         finally:
             pool.shutdown()
@@ -417,6 +503,107 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 fh.write("\n")
         failed = sum(1 for s in streams if s.record.state is JobState.FAILED)
         return 1 if failed else 0
+
+    return asyncio.run(serve())
+
+
+def _cmd_serve_http(args: argparse.Namespace) -> int:
+    # Deferred imports: asyncio + the http front only when serving.
+    import asyncio
+    import json
+
+    from repro.service import (
+        JobState,
+        MetricsRegistry,
+        MosaicGateway,
+        MosaicJobRunner,
+        WorkerPool,
+    )
+    from repro.service.http import HttpFront, HttpFrontConfig
+
+    token = args.auth_token or os.environ.get("PHOTOMOSAIC_TOKEN") or None
+
+    async def serve() -> int:
+        os.makedirs(args.outdir, exist_ok=True)
+        metrics = MetricsRegistry()
+        cache = _build_cache(args, metrics)
+        pool = WorkerPool(
+            workers=args.workers,
+            kind=args.executor,
+            runner=MosaicJobRunner(cache=cache, outdir=args.outdir),
+            cache=cache,
+            metrics=metrics,
+            max_retries=args.retries,
+            default_timeout=args.timeout,
+            seed=args.seed,
+        )
+        gateway = MosaicGateway(
+            pool,
+            max_pending=args.max_pending,
+            metrics=metrics,
+            event_log=args.event_log,
+        )
+        front = HttpFront(
+            gateway,
+            config=HttpFrontConfig(
+                host=args.host,
+                port=args.port,
+                auth_token=token,
+                max_body_bytes=args.max_body_kb * 1024,
+                max_concurrent_streams=args.max_streams,
+                retry_after=args.retry_after,
+            ),
+            metrics=metrics,
+        )
+        await front.start()
+        # First stdout line: where we actually bound (--port 0 picks a
+        # free port); scripts parse this to find the server.
+        print(
+            json.dumps(
+                {
+                    "kind": "listening",
+                    "host": args.host,
+                    "port": front.port,
+                    "auth": bool(token),
+                    "workers": args.workers,
+                    "max_pending": args.max_pending,
+                }
+            ),
+            flush=True,
+        )
+
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+
+        async def cancel_in_flight() -> None:
+            for job in front.broker.jobs():
+                if job["state"] in (JobState.PENDING.value, JobState.RUNNING.value):
+                    await gateway.cancel(job["job_id"])
+
+        def on_first_signal() -> None:
+            front.begin_drain()
+            stopping.set()
+
+        def on_second_signal() -> None:
+            loop.create_task(cancel_in_flight())
+
+        _install_drain_handlers(loop, on_first_signal, on_second_signal)
+        await stopping.wait()
+        # Drain order matters: finish (or cancel) the jobs first so event
+        # streams reach their terminal events, then let the open HTTP
+        # connections flush and close, then stop the workers.
+        await gateway.aclose(drain=True)
+        await front.broker.drain()
+        await front.aclose()
+        pool.shutdown()
+        if args.metrics:
+            report = metrics.as_dict(extra={"jobs": front.broker.jobs()})
+            with open(args.metrics, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2)
+                fh.write("\n")
+        print(json.dumps({"kind": "drained", "jobs": len(front.broker.jobs())}),
+              flush=True)
+        return 0
 
     return asyncio.run(serve())
 
@@ -589,6 +776,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeds the pool's backoff jitter streams",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    serve_http = sub.add_parser(
+        "serve-http",
+        help="serve the job gateway over HTTP/WebSocket "
+        "(see docs/service.md, 'HTTP API')",
+    )
+    serve_http.add_argument("--host", default="127.0.0.1")
+    serve_http.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port; 0 picks a free port (printed on the first "
+        "stdout line as a JSON 'listening' record)",
+    )
+    serve_http.add_argument(
+        "--auth-token", default=None,
+        help="static bearer token required on /v1/ routes "
+        "(default: the PHOTOMOSAIC_TOKEN environment variable; "
+        "unset = no auth)",
+    )
+    serve_http.add_argument("--outdir", default="serve_out", help="job outputs")
+    serve_http.add_argument("--workers", type=int, default=2)
+    serve_http.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="attempt executor (thread streams per-sweep progress)",
+    )
+    serve_http.add_argument(
+        "--max-pending", type=int, default=16,
+        help="admission bound: jobs in flight before POST /v1/jobs "
+        "answers 429 with Retry-After",
+    )
+    serve_http.add_argument(
+        "--max-streams", type=int, default=64,
+        help="concurrent event streams before the route answers 503",
+    )
+    serve_http.add_argument(
+        "--max-body-kb", type=int, default=1024,
+        help="request body limit in KiB (413 beyond it)",
+    )
+    serve_http.add_argument(
+        "--retry-after", type=float, default=1.0,
+        help="Retry-After hint (seconds) on 429/503 responses",
+    )
+    serve_http.add_argument(
+        "--retries", type=int, default=1, help="default extra attempts per job"
+    )
+    serve_http.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-attempt budget in seconds",
+    )
+    serve_http.add_argument(
+        "--metrics", default=None,
+        help="write a metrics JSON report here on drained exit",
+    )
+    serve_http.add_argument(
+        "--event-log", default=None,
+        help="append every streamed event to this NDJSON file",
+    )
+    serve_http.add_argument(
+        "--cache-mb", type=int, default=256, help="in-memory cache budget (MiB)"
+    )
+    serve_http.add_argument(
+        "--cache-dir", default=None,
+        help="shared disk cache root (see docs/service.md)",
+    )
+    serve_http.add_argument(
+        "--cache-budget", type=int, default=2048,
+        help="disk cache byte budget in MiB",
+    )
+    serve_http.add_argument(
+        "--seed", type=int, default=0,
+        help="seeds the pool's backoff jitter streams",
+    )
+    serve_http.set_defaults(func=_cmd_serve_http)
     return parser
 
 

@@ -23,7 +23,13 @@ This subsystem turns the one-shot pipeline into a servable workload:
 * :mod:`repro.service.gateway` — the asyncio streaming intake layer
   (bounded admission with typed backpressure, per-job event streams,
   cooperative cancellation, NDJSON event logs) behind
-  ``photomosaic serve``.
+  ``photomosaic serve``;
+* :mod:`repro.service.http` — the HTTP/1.1 + WebSocket network front
+  over the gateway (job submission, resumable event streams, Prometheus
+  ``/metrics``, bearer auth, graceful drain) behind
+  ``photomosaic serve-http``;
+* :mod:`repro.service.client` — the stdlib client library for that
+  front (submit / events with reconnect-resume / cancel).
 
 See ``docs/service.md`` for the job lifecycle, cache keying scheme and
 metrics schema.
@@ -50,6 +56,8 @@ from repro.service.gateway import (
     MosaicGateway,
     TERMINAL_STATES,
 )
+from repro.service.http import HttpFront, HttpFrontConfig, JobEventBroker
+from repro.service.client import MosaicServiceClient
 from repro.service.jobs import JobRecord, JobSpec, JobState
 from repro.service.locks import FileLock, LockTimeout
 from repro.service.manifest import load_manifest, parse_manifest
@@ -99,4 +107,8 @@ __all__ = [
     "JobStream",
     "MosaicGateway",
     "TERMINAL_STATES",
+    "HttpFront",
+    "HttpFrontConfig",
+    "JobEventBroker",
+    "MosaicServiceClient",
 ]

@@ -1,0 +1,551 @@
+"""The HTTP/WebSocket network front over :class:`MosaicGateway`.
+
+:class:`HttpFront` exposes the streaming job service to remote clients
+with zero third-party dependencies — plain ``asyncio.start_server``
+underneath, the tiny HTTP/1.1 parser from
+:mod:`repro.service.http.protocol`, and the RFC 6455 subset from
+:mod:`repro.service.http.websocket`:
+
+==========================  ===========================================
+``POST /v1/jobs``           submit a JSON :class:`JobSpec`; ``202`` with
+                            the job id, ``429`` + ``Retry-After`` when
+                            admission is full (typed backpressure).
+``GET /v1/jobs``            list job summaries.
+``GET /v1/jobs/{id}``       one job summary.
+``GET /v1/jobs/{id}/events``  the ordered event stream — NDJSON over
+                            chunked transfer by default, or an RFC 6455
+                            WebSocket upgrade on the same route; both
+                            honour ``?from_seq=N`` resume.
+``DELETE /v1/jobs/{id}``    cooperative cancellation.
+``GET /healthz``            liveness + drain state (never authenticated).
+``GET /metrics``            Prometheus text exposition of the shared
+                            registry (scrapers go unauthenticated).
+==========================  ===========================================
+
+Operational behaviour:
+
+* **auth** — optional static bearer token; every ``/v1/`` route then
+  requires ``Authorization: Bearer <token>`` (constant-time compare) and
+  replies ``401`` otherwise;
+* **limits** — request bodies beyond ``max_body_bytes`` get ``413``,
+  header blocks beyond ``max_header_bytes`` get ``431``, and at most
+  ``max_concurrent_streams`` event streams run at once (``503`` +
+  ``Retry-After`` beyond that);
+* **metrics** — ``http_requests_total``, ``http_responses_total`` per
+  status class, the ``http_in_flight`` / ``http_streams_active`` /
+  ``http_connections_active`` gauges, and the
+  ``http_request_latency_seconds`` histogram all land in the same
+  :class:`MetricsRegistry` as the pool and gateway instruments;
+* **graceful drain** — :meth:`HttpFront.begin_drain` stops accepting
+  connections and answers new requests ``503 Connection: close`` while
+  active event streams run to their terminal event; the ``serve-http``
+  CLI wires it to SIGINT/SIGTERM.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hmac
+import time
+
+from repro.exceptions import AdmissionRejected, JobError
+from repro.service.gateway import MosaicGateway
+from repro.service.http import websocket as ws
+from repro.service.http.broker import JobEventBroker
+from repro.service.http.protocol import (
+    HttpError,
+    HttpRequest,
+    end_chunks,
+    read_request,
+    response_head,
+    send_json,
+    write_chunk,
+)
+from repro.service.jobs import JobSpec
+from repro.service.metrics import MetricsRegistry
+
+__all__ = ["HttpFront", "HttpFrontConfig", "REQUEST_LATENCY_BUCKETS"]
+
+#: Request-latency buckets: sub-millisecond routing up to long streams.
+REQUEST_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class HttpFrontConfig:
+    """Bind address, auth and limits for an :class:`HttpFront`."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        auth_token: str | None = None,
+        max_body_bytes: int = 1 << 20,
+        max_header_bytes: int = 32 * 1024,
+        max_concurrent_streams: int = 64,
+        retain_terminal: int = 256,
+        retry_after: float = 1.0,
+    ) -> None:
+        if max_body_bytes < 1 or max_header_bytes < 1:
+            raise ValueError("body/header limits must be positive")
+        if max_concurrent_streams < 1:
+            raise ValueError(
+                f"max_concurrent_streams must be >= 1, got {max_concurrent_streams}"
+            )
+        self.host = host
+        self.port = port
+        self.auth_token = auth_token
+        self.max_body_bytes = max_body_bytes
+        self.max_header_bytes = max_header_bytes
+        self.max_concurrent_streams = max_concurrent_streams
+        self.retain_terminal = retain_terminal
+        self.retry_after = retry_after
+
+
+class HttpFront:
+    """Asyncio HTTP/1.1 + WebSocket server over one gateway.
+
+    Lifecycle: ``await front.start()`` binds the listener (``front.port``
+    then holds the real port, also with ``port=0``); ``begin_drain()``
+    flips to lame-duck mode; ``await front.aclose()`` waits for open
+    connections to finish and releases the socket.  The gateway and its
+    pool are owned by the caller.
+    """
+
+    def __init__(
+        self,
+        gateway: MosaicGateway,
+        *,
+        config: HttpFrontConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.gateway = gateway
+        self.config = config if config is not None else HttpFrontConfig()
+        self.metrics = metrics if metrics is not None else gateway.metrics
+        self.broker = JobEventBroker(
+            gateway, retain_terminal=self.config.retain_terminal
+        )
+        self.port: int | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._draining = False
+        self._streams_active = 0
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> "HttpFront":
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Lame-duck: stop accepting, 503 new requests, finish streams."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+
+    async def aclose(self) -> None:
+        """Drain and release the listener; idempotent."""
+        self.begin_drain()
+        if self._server is not None:
+            await self._server.wait_closed()
+        pending = [task for task in self._conn_tasks if not task.done()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    async def __aenter__(self) -> "HttpFront":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()
+
+    # -- connection handling ---------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        # start_server runs this callback as its own task; track it so
+        # aclose() can wait for in-flight connections.
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+        await self._handle_connection(reader, writer)
+
+    async def _handle_connection(self, reader, writer) -> None:
+        peername = writer.get_extra_info("peername")
+        peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+        self.metrics.gauge("http_connections_active").inc()
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader,
+                        max_header_bytes=self.config.max_header_bytes,
+                        max_body_bytes=self.config.max_body_bytes,
+                        peer=peer,
+                    )
+                except HttpError as exc:
+                    self._count_response(exc.status)
+                    send_json(
+                        writer,
+                        exc.status,
+                        {"error": exc.message},
+                        headers=exc.headers,
+                        keep_alive=False,
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                keep_alive = await self._handle_request(request, reader, writer)
+                if not keep_alive:
+                    break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            BrokenPipeError,
+            TimeoutError,
+        ):
+            pass  # peer vanished; nothing to answer
+        finally:
+            self.metrics.gauge("http_connections_active").dec()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    # -- request routing -------------------------------------------------
+
+    async def _handle_request(self, request: HttpRequest, reader, writer) -> bool:
+        started = time.perf_counter()
+        self.metrics.counter("http_requests_total").inc()
+        self.metrics.gauge("http_in_flight").inc()
+        status = 500
+        keep_alive = False
+        try:
+            status, keep_alive = await self._route(request, reader, writer)
+        except HttpError as exc:
+            status = exc.status
+            keep_alive = (
+                request.keep_alive
+                and exc.headers.get("Connection", "").lower() != "close"
+            )
+            send_json(
+                writer,
+                exc.status,
+                {"error": exc.message},
+                headers=exc.headers,
+                keep_alive=keep_alive,
+            )
+            await writer.drain()
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            BrokenPipeError,
+        ):
+            keep_alive = False  # client went away mid-response
+            status = 499
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            self.metrics.counter("http_internal_errors_total").inc()
+            keep_alive = False
+            try:
+                send_json(
+                    writer,
+                    500,
+                    {"error": f"internal error: {type(exc).__name__}: {exc}"},
+                    keep_alive=False,
+                )
+                await writer.drain()
+            except (ConnectionError, BrokenPipeError):
+                pass
+        finally:
+            self.metrics.gauge("http_in_flight").dec()
+            self.metrics.histogram(
+                "http_request_latency_seconds", buckets=REQUEST_LATENCY_BUCKETS
+            ).observe(time.perf_counter() - started)
+            self._count_response(status)
+        return keep_alive
+
+    def _count_response(self, status: int) -> None:
+        self.metrics.counter("http_responses_total").inc()
+        self.metrics.counter(f"http_responses_{status // 100}xx_total").inc()
+
+    async def _route(self, request: HttpRequest, reader, writer) -> tuple[int, bool]:
+        """Dispatch one request; returns ``(status, keep_alive)``."""
+        path, method = request.path, request.method
+        if path == "/healthz":
+            return self._get_healthz(request, writer), request.keep_alive
+        if self._draining:
+            raise HttpError(
+                503,
+                "server is draining",
+                headers={
+                    "Retry-After": f"{self.config.retry_after:g}",
+                    "Connection": "close",
+                },
+            )
+        if path == "/metrics":
+            if method != "GET":
+                raise HttpError(405, f"{method} not allowed on {path}")
+            return self._get_metrics(request, writer), request.keep_alive
+
+        if path.startswith("/v1/"):
+            self._authorize(request)
+        if path == "/v1/jobs":
+            if method == "POST":
+                return await self._post_job(request, writer), request.keep_alive
+            if method == "GET":
+                return self._get_jobs(request, writer), request.keep_alive
+            raise HttpError(405, f"{method} not allowed on {path}")
+        if path.startswith("/v1/jobs/"):
+            tail = path[len("/v1/jobs/"):]
+            if tail.endswith("/events") and method == "GET":
+                job_id = tail[: -len("/events")].rstrip("/")
+                return await self._get_events(request, reader, writer, job_id)
+            if "/" not in tail:
+                if method == "GET":
+                    return self._get_job(request, writer, tail), request.keep_alive
+                if method == "DELETE":
+                    return (
+                        await self._delete_job(request, writer, tail),
+                        request.keep_alive,
+                    )
+                raise HttpError(405, f"{method} not allowed on {path}")
+        raise HttpError(404, f"no route for {method} {path}")
+
+    def _authorize(self, request: HttpRequest) -> None:
+        token = self.config.auth_token
+        if not token:
+            return
+        supplied = request.headers.get("authorization", "")
+        scheme, _, value = supplied.partition(" ")
+        if scheme.lower() == "bearer" and hmac.compare_digest(
+            value.strip().encode("utf-8"), token.encode("utf-8")
+        ):
+            return
+        self.metrics.counter("http_auth_failures_total").inc()
+        raise HttpError(
+            401,
+            "missing or invalid bearer token",
+            headers={"WWW-Authenticate": "Bearer"},
+        )
+
+    # -- plain handlers --------------------------------------------------
+
+    def _get_healthz(self, request: HttpRequest, writer) -> int:
+        send_json(
+            writer,
+            200,
+            {
+                "status": "draining" if self._draining else "ok",
+                "pending_jobs": self.gateway.pending,
+                "active_streams": self._streams_active,
+            },
+            keep_alive=request.keep_alive,
+        )
+        return 200
+
+    def _get_metrics(self, request: HttpRequest, writer) -> int:
+        body = self.metrics.render_prometheus().encode("utf-8")
+        writer.write(
+            response_head(
+                200,
+                {
+                    "Content-Type": "text/plain; version=0.0.4; charset=utf-8",
+                    "Content-Length": str(len(body)),
+                    "Connection": "keep-alive" if request.keep_alive else "close",
+                },
+            )
+            + body
+        )
+        return 200
+
+    async def _post_job(self, request: HttpRequest, writer) -> int:
+        payload = request.json()
+        unknown = set(payload) - JobSpec.field_names()
+        if unknown:
+            raise HttpError(
+                400, f"unknown job spec fields: {', '.join(sorted(unknown))}"
+            )
+        try:
+            spec = JobSpec(**payload)
+        except (TypeError, JobError) as exc:
+            raise HttpError(400, f"invalid job spec: {exc}") from None
+        try:
+            job_id = await self.broker.submit(spec)
+        except AdmissionRejected as exc:
+            self.metrics.counter("http_rejected_429_total").inc()
+            raise HttpError(
+                429,
+                str(exc),
+                headers={"Retry-After": f"{self.config.retry_after:g}"},
+            ) from None
+        send_json(
+            writer,
+            202,
+            {
+                "job_id": job_id,
+                "name": spec.name or job_id,
+                "events": f"/v1/jobs/{job_id}/events",
+            },
+            keep_alive=request.keep_alive,
+        )
+        return 202
+
+    def _get_jobs(self, request: HttpRequest, writer) -> int:
+        send_json(
+            writer, 200, {"jobs": self.broker.jobs()}, keep_alive=request.keep_alive
+        )
+        return 200
+
+    def _get_job(self, request: HttpRequest, writer, job_id: str) -> int:
+        record = self.broker.record(job_id)
+        if record is None:
+            raise HttpError(404, f"unknown job {job_id!r}")
+        send_json(writer, 200, record.summary(), keep_alive=request.keep_alive)
+        return 200
+
+    async def _delete_job(self, request: HttpRequest, writer, job_id: str) -> int:
+        if self.broker.record(job_id) is None:
+            raise HttpError(404, f"unknown job {job_id!r}")
+        cancelled = await self.broker.cancel(job_id)
+        send_json(
+            writer,
+            202,
+            {"job_id": job_id, "cancel_accepted": cancelled},
+            keep_alive=request.keep_alive,
+        )
+        return 202
+
+    # -- event streaming -------------------------------------------------
+
+    async def _get_events(
+        self, request: HttpRequest, reader, writer, job_id: str
+    ) -> tuple[int, bool]:
+        log = self.broker.log(job_id)
+        if log is None:
+            raise HttpError(404, f"unknown job {job_id!r}")
+        from_seq = request.int_query("from_seq", 0)
+        if from_seq < 0:
+            raise HttpError(400, "from_seq must be >= 0")
+        if self._streams_active >= self.config.max_concurrent_streams:
+            raise HttpError(
+                503,
+                f"stream limit of {self.config.max_concurrent_streams} reached",
+                headers={"Retry-After": f"{self.config.retry_after:g}"},
+            )
+        upgrade = request.headers.get("upgrade", "").lower()
+        self._streams_active += 1
+        self.metrics.counter("http_streams_total").inc()
+        self.metrics.gauge("http_streams_active").set(self._streams_active)
+        try:
+            if upgrade == "websocket":
+                await self._stream_websocket(request, reader, writer, log, from_seq)
+                return 101, False  # a closed websocket never reverts to HTTP
+            status = await self._stream_ndjson(request, writer, log, from_seq)
+            return status, request.keep_alive
+        finally:
+            self._streams_active -= 1
+            self.metrics.gauge("http_streams_active").set(self._streams_active)
+
+    async def _stream_ndjson(
+        self, request: HttpRequest, writer, log, from_seq: int
+    ) -> int:
+        writer.write(
+            response_head(
+                200,
+                {
+                    "Content-Type": "application/x-ndjson; charset=utf-8",
+                    "Transfer-Encoding": "chunked",
+                    "Cache-Control": "no-store",
+                    "Connection": "keep-alive" if request.keep_alive else "close",
+                },
+            )
+        )
+        async for event in log.subscribe(from_seq):
+            write_chunk(writer, (event.to_json() + "\n").encode("utf-8"))
+            self.metrics.counter("http_events_streamed_total").inc()
+            await writer.drain()
+        end_chunks(writer)
+        await writer.drain()
+        return 200
+
+    async def _stream_websocket(
+        self, request: HttpRequest, reader, writer, log, from_seq: int
+    ) -> None:
+        key = request.headers.get("sec-websocket-key")
+        version = request.headers.get("sec-websocket-version")
+        if "upgrade" not in request.headers.get("connection", "").lower() or not key:
+            raise HttpError(400, "malformed websocket upgrade request")
+        if version != "13":
+            raise HttpError(
+                426,
+                f"unsupported websocket version {version!r}",
+                headers={"Sec-WebSocket-Version": "13"},
+            )
+        writer.write(
+            response_head(
+                101,
+                {
+                    "Upgrade": "websocket",
+                    "Connection": "Upgrade",
+                    "Sec-WebSocket-Accept": ws.accept_key(key),
+                },
+            )
+        )
+        await writer.drain()
+        self.metrics.counter("http_ws_upgrades_total").inc()
+
+        client_gone = asyncio.Event()
+
+        async def read_client() -> None:
+            # Serve pings and notice closes; data frames are ignored.
+            try:
+                while True:
+                    opcode, payload = await ws.read_frame(
+                        reader, max_payload=self.config.max_body_bytes
+                    )
+                    if opcode == ws.OP_PING:
+                        writer.write(ws.encode_frame(ws.OP_PONG, payload))
+                        await writer.drain()
+                    elif opcode == ws.OP_CLOSE:
+                        return
+            except (
+                ws.WebSocketError,
+                asyncio.IncompleteReadError,
+                ConnectionError,
+            ):
+                return
+            finally:
+                client_gone.set()
+
+        reader_task = asyncio.create_task(read_client())
+        try:
+            async for event in log.subscribe(from_seq):
+                if client_gone.is_set():
+                    return
+                writer.write(
+                    ws.encode_frame(ws.OP_TEXT, event.to_json().encode("utf-8"))
+                )
+                self.metrics.counter("http_events_streamed_total").inc()
+                await writer.drain()
+            writer.write(ws.encode_frame(ws.OP_CLOSE, ws.encode_close(1000)))
+            await writer.drain()
+            # Give the close handshake a moment to complete; a stubborn
+            # client just gets its TCP stream torn down.
+            try:
+                await asyncio.wait_for(asyncio.shield(reader_task), timeout=1.0)
+            except asyncio.TimeoutError:
+                pass
+        finally:
+            reader_task.cancel()
+            try:
+                await reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass

@@ -1,0 +1,119 @@
+"""Minimal RFC 6455 WebSocket framing (server side, plus test clients).
+
+Only what the event-stream route needs: the opening handshake's
+``Sec-WebSocket-Accept`` digest, frame encode/decode for text, ping,
+pong and close, and payload-size enforcement.  No extensions, no
+fragmentation reassembly beyond rejecting it explicitly, no
+subprotocols.  Clients mask frames (the RFC mandates it); the server
+never does.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import struct
+
+__all__ = [
+    "GUID",
+    "OP_TEXT",
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+    "WebSocketError",
+    "accept_key",
+    "encode_frame",
+    "encode_close",
+    "parse_close",
+    "read_frame",
+]
+
+#: The protocol GUID every handshake digests (RFC 6455 §4.2.2).
+GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+_CONTROL_OPS = frozenset({OP_CLOSE, OP_PING, OP_PONG})
+
+
+class WebSocketError(Exception):
+    """A frame violated the subset of RFC 6455 this module speaks."""
+
+
+def accept_key(sec_websocket_key: str) -> str:
+    """``Sec-WebSocket-Accept`` for a client's ``Sec-WebSocket-Key``."""
+    digest = hashlib.sha1((sec_websocket_key + GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def encode_frame(opcode: int, payload: bytes, *, mask: bool = False) -> bytes:
+    """One FIN frame.  ``mask=True`` applies a random client mask."""
+    head = bytearray([0x80 | (opcode & 0x0F)])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < 1 << 16:
+        head.append(mask_bit | 126)
+        head += struct.pack("!H", length)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack("!Q", length)
+    if mask:
+        key = os.urandom(4)
+        head += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(head) + payload
+
+
+def encode_close(code: int = 1000, reason: str = "") -> bytes:
+    """A close frame's *payload* (pass through :func:`encode_frame`)."""
+    return struct.pack("!H", code) + reason.encode("utf-8")
+
+
+def parse_close(payload: bytes) -> tuple[int, str]:
+    """``(code, reason)`` from a close frame payload (1005 when empty)."""
+    if len(payload) < 2:
+        return 1005, ""
+    (code,) = struct.unpack("!H", payload[:2])
+    return code, payload[2:].decode("utf-8", errors="replace")
+
+
+async def read_frame(
+    reader, *, max_payload: int = 1 << 20
+) -> tuple[int, bytes]:
+    """Read one frame; returns ``(opcode, unmasked payload)``.
+
+    Raises :class:`WebSocketError` on protocol violations and
+    ``asyncio.IncompleteReadError`` when the peer vanishes mid-frame.
+    """
+    first, second = await reader.readexactly(2)
+    if not first & 0x80:
+        raise WebSocketError("fragmented frames are not supported")
+    if first & 0x70:
+        raise WebSocketError("reserved bits set without a negotiated extension")
+    opcode = first & 0x0F
+    masked = bool(second & 0x80)
+    length = second & 0x7F
+    if opcode in _CONTROL_OPS and length > 125:
+        raise WebSocketError("control frame payload exceeds 125 bytes")
+    if length == 126:
+        (length,) = struct.unpack("!H", await reader.readexactly(2))
+    elif length == 127:
+        (length,) = struct.unpack("!Q", await reader.readexactly(8))
+    if length > max_payload:
+        raise WebSocketError(
+            f"frame payload of {length} bytes exceeds the {max_payload}-byte limit"
+        )
+    key = await reader.readexactly(4) if masked else None
+    payload = await reader.readexactly(length) if length else b""
+    if key is not None:
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return opcode, payload

@@ -226,7 +226,9 @@ class JobRecord:
             "error": self.error,
         }
         result = self.result
-        if result is not None:
+        if result is not None and hasattr(result, "total_error"):
+            # Custom runners may return any payload; only a MosaicResult
+            # (or lookalike) contributes the mosaic fields.
             out["total_error"] = int(result.total_error)
             out["sweeps"] = result.sweeps
             out["timings"] = result.timings.as_dict()

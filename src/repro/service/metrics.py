@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import bisect
 import json
+import math
+import re
 import threading
 from typing import Iterable, Mapping
 
@@ -31,6 +33,28 @@ DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
 )
 
 _OBSERVATION_CAP = 4096
+
+#: Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*
+_NAME_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prometheus_name(name: str) -> str:
+    """Coerce an instrument name into a legal Prometheus metric name."""
+    name = _NAME_INVALID.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _prometheus_value(value: float) -> str:
+    """Render a sample value: integral floats without the trailing ``.0``."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (math.inf, -math.inf):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
 
 
 class Counter:
@@ -122,12 +146,19 @@ class Histogram:
             return self._sum
 
     def quantile(self, q: float) -> float:
-        """Estimate the ``q``-quantile (exact while under the observation cap)."""
+        """Estimate the ``q``-quantile (exact while under the observation cap).
+
+        An empty histogram has no quantiles: returns ``nan`` (it used to
+        fall through to ``0.0``, which is indistinguishable from a real
+        zero-latency observation).  Callers that want a printable value
+        must check :attr:`count` first, exactly like Prometheus's
+        ``histogram_quantile`` returning ``NaN`` on an empty series.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         with self._lock:
             if self._count == 0:
-                return 0.0
+                return math.nan
             if self._count <= len(self._observations):
                 ordered = sorted(self._observations)
                 return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
@@ -142,6 +173,21 @@ class Histogram:
                         return self.bounds[index]
                     return self._max
             return self._max
+
+    def snapshot(self) -> tuple[tuple[float, ...], list[int], int, float]:
+        """Consistent ``(bounds, cumulative_counts, count, sum)`` view.
+
+        ``cumulative_counts`` has one entry per bound plus the final
+        ``+Inf`` entry (== ``count``), Prometheus ``le`` semantics.
+        """
+        with self._lock:
+            cumulative: list[int] = []
+            running = 0
+            for count in self._bucket_counts[:-1]:
+                running += count
+                cumulative.append(running)
+            cumulative.append(self._count)
+            return self.bounds, cumulative, self._count, self._sum
 
     def as_dict(self) -> dict:
         with self._lock:
@@ -235,6 +281,47 @@ class MetricsRegistry:
 
     def to_json(self, extra: Mapping | None = None, indent: int = 2) -> str:
         return json.dumps(self.as_dict(extra), indent=indent, sort_keys=False)
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (format version 0.0.4) of every
+        instrument: ``# HELP``/``# TYPE`` preambles, plain samples for
+        counters and gauges, and ``_bucket``/``_sum``/``_count`` series
+        with cumulative ``le`` labels for histograms.  The JSON
+        (:meth:`as_dict`) and summary-table outputs are unchanged; this
+        is what ``GET /metrics`` on the HTTP front serves.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        lines: list[str] = []
+
+        def preamble(name: str, help_text: str, kind: str) -> None:
+            if help_text:
+                escaped = help_text.replace("\\", "\\\\").replace("\n", "\\n")
+                lines.append(f"# HELP {name} {escaped}")
+            lines.append(f"# TYPE {name} {kind}")
+
+        for raw_name, counter in sorted(counters.items()):
+            name = _prometheus_name(raw_name)
+            preamble(name, counter.help, "counter")
+            lines.append(f"{name} {_prometheus_value(counter.value)}")
+        for raw_name, gauge in sorted(gauges.items()):
+            name = _prometheus_name(raw_name)
+            preamble(name, gauge.help, "gauge")
+            lines.append(f"{name} {_prometheus_value(gauge.value)}")
+        for raw_name, histogram in sorted(histograms.items()):
+            name = _prometheus_name(raw_name)
+            preamble(name, histogram.help, "histogram")
+            bounds, cumulative, count, total = histogram.snapshot()
+            for bound, running in zip(bounds, cumulative[:-1]):
+                lines.append(
+                    f'{name}_bucket{{le="{_prometheus_value(bound)}"}} {running}'
+                )
+            lines.append(f'{name}_bucket{{le="+Inf"}} {count}')
+            lines.append(f"{name}_sum {_prometheus_value(total)}")
+            lines.append(f"{name}_count {count}")
+        return "\n".join(lines) + "\n" if lines else ""
 
     def summary_table(self) -> str:
         """Aligned plain-text summary (the CLI prints this after a batch)."""

@@ -1,0 +1,210 @@
+"""Tests for the replayable event logs behind the HTTP front.
+
+The Hypothesis case pins the resume contract the network API depends
+on: wherever a client's first subscription is cut and whenever the
+``from_seq`` reconnect happens relative to ongoing appends, the union of
+both reads is exactly the event sequence — no duplicates, no gaps, one
+terminal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import MosaicGateway, WorkerPool
+from repro.service.gateway import GatewayEvent
+from repro.service.http.broker import EventLog, JobEventBroker
+
+from tests.service.http.conftest import GatedRunner, echo_runner, run_async, spec
+
+
+def make_event(seq: int, total: int) -> GatewayEvent:
+    terminal = seq == total - 1
+    kind = "state" if terminal else "sweep"
+    payload = {"state": "DONE"} if terminal else {"sweep": seq}
+    return GatewayEvent(
+        job_id="job-x", seq=seq, kind=kind, payload=payload, terminal=terminal
+    )
+
+
+class TestEventLog:
+    def test_replay_then_live(self):
+        async def main():
+            log = EventLog("job-x")
+            for seq in range(3):
+                log.append(make_event(seq, total=10))
+
+            collected = []
+
+            async def subscriber():
+                async for event in log.subscribe(0):
+                    collected.append(event.seq)
+
+            task = asyncio.create_task(subscriber())
+            await asyncio.sleep(0)  # let the replay part run
+            for seq in range(3, 10):
+                log.append(make_event(seq, total=10))
+            await asyncio.wait_for(task, timeout=5)
+            assert collected == list(range(10))
+
+        run_async(main())
+
+    def test_multiple_subscribers_see_identical_order(self):
+        async def main():
+            log = EventLog("job-x")
+
+            async def collect(from_seq):
+                return [e.seq async for e in log.subscribe(from_seq)]
+
+            tasks = [
+                asyncio.create_task(collect(0)),
+                asyncio.create_task(collect(4)),
+                asyncio.create_task(collect(9)),
+            ]
+            await asyncio.sleep(0)
+            for seq in range(10):
+                log.append(make_event(seq, total=10))
+                if seq % 3 == 0:
+                    await asyncio.sleep(0)  # interleave appends with reads
+            full, mid, tail = await asyncio.wait_for(
+                asyncio.gather(*tasks), timeout=5
+            )
+            assert full == list(range(10))
+            assert mid == list(range(4, 10))
+            assert tail == [9]
+
+        run_async(main())
+
+    def test_subscribe_after_close_replays_everything(self):
+        async def main():
+            log = EventLog("job-x")
+            for seq in range(5):
+                log.append(make_event(seq, total=5))
+            assert log.closed
+            seqs = [e.seq async for e in log.subscribe(2)]
+            assert seqs == [2, 3, 4]
+
+        run_async(main())
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        total=st.integers(min_value=1, max_value=20),
+        cut=st.integers(min_value=0, max_value=20),
+        prefill=st.integers(min_value=0, max_value=20),
+    )
+    def test_resume_interleaving_property(self, total, cut, prefill):
+        """First reader consumes [0, cut); a resumed reader starting at
+        ``cut`` joins while appends are still happening (``prefill``
+        events land before it subscribes).  Union must be exact."""
+        cut = min(cut, total)
+        prefill = min(prefill, total)
+
+        async def main():
+            log = EventLog("job-x")
+            first: list[int] = []
+
+            async def first_reader():
+                if cut == 0:
+                    return  # disconnected before reading anything
+                async for event in log.subscribe(0):
+                    first.append(event.seq)
+                    if len(first) >= cut:
+                        return  # simulated disconnect
+
+            first_task = asyncio.create_task(first_reader())
+            for seq in range(prefill):
+                log.append(make_event(seq, total))
+                await asyncio.sleep(0)
+            resumed_task = asyncio.create_task(
+                asyncio.wait_for(
+                    _collect(log.subscribe(cut)), timeout=5
+                )
+            )
+            await asyncio.sleep(0)
+            for seq in range(prefill, total):
+                log.append(make_event(seq, total))
+                if seq % 2:
+                    await asyncio.sleep(0)
+            resumed = await resumed_task
+            await asyncio.wait_for(first_task, timeout=5)
+            assert first == list(range(cut))
+            assert [e.seq for e in resumed] == list(range(cut, total))
+            union = first + [e.seq for e in resumed]
+            assert union == list(range(total))  # no duplicates, no gaps
+            assert sum(e.terminal for e in resumed) == (1 if cut < total else 0)
+
+        run_async(main())
+
+
+async def _collect(subscription):
+    return [event async for event in subscription]
+
+
+class TestJobEventBroker:
+    def test_submit_pump_and_listing(self):
+        async def main():
+            pool = WorkerPool(workers=2, runner=echo_runner, seed=0)
+            gateway = MosaicGateway(pool, max_pending=8)
+            broker = JobEventBroker(gateway)
+            job_ids = [await broker.submit(spec(f"job{i}")) for i in range(3)]
+            await broker.drain()
+            for job_id in job_ids:
+                log = broker.log(job_id)
+                assert log is not None and log.closed
+                events = [e async for e in log.subscribe(0)]
+                assert [e.seq for e in events] == list(range(len(events)))
+                assert sum(e.terminal for e in events) == 1
+            summaries = broker.jobs()
+            assert [s["state"] for s in summaries] == ["DONE"] * 3
+            await gateway.aclose()
+            pool.shutdown()
+
+        run_async(main())
+
+    def test_terminal_log_eviction(self):
+        async def main():
+            pool = WorkerPool(workers=2, runner=echo_runner, seed=0)
+            gateway = MosaicGateway(pool, max_pending=8)
+            broker = JobEventBroker(gateway, retain_terminal=2)
+            job_ids = [await broker.submit(spec(f"job{i}")) for i in range(5)]
+            await broker.drain()
+            retained = [jid for jid in job_ids if broker.log(jid) is not None]
+            assert len(retained) == 2
+            assert retained == job_ids[-2:]  # oldest finished evicted first
+            assert len(broker.jobs()) == 2
+            await gateway.aclose()
+            pool.shutdown()
+
+        run_async(main())
+
+    def test_cancel_routes_to_gateway(self):
+        async def main():
+            runner = GatedRunner()
+            pool = WorkerPool(workers=1, runner=runner, seed=0)
+            gateway = MosaicGateway(pool, max_pending=8)
+            broker = JobEventBroker(gateway)
+            job_id = await broker.submit(spec("victim"))
+            assert await broker.cancel(job_id)
+            await broker.drain()
+            events = [e async for e in broker.log(job_id).subscribe(0)]
+            assert events[-1].payload["state"] == "CANCELLED"
+            assert await broker.cancel(job_id) is False  # already terminal
+            assert await broker.cancel("job-unknown") is False
+            await gateway.aclose()
+            pool.shutdown()
+
+        run_async(main())
+
+    def test_rejects_bad_retention(self):
+        async def main():
+            pool = WorkerPool(workers=1, runner=echo_runner, seed=0)
+            gateway = MosaicGateway(pool, max_pending=2)
+            with pytest.raises(ValueError, match="retain_terminal"):
+                JobEventBroker(gateway, retain_terminal=0)
+            pool.shutdown()
+
+        run_async(main())

@@ -1,0 +1,170 @@
+"""Unit tests for the HTTP/1.1 parser and response writers."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.http.protocol import (
+    HttpError,
+    end_chunks,
+    read_request,
+    response_head,
+    send_json,
+    write_chunk,
+)
+
+
+def parse(raw: bytes, **limits):
+    """Feed ``raw`` into a fresh StreamReader and parse one request."""
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **limits)
+
+    return asyncio.run(go())
+
+
+class CollectingWriter:
+    """Duck-typed StreamWriter capturing written bytes."""
+
+    def __init__(self) -> None:
+        self.data = bytearray()
+
+    def write(self, data: bytes) -> None:
+        self.data.extend(data)
+
+
+class TestParsing:
+    def test_basic_get(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.query == {}
+        assert request.headers["host"] == "x"
+        assert request.keep_alive
+
+    def test_query_and_escapes(self):
+        request = parse(
+            b"GET /v1/jobs/job-1/events?from_seq=7&x=a%20b HTTP/1.1\r\n\r\n"
+        )
+        assert request.path == "/v1/jobs/job-1/events"
+        assert request.query == {"from_seq": "7", "x": "a b"}
+        assert request.int_query("from_seq", 0) == 7
+        assert request.int_query("missing", 3) == 3
+        with pytest.raises(HttpError) as excinfo:
+            parse(
+                b"GET /x?from_seq=nope HTTP/1.1\r\n\r\n"
+            ).int_query("from_seq", 0)
+        assert excinfo.value.status == 400
+
+    def test_post_with_body(self):
+        body = json.dumps({"input": "a", "target": "b"}).encode()
+        raw = (
+            b"POST /v1/jobs HTTP/1.1\r\nContent-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = parse(raw)
+        assert request.json() == {"input": "a", "target": "b"}
+
+    def test_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_body_limit_413(self):
+        raw = b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 999999\r\n\r\n"
+        with pytest.raises(HttpError) as excinfo:
+            parse(raw, max_body_bytes=1024)
+        assert excinfo.value.status == 413
+
+    def test_post_without_length_411(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"POST /v1/jobs HTTP/1.1\r\n\r\n")
+        assert excinfo.value.status == 411
+
+    def test_chunked_request_body_501(self):
+        raw = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        with pytest.raises(HttpError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 501
+
+    def test_malformed_request_line_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GARBAGE\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_unsupported_version_501(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET / HTTP/2.0\r\n\r\n")
+        assert excinfo.value.status == 501
+
+    def test_header_block_limit_431(self):
+        filler = b"".join(
+            b"X-Pad-%d: %s\r\n" % (index, b"v" * 100) for index in range(64)
+        )
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET / HTTP/1.1\r\n" + filler + b"\r\n", max_header_bytes=1024)
+        assert excinfo.value.status == 431
+
+    def test_malformed_header_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_negative_content_length_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_keep_alive_semantics(self):
+        assert parse(b"GET / HTTP/1.1\r\n\r\n").keep_alive
+        assert not parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive
+        assert not parse(b"GET / HTTP/1.0\r\n\r\n").keep_alive
+        assert parse(
+            b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        ).keep_alive
+
+    def test_json_body_errors(self):
+        request = parse(
+            b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\nnot-json!"
+        )
+        with pytest.raises(HttpError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+        array = parse(b"POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\n[]")
+        with pytest.raises(HttpError, match="JSON object"):
+            array.json()
+
+
+class TestResponses:
+    def test_response_head(self):
+        head = response_head(429, {"Retry-After": "1"})
+        assert head.startswith(b"HTTP/1.1 429 Too Many Requests\r\n")
+        assert b"Retry-After: 1\r\n" in head
+        assert head.endswith(b"\r\n\r\n")
+
+    def test_send_json_roundtrip(self):
+        writer = CollectingWriter()
+        send_json(writer, 200, {"ok": True})
+        raw = bytes(writer.data)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"HTTP/1.1 200 OK" in head
+        assert b"Content-Type: application/json" in head
+        assert json.loads(body) == {"ok": True}
+        length = int(
+            [l for l in head.split(b"\r\n") if l.lower().startswith(b"content-length")][
+                0
+            ].split(b":")[1]
+        )
+        assert length == len(body)
+
+    def test_chunked_framing(self):
+        writer = CollectingWriter()
+        write_chunk(writer, b"hello")
+        write_chunk(writer, b"")  # empty chunks are dropped, not stream-ending
+        write_chunk(writer, b"world!")
+        end_chunks(writer)
+        assert bytes(writer.data) == b"5\r\nhello\r\n6\r\nworld!\r\n0\r\n\r\n"

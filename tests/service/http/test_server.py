@@ -1,0 +1,540 @@
+"""End-to-end tests for the HTTP/WebSocket front over real sockets.
+
+Each test spins up the full stack — WorkerPool, MosaicGateway,
+HttpFront on an ephemeral loopback port — and talks to it like a remote
+client would: via the stdlib client library (run in executor threads, as
+the loop itself is serving) or via hand-written raw requests when the
+exact bytes matter.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import os
+
+import pytest
+
+from repro.service.client import (
+    AuthenticationError,
+    BackpressureError,
+    MosaicServiceClient,
+    ServiceClientError,
+)
+from repro.service.http import websocket as ws
+
+from tests.service.http.conftest import (
+    GatedRunner,
+    ServedFront,
+    SweepRunner,
+    echo_runner,
+    raw_request,
+    run_async,
+    spec_dict,
+)
+
+
+def assert_ordered_stream(events: list[dict], state: str = "DONE") -> None:
+    """One well-formed stream: seq 0..n, exactly one terminal, last."""
+    assert events, "stream yielded nothing"
+    assert [e["seq"] for e in events] == list(range(len(events)))
+    assert events[0]["kind"] == "admitted"
+    assert sum(e["terminal"] for e in events) == 1
+    assert events[-1]["terminal"]
+    assert events[-1]["payload"]["state"] == state
+
+
+async def ws_stream(
+    port: int,
+    job_id: str,
+    *,
+    from_seq: int = 0,
+    token: str | None = None,
+    stop_after: int | None = None,
+) -> list[dict]:
+    """Collect a job's events over a WebSocket upgrade on the raw socket."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    key = base64.b64encode(os.urandom(16)).decode("ascii")
+    path = f"/v1/jobs/{job_id}/events"
+    if from_seq:
+        path += f"?from_seq={from_seq}"
+    headers = [
+        f"GET {path} HTTP/1.1",
+        "Host: test",
+        "Upgrade: websocket",
+        "Connection: Upgrade",
+        f"Sec-WebSocket-Key: {key}",
+        "Sec-WebSocket-Version: 13",
+    ]
+    if token:
+        headers.append(f"Authorization: Bearer {token}")
+    writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("ascii"))
+    await writer.drain()
+    status_line = await reader.readline()
+    assert b"101" in status_line, status_line
+    accept_header = None
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        if name.strip().lower() == "sec-websocket-accept":
+            accept_header = value.strip()
+    assert accept_header == ws.accept_key(key)
+    events: list[dict] = []
+    try:
+        while True:
+            opcode, payload = await ws.read_frame(reader)
+            if opcode == ws.OP_CLOSE:
+                writer.write(ws.encode_frame(ws.OP_CLOSE, payload, mask=True))
+                await writer.drain()
+                break
+            if opcode == ws.OP_TEXT:
+                events.append(json.loads(payload))
+                if stop_after is not None and len(events) >= stop_after:
+                    break  # simulated client disconnect mid-stream
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    return events
+
+
+class TestEndToEnd:
+    def test_concurrent_clients_ordered_streams_ndjson_and_ws(self):
+        """The acceptance scenario: N concurrent clients, each receiving
+        its full ordered stream, over both transports at once."""
+
+        async def main():
+            async with ServedFront(SweepRunner(sweeps=6), workers=3) as served:
+                client = MosaicServiceClient(served.base_url)
+                jobs = await asyncio.gather(
+                    *[
+                        served.call(client.submit, spec_dict(f"job{i}"))
+                        for i in range(6)
+                    ]
+                )
+                assert all("job_id" in job for job in jobs)
+                # First half over NDJSON, second half over WebSocket, all
+                # streams consumed concurrently.
+                ndjson_tasks = [
+                    served.call(lambda jid=j["job_id"]: list(client.events(jid)))
+                    for j in jobs[:3]
+                ]
+                ws_tasks = [
+                    ws_stream(served.port, j["job_id"]) for j in jobs[3:]
+                ]
+                streams = await asyncio.gather(*ndjson_tasks, *ws_tasks)
+                for events in streams:
+                    assert_ordered_stream(events)
+                    assert sum(e["kind"] == "sweep" for e in events) == 6
+                # Every stream belongs to the job that was asked for.
+                for job, events in zip(jobs[:3] + jobs[3:], streams):
+                    assert {e["job_id"] for e in events} == {job["job_id"]}
+
+        run_async(main())
+
+    def test_submit_validates_spec(self):
+        async def main():
+            async with ServedFront(echo_runner) as served:
+                client = MosaicServiceClient(served.base_url)
+                with pytest.raises(ServiceClientError) as excinfo:
+                    await served.call(
+                        client.submit, {"input": "a", "target": "b", "bogus": 1}
+                    )
+                assert excinfo.value.status == 400
+                assert "bogus" in str(excinfo.value)
+                with pytest.raises(ServiceClientError) as excinfo:
+                    await served.call(client.submit, {"input": "only"})
+                assert excinfo.value.status == 400
+
+        run_async(main())
+
+    def test_job_listing_and_single_job(self):
+        async def main():
+            async with ServedFront(echo_runner) as served:
+                client = MosaicServiceClient(served.base_url)
+                job = await served.call(client.submit, spec_dict("solo"))
+                await served.call(
+                    lambda: list(client.events(job["job_id"]))
+                )
+                listing = await served.call(client.jobs)
+                assert [j["name"] for j in listing] == ["solo"]
+                one = await served.call(client.job, job["job_id"])
+                assert one["state"] == "DONE"
+                with pytest.raises(ServiceClientError) as excinfo:
+                    await served.call(client.job, "job-nope")
+                assert excinfo.value.status == 404
+
+        run_async(main())
+
+    def test_delete_cancels_inflight_job(self):
+        async def main():
+            runner = GatedRunner()
+            async with ServedFront(runner, workers=1) as served:
+                client = MosaicServiceClient(served.base_url)
+                job = await served.call(client.submit, spec_dict("victim"))
+                await served.call(runner.started.wait)
+                assert await served.call(client.cancel, job["job_id"])
+                events = await served.call(
+                    lambda: list(client.events(job["job_id"]))
+                )
+                assert_ordered_stream(events, state="CANCELLED")
+                runner.gate.set()
+
+        run_async(main())
+
+    def test_delete_unknown_job_404(self):
+        async def main():
+            async with ServedFront(echo_runner) as served:
+                client = MosaicServiceClient(served.base_url)
+                with pytest.raises(ServiceClientError) as excinfo:
+                    await served.call(client.cancel, "job-unknown")
+                assert excinfo.value.status == 404
+
+        run_async(main())
+
+
+class TestBackpressure:
+    def test_admission_full_is_429_with_retry_after(self):
+        async def main():
+            runner = GatedRunner()
+            async with ServedFront(
+                runner, workers=1, max_pending=2, retry_after=2.5
+            ) as served:
+                client = MosaicServiceClient(served.base_url)
+                await served.call(client.submit, spec_dict("a"))
+                await served.call(client.submit, spec_dict("b"))
+                with pytest.raises(BackpressureError) as excinfo:
+                    await served.call(client.submit, spec_dict("c"))
+                assert excinfo.value.retry_after == pytest.approx(2.5)
+                # The raw response carries the header itself.
+                body = json.dumps(spec_dict("d")).encode()
+                raw = await raw_request(
+                    served.port,
+                    b"POST /v1/jobs HTTP/1.1\r\nContent-Type: application/json\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body,
+                )
+                assert raw.startswith(b"HTTP/1.1 429 ")
+                assert b"Retry-After: 2.5" in raw
+                runner.gate.set()
+
+        run_async(main())
+
+    def test_submit_when_admitted_retries_through(self):
+        async def main():
+            async with ServedFront(
+                SweepRunner(sweeps=2), workers=2, max_pending=2
+            ) as served:
+                client = MosaicServiceClient(served.base_url)
+
+                def submit_all():
+                    return [
+                        client.submit_when_admitted(spec_dict(f"w{i}"))
+                        for i in range(6)
+                    ]
+
+                jobs = await served.call(submit_all)
+                assert len(jobs) == 6
+
+        run_async(main())
+
+    def test_stream_limit_503(self):
+        async def main():
+            runner = GatedRunner()
+            async with ServedFront(
+                runner, workers=1, max_concurrent_streams=1
+            ) as served:
+                client = MosaicServiceClient(served.base_url)
+                job = await served.call(client.submit, spec_dict("streamy"))
+                # Hold one stream open, raw, without consuming it fully.
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", served.port
+                )
+                writer.write(
+                    f"GET /v1/jobs/{job['job_id']}/events HTTP/1.1\r\n"
+                    "Host: t\r\n\r\n".encode()
+                )
+                await writer.drain()
+                assert b"200" in await reader.readline()
+                second = await raw_request(
+                    served.port,
+                    f"GET /v1/jobs/{job['job_id']}/events HTTP/1.1\r\n"
+                    "Host: t\r\n\r\n".encode(),
+                )
+                assert second.startswith(b"HTTP/1.1 503 ")
+                assert b"Retry-After:" in second
+                writer.close()
+                runner.gate.set()
+
+        run_async(main())
+
+
+class TestAuth:
+    def test_v1_routes_require_bearer_token(self):
+        async def main():
+            async with ServedFront(echo_runner, auth_token="s3cret") as served:
+                anonymous = MosaicServiceClient(served.base_url)
+                with pytest.raises(AuthenticationError):
+                    await served.call(anonymous.submit, spec_dict())
+                with pytest.raises(AuthenticationError):
+                    await served.call(anonymous.jobs)
+                wrong = MosaicServiceClient(served.base_url, token="wrong")
+                with pytest.raises(AuthenticationError):
+                    await served.call(wrong.jobs)
+                # Probes and scrapers stay open.
+                assert (await served.call(anonymous.health))["status"] == "ok"
+                assert "http_requests_total" in await served.call(
+                    anonymous.metrics_text
+                )
+                authed = MosaicServiceClient(served.base_url, token="s3cret")
+                job = await served.call(authed.submit, spec_dict("authed"))
+                events = await served.call(
+                    lambda: list(authed.events(job["job_id"]))
+                )
+                assert_ordered_stream(events)
+                # The 401 carries a challenge header.
+                raw = await raw_request(
+                    served.port, b"GET /v1/jobs HTTP/1.1\r\nHost: t\r\n\r\n"
+                )
+                assert raw.startswith(b"HTTP/1.1 401 ")
+                assert b"WWW-Authenticate: Bearer" in raw
+
+        run_async(main())
+
+    def test_websocket_upgrade_requires_token_too(self):
+        async def main():
+            async with ServedFront(
+                SweepRunner(sweeps=2), auth_token="s3cret"
+            ) as served:
+                client = MosaicServiceClient(served.base_url, token="s3cret")
+                job = await served.call(client.submit, spec_dict("wsauth"))
+                events = await ws_stream(
+                    served.port, job["job_id"], token="s3cret"
+                )
+                assert_ordered_stream(events)
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", served.port
+                )
+                writer.write(
+                    f"GET /v1/jobs/{job['job_id']}/events HTTP/1.1\r\n"
+                    "Host: t\r\nUpgrade: websocket\r\nConnection: Upgrade\r\n"
+                    "Sec-WebSocket-Key: AAAAAAAAAAAAAAAAAAAAAA==\r\n"
+                    "Sec-WebSocket-Version: 13\r\n\r\n".encode()
+                )
+                await writer.drain()
+                assert b"401" in await reader.readline()
+                writer.close()
+
+        run_async(main())
+
+
+class TestProtocolEdges:
+    def test_unknown_routes_and_methods(self):
+        async def main():
+            async with ServedFront(echo_runner) as served:
+                for request, status in [
+                    (b"GET /nope HTTP/1.1\r\n\r\n", b"404"),
+                    (b"PUT /v1/jobs HTTP/1.1\r\nContent-Length: 0\r\n\r\n", b"405"),
+                    (b"DELETE /metrics HTTP/1.1\r\n\r\n", b"405"),
+                    (b"POST /v1/jobs HTTP/1.1\r\n\r\n", b"411"),
+                ]:
+                    raw = await raw_request(served.port, request)
+                    assert raw.startswith(b"HTTP/1.1 " + status), (request, raw[:40])
+
+        run_async(main())
+
+    def test_body_limit_enforced(self):
+        async def main():
+            async with ServedFront(echo_runner, max_body_bytes=256) as served:
+                body = json.dumps(spec_dict(name="x" * 512)).encode()
+                raw = await raw_request(
+                    served.port,
+                    b"POST /v1/jobs HTTP/1.1\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body,
+                )
+                assert raw.startswith(b"HTTP/1.1 413 ")
+
+        run_async(main())
+
+    def test_bad_json_body_400(self):
+        async def main():
+            async with ServedFront(echo_runner) as served:
+                raw = await raw_request(
+                    served.port,
+                    b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 9\r\n\r\nnot json!",
+                )
+                assert raw.startswith(b"HTTP/1.1 400 ")
+
+        run_async(main())
+
+    def test_keep_alive_serves_sequential_requests(self):
+        async def main():
+            async with ServedFront(echo_runner) as served:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", served.port
+                )
+                for _ in range(3):
+                    writer.write(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+                    await writer.drain()
+                    status = await reader.readline()
+                    assert b"200" in status
+                    length = 0
+                    while True:
+                        line = await reader.readline()
+                        if line in (b"\r\n", b""):
+                            break
+                        if line.lower().startswith(b"content-length"):
+                            length = int(line.split(b":")[1])
+                    body = await reader.readexactly(length)
+                    assert json.loads(body)["status"] == "ok"
+                writer.close()
+
+        run_async(main())
+
+    def test_negative_from_seq_400(self):
+        async def main():
+            async with ServedFront(echo_runner) as served:
+                client = MosaicServiceClient(served.base_url)
+                job = await served.call(client.submit, spec_dict())
+                raw = await raw_request(
+                    served.port,
+                    f"GET /v1/jobs/{job['job_id']}/events?from_seq=-1 "
+                    "HTTP/1.1\r\n\r\n".encode(),
+                )
+                assert raw.startswith(b"HTTP/1.1 400 ")
+                raw = await raw_request(
+                    served.port,
+                    b"GET /v1/jobs/job-missing/events HTTP/1.1\r\n\r\n",
+                )
+                assert raw.startswith(b"HTTP/1.1 404 ")
+
+        run_async(main())
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_exposition_is_valid_and_live(self):
+        async def main():
+            async with ServedFront(SweepRunner(sweeps=3)) as served:
+                client = MosaicServiceClient(served.base_url)
+                job = await served.call(client.submit, spec_dict("measured"))
+                await served.call(lambda: list(client.events(job["job_id"])))
+                text = await served.call(client.metrics_text)
+                metrics = parse_prometheus(text)
+                assert metrics["types"]["http_requests_total"] == "counter"
+                assert metrics["types"]["gateway_pending"] == "gauge"
+                assert (
+                    metrics["types"]["http_request_latency_seconds"] == "histogram"
+                )
+                assert metrics["samples"]["gateway_admitted"] == 1
+                assert metrics["samples"]["http_responses_2xx_total"] >= 2
+                # Histogram invariants: monotone buckets, count matches +Inf.
+                buckets = metrics["buckets"]["http_request_latency_seconds"]
+                values = [count for _, count in buckets]
+                assert values == sorted(values)
+                assert buckets[-1][0] == "+Inf"
+                assert (
+                    metrics["samples"]["http_request_latency_seconds_count"]
+                    == buckets[-1][1]
+                )
+
+        run_async(main())
+
+
+def parse_prometheus(text: str) -> dict:
+    """Strict-enough parser for the text exposition format."""
+    types: dict[str, str] = {}
+    samples: dict[str, float] = {}
+    buckets: dict[str, list[tuple[str, float]]] = {}
+    for line in text.splitlines():
+        assert line == line.strip(), f"stray whitespace: {line!r}"
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert kind in ("counter", "gauge", "histogram"), line
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            assert line.startswith("# HELP "), line
+            continue
+        name_and_labels, _, value = line.rpartition(" ")
+        assert name_and_labels and value, line
+        number = float(value)
+        if "{" in name_and_labels:
+            name, _, labels = name_and_labels.partition("{")
+            assert labels.endswith("}"), line
+            assert name.endswith("_bucket"), line
+            le = labels[:-1].split("=")[1].strip('"')
+            buckets.setdefault(name[: -len("_bucket")], []).append((le, number))
+        else:
+            samples[name_and_labels] = number
+    for name in buckets:
+        assert types.get(name) == "histogram"
+        assert f"{name}_sum" in samples and f"{name}_count" in samples
+    return {"types": types, "samples": samples, "buckets": buckets}
+
+
+class TestGracefulDrain:
+    def test_drain_rejects_new_work_but_finishes_streams(self):
+        async def main():
+            runner = GatedRunner()
+            async with ServedFront(runner, workers=1) as served:
+                client = MosaicServiceClient(served.base_url)
+                job = await served.call(client.submit, spec_dict("drainee"))
+                await served.call(runner.started.wait)
+                # Open the stream before drain starts, on a raw socket.
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", served.port
+                )
+                writer.write(
+                    f"GET /v1/jobs/{job['job_id']}/events HTTP/1.1\r\n"
+                    "Host: t\r\nConnection: close\r\n\r\n".encode()
+                )
+                await writer.drain()
+                assert b"200" in await reader.readline()
+
+                served.front.begin_drain()
+                # New connections are refused outright.
+                with pytest.raises(OSError):
+                    await asyncio.open_connection("127.0.0.1", served.port)
+                # The held stream still runs to its terminal event.
+                runner.gate.set()
+                payload = await reader.read()
+                lines = [
+                    json.loads(chunk)
+                    for chunk in payload.decode().split("\r\n")
+                    if chunk.strip().startswith("{")
+                ]
+                assert lines[-1]["terminal"]
+                assert lines[-1]["payload"]["state"] == "DONE"
+                writer.close()
+
+        run_async(main())
+
+    def test_draining_keep_alive_connection_gets_503(self):
+        async def main():
+            async with ServedFront(echo_runner) as served:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", served.port
+                )
+                writer.write(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+                await writer.drain()
+                assert b"200" in await reader.readline()
+                while (await reader.readline()) != b"\r\n":
+                    pass
+                # note: body is Content-Length framed; read it out.
+                served.front.begin_drain()
+                writer.write(b"GET /v1/jobs HTTP/1.1\r\nHost: t\r\n\r\n")
+                await writer.drain()
+                data = await reader.read()
+                assert b"503" in data
+                assert b"Retry-After" in data
+                writer.close()
+
+        run_async(main())

@@ -1,0 +1,87 @@
+"""Unit tests for the RFC 6455 framing subset."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.http import websocket as ws
+
+
+def read(raw: bytes, **kwargs):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await ws.read_frame(reader, **kwargs)
+
+    return asyncio.run(go())
+
+
+class TestHandshake:
+    def test_rfc_vector(self):
+        # The worked example from RFC 6455 §1.3.
+        assert (
+            ws.accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+            == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        )
+
+
+class TestFrames:
+    @pytest.mark.parametrize("size", [0, 1, 125, 126, 65535, 65536, 70000])
+    def test_roundtrip_unmasked(self, size):
+        payload = bytes(range(256)) * (size // 256 + 1)
+        payload = payload[:size]
+        opcode, out = read(
+            ws.encode_frame(ws.OP_BINARY, payload), max_payload=1 << 20
+        )
+        assert opcode == ws.OP_BINARY
+        assert out == payload
+
+    @pytest.mark.parametrize("size", [0, 5, 126, 65536])
+    def test_roundtrip_masked(self, size):
+        payload = b"m" * size
+        frame = ws.encode_frame(ws.OP_TEXT, payload, mask=True)
+        # Masked frames do not carry the payload in the clear.
+        if size >= 8:
+            assert payload[:8] not in frame
+        opcode, out = read(frame, max_payload=1 << 20)
+        assert opcode == ws.OP_TEXT
+        assert out == payload
+
+    def test_close_roundtrip(self):
+        frame = ws.encode_frame(ws.OP_CLOSE, ws.encode_close(1000, "done"))
+        opcode, payload = read(frame)
+        assert opcode == ws.OP_CLOSE
+        assert ws.parse_close(payload) == (1000, "done")
+        assert ws.parse_close(b"") == (1005, "")
+
+    def test_payload_limit(self):
+        frame = ws.encode_frame(ws.OP_BINARY, b"x" * 2048)
+        with pytest.raises(ws.WebSocketError, match="exceeds"):
+            read(frame, max_payload=1024)
+
+    def test_fragmented_rejected(self):
+        frame = bytearray(ws.encode_frame(ws.OP_TEXT, b"hi"))
+        frame[0] &= 0x7F  # clear FIN
+        with pytest.raises(ws.WebSocketError, match="fragmented"):
+            read(bytes(frame))
+
+    def test_reserved_bits_rejected(self):
+        frame = bytearray(ws.encode_frame(ws.OP_TEXT, b"hi"))
+        frame[0] |= 0x40  # RSV1 without an extension
+        with pytest.raises(ws.WebSocketError, match="reserved"):
+            read(bytes(frame))
+
+    def test_oversized_control_frame_rejected(self):
+        # Control frames are capped at 125 payload bytes by the RFC;
+        # craft one claiming 126 via the extended length form.
+        frame = bytes([0x80 | ws.OP_PING, 126, 0, 126]) + b"p" * 126
+        with pytest.raises(ws.WebSocketError, match="control frame"):
+            read(frame)
+
+    def test_truncated_frame_raises_incomplete_read(self):
+        frame = ws.encode_frame(ws.OP_TEXT, b"full payload")[:-3]
+        with pytest.raises(asyncio.IncompleteReadError):
+            read(frame)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import math
 import threading
 
 import pytest
@@ -63,8 +64,11 @@ class TestHistogram:
         assert h.quantile(0.99) == pytest.approx(0.099)
 
     def test_empty_histogram(self):
+        # Every quantile of an empty histogram is NaN — never 0.0, which
+        # would be indistinguishable from a genuine zero-latency sample.
         h = Histogram("latency")
-        assert h.quantile(0.5) == 0.0
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert math.isnan(h.quantile(q))
         assert h.as_dict() == {"count": 0, "sum": 0.0}
 
     def test_cumulative_buckets(self):
@@ -140,3 +144,70 @@ class TestRegistry:
             t.join()
         assert registry.counter("n").value == 2000
         assert registry.histogram("lat").count == 2000
+
+
+class TestRenderPrometheus:
+    def test_empty_registry_renders_nothing(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_counter_and_gauge_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_done", help="Completed jobs").inc(3)
+        registry.gauge("queue_depth").set(2.5)
+        text = registry.render_prometheus()
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert "# HELP jobs_done Completed jobs" in lines
+        assert "# TYPE jobs_done counter" in lines
+        assert "jobs_done 3" in lines  # integral floats render bare
+        assert "# TYPE queue_depth gauge" in lines
+        assert "queue_depth 2.5" in lines
+        # Un-helped instruments still get their TYPE line, no HELP line.
+        assert not any(l.startswith("# HELP queue_depth") for l in lines)
+
+    def test_histogram_exposition(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("latency_seconds", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.05, 0.5, 5.0):
+            h.observe(value)
+        lines = registry.render_prometheus().splitlines()
+        assert "# TYPE latency_seconds histogram" in lines
+        assert 'latency_seconds_bucket{le="0.01"} 1' in lines
+        assert 'latency_seconds_bucket{le="0.1"} 3' in lines
+        assert 'latency_seconds_bucket{le="1"} 4' in lines
+        assert 'latency_seconds_bucket{le="+Inf"} 5' in lines
+        assert "latency_seconds_count 5" in lines
+        sum_line = [l for l in lines if l.startswith("latency_seconds_sum ")][0]
+        assert float(sum_line.split()[1]) == pytest.approx(5.605)
+
+    def test_names_are_sanitised(self):
+        registry = MetricsRegistry()
+        registry.counter("step2.error-matrix ms").inc()
+        registry.counter("0weird").inc()
+        text = registry.render_prometheus()
+        assert "step2_error_matrix_ms 1" in text
+        assert "_0weird 1" in text
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name = line.split()[0].split("{")[0]
+            assert not any(ch in name for ch in ".- "), name
+
+    def test_special_float_values(self):
+        registry = MetricsRegistry()
+        registry.gauge("nan_gauge").set(math.nan)
+        registry.gauge("inf_gauge").set(math.inf)
+        registry.gauge("neg_inf_gauge").set(-math.inf)
+        text = registry.render_prometheus()
+        assert "nan_gauge NaN" in text
+        assert "inf_gauge +Inf" in text
+        assert "neg_inf_gauge -Inf" in text
+
+    def test_empty_histogram_renders_zero_series(self):
+        registry = MetricsRegistry()
+        registry.histogram("quiet_seconds", buckets=(1.0,))
+        lines = registry.render_prometheus().splitlines()
+        assert 'quiet_seconds_bucket{le="1"} 0' in lines
+        assert 'quiet_seconds_bucket{le="+Inf"} 0' in lines
+        assert "quiet_seconds_sum 0" in lines
+        assert "quiet_seconds_count 0" in lines
