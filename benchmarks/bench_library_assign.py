@@ -1,0 +1,144 @@
+"""Library shortlist + assignment: time and quality vs size and knobs.
+
+Three questions the tile-library engine must answer with numbers:
+
+* how does shortlist+assign wall-clock scale with the library size
+  (clustering should keep exact evaluations near ``S * top_k``, not
+  ``S * L``);
+* what does widening ``top_k`` buy in match cost, and what does it cost
+  in time;
+* how much does the repetition penalty reduce max tile reuse, and what
+  match-cost premium does that diversity carry (the penalty-on/off
+  comparison the acceptance criteria pin).
+
+All workloads are seeded synthetic libraries/targets, so the numbers are
+reproducible run to run; quality quantities ride along in
+``benchmark.extra_info``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cost import get_metric
+from repro.library import (
+    ClusterShortlister,
+    GreedyPenaltyAssigner,
+    LibraryIndex,
+    get_assigner,
+    synthetic_library_images,
+    synthetic_target,
+)
+from repro.tiles.features import tile_features
+from repro.tiles.grid import TileGrid
+
+_TILE = 8
+_TARGET_SIZE = 128  # 16x16 grid = 256 cells
+
+
+def _library(size: int) -> LibraryIndex:
+    return LibraryIndex.from_images(
+        synthetic_library_images(size, size=16, seed=100),
+        tile_size=_TILE,
+        thumb_size=16,
+    )
+
+
+def _target_cells() -> tuple[np.ndarray, np.ndarray]:
+    target = synthetic_target(_TARGET_SIZE, seed=21)
+    cells = TileGrid.for_image(target, _TILE).split(target)
+    return cells, tile_features(cells, grid=2)
+
+
+@pytest.mark.parametrize("library_size", [250, 500, 1000])
+def test_shortlist_scaling(benchmark, library_size):
+    """Cluster-pruned shortlist+assign time as the library grows."""
+    index = _library(library_size)
+    metric = get_metric("sad")
+    features = metric.prepare(index.tiles)
+    cells, sketches = _target_cells()
+
+    def run():
+        shortlister = ClusterShortlister(
+            index.sketches, features, metric, seed=0
+        )
+        cand = shortlister.shortlist(cells, sketches, top_k=16)
+        return cand, GreedyPenaltyAssigner().solve(cand.indices, cand.costs)
+
+    cand, result = benchmark(run)
+    benchmark.extra_info["library_size"] = library_size
+    benchmark.extra_info["scanned_mean"] = round(cand.meta["scanned_mean"], 1)
+    benchmark.extra_info["scan_fraction"] = round(
+        cand.meta["scanned_mean"] / library_size, 3
+    )
+    benchmark.extra_info["total_cost"] = int(result.total_cost)
+
+
+@pytest.mark.parametrize("top_k", [4, 16, 64])
+def test_top_k_tradeoff(benchmark, top_k):
+    """Shortlist width: match quality bought per unit of assign time."""
+    index = _library(500)
+    metric = get_metric("sad")
+    features = metric.prepare(index.tiles)
+    cells, sketches = _target_cells()
+    shortlister = ClusterShortlister(index.sketches, features, metric, seed=0)
+
+    def run():
+        cand = shortlister.shortlist(cells, sketches, top_k=top_k)
+        return GreedyPenaltyAssigner().solve(
+            cand.indices, cand.costs, repetition_penalty=1.0
+        )
+
+    result = benchmark(run)
+    benchmark.extra_info["top_k"] = top_k
+    benchmark.extra_info["total_cost"] = int(result.total_cost)
+    benchmark.extra_info["max_reuse"] = result.max_reuse
+
+
+@pytest.mark.parametrize(
+    "assigner,penalty,refine_iters",
+    [
+        ("greedy", 0.0, 0),
+        ("greedy", 1.0, 0),
+        ("ep", 1.0, 2000),
+    ],
+    ids=["greedy-off", "greedy-on", "ep-on"],
+)
+def test_penalty_and_refinement(benchmark, assigner, penalty, refine_iters):
+    """Penalty on/off (and EP refinement) on a fixed 500-tile shortlist.
+
+    ``greedy-off`` vs ``greedy-on`` is the acceptance comparison: the
+    penalty must measurably lower ``max_reuse``; ``extra_info`` records
+    the cost premium paid for that diversity.
+    """
+    index = _library(500)
+    metric = get_metric("sad")
+    shortlister = ClusterShortlister(
+        index.sketches, metric.prepare(index.tiles), metric, seed=0
+    )
+    cells, sketches = _target_cells()
+    cand = shortlister.shortlist(cells, sketches, top_k=16)
+    solver = get_assigner(assigner)
+
+    def run():
+        return solver.solve(
+            cand.indices,
+            cand.costs,
+            repetition_penalty=penalty,
+            refine_iters=refine_iters,
+            seed=5,
+        )
+
+    result = benchmark(run)
+    benchmark.extra_info["assigner"] = assigner
+    benchmark.extra_info["repetition_penalty"] = penalty
+    benchmark.extra_info["max_reuse"] = result.max_reuse
+    benchmark.extra_info["unique_tiles"] = result.unique_tiles
+    benchmark.extra_info["total_cost"] = int(result.total_cost)
+    benchmark.extra_info["objective"] = int(result.meta["objective"])
+    if penalty == 0.0:
+        # Pin the baseline the penalty comparison is made against.
+        assert result.max_reuse == int(
+            np.bincount(cand.indices[:, 0]).max()
+        )

@@ -65,6 +65,23 @@ CASES: dict[str, dict] = {
         "algorithm": "parallel",
         "parallel_backend": "vectorized",
     },
+    # Many-to-one library pipeline (repro.library): a seeded synthetic
+    # 500-image library composed onto a synthetic target.  Pins the
+    # chosen-tile vector and the rendered mosaic, plus the reuse profile
+    # the repetition penalty is responsible for.
+    "library-greedy-500": {
+        "kind": "library",
+        "library_count": 500,
+        "library_image_size": 16,
+        "library_seed": 2025,
+        "target_size": 64,
+        "target_seed": 9,
+        "tile_size": 8,
+        "thumb_size": 16,
+        "top_k": 12,
+        "repetition_penalty": 1.0,
+        "seed": 7,
+    },
 }
 
 
@@ -72,18 +89,98 @@ def _sha256(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
+def run_library_case(name: str):
+    """Run one library-pipeline golden case; returns (result, index)."""
+    from repro.library import (
+        LibraryConfig,
+        LibraryIndex,
+        LibraryMosaicEngine,
+        synthetic_library_images,
+        synthetic_target,
+    )
+
+    params = dict(CASES[name])
+    params.pop("kind")
+    images = synthetic_library_images(
+        params.pop("library_count"),
+        size=params.pop("library_image_size"),
+        seed=params.pop("library_seed"),
+    )
+    target = synthetic_target(
+        params.pop("target_size"), seed=params.pop("target_seed")
+    )
+    seed = params.pop("seed")
+    config = LibraryConfig(
+        tile_size=params.pop("tile_size"),
+        thumb_size=params.pop("thumb_size"),
+        **params,
+    )
+    index = LibraryIndex.from_images(
+        images,
+        tile_size=config.tile_size,
+        thumb_size=config.thumb_size,
+        sketch_grid=config.sketch_grid,
+    )
+    return LibraryMosaicEngine(config).generate(index, target, seed=seed), index
+
+
+def compute_library_case(name: str) -> dict:
+    """Run one library-pipeline golden case and return its record."""
+    import numpy as np
+
+    from repro.imaging.iohub import write_pgm
+
+    result, index = run_library_case(name)
+
+    record = {
+        "total_error": int(result.total_error),
+        "choice_sha256": _sha256(
+            np.asarray(result.choice, dtype=np.int64).tobytes()
+        ),
+        "image_sha256": _sha256(
+            np.ascontiguousarray(result.image, dtype=np.uint8).tobytes()
+        ),
+        "image_shape": list(result.image.shape),
+        "max_reuse": int(result.max_reuse),
+        "unique_tiles": int(result.unique_tiles),
+        "index_fingerprint": index.content_fingerprint(),
+    }
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        pgm = os.path.join(tmp, "mosaic.pgm")
+        write_pgm(pgm, result.image)
+        with open(pgm, "rb") as fh:
+            record["pgm_sha256"] = _sha256(fh.read())
+    return record
+
+
+def run_mosaic_case(name: str):
+    """Run one rearrangement-pipeline golden case; returns the result."""
+    from repro import generate_photomosaic, standard_image
+
+    params = dict(CASES[name])
+    inp = standard_image(params.pop("input"), params.pop("size"))
+    tgt = standard_image(params.pop("target"), inp.shape[0])
+    return generate_photomosaic(inp, tgt, **params)
+
+
+def render_case(name: str):
+    """Run any golden case and return the rendered mosaic image."""
+    if CASES[name].get("kind") == "library":
+        return run_library_case(name)[0].image
+    return run_mosaic_case(name).image
+
+
 def compute_case(name: str) -> dict:
     """Run one golden case end to end and return its checksum record."""
     import numpy as np
 
-    from repro import generate_photomosaic, standard_image
     from repro.imaging.iohub import write_bmp, write_pgm
 
-    params = dict(CASES[name])
-    inp = standard_image(params.pop("input"), params.pop("size"))
-    tgt = standard_image(params["target"], inp.shape[0])
-    del params["target"]
-    result = generate_photomosaic(inp, tgt, **params)
+    if CASES[name].get("kind") == "library":
+        return compute_library_case(name)
+    result = run_mosaic_case(name)
 
     record = {
         "total_error": int(result.total_error),

@@ -218,7 +218,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     pool = WorkerPool(
         workers=args.workers,
         kind=args.executor,
-        runner=MosaicJobRunner(cache=cache, outdir=args.outdir),
+        runner=MosaicJobRunner(
+            cache=cache, outdir=args.outdir, default_backend=args.backend
+        ),
         cache=cache,
         metrics=metrics,
         max_retries=args.retries,
@@ -356,7 +358,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pool = WorkerPool(
             workers=args.workers,
             kind=args.executor,
-            runner=MosaicJobRunner(cache=cache, outdir=args.outdir),
+            runner=MosaicJobRunner(
+                cache=cache, outdir=args.outdir, default_backend=args.backend
+            ),
             cache=cache,
             metrics=metrics,
             max_retries=args.retries,
@@ -530,7 +534,9 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
         pool = WorkerPool(
             workers=args.workers,
             kind=args.executor,
-            runner=MosaicJobRunner(cache=cache, outdir=args.outdir),
+            runner=MosaicJobRunner(
+                cache=cache, outdir=args.outdir, default_backend=args.backend
+            ),
             cache=cache,
             metrics=metrics,
             max_retries=args.retries,
@@ -608,6 +614,89 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
     return asyncio.run(serve())
 
 
+def _library_cache(args):
+    """Optional disk cache for library ingestion (``--cache-dir``)."""
+    if not getattr(args, "cache_dir", None):
+        return None
+    from repro.service import DiskCacheStore
+
+    return DiskCacheStore(args.cache_dir, max_bytes=args.cache_budget * 2**20)
+
+
+def _cmd_library_build(args: argparse.Namespace) -> int:
+    from repro.library import LibraryIndex
+
+    index, stats = LibraryIndex.from_directory(
+        args.source,
+        tile_size=args.tile_size,
+        thumb_size=args.thumb_size,
+        sketch_grid=args.sketch_grid,
+        cache=_library_cache(args),
+    )
+    index.save(args.output)
+    print(f"library index   : {args.output}")
+    print(f"images          : {index.size}")
+    print(f"match tile      : {index.tile_size}x{index.tile_size}")
+    print(f"render tile     : {index.thumb_size}x{index.thumb_size}")
+    print(f"ingest hit rate : {stats.hit_rate:.3f} "
+          f"({stats.hits} hits / {stats.misses} misses)")
+    print(f"fingerprint     : {index.content_fingerprint()}")
+    return 0
+
+
+def _cmd_mosaic(args: argparse.Namespace) -> int:
+    from repro.imaging import save_image
+    from repro.library import LibraryConfig, LibraryIndex, LibraryMosaicEngine
+    from repro.service.workers import resolve_image
+
+    source = args.library
+    tile_size = args.tile_size
+    sketch_grid = args.sketch_grid
+    thumb_size = args.thumb_size
+    if source.endswith(".npz"):
+        # Geometry lives in the index; deriving it here means a prebuilt
+        # index "just works" without repeating the build-time flags.
+        source = LibraryIndex.load(source)
+        tile_size = source.tile_size
+        thumb_size = source.thumb_size
+        sketch_grid = source.sketch_grid
+    config = LibraryConfig(
+        tile_size=tile_size,
+        thumb_size=thumb_size,
+        sketch_grid=sketch_grid,
+        metric=args.metric,
+        top_k=args.top_k,
+        clusters=args.clusters,
+        repetition_penalty=args.penalty,
+        assigner=args.assigner,
+        refine_iters=args.refine_iters,
+        color_adjust=args.color_adjust,
+        out_size=args.out_size,
+        array_backend=args.backend,
+    )
+    engine = LibraryMosaicEngine(config, cache=_library_cache(args))
+    target = resolve_image(args.target, args.size)
+
+    def observer(kind: str, payload: dict) -> None:
+        if kind == "phase":
+            extras = {
+                k: v
+                for k, v in payload.items()
+                if k not in ("phase", "seconds") and not isinstance(v, float)
+            }
+            detail = " ".join(f"{k}={v}" for k, v in sorted(extras.items()))
+            print(f"  {payload['phase']:<10} {payload['seconds']:.3f}s  {detail}")
+
+    result = engine.generate(source, target, seed=args.seed, observer=observer)
+    save_image(args.output, result.image)
+    lib = result.meta["library"]
+    print(f"wrote {args.output} ({result.image.shape[0]}x{result.image.shape[1]})")
+    print(f"total match cost: {result.total_error}")
+    print(f"tiles used      : {lib['unique_tiles']} unique of "
+          f"{lib['library_size']} (max reuse {lib['max_reuse']})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -679,6 +768,102 @@ def build_parser() -> argparse.ArgumentParser:
     video.add_argument("--outdir", default=None, help="write frames here (optional)")
     video.set_defaults(func=_cmd_video)
 
+    library = sub.add_parser(
+        "library", help="manage tile libraries for many-to-one mosaics"
+    )
+    library_sub = library.add_subparsers(dest="library_command", required=True)
+    build = library_sub.add_parser(
+        "build", help="ingest a directory of images into a .npz library index"
+    )
+    build.add_argument("--source", required=True, help="directory of candidate images")
+    build.add_argument("--output", default="library.npz", help="index output path")
+    build.add_argument("--tile-size", type=int, default=8, help="match resolution M")
+    build.add_argument(
+        "--thumb-size", type=int, default=32,
+        help="render resolution stored per image",
+    )
+    build.add_argument(
+        "--sketch-grid", type=int, default=2,
+        help="block-mean sketch side (must divide tile size)",
+    )
+    build.add_argument(
+        "--cache-dir", default=None,
+        help="disk cache root: per-image features are content-addressed "
+        "here, so re-ingesting unchanged files is a pure cache read",
+    )
+    build.add_argument(
+        "--cache-budget", type=int, default=2048,
+        help="disk cache byte budget in MiB",
+    )
+    build.set_defaults(func=_cmd_library_build)
+
+    mosaic = sub.add_parser(
+        "mosaic",
+        help="compose a target from a tile library (many-to-one; "
+        "see docs/library.md)",
+    )
+    mosaic.add_argument(
+        "--library", required=True,
+        help="tile library: a directory of images or a .npz index from "
+        "'library build' (the index carries its own geometry)",
+    )
+    mosaic.add_argument("--target", required=True, help="target image path or standard name")
+    mosaic.add_argument("--output", default="mosaic.png", help="output file (.png/.bmp/.pgm)")
+    mosaic.add_argument("--size", type=int, default=256, help="side for standard targets")
+    mosaic.add_argument("--tile-size", type=int, default=8, help="match resolution M")
+    mosaic.add_argument(
+        "--thumb-size", type=int, default=32,
+        help="render resolution (directory libraries only)",
+    )
+    mosaic.add_argument(
+        "--sketch-grid", type=int, default=2,
+        help="block-mean sketch side (directory libraries only)",
+    )
+    mosaic.add_argument("--metric", default="sad", help="cost metric name")
+    mosaic.add_argument(
+        "--top-k", type=int, default=16,
+        help="exact-scored candidates kept per cell",
+    )
+    mosaic.add_argument(
+        "--clusters", type=int, default=0,
+        help="k-means clusters over the library (0 = ~sqrt(L))",
+    )
+    mosaic.add_argument(
+        "--penalty", type=float, default=0.0,
+        help="repetition penalty weight (0 = pure nearest tile)",
+    )
+    mosaic.add_argument(
+        "--assigner", default="greedy",
+        help="assignment solver: greedy or ep",
+    )
+    mosaic.add_argument(
+        "--refine-iters", type=int, default=0,
+        help="EP refinement budget (assigner=ep)",
+    )
+    mosaic.add_argument(
+        "--color-adjust", choices=("none", "gain_offset", "histogram"),
+        default="none", help="per-cell tile colour adjustment",
+    )
+    mosaic.add_argument(
+        "--out-size", type=int, default=None,
+        help="output side in pixels (rendered from the stored thumbs; "
+        "default keeps the match resolution)",
+    )
+    mosaic.add_argument(
+        "--backend", choices=("numpy", "cupy", "auto"), default="numpy",
+        help="array backend for the exact-scoring hot path",
+    )
+    mosaic.add_argument("--seed", type=int, default=0, help="pipeline seed")
+    mosaic.add_argument(
+        "--cache-dir", default=None,
+        help="disk cache root for content-addressed ingestion features",
+    )
+    mosaic.add_argument(
+        "--cache-budget", type=int, default=2048,
+        help="disk cache byte budget in MiB",
+    )
+    mosaic.set_defaults(func=_cmd_mosaic)
+
     batch = sub.add_parser(
         "batch", help="run a manifest of mosaic jobs through the worker pool"
     )
@@ -720,6 +905,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0,
         help="batch seed: derives per-job seeds and the pool's backoff "
         "jitter via repro.utils.rng, so a re-run replays exactly",
+    )
+    batch.add_argument(
+        "--backend", choices=("numpy", "cupy", "auto"), default=None,
+        help="default array backend for every job that doesn't set its "
+        "own 'backend' field",
     )
     batch.set_defaults(func=_cmd_batch)
 
@@ -774,6 +964,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--seed", type=int, default=0,
         help="seeds the pool's backoff jitter streams",
+    )
+    serve.add_argument(
+        "--backend", choices=("numpy", "cupy", "auto"), default=None,
+        help="default array backend for every job that doesn't set its "
+        "own 'backend' field",
     )
     serve.set_defaults(func=_cmd_serve)
 
@@ -846,6 +1041,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_http.add_argument(
         "--seed", type=int, default=0,
         help="seeds the pool's backoff jitter streams",
+    )
+    serve_http.add_argument(
+        "--backend", choices=("numpy", "cupy", "auto"), default=None,
+        help="default array backend for every job that doesn't set its "
+        "own 'backend' field",
     )
     serve_http.set_defaults(func=_cmd_serve_http)
     return parser

@@ -1,0 +1,72 @@
+"""Tile-library (many-to-one) mosaic engine.
+
+The paper's rearrangement pipeline composes a target from its *own*
+tiles (a bijection); this subsystem composes it from a *library* of
+candidate images, the workload of the clustering-EP paper and classic
+photomosaic tools.  The pipeline is ingest → shortlist → assign →
+render, run by :class:`~repro.library.engine.LibraryMosaicEngine` and
+exposed through the job service as ``JobSpec(kind="library")``.
+"""
+
+from repro.library.assign import (
+    EvolutionaryAssigner,
+    GreedyPenaltyAssigner,
+    LibraryAssigner,
+    LibraryAssignment,
+    available_assigners,
+    get_assigner,
+    pair_penalty,
+    register_assigner,
+    reuse_counts,
+)
+from repro.library.color import adjust_tiles, cell_stats
+from repro.library.config import (
+    COLOR_ADJUST_MODES,
+    INDEX_FORMAT_VERSION,
+    LibraryConfig,
+)
+from repro.library.engine import LibraryMosaicEngine, LibraryMosaicResult
+from repro.library.index import (
+    IngestStats,
+    LibraryIndex,
+    library_feature_key,
+    scan_library_dir,
+)
+from repro.library.render import render_mosaic, resolve_cell_size
+from repro.library.shortlist import CandidateSet, ClusterShortlister, kmeans
+from repro.library.synthetic import (
+    synthetic_library_images,
+    synthetic_target,
+    write_synthetic_library,
+)
+
+__all__ = [
+    "COLOR_ADJUST_MODES",
+    "INDEX_FORMAT_VERSION",
+    "CandidateSet",
+    "ClusterShortlister",
+    "EvolutionaryAssigner",
+    "GreedyPenaltyAssigner",
+    "IngestStats",
+    "LibraryAssigner",
+    "LibraryAssignment",
+    "LibraryConfig",
+    "LibraryIndex",
+    "LibraryMosaicEngine",
+    "LibraryMosaicResult",
+    "adjust_tiles",
+    "available_assigners",
+    "cell_stats",
+    "get_assigner",
+    "kmeans",
+    "library_feature_key",
+    "pair_penalty",
+    "register_assigner",
+    "reuse_counts",
+    "render_mosaic",
+    "resolve_cell_size",
+    "scan_library_dir",
+    "synthetic_library_images",
+    "synthetic_target",
+    "write_synthetic_library",
+]

@@ -1,0 +1,324 @@
+"""Assignment solvers for the many-to-one library workload.
+
+Unlike the paper's bijective rearrangement (``repro.assignment``), a
+library mosaic may reuse a tile for many cells — the quality lever is
+*how much* reuse to allow.  Solvers here pick, for each target cell, one
+tile from that cell's exact-scored candidate shortlist
+(:class:`~repro.library.shortlist.CandidateSet`), trading raw match cost
+against a repetition penalty in the spirit of the clustering-EP paper.
+
+The registry mirrors :mod:`repro.assignment.base`: concrete solvers
+self-register by ``name`` and are looked up with :func:`get_assigner`.
+
+Objective
+---------
+All solvers minimise::
+
+    sum_s cost(s, choice[s])  +  penalty_unit * lam * sum_t C(count_t, 2)
+
+where ``count_t`` is how many cells chose tile ``t``, ``C(n, 2)`` the
+pair count ``n*(n-1)/2``, ``lam`` the configured ``repetition_penalty``
+and ``penalty_unit`` the mean shortlist cost (so ``lam`` is scale-free
+across metrics and tile sizes).  The pairwise form means the marginal
+price of re-using a tile already used ``n`` times is ``n * lam *
+penalty_unit`` — exactly what the greedy solver charges incrementally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Type
+
+import numpy as np
+
+from repro.exceptions import SolverError, ValidationError
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "LibraryAssignment",
+    "LibraryAssigner",
+    "GreedyPenaltyAssigner",
+    "EvolutionaryAssigner",
+    "available_assigners",
+    "get_assigner",
+    "pair_penalty",
+    "register_assigner",
+    "reuse_counts",
+]
+
+
+@dataclass(frozen=True)
+class LibraryAssignment:
+    """Result of a library assignment.
+
+    Attributes
+    ----------
+    choice:
+        ``(S,)`` int64 — library tile index chosen for each cell.
+    total_cost:
+        Sum of exact match costs of the chosen tiles (penalty excluded,
+        so totals are comparable across penalty settings).
+    meta:
+        Solver diagnostics: ``objective`` (cost + penalty actually
+        minimised), ``max_reuse``, ``unique_tiles``, ``iterations``.
+    """
+
+    choice: np.ndarray
+    total_cost: int
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        choice = np.asarray(self.choice, dtype=np.int64)
+        if choice.ndim != 1:
+            raise ValidationError(
+                f"assignment choice must be 1-D, got shape {choice.shape}"
+            )
+        object.__setattr__(self, "choice", choice)
+
+    @property
+    def max_reuse(self) -> int:
+        """Largest number of cells sharing one tile."""
+        return int(np.bincount(self.choice).max())
+
+    @property
+    def unique_tiles(self) -> int:
+        """Number of distinct tiles used."""
+        return int(np.unique(self.choice).size)
+
+
+def reuse_counts(choice: np.ndarray) -> np.ndarray:
+    """Per-tile use counts of an assignment (dense, up to max index)."""
+    return np.bincount(np.asarray(choice, dtype=np.int64))
+
+
+def _check_candidates(indices: np.ndarray, costs: np.ndarray):
+    indices = np.asarray(indices, dtype=np.int64)
+    costs = np.asarray(costs, dtype=np.int64)
+    if indices.ndim != 2 or indices.shape != costs.shape:
+        raise ValidationError(
+            f"candidate indices/costs must be matching (S, k) arrays, got "
+            f"{indices.shape} and {costs.shape}"
+        )
+    if indices.shape[1] < 1:
+        raise ValidationError("each cell needs at least one candidate")
+    return indices, costs
+
+
+def _penalty_unit(costs: np.ndarray) -> int:
+    """Scale factor turning ``repetition_penalty`` into cost units."""
+    return max(1, int(round(float(np.mean(costs)))))
+
+
+def pair_penalty(counts: np.ndarray) -> int:
+    """``sum_t C(count_t, 2)`` — the reuse pair count."""
+    counts = counts.astype(np.int64)
+    return int(np.sum(counts * (counts - 1) // 2))
+
+
+class LibraryAssigner:
+    """Base class: pick one candidate per cell.
+
+    Subclasses set ``name`` and implement :meth:`solve`, receiving the
+    per-cell shortlist ``indices``/``costs`` (both ``(S, k)``), the
+    penalty weight and an optional seed.  Registration mirrors
+    :mod:`repro.assignment.base`.
+    """
+
+    name: str = "base"
+
+    def solve(
+        self,
+        indices: np.ndarray,
+        costs: np.ndarray,
+        *,
+        repetition_penalty: float = 0.0,
+        refine_iters: int = 0,
+        seed: int | None = None,
+    ) -> LibraryAssignment:
+        raise NotImplementedError
+
+
+_ASSIGNERS: Dict[str, Type[LibraryAssigner]] = {}
+
+
+def register_assigner(cls: Type[LibraryAssigner]) -> Type[LibraryAssigner]:
+    """Class decorator adding an assigner to the registry."""
+    if not cls.name or cls.name == "base":
+        raise ValidationError(f"assigner {cls.__name__} needs a distinct name")
+    _ASSIGNERS[cls.name] = cls
+    return cls
+
+
+def available_assigners() -> tuple[str, ...]:
+    """Registered assigner names, sorted."""
+    return tuple(sorted(_ASSIGNERS))
+
+
+def get_assigner(name: str) -> LibraryAssigner:
+    """Instantiate an assigner by registry name."""
+    try:
+        return _ASSIGNERS[name]()
+    except KeyError:
+        raise SolverError(
+            f"unknown library assigner {name!r} "
+            f"(available: {available_assigners()})"
+        ) from None
+
+
+@register_assigner
+class GreedyPenaltyAssigner(LibraryAssigner):
+    """Greedy assignment with an incremental repetition penalty.
+
+    Cells are processed most-confident-first (ascending best-candidate
+    cost, stable ties) so cells with a clear winner claim their tile
+    before the penalty builds up.  Each cell then picks the candidate
+    minimising ``cost + n_uses * lam * penalty_unit`` — the marginal
+    price of the pairwise objective above.  Deterministic: no randomness
+    is involved, ties break toward the shortlist order (which is itself
+    a stable sort by exact cost).
+    """
+
+    name = "greedy"
+
+    def solve(
+        self,
+        indices: np.ndarray,
+        costs: np.ndarray,
+        *,
+        repetition_penalty: float = 0.0,
+        refine_iters: int = 0,
+        seed: int | None = None,
+    ) -> LibraryAssignment:
+        indices, costs = _check_candidates(indices, costs)
+        cells, _k = costs.shape
+        unit = _penalty_unit(costs)
+        step = int(round(repetition_penalty * unit))
+        order = np.argsort(costs[:, 0], kind="stable")
+        choice = np.empty(cells, dtype=np.int64)
+        uses: dict[int, int] = {}
+        total = 0
+        for cell in order:
+            row_idx = indices[cell]
+            row_cost = costs[cell]
+            if step:
+                counts = np.fromiter(
+                    (uses.get(int(t), 0) for t in row_idx),
+                    dtype=np.int64,
+                    count=row_idx.size,
+                )
+                pick = int(np.argmin(row_cost + counts * step))
+            else:
+                pick = 0
+            tile = int(row_idx[pick])
+            choice[cell] = tile
+            uses[tile] = uses.get(tile, 0) + 1
+            total += int(row_cost[pick])
+        counts = reuse_counts(choice)
+        objective = total + step * pair_penalty(counts)
+        return LibraryAssignment(
+            choice=choice,
+            total_cost=total,
+            meta={
+                "objective": objective,
+                "penalty_unit": unit,
+                "max_reuse": int(counts.max()),
+                "unique_tiles": int(np.count_nonzero(counts)),
+                "iterations": 0,
+            },
+        )
+
+
+@register_assigner
+class EvolutionaryAssigner(LibraryAssigner):
+    """Greedy start plus a seeded EP-style refinement.
+
+    Follows the clustering-EP recipe at single-population scale: start
+    from the greedy solution, then for ``refine_iters`` rounds mutate
+    the choice of one cell (drawn from the cells contributing most to
+    the objective) to another shortlist candidate and keep the move iff
+    it lowers the full objective.  Fully deterministic given ``seed``.
+    """
+
+    name = "ep"
+
+    def solve(
+        self,
+        indices: np.ndarray,
+        costs: np.ndarray,
+        *,
+        repetition_penalty: float = 0.0,
+        refine_iters: int = 0,
+        seed: int | None = None,
+    ) -> LibraryAssignment:
+        indices, costs = _check_candidates(indices, costs)
+        base = GreedyPenaltyAssigner().solve(
+            indices,
+            costs,
+            repetition_penalty=repetition_penalty,
+            seed=seed,
+        )
+        cells, k = costs.shape
+        if refine_iters <= 0 or k < 2:
+            meta = dict(base.meta)
+            meta["iterations"] = 0
+            return LibraryAssignment(base.choice, base.total_cost, meta)
+
+        unit = int(base.meta["penalty_unit"])
+        step = int(round(repetition_penalty * unit))
+        rng = make_rng(seed)
+        choice = base.choice.copy()
+        # Track, per cell, which shortlist slot is chosen, and per tile,
+        # its use count — enough to evaluate a single-cell move in O(k).
+        slot = np.zeros(cells, dtype=np.int64)
+        for cell in range(cells):
+            slot[cell] = int(np.argmax(indices[cell] == choice[cell]))
+        counts: dict[int, int] = {}
+        for t in choice:
+            counts[int(t)] = counts.get(int(t), 0) + 1
+        total = base.total_cost
+        accepted = 0
+        for _ in range(refine_iters):
+            cell = int(rng.integers(cells))
+            cur_slot = int(slot[cell])
+            cur_tile = int(indices[cell, cur_slot])
+            cur_cost = int(costs[cell, cur_slot])
+            cur_uses = counts[cur_tile]
+            best_delta = 0
+            best_slot = cur_slot
+            for cand in range(k):
+                if cand == cur_slot:
+                    continue
+                tile = int(indices[cell, cand])
+                if tile == cur_tile:
+                    continue
+                # Moving the cell off cur_tile (n -> n-1 uses) refunds
+                # (n-1)*step of pair penalty; joining `tile` (m -> m+1)
+                # charges m*step.
+                delta = int(costs[cell, cand]) - cur_cost
+                if step:
+                    delta += step * (counts.get(tile, 0) - (cur_uses - 1))
+                if delta < best_delta:
+                    best_delta = delta
+                    best_slot = cand
+            if best_slot != cur_slot:
+                new_tile = int(indices[cell, best_slot])
+                counts[cur_tile] = cur_uses - 1
+                counts[new_tile] = counts.get(new_tile, 0) + 1
+                total += int(costs[cell, best_slot]) - cur_cost
+                slot[cell] = best_slot
+                choice[cell] = new_tile
+                accepted += 1
+        dense = reuse_counts(choice)
+        objective = total + step * pair_penalty(dense)
+        return LibraryAssignment(
+            choice=choice,
+            total_cost=total,
+            meta={
+                "objective": objective,
+                "penalty_unit": unit,
+                "max_reuse": int(dense.max()),
+                "unique_tiles": int(np.count_nonzero(dense)),
+                "iterations": refine_iters,
+                "accepted_moves": accepted,
+            },
+        )

@@ -1,0 +1,137 @@
+"""Configuration for the tile-library (many-to-one) mosaic engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+
+__all__ = ["LibraryConfig", "COLOR_ADJUST_MODES", "INDEX_FORMAT_VERSION"]
+
+#: Per-cell colour-adjustment modes applied at render time (the EP paper's
+#: "color adjustment of tile images"): ``none`` places tiles verbatim,
+#: ``gain_offset`` fits an affine intensity map per cell, ``histogram``
+#: shifts each tile's mean onto the target cell's.
+COLOR_ADJUST_MODES = ("none", "gain_offset", "histogram")
+
+#: Bumped whenever the persisted :class:`~repro.library.index.LibraryIndex`
+#: layout or the ingestion feature definition changes; stale cache entries
+#: and index files from older versions are never silently reinterpreted.
+INDEX_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class LibraryConfig:
+    """All knobs of the library-mosaic pipeline.
+
+    Attributes
+    ----------
+    tile_size:
+        Match resolution ``M``: candidate tiles and target cells are
+        compared as ``M x M`` patches.
+    thumb_size:
+        Render resolution ``R`` stored per library image; output cells
+        are resampled from these, so the mosaic can be rendered larger
+        than the match resolution without re-reading the library.
+    sketch_grid:
+        Side of the block-mean sketch (``sketch_grid**2`` features) used
+        for clustering and candidate pruning.
+    metric:
+        Cost-metric registry name for the exact shortlist scoring.
+    top_k:
+        Exact-scored candidates kept per target cell (clamped to the
+        library size).
+    clusters:
+        K-means cluster count over the library sketches; ``0`` derives
+        ``~sqrt(L)`` from the library size.
+    cluster_probes:
+        Nearest clusters searched per cell before falling back to more
+        (search widens deterministically until ``top_k`` candidates are
+        available).
+    repetition_penalty:
+        Weight of the tile-reuse penalty, in units of the mean candidate
+        cost; ``0`` disables it (pure nearest-tile mosaics).
+    assigner:
+        Library-assignment solver registry name (``"greedy"`` or
+        ``"ep"``; see :mod:`repro.library.assign`).
+    refine_iters:
+        Refinement budget for the EP-style assigner (ignored by greedy).
+    color_adjust:
+        One of :data:`COLOR_ADJUST_MODES`.
+    out_size:
+        Output image side in pixels; ``None`` renders at the target's
+        own size.  The actual side is rounded down to a multiple of the
+        cell grid.
+    array_backend:
+        Array backend for the exact-scoring hot path (see
+        :mod:`repro.accel.backend`).
+    """
+
+    tile_size: int = 8
+    thumb_size: int = 32
+    sketch_grid: int = 2
+    metric: str = "sad"
+    top_k: int = 16
+    clusters: int = 0
+    cluster_probes: int = 2
+    repetition_penalty: float = 0.0
+    assigner: str = "greedy"
+    refine_iters: int = 0
+    color_adjust: str = "none"
+    out_size: int | None = None
+    array_backend: str = "numpy"
+
+    def __post_init__(self) -> None:
+        if self.tile_size < 1:
+            raise ValidationError(f"tile_size must be >= 1, got {self.tile_size}")
+        if self.thumb_size < 1:
+            raise ValidationError(f"thumb_size must be >= 1, got {self.thumb_size}")
+        if self.sketch_grid < 1:
+            raise ValidationError(
+                f"sketch_grid must be >= 1, got {self.sketch_grid}"
+            )
+        if self.tile_size % self.sketch_grid:
+            raise ValidationError(
+                f"sketch_grid {self.sketch_grid} does not divide "
+                f"tile_size {self.tile_size}"
+            )
+        if self.top_k < 1:
+            raise ValidationError(f"top_k must be >= 1, got {self.top_k}")
+        if self.clusters < 0:
+            raise ValidationError(f"clusters must be >= 0, got {self.clusters}")
+        if self.cluster_probes < 1:
+            raise ValidationError(
+                f"cluster_probes must be >= 1, got {self.cluster_probes}"
+            )
+        if self.repetition_penalty < 0:
+            raise ValidationError(
+                f"repetition_penalty must be >= 0, got {self.repetition_penalty}"
+            )
+        if self.refine_iters < 0:
+            raise ValidationError(
+                f"refine_iters must be >= 0, got {self.refine_iters}"
+            )
+        if self.color_adjust not in COLOR_ADJUST_MODES:
+            raise ValidationError(
+                f"unknown color_adjust {self.color_adjust!r} "
+                f"(use one of {COLOR_ADJUST_MODES})"
+            )
+        if self.out_size is not None and self.out_size < 1:
+            raise ValidationError(f"out_size must be >= 1, got {self.out_size}")
+        from repro.cost import get_metric
+
+        get_metric(self.metric)  # raises ValidationError on unknown names
+        from repro.library.assign import available_assigners
+
+        if self.assigner not in available_assigners():
+            raise ValidationError(
+                f"unknown assigner {self.assigner!r} "
+                f"(available: {available_assigners()})"
+            )
+        from repro.accel.backend import backend_names
+
+        if self.array_backend not in backend_names():
+            raise ValidationError(
+                f"unknown array backend {self.array_backend!r} "
+                f"(use one of {backend_names()})"
+            )

@@ -1,0 +1,239 @@
+"""The many-to-one library mosaic pipeline.
+
+:class:`LibraryMosaicEngine` runs the four phases of a library mosaic —
+**ingest** (or accept a prebuilt :class:`~repro.library.index.LibraryIndex`),
+**shortlist** (cluster-pruned exact scoring), **assign** (a registered
+:class:`~repro.library.assign.LibraryAssigner`) and **render** — with the
+same observer / timing / ``meta`` conventions as
+:class:`~repro.mosaic.generator.PhotomosaicGenerator`, so the job
+service, gateway events and metrics fold-in all work unchanged on
+:class:`LibraryMosaicResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.cost import get_metric
+from repro.exceptions import ValidationError
+from repro.imaging import ensure_gray
+from repro.library.assign import get_assigner
+from repro.library.color import cell_stats
+from repro.library.config import LibraryConfig
+from repro.library.index import IngestStats, LibraryIndex
+from repro.library.render import render_mosaic, resolve_cell_size
+from repro.library.shortlist import ClusterShortlister
+from repro.tiles.features import tile_features
+from repro.tiles.grid import TileGrid
+from repro.types import AnyImage
+from repro.utils.timing import TimingBreakdown
+from repro.utils.validation import check_image
+
+__all__ = ["LibraryMosaicEngine", "LibraryMosaicResult"]
+
+#: Phase names, in pipeline order (also the gateway event vocabulary).
+PHASES = ("ingest", "shortlist", "assign", "render")
+
+
+@dataclass(frozen=True)
+class LibraryMosaicResult:
+    """Everything a caller needs about one library mosaic.
+
+    Mirrors :class:`~repro.mosaic.result.MosaicResult` closely enough
+    that :meth:`repro.service.jobs.JobRecord.summary` renders either:
+    ``total_error``, ``timings``, ``meta`` and a ``sweeps`` property are
+    all present.
+
+    Attributes
+    ----------
+    image:
+        The rendered mosaic (uint8, grayscale).
+    choice:
+        ``(S,)`` chosen library tile index per target cell, row-major.
+    total_error:
+        Sum of exact match costs of the chosen tiles (penalty excluded).
+    timings:
+        Phase breakdown keyed by :data:`PHASES`.
+    config:
+        The :class:`LibraryConfig` that produced this result.
+    meta:
+        ``meta["library"]`` carries the service-facing stats: ingest
+        hits/misses/hit-rate, shortlist diagnostics, reuse profile.
+    """
+
+    image: AnyImage
+    choice: np.ndarray
+    total_error: int
+    timings: TimingBreakdown
+    config: LibraryConfig
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def sweeps(self) -> int | None:
+        """Always ``None`` — library assignment has no sweep loop."""
+        return None
+
+    @property
+    def max_reuse(self) -> int:
+        return int(np.bincount(self.choice).max())
+
+    @property
+    def unique_tiles(self) -> int:
+        return int(np.unique(self.choice).size)
+
+
+class LibraryMosaicEngine:
+    """Configured library-mosaic pipeline.
+
+    ``cache`` is any :class:`~repro.service.cache.CacheBackend`; it is
+    handed to :meth:`LibraryIndex.from_directory` so ingestion features
+    are content-addressed and shared across runs and processes.
+    """
+
+    def __init__(self, config: LibraryConfig | None = None, *, cache=None) -> None:
+        self.config = config or LibraryConfig()
+        self.cache = cache
+
+    # -- phase 1: ingest -------------------------------------------------
+
+    def ingest(self, source) -> tuple[LibraryIndex, IngestStats]:
+        """Resolve ``source`` into an index.
+
+        ``source`` may already be a :class:`LibraryIndex` (stats report
+        zero lookups), a path to a saved ``.npz`` index, or a directory
+        of candidate images (cache-backed ingestion).
+        """
+        cfg = self.config
+        if isinstance(source, LibraryIndex):
+            return source, IngestStats(images=source.size)
+        source = str(source)
+        if source.endswith(".npz"):
+            index = LibraryIndex.load(source)
+            return index, IngestStats(images=index.size)
+        return LibraryIndex.from_directory(
+            source,
+            tile_size=cfg.tile_size,
+            thumb_size=cfg.thumb_size,
+            sketch_grid=cfg.sketch_grid,
+            cache=self.cache,
+        )
+
+    # -- full pipeline ---------------------------------------------------
+
+    def generate(
+        self,
+        library,
+        target_image: AnyImage,
+        *,
+        seed: int | None = None,
+        observer: Callable[[str, dict], None] | None = None,
+    ) -> LibraryMosaicResult:
+        """Compose ``target_image`` from tiles of ``library``.
+
+        ``observer(kind, payload)`` receives a ``("phase", {...})`` event
+        after each of :data:`PHASES` completes, with per-phase stats in
+        the payload — the job runner forwards these to the gateway so
+        HTTP clients watch ingest/shortlist/assign/render live.
+        Exceptions from the observer propagate and abort the pipeline.
+        """
+        cfg = self.config
+        timings = TimingBreakdown()
+
+        def emit(phase: str, **stats) -> None:
+            if observer is not None:
+                payload = {"phase": phase, "seconds": timings.get(phase)}
+                payload.update(stats)
+                observer("phase", payload)
+
+        target_image = ensure_gray(check_image(target_image, "target_image"))
+        grid = TileGrid.for_image(target_image, cfg.tile_size)
+
+        with timings.measure("ingest"):
+            index, ingest_stats = self.ingest(library)
+        if index.tile_size != cfg.tile_size:
+            raise ValidationError(
+                f"library index tile size {index.tile_size} does not match "
+                f"configured tile_size {cfg.tile_size}"
+            )
+        if index.sketch_grid != cfg.sketch_grid:
+            raise ValidationError(
+                f"library index sketch grid {index.sketch_grid} does not "
+                f"match configured sketch_grid {cfg.sketch_grid}"
+            )
+        emit("ingest", **ingest_stats.as_dict())
+
+        metric = get_metric(cfg.metric)
+        with timings.measure("shortlist"):
+            shortlister = ClusterShortlister(
+                index.sketches,
+                metric.prepare(index.tiles),
+                metric,
+                clusters=cfg.clusters,
+                probes=cfg.cluster_probes,
+                seed=seed,
+                backend=cfg.array_backend,
+            )
+            target_tiles = grid.split(target_image)
+            target_sketches = tile_features(target_tiles, grid=cfg.sketch_grid)
+            candidates = shortlister.shortlist(
+                target_tiles, target_sketches, cfg.top_k
+            )
+        emit("shortlist", cells=candidates.cells, top_k=candidates.top_k,
+             **candidates.meta)
+
+        with timings.measure("assign"):
+            assignment = get_assigner(cfg.assigner).solve(
+                candidates.indices,
+                candidates.costs,
+                repetition_penalty=cfg.repetition_penalty,
+                refine_iters=cfg.refine_iters,
+                seed=seed,
+            )
+        emit("assign", total_cost=assignment.total_cost, **assignment.meta)
+
+        with timings.measure("render"):
+            cell = resolve_cell_size(
+                grid.rows, grid.cols, cfg.tile_size, cfg.out_size
+            )
+            means, stds = cell_stats(target_tiles)
+            image = render_mosaic(
+                index.thumbs,
+                assignment.choice,
+                grid.rows,
+                grid.cols,
+                cell,
+                target_means=means,
+                target_stds=stds,
+                color_adjust=cfg.color_adjust,
+            )
+        emit("render", height=image.shape[0], width=image.shape[1],
+             cell_size=cell)
+
+        meta = {
+            "library": {
+                "library_size": index.size,
+                "ingest_images": ingest_stats.images,
+                "ingest_hits": ingest_stats.hits,
+                "ingest_misses": ingest_stats.misses,
+                "ingest_hit_rate": ingest_stats.hit_rate,
+                "shortlist_k": candidates.top_k,
+                "shortlist_scanned_mean": candidates.meta["scanned_mean"],
+                "clusters": candidates.meta["clusters"],
+                "max_reuse": assignment.max_reuse,
+                "unique_tiles": assignment.unique_tiles,
+                "assigner": cfg.assigner,
+                "backend": candidates.meta["backend"],
+            },
+            "assignment": dict(assignment.meta),
+        }
+        return LibraryMosaicResult(
+            image=image,
+            choice=assignment.choice,
+            total_error=assignment.total_cost,
+            timings=timings,
+            config=cfg,
+            meta=meta,
+        )

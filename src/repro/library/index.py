@@ -1,0 +1,378 @@
+"""Persistent, versioned index of a tile library.
+
+A :class:`LibraryIndex` holds, for every candidate image in a library:
+
+* a **match tile** — the image resampled to ``tile_size x tile_size``,
+  what the exact cost metric scores against target cells;
+* a **render thumb** — the image resampled to ``thumb_size x thumb_size``,
+  what the renderer resamples output cells from (so mosaics can be
+  rendered well above match resolution without touching the source
+  files again);
+* a **sketch** — the ``sketch_grid x sketch_grid`` block-mean feature
+  vector used by the k-means shortlister.
+
+Ingestion is content-addressed: each source file is fingerprinted by the
+SHA-256 of its bytes and its per-tile features land in any
+:class:`~repro.service.cache.CacheBackend` under
+:func:`library_feature_key` via ``get_or_compute``.  Backed by the
+shared :class:`~repro.service.diskcache.DiskCacheStore` this makes
+re-ingestion of an unchanged library a pure cache read (single-flight
+across processes), which is what the service's warm-ingest hit-rate
+guarantee is built on.
+
+The index itself serialises to a single ``.npz`` file with an embedded
+JSON header (:meth:`LibraryIndex.save` / :meth:`LibraryIndex.load`),
+versioned by :data:`~repro.library.config.INDEX_FORMAT_VERSION` — a
+layout change bumps the version and old files are rejected loudly
+instead of being reinterpreted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.imaging import ensure_gray, load_image
+from repro.imaging.resize import resize
+from repro.library.config import INDEX_FORMAT_VERSION
+from repro.tiles.features import tile_features
+from repro.utils.validation import check_image
+
+__all__ = [
+    "IngestStats",
+    "LibraryIndex",
+    "library_feature_key",
+    "scan_library_dir",
+]
+
+#: File extensions ingested from a library directory.
+LIBRARY_EXTENSIONS = (".png", ".pgm", ".ppm", ".pnm")
+
+
+def library_feature_key(
+    fingerprint: str, tile_size: int, thumb_size: int, sketch_grid: int
+) -> str:
+    """Cache key for one library image's ingested features.
+
+    Keyed by source-content fingerprint plus every parameter that shapes
+    the payload, and by the index format version so a feature-definition
+    change can never resurface stale entries.
+    """
+    return (
+        f"library/{fingerprint}/t{tile_size}/r{thumb_size}"
+        f"/g{sketch_grid}/v{INDEX_FORMAT_VERSION}"
+    )
+
+
+def scan_library_dir(path: str | os.PathLike[str]) -> list[str]:
+    """Candidate image files under ``path``, sorted for determinism."""
+    root = os.fspath(path)
+    if not os.path.isdir(root):
+        raise ValidationError(f"library source {root!r} is not a directory")
+    found: list[str] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if os.path.splitext(name)[1].lower() in LIBRARY_EXTENSIONS:
+                found.append(os.path.join(dirpath, name))
+    if not found:
+        raise ValidationError(
+            f"library source {root!r} contains no images "
+            f"(looked for {', '.join(LIBRARY_EXTENSIONS)})"
+        )
+    return found
+
+
+@dataclass
+class IngestStats:
+    """Cache outcomes of one ingestion pass."""
+
+    images: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        looked = self.hits + self.misses
+        return self.hits / looked if looked else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "images": self.images,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def _ingest_one(image: np.ndarray, tile_size: int, thumb_size: int, sketch_grid: int):
+    """Features of one candidate image: ``(match_tile, thumb, sketch)``."""
+    image = ensure_gray(check_image(image))
+    tile = resize(image, tile_size, tile_size)
+    thumb = resize(image, thumb_size, thumb_size)
+    sketch = tile_features(tile[None], grid=sketch_grid)[0]
+    return tile, thumb, sketch
+
+
+def _file_fingerprint(path: str) -> str:
+    """SHA-256 of the file bytes (cheap: no image decode on cache hits)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()[:32]
+
+
+@dataclass(frozen=True)
+class LibraryIndex:
+    """Feature index of ``L`` candidate library images.
+
+    Attributes
+    ----------
+    tiles:
+        ``(L, M, M)`` uint8 match-resolution tiles.
+    thumbs:
+        ``(L, R, R)`` uint8 render-resolution tiles.
+    sketches:
+        ``(L, G*G)`` float64 block-mean sketches.
+    names:
+        Per-image source names (file names, or synthetic labels).
+    fingerprints:
+        Per-image content fingerprints.
+    sketch_grid:
+        The ``G`` the sketches were computed with.
+    """
+
+    tiles: np.ndarray
+    thumbs: np.ndarray
+    sketches: np.ndarray
+    names: tuple[str, ...]
+    fingerprints: tuple[str, ...]
+    sketch_grid: int
+
+    def __post_init__(self) -> None:
+        n = self.tiles.shape[0]
+        if self.tiles.ndim != 3 or n == 0:
+            raise ValidationError(
+                f"index tiles must be a non-empty (L, M, M) stack, "
+                f"got shape {self.tiles.shape}"
+            )
+        if self.thumbs.ndim != 3 or self.thumbs.shape[0] != n:
+            raise ValidationError(
+                f"index thumbs shape {self.thumbs.shape} does not match "
+                f"{n} tiles"
+            )
+        if self.sketches.shape != (n, self.sketch_grid * self.sketch_grid):
+            raise ValidationError(
+                f"index sketches shape {self.sketches.shape}, expected "
+                f"({n}, {self.sketch_grid * self.sketch_grid})"
+            )
+        if len(self.names) != n or len(self.fingerprints) != n:
+            raise ValidationError(
+                f"index names/fingerprints must have {n} entries"
+            )
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of library images ``L``."""
+        return self.tiles.shape[0]
+
+    @property
+    def tile_size(self) -> int:
+        """Match resolution ``M``."""
+        return self.tiles.shape[1]
+
+    @property
+    def thumb_size(self) -> int:
+        """Render resolution ``R``."""
+        return self.thumbs.shape[1]
+
+    @property
+    def means(self) -> np.ndarray:
+        """Per-image mean intensity, derived from the sketches.
+
+        Sketch entries are block means over equal-sized blocks, so their
+        mean is exactly the tile mean — no extra stored array needed.
+        """
+        return self.sketches.mean(axis=1)
+
+    def content_fingerprint(self) -> str:
+        """Order-sensitive fingerprint of the whole index (for job IDs
+        and golden pins)."""
+        h = hashlib.sha256()
+        h.update(f"v{INDEX_FORMAT_VERSION}/g{self.sketch_grid}".encode())
+        for fp in self.fingerprints:
+            h.update(fp.encode())
+        h.update(np.ascontiguousarray(self.tiles).tobytes())
+        return h.hexdigest()[:32]
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_images(
+        cls,
+        images: Iterable[np.ndarray],
+        *,
+        tile_size: int = 8,
+        thumb_size: int = 32,
+        sketch_grid: int = 2,
+        names: Sequence[str] | None = None,
+    ) -> "LibraryIndex":
+        """Build an index directly from in-memory images (no cache)."""
+        tiles, thumbs, sketches, fps = [], [], [], []
+        for image in images:
+            image = ensure_gray(check_image(image))
+            tile, thumb, sketch = _ingest_one(
+                image, tile_size, thumb_size, sketch_grid
+            )
+            tiles.append(tile)
+            thumbs.append(thumb)
+            sketches.append(sketch)
+            h = hashlib.sha256()
+            h.update(repr(image.shape).encode())
+            h.update(np.ascontiguousarray(image).tobytes())
+            fps.append(h.hexdigest()[:32])
+        if not tiles:
+            raise ValidationError("library needs at least one image")
+        if names is None:
+            names = tuple(f"image-{i:05d}" for i in range(len(tiles)))
+        return cls(
+            tiles=np.stack(tiles),
+            thumbs=np.stack(thumbs),
+            sketches=np.stack(sketches),
+            names=tuple(names),
+            fingerprints=tuple(fps),
+            sketch_grid=sketch_grid,
+        )
+
+    @classmethod
+    def from_directory(
+        cls,
+        path: str | os.PathLike[str],
+        *,
+        tile_size: int = 8,
+        thumb_size: int = 32,
+        sketch_grid: int = 2,
+        cache=None,
+    ) -> tuple["LibraryIndex", IngestStats]:
+        """Ingest a directory of images into an index.
+
+        With a cache backend attached, each file's features are fetched
+        (or computed once, under the disk store's single-flight lock) by
+        content fingerprint — unchanged files never decode twice across
+        runs or processes.  Returns ``(index, ingest_stats)``.
+        """
+        files = scan_library_dir(path)
+        stats = IngestStats()
+        tiles, thumbs, sketches, fps, names = [], [], [], [], []
+        for file_path in files:
+            fingerprint = _file_fingerprint(file_path)
+
+            def compute(file_path: str = file_path):
+                return _ingest_one(
+                    ensure_gray(load_image(file_path)),
+                    tile_size,
+                    thumb_size,
+                    sketch_grid,
+                )
+
+            if cache is None:
+                payload = compute()
+                stats.misses += 1
+            else:
+                key = library_feature_key(
+                    fingerprint, tile_size, thumb_size, sketch_grid
+                )
+                if cache.contains(key):
+                    stats.hits += 1
+                else:
+                    stats.misses += 1
+                payload = cache.get_or_compute(key, compute)
+            tile, thumb, sketch = payload
+            tiles.append(np.asarray(tile))
+            thumbs.append(np.asarray(thumb))
+            sketches.append(np.asarray(sketch))
+            fps.append(fingerprint)
+            names.append(os.path.basename(file_path))
+            stats.images += 1
+        index = cls(
+            tiles=np.stack(tiles),
+            thumbs=np.stack(thumbs),
+            sketches=np.stack(sketches),
+            names=tuple(names),
+            fingerprints=tuple(fps),
+            sketch_grid=sketch_grid,
+        )
+        return index, stats
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path: str | os.PathLike[str]) -> None:
+        """Write the index as one ``.npz`` file (atomic publish)."""
+        path = os.fspath(path)
+        header = {
+            "format_version": INDEX_FORMAT_VERSION,
+            "sketch_grid": self.sketch_grid,
+            "names": list(self.names),
+            "fingerprints": list(self.fingerprints),
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(
+                    fh,
+                    header=np.frombuffer(
+                        json.dumps(header, sort_keys=True).encode("utf-8"),
+                        dtype=np.uint8,
+                    ),
+                    tiles=self.tiles,
+                    thumbs=self.thumbs,
+                    sketches=self.sketches,
+                )
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def load(cls, path: str | os.PathLike[str]) -> "LibraryIndex":
+        """Load an index written by :meth:`save`; rejects other versions."""
+        path = os.fspath(path)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                header = json.loads(bytes(data["header"].tobytes()).decode("utf-8"))
+                tiles = np.asarray(data["tiles"])
+                thumbs = np.asarray(data["thumbs"])
+                sketches = np.asarray(data["sketches"])
+        except (OSError, KeyError, ValueError, json.JSONDecodeError) as exc:
+            raise ValidationError(
+                f"cannot load library index {path!r}: {exc}"
+            ) from exc
+        version = header.get("format_version")
+        if version != INDEX_FORMAT_VERSION:
+            raise ValidationError(
+                f"library index {path!r} has format version {version!r}; "
+                f"this build reads version {INDEX_FORMAT_VERSION} — rebuild "
+                "the index with `photomosaic library build`"
+            )
+        return cls(
+            tiles=tiles,
+            thumbs=thumbs,
+            sketches=sketches,
+            names=tuple(header["names"]),
+            fingerprints=tuple(header["fingerprints"]),
+            sketch_grid=int(header["sketch_grid"]),
+        )

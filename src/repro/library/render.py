@@ -1,0 +1,99 @@
+"""Mosaic rendering from stored render-resolution tiles.
+
+Matching runs at ``tile_size`` (small, fast) but every library image
+also carries a ``thumb_size`` render tile, so the output mosaic can be
+produced at an arbitrary resolution — PhotoQuilt-style — without going
+back to the source files.  Each output cell is the chosen tile's thumb,
+resampled to the cell size and optionally colour-adjusted toward the
+target cell (:mod:`repro.library.color`).
+
+Resampling happens once per *distinct* tile, not once per cell: with a
+repetition penalty of zero a 4096-cell mosaic may use a handful of
+tiles, and the gather afterwards is a plain fancy-index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.imaging.resize import resize
+from repro.library.color import adjust_tiles
+from repro.tiles.grid import TileGrid
+
+__all__ = ["render_mosaic", "resolve_cell_size"]
+
+
+def resolve_cell_size(
+    rows: int, cols: int, tile_size: int, out_size: int | None
+) -> int:
+    """Output cell side for a requested output size.
+
+    ``out_size`` is the requested longer output side; ``None`` keeps the
+    match resolution.  The cell side is floored to keep the grid exact,
+    so the actual output is ``(rows * cell, cols * cell)``.
+    """
+    if out_size is None:
+        return tile_size
+    cell = out_size // max(rows, cols)
+    if cell < 1:
+        raise ValidationError(
+            f"out_size {out_size} too small for a {rows}x{cols} grid"
+        )
+    return cell
+
+
+def render_mosaic(
+    thumbs: np.ndarray,
+    choice: np.ndarray,
+    rows: int,
+    cols: int,
+    cell_size: int,
+    *,
+    target_means: np.ndarray | None = None,
+    target_stds: np.ndarray | None = None,
+    color_adjust: str = "none",
+) -> np.ndarray:
+    """Assemble the output image from chosen tiles.
+
+    Parameters
+    ----------
+    thumbs:
+        ``(L, R, R)`` uint8 render-resolution library tiles.
+    choice:
+        ``(rows * cols,)`` chosen library index per cell, row-major.
+    cell_size:
+        Output cell side in pixels (see :func:`resolve_cell_size`).
+    target_means, target_stds:
+        Per-cell target statistics, required when ``color_adjust`` is
+        not ``"none"``.
+    """
+    thumbs = np.asarray(thumbs)
+    choice = np.asarray(choice, dtype=np.int64)
+    cells = rows * cols
+    if choice.shape != (cells,):
+        raise ValidationError(
+            f"choice shape {choice.shape}, expected ({cells},)"
+        )
+    if choice.size and (choice.min() < 0 or choice.max() >= thumbs.shape[0]):
+        raise ValidationError(
+            f"choice indexes outside library of {thumbs.shape[0]} tiles"
+        )
+    used = np.unique(choice)
+    if cell_size == thumbs.shape[1]:
+        resampled = thumbs[used]
+    else:
+        resampled = np.stack(
+            [resize(thumbs[t], cell_size, cell_size) for t in used]
+        )
+    # Map library index -> slot in `resampled`, then gather per cell.
+    slot = np.searchsorted(used, choice)
+    placed = resampled[slot]
+    if color_adjust != "none":
+        if target_means is None or target_stds is None:
+            raise ValidationError(
+                "color adjustment needs per-cell target statistics"
+            )
+        placed = adjust_tiles(placed, target_means, target_stds, color_adjust)
+    grid = TileGrid(rows * cell_size, cols * cell_size, cell_size)
+    return grid.assemble(placed.astype(np.uint8, copy=False))

@@ -1,0 +1,248 @@
+"""Cluster-pruned candidate shortlisting.
+
+Scoring every target cell against every library tile is ``O(S * L)``
+exact metric evaluations — the library analogue of the dense Step-2
+matrix the ROADMAP wants sublinear.  The shortlister cuts this the way
+the clustering-EP paper does: k-means over the cheap block-mean sketches
+partitions the library once, each target cell probes only its nearest
+clusters, and the exact (integer) metric runs on that small candidate
+pool.  The output is a :class:`CandidateSet` — per-cell ``top_k``
+library indices with their exact costs, sorted best-first — which is the
+sparse cost structure the assignment solvers consume.
+
+Everything here is bit-deterministic for a given seed: the k-means is a
+plain seeded Lloyd's iteration written with explicit broadcast
+arithmetic (no BLAS reductions, whose summation order varies across
+builds), empty clusters are reseeded from the farthest point, and all
+sorts are stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accel.backend import get_backend
+from repro.exceptions import ValidationError
+from repro.utils.rng import make_rng
+
+__all__ = ["CandidateSet", "ClusterShortlister", "kmeans"]
+
+
+@dataclass(frozen=True)
+class CandidateSet:
+    """Per-cell exact-scored shortlist.
+
+    Attributes
+    ----------
+    indices:
+        ``(S, k)`` int64 library tile indices, best-first per row.
+    costs:
+        ``(S, k)`` int64 exact metric costs aligned with ``indices``.
+    meta:
+        Pruning diagnostics (``clusters``, ``scanned_mean`` — the mean
+        number of exact evaluations per cell before truncation).
+    """
+
+    indices: np.ndarray
+    costs: np.ndarray
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.indices.shape != self.costs.shape or self.indices.ndim != 2:
+            raise ValidationError(
+                f"candidate indices/costs must be matching (S, k) arrays, "
+                f"got {self.indices.shape} and {self.costs.shape}"
+            )
+
+    @property
+    def cells(self) -> int:
+        return self.indices.shape[0]
+
+    @property
+    def top_k(self) -> int:
+        return self.indices.shape[1]
+
+
+def _sq_dist(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """``(N, K)`` squared distances via explicit broadcast.
+
+    Deliberately not the ``|x|^2 - 2xy + |y|^2`` BLAS form: matmul
+    summation order varies across library builds, and bit-identical
+    cluster labels are what make the whole pipeline goldenable.
+    """
+    diff = points[:, None, :] - centers[None, :, :]
+    return np.einsum("nkf,nkf->nk", diff, diff)
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    *,
+    seed: int | None = None,
+    iters: int = 25,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Seeded Lloyd's k-means; returns ``(centroids (k, F), labels (N,))``.
+
+    Initialisation samples ``k`` distinct points; an iteration that
+    empties a cluster reseeds it from the point farthest from its
+    assigned centroid (deterministic, stable under ties).  Converges or
+    stops after ``iters`` rounds — for shortlist pruning, an imperfect
+    clustering only costs a few extra exact evaluations, never quality.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ValidationError(
+            f"kmeans needs a non-empty (N, F) matrix, got shape {points.shape}"
+        )
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise ValidationError(f"k must be in 1..{n}, got {k}")
+    rng = make_rng(seed)
+    centers = points[rng.permutation(n)[:k]].copy()
+    labels: np.ndarray | None = None
+    for _ in range(iters):
+        dist = _sq_dist(points, centers)
+        new_labels = np.argmin(dist, axis=1)
+        # Reseed empty clusters from the worst-served points, excluding
+        # points already drafted so k empties get k distinct seeds.
+        served = dist[np.arange(n), new_labels]
+        for c in range(k):
+            if not np.any(new_labels == c):
+                worst = int(np.argmax(served))
+                new_labels[worst] = c
+                served[worst] = -1.0
+        if labels is not None and np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+        for c in range(k):
+            members = points[labels == c]
+            if members.size:
+                centers[c] = members.mean(axis=0)
+    return centers, labels
+
+
+class ClusterShortlister:
+    """Prunes a library to per-cell candidate pools via sketch clusters.
+
+    Built once per (library, metric, seed); :meth:`shortlist` then
+    serves any number of target tile stacks.
+    """
+
+    def __init__(
+        self,
+        sketches: np.ndarray,
+        library_features: np.ndarray,
+        metric,
+        *,
+        clusters: int = 0,
+        probes: int = 2,
+        seed: int | None = None,
+        backend=None,
+    ) -> None:
+        sketches = np.asarray(sketches, dtype=np.float64)
+        if sketches.ndim != 2 or sketches.shape[0] == 0:
+            raise ValidationError(
+                f"sketches must be a non-empty (L, F) matrix, got "
+                f"shape {sketches.shape}"
+            )
+        if library_features.shape[0] != sketches.shape[0]:
+            raise ValidationError(
+                f"{library_features.shape[0]} feature rows for "
+                f"{sketches.shape[0]} sketches"
+            )
+        size = sketches.shape[0]
+        if clusters == 0:
+            clusters = max(1, int(round(size**0.5)))
+        clusters = min(clusters, size)
+        self.metric = metric
+        self.probes = max(1, min(probes, clusters))
+        self.library_features = library_features
+        # The exact-scoring kernel runs on the configured array backend
+        # (same NEP-18 dispatch as cost.error_matrix); results come back
+        # as host arrays so callers stay backend-agnostic.
+        self.backend = get_backend(backend)
+        self._device_features = (
+            library_features
+            if self.backend.is_numpy
+            else self.backend.asarray(library_features)
+        )
+        self.centroids, self.labels = kmeans(sketches, clusters, seed=seed)
+        # Members stored ascending so candidate order (and thus exact-cost
+        # tie-breaking) is independent of cluster iteration details.
+        self.members = [
+            np.flatnonzero(self.labels == c) for c in range(clusters)
+        ]
+
+    @property
+    def clusters(self) -> int:
+        return self.centroids.shape[0]
+
+    def _candidates_for(self, cell_sketch: np.ndarray, need: int) -> np.ndarray:
+        """Library indices from the nearest clusters, widening to ``need``."""
+        diff = self.centroids - cell_sketch[None, :]
+        dist = np.einsum("kf,kf->k", diff, diff)
+        order = np.argsort(dist, kind="stable")
+        pools: list[np.ndarray] = []
+        have = 0
+        for rank, c in enumerate(order):
+            pools.append(self.members[c])
+            have += self.members[c].size
+            if rank + 1 >= self.probes and have >= need:
+                break
+        return np.concatenate(pools)
+
+    def shortlist(
+        self, target_tiles: np.ndarray, target_sketches: np.ndarray, top_k: int
+    ) -> CandidateSet:
+        """Exact-score each cell against its pruned pool.
+
+        ``target_tiles`` is the ``(S, M, M)`` cell stack, ``target_sketches``
+        its block-mean features (same grid as the library sketches).
+        Rows come back best-first under a stable sort, so the assigners'
+        slot-0 fallback is the true nearest tile.
+        """
+        if top_k < 1:
+            raise ValidationError(f"top_k must be >= 1, got {top_k}")
+        size = self.library_features.shape[0]
+        top_k = min(top_k, size)
+        target_features = self.metric.prepare(np.asarray(target_tiles))
+        cells = target_features.shape[0]
+        if target_sketches.shape[0] != cells:
+            raise ValidationError(
+                f"{target_sketches.shape[0]} sketches for {cells} cells"
+            )
+        indices = np.empty((cells, top_k), dtype=np.int64)
+        costs = np.empty((cells, top_k), dtype=np.int64)
+        scanned = 0
+        xb = self.backend
+        device_targets = (
+            target_features if xb.is_numpy else xb.asarray(target_features)
+        )
+        for cell in range(cells):
+            pool = self._candidates_for(target_sketches[cell], top_k)
+            scanned += pool.size
+            pool_dev = pool if xb.is_numpy else xb.asarray(pool)
+            row = np.asarray(
+                xb.to_numpy(
+                    self.metric.pairwise(
+                        device_targets[cell : cell + 1],
+                        self._device_features[pool_dev],
+                    )
+                )
+            )[0]
+            best = np.argsort(row, kind="stable")[:top_k]
+            indices[cell] = pool[best]
+            costs[cell] = row[best]
+        return CandidateSet(
+            indices=indices,
+            costs=costs,
+            meta={
+                "clusters": self.clusters,
+                "probes": self.probes,
+                "scanned_mean": scanned / cells if cells else 0.0,
+                "library_size": size,
+                "backend": self.backend.name,
+            },
+        )

@@ -1,0 +1,102 @@
+"""Deterministic synthetic libraries and targets.
+
+Tests, goldens, the CI smoke job and the benchmarks all need a "library
+of candidate photos" without shipping binary fixtures.  These generators
+produce structured, diverse images (gradients at varied orientations,
+intensities and contrast, plus mild texture) from a seed — diverse
+enough that clustering and shortlisting have real work to do, and fully
+reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.imaging import save_image
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "synthetic_library_images",
+    "synthetic_target",
+    "write_synthetic_library",
+]
+
+
+def synthetic_library_images(
+    count: int, *, size: int = 16, seed: int | None = 0
+) -> list[np.ndarray]:
+    """``count`` distinct ``size x size`` uint8 candidate images.
+
+    Each image is an oriented linear gradient with its own base
+    intensity, contrast and angle, overlaid with low-amplitude noise —
+    a crude stand-in for a photo collection's spread of brightness and
+    structure.
+    """
+    if count < 1:
+        raise ValidationError(f"count must be >= 1, got {count}")
+    if size < 1:
+        raise ValidationError(f"size must be >= 1, got {size}")
+    rng = make_rng(seed)
+    ys, xs = np.mgrid[0:size, 0:size].astype(np.float64)
+    ys = ys / max(1, size - 1) - 0.5
+    xs = xs / max(1, size - 1) - 0.5
+    images: list[np.ndarray] = []
+    for _ in range(count):
+        angle = rng.uniform(0.0, 2 * np.pi)
+        base = rng.uniform(30.0, 225.0)
+        contrast = rng.uniform(20.0, 120.0)
+        ramp = np.cos(angle) * xs + np.sin(angle) * ys
+        noise = rng.normal(0.0, 4.0, size=(size, size))
+        img = base + contrast * ramp + noise
+        images.append(np.clip(np.rint(img), 0, 255).astype(np.uint8))
+    return images
+
+
+def synthetic_target(size: int = 64, *, seed: int | None = 0) -> np.ndarray:
+    """A ``size x size`` uint8 target with large-scale structure.
+
+    Radial vignette plus two soft blobs and mild noise — smooth regions
+    to reward tile reuse and gradients to exercise the shortlister.
+    """
+    if size < 1:
+        raise ValidationError(f"size must be >= 1, got {size}")
+    rng = make_rng(seed)
+    ys, xs = np.mgrid[0:size, 0:size].astype(np.float64)
+    ys = ys / max(1, size - 1) - 0.5
+    xs = xs / max(1, size - 1) - 0.5
+    r2 = xs**2 + ys**2
+    img = 200.0 - 220.0 * r2
+    for _ in range(2):
+        cy, cx = rng.uniform(-0.35, 0.35, size=2)
+        amp = rng.uniform(-80.0, 80.0)
+        width = rng.uniform(0.05, 0.15)
+        img += amp * np.exp(-((ys - cy) ** 2 + (xs - cx) ** 2) / (2 * width**2))
+    img += rng.normal(0.0, 3.0, size=(size, size))
+    return np.clip(np.rint(img), 0, 255).astype(np.uint8)
+
+
+def write_synthetic_library(
+    directory: str | os.PathLike[str],
+    count: int,
+    *,
+    size: int = 16,
+    seed: int | None = 0,
+) -> list[str]:
+    """Write a synthetic library to ``directory`` as ``.pgm`` files.
+
+    Returns the written paths (sorted, matching the ingestion scan
+    order).  Used by the CLI smoke tests and the CI library-smoke job.
+    """
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    paths: list[str] = []
+    for i, image in enumerate(
+        synthetic_library_images(count, size=size, seed=seed)
+    ):
+        path = os.path.join(directory, f"tile-{i:05d}.pgm")
+        save_image(path, image)
+        paths.append(path)
+    return paths

@@ -58,7 +58,7 @@ from repro.service.gateway import (
 )
 from repro.service.http import HttpFront, HttpFrontConfig, JobEventBroker
 from repro.service.client import MosaicServiceClient
-from repro.service.jobs import JobRecord, JobSpec, JobState
+from repro.service.jobs import JOB_KINDS, JobRecord, JobSpec, JobState
 from repro.service.locks import FileLock, LockTimeout
 from repro.service.manifest import load_manifest, parse_manifest
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -86,6 +86,7 @@ __all__ = [
     "image_fingerprint",
     "tile_grid_key",
     "error_matrix_key",
+    "JOB_KINDS",
     "JobRecord",
     "JobSpec",
     "JobState",

@@ -41,11 +41,20 @@ __all__ = [
 
 
 class ServiceClientError(JobError):
-    """The service answered with an unexpected error status."""
+    """The service answered with an unexpected error status.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``code`` carries the server's machine-readable error-taxonomy tag
+    (``"unknown_field"``, ``"unknown_kind"``, ``"invalid_spec"``,
+    ``"malformed_body"``) when the body provided one, so callers can
+    branch on the class of failure instead of matching message prose.
+    """
+
+    def __init__(
+        self, status: int, message: str, code: str | None = None
+    ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        self.code = code
 
 class AuthenticationError(ServiceClientError):
     """The service rejected the bearer token (HTTP 401)."""
@@ -119,14 +128,16 @@ class MosaicServiceClient:
     def _raise_for_status(self, status: int, response, raw: bytes) -> None:
         if status < 400:
             return
-        message = _decode_json(raw).get("error", raw.decode("utf-8", "replace"))
+        body = _decode_json(raw)
+        message = body.get("error", raw.decode("utf-8", "replace"))
+        code = body.get("code")
         if status == 401:
             raise AuthenticationError(status, message)
         if status == 429:
             raise BackpressureError(
                 message, _parse_retry_after(response.getheader("Retry-After"))
             )
-        raise ServiceClientError(status, message)
+        raise ServiceClientError(status, message, code=code)
 
     # -- unary calls -----------------------------------------------------
 

@@ -57,16 +57,33 @@ class HttpError(Exception):
     """A request that must be answered with an error status.
 
     ``headers`` ride along so handlers can attach semantics to the
-    failure — e.g. ``Retry-After`` on a 429/503.
+    failure — e.g. ``Retry-After`` on a 429/503.  ``code`` is a stable
+    machine-readable taxonomy tag (``"unknown_field"``,
+    ``"unknown_kind"``, ``"invalid_spec"``, ``"malformed_body"``, ...)
+    carried in the JSON error body so clients can branch on the *class*
+    of failure without parsing prose.
     """
 
     def __init__(
-        self, status: int, message: str, headers: dict[str, str] | None = None
+        self,
+        status: int,
+        message: str,
+        headers: dict[str, str] | None = None,
+        *,
+        code: str | None = None,
     ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
         self.headers = dict(headers or {})
+        self.code = code
+
+    def body(self) -> dict:
+        """The JSON error body for this failure."""
+        payload = {"error": self.message}
+        if self.code is not None:
+            payload["code"] = self.code
+        return payload
 
 
 @dataclass
@@ -92,13 +109,19 @@ class HttpRequest:
     def json(self) -> dict:
         """Decode the body as a JSON object (400 on anything else)."""
         if not self.body:
-            raise HttpError(400, "request body must be a JSON object")
+            raise HttpError(
+                400, "request body must be a JSON object", code="malformed_body"
+            )
         try:
             payload = json.loads(self.body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise HttpError(400, f"invalid JSON body: {exc}") from None
+            raise HttpError(
+                400, f"invalid JSON body: {exc}", code="malformed_body"
+            ) from None
         if not isinstance(payload, dict):
-            raise HttpError(400, "request body must be a JSON object")
+            raise HttpError(
+                400, "request body must be a JSON object", code="malformed_body"
+            )
         return payload
 
     def int_query(self, name: str, default: int) -> int:

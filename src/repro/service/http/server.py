@@ -61,7 +61,7 @@ from repro.service.http.protocol import (
     send_json,
     write_chunk,
 )
-from repro.service.jobs import JobSpec
+from repro.service.jobs import JOB_KINDS, JobSpec
 from repro.service.metrics import MetricsRegistry
 
 __all__ = ["HttpFront", "HttpFrontConfig", "REQUEST_LATENCY_BUCKETS"]
@@ -194,7 +194,7 @@ class HttpFront:
                     send_json(
                         writer,
                         exc.status,
-                        {"error": exc.message},
+                        exc.body(),
                         headers=exc.headers,
                         keep_alive=False,
                     )
@@ -239,7 +239,7 @@ class HttpFront:
             send_json(
                 writer,
                 exc.status,
-                {"error": exc.message},
+                exc.body(),
                 headers=exc.headers,
                 keep_alive=keep_alive,
             )
@@ -371,12 +371,23 @@ class HttpFront:
         unknown = set(payload) - JobSpec.field_names()
         if unknown:
             raise HttpError(
-                400, f"unknown job spec fields: {', '.join(sorted(unknown))}"
+                400,
+                f"unknown job spec fields: {', '.join(sorted(unknown))}",
+                code="unknown_field",
+            )
+        kind = payload.get("kind", "mosaic")
+        if kind not in JOB_KINDS:
+            raise HttpError(
+                400,
+                f"unknown job kind {kind!r} (use one of {JOB_KINDS})",
+                code="unknown_kind",
             )
         try:
             spec = JobSpec(**payload)
         except (TypeError, JobError) as exc:
-            raise HttpError(400, f"invalid job spec: {exc}") from None
+            raise HttpError(
+                400, f"invalid job spec: {exc}", code="invalid_spec"
+            ) from None
         try:
             job_id = await self.broker.submit(spec)
         except AdmissionRejected as exc:

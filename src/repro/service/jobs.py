@@ -25,10 +25,14 @@ import threading
 import time
 from dataclasses import asdict, dataclass, field, fields
 
-from repro.exceptions import JobError
+from repro.exceptions import JobError, ValidationError
 from repro.mosaic.config import MosaicConfig
 
-__all__ = ["JobState", "JobSpec", "JobRecord"]
+__all__ = ["JOB_KINDS", "JobState", "JobSpec", "JobRecord"]
+
+#: Workloads the service can run: the paper's rearrangement pipeline
+#: (``"mosaic"``) and the many-to-one tile-library engine (``"library"``).
+JOB_KINDS = ("mosaic", "library")
 
 
 class JobState(str, enum.Enum):
@@ -59,10 +63,24 @@ class JobSpec:
 
     ``input`` and ``target`` are file paths or standard-image names,
     resolved lazily by the runner so specs stay cheap and picklable
-    (process executors ship them to workers).
+    (process executors ship them to workers).  For ``kind="library"``,
+    ``input`` is instead the tile library: a directory of candidate
+    images or a saved ``.npz`` :class:`~repro.library.index.LibraryIndex`.
 
     Attributes
     ----------
+    kind:
+        One of :data:`JOB_KINDS` — which pipeline the runner executes.
+    backend:
+        Array backend for the job's hot paths (``"numpy"``, ``"cupy"``,
+        ``"auto"``); ``None`` defers to the runner's default, so one
+        ``--backend`` flag on the service CLI steers every job that
+        doesn't pin its own.
+    top_k, clusters, repetition_penalty, assigner, refine_iters,
+    color_adjust, out_size, thumb_size:
+        Library-pipeline knobs (see
+        :class:`~repro.library.config.LibraryConfig`); ignored by
+        ``kind="mosaic"`` jobs.
     priority:
         Higher runs first; ties are FIFO.
     timeout:
@@ -80,12 +98,22 @@ class JobSpec:
     target: str
     name: str = ""
     output: str | None = None
+    kind: str = "mosaic"
     size: int = 64
     tile_size: int = 16
     algorithm: str = "parallel"
     metric: str = "sad"
     solver: str = "scipy"
     histogram_match: bool = True
+    backend: str | None = None
+    top_k: int = 16
+    clusters: int = 0
+    repetition_penalty: float = 0.0
+    assigner: str = "greedy"
+    refine_iters: int = 0
+    color_adjust: str = "none"
+    out_size: int | None = None
+    thumb_size: int = 32
     priority: int = 0
     timeout: float | None = None
     max_retries: int | None = None
@@ -94,10 +122,30 @@ class JobSpec:
     def __post_init__(self) -> None:
         if not self.input or not self.target:
             raise JobError("job spec needs non-empty 'input' and 'target'")
+        if self.kind not in JOB_KINDS:
+            raise JobError(
+                f"unknown job kind {self.kind!r} (use one of {JOB_KINDS})"
+            )
         if self.timeout is not None and self.timeout <= 0:
             raise JobError(f"timeout must be positive, got {self.timeout}")
         if self.max_retries is not None and self.max_retries < 0:
             raise JobError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backend is not None:
+            from repro.accel.backend import backend_names
+
+            if self.backend not in backend_names():
+                raise JobError(
+                    f"unknown backend {self.backend!r} "
+                    f"(use one of {backend_names()})"
+                )
+        if self.kind == "library":
+            # Materialising the LibraryConfig runs its full validation;
+            # bad library knobs surface at submit time as JobError, not
+            # deep inside a worker attempt.
+            try:
+                self.to_library_config()
+            except ValidationError as exc:
+                raise JobError(str(exc)) from exc
 
     def job_id(self, index: int = 0) -> str:
         """Deterministic ID: content hash of the spec plus batch position."""
@@ -107,7 +155,12 @@ class JobSpec:
         digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
         return f"job-{digest}"
 
-    def to_config(self) -> MosaicConfig:
+    def resolve_backend(self, default_backend: str | None = None) -> str:
+        """Array backend after falling back to the runner default."""
+        backend = self.backend if self.backend is not None else default_backend
+        return backend if backend is not None else "numpy"
+
+    def to_config(self, default_backend: str | None = None) -> MosaicConfig:
         """The :class:`MosaicConfig` this spec describes."""
         return MosaicConfig(
             tile_size=self.tile_size,
@@ -115,6 +168,26 @@ class JobSpec:
             metric=self.metric,
             solver=self.solver,
             histogram_match=self.histogram_match,
+            array_backend=self.resolve_backend(default_backend),
+        )
+
+    def to_library_config(self, default_backend: str | None = None):
+        """The :class:`~repro.library.config.LibraryConfig` this spec
+        describes (``kind="library"`` jobs)."""
+        from repro.library.config import LibraryConfig
+
+        return LibraryConfig(
+            tile_size=self.tile_size,
+            thumb_size=self.thumb_size,
+            metric=self.metric,
+            top_k=self.top_k,
+            clusters=self.clusters,
+            repetition_penalty=self.repetition_penalty,
+            assigner=self.assigner,
+            refine_iters=self.refine_iters,
+            color_adjust=self.color_adjust,
+            out_size=self.out_size,
+            array_backend=self.resolve_backend(default_backend),
         )
 
     @classmethod
@@ -238,4 +311,8 @@ class JobRecord:
                 # process, so a report over process executors still shows
                 # which steps were served from the shared disk store.
                 out["cache"] = dict(meta["cache"])
+            if isinstance(meta.get("library"), dict):
+                # Library-pipeline stats (ingest hit-rate, shortlist and
+                # reuse profile) — same worker-side provenance as above.
+                out["library"] = dict(meta["library"])
         return out

@@ -120,17 +120,26 @@ class MosaicJobRunner:
 
     accepts_context = True
 
-    def __init__(self, cache=None, outdir: str | None = None) -> None:
+    def __init__(
+        self,
+        cache=None,
+        outdir: str | None = None,
+        default_backend: str | None = None,
+    ) -> None:
         self.cache = cache
         self.outdir = outdir
+        self.default_backend = default_backend
 
     def __getstate__(self) -> dict:
         cache = self.cache if getattr(self.cache, "process_safe", False) else None
-        return {"cache": cache, "outdir": self.outdir}
+        return {
+            "cache": cache,
+            "outdir": self.outdir,
+            "default_backend": self.default_backend,
+        }
 
     def __call__(self, spec: JobSpec, ctx: JobContext | None = None):
         from repro.imaging import save_image
-        from repro.mosaic.generator import PhotomosaicGenerator
 
         observer = None
         if ctx is not None:
@@ -140,16 +149,42 @@ class MosaicJobRunner:
                 ctx.check_cancelled()  # cancellation lands between phases/sweeps
                 ctx.emit(kind, payload)
 
-        input_image = resolve_image(spec.input, spec.size)
-        target_image = resolve_image(spec.target, spec.size)
-        generator = PhotomosaicGenerator(spec.to_config(), cache=self.cache)
-        result = generator.generate(input_image, target_image, observer=observer)
+        if spec.kind == "library":
+            result = self._run_library(spec, observer)
+        else:
+            result = self._run_mosaic(spec, observer)
         if spec.output:
             path = spec.output
             if self.outdir is not None and not os.path.isabs(path):
                 path = os.path.join(self.outdir, path)
             save_image(path, result.image)
         return result
+
+    def _run_mosaic(self, spec: JobSpec, observer):
+        from repro.mosaic.generator import PhotomosaicGenerator
+
+        input_image = resolve_image(spec.input, spec.size)
+        target_image = resolve_image(spec.target, spec.size)
+        generator = PhotomosaicGenerator(
+            spec.to_config(self.default_backend), cache=self.cache
+        )
+        return generator.generate(input_image, target_image, observer=observer)
+
+    def _run_library(self, spec: JobSpec, observer):
+        from repro.library.engine import LibraryMosaicEngine
+
+        if not os.path.exists(spec.input):
+            raise JobError(
+                f"library source {spec.input!r} does not exist "
+                "(expected a directory of images or a saved .npz index)"
+            )
+        target_image = resolve_image(spec.target, spec.size)
+        engine = LibraryMosaicEngine(
+            spec.to_library_config(self.default_backend), cache=self.cache
+        )
+        return engine.generate(
+            spec.input, target_image, seed=spec.seed, observer=observer
+        )
 
 
 class WorkerPool:
@@ -431,6 +466,29 @@ class WorkerPool:
                     "cache_artifact_misses": outcomes["miss"],
                 }
             )
+        if isinstance(meta, dict) and isinstance(meta.get("library"), dict):
+            # Library-pipeline stats travel the same meta route as the
+            # cache outcomes, so process workers' ingests are visible too.
+            lib = meta["library"]
+            self.metrics.merge_counts(
+                {
+                    "library_ingest_hits": int(lib.get("ingest_hits", 0)),
+                    "library_ingest_misses": int(lib.get("ingest_misses", 0)),
+                }
+            )
+            count_buckets = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+            if "shortlist_k" in lib:
+                self.metrics.histogram(
+                    "library_shortlist_size",
+                    "exact-scored candidates per cell",
+                    buckets=count_buckets,
+                ).observe(float(lib["shortlist_k"]))
+            if "max_reuse" in lib:
+                self.metrics.histogram(
+                    "library_tile_reuse_max",
+                    "max cells sharing one tile, per job",
+                    buckets=count_buckets,
+                ).observe(float(lib["max_reuse"]))
 
     def _call_for(self, record: JobRecord) -> Callable[[JobSpec], Any]:
         """The per-attempt callable: plain runner, or context-aware wrapper.

@@ -28,7 +28,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro import generate_photomosaic, load_image, standard_image
+from repro import load_image
 from repro.imaging.iohub import write_pgm, write_png
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -72,15 +72,12 @@ class TestGoldenChecksums:
 def test_png_roundtrip_preserves_golden_image(name, tmp_path):
     """PNG bytes may differ across zlib builds, but decoding must give
     back exactly the golden mosaic pixels."""
-    params = dict(regen.CASES[name])
-    inp = standard_image(params.pop("input"), params.pop("size"))
-    tgt = standard_image(params.pop("target"), inp.shape[0])
-    result = generate_photomosaic(inp, tgt, **params)
+    image = regen.render_case(name)
 
     path = tmp_path / "mosaic.png"
-    write_png(path, result.image)
+    write_png(path, image)
     decoded = load_image(path)
-    assert (decoded == result.image).all()
+    assert (decoded == image).all()
     digest = hashlib.sha256(
         np.ascontiguousarray(decoded, dtype=np.uint8).tobytes()
     ).hexdigest()
@@ -91,15 +88,12 @@ def test_pgm_roundtrip_preserves_golden_image(tmp_path):
     """The PGM bytes are pinned by the goldens; loading them back must
     reproduce the golden image checksum too."""
     name = CASE_NAMES[0]
-    params = dict(regen.CASES[name])
-    inp = standard_image(params.pop("input"), params.pop("size"))
-    tgt = standard_image(params.pop("target"), inp.shape[0])
-    result = generate_photomosaic(inp, tgt, **params)
+    image = regen.render_case(name)
 
     path = tmp_path / "mosaic.pgm"
-    write_pgm(path, result.image)
+    write_pgm(path, image)
     assert (
         hashlib.sha256(path.read_bytes()).hexdigest()
         == GOLDENS[name]["pgm_sha256"]
     )
-    assert (load_image(path) == result.image).all()
+    assert (load_image(path) == image).all()

@@ -1,0 +1,27 @@
+"""Shared fixtures for the tile-library tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.library import LibraryIndex, synthetic_library_images, synthetic_target
+
+
+@pytest.fixture(scope="session")
+def library_images() -> list[np.ndarray]:
+    """120 deterministic 16x16 candidate images."""
+    return synthetic_library_images(120, size=16, seed=7)
+
+
+@pytest.fixture(scope="session")
+def library_index(library_images) -> LibraryIndex:
+    """Index over the synthetic library: match 8x8, render 16x16."""
+    return LibraryIndex.from_images(
+        library_images, tile_size=8, thumb_size=16, sketch_grid=2
+    )
+
+
+@pytest.fixture(scope="session")
+def target_64() -> np.ndarray:
+    return synthetic_target(64, seed=3)

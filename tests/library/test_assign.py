@@ -1,0 +1,198 @@
+"""Library assignment solvers: greedy penalty and EP refinement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError, ValidationError
+from repro.library import (
+    EvolutionaryAssigner,
+    GreedyPenaltyAssigner,
+    LibraryAssigner,
+    LibraryAssignment,
+    available_assigners,
+    get_assigner,
+    pair_penalty,
+    reuse_counts,
+)
+
+
+def _skewed_candidates(cells=64, k=6, library=40, seed=0):
+    """A shortlist where one 'popular' tile is everyone's cheapest pick."""
+    rng = np.random.default_rng(seed)
+    costs = rng.integers(50, 200, size=(cells, k)).astype(np.int64)
+    costs.sort(axis=1)
+    indices = np.empty((cells, k), dtype=np.int64)
+    for cell in range(cells):
+        row = rng.permutation(library)[:k]
+        row[0] = 0  # tile 0 is the universal best match
+        indices[cell] = row
+    costs[:, 0] = rng.integers(10, 30, size=cells)
+    return indices, costs
+
+
+class TestRegistry:
+    def test_available(self):
+        names = available_assigners()
+        assert "greedy" in names and "ep" in names
+        assert names == tuple(sorted(names))
+
+    def test_get(self):
+        assert isinstance(get_assigner("greedy"), GreedyPenaltyAssigner)
+        assert isinstance(get_assigner("ep"), EvolutionaryAssigner)
+
+    def test_unknown_name(self):
+        with pytest.raises(SolverError, match="unknown library assigner"):
+            get_assigner("simplex")
+
+    def test_base_name_unregistrable(self):
+        from repro.library.assign import register_assigner
+
+        with pytest.raises(ValidationError):
+            register_assigner(LibraryAssigner)
+
+
+class TestGreedy:
+    def test_zero_penalty_picks_best_candidate(self):
+        indices, costs = _skewed_candidates()
+        result = GreedyPenaltyAssigner().solve(indices, costs)
+        assert np.array_equal(result.choice, indices[:, 0])
+        assert result.total_cost == int(costs[:, 0].sum())
+        assert result.meta["objective"] == result.total_cost
+
+    def test_penalty_lowers_max_reuse(self):
+        """The acceptance-criteria pin: penalty on vs off."""
+        indices, costs = _skewed_candidates()
+        off = GreedyPenaltyAssigner().solve(indices, costs)
+        on = GreedyPenaltyAssigner().solve(
+            indices, costs, repetition_penalty=2.0
+        )
+        assert off.max_reuse == 64  # everyone piles onto tile 0
+        assert on.max_reuse < off.max_reuse
+        assert on.unique_tiles > off.unique_tiles
+        # Spreading out costs raw match quality; that trade is the point.
+        assert on.total_cost >= off.total_cost
+
+    def test_penalty_monotone_in_lambda(self):
+        indices, costs = _skewed_candidates(seed=3)
+        reuse = [
+            GreedyPenaltyAssigner()
+            .solve(indices, costs, repetition_penalty=lam)
+            .max_reuse
+            for lam in (0.0, 0.5, 4.0)
+        ]
+        assert reuse[0] >= reuse[1] >= reuse[2]
+
+    def test_deterministic(self):
+        indices, costs = _skewed_candidates(seed=9)
+        a = GreedyPenaltyAssigner().solve(indices, costs, repetition_penalty=1.0)
+        b = GreedyPenaltyAssigner().solve(indices, costs, repetition_penalty=1.0)
+        assert np.array_equal(a.choice, b.choice)
+        assert a.meta == b.meta
+
+    def test_meta_consistency(self):
+        indices, costs = _skewed_candidates(seed=4)
+        result = GreedyPenaltyAssigner().solve(
+            indices, costs, repetition_penalty=1.5
+        )
+        counts = reuse_counts(result.choice)
+        assert result.meta["max_reuse"] == int(counts.max()) == result.max_reuse
+        assert result.meta["unique_tiles"] == result.unique_tiles
+        step = int(round(1.5 * result.meta["penalty_unit"]))
+        assert (
+            result.meta["objective"]
+            == result.total_cost + step * pair_penalty(counts)
+        )
+
+    def test_invalid_candidates(self):
+        with pytest.raises(ValidationError):
+            GreedyPenaltyAssigner().solve(
+                np.zeros((4, 2), dtype=np.int64), np.zeros((4, 3), dtype=np.int64)
+            )
+        with pytest.raises(ValidationError):
+            GreedyPenaltyAssigner().solve(
+                np.zeros((4, 0), dtype=np.int64), np.zeros((4, 0), dtype=np.int64)
+            )
+
+
+class TestEvolutionary:
+    def test_no_refinement_equals_greedy(self):
+        indices, costs = _skewed_candidates(seed=1)
+        greedy = GreedyPenaltyAssigner().solve(
+            indices, costs, repetition_penalty=1.0
+        )
+        ep = EvolutionaryAssigner().solve(
+            indices, costs, repetition_penalty=1.0, refine_iters=0, seed=0
+        )
+        assert np.array_equal(ep.choice, greedy.choice)
+        assert ep.meta["iterations"] == 0
+
+    def test_refinement_never_worsens_objective(self):
+        indices, costs = _skewed_candidates(seed=2)
+        greedy = GreedyPenaltyAssigner().solve(
+            indices, costs, repetition_penalty=1.0
+        )
+        ep = EvolutionaryAssigner().solve(
+            indices, costs, repetition_penalty=1.0, refine_iters=500, seed=42
+        )
+        assert ep.meta["objective"] <= greedy.meta["objective"]
+        assert ep.meta["accepted_moves"] >= 0
+
+    def test_refinement_improves_on_skewed_instance(self):
+        """Greedy's commit order leaves slack EP must find here."""
+        indices, costs = _skewed_candidates(cells=128, seed=6)
+        greedy = GreedyPenaltyAssigner().solve(
+            indices, costs, repetition_penalty=2.0
+        )
+        ep = EvolutionaryAssigner().solve(
+            indices, costs, repetition_penalty=2.0, refine_iters=2000, seed=7
+        )
+        assert ep.meta["objective"] < greedy.meta["objective"]
+        assert ep.meta["accepted_moves"] > 0
+
+    def test_seeded_determinism(self):
+        indices, costs = _skewed_candidates(seed=8)
+        runs = [
+            EvolutionaryAssigner().solve(
+                indices, costs, repetition_penalty=1.0, refine_iters=300, seed=5
+            )
+            for _ in range(2)
+        ]
+        assert np.array_equal(runs[0].choice, runs[1].choice)
+        assert runs[0].meta == runs[1].meta
+
+    def test_incremental_objective_matches_recomputation(self):
+        """The O(k) move deltas must add up to the true objective."""
+        indices, costs = _skewed_candidates(cells=96, seed=10)
+        result = EvolutionaryAssigner().solve(
+            indices, costs, repetition_penalty=1.0, refine_iters=1000, seed=3
+        )
+        # Recompute total cost from scratch.
+        total = 0
+        for cell in range(indices.shape[0]):
+            slot = int(np.argmax(indices[cell] == result.choice[cell]))
+            assert indices[cell, slot] == result.choice[cell]
+            total += int(costs[cell, slot])
+        assert total == result.total_cost
+        step = int(round(1.0 * result.meta["penalty_unit"]))
+        assert (
+            result.meta["objective"]
+            == total + step * pair_penalty(reuse_counts(result.choice))
+        )
+
+
+class TestAssignmentValue:
+    def test_choice_must_be_1d(self):
+        with pytest.raises(ValidationError):
+            LibraryAssignment(np.zeros((2, 2)), 0)
+
+    def test_properties(self):
+        a = LibraryAssignment(np.array([3, 3, 5, 7]), 10)
+        assert a.max_reuse == 2
+        assert a.unique_tiles == 3
+
+    def test_pair_penalty(self):
+        assert pair_penalty(np.array([1, 1, 1])) == 0
+        assert pair_penalty(np.array([4])) == 6
+        assert pair_penalty(np.array([2, 3])) == 1 + 3

@@ -1,0 +1,185 @@
+"""End-to-end pipeline behaviour of :class:`LibraryMosaicEngine`."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.library import (
+    LibraryConfig,
+    LibraryIndex,
+    LibraryMosaicEngine,
+    LibraryMosaicResult,
+    synthetic_library_images,
+)
+from repro.library.engine import PHASES
+from repro.service.cache import ArtifactCache
+
+
+def _config(**overrides):
+    base = dict(tile_size=8, thumb_size=16, top_k=8, clusters=6)
+    base.update(overrides)
+    return LibraryConfig(**base)
+
+
+class TestGenerate:
+    def test_basic_result(self, library_index, target_64):
+        result = LibraryMosaicEngine(_config()).generate(
+            library_index, target_64, seed=1
+        )
+        assert isinstance(result, LibraryMosaicResult)
+        assert result.image.shape == (64, 64)
+        assert result.image.dtype == np.uint8
+        assert result.choice.shape == (64,)  # 8x8 grid of 8px cells
+        assert result.total_error > 0
+        assert result.sweeps is None
+        for phase in PHASES:
+            assert result.timings.get(phase) >= 0
+
+    def test_deterministic_for_seed(self, library_index, target_64):
+        cfg = _config(repetition_penalty=1.0, assigner="ep", refine_iters=200)
+        runs = [
+            LibraryMosaicEngine(cfg).generate(library_index, target_64, seed=5)
+            for _ in range(2)
+        ]
+        assert np.array_equal(runs[0].choice, runs[1].choice)
+        assert np.array_equal(runs[0].image, runs[1].image)
+        assert runs[0].total_error == runs[1].total_error
+
+    def test_out_size_scales_render(self, library_index, target_64):
+        result = LibraryMosaicEngine(_config(out_size=256)).generate(
+            library_index, target_64, seed=0
+        )
+        assert result.image.shape == (256, 256)
+
+    def test_penalty_lowers_reuse_end_to_end(self, library_index, target_64):
+        off = LibraryMosaicEngine(_config()).generate(
+            library_index, target_64, seed=2
+        )
+        on = LibraryMosaicEngine(_config(repetition_penalty=2.0)).generate(
+            library_index, target_64, seed=2
+        )
+        assert on.max_reuse < off.max_reuse
+        assert on.meta["library"]["max_reuse"] == on.max_reuse
+
+    def test_phase_events_in_order(self, library_index, target_64):
+        events = []
+        LibraryMosaicEngine(_config()).generate(
+            library_index, target_64, seed=0,
+            observer=lambda kind, payload: events.append((kind, payload)),
+        )
+        assert [p["phase"] for _, p in events] == list(PHASES)
+        assert all(kind == "phase" for kind, _ in events)
+        by_phase = {p["phase"]: p for _, p in events}
+        assert by_phase["ingest"]["images"] == library_index.size
+        assert by_phase["shortlist"]["cells"] == 64
+        assert "total_cost" in by_phase["assign"]
+        assert by_phase["render"]["height"] == 64
+        assert all(p["seconds"] >= 0 for _, p in events)
+
+    def test_observer_exception_aborts(self, library_index, target_64):
+        def boom(kind, payload):
+            raise RuntimeError("observer failed")
+
+        with pytest.raises(RuntimeError, match="observer failed"):
+            LibraryMosaicEngine(_config()).generate(
+                library_index, target_64, seed=0, observer=boom
+            )
+
+    def test_meta_library_block(self, library_index, target_64):
+        result = LibraryMosaicEngine(_config()).generate(
+            library_index, target_64, seed=0
+        )
+        lib = result.meta["library"]
+        assert lib["library_size"] == 120
+        assert lib["ingest_images"] == 120
+        assert lib["shortlist_k"] == 8
+        assert lib["clusters"] == 6
+        assert lib["assigner"] == "greedy"
+        assert lib["backend"] == "numpy"
+        assert "objective" in result.meta["assignment"]
+
+
+class TestIngestSources:
+    def test_prebuilt_index_passthrough(self, library_index):
+        index, stats = LibraryMosaicEngine(_config()).ingest(library_index)
+        assert index is library_index
+        assert stats.images == library_index.size
+        assert stats.hits == stats.misses == 0
+
+    def test_npz_path(self, library_index, tmp_path):
+        path = tmp_path / "lib.npz"
+        library_index.save(path)
+        index, stats = LibraryMosaicEngine(_config()).ingest(str(path))
+        assert index.content_fingerprint() == library_index.content_fingerprint()
+        assert stats.images == library_index.size
+
+    def test_directory_with_cache_warm_hit_rate(self, tmp_path, target_64):
+        from repro.library import write_synthetic_library
+
+        libdir = tmp_path / "lib"
+        write_synthetic_library(libdir, 25, size=16, seed=4)
+        cache = ArtifactCache()
+        engine = LibraryMosaicEngine(_config(), cache=cache)
+        cold = engine.generate(str(libdir), target_64, seed=0)
+        warm = engine.generate(str(libdir), target_64, seed=0)
+        assert cold.meta["library"]["ingest_hit_rate"] == 0.0
+        assert warm.meta["library"]["ingest_hit_rate"] >= 0.9
+        assert np.array_equal(cold.image, warm.image)
+
+
+class TestMismatchErrors:
+    def test_tile_size_mismatch(self, library_images, target_64):
+        index = LibraryIndex.from_images(
+            library_images, tile_size=4, thumb_size=16
+        )
+        with pytest.raises(ValidationError, match="tile size"):
+            LibraryMosaicEngine(_config()).generate(index, target_64)
+
+    def test_sketch_grid_mismatch(self, library_images, target_64):
+        index = LibraryIndex.from_images(
+            library_images, tile_size=8, thumb_size=16, sketch_grid=4
+        )
+        with pytest.raises(ValidationError, match="sketch grid"):
+            LibraryMosaicEngine(_config()).generate(index, target_64)
+
+    def test_bad_target(self, library_index):
+        with pytest.raises(ValidationError):
+            LibraryMosaicEngine(_config()).generate(
+                library_index, np.zeros((0, 0))
+            )
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        LibraryConfig()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"tile_size": 0},
+            {"thumb_size": -1},
+            {"sketch_grid": 0},
+            {"top_k": 0},
+            {"clusters": -2},
+            {"cluster_probes": 0},
+            {"repetition_penalty": -0.5},
+            {"assigner": "simplex"},
+            {"refine_iters": -1},
+            {"color_adjust": "clahe"},
+            {"out_size": 0},
+            {"metric": "psnr"},
+            {"array_backend": "tpu"},
+        ],
+    )
+    def test_invalid_rejected(self, overrides):
+        with pytest.raises(ValidationError):
+            LibraryConfig(**overrides)
+
+    def test_frozen(self):
+        cfg = LibraryConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.tile_size = 4

@@ -1,0 +1,166 @@
+"""LibraryIndex construction, ingestion caching and persistence."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.library import (
+    INDEX_FORMAT_VERSION,
+    LibraryIndex,
+    library_feature_key,
+    scan_library_dir,
+    synthetic_library_images,
+    write_synthetic_library,
+)
+from repro.service.cache import ArtifactCache
+from repro.service.diskcache import DiskCacheStore
+
+
+class TestFromImages:
+    def test_shapes_and_dtypes(self, library_index):
+        idx = library_index
+        assert idx.size == 120
+        assert idx.tiles.shape == (120, 8, 8)
+        assert idx.thumbs.shape == (120, 16, 16)
+        assert idx.sketches.shape == (120, 4)
+        assert idx.tiles.dtype == np.uint8
+        assert idx.thumbs.dtype == np.uint8
+
+    def test_means_equal_tile_means(self, library_index):
+        # Block means of equal blocks average to the tile mean exactly.
+        direct = library_index.tiles.reshape(120, -1).mean(
+            axis=1, dtype=np.float64
+        )
+        assert np.allclose(library_index.means, direct)
+
+    def test_distinct_fingerprints(self, library_index):
+        assert len(set(library_index.fingerprints)) == library_index.size
+
+    def test_deterministic(self, library_images):
+        a = LibraryIndex.from_images(library_images, tile_size=8, thumb_size=16)
+        b = LibraryIndex.from_images(library_images, tile_size=8, thumb_size=16)
+        assert a.content_fingerprint() == b.content_fingerprint()
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(ValidationError):
+            LibraryIndex.from_images([])
+
+    def test_mismatched_names_rejected(self, library_images):
+        with pytest.raises(ValidationError):
+            LibraryIndex.from_images(library_images[:4], names=("only-one",))
+
+
+class TestScan:
+    def test_sorted_and_filtered(self, tmp_path):
+        write_synthetic_library(tmp_path, 5, size=8, seed=0)
+        (tmp_path / "notes.txt").write_text("not an image")
+        found = scan_library_dir(tmp_path)
+        assert len(found) == 5
+        assert found == sorted(found)
+        assert all(p.endswith(".pgm") for p in found)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ValidationError):
+            scan_library_dir(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(ValidationError):
+            scan_library_dir(tmp_path)
+
+
+class TestDirectoryIngestion:
+    def test_cold_then_warm_hit_rate(self, tmp_path):
+        libdir = tmp_path / "lib"
+        write_synthetic_library(libdir, 30, size=16, seed=1)
+        cache = DiskCacheStore(tmp_path / "cache")
+        cold_idx, cold = LibraryIndex.from_directory(
+            libdir, tile_size=8, thumb_size=16, cache=cache
+        )
+        warm_idx, warm = LibraryIndex.from_directory(
+            libdir, tile_size=8, thumb_size=16, cache=cache
+        )
+        assert cold.hit_rate == 0.0
+        # Acceptance bar is >= 90%; an unchanged library is a pure read.
+        assert warm.hit_rate >= 0.9
+        assert warm.hits == 30
+        assert cold_idx.content_fingerprint() == warm_idx.content_fingerprint()
+
+    def test_cacheless_ingestion_matches_cached(self, tmp_path):
+        libdir = tmp_path / "lib"
+        write_synthetic_library(libdir, 12, size=16, seed=2)
+        plain, _ = LibraryIndex.from_directory(libdir, tile_size=8, thumb_size=16)
+        cached, _ = LibraryIndex.from_directory(
+            libdir, tile_size=8, thumb_size=16, cache=ArtifactCache()
+        )
+        assert plain.content_fingerprint() == cached.content_fingerprint()
+
+    def test_changed_file_is_a_miss(self, tmp_path):
+        libdir = tmp_path / "lib"
+        paths = write_synthetic_library(libdir, 6, size=16, seed=3)
+        cache = ArtifactCache()
+        LibraryIndex.from_directory(libdir, tile_size=8, thumb_size=16, cache=cache)
+        from repro.imaging import save_image
+
+        save_image(paths[0], synthetic_library_images(1, size=16, seed=99)[0])
+        _, stats = LibraryIndex.from_directory(
+            libdir, tile_size=8, thumb_size=16, cache=cache
+        )
+        assert stats.misses == 1
+        assert stats.hits == 5
+
+    def test_feature_key_includes_version_and_params(self):
+        keys = {
+            library_feature_key("abc", 8, 16, 2),
+            library_feature_key("abc", 8, 16, 4),
+            library_feature_key("abc", 8, 32, 2),
+            library_feature_key("abc", 16, 16, 2),
+            library_feature_key("def", 8, 16, 2),
+        }
+        assert len(keys) == 5
+        assert f"/v{INDEX_FORMAT_VERSION}" in library_feature_key("abc", 8, 16, 2)
+
+
+class TestPersistence:
+    def test_roundtrip(self, library_index, tmp_path):
+        path = tmp_path / "index.npz"
+        library_index.save(path)
+        loaded = LibraryIndex.load(path)
+        assert np.array_equal(loaded.tiles, library_index.tiles)
+        assert np.array_equal(loaded.thumbs, library_index.thumbs)
+        assert np.array_equal(loaded.sketches, library_index.sketches)
+        assert loaded.names == library_index.names
+        assert loaded.fingerprints == library_index.fingerprints
+        assert loaded.sketch_grid == library_index.sketch_grid
+        assert loaded.content_fingerprint() == library_index.content_fingerprint()
+
+    def test_wrong_version_rejected(self, library_index, tmp_path):
+        path = tmp_path / "index.npz"
+        library_index.save(path)
+        with np.load(path, allow_pickle=False) as data:
+            header = json.loads(bytes(data["header"].tobytes()).decode())
+            arrays = {k: data[k] for k in ("tiles", "thumbs", "sketches")}
+        header["format_version"] = INDEX_FORMAT_VERSION + 1
+        arrays["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValidationError, match="format version"):
+            LibraryIndex.load(path)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "index.npz"
+        path.write_bytes(b"not an npz")
+        with pytest.raises(ValidationError):
+            LibraryIndex.load(path)
+
+    def test_save_is_atomic_publish(self, library_index, tmp_path):
+        path = tmp_path / "index.npz"
+        library_index.save(path)
+        library_index.save(path)  # overwrite in place
+        assert not [p for p in os.listdir(tmp_path) if ".tmp." in p]
+        LibraryIndex.load(path)

@@ -1,0 +1,148 @@
+"""Rendering at arbitrary resolution and per-tile colour adjustment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.library import (
+    adjust_tiles,
+    cell_stats,
+    render_mosaic,
+    resolve_cell_size,
+)
+
+
+class TestResolveCellSize:
+    def test_none_keeps_match_resolution(self):
+        assert resolve_cell_size(8, 8, 8, None) == 8
+
+    def test_scales_by_longer_side(self):
+        assert resolve_cell_size(8, 8, 8, 256) == 32
+        assert resolve_cell_size(8, 4, 8, 256) == 32  # rows dominate
+        assert resolve_cell_size(4, 8, 8, 256) == 32  # cols dominate
+
+    def test_floors_inexact_requests(self):
+        assert resolve_cell_size(8, 8, 8, 250) == 31
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_cell_size(64, 64, 8, 32)
+
+
+class TestCellStats:
+    def test_values(self):
+        cells = np.stack(
+            [np.zeros((4, 4)), np.full((4, 4), 10.0), np.arange(16.0).reshape(4, 4)]
+        )
+        means, stds = cell_stats(cells)
+        assert np.allclose(means, [0.0, 10.0, 7.5])
+        assert stds[0] == stds[1] == 0.0
+        assert stds[2] > 0
+
+
+class TestAdjustTiles:
+    def test_none_is_passthrough(self):
+        tiles = np.arange(32, dtype=np.uint8).reshape(2, 4, 4)
+        out = adjust_tiles(tiles, np.zeros(2), np.zeros(2), "none")
+        assert out.dtype == np.uint8
+        assert np.array_equal(out, tiles)
+
+    def test_histogram_matches_means(self):
+        tiles = np.full((2, 4, 4), 100, dtype=np.uint8)
+        out = adjust_tiles(
+            tiles, np.array([50.0, 180.0]), np.ones(2), "histogram"
+        )
+        assert np.all(out[0] == 50)
+        assert np.all(out[1] == 180)
+
+    def test_gain_offset_matches_mean_and_std(self):
+        rng = np.random.default_rng(0)
+        tiles = rng.integers(60, 200, size=(3, 8, 8)).astype(np.uint8)
+        t_means = np.array([80.0, 128.0, 160.0])
+        t_stds = np.array([10.0, 30.0, 20.0])
+        out = adjust_tiles(tiles, t_means, t_stds, "gain_offset")
+        means, stds = cell_stats(out)
+        assert np.allclose(means, t_means, atol=1.5)
+        assert np.allclose(stds, t_stds, atol=2.5)
+
+    def test_gain_is_clamped_for_flat_tiles(self):
+        flat = np.full((1, 4, 4), 128, dtype=np.uint8)
+        out = adjust_tiles(flat, np.array([128.0]), np.array([100.0]), "gain_offset")
+        # A flat tile stays flat: there is no structure to amplify.
+        assert np.all(out == 128)
+
+    def test_clips_to_uint8_range(self):
+        tiles = np.full((1, 4, 4), 250, dtype=np.uint8)
+        out = adjust_tiles(tiles, np.array([300.0]), np.ones(1), "histogram")
+        assert out.dtype == np.uint8
+        assert np.all(out == 255)
+
+    def test_invalid_mode_and_shapes(self):
+        tiles = np.zeros((2, 4, 4), dtype=np.uint8)
+        with pytest.raises(ValidationError):
+            adjust_tiles(tiles, np.zeros(2), np.zeros(2), "clahe")
+        with pytest.raises(ValidationError):
+            adjust_tiles(tiles, np.zeros(3), np.zeros(2), "histogram")
+        with pytest.raises(ValidationError):
+            adjust_tiles(np.zeros((4, 4)), np.zeros(1), np.zeros(1), "none")
+
+
+class TestRenderMosaic:
+    def _thumbs(self, count=4, size=8):
+        # Tile t is a flat patch of intensity 40*t — easy to locate.
+        return np.stack(
+            [np.full((size, size), 40 * t, dtype=np.uint8) for t in range(count)]
+        )
+
+    def test_native_resolution(self):
+        thumbs = self._thumbs()
+        choice = np.array([0, 1, 2, 3])
+        image = render_mosaic(thumbs, choice, 2, 2, 8)
+        assert image.shape == (16, 16)
+        assert np.all(image[:8, :8] == 0)
+        assert np.all(image[:8, 8:] == 40)
+        assert np.all(image[8:, :8] == 80)
+        assert np.all(image[8:, 8:] == 120)
+
+    def test_upscaled_resolution(self):
+        thumbs = self._thumbs()
+        choice = np.array([3, 2, 1, 0])
+        image = render_mosaic(thumbs, choice, 2, 2, 32)
+        assert image.shape == (64, 64)
+        assert np.all(image[:32, :32] == 120)
+        assert np.all(image[32:, 32:] == 0)
+
+    def test_downscaled_resolution(self):
+        thumbs = self._thumbs(size=16)
+        image = render_mosaic(thumbs, np.array([1, 1, 1, 1]), 2, 2, 4)
+        assert image.shape == (8, 8)
+        assert np.all(image == 40)
+
+    def test_color_adjust_threads_through(self):
+        thumbs = self._thumbs()
+        choice = np.array([1, 1, 1, 1])
+        image = render_mosaic(
+            thumbs,
+            choice,
+            2,
+            2,
+            8,
+            target_means=np.array([10.0, 60.0, 110.0, 160.0]),
+            target_stds=np.ones(4),
+            color_adjust="histogram",
+        )
+        assert np.all(image[:8, :8] == 10)
+        assert np.all(image[8:, 8:] == 160)
+
+    def test_validation(self):
+        thumbs = self._thumbs()
+        with pytest.raises(ValidationError):
+            render_mosaic(thumbs, np.array([0, 1]), 2, 2, 8)
+        with pytest.raises(ValidationError):
+            render_mosaic(thumbs, np.array([0, 1, 2, 9]), 2, 2, 8)
+        with pytest.raises(ValidationError):
+            render_mosaic(
+                thumbs, np.array([0, 1, 2, 3]), 2, 2, 8, color_adjust="histogram"
+            )

@@ -1,0 +1,173 @@
+"""k-means sketch clustering and candidate shortlisting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cost import get_metric
+from repro.exceptions import ValidationError
+from repro.library import CandidateSet, ClusterShortlister, kmeans
+from repro.tiles.features import tile_features
+from repro.tiles.grid import TileGrid
+
+
+class TestKmeans:
+    def test_deterministic_for_seed(self, library_index):
+        a = kmeans(library_index.sketches, 8, seed=11)
+        b = kmeans(library_index.sketches, 8, seed=11)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_labels_cover_all_clusters(self, library_index):
+        _, labels = kmeans(library_index.sketches, 10, seed=0)
+        assert set(np.unique(labels)) == set(range(10))
+
+    def test_k_equals_n_is_identity_partition(self):
+        points = np.arange(12, dtype=np.float64).reshape(6, 2)
+        centers, labels = kmeans(points, 6, seed=0)
+        assert np.unique(labels).size == 6
+        assert np.array_equal(
+            np.sort(centers, axis=0), np.sort(points, axis=0)
+        )
+
+    def test_duplicate_points_keep_all_clusters_occupied(self):
+        # All-identical points force the empty-cluster reseed path.
+        points = np.ones((20, 3))
+        _, labels = kmeans(points, 4, seed=5)
+        assert np.unique(labels).size == 4
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            kmeans(np.empty((0, 2)), 1)
+        with pytest.raises(ValidationError):
+            kmeans(np.ones((4, 2)), 0)
+        with pytest.raises(ValidationError):
+            kmeans(np.ones((4, 2)), 5)
+        with pytest.raises(ValidationError):
+            kmeans(np.ones(4), 2)
+
+
+def _target_cells(target_64, tile_size=8, grid=2):
+    cells = TileGrid.for_image(target_64, tile_size).split(target_64)
+    return cells, tile_features(cells, grid=grid)
+
+
+@pytest.fixture(scope="module")
+def shortlister(library_index):
+    metric = get_metric("sad")
+    return ClusterShortlister(
+        library_index.sketches,
+        metric.prepare(library_index.tiles),
+        metric,
+        clusters=8,
+        probes=2,
+        seed=13,
+    )
+
+
+class TestShortlister:
+    def test_shapes_and_row_order(self, shortlister, target_64):
+        cells, sketches = _target_cells(target_64)
+        cand = shortlister.shortlist(cells, sketches, top_k=10)
+        assert isinstance(cand, CandidateSet)
+        assert cand.cells == cells.shape[0]
+        assert cand.top_k == 10
+        assert np.all(np.diff(cand.costs, axis=1) >= 0)  # best-first rows
+        assert cand.meta["clusters"] == 8
+        assert cand.meta["library_size"] == 120
+        assert cand.meta["scanned_mean"] >= 10
+
+    def test_costs_are_exact(self, shortlister, library_index, target_64):
+        """Shortlist costs must equal the brute-force metric values."""
+        cells, sketches = _target_cells(target_64)
+        cand = shortlister.shortlist(cells, sketches, top_k=6)
+        metric = get_metric("sad")
+        tf = metric.prepare(cells)
+        lf = metric.prepare(library_index.tiles)
+        for cell in range(0, cand.cells, 7):
+            row = np.asarray(metric.pairwise(tf[cell : cell + 1], lf))[0]
+            assert np.array_equal(cand.costs[cell], row[cand.indices[cell]])
+
+    def test_slot0_is_pool_best_and_usually_global_best(
+        self, shortlister, library_index, target_64
+    ):
+        """With probing, slot 0 should almost always be the true nearest."""
+        cells, sketches = _target_cells(target_64)
+        cand = shortlister.shortlist(cells, sketches, top_k=4)
+        metric = get_metric("sad")
+        tf = metric.prepare(cells)
+        lf = metric.prepare(library_index.tiles)
+        full = np.asarray(metric.pairwise(tf, lf))
+        exact_best = full.min(axis=1)
+        agreement = np.mean(cand.costs[:, 0] == exact_best)
+        assert agreement >= 0.8
+
+    def test_single_cluster_matches_brute_force_exactly(
+        self, library_index, target_64
+    ):
+        """clusters=1 means no pruning: top-k must equal brute force."""
+        metric = get_metric("sad")
+        lf = metric.prepare(library_index.tiles)
+        sl = ClusterShortlister(
+            library_index.sketches, lf, metric, clusters=1, seed=0
+        )
+        cells, sketches = _target_cells(target_64)
+        cand = sl.shortlist(cells, sketches, top_k=5)
+        tf = metric.prepare(cells)
+        full = np.asarray(metric.pairwise(tf, lf))
+        brute = np.sort(full, axis=1)[:, :5]
+        assert np.array_equal(np.sort(cand.costs, axis=1), brute)
+
+    def test_deterministic(self, library_index, target_64):
+        metric = get_metric("sad")
+        lf = metric.prepare(library_index.tiles)
+        cells, sketches = _target_cells(target_64)
+        runs = [
+            ClusterShortlister(
+                library_index.sketches, lf, metric, clusters=6, seed=3
+            ).shortlist(cells, sketches, top_k=8)
+            for _ in range(2)
+        ]
+        assert np.array_equal(runs[0].indices, runs[1].indices)
+        assert np.array_equal(runs[0].costs, runs[1].costs)
+
+    def test_top_k_clamped_to_library_size(self, library_index, target_64):
+        metric = get_metric("sad")
+        lf = metric.prepare(library_index.tiles)
+        sl = ClusterShortlister(library_index.sketches, lf, metric, seed=0)
+        cells, sketches = _target_cells(target_64)
+        cand = sl.shortlist(cells, sketches, top_k=10_000)
+        assert cand.top_k == library_index.size
+
+    def test_pool_widens_to_satisfy_top_k(self, library_index, target_64):
+        """Even with tiny clusters, every row must fill top_k candidates."""
+        metric = get_metric("sad")
+        lf = metric.prepare(library_index.tiles)
+        sl = ClusterShortlister(
+            library_index.sketches, lf, metric, clusters=40, probes=1, seed=1
+        )
+        cells, sketches = _target_cells(target_64)
+        cand = sl.shortlist(cells, sketches, top_k=30)
+        assert cand.top_k == 30
+        # A valid row has distinct candidate indices.
+        for row in cand.indices:
+            assert np.unique(row).size == 30
+
+    def test_invalid_inputs(self, library_index, target_64):
+        metric = get_metric("sad")
+        lf = metric.prepare(library_index.tiles)
+        with pytest.raises(ValidationError):
+            ClusterShortlister(np.empty((0, 4)), lf, metric)
+        with pytest.raises(ValidationError):
+            ClusterShortlister(library_index.sketches, lf[:10], metric)
+        sl = ClusterShortlister(library_index.sketches, lf, metric, seed=0)
+        cells, sketches = _target_cells(target_64)
+        with pytest.raises(ValidationError):
+            sl.shortlist(cells, sketches, top_k=0)
+        with pytest.raises(ValidationError):
+            sl.shortlist(cells, sketches[:3], top_k=4)
+
+    def test_candidate_set_validation(self):
+        with pytest.raises(ValidationError):
+            CandidateSet(np.zeros((4, 3), dtype=np.int64), np.zeros((4, 2), dtype=np.int64))

@@ -1,0 +1,132 @@
+"""Property-based tests for the tile-library subsystem."""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.library import LibraryIndex, pair_penalty, reuse_counts
+from repro.library.assign import GreedyPenaltyAssigner
+
+
+@st.composite
+def library_indices(draw):
+    """Small but fully general :class:`LibraryIndex` instances."""
+    count = draw(st.integers(min_value=1, max_value=6))
+    sketch_grid = draw(st.sampled_from([1, 2]))
+    tile_size = sketch_grid * draw(st.integers(min_value=1, max_value=3))
+    thumb_size = draw(st.integers(min_value=1, max_value=8))
+    tiles = draw(
+        arrays(
+            dtype=np.uint8,
+            shape=(count, tile_size, tile_size),
+            elements=st.integers(min_value=0, max_value=255),
+        )
+    )
+    thumbs = draw(
+        arrays(
+            dtype=np.uint8,
+            shape=(count, thumb_size, thumb_size),
+            elements=st.integers(min_value=0, max_value=255),
+        )
+    )
+    sketches = draw(
+        arrays(
+            dtype=np.float64,
+            shape=(count, sketch_grid * sketch_grid),
+            elements=st.floats(min_value=0.0, max_value=255.0, width=32),
+        )
+    )
+    names = tuple(
+        draw(
+            st.lists(
+                st.text(
+                    alphabet=st.characters(
+                        codec="utf-8", exclude_characters="\x00"
+                    ),
+                    max_size=20,
+                ),
+                min_size=count,
+                max_size=count,
+            )
+        )
+    )
+    fingerprints = tuple(f"{i:032x}" for i in range(count))
+    return LibraryIndex(
+        tiles=tiles,
+        thumbs=thumbs,
+        sketches=sketches,
+        names=names,
+        fingerprints=fingerprints,
+        sketch_grid=sketch_grid,
+    )
+
+
+@given(library_indices())
+@settings(max_examples=30, deadline=None)
+def test_index_save_load_roundtrip(index):
+    """``load(save(index))`` is the identity, bit for bit."""
+    fd, path = tempfile.mkstemp(suffix=".npz")
+    os.close(fd)
+    try:
+        index.save(path)
+        loaded = LibraryIndex.load(path)
+    finally:
+        os.unlink(path)
+    assert np.array_equal(loaded.tiles, index.tiles)
+    assert np.array_equal(loaded.thumbs, index.thumbs)
+    assert np.array_equal(loaded.sketches, index.sketches)
+    assert loaded.names == index.names
+    assert loaded.fingerprints == index.fingerprints
+    assert loaded.sketch_grid == index.sketch_grid
+    assert loaded.content_fingerprint() == index.content_fingerprint()
+
+
+@st.composite
+def candidate_tables(draw):
+    cells = draw(st.integers(min_value=1, max_value=12))
+    k = draw(st.integers(min_value=1, max_value=5))
+    library = draw(st.integers(min_value=k, max_value=20))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**16)))
+    indices = np.stack(
+        [rng.permutation(library)[:k] for _ in range(cells)]
+    ).astype(np.int64)
+    costs = np.sort(
+        rng.integers(0, 1000, size=(cells, k)).astype(np.int64), axis=1
+    )
+    return indices, costs
+
+
+@given(candidate_tables(), st.floats(min_value=0.0, max_value=4.0))
+@settings(max_examples=50, deadline=None)
+def test_greedy_assignment_invariants(table, lam):
+    """Every choice comes from the cell's shortlist; the reported cost,
+    reuse profile and objective are mutually consistent."""
+    indices, costs = table
+    result = GreedyPenaltyAssigner().solve(
+        indices, costs, repetition_penalty=lam
+    )
+    cells, _ = indices.shape
+    assert result.choice.shape == (cells,)
+    total = 0
+    for cell in range(cells):
+        row = indices[cell]
+        matches = np.flatnonzero(row == result.choice[cell])
+        assert matches.size >= 1
+        total += int(costs[cell, matches].min())
+    # Greedy picks the cheapest slot of the chosen tile, so the
+    # recomputed minimum matches the reported total exactly.
+    assert result.total_cost == total
+    counts = reuse_counts(result.choice)
+    assert int(counts.sum()) == cells
+    assert result.max_reuse == int(counts.max())
+    assert result.unique_tiles == int(np.count_nonzero(counts))
+    step = int(round(lam * result.meta["penalty_unit"]))
+    assert result.meta["objective"] == result.total_cost + step * pair_penalty(
+        counts
+    )

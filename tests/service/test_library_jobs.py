@@ -1,0 +1,207 @@
+"""The ``kind="library"`` job type end to end through the worker pool."""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.exceptions import JobError
+from repro.imaging import load_image, save_image
+from repro.library import (
+    LibraryIndex,
+    synthetic_library_images,
+    synthetic_target,
+    write_synthetic_library,
+)
+from repro.library.engine import PHASES, LibraryMosaicResult
+from repro.service.cache import ArtifactCache
+from repro.service.jobs import JOB_KINDS, JobSpec, JobState
+from repro.service.metrics import MetricsRegistry
+from repro.service.workers import MosaicJobRunner, WorkerPool
+
+
+@pytest.fixture(scope="module")
+def library_env(tmp_path_factory):
+    """A small on-disk library, a saved index and a target image."""
+    root = tmp_path_factory.mktemp("library-jobs")
+    libdir = root / "lib"
+    write_synthetic_library(libdir, 40, size=16, seed=11)
+    target = root / "target.pgm"
+    save_image(target, synthetic_target(64, seed=6))
+    index, _ = LibraryIndex.from_directory(libdir, tile_size=8, thumb_size=16)
+    npz = root / "lib.npz"
+    index.save(npz)
+    return {"libdir": str(libdir), "npz": str(npz), "target": str(target)}
+
+
+def library_spec(env, name="lib-job", **overrides):
+    base = dict(
+        kind="library",
+        input=env["npz"],
+        target=env["target"],
+        size=64,
+        tile_size=8,
+        thumb_size=16,
+        top_k=8,
+        seed=4,
+        name=name,
+    )
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+class TestSpecValidation:
+    def test_kinds_constant(self):
+        assert JOB_KINDS == ("mosaic", "library")
+
+    def test_default_kind_is_mosaic(self):
+        assert JobSpec(input="portrait", target="sailboat").kind == "mosaic"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(JobError, match="unknown job kind"):
+            JobSpec(input="a", target="b", kind="collage")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(JobError, match="unknown backend"):
+            JobSpec(input="a", target="b", backend="tpu")
+
+    def test_bad_library_knobs_surface_at_submit_time(self):
+        with pytest.raises(JobError, match="top_k"):
+            JobSpec(input="a", target="b", kind="library", top_k=0)
+        with pytest.raises(JobError, match="assigner"):
+            JobSpec(input="a", target="b", kind="library", assigner="simplex")
+        with pytest.raises(JobError, match="color_adjust"):
+            JobSpec(input="a", target="b", kind="library", color_adjust="clahe")
+
+    def test_library_knobs_do_not_gate_mosaic_jobs(self):
+        # A mosaic spec never materialises a LibraryConfig, so library
+        # defaults it carries cannot fail it.
+        JobSpec(input="portrait", target="sailboat", kind="mosaic", top_k=16)
+
+    def test_backend_resolution_order(self):
+        explicit = JobSpec(input="a", target="b", backend="numpy")
+        deferred = JobSpec(input="a", target="b")
+        assert explicit.resolve_backend("auto") == "numpy"  # spec wins
+        assert deferred.resolve_backend("auto") == "auto"  # runner default
+        assert deferred.resolve_backend(None) == "numpy"  # final fallback
+
+    def test_backend_threads_into_configs(self):
+        spec = JobSpec(
+            input="a", target="b", kind="library", backend="numpy", thumb_size=16
+        )
+        assert spec.to_library_config().array_backend == "numpy"
+        assert spec.to_config().array_backend == "numpy"
+        deferred = JobSpec(input="a", target="b", kind="library", thumb_size=16)
+        assert deferred.to_library_config("auto").array_backend == "auto"
+
+
+class TestPoolExecution:
+    def test_library_job_runs_to_done(self, library_env):
+        runner = MosaicJobRunner()
+        with WorkerPool(workers=1, runner=runner, seed=0) as pool:
+            record = pool.submit(library_spec(library_env))
+            pool.join()
+        assert record.state is JobState.DONE
+        assert isinstance(record.result, LibraryMosaicResult)
+        assert record.result.image.shape == (64, 64)
+
+    def test_summary_carries_library_block(self, library_env):
+        with WorkerPool(workers=1, runner=MosaicJobRunner(), seed=0) as pool:
+            record = pool.submit(library_spec(library_env))
+            pool.join()
+        summary = record.summary()
+        assert summary["state"] == "DONE"
+        assert summary["sweeps"] is None
+        lib = summary["library"]
+        assert lib["library_size"] == 40
+        assert lib["shortlist_k"] == 8
+        assert set(PHASES) <= set(summary["timings"])
+
+    def test_event_stream_order(self, library_env):
+        events = []
+
+        def observer(record, kind, payload):
+            events.append((kind, payload))
+
+        with WorkerPool(workers=1, runner=MosaicJobRunner(), seed=0) as pool:
+            pool.submit(library_spec(library_env), observer=observer)
+            pool.join()
+        kinds = [k for k, _ in events]
+        assert kinds == ["state", "phase", "phase", "phase", "phase", "state"]
+        assert [p["phase"] for k, p in events if k == "phase"] == list(PHASES)
+        assert events[0][1]["state"] == "RUNNING"
+        assert events[-1][1]["state"] == "DONE"
+
+    def test_deterministic_across_pools(self, library_env):
+        def digest():
+            with WorkerPool(workers=1, runner=MosaicJobRunner(), seed=0) as pool:
+                record = pool.submit(library_spec(library_env))
+                pool.join()
+            return hashlib.sha256(record.result.image.tobytes()).hexdigest()
+
+        assert digest() == digest()
+
+    def test_directory_ingest_metrics_fold_in(self, library_env):
+        metrics = MetricsRegistry()
+        cache = ArtifactCache()
+        runner = MosaicJobRunner(cache=cache)
+        with WorkerPool(
+            workers=1, runner=runner, metrics=metrics, seed=0
+        ) as pool:
+            pool.run(
+                [
+                    library_spec(library_env, name="cold", input=library_env["libdir"]),
+                    library_spec(library_env, name="warm", input=library_env["libdir"]),
+                ]
+            )
+        data = metrics.as_dict()
+        assert data["counters"]["library_ingest_misses"] == 40
+        assert data["counters"]["library_ingest_hits"] == 40
+        assert data["histograms"]["library_shortlist_size"]["count"] == 2
+        assert data["histograms"]["library_tile_reuse_max"]["count"] == 2
+
+    def test_output_is_saved(self, library_env, tmp_path):
+        runner = MosaicJobRunner(outdir=str(tmp_path))
+        with WorkerPool(workers=1, runner=runner, seed=0) as pool:
+            record = pool.submit(
+                library_spec(library_env, output="mosaic.pgm")
+            )
+            pool.join()
+        assert record.state is JobState.DONE
+        written = load_image(tmp_path / "mosaic.pgm")
+        assert np.array_equal(written, record.result.image)
+
+    def test_missing_library_fails_cleanly(self, library_env, tmp_path):
+        spec = library_spec(
+            library_env, input=str(tmp_path / "nope"), max_retries=0
+        )
+        with WorkerPool(workers=1, runner=MosaicJobRunner(), seed=0) as pool:
+            record = pool.submit(spec)
+            pool.join()
+        assert record.state is JobState.FAILED
+        assert "does not exist" in record.error
+
+    def test_runner_default_backend_reaches_engine(self, library_env):
+        # "auto" resolves to numpy on this machine; the engine reports
+        # the resolved backend in its meta, proving the default threaded
+        # runner -> spec -> LibraryConfig -> shortlister.
+        runner = MosaicJobRunner(default_backend="auto")
+        with WorkerPool(workers=1, runner=runner, seed=0) as pool:
+            record = pool.submit(library_spec(library_env))
+            pool.join()
+        assert record.state is JobState.DONE
+        assert record.result.meta["library"]["backend"] == "numpy"
+        assert record.result.config.array_backend == "auto"
+
+    def test_mosaic_jobs_unaffected(self):
+        with WorkerPool(workers=1, runner=MosaicJobRunner(), seed=0) as pool:
+            record = pool.submit(
+                JobSpec(
+                    input="portrait", target="sailboat", size=48, tile_size=8
+                )
+            )
+            pool.join()
+        assert record.state is JobState.DONE
+        assert record.result.image.shape == (48, 48)
