@@ -20,6 +20,18 @@ from repro.cost.matrix import error_matrix
 from repro.imaging.histogram import match_histogram
 from repro.tiles.grid import TileGrid
 
+#: The single seed every benchmark RNG derives from.  Benchmarks never
+#: call ``np.random`` directly — randomness flows through the ``rng``
+#: fixture below (mirroring ``tests/conftest.py``), so a run is
+#: reproducible end to end and two profiles compare like for like.
+BENCH_SEED = 12345
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Deterministic RNG; benchmarks that need randomness draw from this."""
+    return np.random.default_rng(BENCH_SEED)
+
 
 def profile_grid() -> list[tuple[int, int]]:
     """The active (N, tiles_per_side) grid."""

@@ -65,6 +65,23 @@ CASES: dict[str, dict] = {
         "algorithm": "parallel",
         "parallel_backend": "vectorized",
     },
+    # Sparse Step 2 (repro.cost.sparse) at poster scale: S=1024 tiles,
+    # top_k=32 sketch-shortlisted candidates per tile, 2-opt polishing a
+    # solver warm start inside the candidate graph.  Pins the whole
+    # sparse pipeline — sketching, seeded k-means preference orders,
+    # degree-capped selection, exact scoring, sparse warm start and the
+    # candidate-restricted sweeps.
+    "sparse-2opt-256": {
+        "input": "portrait",
+        "target": "sailboat",
+        "size": 256,
+        "tile_size": 8,
+        "algorithm": "parallel",
+        "parallel_backend": "vectorized",
+        "shortlist_top_k": 32,
+        "sketch": "mean",
+        "shortlist_seed": 11,
+    },
     # Many-to-one library pipeline (repro.library): a seeded synthetic
     # 500-image library composed onto a synthetic target.  Pins the
     # chosen-tile vector and the rendered mosaic, plus the reuse profile

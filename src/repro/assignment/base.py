@@ -9,13 +9,17 @@ convention ``p[v] = u``, so ``total = sum_v E[p[v], v]``.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.types import ErrorMatrix, PermutationArray
 from repro.utils.validation import check_error_matrix, check_permutation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.cost.sparse import SparseErrorMatrix
 
 __all__ = ["AssignmentResult", "AssignmentSolver", "register_solver", "get_solver"]
 
@@ -80,6 +84,72 @@ class AssignmentSolver(ABC):
     @abstractmethod
     def _solve(self, matrix: ErrorMatrix) -> AssignmentResult:
         """Concrete algorithm; ``matrix`` is a validated ``int64`` square."""
+
+    def solve_sparse(self, sparse: "SparseErrorMatrix") -> AssignmentResult:
+        """Solve over a shortlisted candidate set.
+
+        The default implementation densifies with the sparse matrix's
+        sentinel (a cost strictly worse than every shortlisted pair) and
+        runs the ordinary dense algorithm: any solver prefers candidate
+        edges wherever a perfect matching over them exists, and rows the
+        shortlist cannot serve fall back to sentinel edges — the dense
+        fallback the sparse pipeline requires for infeasible rows.
+        Fallback edges are then re-scored with the metric's **exact**
+        cost (via the features the builder retained), so the reported
+        total is the true Eq. (2) value, never a sentinel sum; the
+        count lands in ``meta["sparse"]["fallback"]``.
+
+        A complete sparse matrix (``top_k == S``) densifies to the exact
+        dense matrix, making this bit-identical to :meth:`solve`.
+        ``optimal`` is ``True`` only in that complete case — on a
+        restricted edge set even an exact solver only certifies the
+        restriction, so duals are dropped and optimality is not claimed.
+        """
+        sparse_meta = {
+            "top_k": sparse.top_k,
+            "complete": sparse.complete,
+            "pairs_evaluated": int(sparse.meta.get("pairs_evaluated", 0)),
+        }
+        if sparse.complete:
+            result = self.solve(sparse.to_dense())
+            return replace(
+                result,
+                meta={**result.meta, "sparse": {**sparse_meta, "fallback": 0}},
+            )
+        filled = sparse.to_dense()
+        result = self.solve(filled)
+        perm = result.permutation
+        n = sparse.size
+        cols = np.arange(n, dtype=np.intp)
+        shortlisted = sparse.mask()[perm, cols]
+        fallback = int(n - shortlisted.sum())
+        total = int(filled[perm, cols][shortlisted].sum())
+        exact_fallback = True
+        if fallback:
+            try:
+                total += int(
+                    sparse.score_pairs(perm[~shortlisted], cols[~shortlisted])
+                    .sum(dtype=np.int64)
+                )
+            except ValidationError:
+                # Feature-less sparse matrix (from_dense): the sentinel
+                # sum is the best available bound; flagged in meta.
+                total += int(filled[perm, cols][~shortlisted].sum())
+                exact_fallback = False
+        return AssignmentResult(
+            permutation=perm,
+            total=total,
+            optimal=False,
+            iterations=result.iterations,
+            meta={
+                **result.meta,
+                "sparse": {
+                    **sparse_meta,
+                    "fallback": fallback,
+                    "exact_fallback": exact_fallback,
+                },
+            },
+        )
 
 
 _REGISTRY: dict[str, type[AssignmentSolver]] = {}

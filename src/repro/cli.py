@@ -85,6 +85,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         histogram_match=not args.no_histogram_match,
         array_backend=args.backend,
         prune_sweeps=not args.no_prune,
+        shortlist_top_k=args.shortlist_top_k,
+        sketch=args.sketch,
+        shortlist_seed=args.shortlist_seed,
     )
     result = PhotomosaicGenerator(config).generate(input_image, target_image)
     save_image(args.output, result.image)
@@ -100,6 +103,14 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         evaluated = result.meta["pairs_evaluated"]
         skipped = result.meta["pairs_skipped"]
         print(f"pairs evaluated : {evaluated} ({skipped} pruned)")
+    if "shortlist" in result.meta:
+        shortlist = result.meta["shortlist"]
+        frac = shortlist["pairs_evaluated"] / max(shortlist["pairs_total"], 1)
+        print(
+            f"shortlist       : top_k={shortlist['top_k']} "
+            f"({frac:.1%} of pairs scored, "
+            f"{shortlist['fallback']} fallback)"
+        )
     for phase, seconds in result.timings.phases.items():
         print(f"{phase:<16}: {seconds:.4f}s")
     return 0
@@ -737,6 +748,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable active-pair sweep pruning (results are bit-identical "
         "either way; only useful for measuring the unpruned baseline)",
+    )
+    gen.add_argument(
+        "--shortlist-top-k",
+        type=int,
+        default=0,
+        help="sparse Step 2: exact-score only this many sketch-shortlisted "
+        "candidate positions per tile (0 = full dense matrix; values >= "
+        "the tile count reproduce the dense result bit for bit — see "
+        "docs/performance.md)",
+    )
+    gen.add_argument(
+        "--sketch",
+        choices=("mean", "pyramid", "pca"),
+        default="mean",
+        help="sketch kind for shortlisting (never affects final costs, "
+        "only which pairs get exact-scored)",
+    )
+    gen.add_argument(
+        "--shortlist-seed",
+        type=int,
+        default=None,
+        help="seed for the shortlister's k-means (fixed seed = "
+        "bit-reproducible sparse runs)",
     )
     gen.set_defaults(func=_cmd_generate)
 

@@ -7,6 +7,7 @@ from repro.cost.color import WeightedColorMetric
 from repro.cost.gradient import GradientMetric
 from repro.cost.luminance import LuminanceMetric
 from repro.cost.matrix import (
+    check_tile_stacks,
     error_matrix,
     total_error,
     total_error_of_permutation,
@@ -14,6 +15,12 @@ from repro.cost.matrix import (
 from repro.cost.parallel_matrix import error_matrix_parallel
 from repro.cost.reference import error_matrix_reference, tile_error_reference
 from repro.cost.sad import SADMetric
+from repro.cost.sketch import SKETCH_KINDS, sketch_features
+from repro.cost.sparse import (
+    DEFAULT_TOP_K,
+    SparseErrorMatrix,
+    sparse_error_matrix,
+)
 from repro.cost.ssd import SSDMetric
 
 __all__ = [
@@ -25,10 +32,16 @@ __all__ = [
     "LuminanceMetric",
     "WeightedColorMetric",
     "GradientMetric",
+    "check_tile_stacks",
     "error_matrix",
     "error_matrix_parallel",
     "total_error",
     "total_error_of_permutation",
     "error_matrix_reference",
     "tile_error_reference",
+    "SKETCH_KINDS",
+    "sketch_features",
+    "DEFAULT_TOP_K",
+    "SparseErrorMatrix",
+    "sparse_error_matrix",
 ]

@@ -20,7 +20,12 @@ from repro.types import ERROR_DTYPE, ErrorMatrix, PermutationArray, TileStack
 from repro.utils.arrays import cached_positions
 from repro.utils.validation import check_error_matrix, check_permutation
 
-__all__ = ["error_matrix", "total_error", "total_error_of_permutation"]
+__all__ = [
+    "check_tile_stacks",
+    "error_matrix",
+    "total_error",
+    "total_error_of_permutation",
+]
 
 #: Default cap on the broadcast intermediate, in scalar elements.  64 Mi
 #: int16 elements is ~128 MiB — large enough to keep BLAS-free kernels busy,
@@ -28,7 +33,9 @@ __all__ = ["error_matrix", "total_error", "total_error_of_permutation"]
 DEFAULT_CHUNK_BUDGET = 64 * 1024 * 1024
 
 
-def _check_stacks(input_tiles: TileStack, target_tiles: TileStack) -> None:
+def check_tile_stacks(input_tiles: TileStack, target_tiles: TileStack) -> None:
+    """Validate a matched pair of tile stacks (shared by dense and sparse
+    Step-2 builders)."""
     input_tiles = np.asarray(input_tiles)
     target_tiles = np.asarray(target_tiles)
     if input_tiles.shape != target_tiles.shape:
@@ -67,7 +74,7 @@ def error_matrix(
         NEP-18 dispatch; the result always comes back as a host array so
         downstream consumers are backend-agnostic.
     """
-    _check_stacks(input_tiles, target_tiles)
+    check_tile_stacks(input_tiles, target_tiles)
     metric = get_metric(metric)
     xb = get_backend(backend)
     features_in = metric.prepare(np.asarray(input_tiles))
@@ -108,7 +115,7 @@ def total_error_of_permutation(
     implementation materialised ``slab x slab`` pairwise blocks and took
     their trace — ``O(slab^2 * F)`` work for an ``O(slab * F)`` answer).
     """
-    _check_stacks(input_tiles, target_tiles)
+    check_tile_stacks(input_tiles, target_tiles)
     metric = get_metric(metric)
     perm = check_permutation(permutation, np.asarray(input_tiles).shape[0])
     features_in = metric.prepare(np.asarray(input_tiles))[perm]

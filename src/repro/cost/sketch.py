@@ -1,0 +1,152 @@
+"""Low-dimensional tile sketches for shortlist pruning.
+
+A *sketch* is a cheap summary of a metric's feature vector — a handful of
+floats per tile instead of the full ``F = M*M[*3]`` features — used by the
+sparse Step-2 builder (:mod:`repro.cost.sparse`) to shortlist candidate
+positions *before* any exact metric evaluation, the "Tight Approximation
+of Image Matching" direction from PAPERS.md.
+
+Sketches are computed **from the metric's prepared features**, not from
+raw pixels, so whatever normalisation/weighting a metric applies in
+:meth:`~repro.cost.base.CostMetric.prepare` is reflected in the sketch
+space too (a luminance metric shortlists in luminance space, a colour
+metric in its weighted space).
+
+Three kinds:
+
+* ``"mean"`` — contiguous bucket means over the feature axis (for SAD/SSD
+  these are row-band means of the tile);
+* ``"pyramid"`` — bucket means at three resolutions (1, 4, 16 buckets)
+  concatenated, a coarse-to-fine summary;
+* ``"pca"`` — projection onto the top principal components of the
+  *combined* feature cloud, computed with deterministic ``eigh`` and a
+  sign convention so repeated runs agree.
+
+``"mean"`` and ``"pyramid"`` are pure bucket arithmetic: bit-reproducible
+across runs and invariant under permutation of the tile axis (row ``i``
+of the sketch depends only on tile ``i``).  ``"pca"`` shares the
+invariance only up to float rounding, since the covariance accumulation
+order follows the tile order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["SKETCH_KINDS", "sketch_features", "bucket_means"]
+
+#: Registered sketch kinds (the ``MosaicConfig.sketch`` knob).
+SKETCH_KINDS = ("mean", "pyramid", "pca")
+
+#: Feature-axis buckets for the ``"mean"`` sketch.
+DEFAULT_BUCKETS = 16
+
+#: Output dimensionality of the ``"pca"`` sketch.
+DEFAULT_PCA_DIMS = 8
+
+
+def _check_features(features: np.ndarray) -> np.ndarray:
+    features = np.asarray(features)
+    if features.ndim != 2 or features.shape[0] == 0 or features.shape[1] == 0:
+        raise ValidationError(
+            f"sketching needs a non-empty (S, F) feature matrix, got shape "
+            f"{features.shape}"
+        )
+    return features.astype(np.float64, copy=False)
+
+
+def bucket_means(features: np.ndarray, buckets: int) -> np.ndarray:
+    """``(S, buckets)`` means over contiguous feature-axis buckets.
+
+    Bucket boundaries follow :func:`numpy.array_split` semantics (the
+    first ``F % buckets`` buckets get one extra element), so the split is
+    a pure function of ``(F, buckets)`` and reproducible everywhere.
+    """
+    features = _check_features(features)
+    f = features.shape[1]
+    buckets = min(max(1, buckets), f)
+    edges = np.linspace(0, f, buckets + 1).astype(np.intp)
+    out = np.empty((features.shape[0], buckets), dtype=np.float64)
+    for b in range(buckets):
+        out[:, b] = features[:, edges[b] : edges[b + 1]].mean(axis=1)
+    return out
+
+
+def _pca_sketch(features: np.ndarray, dims: int) -> np.ndarray:
+    """Project onto the top-``dims`` principal axes (deterministic).
+
+    Uses ``eigh`` on the feature covariance (symmetric, so the
+    decomposition is deterministic for a given build) and fixes each
+    component's sign by making its largest-magnitude coefficient
+    positive — without the convention, eigenvectors are only defined up
+    to sign and restarts could disagree.
+    """
+    features = _check_features(features)
+    dims = min(max(1, dims), features.shape[1])
+    centered = features - features.mean(axis=0, keepdims=True)
+    cov = centered.T @ centered
+    _, vecs = np.linalg.eigh(cov)
+    # eigh returns ascending eigenvalues; take the trailing columns.
+    basis = vecs[:, ::-1][:, :dims]
+    anchor = np.abs(basis).argmax(axis=0)
+    signs = np.sign(basis[anchor, np.arange(dims)])
+    signs[signs == 0] = 1.0
+    return centered @ (basis * signs)
+
+
+def sketch_features(
+    features: np.ndarray,
+    kind: str = "mean",
+    *,
+    buckets: int = DEFAULT_BUCKETS,
+    dims: int = DEFAULT_PCA_DIMS,
+    basis_features: np.ndarray | None = None,
+) -> np.ndarray:
+    """Reduce ``(S, F)`` prepared features to an ``(S, D)`` sketch.
+
+    Parameters
+    ----------
+    features:
+        Metric-prepared feature matrix (``CostMetric.prepare`` output).
+    kind:
+        One of :data:`SKETCH_KINDS`.
+    buckets:
+        Bucket count for ``"mean"`` (capped at ``F``).
+    dims:
+        Output dimensionality for ``"pca"`` (capped at ``F``).
+    basis_features:
+        For ``"pca"`` only: fit the projection basis on this matrix
+        instead of ``features``.  The sparse builder passes the stacked
+        input+target features so both sides share one sketch space.
+    """
+    features = _check_features(features)
+    if kind == "mean":
+        return bucket_means(features, buckets)
+    if kind == "pyramid":
+        return np.concatenate(
+            [bucket_means(features, b) for b in (1, 4, 16)], axis=1
+        )
+    if kind == "pca":
+        if basis_features is None:
+            return _pca_sketch(features, dims)
+        basis_features = _check_features(basis_features)
+        if basis_features.shape[1] != features.shape[1]:
+            raise ValidationError(
+                f"basis features have width {basis_features.shape[1]}, "
+                f"sketch input has {features.shape[1]}"
+            )
+        dims = min(max(1, dims), features.shape[1])
+        mean = basis_features.mean(axis=0, keepdims=True)
+        centered = basis_features - mean
+        cov = centered.T @ centered
+        _, vecs = np.linalg.eigh(cov)
+        basis = vecs[:, ::-1][:, :dims]
+        anchor = np.abs(basis).argmax(axis=0)
+        signs = np.sign(basis[anchor, np.arange(dims)])
+        signs[signs == 0] = 1.0
+        return (features - mean) @ (basis * signs)
+    raise ValidationError(
+        f"unknown sketch kind {kind!r} (use one of {SKETCH_KINDS})"
+    )

@@ -228,6 +228,16 @@ class LibraryMosaicEngine:
                 "backend": candidates.meta["backend"],
             },
             "assignment": dict(assignment.meta),
+            # Kind-level shortlist stats, same shape as the mosaic
+            # pipeline's meta["shortlist"] (repro.cost.sparse): the
+            # worker pool folds both into shortlist_pairs_evaluated /
+            # shortlist_fallback_total without caring which engine ran.
+            "shortlist": {
+                "top_k": candidates.top_k,
+                "pairs_evaluated": int(candidates.meta["scanned_total"]),
+                "pairs_total": int(candidates.cells) * int(index.size),
+                "fallback": 0,
+            },
         }
         return LibraryMosaicResult(
             image=image,

@@ -242,6 +242,7 @@ class ClusterShortlister:
                 "clusters": self.clusters,
                 "probes": self.probes,
                 "scanned_mean": scanned / cells if cells else 0.0,
+                "scanned_total": int(scanned),
                 "library_size": size,
                 "backend": self.backend.name,
             },

@@ -53,6 +53,7 @@ def _commit_class(
     vs: np.ndarray,
     pruner: ClassPruner | None = None,
     class_id: int = 0,
+    allowed: np.ndarray | None = None,
 ) -> int:
     """Evaluate and commit all improving swaps of one colour class.
 
@@ -72,6 +73,11 @@ def _commit_class(
     current = matrix[tiles_u, us] + matrix[tiles_v, vs]
     swapped = matrix[tiles_v, us] + matrix[tiles_u, vs]
     improving = current > swapped
+    if allowed is not None:
+        # Sparse candidate restriction: both post-swap placements must be
+        # shortlisted.  Eligibility is a pure function of the endpoint
+        # tiles, so the pruner's untouched-pair skip stays exact.
+        improving &= allowed[tiles_v, us] & allowed[tiles_u, vs]
     if not improving.any():
         return 0
     committed_us = us[improving]
@@ -91,13 +97,16 @@ def _commit_class_threads(
     vs: np.ndarray,
     pool: ThreadPoolExecutor,
     workers: int,
+    allowed: np.ndarray | None = None,
 ) -> int:
     """Thread-pool variant: chunks of one class commit concurrently."""
     if us.size == 0:
         return 0
     chunks = np.array_split(np.arange(us.size), workers)
     futures = [
-        pool.submit(_commit_class, matrix, perm, us[c], vs[c])
+        pool.submit(
+            _commit_class, matrix, perm, us[c], vs[c], None, 0, allowed
+        )
         for c in chunks
         if c.size
     ]
@@ -113,6 +122,7 @@ def local_search_parallel(
     workers: int = 4,
     max_sweeps: int = 10_000,
     prune: bool = True,
+    candidates: np.ndarray | None = None,
     array_backend: str | ArrayBackend | None = None,
     on_sweep: Callable[[int, int, int], None] | None = None,
 ) -> LocalSearchResult:
@@ -143,6 +153,14 @@ def local_search_parallel(
         sweeps drop from ``O(S^2)`` to ``O(S * dirty)``.  The
         ``"threads"`` and ``"gpusim"`` backends model full-width
         execution and ignore it.
+    candidates:
+        Optional boolean ``(S, S)`` mask over ``(tile, position)``
+        placements (a :meth:`~repro.cost.sparse.SparseErrorMatrix.mask`):
+        a class pair commits only when both post-swap placements are
+        candidates.  All-``True`` reproduces the unrestricted search
+        exactly.  Supported by the ``"vectorized"`` and ``"threads"``
+        backends; ``"gpusim"`` models the paper's full-width kernels and
+        rejects it.
     array_backend:
         Array library for the swap kernels (``None``/``"numpy"``,
         ``"cupy"``, ``"auto"`` — :mod:`repro.accel.backend`).  A
@@ -179,6 +197,17 @@ def local_search_parallel(
             f"array backend {xb.name!r} requires the vectorized execution "
             f"backend, got {backend!r}"
         )
+    if candidates is not None:
+        candidates = np.asarray(candidates, dtype=bool)
+        if candidates.shape != (s, s):
+            raise ValidationError(
+                f"candidates mask must be ({s}, {s}), got {candidates.shape}"
+            )
+        if backend == "gpusim":
+            raise ValidationError(
+                "candidate restriction is not supported by the gpusim "
+                "backend (use vectorized or threads)"
+            )
 
     # Device residency: with a non-NumPy array backend the matrix, the
     # permutation, the packed edge groups and the dirty mask all move to
@@ -186,6 +215,11 @@ def local_search_parallel(
     # per-sweep total (and the final permutation) cross back.
     work_matrix = matrix if xb.is_numpy else xb.asarray(matrix)
     work_perm = perm if xb.is_numpy else xb.asarray(perm)
+    work_allowed = (
+        None
+        if candidates is None
+        else (candidates if xb.is_numpy else xb.asarray(candidates))
+    )
     classes = groups.classes
     if not xb.is_numpy:
         classes = tuple((xb.asarray(us), xb.asarray(vs)) for us, vs in classes)
@@ -205,14 +239,14 @@ def local_search_parallel(
 
         def commit(class_id: int, us: np.ndarray, vs: np.ndarray) -> int:
             return _commit_class_threads(
-                work_matrix, work_perm, us, vs, pool, workers
+                work_matrix, work_perm, us, vs, pool, workers, work_allowed
             )
 
     else:
 
         def commit(class_id: int, us: np.ndarray, vs: np.ndarray) -> int:
             return _commit_class(
-                work_matrix, work_perm, us, vs, pruner, class_id
+                work_matrix, work_perm, us, vs, pruner, class_id, work_allowed
             )
 
     positions = (

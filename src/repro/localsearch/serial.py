@@ -59,11 +59,48 @@ def _sweep_first(matrix_list: list[list[int]], perm: list[int], s: int) -> int:
     return swaps
 
 
+def _sweep_first_masked(
+    matrix_list: list[list[int]],
+    perm: list[int],
+    s: int,
+    allowed: list[list[bool]],
+) -> int:
+    """Algorithm-1 sweep restricted to candidate placements.
+
+    A swap of positions ``(u, v)`` moves tile ``p[v]`` to ``u`` and tile
+    ``p[u]`` to ``v``; it is evaluated only when both *new* placements
+    are shortlisted in ``allowed[tile][position]``.  Kept separate from
+    :func:`_sweep_first` so the measured scalar baseline stays untouched.
+    """
+    swaps = 0
+    for u in range(s):
+        tile_u = perm[u]
+        e_u = matrix_list[tile_u]
+        ok_u = allowed[tile_u]
+        current_u = e_u[u]
+        for v in range(u + 1, s):
+            tile_v = perm[v]
+            e_v = matrix_list[tile_v]
+            if (
+                allowed[tile_v][u]
+                and ok_u[v]
+                and current_u + e_v[v] > e_v[u] + e_u[v]
+            ):
+                perm[u], perm[v] = tile_v, tile_u
+                swaps += 1
+                tile_u = tile_v
+                e_u = e_v
+                ok_u = allowed[tile_u]
+                current_u = e_u[u]
+    return swaps
+
+
 def _sweep_best_row(
     matrix: np.ndarray,
     perm: np.ndarray,
     s: int,
     pruner: SweepPruner | None = None,
+    allowed: np.ndarray | None = None,
 ) -> int:
     """One best-improvement-per-row sweep (vectorised); returns swap count.
 
@@ -99,6 +136,13 @@ def _sweep_best_row(
             - matrix[tiles_rest, u]
             - matrix[tile_u, candidates]
         )
+        if allowed is not None:
+            # Candidate restriction: a swap must place both tiles on
+            # shortlisted positions.  Candidacy depends only on the pair's
+            # endpoint tiles, so an untouched pair keeps both its gain and
+            # its eligibility — the pruner's skip argument still holds.
+            ok = allowed[tiles_rest, u] & allowed[tile_u, candidates]
+            gains = np.where(ok, gains, -1)
         best = int(np.argmax(gains))
         if gains[best] > 0:
             v = int(candidates[best])
@@ -116,6 +160,7 @@ def local_search_serial(
     strategy: str = "first",
     max_sweeps: int = 10_000,
     prune: bool = True,
+    candidates: np.ndarray | None = None,
     on_sweep: Callable[[int, int, int], None] | None = None,
 ) -> LocalSearchResult:
     """Run the serial approximation algorithm to a 2-opt local optimum.
@@ -138,6 +183,13 @@ def local_search_serial(
         late sweeps drop from ``O(S^2)`` to ``O(S * dirty)``.  The
         ``"first"`` strategy is the paper's measured scalar baseline and
         is never pruned.
+    candidates:
+        Optional boolean ``(S, S)`` mask over ``(tile, position)``
+        placements (a :meth:`~repro.cost.sparse.SparseErrorMatrix.mask`):
+        swaps are evaluated only when both resulting placements are
+        candidates.  An all-``True`` mask reproduces the unrestricted
+        search exactly; pruned-sweep bookkeeping is preserved because a
+        pair's eligibility depends only on its endpoint tiles.
     on_sweep:
         Optional progress hook called after every sweep with
         ``(sweep_index, swaps_committed, total_error)``.  Exceptions it
@@ -154,6 +206,12 @@ def local_search_serial(
         raise ValidationError(f"unknown strategy {strategy!r} (use first|best_row)")
     if max_sweeps < 1:
         raise ValidationError(f"max_sweeps must be >= 1, got {max_sweeps}")
+    if candidates is not None:
+        candidates = np.asarray(candidates, dtype=bool)
+        if candidates.shape != (s, s):
+            raise ValidationError(
+                f"candidates mask must be ({s}, {s}), got {candidates.shape}"
+            )
 
     swap_counts: list[int] = []
     totals: list[int] = []
@@ -162,8 +220,14 @@ def local_search_serial(
     if strategy == "first":
         matrix_list = matrix.tolist()
         perm_list = perm.tolist()
+        allowed_list = candidates.tolist() if candidates is not None else None
         while True:
-            swaps = _sweep_first(matrix_list, perm_list, s)
+            if allowed_list is None:
+                swaps = _sweep_first(matrix_list, perm_list, s)
+            else:
+                swaps = _sweep_first_masked(
+                    matrix_list, perm_list, s, allowed_list
+                )
             perm = np.array(perm_list, dtype=np.intp)
             swap_counts.append(swaps)
             totals.append(int(matrix[perm, positions].sum()))
@@ -178,7 +242,7 @@ def local_search_serial(
     else:
         pruner = SweepPruner(s) if prune else None
         while True:
-            swaps = _sweep_best_row(matrix, perm, s, pruner)
+            swaps = _sweep_best_row(matrix, perm, s, pruner, candidates)
             if pruner is not None:
                 pruner.end_sweep()
             swap_counts.append(swaps)

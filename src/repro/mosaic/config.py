@@ -62,6 +62,22 @@ class MosaicConfig:
         (:mod:`repro.accel.dirty`): after the first sweep only pairs
         with a dirty endpoint are evaluated.  Results are bit-identical;
         disable only to measure the unpruned baseline.
+    shortlist_top_k:
+        Sparse Step 2: keep only this many sketch-shortlisted candidate
+        positions per input tile and exact-score just those pairs
+        (:mod:`repro.cost.sparse`).  ``0`` (default) computes the full
+        dense matrix; any value ``>= S`` is equivalent to the dense path
+        bit for bit.  Incompatible with ``allow_transforms`` and the
+        ``pyramid`` algorithm (both need the full matrix), and with the
+        ``gpusim`` parallel backend (full-width kernels).
+    sketch:
+        Sketch kind used for shortlisting
+        (:data:`repro.cost.sketch.SKETCH_KINDS`): ``"mean"``,
+        ``"pyramid"`` or ``"pca"``.  Never affects final costs — only
+        which pairs get exact-scored.
+    shortlist_seed:
+        Seed for the shortlister's k-means clustering; a fixed seed makes
+        sparse runs bit-reproducible.  ``None`` draws fresh entropy.
     """
 
     tile_size: int = 16
@@ -77,6 +93,9 @@ class MosaicConfig:
     max_sweeps: int = 10_000
     array_backend: str = "numpy"
     prune_sweeps: bool = True
+    shortlist_top_k: int = 0
+    sketch: str = "mean"
+    shortlist_seed: int | None = None
 
     def __post_init__(self) -> None:
         if self.tile_size < 1:
@@ -96,6 +115,35 @@ class MosaicConfig:
                 "pyramid and allow_transforms cannot combine: the coarse "
                 "stage has no orientation bookkeeping"
             )
+        if self.shortlist_top_k < 0:
+            raise ValidationError(
+                f"shortlist_top_k must be >= 0, got {self.shortlist_top_k}"
+            )
+        from repro.cost.sketch import SKETCH_KINDS
+
+        if self.sketch not in SKETCH_KINDS:
+            raise ValidationError(
+                f"unknown sketch kind {self.sketch!r} "
+                f"(use one of {SKETCH_KINDS})"
+            )
+        if self.shortlist_top_k > 0:
+            if self.allow_transforms:
+                raise ValidationError(
+                    "shortlist_top_k and allow_transforms cannot combine: "
+                    "orientation search needs the full dense matrix"
+                )
+            if self.algorithm == "pyramid":
+                raise ValidationError(
+                    "shortlist_top_k and the pyramid algorithm cannot "
+                    "combine: the coarse-to-fine warm start needs the full "
+                    "dense matrix"
+                )
+            if self.algorithm == "parallel" and self.parallel_backend == "gpusim":
+                raise ValidationError(
+                    "shortlist_top_k is not supported by the gpusim "
+                    "parallel backend (full-width kernels); use "
+                    "vectorized or threads"
+                )
         from repro.accel.backend import backend_names
 
         if self.array_backend not in backend_names():

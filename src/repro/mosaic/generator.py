@@ -20,7 +20,8 @@ from typing import Callable
 import numpy as np
 
 from repro.assignment import get_solver
-from repro.cost import error_matrix, total_error
+from repro.cost import error_matrix, sparse_error_matrix, total_error
+from repro.cost.sparse import SparseErrorMatrix
 from repro.exceptions import ValidationError
 from repro.imaging.histogram import match_histogram
 from repro.localsearch import local_search_parallel, local_search_serial
@@ -115,16 +116,32 @@ class PhotomosaicGenerator:
         self,
         matrix: ErrorMatrix,
         on_sweep: Callable[[int, int, int], None] | None = None,
+        *,
+        sparse: SparseErrorMatrix | None = None,
     ) -> tuple[np.ndarray, object, dict]:
         """Step 3 only: returns ``(permutation, trace_or_None, meta)``.
 
         ``on_sweep`` is forwarded to the local-search algorithms (called
         after every 2-opt sweep); the optimisation path has no sweeps and
-        ignores it.
+        ignores it.  With an incomplete ``sparse`` matrix (the sparse
+        Step-2 path), the solver runs over the shortlist via
+        :meth:`~repro.assignment.base.AssignmentSolver.solve_sparse` and
+        the local searches restrict their sweeps to candidate placements;
+        ``matrix`` must then be its sentinel densification.  A complete
+        sparse matrix is ignored — the dense code path already is the
+        exact computation.
         """
         cfg = self.config
+        if sparse is not None and sparse.complete:
+            sparse = None
+        candidates = None if sparse is None else sparse.mask()
         if cfg.algorithm == "optimization":
-            result = get_solver(cfg.solver).solve(matrix)
+            solver = get_solver(cfg.solver)
+            result = (
+                solver.solve(matrix)
+                if sparse is None
+                else solver.solve_sparse(sparse)
+            )
             meta = {
                 "solver": cfg.solver,
                 "optimal": result.optimal,
@@ -136,24 +153,40 @@ class PhotomosaicGenerator:
                 "the pyramid algorithm needs tile stacks; use generate() "
                 "or call repro.mosaic.pyramid.coarse_to_fine_rearrange directly"
             )
+        # Sparse mode warm-starts 2-opt from the configured solver's
+        # shortlist assignment: the identity start would strand tiles on
+        # off-shortlist positions that candidate-restricted swaps cannot
+        # always repair, and 2-opt then polishes inside the candidate
+        # graph.  ``config.solver`` is otherwise unused by the
+        # local-search algorithms, so the knob doubles as the sparse
+        # warm-start choice (``"greedy"`` for the cheapest start).
+        initial = None
+        if sparse is not None:
+            initial = get_solver(cfg.solver).solve_sparse(sparse).permutation
         if cfg.algorithm == "approximation":
             result = local_search_serial(
                 matrix,
+                initial,
                 strategy=cfg.serial_strategy,
                 max_sweeps=cfg.max_sweeps,
                 prune=cfg.prune_sweeps,
+                candidates=candidates,
                 on_sweep=on_sweep,
             )
         else:  # "parallel"
             result = local_search_parallel(
                 matrix,
+                initial,
                 backend=cfg.parallel_backend,
                 max_sweeps=cfg.max_sweeps,
                 prune=cfg.prune_sweeps,
+                candidates=candidates,
                 array_backend=cfg.array_backend,
                 on_sweep=on_sweep,
             )
         meta = {"strategy": result.strategy, **result.meta}
+        if sparse is not None:
+            meta["warm_start"] = f"{cfg.solver}-sparse"
         return result.permutation, result.trace, meta
 
     def generate(
@@ -206,8 +239,25 @@ class PhotomosaicGenerator:
                 )
         phase_done("step1_tiling")
         orientation_codes = None
+        sparse_matrix: SparseErrorMatrix | None = None
         with timings.measure("step2_error_matrix"):
-            if self.cache is None:
+            if self.config.shortlist_top_k > 0:
+                # Sparse Step 2: sketch-shortlisted candidates, exact-scored.
+                # The artifact cache stores only full dense matrices, so
+                # sparse runs bypass it (step-1 tile caching still applies).
+                sparse_matrix = sparse_error_matrix(
+                    input_tiles,
+                    target_tiles,
+                    self.config.metric,
+                    top_k=self.config.shortlist_top_k,
+                    sketch=self.config.sketch,
+                    seed=self.config.shortlist_seed,
+                    backend=self.config.array_backend,
+                )
+                matrix = sparse_matrix.to_dense()
+                if self.cache is not None:
+                    cache_meta["step2_matrix"] = "bypass"
+            elif self.cache is None:
                 matrix, orientation_codes = self._compute_matrix(
                     input_tiles, target_tiles
                 )
@@ -248,7 +298,9 @@ class PhotomosaicGenerator:
                     "pyramid_factor": self.config.pyramid_factor,
                 }
             else:
-                perm, trace, meta = self.rearrange(matrix, on_sweep=on_sweep)
+                perm, trace, meta = self.rearrange(
+                    matrix, on_sweep=on_sweep, sparse=sparse_matrix
+                )
         phase_done("step3_rearrangement")
         placed = input_tiles[perm]
         if orientation_codes is not None:
@@ -265,10 +317,38 @@ class PhotomosaicGenerator:
         image = grid.assemble(placed)
         if cache_meta:
             meta = {**meta, "cache": cache_meta}
+        final_total = total_error(matrix, perm)
+        if sparse_matrix is not None:
+            positions = cached_positions(grid.tile_count)
+            off_shortlist = int(
+                (~sparse_matrix.mask()[perm, positions]).sum()
+            )
+            if not sparse_matrix.complete:
+                # The densified matrix holds sentinels off-shortlist; the
+                # reported total is always the true Eq. (2) value, scored
+                # from the retained features.
+                final_total = sparse_matrix.exact_total(perm)
+            meta = {
+                **meta,
+                "shortlist": {
+                    "top_k": sparse_matrix.top_k,
+                    "sketch": self.config.sketch,
+                    "complete": sparse_matrix.complete,
+                    "pairs_evaluated": int(
+                        sparse_matrix.meta.get("pairs_evaluated", 0)
+                    ),
+                    "pairs_total": int(
+                        sparse_matrix.meta.get(
+                            "pairs_total", grid.tile_count**2
+                        )
+                    ),
+                    "fallback": off_shortlist,
+                },
+            }
         return MosaicResult(
             image=image,
             permutation=perm,
-            total_error=total_error(matrix, perm),
+            total_error=final_total,
             timings=timings,
             config=self.config,
             trace=trace,

@@ -81,6 +81,14 @@ class JobSpec:
         Library-pipeline knobs (see
         :class:`~repro.library.config.LibraryConfig`); ignored by
         ``kind="mosaic"`` jobs.
+    shortlist_top_k, sketch:
+        Sparse Step-2 knobs for ``kind="mosaic"`` jobs (see
+        :class:`~repro.mosaic.config.MosaicConfig`): ``shortlist_top_k``
+        candidate positions per input tile, shortlisted by ``sketch``
+        features and exact-scored.  ``0`` keeps the dense path.  The
+        job's ``seed`` doubles as the shortlister's k-means seed, so a
+        seeded sparse job is bit-reproducible.  Ignored by
+        ``kind="library"`` jobs (which have their own ``top_k``).
     priority:
         Higher runs first; ties are FIFO.
     timeout:
@@ -114,6 +122,8 @@ class JobSpec:
     color_adjust: str = "none"
     out_size: int | None = None
     thumb_size: int = 32
+    shortlist_top_k: int = 0
+    sketch: str = "mean"
     priority: int = 0
     timeout: float | None = None
     max_retries: int | None = None
@@ -138,6 +148,14 @@ class JobSpec:
                     f"unknown backend {self.backend!r} "
                     f"(use one of {backend_names()})"
                 )
+        if self.kind == "mosaic":
+            # Materialising the MosaicConfig runs its full validation
+            # (shortlist/sketch combinations included), so bad pipeline
+            # knobs surface at submit time as JobError.
+            try:
+                self.to_config()
+            except ValidationError as exc:
+                raise JobError(str(exc)) from exc
         if self.kind == "library":
             # Materialising the LibraryConfig runs its full validation;
             # bad library knobs surface at submit time as JobError, not
@@ -169,6 +187,9 @@ class JobSpec:
             solver=self.solver,
             histogram_match=self.histogram_match,
             array_backend=self.resolve_backend(default_backend),
+            shortlist_top_k=self.shortlist_top_k,
+            sketch=self.sketch,
+            shortlist_seed=self.seed,
         )
 
     def to_library_config(self, default_backend: str | None = None):
@@ -315,4 +336,9 @@ class JobRecord:
                 # Library-pipeline stats (ingest hit-rate, shortlist and
                 # reuse profile) — same worker-side provenance as above.
                 out["library"] = dict(meta["library"])
+            if isinstance(meta.get("shortlist"), dict):
+                # Sparse Step-2 stats — emitted by both job kinds with
+                # the same keys (``pairs_evaluated``, ``fallback``), so
+                # reports aggregate shortlist work uniformly.
+                out["shortlist"] = dict(meta["shortlist"])
         return out

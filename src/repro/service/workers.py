@@ -489,6 +489,20 @@ class WorkerPool:
                     "max cells sharing one tile, per job",
                     buckets=count_buckets,
                 ).observe(float(lib["max_reuse"]))
+        if isinstance(meta, dict) and isinstance(meta.get("shortlist"), dict):
+            # Sparse Step-2 stats use one shared shape across job kinds —
+            # mosaic shortlisting (repro.cost.sparse) and the library
+            # engine's per-cell shortlist both report how many pairs were
+            # exact-scored and how many assignments fell off-shortlist.
+            shortlist = meta["shortlist"]
+            self.metrics.merge_counts(
+                {
+                    "shortlist_pairs_evaluated": int(
+                        shortlist.get("pairs_evaluated", 0)
+                    ),
+                    "shortlist_fallback_total": int(shortlist.get("fallback", 0)),
+                }
+            )
 
     def _call_for(self, record: JobRecord) -> Callable[[JobSpec], Any]:
         """The per-attempt callable: plain runner, or context-aware wrapper.

@@ -1,0 +1,167 @@
+"""Differential exact-vs-sparse verification layer.
+
+The sparse Step-2 pipeline (:mod:`repro.cost.sparse`) must degrade
+*only* by omission: with ``top_k >= S`` every candidate is present and
+the whole pipeline — error totals, the assignment itself, and the
+rendered mosaic — must be **bit-identical** to the dense path, across
+grid sizes, metrics and algorithms.  With a small ``top_k`` the result
+may differ, but only inside a pinned quality envelope, and the costs it
+does compute are always the exact metric values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.cost import error_matrix, sparse_error_matrix
+from repro.imaging import standard_image
+from repro.mosaic.generator import generate_photomosaic
+from repro.tiles.grid import TileGrid
+
+GRID_SIZES = (32, 48, 64)  # S = 16, 36, 64 tiles at tile_size 8
+METRICS = ("sad", "ssd")
+ALGORITHMS = ("optimization", "approximation", "parallel")
+
+
+def _checksum(image: np.ndarray) -> str:
+    return hashlib.sha256(
+        np.ascontiguousarray(image, dtype=np.uint8).tobytes()
+    ).hexdigest()
+
+
+def _stacks(size: int, metric_pair=("portrait", "sailboat")):
+    grid = TileGrid(size, size, 8)
+    return (
+        grid.split(standard_image(metric_pair[0], size)),
+        grid.split(standard_image(metric_pair[1], size)),
+    )
+
+
+class TestCompleteBitIdentity:
+    """``top_k >= S``: sparse is the dense pipeline, bit for bit."""
+
+    @pytest.mark.parametrize("metric", METRICS)
+    @pytest.mark.parametrize("size", GRID_SIZES)
+    def test_matrix_round_trips_exactly(self, size, metric):
+        tiles_in, tiles_tg = _stacks(size)
+        s = tiles_in.shape[0]
+        dense = error_matrix(tiles_in, tiles_tg, metric)
+        sparse = sparse_error_matrix(
+            tiles_in, tiles_tg, metric, top_k=s, seed=0
+        )
+        assert sparse.complete
+        assert sparse.meta["pairs_evaluated"] == s * s
+        np.testing.assert_array_equal(sparse.to_dense(), dense)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("metric", METRICS)
+    @pytest.mark.parametrize("size", GRID_SIZES)
+    def test_pipeline_bit_identical(self, size, metric, algorithm):
+        """Totals, assignment and rendered bytes all match the dense run."""
+        inp = standard_image("portrait", size)
+        tgt = standard_image("sailboat", size)
+        s = (size // 8) ** 2
+        dense = generate_photomosaic(
+            inp, tgt, tile_size=8, algorithm=algorithm, metric=metric
+        )
+        sparse = generate_photomosaic(
+            inp,
+            tgt,
+            tile_size=8,
+            algorithm=algorithm,
+            metric=metric,
+            shortlist_top_k=s,
+            shortlist_seed=3,
+        )
+        assert sparse.total_error == dense.total_error
+        np.testing.assert_array_equal(sparse.permutation, dense.permutation)
+        assert _checksum(sparse.image) == _checksum(dense.image)
+        shortlist = sparse.meta["shortlist"]
+        assert shortlist["complete"] is True
+        assert shortlist["fallback"] == 0
+
+
+class TestSparseExactness:
+    """Shortlisted costs are exact metric values — never approximations."""
+
+    @pytest.mark.parametrize("metric", METRICS)
+    @pytest.mark.parametrize("sketch", ("mean", "pyramid", "pca"))
+    def test_costs_match_dense_entries(self, metric, sketch):
+        tiles_in, tiles_tg = _stacks(64)
+        dense = error_matrix(tiles_in, tiles_tg, metric)
+        sparse = sparse_error_matrix(
+            tiles_in, tiles_tg, metric, top_k=8, sketch=sketch, seed=5
+        )
+        rows = np.repeat(np.arange(sparse.size), sparse.top_k)
+        np.testing.assert_array_equal(
+            sparse.costs.ravel(), dense[rows, sparse.indices.ravel()]
+        )
+        assert sparse.meta["pairs_evaluated"] == sparse.size * sparse.top_k
+
+    def test_exact_total_matches_dense_total(self, rng):
+        tiles_in, tiles_tg = _stacks(64)
+        dense = error_matrix(tiles_in, tiles_tg)
+        sparse = sparse_error_matrix(tiles_in, tiles_tg, top_k=8, seed=5)
+        perm = rng.permutation(sparse.size)
+        expected = int(dense[perm, np.arange(sparse.size)].sum())
+        assert sparse.exact_total(perm) == expected
+
+
+class TestSmallTopKEnvelope:
+    """Small ``top_k`` stays inside the pinned quality/coverage envelope.
+
+    The poster-scale envelope (S=1024, top_k=32: <= 10% of pairs scored,
+    total within 2% of exact) is pinned by
+    ``benchmarks/bench_sparse_step2.py`` and recorded in BENCH_8.json;
+    this in-suite check pins a smaller instance so the suite stays fast.
+    """
+
+    ENVELOPE_RATIO = 1.06  # measured 1.035 at S=256/top_k=32; headroom for seeds
+    SIZE = 128  # S = 256 tiles
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_quality_within_envelope(self, metric):
+        inp = standard_image("portrait", self.SIZE)
+        tgt = standard_image("sailboat", self.SIZE)
+        exact = generate_photomosaic(
+            inp, tgt, tile_size=8, algorithm="parallel", metric=metric
+        )
+        sparse = generate_photomosaic(
+            inp,
+            tgt,
+            tile_size=8,
+            algorithm="parallel",
+            metric=metric,
+            shortlist_top_k=32,
+            shortlist_seed=11,
+        )
+        ratio = sparse.total_error / exact.total_error
+        assert ratio <= self.ENVELOPE_RATIO, (
+            f"sparse total {sparse.total_error} vs exact {exact.total_error} "
+            f"(ratio {ratio:.4f}) breaches the {self.ENVELOPE_RATIO} envelope"
+        )
+        shortlist = sparse.meta["shortlist"]
+        s = (self.SIZE // 8) ** 2
+        assert shortlist["pairs_evaluated"] == s * 32
+        assert shortlist["pairs_evaluated"] / shortlist["pairs_total"] <= 0.2
+
+    def test_sparse_run_is_seed_reproducible(self):
+        inp = standard_image("portrait", self.SIZE)
+        tgt = standard_image("sailboat", self.SIZE)
+        runs = [
+            generate_photomosaic(
+                inp,
+                tgt,
+                tile_size=8,
+                algorithm="parallel",
+                shortlist_top_k=16,
+                shortlist_seed=21,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].total_error == runs[1].total_error
+        np.testing.assert_array_equal(runs[0].permutation, runs[1].permutation)
+        assert _checksum(runs[0].image) == _checksum(runs[1].image)

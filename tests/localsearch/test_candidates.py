@@ -1,0 +1,124 @@
+"""Candidate-restricted 2-opt sweeps (the sparse Step-3 consumers).
+
+``local_search_serial`` / ``local_search_parallel`` accept a boolean
+``candidates`` mask; a swap ``(u, v)`` is eligible only when both
+resulting placements stay inside the mask.  An all-True mask must be a
+no-op (bit-identical to the unrestricted search), a restricted run must
+never place a tile outside its candidate rows unless it started there,
+and pruning must stay bit-identical under restriction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cost import error_matrix, sparse_error_matrix, total_error
+from repro.exceptions import ValidationError
+from repro.imaging import standard_image
+from repro.localsearch.parallel import local_search_parallel
+from repro.localsearch.serial import local_search_serial
+from repro.tiles.grid import TileGrid
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    grid = TileGrid(64, 64, 8)
+    return error_matrix(
+        grid.split(standard_image("portrait", 64)),
+        grid.split(standard_image("sailboat", 64)),
+    )
+
+
+@pytest.fixture(scope="module")
+def sparse(request):
+    grid = TileGrid(64, 64, 8)
+    return sparse_error_matrix(
+        grid.split(standard_image("portrait", 64)),
+        grid.split(standard_image("sailboat", 64)),
+        top_k=12,
+        seed=2,
+    )
+
+
+ALL_RUNNERS = [
+    ("serial", {"strategy": "first"}),
+    ("serial", {"strategy": "best_row"}),
+    ("parallel", {"backend": "vectorized"}),
+    ("parallel", {"backend": "threads"}),
+]
+
+
+def _run(kind, matrix, candidates=None, initial=None, **kw):
+    if kind == "serial":
+        return local_search_serial(
+            matrix, initial, candidates=candidates, **kw
+        )
+    return local_search_parallel(matrix, initial, candidates=candidates, **kw)
+
+
+@pytest.mark.parametrize("kind,kw", ALL_RUNNERS)
+def test_all_true_mask_is_bit_identical_to_unrestricted(kind, kw, matrix):
+    free = _run(kind, matrix, **kw)
+    masked = _run(
+        kind, matrix, candidates=np.ones(matrix.shape, dtype=bool), **kw
+    )
+    np.testing.assert_array_equal(masked.permutation, free.permutation)
+    assert masked.total == free.total
+    assert masked.sweeps == free.sweeps
+
+
+@pytest.mark.parametrize("kind,kw", ALL_RUNNERS)
+def test_restricted_sweep_never_leaves_candidate_graph(kind, kw, matrix, sparse):
+    """Start from a permutation inside the candidate graph; every swap
+    keeps both endpoints inside it, so the final placement must too."""
+    from repro.assignment import get_solver
+
+    allowed = sparse.mask()
+    initial = get_solver("greedy").solve_sparse(sparse).permutation
+    start_inside = allowed[initial, np.arange(matrix.shape[0])]
+    result = _run(kind, matrix, candidates=allowed, initial=initial, **kw)
+    end_inside = allowed[result.permutation, np.arange(matrix.shape[0])]
+    # Positions that started inside the graph must stay inside: eligible
+    # swaps require both new placements to be shortlisted.
+    assert (end_inside | ~start_inside).all()
+    assert result.total == total_error(matrix, result.permutation)
+    assert result.total <= total_error(matrix, initial)
+
+
+@pytest.mark.parametrize("kind,kw", ALL_RUNNERS)
+def test_pruned_and_unpruned_restricted_sweeps_agree(kind, kw, matrix, sparse):
+    """Sweep pruning must stay exact under candidate restriction: swap
+    eligibility is a pure function of the endpoint tiles, so the dirty-
+    pair bookkeeping loses nothing."""
+    allowed = sparse.mask()
+    pruned = _run(kind, matrix, candidates=allowed, prune=True, **kw)
+    unpruned = _run(kind, matrix, candidates=allowed, prune=False, **kw)
+    np.testing.assert_array_equal(pruned.permutation, unpruned.permutation)
+    assert pruned.total == unpruned.total
+    assert pruned.sweeps == unpruned.sweeps
+
+
+@pytest.mark.parametrize("kind", ["serial", "parallel"])
+def test_bad_candidates_shape_rejected(kind, matrix):
+    with pytest.raises(ValidationError):
+        _run(kind, matrix, candidates=np.ones((3, 3), dtype=bool))
+
+
+def test_gpusim_backend_rejects_candidates(matrix):
+    with pytest.raises(ValidationError):
+        local_search_parallel(
+            matrix,
+            backend="gpusim",
+            candidates=np.ones(matrix.shape, dtype=bool),
+        )
+
+
+def test_restriction_only_reduces_reachable_improvements(matrix, sparse):
+    """The restricted local optimum can never beat the unrestricted one
+    from the same start (its neighbourhood is a subset)."""
+    free = local_search_serial(matrix, strategy="first")
+    restricted = local_search_serial(
+        matrix, strategy="first", candidates=sparse.mask()
+    )
+    assert restricted.total >= free.total

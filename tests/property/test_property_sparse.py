@@ -1,0 +1,158 @@
+"""Property-based tests for the sparse Step-2 machinery.
+
+Four invariants the shortlister must hold on *any* input, not just the
+standard images: every row carries exactly ``top_k`` unique in-range
+candidates, sketch distances are invariant under tile permutation,
+sparse matrices round-trip through densification, and the seeded
+k-means shortlister is deterministic across restarts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.cost import error_matrix, sparse_error_matrix
+from repro.cost.sketch import SKETCH_KINDS, sketch_features
+from repro.cost.sparse import SparseErrorMatrix
+from repro.library.shortlist import kmeans
+
+#: Square tile stacks: (S, M, M) uint8 with S a perfect square (the
+#: builder requires a square grid's worth of tiles).
+tile_counts = st.sampled_from([4, 9, 16, 25])
+
+
+@st.composite
+def tile_stack_pairs(draw):
+    s = draw(st.shared(tile_counts, key="s"))
+    stack = arrays(
+        dtype=np.uint8,
+        shape=(s, 4, 4),
+        elements=st.integers(min_value=0, max_value=255),
+    )
+    return draw(stack), draw(stack)
+
+
+@st.composite
+def top_ks(draw):
+    s = draw(st.shared(tile_counts, key="s"))
+    return draw(st.integers(min_value=1, max_value=s))
+
+
+@given(tile_stack_pairs(), top_ks(), st.sampled_from(SKETCH_KINDS))
+@settings(max_examples=40, deadline=None)
+def test_every_row_has_exactly_top_k_unique_candidates(pair, top_k, sketch):
+    tiles_in, tiles_tg = pair
+    sparse = sparse_error_matrix(
+        tiles_in, tiles_tg, top_k=top_k, sketch=sketch, seed=7
+    )
+    s = tiles_in.shape[0]
+    assert sparse.indices.shape == (s, top_k)
+    for row in sparse.indices:
+        unique = np.unique(row)
+        assert unique.size == top_k
+        assert unique.min() >= 0 and unique.max() < s
+
+
+@given(tile_stack_pairs(), top_ks())
+@settings(max_examples=30, deadline=None)
+def test_sparse_costs_are_exact_dense_entries(pair, top_k):
+    """Whatever pairs get shortlisted, their costs are the dense values."""
+    tiles_in, tiles_tg = pair
+    dense = error_matrix(tiles_in, tiles_tg)
+    sparse = sparse_error_matrix(tiles_in, tiles_tg, top_k=top_k, seed=3)
+    rows = np.repeat(np.arange(sparse.size), sparse.top_k)
+    np.testing.assert_array_equal(
+        sparse.costs.ravel(), dense[rows, sparse.indices.ravel()]
+    )
+
+
+@given(
+    arrays(
+        dtype=np.uint8,
+        shape=st.tuples(
+            st.integers(min_value=2, max_value=20),
+            st.just(4),
+            st.just(4),
+        ),
+        elements=st.integers(min_value=0, max_value=255),
+    ),
+    st.sampled_from(SKETCH_KINDS),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_sketch_distances_are_permutation_invariant(tiles, kind, rnd):
+    """Permuting the tile stack permutes the sketches identically, so
+    every pairwise sketch distance is preserved."""
+    from repro.cost.base import get_metric
+
+    features = get_metric("sad").prepare(tiles)
+    order = np.array(
+        rnd.sample(range(tiles.shape[0]), tiles.shape[0]), dtype=np.int64
+    )
+    direct = sketch_features(features, kind)
+    permuted = sketch_features(features[order], kind, basis_features=features)
+    if kind != "pca":
+        # Non-PCA sketches are per-tile functions: permuting inputs
+        # permutes outputs exactly.
+        np.testing.assert_allclose(permuted, direct[order])
+    d_direct = np.linalg.norm(direct[:, None] - direct[None, :], axis=-1)
+    d_perm = np.linalg.norm(permuted[:, None] - permuted[None, :], axis=-1)
+    np.testing.assert_allclose(d_perm, d_direct[np.ix_(order, order)], atol=1e-6)
+
+
+@given(tile_stack_pairs(), top_ks())
+@settings(max_examples=30, deadline=None)
+def test_sparse_to_dense_round_trips(pair, top_k):
+    """from_dense(to_dense) reproduces indices (as sets) and costs, and
+    a complete matrix round-trips to the exact dense matrix."""
+    tiles_in, tiles_tg = pair
+    sparse = sparse_error_matrix(tiles_in, tiles_tg, top_k=top_k, seed=9)
+    dense = sparse.to_dense()
+    back = SparseErrorMatrix.from_dense(dense, top_k)
+    # The sentinel is strictly worse than every real cost, so the top_k
+    # cheapest entries of each densified row are the original candidates.
+    for u in range(sparse.size):
+        assert set(back.indices[u]) == set(sparse.indices[u])
+        np.testing.assert_array_equal(
+            np.sort(back.costs[u]), np.sort(sparse.costs[u])
+        )
+    if sparse.complete:
+        np.testing.assert_array_equal(dense, error_matrix(tiles_in, tiles_tg))
+
+
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(
+            st.integers(min_value=3, max_value=24),
+            st.integers(min_value=1, max_value=6),
+        ),
+        elements=st.floats(min_value=0.0, max_value=255.0, width=32),
+    ),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_seeded_kmeans_deterministic_across_restarts(points, k, seed):
+    k = min(k, points.shape[0])
+    first = kmeans(points, k, seed=seed)
+    second = kmeans(points, k, seed=seed)
+    np.testing.assert_array_equal(first[0], second[0])
+    np.testing.assert_array_equal(first[1], second[1])
+
+
+@given(tile_stack_pairs(), top_ks(), st.sampled_from(SKETCH_KINDS))
+@settings(max_examples=25, deadline=None)
+def test_seeded_builder_deterministic_across_restarts(pair, top_k, sketch):
+    tiles_in, tiles_tg = pair
+    runs = [
+        sparse_error_matrix(
+            tiles_in, tiles_tg, top_k=top_k, sketch=sketch, seed=42
+        )
+        for _ in range(2)
+    ]
+    np.testing.assert_array_equal(runs[0].indices, runs[1].indices)
+    np.testing.assert_array_equal(runs[0].costs, runs[1].costs)

@@ -1,0 +1,118 @@
+"""Kind-level shortlist metrics: both job kinds feed the same counters.
+
+The sparse mosaic pipeline (:mod:`repro.cost.sparse`) and the library
+engine's cluster shortlister report their work through one meta shape —
+``meta["shortlist"]`` with ``pairs_evaluated`` and ``fallback`` — and
+the worker pool folds either into the shared
+``shortlist_pairs_evaluated`` / ``shortlist_fallback_total`` counters.
+A dashboard watching those two numbers sees all shortlist work without
+caring which engine ran.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.imaging import save_image
+from repro.library import LibraryIndex, synthetic_target, write_synthetic_library
+from repro.service.jobs import JobSpec, JobState
+from repro.service.metrics import MetricsRegistry
+from repro.service.workers import WorkerPool
+
+
+@pytest.fixture(scope="module")
+def library_env(tmp_path_factory):
+    root = tmp_path_factory.mktemp("shortlist-metrics")
+    libdir = root / "lib"
+    write_synthetic_library(libdir, 40, size=16, seed=11)
+    target = root / "target.pgm"
+    save_image(target, synthetic_target(64, seed=6))
+    index, _ = LibraryIndex.from_directory(libdir, tile_size=8, thumb_size=16)
+    npz = root / "lib.npz"
+    index.save(npz)
+    return {"npz": str(npz), "target": str(target)}
+
+
+def _run_one(spec):
+    metrics = MetricsRegistry()
+    with WorkerPool(workers=1, metrics=metrics) as pool:
+        record = pool.run([spec])[0]
+    assert record.state is JobState.DONE, record.error
+    return record, metrics
+
+
+def test_mosaic_and_library_jobs_share_the_shortlist_counters(library_env):
+    mosaic_spec = JobSpec(
+        input="portrait",
+        target="sailboat",
+        size=64,
+        tile_size=8,
+        shortlist_top_k=8,
+        seed=3,
+    )
+    library_spec = JobSpec(
+        kind="library",
+        input=library_env["npz"],
+        target=library_env["target"],
+        size=64,
+        tile_size=8,
+        thumb_size=16,
+        top_k=8,
+        seed=4,
+    )
+    for spec in (mosaic_spec, library_spec):
+        record, metrics = _run_one(spec)
+        summary = record.summary()
+        assert "shortlist" in summary, f"{spec.kind} job lost its shortlist meta"
+        shortlist = summary["shortlist"]
+        # One shared shape across kinds.
+        assert shortlist["pairs_evaluated"] > 0
+        assert shortlist["fallback"] >= 0
+        assert shortlist["top_k"] > 0
+        assert shortlist["pairs_evaluated"] <= shortlist["pairs_total"]
+        # ... and one shared pair of pool counters.
+        assert (
+            metrics.counter("shortlist_pairs_evaluated").value
+            == shortlist["pairs_evaluated"]
+        )
+        assert (
+            metrics.counter("shortlist_fallback_total").value
+            == shortlist["fallback"]
+        )
+
+
+def test_dense_mosaic_jobs_do_not_touch_the_counters():
+    record, metrics = _run_one(
+        JobSpec(input="portrait", target="sailboat", size=64, tile_size=8)
+    )
+    assert "shortlist" not in record.summary()
+    assert metrics.counter("shortlist_pairs_evaluated").value == 0
+    assert metrics.counter("shortlist_fallback_total").value == 0
+
+
+def test_shortlist_counters_accumulate_across_jobs():
+    metrics = MetricsRegistry()
+    spec = JobSpec(
+        input="portrait",
+        target="sailboat",
+        size=64,
+        tile_size=8,
+        shortlist_top_k=8,
+        seed=3,
+    )
+    with WorkerPool(workers=1, metrics=metrics) as pool:
+        records = pool.run([spec, spec])
+    assert all(r.state is JobState.DONE for r in records)
+    per_job = records[0].summary()["shortlist"]["pairs_evaluated"]
+    assert (
+        metrics.counter("shortlist_pairs_evaluated").value == 2 * per_job
+    )
+
+
+def test_bad_shortlist_knobs_surface_at_submit_time():
+    from repro.exceptions import JobError
+
+    with pytest.raises(JobError, match="shortlist_top_k"):
+        JobSpec(input="a", target="b", shortlist_top_k=-1)
+    with pytest.raises(JobError, match="sketch"):
+        JobSpec(input="a", target="b", shortlist_top_k=4, sketch="wavelet")
