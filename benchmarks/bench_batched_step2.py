@@ -1,0 +1,361 @@
+#!/usr/bin/env python
+"""Batched-vs-solo Step-2 throughput sweep and backend crossover (PR 9).
+
+Measures what the cross-job batch planner actually buys: for each
+``(S, metric, dense/sparse)`` configuration it times ``B`` solo Step-2
+builds against one :class:`~repro.cost.batch.BatchedErrorMatrixBuilder`
+launch covering the same ``B`` jobs, spot-checking bit-identity on the
+way.  A second sweep pins the backend crossover the tiering policy
+routes by: measured NumPy seconds per dense matrix against the
+calibrated K40 model (:class:`~repro.gpusim.perfmodel.PerformanceModel`)
+— the first grid where the modeled GPU wins sets the pinned
+``threshold_pairs``.
+
+The harness is **resumable** (modeled on the XLA experiment-runner
+idiom): results stream to a JSON-lines file, one record per experiment,
+and a re-run skips every experiment key already present — so a sweep
+interrupted mid-way continues instead of restarting, and a tiny CI run
+can extend a committed record without recomputing it.  ``--no-resume``
+truncates first.
+
+CI (the batched-step2-smoke job) uses two invocations::
+
+    # tiny fresh sweep; exits 1 if batching fails to pay off at B=4
+    PYTHONPATH=src python benchmarks/bench_batched_step2.py \
+        --out /tmp/bench9.jsonl --no-resume --smoke
+
+    # committed-record envelope: >= 1.5x at B >= 4, threshold pinned
+    PYTHONPATH=src python benchmarks/bench_batched_step2.py \
+        --check benchmarks/BENCH_9.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.cost import BatchJob, BatchedErrorMatrixBuilder, error_matrix, sparse_error_matrix
+from repro.gpusim.perfmodel import PerformanceModel
+from repro.service.tiering import DEFAULT_TIER_THRESHOLD
+
+SCHEMA = "repro-batched-step2/1"
+
+#: Tile side for every experiment (paper Table II uses M = N / sqrt(S)).
+TILE = 8
+
+#: Shortlist width for the sparse-mode experiments.
+SPARSE_TOP_K = 32
+
+#: Fixed seeds: experiment records must be reproducible.
+SEED = 9
+SHORTLIST_SEED = 11
+
+#: Acceptance envelope (ISSUE 9): a batch of >= 4 concurrent same-grid
+#: jobs must reach >= 1.5x Step-2 throughput over solo launches.
+ENVELOPE_BATCH = 4
+ENVELOPE_MIN_SPEEDUP = 1.5
+ENVELOPE_S = 1024
+
+#: Looser floor for the tiny CI smoke run (shared machines are noisy;
+#: the committed record carries the real envelope).
+SMOKE_MIN_SPEEDUP = 1.2
+
+DEFAULT_S_LIST = (256, 1024)
+DEFAULT_BATCHES = (1, 2, 4, 8)
+DEFAULT_METRICS = ("sad", "ssd")
+DEFAULT_MODES = ("dense", "sparse")
+CROSSOVER_S_LIST = (16, 64, 256, 1024, 4096)
+
+
+def _stacks(s: int, count: int) -> list[tuple[np.ndarray, np.ndarray]]:
+    """``count`` independent (input, target) tile-stack pairs at grid S."""
+    rng = np.random.default_rng(SEED)
+    return [
+        (
+            rng.integers(0, 256, size=(s, TILE, TILE), dtype=np.uint8),
+            rng.integers(0, 256, size=(s, TILE, TILE), dtype=np.uint8),
+        )
+        for _ in range(count)
+    ]
+
+
+def _solo(pairs, metric: str, mode: str):
+    results = []
+    start = time.perf_counter()
+    for inp, tgt in pairs:
+        if mode == "sparse":
+            results.append(
+                sparse_error_matrix(
+                    inp, tgt, metric, top_k=SPARSE_TOP_K, seed=SHORTLIST_SEED
+                )
+            )
+        else:
+            results.append(error_matrix(inp, tgt, metric))
+    return results, time.perf_counter() - start
+
+
+def _batched(pairs, metric: str, mode: str):
+    builder = BatchedErrorMatrixBuilder(metric)
+    if mode == "sparse":
+        jobs = [
+            BatchJob(inp, tgt, top_k=SPARSE_TOP_K, seed=SHORTLIST_SEED)
+            for inp, tgt in pairs
+        ]
+        start = time.perf_counter()
+        results = builder.compute_sparse(jobs)
+    else:
+        jobs = [BatchJob(inp, tgt) for inp, tgt in pairs]
+        start = time.perf_counter()
+        results = builder.compute_dense(jobs)
+    return results, time.perf_counter() - start
+
+
+def _identical(solo, batched, mode: str) -> bool:
+    for a, b in zip(solo, batched):
+        if mode == "sparse":
+            if not (
+                (a.indices == b.indices).all() and (a.costs == b.costs).all()
+            ):
+                return False
+        elif not (np.asarray(a) == np.asarray(b)).all():
+            return False
+    return True
+
+
+def run_throughput(s: int, metric: str, mode: str, batch: int) -> dict:
+    pairs = _stacks(s, batch)
+    # Warm both paths once (allocator + import costs), then best of 3.
+    _solo(pairs[:1], metric, mode)
+    _batched(pairs[:1], metric, mode)
+    solo_seconds, batched_seconds = float("inf"), float("inf")
+    solo = batched = None
+    for _ in range(3):
+        solo_run, t = _solo(pairs, metric, mode)
+        if t < solo_seconds:
+            solo, solo_seconds = solo_run, t
+        batched_run, t = _batched(pairs, metric, mode)
+        if t < batched_seconds:
+            batched, batched_seconds = batched_run, t
+    return {
+        "kind": "throughput",
+        "s": s,
+        "tile": TILE,
+        "metric": metric,
+        "mode": mode,
+        "batch": batch,
+        "top_k": SPARSE_TOP_K if mode == "sparse" else 0,
+        "solo_seconds": solo_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": solo_seconds / batched_seconds,
+        "jobs_per_second": batch / batched_seconds,
+        "identical": _identical(solo, batched, mode),
+    }
+
+
+def run_crossover(s: int) -> dict:
+    """Measured NumPy vs modeled-K40 seconds for one dense SAD matrix."""
+    pairs = _stacks(s, 1)
+    _solo(pairs, "sad", "dense")  # warm
+    numpy_seconds = min(_solo(pairs, "sad", "dense")[1] for _ in range(3))
+    side = int(round(s**0.5))
+    model = PerformanceModel()
+    gpu_seconds = model.error_matrix_time(side * TILE, s, "gpu")
+    return {
+        "kind": "crossover",
+        "s": s,
+        "tile": TILE,
+        "pairs": s * s,
+        "numpy_seconds": numpy_seconds,
+        "gpu_modeled_seconds": gpu_seconds,
+        "gpu_wins": gpu_seconds < numpy_seconds,
+    }
+
+
+def _key(record: dict) -> str:
+    if record["kind"] == "throughput":
+        return (
+            f"throughput|s={record['s']}|metric={record['metric']}"
+            f"|mode={record['mode']}|batch={record['batch']}"
+        )
+    if record["kind"] == "crossover":
+        return f"crossover|s={record['s']}"
+    return record["kind"]
+
+
+def _load_records(path: str) -> list[dict]:
+    records = []
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+    return records
+
+
+def summarize(records: list[dict]) -> dict:
+    """Envelope + pinned threshold derived from every record so far."""
+    throughput = [r for r in records if r["kind"] == "throughput"]
+    crossover = sorted(
+        (r for r in records if r["kind"] == "crossover"), key=lambda r: r["s"]
+    )
+    envelope = [
+        r
+        for r in throughput
+        if r["s"] >= ENVELOPE_S
+        and r["batch"] >= ENVELOPE_BATCH
+        and r["mode"] == "dense"
+        and r["metric"] == "sad"
+    ]
+    first_gpu_win = next((r for r in crossover if r["gpu_wins"]), None)
+    return {
+        "kind": "summary",
+        "schema": SCHEMA,
+        "envelope_speedup": min((r["speedup"] for r in envelope), default=None),
+        "envelope_records": len(envelope),
+        "all_identical": all(r["identical"] for r in throughput),
+        "crossover_pairs": first_gpu_win["pairs"] if first_gpu_win else None,
+        "pinned_threshold_pairs": DEFAULT_TIER_THRESHOLD,
+    }
+
+
+def check_invariants(records: list[dict], min_speedup: float) -> list[str]:
+    failures = []
+    summary = summarize(records)
+    if not summary["all_identical"]:
+        failures.append("a batched run was not bit-identical to solo")
+    if summary["envelope_records"] == 0:
+        failures.append(
+            f"no envelope records (dense sad, S>={ENVELOPE_S}, "
+            f"B>={ENVELOPE_BATCH}) in the sweep"
+        )
+    elif summary["envelope_speedup"] < min_speedup:
+        failures.append(
+            f"envelope speedup {summary['envelope_speedup']:.2f}x "
+            f"< required {min_speedup:.2f}x"
+        )
+    if summary["crossover_pairs"] is None:
+        failures.append("modeled GPU never won: crossover not pinned")
+    elif summary["crossover_pairs"] > DEFAULT_TIER_THRESHOLD:
+        failures.append(
+            f"measured crossover ({summary['crossover_pairs']} pairs) lies "
+            f"above the pinned DEFAULT_TIER_THRESHOLD "
+            f"({DEFAULT_TIER_THRESHOLD}) — re-pin repro.service.tiering"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_9.json", help="JSON-lines report")
+    parser.add_argument(
+        "--no-resume", action="store_true",
+        help="truncate the report instead of skipping finished experiments",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"tiny CI grid with the loose {SMOKE_MIN_SPEEDUP}x floor",
+    )
+    parser.add_argument(
+        "--check", default=None, metavar="PATH",
+        help="no sweep: verify the envelope of a committed report and exit",
+    )
+    parser.add_argument("--s-list", type=int, nargs="+", default=None)
+    parser.add_argument("--batches", type=int, nargs="+", default=None)
+    parser.add_argument("--metrics", nargs="+", default=None)
+    parser.add_argument("--modes", nargs="+", default=None)
+    args = parser.parse_args(argv)
+
+    if args.check:
+        records = _load_records(args.check)
+        failures = check_invariants(records, ENVELOPE_MIN_SPEEDUP)
+        summary = summarize(records)
+        print(
+            f"{args.check}: envelope {summary['envelope_speedup']:.2f}x over "
+            f"{summary['envelope_records']} records, crossover at "
+            f"{summary['crossover_pairs']} pairs "
+            f"(threshold {summary['pinned_threshold_pairs']})"
+        )
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+
+    if args.smoke:
+        s_list = args.s_list or (ENVELOPE_S,)
+        batches = args.batches or (1, ENVELOPE_BATCH)
+        metrics = args.metrics or ("sad",)
+        modes = args.modes or ("dense",)
+        crossover_s = (256, ENVELOPE_S)
+        min_speedup = SMOKE_MIN_SPEEDUP
+    else:
+        s_list = args.s_list or DEFAULT_S_LIST
+        batches = args.batches or DEFAULT_BATCHES
+        metrics = args.metrics or DEFAULT_METRICS
+        modes = args.modes or DEFAULT_MODES
+        crossover_s = CROSSOVER_S_LIST
+        min_speedup = ENVELOPE_MIN_SPEEDUP
+
+    if args.no_resume and os.path.exists(args.out):
+        os.unlink(args.out)
+    records = [r for r in _load_records(args.out) if r["kind"] != "summary"]
+    finished = {_key(r) for r in records}
+
+    def emit(record: dict) -> None:
+        records.append(record)
+        with open(args.out, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        if record["kind"] == "throughput":
+            print(
+                f"  S={record['s']:<5} {record['metric']:<4} "
+                f"{record['mode']:<7} B={record['batch']:<2} "
+                f"{record['speedup']:5.2f}x  "
+                f"({record['jobs_per_second']:7.1f} jobs/s)"
+                + ("" if record["identical"] else "  NOT IDENTICAL")
+            )
+        else:
+            winner = "gpu" if record["gpu_wins"] else "numpy"
+            print(
+                f"  crossover S={record['s']:<5} {record['pairs']:>9} pairs: "
+                f"numpy {record['numpy_seconds'] * 1e3:8.2f}ms vs "
+                f"K40 model {record['gpu_modeled_seconds'] * 1e3:8.2f}ms "
+                f"-> {winner}"
+            )
+
+    for s in s_list:
+        for metric in metrics:
+            for mode in modes:
+                for batch in batches:
+                    probe = {
+                        "kind": "throughput", "s": s, "metric": metric,
+                        "mode": mode, "batch": batch,
+                    }
+                    if _key(probe) in finished:
+                        continue
+                    emit(run_throughput(s, metric, mode, batch))
+    for s in crossover_s:
+        if _key({"kind": "crossover", "s": s}) in finished:
+            continue
+        emit(run_crossover(s))
+
+    summary = summarize(records)
+    with open(args.out, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(summary, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    print(
+        f"  envelope: {summary['envelope_speedup']:.2f}x "
+        f"(need >= {min_speedup}x at B>={ENVELOPE_BATCH}, S>={ENVELOPE_S}); "
+        f"crossover at {summary['crossover_pairs']} pairs"
+    )
+    failures = check_invariants(records, min_speedup)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

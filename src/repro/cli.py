@@ -210,6 +210,28 @@ def _build_cache(args: argparse.Namespace, metrics):
     return memory_cache
 
 
+def _scheduler_kwargs(args: argparse.Namespace) -> dict:
+    """WorkerPool scheduling kwargs from the shared CLI flags.
+
+    ``--tier-threshold 0`` (the default) disables cost-based routing and
+    ``--batch-window 0`` disables Step-2 micro-batching, so existing
+    invocations behave exactly as before.
+    """
+    tiering = None
+    if args.tier_threshold > 0:
+        from repro.service import BackendTieringPolicy
+
+        tiering = BackendTieringPolicy(
+            threshold_pairs=args.tier_threshold,
+            large_backend=args.tier_large_backend,
+        )
+    return {
+        "tiering": tiering,
+        "batch_window": args.batch_window,
+        "batch_max": args.batch_max,
+    }
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     # Deferred import keeps CLI startup fast for the other subcommands.
     import json
@@ -237,6 +259,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         max_retries=args.retries,
         default_timeout=args.timeout,
         seed=args.seed,
+        **_scheduler_kwargs(args),
     )
     records = pool.run(specs)
     pool.shutdown()
@@ -377,6 +400,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_retries=args.retries,
             default_timeout=args.timeout,
             seed=args.seed,
+            **_scheduler_kwargs(args),
         )
         gateway = MosaicGateway(
             pool,
@@ -553,6 +577,7 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
             max_retries=args.retries,
             default_timeout=args.timeout,
             seed=args.seed,
+            **_scheduler_kwargs(args),
         )
         gateway = MosaicGateway(
             pool,
@@ -898,6 +923,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mosaic.set_defaults(func=_cmd_mosaic)
 
+    def add_scheduler_flags(command: argparse.ArgumentParser) -> None:
+        """Step-2 batching + backend-tiering flags shared by the pool
+        subcommands (batch / serve / serve-http); both features default
+        off (see docs/performance.md, "Batched Step 2")."""
+        command.add_argument(
+            "--batch-window", type=float, default=0.0,
+            help="micro-batching window in seconds: concurrent jobs with "
+            "matching Step-2 fingerprints share one batched launch, "
+            "waiting at most this long for peers (0 = off; thread "
+            "executors only)",
+        )
+        command.add_argument(
+            "--batch-max", type=int, default=8,
+            help="jobs per batched Step-2 launch before the window "
+            "closes early",
+        )
+        command.add_argument(
+            "--tier-threshold", type=int, default=0,
+            help="backend tiering: jobs predicted to score at least this "
+            "many Step-2 pairs route to the large-tier backend, smaller "
+            "ones to numpy (0 = off; an explicit per-job backend always "
+            "wins; see benchmarks/BENCH_9.json for the measured "
+            "crossover)",
+        )
+        command.add_argument(
+            "--tier-large-backend",
+            choices=("numpy", "cupy", "auto"), default="auto",
+            help="backend for above-threshold jobs (falls back to numpy "
+            "when unavailable)",
+        )
+
     batch = sub.add_parser(
         "batch", help="run a manifest of mosaic jobs through the worker pool"
     )
@@ -945,6 +1001,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="default array backend for every job that doesn't set its "
         "own 'backend' field",
     )
+    add_scheduler_flags(batch)
     batch.set_defaults(func=_cmd_batch)
 
     serve = sub.add_parser(
@@ -1004,6 +1061,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="default array backend for every job that doesn't set its "
         "own 'backend' field",
     )
+    add_scheduler_flags(serve)
     serve.set_defaults(func=_cmd_serve)
 
     serve_http = sub.add_parser(
@@ -1081,6 +1139,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="default array backend for every job that doesn't set its "
         "own 'backend' field",
     )
+    add_scheduler_flags(serve_http)
     serve_http.set_defaults(func=_cmd_serve_http)
     return parser
 

@@ -1,0 +1,494 @@
+"""Cross-job batched Step-2 kernels — one launch for many concurrent jobs.
+
+The paper fuses Step 2 into wide GPU launches *within* one mosaic; the
+service has a batching dimension the paper never had — **concurrent
+requests**.  Jobs whose ``(grid, metric, backend, shortlist knobs)``
+fingerprints match can have their error-matrix work coalesced:
+
+* **shared feature preparation** — :meth:`CostMetric.prepare` (and the
+  sparse path's sketches and k-means position clustering) run once per
+  *unique tile stack* per batch, not once per job.  Concurrent requests
+  against a common target grid stop re-preparing the same features;
+* **stacked launches** — the pairwise (dense) and rowwise (sparse
+  scoring) kernels run over the concatenated rows of every job in the
+  batch.  One launch per unique target stack replaces one launch per
+  job, and the dense kernel sweeps cache-sized row chunks with a single
+  scratch buffer reused across the whole batch
+  (:meth:`CostMetric.pairwise_into`).
+
+Per-job results are sliced back out **bit-identically** to the solo
+:func:`~repro.cost.matrix.error_matrix` /
+:func:`~repro.cost.sparse.sparse_error_matrix` paths: every kernel
+involved is row-independent (SAD sums int16 absolute differences per
+row; SSD's float64 arithmetic is exact for uint8 inputs), so stacking
+rows across jobs cannot change any value.  The differential suite in
+``tests/cost/test_batch.py`` pins this end to end.
+
+The service-level consumers live in :mod:`repro.service.batching` (the
+micro-batching rendezvous) and :mod:`repro.service.tiering` (the
+backend-tiering scheduler); this module is pure computation and knows
+nothing about jobs or queues.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.accel.backend import ArrayBackend, get_backend
+from repro.cost.base import CostMetric, get_metric
+from repro.cost.matrix import DEFAULT_CHUNK_BUDGET, check_tile_stacks
+from repro.cost.sketch import SKETCH_KINDS, sketch_features
+from repro.cost.sparse import (
+    HEAD_FACTOR,
+    SparseErrorMatrix,
+    _degree_capped_select,
+    _position_clusters,
+    _preference_orders,
+    _score_pairs_chunked,
+)
+from repro.exceptions import ValidationError
+from repro.types import ERROR_DTYPE, ErrorMatrix, TileStack
+
+__all__ = [
+    "BatchJob",
+    "BatchedErrorMatrixBuilder",
+    "BATCH_CHUNK_BUDGET",
+    "batch_fingerprint",
+]
+
+#: Cap on the dense kernel's broadcast intermediate per chunk, in scalar
+#: elements.  Unlike the solo path's :data:`DEFAULT_CHUNK_BUDGET` (sized
+#: to amortise per-call overhead across one big chunk), the batched
+#: launch reuses one scratch buffer for every chunk of every job, so the
+#: sweet spot is a chunk that stays cache-resident: 1 Mi int16 elements
+#: is ~2 MiB — L2-class on current hardware.  At S=1024, F=64 this is 16
+#: input rows per chunk, which measures ~3x faster than one-job-per-
+#: launch chunking (see ``benchmarks/bench_batched_step2.py``).
+BATCH_CHUNK_BUDGET = 1024 * 1024
+
+
+def batch_fingerprint(
+    *,
+    grid_tiles: int,
+    tile_shape: tuple[int, ...],
+    metric: str,
+    backend: str,
+    top_k: int = 0,
+    sketch: str = "mean",
+    clusters: int = 0,
+    probes: int = 2,
+) -> str:
+    """Coalescing key: jobs with equal fingerprints may share one launch.
+
+    Covers everything that shapes the Step-2 computation — grid size
+    ``S``, the tile shape, the metric, the array backend, and the sparse
+    shortlist knobs.  Deliberately excludes image content and seeds:
+    jobs with different inputs/targets/seeds still batch (unique stacks
+    are prepared once and k-means runs per distinct ``(target, seed)``),
+    they just share less.
+    """
+    parts = [
+        f"s={grid_tiles}",
+        f"tile={'x'.join(str(d) for d in tile_shape)}",
+        f"metric={metric}",
+        f"backend={backend}",
+    ]
+    if top_k > 0:
+        parts.append(f"topk={top_k}")
+        parts.append(f"sketch={sketch}")
+        parts.append(f"clusters={clusters}")
+        parts.append(f"probes={probes}")
+    else:
+        parts.append("dense")
+    return "|".join(parts)
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One job's Step-2 inputs inside a batch.
+
+    ``top_k == 0`` requests the dense matrix; ``top_k > 0`` the sparse
+    shortlist with the same knob semantics as
+    :func:`~repro.cost.sparse.sparse_error_matrix`.  ``tag`` is an
+    opaque caller label (the service uses job IDs) carried through to
+    diagnostics.
+    """
+
+    input_tiles: TileStack
+    target_tiles: TileStack
+    top_k: int = 0
+    sketch: str = "mean"
+    clusters: int = 0
+    probes: int = 2
+    seed: int | None = None
+    tag: str | None = None
+
+
+def _stack_key(tiles: np.ndarray) -> str:
+    """Content fingerprint of a tile stack (shared-feature reuse key)."""
+    tiles = np.ascontiguousarray(tiles)
+    digest = hashlib.sha256()
+    digest.update(str(tiles.shape).encode())
+    digest.update(str(tiles.dtype).encode())
+    digest.update(tiles.tobytes())
+    return digest.hexdigest()[:16]
+
+
+@dataclass
+class BatchStats:
+    """Diagnostics of the last builder call (shared-work accounting)."""
+
+    jobs: int = 0
+    launches: int = 0
+    prepare_calls: int = 0
+    unique_input_stacks: int = 0
+    unique_target_stacks: int = 0
+    sketch_calls: int = 0
+    kmeans_calls: int = 0
+    pairs_evaluated: int = 0
+
+    def as_dict(self) -> dict:
+        return {k: int(v) for k, v in self.__dict__.items()}
+
+
+class BatchedErrorMatrixBuilder:
+    """Coalesce the Step-2 work of same-fingerprint jobs into one launch.
+
+    Parameters
+    ----------
+    metric:
+        Cost-metric registry name or instance, shared by every job in a
+        batch (the fingerprint guarantees this at the service level).
+    backend:
+        Array backend for the stacked kernels, as in
+        :func:`~repro.cost.matrix.error_matrix`.
+    chunk_budget:
+        Scalar-element cap for the sparse scoring chunks (solo
+        semantics, shared with :func:`sparse_error_matrix`).
+    batch_chunk_budget:
+        Scalar-element cap for the dense kernel's broadcast
+        intermediate; see :data:`BATCH_CHUNK_BUDGET`.
+
+    The builder is stateless between calls except for
+    :attr:`last_stats`, so one instance may serve many batches.
+    """
+
+    def __init__(
+        self,
+        metric: str | CostMetric = "sad",
+        *,
+        backend: str | ArrayBackend | None = None,
+        chunk_budget: int = DEFAULT_CHUNK_BUDGET,
+        batch_chunk_budget: int = BATCH_CHUNK_BUDGET,
+    ) -> None:
+        if chunk_budget <= 0 or batch_chunk_budget <= 0:
+            raise ValidationError("chunk budgets must be positive")
+        self.metric = get_metric(metric)
+        self.backend = get_backend(backend)
+        self.chunk_budget = chunk_budget
+        self.batch_chunk_budget = batch_chunk_budget
+        self.last_stats = BatchStats()
+
+    # -- shared feature preparation ------------------------------------
+    def _prepare_unique(
+        self, jobs: Sequence[BatchJob]
+    ) -> tuple[list[str], list[str], dict[str, np.ndarray]]:
+        """Run ``metric.prepare`` once per unique tile stack.
+
+        Returns per-job input/target stack keys plus the shared
+        ``key -> (S, F) features`` table (host arrays; the kernels move
+        them to the backend per launch).
+        """
+        features: dict[str, np.ndarray] = {}
+        input_keys: list[str] = []
+        target_keys: list[str] = []
+        prepare_calls = 0
+        for job in jobs:
+            check_tile_stacks(job.input_tiles, job.target_tiles)
+            for tiles, keys in (
+                (job.input_tiles, input_keys),
+                (job.target_tiles, target_keys),
+            ):
+                key = _stack_key(np.asarray(tiles))
+                if key not in features:
+                    features[key] = self.metric.prepare(np.asarray(tiles))
+                    prepare_calls += 1
+                keys.append(key)
+        shapes = {features[k].shape for k in input_keys + target_keys}
+        if len(shapes) > 1:
+            raise ValidationError(
+                f"batched jobs must share one grid; got feature shapes {shapes}"
+            )
+        self.last_stats.prepare_calls = prepare_calls
+        self.last_stats.unique_input_stacks = len(set(input_keys))
+        self.last_stats.unique_target_stacks = len(set(target_keys))
+        return input_keys, target_keys, features
+
+    # -- dense ---------------------------------------------------------
+    def compute_dense(self, jobs: Sequence[BatchJob]) -> list[ErrorMatrix]:
+        """Dense ``S x S`` matrices for every job, batched per target.
+
+        Jobs sharing a target stack are stacked along the input-row axis
+        and swept in one chunked launch; the per-job matrices are the
+        row slices of that launch.  Bit-identical to calling
+        :func:`~repro.cost.matrix.error_matrix` per job.
+        """
+        if not jobs:
+            return []
+        self.last_stats = BatchStats(jobs=len(jobs))
+        input_keys, target_keys, features = self._prepare_unique(jobs)
+        xb = self.backend
+        results: list[ErrorMatrix | None] = [None] * len(jobs)
+        by_target: dict[str, list[int]] = {}
+        for index, key in enumerate(target_keys):
+            by_target.setdefault(key, []).append(index)
+        pairs = 0
+        for target_key, members in by_target.items():
+            ftg = features[target_key]
+            s, f = ftg.shape
+            fin = np.concatenate(
+                [features[input_keys[i]] for i in members], axis=0
+            )
+            if not xb.is_numpy:
+                fin, ftg = xb.asarray(fin), xb.asarray(ftg)
+            out = xb.xp.empty((fin.shape[0], s), dtype=ERROR_DTYPE)
+            # Cache-resident chunks only pay off for metrics with a real
+            # scratch-reuse kernel (SAD's in-place broadcast).  Metrics
+            # whose pairwise_into just delegates to pairwise (SSD's BLAS
+            # form) lose ~2x when the underlying matmul is fragmented
+            # into 16-row slivers, so they keep the solo path's wide
+            # budget; values are identical either way (row-independent
+            # kernels — see the module docstring).
+            scratch_kernel = (
+                type(self.metric).pairwise_into is not CostMetric.pairwise_into
+            )
+            budget = (
+                self.batch_chunk_budget if scratch_kernel else self.chunk_budget
+            )
+            rows_per_chunk = max(1, int(budget // max(1, s * f)))
+            scratch = None
+            for start in range(0, fin.shape[0], rows_per_chunk):
+                stop = min(start + rows_per_chunk, fin.shape[0])
+                scratch = self.metric.pairwise_into(
+                    fin[start:stop], ftg, out[start:stop], scratch
+                )
+            host = np.asarray(xb.to_numpy(out), dtype=ERROR_DTYPE)
+            for slot, index in enumerate(members):
+                results[index] = host[slot * s : (slot + 1) * s].copy()
+            pairs += fin.shape[0] * s
+            self.last_stats.launches += 1
+        self.last_stats.pairs_evaluated = pairs
+        return results  # type: ignore[return-value]
+
+    # -- sparse --------------------------------------------------------
+    def compute_sparse(
+        self, jobs: Sequence[BatchJob]
+    ) -> list[SparseErrorMatrix]:
+        """Shortlisted matrices for every job, with one stacked scoring
+        launch.
+
+        Shared across the batch: feature preparation (per unique stack),
+        sketches (per unique ``(stack, kind, basis)``) and the k-means
+        position clustering (per unique ``(target stack, sketch,
+        clusters, seed)``).  Per job: preference orders and the
+        degree-capped selection (they depend on the job's input tiles).
+        The exact scoring of every job's ``S * top_k`` shortlisted pairs
+        then runs as **one** chunked rowwise launch over the
+        concatenated feature stacks.  Bit-identical to calling
+        :func:`~repro.cost.sparse.sparse_error_matrix` per job.
+
+        Jobs with ``top_k >= S`` take the batched dense path and list
+        every position, exactly like the solo builder's delegation.
+        """
+        if not jobs:
+            return []
+        self.last_stats = BatchStats(jobs=len(jobs))
+        for job in jobs:
+            if job.top_k < 1:
+                raise ValidationError(
+                    f"compute_sparse needs top_k >= 1, got {job.top_k}"
+                )
+            if job.sketch not in SKETCH_KINDS:
+                raise ValidationError(
+                    f"unknown sketch kind {job.sketch!r} "
+                    f"(use one of {SKETCH_KINDS})"
+                )
+        input_keys, target_keys, features = self._prepare_unique(jobs)
+        stats = self.last_stats  # _prepare_unique filled the reuse fields
+        xb = self.backend
+        s = features[input_keys[0]].shape[0]
+
+        complete = [i for i, job in enumerate(jobs) if job.top_k >= s]
+        partial = [i for i, job in enumerate(jobs) if job.top_k < s]
+        results: list[SparseErrorMatrix | None] = [None] * len(jobs)
+
+        if complete:
+            dense_builder = BatchedErrorMatrixBuilder(
+                self.metric,
+                backend=xb,
+                chunk_budget=self.chunk_budget,
+                batch_chunk_budget=self.batch_chunk_budget,
+            )
+            dense = dense_builder.compute_dense([jobs[i] for i in complete])
+            stats.launches += dense_builder.last_stats.launches
+            stats.pairs_evaluated += dense_builder.last_stats.pairs_evaluated
+            for index, matrix in zip(complete, dense):
+                job = jobs[index]
+                results[index] = SparseErrorMatrix.from_dense(
+                    matrix,
+                    s,
+                    metric_name=self.metric.name,
+                    features_in=features[input_keys[index]],
+                    features_tg=features[target_keys[index]],
+                    meta=self._meta(job, s, xb, n_clusters=0, complete=True),
+                )
+        if not partial:
+            return results  # type: ignore[return-value]
+
+        # Sketches once per unique (stack, kind, basis); PCA fits its
+        # basis over the job's combined cloud, so its reuse key includes
+        # both stack keys — jobs sharing input AND target grids share the
+        # PCA sketch, jobs sharing only one stack share mean/downsample
+        # sketches (basis-free) but not PCA ones.
+        sketch_cache: dict[tuple, np.ndarray] = {}
+
+        def sketched(stack_key: str, index: int, basis_key: tuple) -> np.ndarray:
+            job = jobs[index]
+            key = (stack_key, job.sketch, basis_key)
+            if key not in sketch_cache:
+                basis = None
+                if job.sketch == "pca":
+                    basis = np.concatenate(
+                        [
+                            features[input_keys[index]],
+                            features[target_keys[index]],
+                        ],
+                        axis=0,
+                    )
+                sketch_cache[key] = sketch_features(
+                    features[stack_key], job.sketch, basis_features=basis
+                )
+                stats.sketch_calls += 1
+            return sketch_cache[key]
+
+        # K-means position clustering once per unique
+        # (target, sketch, basis, clusters, seed) — pure function of those.
+        cluster_cache: dict[tuple, tuple] = {}
+        selected: dict[int, np.ndarray] = {}
+        n_clusters_of: dict[int, int] = {}
+        for index in partial:
+            job = jobs[index]
+            basis_key = (
+                (input_keys[index], target_keys[index])
+                if job.sketch == "pca"
+                else ()
+            )
+            sketch_in = sketched(input_keys[index], index, basis_key)
+            sketch_tg = sketched(target_keys[index], index, basis_key)
+            cluster_key = (
+                target_keys[index],
+                job.sketch,
+                basis_key,
+                job.clusters,
+                job.seed,
+            )
+            if cluster_key not in cluster_cache:
+                cluster_cache[cluster_key] = _position_clusters(
+                    sketch_tg, job.clusters, job.seed
+                )
+                stats.kmeans_calls += 1
+            clustering = cluster_cache[cluster_key]
+            orders, n_clusters = _preference_orders(
+                sketch_in,
+                sketch_tg,
+                clusters=job.clusters,
+                probes=job.probes,
+                head_width=min(s, HEAD_FACTOR * job.top_k),
+                seed=job.seed,
+                clustering=clustering,
+            )
+            selected[index] = _degree_capped_select(orders, job.top_k)
+            n_clusters_of[index] = n_clusters
+
+        # One stacked scoring launch: concatenate the unique feature
+        # stacks, offset every job's (row, col) pairs into the stacked
+        # coordinates, and run the chunked rowwise kernel once.
+        stack_order = sorted(features)
+        offsets = {}
+        running = 0
+        for key in stack_order:
+            offsets[key] = running
+            running += features[key].shape[0]
+        stacked = np.concatenate([features[k] for k in stack_order], axis=0)
+        all_rows, all_cols, spans = [], [], []
+        cursor = 0
+        for index in partial:
+            job = jobs[index]
+            indices = selected[index]
+            rows = (
+                np.repeat(np.arange(s, dtype=np.intp), job.top_k)
+                + offsets[input_keys[index]]
+            )
+            cols = (
+                indices.ravel().astype(np.intp) + offsets[target_keys[index]]
+            )
+            all_rows.append(rows)
+            all_cols.append(cols)
+            spans.append((cursor, cursor + rows.size))
+            cursor += rows.size
+        costs_flat = _score_pairs_chunked(
+            self.metric,
+            xb,
+            stacked,
+            stacked,
+            np.concatenate(all_rows),
+            np.concatenate(all_cols),
+            self.chunk_budget,
+        )
+        stats.launches += 1
+        stats.pairs_evaluated += cursor
+
+        for span, index in zip(spans, partial):
+            job = jobs[index]
+            indices = selected[index]
+            costs = costs_flat[span[0] : span[1]].reshape(s, job.top_k)
+            best = np.argsort(costs, axis=1, kind="stable")
+            results[index] = SparseErrorMatrix(
+                indices=np.take_along_axis(indices, best, axis=1),
+                costs=np.take_along_axis(costs, best, axis=1),
+                metric_name=self.metric.name,
+                features_in=features[input_keys[index]],
+                features_tg=features[target_keys[index]],
+                meta=self._meta(
+                    job, s, xb, n_clusters=n_clusters_of[index], complete=False
+                ),
+            )
+        return results  # type: ignore[return-value]
+
+    def _meta(
+        self,
+        job: BatchJob,
+        s: int,
+        xb: ArrayBackend,
+        *,
+        n_clusters: int,
+        complete: bool,
+    ) -> dict:
+        """Per-job meta matching the solo builder's shape bit for bit."""
+        top_k = s if complete else job.top_k
+        return {
+            "size": s,
+            "sketch": job.sketch,
+            "seed": job.seed,
+            "backend": xb.name,
+            "pairs_total": s * s,
+            "top_k": top_k,
+            "clusters": n_clusters,
+            "probes": 0 if complete else job.probes,
+            "pairs_evaluated": s * s if complete else s * job.top_k,
+            "complete": complete,
+        }

@@ -335,21 +335,9 @@ def sparse_error_matrix(
     # evaluations) on the array backend, then order each row best-first.
     rows = np.repeat(np.arange(s, dtype=np.intp), top_k)
     flat_cols = indices.ravel().astype(np.intp)
-    if xb.is_numpy:
-        fin, ftg = features_in, features_tg
-    else:
-        fin, ftg = xb.asarray(features_in), xb.asarray(features_tg)
-    costs = np.empty(s * top_k, dtype=ERROR_DTYPE)
-    step = max(1, int(chunk_budget // max(1, features_in.shape[1])))
-    for start in range(0, s * top_k, step):
-        stop = min(start + step, s * top_k)
-        r = rows[start:stop]
-        c = flat_cols[start:stop]
-        if not xb.is_numpy:
-            r, c = xb.asarray(r), xb.asarray(c)
-        costs[start:stop] = np.asarray(
-            xb.to_numpy(metric.rowwise(fin[r], ftg[c]))
-        )
+    costs = _score_pairs_chunked(
+        metric, xb, features_in, features_tg, rows, flat_cols, chunk_budget
+    )
     costs = costs.reshape(s, top_k)
     best = np.argsort(costs, axis=1, kind="stable")
     return SparseErrorMatrix(
@@ -369,11 +357,70 @@ def sparse_error_matrix(
     )
 
 
+def _score_pairs_chunked(
+    metric: CostMetric,
+    xb: ArrayBackend,
+    features_in: np.ndarray,
+    features_tg: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    chunk_budget: int,
+) -> np.ndarray:
+    """Exact metric costs for a flat ``(rows, cols)`` pair list.
+
+    Runs the metric's rowwise kernel in backend chunks sized by
+    ``chunk_budget`` scalar elements.  The kernel is row-independent, so
+    any chunk partition — including the stacked cross-job launches of
+    :mod:`repro.cost.batch`, which index into concatenated feature
+    stacks — produces bit-identical costs.
+    """
+    n = int(rows.shape[0])
+    if xb.is_numpy:
+        fin, ftg = features_in, features_tg
+    else:
+        fin, ftg = xb.asarray(features_in), xb.asarray(features_tg)
+    costs = np.empty(n, dtype=ERROR_DTYPE)
+    step = max(1, int(chunk_budget // max(1, features_in.shape[1])))
+    for start in range(0, n, step):
+        stop = min(start + step, n)
+        r = rows[start:stop]
+        c = cols[start:stop]
+        if not xb.is_numpy:
+            r, c = xb.asarray(r), xb.asarray(c)
+        costs[start:stop] = np.asarray(
+            xb.to_numpy(metric.rowwise(fin[r], ftg[c]))
+        )
+    return costs
+
+
 def _sq_dist_rows(point: np.ndarray, others: np.ndarray) -> np.ndarray:
     """Squared sketch distances from one point to a stack (deterministic:
     explicit broadcast, no BLAS reductions)."""
     diff = others - point[None, :]
     return np.einsum("nf,nf->n", diff, diff)
+
+
+def _position_clusters(
+    sketch_tg: np.ndarray, clusters: int, seed: int | None
+) -> tuple[np.ndarray, list[np.ndarray], int]:
+    """Seeded k-means over the position sketches: ``(centroids, members,
+    n_clusters)``.
+
+    Split out of :func:`_preference_orders` so the batched builder
+    (:mod:`repro.cost.batch`) can cluster a shared target grid once per
+    batch — the clustering is a pure function of ``(sketch_tg, clusters,
+    seed)``, so reusing it across jobs with matching fingerprints is
+    bit-identical to clustering per job.
+    """
+    from repro.library.shortlist import kmeans
+
+    s = sketch_tg.shape[0]
+    if clusters == 0:
+        clusters = max(1, int(round(s**0.5)))
+    clusters = min(clusters, s)
+    centroids, labels = kmeans(sketch_tg, clusters, seed=seed)
+    members = [np.flatnonzero(labels == c) for c in range(clusters)]
+    return centroids, members, clusters
 
 
 def _preference_orders(
@@ -384,6 +431,7 @@ def _preference_orders(
     probes: int,
     head_width: int,
     seed: int | None,
+    clustering: tuple[np.ndarray, list[np.ndarray], int] | None = None,
 ) -> tuple[np.ndarray, int]:
     """Per-input-tile full preference order over all positions.
 
@@ -396,17 +444,16 @@ def _preference_orders(
     selection always find ``top_k`` free positions per row; the cluster
     structure keeps the fine ranking effort concentrated near the head.
     All ties break on ascending position, so the order is a pure
-    function of the sketches and the k-means seed.
+    function of the sketches and the k-means seed.  ``clustering``, when
+    given, must be a :func:`_position_clusters` result for the same
+    ``(sketch_tg, clusters, seed)`` — the batched builder passes one
+    shared clustering per target grid.
     """
-    from repro.library.shortlist import kmeans
-
     s = sketch_tg.shape[0]
-    if clusters == 0:
-        clusters = max(1, int(round(s**0.5)))
-    clusters = min(clusters, s)
+    if clustering is None:
+        clustering = _position_clusters(sketch_tg, clusters, seed)
+    centroids, members, clusters = clustering
     probes = max(1, min(probes, clusters))
-    centroids, labels = kmeans(sketch_tg, clusters, seed=seed)
-    members = [np.flatnonzero(labels == c) for c in range(clusters)]
     orders = np.empty((s, s), dtype=np.int64)
     for u in range(s):
         cluster_rank = np.argsort(
@@ -449,19 +496,37 @@ def _degree_capped_select(orders: np.ndarray, top_k: int) -> np.ndarray:
     counts = np.zeros(s, dtype=np.int64)
     selected = np.full((s, top_k), -1, dtype=np.int64)
     ptr = np.zeros(s, dtype=np.int64)
-    active = list(range(s))
-    while active:
-        still = []
-        for u in active:
-            v = orders[u, ptr[u]]
-            ptr[u] += 1
-            if degree[v] < top_k:
-                selected[u, counts[u]] = v
-                counts[u] += 1
-                degree[v] += 1
-            if counts[u] < top_k and ptr[u] < s:
-                still.append(u)
-        active = still
+    # Vectorised round resolution.  The reference semantics (pinned by
+    # the differential and Hypothesis suites) process active rows in
+    # ascending order within each round, granting a claim on position
+    # ``v`` while ``degree[v] < top_k``.  Within one round each row
+    # claims exactly one position, so the sequential outcome is: the
+    # first ``top_k - degree[v]`` claimants of ``v`` (in row order) win.
+    # A stable argsort on the claimed positions groups claimants while
+    # preserving row order, and a per-group rank against the remaining
+    # capacity reproduces that outcome without the per-row Python loop.
+    active = np.arange(s, dtype=np.int64)
+    while active.size:
+        wants = orders[active, ptr[active]]
+        ptr[active] += 1
+        by_position = np.argsort(wants, kind="stable")
+        sorted_wants = wants[by_position]
+        new_group = np.empty(active.size, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = sorted_wants[1:] != sorted_wants[:-1]
+        positions_in_round = np.arange(active.size, dtype=np.int64)
+        group_start = np.maximum.accumulate(
+            np.where(new_group, positions_in_round, 0)
+        )
+        rank_in_group = positions_in_round - group_start
+        granted = np.empty(active.size, dtype=bool)
+        granted[by_position] = rank_in_group < top_k - degree[sorted_wants]
+        winners = active[granted]
+        won = wants[granted]
+        selected[winners, counts[winners]] = won
+        counts[winners] += 1
+        np.add.at(degree, won, 1)
+        active = active[(counts[active] < top_k) & (ptr[active] < s)]
     for u in np.flatnonzero(counts < top_k):
         used = set(selected[u, : counts[u]].tolist())
         for v in orders[u]:

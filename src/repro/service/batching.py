@@ -1,0 +1,244 @@
+"""Micro-batching rendezvous for cross-job Step-2 launches.
+
+The worker pool runs one job per supervisor, so two concurrent jobs that
+could share a Step-2 launch would normally never meet.  The
+:class:`Step2BatchCoordinator` is the meeting point: job submission
+*announces* a batch fingerprint (:func:`step2_fingerprint` — the
+coalescing key of :mod:`repro.cost.batch`), and when a job's pipeline
+reaches Step 2 it *joins* the rendezvous for that fingerprint.  The
+first joiner becomes the leader and holds the batch open for a bounded
+window; followers with the same fingerprint attach their work to it.
+The window closes early the moment every announced peer has arrived (a
+solo job never waits), or when the batch is full, or when the window
+elapses — then the leader runs one
+:class:`~repro.cost.batch.BatchedErrorMatrixBuilder` launch for the
+whole group and every joiner gets its own slice back, bit-identical to
+the solo path.
+
+Design constraints this shape satisfies:
+
+* **no pool restructuring** — supervisors still own one job end to end,
+  so Step-3 concurrency, retries, timeouts and cancellation are
+  untouched; only the Step-2 call site synchronises;
+* **bounded added latency** — a joiner waits at most ``window_s`` beyond
+  its own launch time, and only when peers were actually announced;
+* **failure isolation** — a builder error fails every job in that one
+  group (their supervisors retry independently); a *joiner* that never
+  arrives (cache hit, earlier failure) costs at most one window, because
+  announcements are withdrawn when jobs reach a terminal state.
+
+Thread executors only: the live coordinator (locks + conditions) cannot
+cross a process boundary, so :class:`~repro.service.workers.
+MosaicJobRunner` drops it on pickling and process workers fall back to
+solo launches.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.cost.batch import BatchedErrorMatrixBuilder, BatchJob, batch_fingerprint
+from repro.exceptions import ValidationError
+from repro.service.jobs import JobSpec
+from repro.service.metrics import MetricsRegistry
+
+__all__ = [
+    "DEFAULT_BATCH_WINDOW",
+    "DEFAULT_MAX_BATCH",
+    "Step2BatchCoordinator",
+    "step2_fingerprint",
+]
+
+#: How long a leader holds the batch open for announced peers (seconds).
+DEFAULT_BATCH_WINDOW = 0.05
+
+#: Jobs per batched launch before the window closes early.
+DEFAULT_MAX_BATCH = 8
+
+
+def step2_fingerprint(spec: JobSpec, default_backend: str | None = None) -> str | None:
+    """The batch-coalescing key of one job spec, or ``None`` if the job
+    cannot batch.
+
+    Must equal the fingerprint the generator derives at Step-2 time from
+    the actual tile stacks; both sides call
+    :func:`repro.cost.batch.batch_fingerprint` with spec-derived
+    numbers.  Library jobs (different Step-2 shape) and grids of zero
+    tiles are not batchable.
+    """
+    if spec.kind != "mosaic":
+        return None
+    per_side = spec.size // spec.tile_size
+    if per_side < 1:
+        return None
+    return batch_fingerprint(
+        grid_tiles=per_side * per_side,
+        tile_shape=(spec.tile_size, spec.tile_size),
+        metric=spec.metric,
+        backend=spec.resolve_backend(default_backend),
+        top_k=spec.shortlist_top_k,
+        sketch=spec.sketch,
+    )
+
+
+@dataclass
+class _Group:
+    """One rendezvous generation: the jobs that will share a launch."""
+
+    jobs: list[BatchJob] = field(default_factory=list)
+    metric: str = "sad"
+    backend: str = "numpy"
+    opened_at: float = 0.0
+    sealed: bool = False
+    results: list | None = None
+    error: BaseException | None = None
+
+
+class Step2BatchCoordinator:
+    """Leader/follower rendezvous forming same-fingerprint Step-2 batches.
+
+    Parameters
+    ----------
+    window_s:
+        Upper bound on how long a leader waits for announced peers.
+    max_batch:
+        Jobs per launch; a full batch seals immediately.
+    metrics:
+        Optional :class:`MetricsRegistry` receiving the batch-size /
+        window-wait / launch-latency instruments and batch counters.
+    """
+
+    def __init__(
+        self,
+        *,
+        window_s: float = DEFAULT_BATCH_WINDOW,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if window_s < 0:
+            raise ValidationError(f"window_s must be >= 0, got {window_s}")
+        if max_batch < 1:
+            raise ValidationError(f"max_batch must be >= 1, got {max_batch}")
+        self.window_s = float(window_s)
+        self.max_batch = int(max_batch)
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._groups: dict[str, _Group] = {}
+        self._expected: dict[str, int] = {}
+
+    # -- announcements (worker pool) ------------------------------------
+    def announce(self, fingerprint: str) -> None:
+        """Declare that one job with this fingerprint is in the system.
+
+        The leader uses the announcement count to close its window early
+        once every live peer has joined — a solo job never waits.
+        """
+        with self._lock:
+            self._expected[fingerprint] = self._expected.get(fingerprint, 0) + 1
+            self._cond.notify_all()
+
+    def depart(self, fingerprint: str) -> None:
+        """Withdraw one announcement (job reached a terminal state)."""
+        with self._lock:
+            count = self._expected.get(fingerprint, 0) - 1
+            if count > 0:
+                self._expected[fingerprint] = count
+            else:
+                self._expected.pop(fingerprint, None)
+            self._cond.notify_all()
+
+    # -- the rendezvous (generator Step-2 call site) --------------------
+    def compute(
+        self, fingerprint: str, job: BatchJob, *, metric: str, backend: str
+    ):
+        """Join the batch for ``fingerprint``; returns ``(result, size)``.
+
+        Blocks until the group launches; ``result`` is the
+        :class:`~repro.types.ErrorMatrix` (``job.top_k == 0``) or
+        :class:`~repro.cost.sparse.SparseErrorMatrix` slice for ``job``,
+        bit-identical to the solo builders, and ``size`` is how many jobs
+        shared the launch.  Builder exceptions propagate to every member
+        of the group.
+        """
+        with self._lock:
+            group = self._groups.get(fingerprint)
+            if group is None or group.sealed:
+                group = _Group(
+                    metric=metric, backend=backend, opened_at=time.perf_counter()
+                )
+                self._groups[fingerprint] = group
+            index = len(group.jobs)
+            group.jobs.append(job)
+            leader = index == 0
+            if not leader:
+                self._cond.notify_all()  # wake the leader: a peer arrived
+                while not group.sealed or (
+                    group.results is None and group.error is None
+                ):
+                    self._cond.wait()
+                return self._unpack(group, index)
+            deadline = group.opened_at + self.window_s
+            while (
+                len(group.jobs) < self.max_batch
+                and len(group.jobs) < self._expected.get(fingerprint, 1)
+            ):
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+            group.sealed = True
+            if self._groups.get(fingerprint) is group:
+                del self._groups[fingerprint]
+            jobs = list(group.jobs)
+            waited = time.perf_counter() - group.opened_at
+        try:
+            started = time.perf_counter()
+            builder = BatchedErrorMatrixBuilder(
+                group.metric, backend=group.backend
+            )
+            if jobs[0].top_k > 0:
+                results = builder.compute_sparse(jobs)
+            else:
+                results = builder.compute_dense(jobs)
+            launch_seconds = time.perf_counter() - started
+        except BaseException as exc:
+            with self._lock:
+                group.error = exc
+                self._cond.notify_all()
+            raise
+        self._observe(len(jobs), waited, launch_seconds)
+        with self._lock:
+            group.results = results
+            self._cond.notify_all()
+        return self._unpack(group, 0)
+
+    @staticmethod
+    def _unpack(group: _Group, index: int):
+        if group.error is not None:
+            raise group.error
+        assert group.results is not None
+        return group.results[index], len(group.jobs)
+
+    def _observe(self, size: int, waited: float, launch_seconds: float) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter("step2_batches_total", "batched Step-2 launches").inc()
+        self.metrics.counter(
+            "step2_batched_jobs_total", "jobs served by batched launches"
+        ).inc(size)
+        self.metrics.histogram(
+            "step2_batch_size",
+            "jobs per batched Step-2 launch",
+            buckets=(1, 2, 3, 4, 6, 8, 12, 16),
+        ).observe(float(size))
+        self.metrics.histogram(
+            "step2_batch_window_wait_seconds",
+            "leader wait from batch open to seal",
+        ).observe(waited)
+        self.metrics.histogram(
+            "step2_batch_launch_seconds",
+            "batched Step-2 builder wall time",
+        ).observe(launch_seconds)

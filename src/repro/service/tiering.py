@@ -1,0 +1,121 @@
+"""Backend-tiering scheduler — route jobs by predicted Step-2 cost.
+
+The crossover the paper measures between CPU and GPU mosaic runs
+(Table III: the GPU only pays off once the grid is large enough to fill
+the device) shows up in the service as a routing decision: small jobs
+finish faster on NumPy than they would after paying a device round-trip,
+large jobs want the widest backend available.  A
+:class:`BackendTieringPolicy` makes that call per job from the one
+number that predicts Step-2 work — the count of metric evaluations
+("pairs") the job will perform:
+
+* dense jobs score ``S^2`` pairs for a grid of ``S`` tiles;
+* shortlisted jobs score ``S * top_k`` pairs
+  (:mod:`repro.cost.sparse` evaluates exactly the selected set).
+
+Jobs below :attr:`~BackendTieringPolicy.threshold_pairs` route to the
+small tier (NumPy); jobs at or above it to the large tier (``"auto"`` by
+default, i.e. CuPy when a device is usable).  An explicit
+``JobSpec.backend`` always wins — tiering only fills the gap the spec
+left open — and a large-tier backend that fails to load falls back to
+NumPy rather than failing the job, with the decision recorded so the
+``/metrics`` counters show how often the fallback fires.
+
+The default threshold is pinned by ``benchmarks/bench_batched_step2.py``
+(committed envelope in ``benchmarks/BENCH_9.json``): it is the pair
+count where the virtual GPU's modeled Step-2 time crosses below the
+measured NumPy time on the reference Tesla K40 model — measured, not
+guessed, and re-derivable on any machine by re-running the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.backend import BackendUnavailable, get_backend
+from repro.exceptions import ValidationError
+from repro.service.jobs import JobSpec
+
+__all__ = ["DEFAULT_TIER_THRESHOLD", "BackendTieringPolicy", "TierDecision"]
+
+#: Pair count where modeled accelerator time crosses below measured NumPy
+#: time for the dense SAD kernel (see ``benchmarks/BENCH_9.json``,
+#: ``crossover_pairs``: the S=256 grid, 65 536 pairs, is the first sweep
+#: point where the K40 model beats the host — 2.85 ms modeled vs 4.80 ms
+#: measured).  Grids below this finish faster on the host.
+DEFAULT_TIER_THRESHOLD = 65_536
+
+
+@dataclass(frozen=True)
+class TierDecision:
+    """One routing outcome: the backend to use and why it was chosen.
+
+    ``reason`` is one of ``"override"`` (the spec pinned its own
+    backend), ``"small"`` / ``"large"`` (threshold routing), or
+    ``"fallback"`` (the large tier's backend failed to load and NumPy
+    substituted).
+    """
+
+    backend: str
+    reason: str
+    predicted_pairs: int
+
+
+class BackendTieringPolicy:
+    """Threshold router over predicted Step-2 pair counts.
+
+    Parameters
+    ----------
+    threshold_pairs:
+        Jobs predicted to evaluate at least this many metric pairs route
+        to ``large_backend``; smaller jobs to ``small_backend``.
+    small_backend, large_backend:
+        Backend names for the two tiers.  The large tier defaults to
+        ``"auto"`` (best available); naming ``"cupy"`` outright makes
+        the availability fallback observable in the decision.
+    """
+
+    def __init__(
+        self,
+        *,
+        threshold_pairs: int = DEFAULT_TIER_THRESHOLD,
+        small_backend: str = "numpy",
+        large_backend: str = "auto",
+    ) -> None:
+        if threshold_pairs < 1:
+            raise ValidationError(
+                f"threshold_pairs must be >= 1, got {threshold_pairs}"
+            )
+        self.threshold_pairs = int(threshold_pairs)
+        self.small_backend = small_backend
+        self.large_backend = large_backend
+
+    @staticmethod
+    def predicted_pairs(spec: JobSpec) -> int:
+        """Metric evaluations the job's Step 2 will perform.
+
+        ``S = (size // tile_size)^2`` grid tiles; dense jobs score
+        ``S^2`` pairs, shortlisted jobs ``S * k``.  Library jobs use
+        their ``top_k`` knob the same way (candidate scoring against the
+        shortlist is their rowwise hot path); the estimate is the router
+        input, not an accounting claim.
+        """
+        grid = max(1, spec.size // spec.tile_size) ** 2
+        if spec.kind == "library":
+            return grid * max(1, spec.top_k)
+        if spec.shortlist_top_k > 0:
+            return grid * min(grid, spec.shortlist_top_k)
+        return grid * grid
+
+    def route(self, spec: JobSpec) -> TierDecision:
+        """Pick the backend for one job; the spec's own choice wins."""
+        pairs = self.predicted_pairs(spec)
+        if spec.backend is not None:
+            return TierDecision(spec.backend, "override", pairs)
+        if pairs < self.threshold_pairs:
+            return TierDecision(self.small_backend, "small", pairs)
+        try:
+            backend = get_backend(self.large_backend)
+        except BackendUnavailable:
+            return TierDecision("numpy", "fallback", pairs)
+        return TierDecision(backend.name, "large", pairs)

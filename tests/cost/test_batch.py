@@ -1,0 +1,245 @@
+"""Cross-job batched Step-2 builder: bit-identity and shared-work tests.
+
+The contract of :class:`repro.cost.batch.BatchedErrorMatrixBuilder` is
+that batching changes *scheduling*, never *values*: every per-job slice
+of a stacked launch must equal the solo
+:func:`~repro.cost.matrix.error_matrix` /
+:func:`~repro.cost.sparse.sparse_error_matrix` result bit for bit, for
+every batch size, metric and density.  The differential classes here pin
+exactly that, and the unit classes pin the shared-work accounting
+(feature prep once per unique stack, one launch per unique target) that
+makes batching worth doing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cost import error_matrix, sparse_error_matrix
+from repro.cost.batch import (
+    BatchedErrorMatrixBuilder,
+    BatchJob,
+    batch_fingerprint,
+)
+from repro.exceptions import ValidationError
+
+BATCH_SIZES = (1, 2, 5)
+METRICS = ("sad", "ssd")
+S, M = 36, 8
+TOP_K = 7
+
+
+def _stack(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(S, M, M), dtype=np.uint8)
+
+
+def _jobs(batch: int, *, top_k: int = 0, share_target: bool = True):
+    """``batch`` jobs; even-indexed ones share one target stack."""
+    shared = _stack(1000)
+    jobs = []
+    for index in range(batch):
+        target = shared if (share_target and index % 2 == 0) else _stack(500 + index)
+        jobs.append(
+            BatchJob(_stack(index), target, top_k=top_k, seed=42)
+        )
+    return jobs
+
+
+class TestDenseDifferential:
+    @pytest.mark.parametrize("metric", METRICS)
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    def test_slices_equal_solo_matrices(self, batch, metric):
+        jobs = _jobs(batch)
+        builder = BatchedErrorMatrixBuilder(metric)
+        results = builder.compute_dense(jobs)
+        assert len(results) == batch
+        for job, got in zip(jobs, results):
+            want = error_matrix(job.input_tiles, job.target_tiles, metric)
+            assert got.dtype == want.dtype
+            np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_tiny_chunk_budget_is_bit_identical(self, metric):
+        """Any row partition of the stacked launch yields the same values."""
+        jobs = _jobs(3)
+        builder = BatchedErrorMatrixBuilder(metric, batch_chunk_budget=1)
+        for job, got in zip(jobs, builder.compute_dense(jobs)):
+            np.testing.assert_array_equal(
+                got, error_matrix(job.input_tiles, job.target_tiles, metric)
+            )
+
+
+class TestSparseDifferential:
+    @pytest.mark.parametrize("metric", METRICS)
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    def test_slices_equal_solo_shortlists(self, batch, metric):
+        jobs = _jobs(batch, top_k=TOP_K)
+        builder = BatchedErrorMatrixBuilder(metric)
+        results = builder.compute_sparse(jobs)
+        for job, got in zip(jobs, results):
+            want = sparse_error_matrix(
+                job.input_tiles,
+                job.target_tiles,
+                metric,
+                top_k=TOP_K,
+                seed=42,
+            )
+            np.testing.assert_array_equal(got.indices, want.indices)
+            np.testing.assert_array_equal(got.costs, want.costs)
+            assert got.meta == want.meta
+
+    @pytest.mark.parametrize("batch", (1, 3))
+    def test_complete_jobs_take_the_dense_path(self, batch):
+        """``top_k >= S`` lists every position, exactly like solo."""
+        jobs = _jobs(batch, top_k=S)
+        results = BatchedErrorMatrixBuilder("sad").compute_sparse(jobs)
+        for job, got in zip(jobs, results):
+            want = sparse_error_matrix(
+                job.input_tiles, job.target_tiles, "sad", top_k=S, seed=42
+            )
+            assert got.meta["complete"] is True
+            np.testing.assert_array_equal(got.indices, want.indices)
+            np.testing.assert_array_equal(got.costs, want.costs)
+            assert got.meta == want.meta
+
+    def test_mixed_complete_and_partial_batch(self):
+        jobs = [
+            BatchJob(_stack(0), _stack(10), top_k=S, seed=1),
+            BatchJob(_stack(1), _stack(11), top_k=TOP_K, seed=1),
+        ]
+        results = BatchedErrorMatrixBuilder("sad").compute_sparse(jobs)
+        assert results[0].complete and not results[1].complete
+        for job, got in zip(jobs, results):
+            want = sparse_error_matrix(
+                job.input_tiles,
+                job.target_tiles,
+                "sad",
+                top_k=job.top_k,
+                seed=1,
+            )
+            np.testing.assert_array_equal(got.indices, want.indices)
+            np.testing.assert_array_equal(got.costs, want.costs)
+
+    @pytest.mark.parametrize("sketch", ("mean", "pca"))
+    def test_sketch_kinds_match_solo(self, sketch):
+        jobs = [
+            BatchJob(_stack(i), _stack(100), top_k=5, sketch=sketch, seed=9)
+            for i in range(3)
+        ]
+        results = BatchedErrorMatrixBuilder("sad").compute_sparse(jobs)
+        for job, got in zip(jobs, results):
+            want = sparse_error_matrix(
+                job.input_tiles,
+                job.target_tiles,
+                "sad",
+                top_k=5,
+                sketch=sketch,
+                seed=9,
+            )
+            np.testing.assert_array_equal(got.indices, want.indices)
+            np.testing.assert_array_equal(got.costs, want.costs)
+
+
+class TestSharedWorkAccounting:
+    def test_prepare_runs_once_per_unique_stack(self):
+        shared_target = _stack(77)
+        jobs = [BatchJob(_stack(i), shared_target) for i in range(4)]
+        builder = BatchedErrorMatrixBuilder("sad")
+        builder.compute_dense(jobs)
+        stats = builder.last_stats
+        assert stats.jobs == 4
+        assert stats.unique_target_stacks == 1
+        assert stats.prepare_calls == 5  # 4 inputs + 1 shared target
+        assert stats.launches == 1  # one stacked launch for the group
+
+    def test_sparse_shares_sketches_and_clustering(self):
+        inp, tgt = _stack(3), _stack(4)
+        jobs = [BatchJob(inp, tgt, top_k=5, seed=2) for _ in range(3)]
+        builder = BatchedErrorMatrixBuilder("sad")
+        builder.compute_sparse(jobs)
+        stats = builder.last_stats
+        assert stats.prepare_calls == 2  # one input + one target stack
+        assert stats.sketch_calls == 2
+        assert stats.kmeans_calls == 1
+        assert stats.launches == 1  # one stacked scoring launch
+        assert stats.pairs_evaluated == 3 * S * 5
+
+    def test_distinct_seeds_cluster_separately(self):
+        inp, tgt = _stack(3), _stack(4)
+        jobs = [BatchJob(inp, tgt, top_k=5, seed=s) for s in (1, 2)]
+        builder = BatchedErrorMatrixBuilder("sad")
+        builder.compute_sparse(jobs)
+        assert builder.last_stats.kmeans_calls == 2
+
+
+class TestValidation:
+    def test_empty_batch_returns_empty(self):
+        builder = BatchedErrorMatrixBuilder("sad")
+        assert builder.compute_dense([]) == []
+        assert builder.compute_sparse([]) == []
+
+    def test_mismatched_grids_rejected(self):
+        small = np.zeros((4, 8, 8), dtype=np.uint8)
+        jobs = [BatchJob(_stack(0), _stack(1)), BatchJob(small, small)]
+        with pytest.raises(ValidationError):
+            BatchedErrorMatrixBuilder("sad").compute_dense(jobs)
+
+    def test_sparse_rejects_bad_knobs(self):
+        job = BatchJob(_stack(0), _stack(1), top_k=0)
+        with pytest.raises(ValidationError):
+            BatchedErrorMatrixBuilder("sad").compute_sparse([job])
+        job = BatchJob(_stack(0), _stack(1), top_k=3, sketch="nope")
+        with pytest.raises(ValidationError):
+            BatchedErrorMatrixBuilder("sad").compute_sparse([job])
+
+    def test_bad_budgets_rejected(self):
+        with pytest.raises(ValidationError):
+            BatchedErrorMatrixBuilder("sad", chunk_budget=0)
+        with pytest.raises(ValidationError):
+            BatchedErrorMatrixBuilder("sad", batch_chunk_budget=-1)
+
+
+class TestFingerprint:
+    def test_same_knobs_same_key(self):
+        kwargs = dict(
+            grid_tiles=64,
+            tile_shape=(8, 8),
+            metric="sad",
+            backend="numpy",
+            top_k=8,
+            sketch="mean",
+        )
+        assert batch_fingerprint(**kwargs) == batch_fingerprint(**kwargs)
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"grid_tiles": 128},
+            {"tile_shape": (16, 16)},
+            {"metric": "ssd"},
+            {"backend": "cupy"},
+            {"top_k": 16},
+            {"sketch": "pca"},
+            {"top_k": 0},
+        ],
+    )
+    def test_any_knob_change_changes_key(self, override):
+        base = dict(
+            grid_tiles=64,
+            tile_shape=(8, 8),
+            metric="sad",
+            backend="numpy",
+            top_k=8,
+            sketch="mean",
+        )
+        assert batch_fingerprint(**base) != batch_fingerprint(**{**base, **override})
+
+    def test_dense_ignores_sparse_knobs(self):
+        base = dict(
+            grid_tiles=64, tile_shape=(8, 8), metric="sad", backend="numpy"
+        )
+        assert batch_fingerprint(**base, top_k=0, sketch="mean") == batch_fingerprint(
+            **base, top_k=0, sketch="pca"
+        )

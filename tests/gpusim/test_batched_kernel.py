@@ -1,0 +1,57 @@
+"""Batched virtual-GPU error kernel: one launch, per-job bit-identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.gpusim.kernel import KernelStats
+from repro.gpusim.kernels import error_matrices_gpu_batched, error_matrix_gpu
+
+S, M = 16, 6
+
+
+def _stack(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(S, M, M), dtype=np.uint8)
+
+
+@pytest.mark.parametrize("batch", (1, 2, 5))
+def test_batched_matches_solo_bit_for_bit(batch):
+    jobs = [(_stack(i), _stack(100 + i)) for i in range(batch)]
+    solo = [error_matrix_gpu(i, t) for i, t in jobs]
+    batched = error_matrices_gpu_batched(jobs)
+    assert len(batched) == batch
+    for want, got in zip(solo, batched):
+        assert got.dtype == want.dtype
+        np.testing.assert_array_equal(got, want)
+
+
+def test_one_launch_replaces_b_launches_with_equal_ops():
+    jobs = [(_stack(i), _stack(50 + i)) for i in range(4)]
+    solo_stats = KernelStats()
+    for i, t in jobs:
+        error_matrix_gpu(i, t, stats=solo_stats)
+    batch_stats = KernelStats()
+    error_matrices_gpu_batched(jobs, stats=batch_stats)
+    assert solo_stats.launches == 4
+    assert batch_stats.launches == 1
+    assert batch_stats.blocks == 4 * S  # block b -> job b // S, row b % S
+    assert batch_stats.lane_ops == solo_stats.lane_ops
+
+
+def test_shared_target_uploaded_once():
+    """Jobs sharing a target grid reuse one device buffer."""
+    shared = _stack(9)
+    jobs = [(_stack(i), shared) for i in range(3)]
+    batched = error_matrices_gpu_batched(jobs)
+    for (i, t), got in zip(jobs, batched):
+        np.testing.assert_array_equal(got, error_matrix_gpu(i, t))
+
+
+def test_empty_batch_and_grid_mismatch():
+    assert error_matrices_gpu_batched([]) == []
+    small = np.zeros((4, 6, 6), dtype=np.uint8)
+    with pytest.raises(ValidationError):
+        error_matrices_gpu_batched([(_stack(0), _stack(1)), (small, small)])

@@ -1,0 +1,258 @@
+"""Step-2 micro-batching: coordinator semantics and pool integration.
+
+Two layers under test.  The :class:`Step2BatchCoordinator` unit tests
+pin the rendezvous mechanics — solo jobs never wait, announced peers
+coalesce into one launch, full batches seal early, builder errors reach
+every member.  The pool-level differential tests pin the contract that
+matters to users: a batched pool produces **bit-identical** job results
+(totals, permutations, rendered bytes) to an unbatched one, while
+launching fewer Step-2 kernels.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cost.batch import BatchJob
+from repro.service.batching import Step2BatchCoordinator, step2_fingerprint
+from repro.service.jobs import JobSpec, JobState
+from repro.service.metrics import MetricsRegistry
+from repro.service.workers import WorkerPool
+
+S, M = 16, 8
+
+
+def _stack(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(S, M, M), dtype=np.uint8)
+
+
+def _checksum(image: np.ndarray) -> str:
+    return hashlib.sha256(
+        np.ascontiguousarray(image, dtype=np.uint8).tobytes()
+    ).hexdigest()
+
+
+class TestFingerprint:
+    def test_matches_generator_side_key(self):
+        """Spec-derived and tile-derived fingerprints must rendezvous."""
+        from repro.cost.batch import batch_fingerprint
+
+        spec = JobSpec(
+            input="portrait", target="sailboat", size=64, tile_size=16
+        )
+        assert step2_fingerprint(spec) == batch_fingerprint(
+            grid_tiles=16,
+            tile_shape=(16, 16),
+            metric="sad",
+            backend="numpy",
+            top_k=0,
+            sketch="mean",
+        )
+
+    def test_library_jobs_are_not_batchable(self):
+        spec = JobSpec(
+            kind="library", input="lib", target="sailboat", size=64
+        )
+        assert step2_fingerprint(spec) is None
+
+    def test_backend_default_feeds_the_key(self):
+        spec = JobSpec(input="a", target="b", size=64, tile_size=16)
+        assert step2_fingerprint(spec, "numpy") == step2_fingerprint(spec)
+        assert step2_fingerprint(spec, "auto") != step2_fingerprint(spec)
+
+
+class TestCoordinator:
+    def test_solo_job_launches_without_waiting(self):
+        coordinator = Step2BatchCoordinator(window_s=30.0)  # would hang if waited
+        coordinator.announce("fp")
+        started = time.perf_counter()
+        result, size = coordinator.compute(
+            "fp", BatchJob(_stack(0), _stack(1)), metric="sad", backend="numpy"
+        )
+        assert time.perf_counter() - started < 5.0
+        assert size == 1
+        assert result.shape == (S, S)
+
+    def test_concurrent_peers_share_one_launch(self):
+        coordinator = Step2BatchCoordinator(window_s=5.0, max_batch=8)
+        fingerprint = "fp"
+        for _ in range(3):
+            coordinator.announce(fingerprint)
+        results: dict[int, tuple] = {}
+
+        def worker(index: int) -> None:
+            results[index] = coordinator.compute(
+                fingerprint,
+                BatchJob(_stack(index), _stack(100)),
+                metric="sad",
+                backend="numpy",
+            )
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(results) == 3
+        sizes = {size for _, size in results.values()}
+        assert sizes == {3}
+        from repro.cost import error_matrix
+
+        for index, (matrix, _) in results.items():
+            np.testing.assert_array_equal(
+                matrix, error_matrix(_stack(index), _stack(100), "sad")
+            )
+
+    def test_full_batch_seals_before_window(self):
+        coordinator = Step2BatchCoordinator(window_s=60.0, max_batch=2)
+        for _ in range(5):
+            coordinator.announce("fp")  # more announced than max_batch
+        done = []
+
+        def worker(index: int) -> None:
+            done.append(
+                coordinator.compute(
+                    "fp",
+                    BatchJob(_stack(index), _stack(7)),
+                    metric="sad",
+                    backend="numpy",
+                )[1]
+            )
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(2)
+        ]
+        started = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert time.perf_counter() - started < 30  # sealed at max_batch
+        assert done == [2, 2]
+
+    def test_builder_error_reaches_every_member(self):
+        coordinator = Step2BatchCoordinator(window_s=5.0)
+        coordinator.announce("fp")
+        coordinator.announce("fp")
+        errors = []
+
+        def worker(job: BatchJob) -> None:
+            try:
+                coordinator.compute("fp", job, metric="sad", backend="numpy")
+            except Exception as exc:  # noqa: BLE001 - asserting propagation
+                errors.append(type(exc).__name__)
+
+        bad = BatchJob(_stack(0), np.zeros((4, 8, 8), dtype=np.uint8))
+        threads = [
+            threading.Thread(target=worker, args=(job,))
+            for job in (BatchJob(_stack(0), _stack(1)), bad)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(errors) == 2  # the grid-mismatch fails the whole group
+
+    def test_depart_unblocks_the_window(self):
+        """A withdrawn announcement stops the leader waiting for it."""
+        coordinator = Step2BatchCoordinator(window_s=20.0)
+        coordinator.announce("fp")
+        coordinator.announce("fp")
+        out = []
+
+        def leader() -> None:
+            out.append(
+                coordinator.compute(
+                    "fp",
+                    BatchJob(_stack(0), _stack(1)),
+                    metric="sad",
+                    backend="numpy",
+                )[1]
+            )
+
+        thread = threading.Thread(target=leader)
+        started = time.perf_counter()
+        thread.start()
+        time.sleep(0.2)
+        coordinator.depart("fp")  # the peer will never arrive
+        thread.join(timeout=30)
+        assert out == [1]
+        assert time.perf_counter() - started < 15
+
+    def test_metrics_instruments_recorded(self):
+        metrics = MetricsRegistry()
+        coordinator = Step2BatchCoordinator(window_s=1.0, metrics=metrics)
+        coordinator.announce("fp")
+        coordinator.compute(
+            "fp", BatchJob(_stack(0), _stack(1)), metric="sad", backend="numpy"
+        )
+        assert metrics.counter("step2_batches_total").value == 1
+        assert metrics.counter("step2_batched_jobs_total").value == 1
+        assert metrics.histogram("step2_batch_size").count == 1
+        assert metrics.histogram("step2_batch_window_wait_seconds").count == 1
+        assert metrics.histogram("step2_batch_launch_seconds").count == 1
+
+
+def _run_pool(batch_window: float, *, shortlist: int = 0, jobs: int = 4):
+    specs = [
+        JobSpec(
+            input="portrait",
+            target="sailboat",
+            size=64,
+            tile_size=16,
+            shortlist_top_k=shortlist,
+            seed=5,
+            name=f"job-{i}",
+        )
+        for i in range(jobs)
+    ]
+    metrics = MetricsRegistry()
+    with WorkerPool(
+        workers=jobs,
+        metrics=metrics,
+        batch_window=batch_window,
+        batch_max=8,
+    ) as pool:
+        records = pool.run(specs)
+    for record in records:
+        assert record.state is JobState.DONE, record.error
+    return records, metrics
+
+
+class TestPoolDifferential:
+    @pytest.mark.parametrize("shortlist", (0, 8))
+    def test_batched_pool_is_bit_identical_to_solo(self, shortlist):
+        solo, _ = _run_pool(0.0, shortlist=shortlist)
+        batched, metrics = _run_pool(1.0, shortlist=shortlist)
+        for a, b in zip(solo, batched):
+            assert b.result.total_error == a.result.total_error
+            np.testing.assert_array_equal(
+                b.result.permutation, a.result.permutation
+            )
+            assert _checksum(b.result.image) == _checksum(a.result.image)
+        counters = metrics.as_dict()["counters"]
+        assert counters["step2_batched_jobs_total"] == 4
+        assert counters["step2_batches_total"] < 4  # launches were shared
+
+    def test_batch_meta_in_summary_and_counters(self):
+        records, metrics = _run_pool(1.0)
+        for record in records:
+            batch = record.summary().get("batch")
+            assert batch is not None
+            assert batch["size"] >= 1
+        counters = metrics.as_dict()["counters"]
+        assert counters["batch_meta_jobs_total"] == 4
+
+    def test_unbatched_pool_has_no_batch_meta(self):
+        records, metrics = _run_pool(0.0)
+        for record in records:
+            assert "batch" not in record.summary()
+        assert metrics.counter("step2_batches_total").value == 0

@@ -1,0 +1,106 @@
+"""Result meta must survive process-pool pickling round-trips.
+
+Process executors ship the runner *to* the worker and the
+``MosaicResult`` *back* — both cross a pickle boundary.  The counters
+the pool folds from result meta (``shortlist_*``, ``batch_meta_*``)
+only work if the meta blocks survive that trip, and the runner only
+works if its un-picklable batch coordinator is dropped on the way out.
+This suite pins both directions.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.service.jobs import JobSpec, JobState
+from repro.service.metrics import MetricsRegistry
+from repro.service.workers import MosaicJobRunner, WorkerPool
+
+
+def _sparse_spec(**kwargs) -> JobSpec:
+    base = dict(
+        input="portrait",
+        target="sailboat",
+        size=64,
+        tile_size=16,
+        shortlist_top_k=8,
+        seed=3,
+    )
+    base.update(kwargs)
+    return JobSpec(**base)
+
+
+def test_runner_pickle_drops_the_batcher():
+    """The live coordinator (locks + conditions) must not cross a
+    process boundary; the clone falls back to solo launches."""
+    from repro.service.batching import Step2BatchCoordinator
+
+    runner = MosaicJobRunner(default_backend="numpy")
+    runner.batcher = Step2BatchCoordinator(window_s=0.01)
+    clone = pickle.loads(pickle.dumps(runner))
+    assert clone.batcher is None
+    assert clone.default_backend == "numpy"
+
+
+def test_result_meta_survives_a_pickle_round_trip():
+    """Direct check on the payload the process executor ships back."""
+    from repro.mosaic.generator import PhotomosaicGenerator
+    from repro.service.batching import Step2BatchCoordinator, step2_fingerprint
+    from repro.service.workers import resolve_image
+
+    batcher = Step2BatchCoordinator(window_s=0.01)
+    batcher.announce(step2_fingerprint(_sparse_spec()))
+    generator = PhotomosaicGenerator(
+        _sparse_spec().to_config(), batcher=batcher
+    )
+    result = generator.generate(
+        resolve_image("portrait", 64), resolve_image("sailboat", 64)
+    )
+    assert result.meta["batch"]["size"] == 1
+    assert result.meta["shortlist"]["pairs_evaluated"] > 0
+    clone = pickle.loads(pickle.dumps(result))
+    assert clone.meta["batch"] == result.meta["batch"]
+    assert clone.meta["shortlist"] == result.meta["shortlist"]
+
+
+def test_process_pool_folds_shortlist_counters():
+    """The real boundary: a process worker computes the job, the parent
+    pool still sees the shortlist work in its registry."""
+    metrics = MetricsRegistry()
+    with WorkerPool(
+        workers=1, kind="process", metrics=metrics, default_timeout=120.0
+    ) as pool:
+        record = pool.run([_sparse_spec()])[0]
+    assert record.state is JobState.DONE, record.error
+    shortlist = record.summary()["shortlist"]
+    assert shortlist["pairs_evaluated"] > 0
+    assert (
+        metrics.counter("shortlist_pairs_evaluated").value
+        == shortlist["pairs_evaluated"]
+    )
+    # Process workers have no batcher, so no batch meta and no
+    # batch_meta_* counters — solo fallback, not a crash.
+    assert "batch" not in record.summary()
+    assert metrics.counter("batch_meta_jobs_total").value == 0
+
+
+def test_thread_pool_folds_batch_meta_counters():
+    """meta["batch"] folds into batch_meta_* exactly once per job."""
+    metrics = MetricsRegistry()
+    specs = [_sparse_spec(name=f"job-{i}") for i in range(2)]
+    with WorkerPool(
+        workers=2, metrics=metrics, batch_window=1.0
+    ) as pool:
+        records = pool.run(specs)
+    for record in records:
+        assert record.state is JobState.DONE, record.error
+        assert record.summary()["batch"]["size"] >= 1
+    counters = metrics.as_dict()["counters"]
+    assert counters["batch_meta_jobs_total"] == 2
+    # Both jobs share one launch when the rendezvous forms; either way
+    # the shared counter can never exceed the per-job one.
+    assert counters.get("batch_meta_shared_total", 0) <= counters[
+        "batch_meta_jobs_total"
+    ]
