@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""End-to-end smoke for the cluster tier, driven like CI drives it.
+
+Starts ``photomosaic serve-cluster`` plus two ``serve-node`` workers as
+real subprocesses, runs mixed job kinds (mosaic dense/sparse and a
+library job) through the coordinator, then SIGKILLs the node that owns a
+paced job mid-stream and requires the coordinator to re-dispatch it to
+the survivor: the client's one event stream must stay gap-free across
+the failure, carry exactly one ``redispatch`` marker and exactly one
+terminal DONE, and ``?from_seq`` resume must replay the same suffix.
+Finishes by validating the cluster metrics exposition and a graceful
+drain of the survivors.
+
+Usage: PYTHONPATH=src python scripts/cluster_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.imaging import save_image  # noqa: E402
+from repro.library import (  # noqa: E402
+    LibraryIndex,
+    synthetic_target,
+    write_synthetic_library,
+)
+from repro.service.client import MosaicServiceClient  # noqa: E402
+
+FLOOR = 2.0  # paced jobs give the crash a comfortable mid-stream window
+
+
+def spawn(argv: list[str]) -> subprocess.Popen:
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    env.pop("PHOTOMOSAIC_TOKEN", None)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *argv],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+
+
+def listening(process: subprocess.Popen) -> dict:
+    line = process.stdout.readline()
+    if not line:
+        raise RuntimeError(f"early exit: {process.stderr.read()[-2000:]}")
+    info = json.loads(line)
+    assert info["kind"] == "listening", info
+    return info
+
+
+def library_assets(root: str) -> tuple[str, str]:
+    libdir = os.path.join(root, "lib")
+    write_synthetic_library(libdir, 40, size=16, seed=11)
+    target = os.path.join(root, "target.pgm")
+    save_image(target, synthetic_target(64, seed=6))
+    index, _ = LibraryIndex.from_directory(libdir, tile_size=8, thumb_size=16)
+    npz = os.path.join(root, "lib.npz")
+    index.save(npz)
+    return npz, target
+
+
+def check_stream(events: list[dict]) -> None:
+    assert [e["seq"] for e in events] == list(range(len(events))), events
+    assert [e["terminal"] for e in events].count(True) == 1
+    assert events[-1]["payload"]["state"] == "DONE", events[-1]
+    assert events[-1]["payload"].get("result_digest"), events[-1]
+    assert all("ts" in (e.get("payload") or {}) for e in events)
+
+
+def main() -> int:  # noqa: PLR0915 - one linear smoke scenario
+    root = tempfile.mkdtemp(prefix="cluster-smoke-")
+    npz, target = library_assets(root)
+
+    coordinator = spawn(
+        ["serve-cluster", "--port", "0", "--heartbeat-deadline", "1.0"]
+    )
+    nodes: dict[str, subprocess.Popen] = {}
+    try:
+        port = listening(coordinator)["port"]
+        for node_id in ("w0", "w1"):
+            node = spawn(
+                [
+                    "serve-node",
+                    "--coordinator", f"127.0.0.1:{port}",
+                    "--node-id", node_id,
+                    "--port", "0",
+                    "--workers", "2",
+                    "--job-floor-seconds", str(FLOOR),
+                    "--heartbeat-interval", "0.3",
+                    "--outdir", os.path.join(root, node_id, "out"),
+                    "--cache-dir", os.path.join(root, node_id, "cache"),
+                ]
+            )
+            listening(node)
+            nodes[node_id] = node
+
+        client = MosaicServiceClient(f"http://127.0.0.1:{port}")
+        deadline = time.monotonic() + 30.0
+        while client.health().get("nodes_up") != 2:
+            assert time.monotonic() < deadline, "nodes never registered"
+            time.sleep(0.1)
+
+        # --- mixed job kinds through the coordinator -------------------
+        mixed = [
+            {"name": "m-dense", "input": "portrait", "target": "sailboat",
+             "size": 32, "tile_size": 8, "seed": 3},
+            {"name": "m-sparse", "input": "peppers", "target": "sailboat",
+             "size": 32, "tile_size": 8, "seed": 3, "shortlist_top_k": 4},
+            {"name": "m-library", "kind": "library", "input": npz,
+             "target": target, "size": 64, "tile_size": 8,
+             "thumb_size": 16, "top_k": 8, "seed": 4},
+        ]
+        submitted = [client.submit(job) for job in mixed]
+        streams = {
+            job["job_id"]: list(client.events(job["job_id"]))
+            for job in submitted
+        }
+        for events in streams.values():
+            check_stream(events)
+
+        # resume through the coordinator, regardless of executing node
+        full = streams[submitted[0]["job_id"]]
+        cut = len(full) // 2
+        resumed = list(client.events(submitted[0]["job_id"], from_seq=cut))
+        assert [e["seq"] for e in resumed] == [e["seq"] for e in full[cut:]]
+
+        # --- SIGKILL the owner of a paced job mid-stream ---------------
+        victim_job = client.submit(
+            {"name": "crash-me", "input": "barbara", "target": "sailboat",
+             "size": 32, "tile_size": 8, "seed": 8}
+        )
+        victim = victim_job["node"]
+        survivor = "w1" if victim == "w0" else "w0"
+        crash_events = []
+        for event in client.events(victim_job["job_id"]):
+            crash_events.append(event)
+            if len(crash_events) == 2:  # provably mid-stream
+                nodes[victim].kill()
+        check_stream(crash_events)
+        markers = [e for e in crash_events if e["kind"] == "redispatch"]
+        assert len(markers) == 1, crash_events
+        assert markers[0]["payload"]["from_node"] == victim
+        assert markers[0]["payload"]["to_node"] == survivor
+        record = client.job(victim_job["job_id"])
+        assert record["node"] == survivor
+        assert record["redispatches"] == 1
+
+        # late resume replays the post-crash suffix identically
+        resumed = list(client.events(victim_job["job_id"], from_seq=2))
+        assert [(e["seq"], e["kind"]) for e in resumed] == [
+            (e["seq"], e["kind"]) for e in crash_events[2:]
+        ]
+
+        # --- cluster metrics exposition --------------------------------
+        text = client.metrics_text()
+        samples = {
+            line.rpartition(" ")[0]: float(line.rpartition(" ")[2])
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        }
+        assert samples["cluster_nodes_up"] == 1.0  # the survivor
+        assert samples["cluster_jobs_dispatched_total"] >= 4
+        assert samples["cluster_jobs_redispatched_total"] == 1.0
+        assert samples["cluster_events_replicated_total"] >= sum(
+            len(s) for s in streams.values()
+        )
+        assert f'node_up_{survivor}' in " ".join(samples)
+
+        # --- graceful drain of the survivors ---------------------------
+        nodes[survivor].send_signal(signal.SIGTERM)
+        out, err = nodes[survivor].communicate(timeout=60)
+        assert nodes[survivor].returncode == 0, f"node exit:\n{err}"
+        assert json.loads(out.splitlines()[-1])["kind"] == "drained"
+        coordinator.send_signal(signal.SIGTERM)
+        out, err = coordinator.communicate(timeout=60)
+        assert coordinator.returncode == 0, f"coordinator exit:\n{err}"
+        assert json.loads(out.splitlines()[-1])["kind"] == "drained"
+
+        print(
+            "cluster smoke ok:",
+            {
+                "mixed_streams": {j: len(s) for j, s in streams.items()},
+                "crash_events": len(crash_events),
+                "victim": victim,
+                "survivor": survivor,
+            },
+        )
+        return 0
+    finally:
+        for process in (*nodes.values(), coordinator):
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -650,6 +650,202 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
     return asyncio.run(serve())
 
 
+def _cmd_serve_node(args: argparse.Namespace) -> int:
+    """One cluster worker node: a serve-http stack that joins a coordinator."""
+    import asyncio
+    import json
+
+    from repro.service import (
+        ArtifactCache,
+        CacheStack,
+        DiskCacheStore,
+        JobState,
+        MetricsRegistry,
+        MosaicGateway,
+        MosaicJobRunner,
+        WorkerPool,
+    )
+    from repro.service.cluster import (
+        CacheLeaseTable,
+        ClusterCacheStore,
+        ClusterNodeApp,
+        NodeFront,
+        PacedRunner,
+        PeerDirectory,
+    )
+    from repro.service.http import HttpFrontConfig
+
+    token = args.auth_token or os.environ.get("PHOTOMOSAIC_TOKEN") or None
+    node_id = args.node_id or f"node-{os.getpid()}"
+    coordinator_host, _, coordinator_port = args.coordinator.rpartition(":")
+    if not coordinator_host or not coordinator_port.isdigit():
+        print(
+            f"--coordinator must be host:port, got {args.coordinator!r}",
+            file=sys.stderr,
+        )
+        return 2
+
+    async def serve() -> int:
+        os.makedirs(args.outdir, exist_ok=True)
+        metrics = MetricsRegistry()
+        directory = PeerDirectory(node_id)
+        memory = ArtifactCache(max_bytes=args.cache_mb * 2**20)
+        cluster_cache = None
+        if args.cache_dir:
+            cluster_cache = ClusterCacheStore(
+                DiskCacheStore(
+                    args.cache_dir,
+                    max_bytes=args.cache_budget * 2**20,
+                    metrics=metrics,
+                ),
+                directory,
+                token=token,
+                metrics=metrics,
+            )
+            cache = CacheStack(memory=memory, disk=cluster_cache)
+        else:
+            cache = memory  # no shared tier: purely node-local caching
+        runner = MosaicJobRunner(
+            cache=cache, outdir=args.outdir, default_backend=args.backend
+        )
+        if args.job_floor_seconds > 0:
+            # Capacity-bench pacing; the floor is disclosed in BENCH JSON.
+            runner = PacedRunner(runner, args.job_floor_seconds)
+        pool = WorkerPool(
+            workers=args.workers,
+            kind=args.executor,
+            runner=runner,
+            cache=cache,
+            metrics=metrics,
+            max_retries=args.retries,
+            default_timeout=args.timeout,
+            seed=args.seed,
+            **_scheduler_kwargs(args),
+        )
+        gateway = MosaicGateway(pool, max_pending=args.max_pending, metrics=metrics)
+        front = NodeFront(
+            gateway,
+            node_id=node_id,
+            directory=directory,
+            cluster_cache=cluster_cache,
+            leases=CacheLeaseTable(ttl=args.lease_ttl),
+            config=HttpFrontConfig(
+                host=args.host,
+                port=args.port,
+                auth_token=token,
+                max_body_bytes=args.max_body_kb * 1024,
+                max_concurrent_streams=args.max_streams,
+                retry_after=args.retry_after,
+            ),
+            metrics=metrics,
+        )
+        await front.start()
+        app = ClusterNodeApp(
+            front,
+            coordinator_host=coordinator_host,
+            coordinator_port=int(coordinator_port),
+            advertise_host=args.advertise_host,
+            token=token,
+            heartbeat_interval=args.heartbeat_interval,
+        )
+        print(
+            json.dumps(
+                {
+                    "kind": "listening",
+                    "role": "node",
+                    "node_id": node_id,
+                    "host": args.host,
+                    "port": front.port,
+                    "coordinator": args.coordinator,
+                    "auth": bool(token),
+                    "workers": args.workers,
+                }
+            ),
+            flush=True,
+        )
+        await app.start()
+
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+
+        async def cancel_in_flight() -> None:
+            for job in front.broker.jobs():
+                if job["state"] in (JobState.PENDING.value, JobState.RUNNING.value):
+                    await gateway.cancel(job["job_id"])
+
+        _install_drain_handlers(
+            loop,
+            lambda: (front.begin_drain(), stopping.set()),
+            lambda: loop.create_task(cancel_in_flight()),
+        )
+        await stopping.wait()
+        await app.stop()  # deregister first: no re-dispatch churn on drain
+        await gateway.aclose(drain=True)
+        await front.broker.drain()
+        await front.aclose()
+        pool.shutdown()
+        print(json.dumps({"kind": "drained", "node_id": node_id}), flush=True)
+        return 0
+
+    return asyncio.run(serve())
+
+
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    """The cluster coordinator front (see docs/service.md, multi-node)."""
+    import asyncio
+    import json
+
+    from repro.service import MetricsRegistry
+    from repro.service.cluster import ClusterCoordinator, CoordinatorConfig
+
+    token = args.auth_token or os.environ.get("PHOTOMOSAIC_TOKEN") or None
+
+    async def serve() -> int:
+        metrics = MetricsRegistry()
+        coordinator = ClusterCoordinator(
+            config=CoordinatorConfig(
+                host=args.host,
+                port=args.port,
+                auth_token=token,
+                heartbeat_deadline=args.heartbeat_deadline,
+                max_pending=args.max_pending,
+                retry_after=args.retry_after,
+            ),
+            metrics=metrics,
+        )
+        await coordinator.start()
+        print(
+            json.dumps(
+                {
+                    "kind": "listening",
+                    "role": "coordinator",
+                    "host": args.host,
+                    "port": coordinator.port,
+                    "auth": bool(token),
+                    "heartbeat_deadline": args.heartbeat_deadline,
+                }
+            ),
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        _install_drain_handlers(
+            loop,
+            lambda: (coordinator.begin_drain(), stopping.set()),
+            lambda: stopping.set(),
+        )
+        await stopping.wait()
+        await coordinator.aclose()
+        if args.metrics:
+            with open(args.metrics, "w", encoding="utf-8") as fh:
+                json.dump(metrics.as_dict(), fh, indent=2)
+                fh.write("\n")
+        print(json.dumps({"kind": "drained", "role": "coordinator"}), flush=True)
+        return 0
+
+    return asyncio.run(serve())
+
+
 def _library_cache(args):
     """Optional disk cache for library ingestion (``--cache-dir``)."""
     if not getattr(args, "cache_dir", None):
@@ -1141,6 +1337,138 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_scheduler_flags(serve_http)
     serve_http.set_defaults(func=_cmd_serve_http)
+
+    serve_node = sub.add_parser(
+        "serve-node",
+        help="serve one cluster worker node joined to a coordinator "
+        "(see docs/service.md, 'Multi-node deployment')",
+    )
+    serve_node.add_argument(
+        "--coordinator", required=True,
+        help="coordinator address as host:port (from serve-cluster's "
+        "'listening' line)",
+    )
+    serve_node.add_argument(
+        "--node-id", default=None,
+        help="stable node identity used for sharding and metrics "
+        "(default: node-<pid>)",
+    )
+    serve_node.add_argument(
+        "--advertise-host", default=None,
+        help="host peers should dial (default: the --host bind address)",
+    )
+    serve_node.add_argument("--host", default="127.0.0.1")
+    serve_node.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port; 0 (default) picks a free port, printed on the "
+        "first stdout line",
+    )
+    serve_node.add_argument(
+        "--auth-token", default=None,
+        help="cluster-wide bearer token (default: PHOTOMOSAIC_TOKEN; "
+        "must match the coordinator's)",
+    )
+    serve_node.add_argument(
+        "--heartbeat-interval", type=float, default=0.5,
+        help="seconds between heartbeats to the coordinator",
+    )
+    serve_node.add_argument(
+        "--lease-ttl", type=float, default=60.0,
+        help="cross-node compute-lease TTL in seconds (a lease whose "
+        "holder died is reclaimed after this long)",
+    )
+    serve_node.add_argument(
+        "--job-floor-seconds", type=float, default=0.0,
+        help="minimum wall-clock seconds per job (emulated duration for "
+        "capacity benchmarking on small hosts; 0 = off)",
+    )
+    serve_node.add_argument("--outdir", default="serve_out", help="job outputs")
+    serve_node.add_argument("--workers", type=int, default=2)
+    serve_node.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="attempt executor (thread streams per-sweep progress)",
+    )
+    serve_node.add_argument(
+        "--max-pending", type=int, default=16,
+        help="admission bound before POST /v1/jobs answers 429 (the "
+        "coordinator then spills to the next-ranked node)",
+    )
+    serve_node.add_argument(
+        "--max-streams", type=int, default=64,
+        help="concurrent event streams before the route answers 503",
+    )
+    serve_node.add_argument(
+        "--max-body-kb", type=int, default=262144,
+        help="request body limit in KiB — node default is large because "
+        "internal cache replication PUTs carry full error matrices",
+    )
+    serve_node.add_argument(
+        "--retry-after", type=float, default=1.0,
+        help="Retry-After hint (seconds) on 429/503 responses",
+    )
+    serve_node.add_argument(
+        "--retries", type=int, default=1, help="default extra attempts per job"
+    )
+    serve_node.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-attempt budget in seconds",
+    )
+    serve_node.add_argument(
+        "--cache-mb", type=int, default=256, help="in-memory cache budget (MiB)"
+    )
+    serve_node.add_argument(
+        "--cache-dir", default=None,
+        help="node-local disk cache root; required for the cluster's "
+        "consistent-hashed shared cache tier (unset = local-only cache)",
+    )
+    serve_node.add_argument(
+        "--cache-budget", type=int, default=2048,
+        help="disk cache byte budget in MiB",
+    )
+    serve_node.add_argument(
+        "--seed", type=int, default=0,
+        help="seeds the pool's backoff jitter streams",
+    )
+    serve_node.add_argument(
+        "--backend", choices=("numpy", "cupy", "auto"), default=None,
+        help="default array backend for jobs without a 'backend' field",
+    )
+    add_scheduler_flags(serve_node)
+    serve_node.set_defaults(func=_cmd_serve_node)
+
+    serve_cluster = sub.add_parser(
+        "serve-cluster",
+        help="serve the cluster coordinator (admission, sharding, "
+        "replicated event logs; see docs/service.md)",
+    )
+    serve_cluster.add_argument("--host", default="127.0.0.1")
+    serve_cluster.add_argument(
+        "--port", type=int, default=8700,
+        help="TCP port; 0 picks a free port, printed on the first "
+        "stdout line",
+    )
+    serve_cluster.add_argument(
+        "--auth-token", default=None,
+        help="cluster-wide bearer token (default: PHOTOMOSAIC_TOKEN)",
+    )
+    serve_cluster.add_argument(
+        "--heartbeat-deadline", type=float, default=3.0,
+        help="seconds without a heartbeat before a node is declared "
+        "dead and its jobs re-dispatch",
+    )
+    serve_cluster.add_argument(
+        "--max-pending", type=int, default=256,
+        help="cluster-wide admission bound (429 beyond it)",
+    )
+    serve_cluster.add_argument(
+        "--retry-after", type=float, default=1.0,
+        help="Retry-After hint (seconds) on 429/503 responses",
+    )
+    serve_cluster.add_argument(
+        "--metrics", default=None,
+        help="write a metrics JSON report here on drained exit",
+    )
+    serve_cluster.set_defaults(func=_cmd_serve_cluster)
     return parser
 
 

@@ -34,7 +34,14 @@ This subsystem turns the one-shot pipeline into a servable workload:
   ``/metrics``, bearer auth, graceful drain) behind
   ``photomosaic serve-http``;
 * :mod:`repro.service.client` — the stdlib client library for that
-  front (submit / events with reconnect-resume / cancel).
+  front (submit / events with reconnect-resume / cancel);
+* :mod:`repro.service.cluster` — the multi-node tier behind
+  ``photomosaic serve-cluster`` / ``serve-node``: a coordinator that
+  shards jobs across worker nodes with rendezvous hashing, replicates
+  their event logs, detects node failures by heartbeat deadline and
+  re-dispatches, plus a consistent-hashed cross-node cache tier.
+  Imported lazily — ``from repro.service.cluster import ...`` — so the
+  single-box service pays nothing for it.
 
 See ``docs/service.md`` for the job lifecycle, cache keying scheme and
 metrics schema.

@@ -68,6 +68,30 @@ class BackpressureError(AdmissionRejected):
         self.retry_after = retry_after
 
 
+class _JitterStream:
+    """Seedable uniform-[0, 1) stream (SplitMix64 mixer).
+
+    The client is deliberately stdlib-http-only and the library's rng
+    helpers are numpy-backed, so reconnect jitter carries its own
+    few-line generator instead of importing either.
+    """
+
+    _MASK = (1 << 64) - 1
+
+    def __init__(self, seed: int | None) -> None:
+        if seed is None:
+            seed = time.time_ns() ^ id(self)
+        self._state = seed & self._MASK
+
+    def random(self) -> float:
+        self._state = (self._state + 0x9E3779B97F4A7C15) & self._MASK
+        word = self._state
+        word = ((word ^ (word >> 30)) * 0xBF58476D1CE4E5B9) & self._MASK
+        word = ((word ^ (word >> 27)) * 0x94D049BB133111EB) & self._MASK
+        word ^= word >> 31
+        return (word >> 11) / float(1 << 53)
+
+
 class MosaicServiceClient:
     """Blocking client for one service base URL.
 
@@ -84,6 +108,7 @@ class MosaicServiceClient:
         token: str | None = None,
         timeout: float = 30.0,
         stream_timeout: float | None = None,
+        jitter_seed: int | None = None,
     ) -> None:
         split = urlsplit(base_url if "//" in base_url else f"//{base_url}")
         if split.scheme not in ("", "http"):
@@ -95,6 +120,11 @@ class MosaicServiceClient:
         self.token = token
         self.timeout = timeout
         self.stream_timeout = stream_timeout
+        # Per-client jitter stream for reconnect backoff.  Seedable so
+        # tests (and the seeded load generator) get reproducible delays;
+        # unseeded clients draw from a fresh system-entropy stream.
+        self._jitter_rng = _JitterStream(jitter_seed)
+        self._sleep = time.sleep  # test seam
 
     # -- plumbing --------------------------------------------------------
 
@@ -201,6 +231,7 @@ class MosaicServiceClient:
         reconnect: bool = True,
         max_reconnects: int = 5,
         reconnect_delay: float = 0.2,
+        reconnect_jitter: float = 0.5,
     ):
         """Iterate the job's ordered NDJSON event stream.
 
@@ -209,7 +240,17 @@ class MosaicServiceClient:
         iterator resumes from the last yielded sequence number (at most
         ``max_reconnects`` consecutive times), deduplicating any overlap
         — callers never see a repeated ``seq`` or a second terminal.
+
+        Each reconnect sleeps ``reconnect_delay`` plus a uniform random
+        fraction of it (up to ``reconnect_jitter``), drawn from the
+        client's seedable jitter stream: when a node restart drops a
+        thousand streams at once, the herd's reconnects spread over the
+        jitter window instead of landing in one synchronized burst.
         """
+        if reconnect_jitter < 0:
+            raise JobError(
+                f"reconnect_jitter must be >= 0, got {reconnect_jitter}"
+            )
         next_seq = from_seq
         drops = 0
         while True:
@@ -231,7 +272,10 @@ class MosaicServiceClient:
                 drops += 1
                 if not reconnect or drops > max_reconnects:
                     raise
-                time.sleep(reconnect_delay)
+                self._sleep(
+                    reconnect_delay
+                    * (1.0 + reconnect_jitter * self._jitter_rng.random())
+                )
 
     def _stream_once(self, job_id: str, from_seq: int):
         connection = self._connect(self.stream_timeout)

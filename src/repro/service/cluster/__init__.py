@@ -1,0 +1,55 @@
+"""Multi-node sharded service: coordinator, worker nodes, shared cache.
+
+See :mod:`repro.service.cluster.coordinator` for the control-plane
+design and docs/service.md ("Multi-node deployment") for topology,
+failure model and operational knobs.  The public pieces:
+
+* :class:`~repro.service.cluster.coordinator.ClusterCoordinator` — the
+  front clients talk to; owns admission, rendezvous job sharding,
+  membership/failure detection and replicated event logs.
+* :class:`~repro.service.cluster.node.NodeFront` +
+  :class:`~repro.service.cluster.node.ClusterNodeApp` — a single-box
+  serve-http stack extended with the internal cluster RPC routes and a
+  register/heartbeat client.
+* :class:`~repro.service.cluster.cache.ClusterCacheStore` — the
+  consistent-hashed cache tier with cross-node single-flight.
+"""
+
+from repro.service.cluster.cache import ClusterCacheStore
+from repro.service.cluster.coordinator import (
+    ClusterCoordinator,
+    ClusterJob,
+    CoordinatorConfig,
+)
+from repro.service.cluster.hashing import (
+    rendezvous_owner,
+    rendezvous_ranked,
+    rendezvous_score,
+)
+from repro.service.cluster.leases import CacheLeaseTable
+from repro.service.cluster.membership import (
+    ClusterMembership,
+    NodeInfo,
+    PeerDirectory,
+)
+from repro.service.cluster.node import ClusterNodeApp, NodeFront, PacedRunner
+from repro.service.cluster.rpc import NodeRpcClient, RpcError
+
+__all__ = [
+    "CacheLeaseTable",
+    "ClusterCacheStore",
+    "ClusterCoordinator",
+    "ClusterJob",
+    "ClusterMembership",
+    "ClusterNodeApp",
+    "CoordinatorConfig",
+    "NodeFront",
+    "NodeInfo",
+    "NodeRpcClient",
+    "PacedRunner",
+    "PeerDirectory",
+    "RpcError",
+    "rendezvous_owner",
+    "rendezvous_ranked",
+    "rendezvous_score",
+]

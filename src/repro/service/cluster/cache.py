@@ -1,0 +1,280 @@
+"""Consistent-hashed shared cache tier over per-node disk stores.
+
+Every node keeps its own :class:`~repro.service.diskcache.DiskCacheStore`
+(fast local tier, flock single-flight within the box), and the cluster
+layer adds exactly one rule on top: each cache key has one rendezvous
+*owner* node, and the owner's copy is the authoritative one.
+
+The read/fill protocol, as executed by :meth:`ClusterCacheStore.
+get_or_compute` on a node that needs key ``K``:
+
+1. **Local read.**  A verified local hit is returned immediately — once
+   an artifact has been read-through-replicated, later reads never leave
+   the box.
+2. **Owner check.**  If this node owns ``K`` (or the directory is
+   empty/unjoined), the local store's ``get_or_compute`` is the whole
+   story: flock serialises same-box racers and remote nodes fetch from
+   us over the cache RPC.
+3. **Remote owner.**  Ask the owner for the compute lease
+   (:class:`~repro.service.cluster.leases.CacheLeaseTable` semantics):
+   ``ready`` → GET the payload and replicate it locally; ``granted`` →
+   compute via the *local* single-flight path, PUT the encoded payload
+   back to the owner, release the lease; ``wait`` → re-poll after the
+   owner's ``retry_after`` hint, re-checking the local store each round
+   (a sibling thread may land the artifact first).
+
+Any RPC failure — owner died, is restarting, or the membership snapshot
+is stale — degrades to the local-only path and ticks
+``cluster_cache_owner_failures_total``.  That can duplicate a compute
+across boxes but can never produce a wrong artifact (fills are pure
+functions of the key) and never stalls a job on a dead peer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from repro.service.cluster.membership import PeerDirectory
+from repro.service.cluster.rpc import NodeRpcClient, RpcError
+from repro.service.diskcache import DiskCacheStore, decode_payload, encode_payload
+
+__all__ = ["ClusterCacheStore"]
+
+_MISS = object()
+
+
+class ClusterCacheStore:
+    """:class:`~repro.service.cache.CacheBackend` over the cluster.
+
+    Parameters
+    ----------
+    local:
+        This node's disk store (the only place values ever decode from).
+    directory:
+        The live membership snapshot used for ownership lookups; the
+        node app replaces its contents on every coordinator push.
+    token:
+        Bearer token for the internal cache routes (shared cluster-wide).
+    wait_timeout:
+        Ceiling on time spent polling a ``wait`` lease before giving up
+        and computing locally anyway — availability beats deduplication,
+        same rule as the flock path underneath.
+    """
+
+    def __init__(
+        self,
+        local: DiskCacheStore,
+        directory: PeerDirectory,
+        *,
+        token: str | None = None,
+        rpc_timeout: float = 30.0,
+        wait_timeout: float = 60.0,
+        metrics=None,
+    ) -> None:
+        self.local = local
+        self.directory = directory
+        self.token = token
+        self.rpc_timeout = rpc_timeout
+        self.wait_timeout = wait_timeout
+        self.metrics = metrics
+        self._counts_lock = threading.Lock()
+        self._counts = {
+            "remote_hits": 0,
+            "remote_misses": 0,
+            "replications_out": 0,
+            "replications_in": 0,
+            "owner_failures": 0,
+            "lease_grants": 0,
+            "lease_waits": 0,
+        }
+        self._sleep = time.sleep  # test seam: patched to advance fake clocks
+
+    #: Picklable into process workers: the local store re-opens from its
+    #: root and the directory ships as a static membership snapshot.
+    process_safe = True
+
+    def __getstate__(self) -> dict:
+        return {
+            "local": self.local,
+            "directory": self.directory,
+            "token": self.token,
+            "rpc_timeout": self.rpc_timeout,
+            "wait_timeout": self.wait_timeout,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(
+            state["local"],
+            state["directory"],
+            token=state["token"],
+            rpc_timeout=state["rpc_timeout"],
+            wait_timeout=state["wait_timeout"],
+        )
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def _tick(self, name: str, amount: int = 1) -> None:
+        with self._counts_lock:
+            self._counts[name] += amount
+        if self.metrics is not None:
+            self.metrics.counter(f"cluster_cache_{name}_total").inc(amount)
+
+    def counts(self) -> dict:
+        """Cross-node counters (shipped to the coordinator in heartbeats)."""
+        with self._counts_lock:
+            return dict(self._counts)
+
+    @property
+    def stats(self):
+        return self.local.stats
+
+    def _owner_client(self, key: str) -> NodeRpcClient | None:
+        """An RPC client for ``key``'s owner, or ``None`` when it's us."""
+        owner = self.directory.owner(key)
+        if owner is None or owner == self.directory.self_id:
+            return None
+        address = self.directory.address(owner)
+        if address is None:
+            return None
+        return NodeRpcClient(
+            address[0], address[1], token=self.token, timeout=self.rpc_timeout
+        )
+
+    # -- CacheBackend ----------------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        value = self.local.get(key, _MISS)
+        if value is not _MISS:
+            return value
+        client = self._owner_client(key)
+        if client is None:
+            return default
+        try:
+            fetched = client.cache_get(key)
+        except RpcError:
+            self._tick("owner_failures")
+            return default
+        if fetched is None:
+            self._tick("remote_misses")
+            return default
+        data, layout = fetched
+        try:
+            value = decode_payload(data, layout)
+        except Exception:
+            return default  # corrupt in flight; recompute beats propagating
+        self._tick("remote_hits")
+        self._tick("replications_in")
+        self.local.put(key, value)  # read-through replication
+        return value
+
+    def put(self, key: str, value: Any, nbytes: int | None = None) -> None:
+        self.local.put(key, value, nbytes=nbytes)
+        self._replicate_to_owner(key, value)
+
+    def contains(self, key: str) -> bool:
+        """Local residency only — advisory, like the backends beneath."""
+        return self.local.contains(key)
+
+    def get_or_compute(
+        self, key: str, compute: Callable[[], Any], nbytes: int | None = None
+    ) -> Any:
+        value = self.local.get(key, _MISS)
+        if value is not _MISS:
+            return value
+        client = self._owner_client(key)
+        if client is None:
+            # We own the key (or run standalone): plain cross-process
+            # single-flight; remote requesters will fetch from our store.
+            return self.local.get_or_compute(key, compute, nbytes=nbytes)
+        return self._remote_fill(key, compute, client, nbytes=nbytes)
+
+    def clear(self) -> None:
+        self.local.clear()
+
+    def __len__(self) -> int:
+        return len(self.local)
+
+    # -- the cross-node fill path ---------------------------------------
+
+    def _remote_fill(
+        self,
+        key: str,
+        compute: Callable[[], Any],
+        client: NodeRpcClient,
+        *,
+        nbytes: int | None,
+    ) -> Any:
+        requester = self.directory.self_id
+        deadline = time.monotonic() + self.wait_timeout
+        while True:
+            try:
+                decision = client.lease_acquire(key, requester)
+            except RpcError:
+                self._tick("owner_failures")
+                return self.local.get_or_compute(key, compute, nbytes=nbytes)
+            state = decision.get("state")
+            if state == "ready":
+                value = self._fetch_from_owner(key, client)
+                if value is not _MISS:
+                    return value
+                # The owner's copy vanished between the lease check and
+                # our GET (eviction, quarantine): compute it ourselves.
+                state = "granted"
+            if state == "granted":
+                self._tick("lease_grants")
+                try:
+                    value = self.local.get_or_compute(key, compute, nbytes=nbytes)
+                    self._replicate_to_owner(key, value)
+                    return value
+                finally:
+                    try:
+                        client.lease_release(key, requester)
+                    except RpcError:
+                        pass  # lease TTL reclaims it
+            if state == "wait":
+                self._tick("lease_waits")
+                if time.monotonic() >= deadline:
+                    # The grantee is slow or its node died with the owner's
+                    # lease outliving it — stop waiting, duplicate the work.
+                    return self.local.get_or_compute(key, compute, nbytes=nbytes)
+                self._sleep(float(decision.get("retry_after", 0.05)))
+                value = self.local.get(key, _MISS)
+                if value is not _MISS:
+                    return value
+                continue
+            if state not in ("ready", "granted", "wait"):
+                self._tick("owner_failures")
+                return self.local.get_or_compute(key, compute, nbytes=nbytes)
+
+    def _fetch_from_owner(self, key: str, client: NodeRpcClient) -> Any:
+        try:
+            fetched = client.cache_get(key)
+        except RpcError:
+            self._tick("owner_failures")
+            return _MISS
+        if fetched is None:
+            self._tick("remote_misses")
+            return _MISS
+        data, layout = fetched
+        try:
+            value = decode_payload(data, layout)
+        except Exception:
+            return _MISS
+        self._tick("remote_hits")
+        self._tick("replications_in")
+        self.local.put(key, value)
+        return value
+
+    def _replicate_to_owner(self, key: str, value: Any) -> None:
+        """Best-effort push of a fresh artifact to its owner node."""
+        client = self._owner_client(key)
+        if client is None:
+            return
+        try:
+            data, layout = encode_payload(value)
+            client.cache_put(key, data, layout)
+            self._tick("replications_out")
+        except RpcError:
+            self._tick("owner_failures")

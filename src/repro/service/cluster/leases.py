@@ -1,0 +1,95 @@
+"""Cross-node single-flight: the owner node's compute-lease table.
+
+Within one box, :class:`repro.service.locks.FileLock` already serialises
+cache fills — flock dies with its holder, so a SIGKILLed worker can
+never wedge the cache.  Across boxes there is no shared kernel to lean
+on, so the cluster adds one level above it: the rendezvous *owner* of a
+cache key arbitrates who computes it.  A non-owner that misses locally
+asks the owner for a lease; the owner answers with one of three states:
+
+``ready``
+    the artifact already exists on the owner — fetch it, skip compute.
+``granted``
+    nobody is computing it — the requester computes, PUTs the result
+    back to the owner, and releases the lease.
+``wait``
+    another node holds the lease — poll again after ``retry_after``.
+
+Leases are soft state with a TTL (:attr:`CacheLeaseTable.ttl`): if the
+grantee is SIGKILLed mid-compute, the lease simply expires and the next
+acquirer gets a fresh grant — the crash-recovery story mirrors flock's
+"lock dies with the process", just on a timer instead of a kernel hook.
+Because the TTL can double-grant when a slow-but-alive grantee overruns
+it, correctness never depends on exclusivity: cache fills are
+content-addressed and idempotent, so the worst case is one redundant
+compute, never a wrong artifact.  The table is in-memory on purpose —
+losing the owner loses its leases, and requesters fall back to local
+compute (see ``ClusterCacheStore``), which is again only redundant work.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CacheLeaseTable"]
+
+
+class CacheLeaseTable:
+    """In-memory lease table an owner node runs for its cache shard."""
+
+    def __init__(self, *, ttl: float = 60.0, retry_after: float = 0.05) -> None:
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be positive, got {ttl}")
+        self.ttl = ttl
+        self.retry_after = retry_after
+        self._leases: dict[str, tuple[str, float]] = {}  # key -> (holder, granted_at)
+        self._lock = threading.Lock()
+        self.granted = 0
+        self.reclaimed = 0
+
+    def acquire(self, key: str, requester: str, *, ready: bool) -> dict:
+        """Arbitrate one acquire; returns the wire-format decision dict."""
+        if ready:
+            # The artifact landed (possibly while the requester was asking);
+            # any lease left behind is moot.
+            with self._lock:
+                self._leases.pop(key, None)
+            return {"state": "ready"}
+        now = time.monotonic()
+        with self._lock:
+            held = self._leases.get(key)
+            if held is not None:
+                holder, granted_at = held
+                if holder == requester or now - granted_at > self.ttl:
+                    # Re-grant to the same holder (idempotent retry after a
+                    # dropped response) or reclaim an expired lease whose
+                    # holder presumably died mid-compute.
+                    if holder != requester:
+                        self.reclaimed += 1
+                    self._leases[key] = (requester, now)
+                    self.granted += 1
+                    return {"state": "granted"}
+                return {"state": "wait", "retry_after": self.retry_after}
+            self._leases[key] = (requester, now)
+            self.granted += 1
+            return {"state": "granted"}
+
+    def release(self, key: str, requester: str) -> bool:
+        """Drop the lease if ``requester`` still holds it."""
+        with self._lock:
+            held = self._leases.get(key)
+            if held is not None and held[0] == requester:
+                del self._leases[key]
+                return True
+            return False
+
+    def active(self) -> int:
+        """Unexpired leases outstanding (for metrics/debugging)."""
+        now = time.monotonic()
+        with self._lock:
+            return sum(
+                1
+                for _, granted_at in self._leases.values()
+                if now - granted_at <= self.ttl
+            )

@@ -1,0 +1,197 @@
+"""Seeded mixed-traffic load generator for the service (any front).
+
+Drives a coordinator (or a single node — the protocol is identical)
+with ``clients`` concurrent threads, each running its own seeded
+generator (via :func:`repro.utils.rng.make_rng`): the job mix (image
+pairs, sizes, sparse vs dense Step 2), the submit pacing and the cancel
+decisions are all derived from ``seed``, so a load run is reproducible
+end to end — the same seed against the same topology produces the same
+request sequence.
+
+Each client loops submit → stream-to-terminal, cancelling a seeded
+fraction of its jobs mid-stream (after the first few events) to exercise
+the cancellation path under load.  Stream lag is sampled per event as
+``recv_wallclock - payload["ts"]`` — the coordinator stamps ``ts`` at
+replication time, so the samples measure the replicate→serve fabric
+delay, not job compute.  Events without a stamp (a bare single-node
+front) simply contribute no lag samples.
+
+Used by ``scripts/loadgen.py`` (CLI) and
+``benchmarks/bench_cluster_capacity.py`` (capacity curves).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.service.client import MosaicServiceClient
+from repro.service.metrics import Histogram
+from repro.utils.rng import make_rng
+
+__all__ = ["LoadConfig", "LoadReport", "run_load"]
+
+_IMAGES = (
+    "portrait",
+    "sailboat",
+    "airplane",
+    "peppers",
+    "barbara",
+    "baboon",
+    "tiffany",
+)
+
+#: Stream-lag histogram buckets: sub-ms fabric up to multi-second stalls.
+LAG_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+@dataclass
+class LoadConfig:
+    """One load run: where to aim, how many clients, what mix."""
+
+    base_url: str
+    token: str | None = None
+    clients: int = 4
+    jobs_per_client: int = 4
+    cancel_fraction: float = 0.15
+    sparse_fraction: float = 0.5
+    seed: int = 0
+    size: int = 32
+    tile_size: int = 8
+    submit_timeout: float = 60.0
+    stream_timeout: float | None = 120.0
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one load run (JSON-ready via ``as_dict``)."""
+
+    submitted: int = 0
+    completed: int = 0
+    cancelled: int = 0
+    failed: int = 0
+    errors: int = 0
+    events: int = 0
+    duration_s: float = 0.0
+    lag: Histogram = field(
+        default_factory=lambda: Histogram("stream_lag_seconds", buckets=LAG_BUCKETS)
+    )
+
+    @property
+    def jobs_per_second(self) -> float:
+        finished = self.completed + self.cancelled
+        return finished / self.duration_s if self.duration_s > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        has_lag = self.lag.count > 0
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "cancelled": self.cancelled,
+            "failed": self.failed,
+            "errors": self.errors,
+            "events": self.events,
+            "duration_s": self.duration_s,
+            "jobs_per_second": self.jobs_per_second,
+            "stream_lag_p50_s": self.lag.quantile(0.5) if has_lag else None,
+            "stream_lag_p99_s": self.lag.quantile(0.99) if has_lag else None,
+            "lag_samples": self.lag.count,
+        }
+
+
+def _job_spec(rng: np.random.Generator, config: LoadConfig, name: str) -> dict:
+    """One seeded mosaic job spec drawn from the mix."""
+    pair = rng.choice(len(_IMAGES), size=2, replace=False)
+    spec = {
+        "name": name,
+        "input": _IMAGES[int(pair[0])],
+        "target": _IMAGES[int(pair[1])],
+        "size": config.size,
+        "tile_size": config.tile_size,
+        "seed": int(rng.integers(1 << 16)),
+    }
+    if float(rng.random()) < config.sparse_fraction:
+        spec["shortlist_top_k"] = 4  # sparse Step 2 (sketch-shortlisted)
+    return spec
+
+
+def _client_worker(
+    index: int, config: LoadConfig, report: LoadReport, lock: threading.Lock
+) -> None:
+    rng = make_rng((config.seed << 8) ^ index)
+    client = MosaicServiceClient(
+        config.base_url,
+        token=config.token,
+        stream_timeout=config.stream_timeout,
+        jitter_seed=(config.seed << 8) ^ index,
+    )
+    for jobno in range(config.jobs_per_client):
+        spec = _job_spec(rng, config, name=f"load-c{index}-j{jobno}")
+        cancel_after = (
+            int(rng.integers(1, 4))
+            if float(rng.random()) < config.cancel_fraction
+            else None
+        )
+        try:
+            job = client.submit_when_admitted(spec, max_wait=config.submit_timeout)
+        except Exception:  # noqa: BLE001 - admission errors are tallied, not fatal
+            with lock:
+                report.errors += 1
+            continue
+        with lock:
+            report.submitted += 1
+        outcome = "failed"
+        try:
+            seen = 0
+            for event in client.events(job["job_id"]):
+                seen = seen + 1
+                now = time.time()
+                stamp = (event.get("payload") or {}).get("ts")
+                with lock:
+                    report.events += 1
+                    if isinstance(stamp, (int, float)):
+                        report.lag.observe(max(0.0, now - stamp))
+                if cancel_after is not None and seen == cancel_after:
+                    client.cancel(job["job_id"])
+                if event.get("terminal"):
+                    state = (event.get("payload") or {}).get("state")
+                    if state == "DONE":
+                        outcome = "completed"
+                    elif state == "CANCELLED":
+                        outcome = "cancelled"
+        except Exception:  # noqa: BLE001 - a broken stream is a tallied failure
+            outcome = "failed"
+        with lock:
+            if outcome == "completed":
+                report.completed += 1
+            elif outcome == "cancelled":
+                report.cancelled += 1
+            else:
+                report.failed += 1
+
+
+def run_load(config: LoadConfig) -> LoadReport:
+    """Run the configured load to completion and return the report."""
+    report = LoadReport()
+    lock = threading.Lock()
+    threads = [
+        threading.Thread(
+            target=_client_worker,
+            args=(index, config, report, lock),
+            name=f"loadgen-{index}",
+            daemon=True,
+        )
+        for index in range(config.clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.duration_s = time.perf_counter() - started
+    return report

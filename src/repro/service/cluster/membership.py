@@ -1,0 +1,264 @@
+"""Cluster membership: who is in the cluster, and who owns what.
+
+Two views of the same node list live here:
+
+* :class:`ClusterMembership` — the coordinator's authoritative registry.
+  Worker nodes register themselves and then heartbeat; the coordinator's
+  failure detector calls :meth:`sweep` on an interval and any node whose
+  last heartbeat is older than the deadline is marked ``down`` (its jobs
+  get re-dispatched, its shard of the cache keyspace moves to the
+  survivors).  A node that heartbeats again after being marked down
+  simply re-registers — membership is crash-recovery shaped, not
+  consensus shaped (one coordinator owns the truth).
+* :class:`PeerDirectory` — each node's (and the cluster cache's) local
+  snapshot of that truth, pushed by the coordinator on every change.
+  It answers "which node owns this cache key" via rendezvous hashing
+  and is picklable (locks dropped) so a process worker inherits a
+  static but functional snapshot.
+
+Heartbeat bookkeeping uses ``time.monotonic`` — wall-clock jumps must
+not kill a healthy cluster.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.service.cluster.hashing import rendezvous_owner, rendezvous_ranked
+from repro.service.metrics import MetricsRegistry
+
+__all__ = ["NodeInfo", "PeerDirectory", "ClusterMembership"]
+
+
+@dataclass
+class NodeInfo:
+    """One worker node as the coordinator sees it."""
+
+    node_id: str
+    host: str
+    port: int
+    state: str = "up"  # "up" | "down"
+    registered_at: float = field(default_factory=time.monotonic)
+    last_heartbeat: float = field(default_factory=time.monotonic)
+    heartbeats: int = 0
+    #: Latest stats block the node attached to its heartbeat (pending
+    #: jobs, cache counters, ...) — the coordinator aggregates these
+    #: into its cluster-level gauges.
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def summary(self) -> dict:
+        return {
+            "node_id": self.node_id,
+            "host": self.host,
+            "port": self.port,
+            "state": self.state,
+            "heartbeats": self.heartbeats,
+            "age_s": time.monotonic() - self.registered_at,
+            "stats": dict(self.stats),
+        }
+
+
+class PeerDirectory:
+    """A point-in-time node list that answers ownership queries.
+
+    The cluster cache holds one of these; the node's membership route
+    replaces its contents whenever the coordinator pushes an update.
+    ``version`` increases with every accepted push so stale updates
+    (reordered HTTP requests) can be ignored.
+    """
+
+    def __init__(self, self_id: str) -> None:
+        self.self_id = self_id
+        self.version = 0
+        self._nodes: dict[str, tuple[str, int]] = {}
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {
+                "self_id": self.self_id,
+                "version": self.version,
+                "nodes": dict(self._nodes),
+            }
+
+    def __setstate__(self, state: dict) -> None:
+        self.self_id = state["self_id"]
+        self.version = state["version"]
+        self._nodes = dict(state["nodes"])
+        self._lock = threading.Lock()
+
+    def set_nodes(
+        self, nodes: dict[str, tuple[str, int]], version: int | None = None
+    ) -> bool:
+        """Replace the membership snapshot; returns ``False`` for stale pushes."""
+        with self._lock:
+            if version is not None:
+                if version <= self.version:
+                    return False
+                self.version = version
+            else:
+                self.version += 1
+            self._nodes = {
+                node_id: (host, int(port)) for node_id, (host, port) in nodes.items()
+            }
+            return True
+
+    def nodes(self) -> dict[str, tuple[str, int]]:
+        with self._lock:
+            return dict(self._nodes)
+
+    def address(self, node_id: str) -> tuple[str, int] | None:
+        with self._lock:
+            return self._nodes.get(node_id)
+
+    def owner(self, key: str) -> str | None:
+        """The node owning ``key``; the local node when alone/unjoined."""
+        with self._lock:
+            members = list(self._nodes) or [self.self_id]
+        return rendezvous_owner(key, members)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._nodes)
+
+
+class ClusterMembership:
+    """The coordinator's node registry with deadline failure detection.
+
+    Thread-safe (heartbeats arrive on the event loop, but tests poke it
+    from anywhere).  Every mutation bumps ``version`` — the number nodes
+    use to discard out-of-order membership pushes.
+    """
+
+    def __init__(
+        self,
+        *,
+        heartbeat_deadline: float = 3.0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if heartbeat_deadline <= 0:
+            raise ValueError(
+                f"heartbeat_deadline must be positive, got {heartbeat_deadline}"
+            )
+        self.heartbeat_deadline = heartbeat_deadline
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.version = 0
+        self._nodes: dict[str, NodeInfo] = {}
+        self._lock = threading.Lock()
+
+    # -- mutation --------------------------------------------------------
+
+    def register(self, node_id: str, host: str, port: int) -> NodeInfo:
+        """Add (or resurrect) a node; returns its live record."""
+        with self._lock:
+            info = NodeInfo(node_id=node_id, host=host, port=int(port))
+            self._nodes[node_id] = info
+            self.version += 1
+        self.metrics.counter(
+            "cluster_node_registrations_total", "nodes registered (incl. rejoins)"
+        ).inc()
+        self._export_up()
+        return info
+
+    def heartbeat(self, node_id: str, stats: dict | None = None) -> bool:
+        """Record one heartbeat; ``False`` when the node is unknown.
+
+        A heartbeat from a node previously marked ``down`` does *not*
+        resurrect it — the node must re-register, because the coordinator
+        already re-dispatched its jobs and moved its shards.  (The node
+        client treats the ``False``/404 as a cue to register again.)
+        """
+        with self._lock:
+            info = self._nodes.get(node_id)
+            if info is None or info.state != "up":
+                return False
+            info.last_heartbeat = time.monotonic()
+            info.heartbeats += 1
+            if stats is not None:
+                info.stats = dict(stats)
+        return True
+
+    def sweep(self, now: float | None = None) -> list[NodeInfo]:
+        """Mark overdue nodes ``down``; returns the newly dead ones."""
+        now = time.monotonic() if now is None else now
+        dead: list[NodeInfo] = []
+        with self._lock:
+            for info in self._nodes.values():
+                if (
+                    info.state == "up"
+                    and now - info.last_heartbeat > self.heartbeat_deadline
+                ):
+                    info.state = "down"
+                    dead.append(info)
+            if dead:
+                self.version += 1
+        if dead:
+            self.metrics.counter(
+                "cluster_node_failures_total", "nodes declared dead by the detector"
+            ).inc(len(dead))
+            self._export_up()
+        return dead
+
+    def remove(self, node_id: str) -> None:
+        with self._lock:
+            if self._nodes.pop(node_id, None) is not None:
+                self.version += 1
+        self._export_up()
+
+    # -- queries ---------------------------------------------------------
+
+    def get(self, node_id: str) -> NodeInfo | None:
+        with self._lock:
+            return self._nodes.get(node_id)
+
+    def is_up(self, node_id: str) -> bool:
+        with self._lock:
+            info = self._nodes.get(node_id)
+            return info is not None and info.state == "up"
+
+    def live(self) -> list[NodeInfo]:
+        with self._lock:
+            return [info for info in self._nodes.values() if info.state == "up"]
+
+    def all(self) -> list[NodeInfo]:
+        with self._lock:
+            return list(self._nodes.values())
+
+    def live_ids(self) -> list[str]:
+        return [info.node_id for info in self.live()]
+
+    def ranked(self, key: str, exclude: set[str] | None = None) -> list[NodeInfo]:
+        """Live nodes in rendezvous order for ``key`` (dispatch failover)."""
+        live = {info.node_id: info for info in self.live()}
+        order = rendezvous_ranked(key, live)
+        exclude = exclude or set()
+        return [live[node_id] for node_id in order if node_id not in exclude]
+
+    def snapshot(self) -> dict:
+        """The membership push payload nodes consume (live nodes only)."""
+        with self._lock:
+            nodes = {
+                info.node_id: {"host": info.host, "port": info.port}
+                for info in self._nodes.values()
+                if info.state == "up"
+            }
+            return {"version": self.version, "nodes": nodes}
+
+    def _export_up(self) -> None:
+        """Refresh the per-node ``node_up_*`` gauges and the live count."""
+        with self._lock:
+            infos = list(self._nodes.values())
+        up = 0
+        for info in infos:
+            value = 1.0 if info.state == "up" else 0.0
+            up += int(value)
+            self.metrics.gauge(
+                f"node_up_{info.node_id}", "1 while the node passes heartbeats"
+            ).set(value)
+        self.metrics.gauge("cluster_nodes_up", "worker nodes currently live").set(up)

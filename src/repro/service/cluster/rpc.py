@@ -1,0 +1,324 @@
+"""Thin node RPC on the dependency-free HTTP stack.
+
+Two transports over the same wire format, because the two sides of the
+cluster live in different worlds:
+
+* the **coordinator** is an asyncio process — :func:`request_json` and
+  :func:`stream_ndjson` speak HTTP/1.1 over ``asyncio.open_connection``
+  (status line + headers + ``Content-Length`` body, or chunked NDJSON
+  for event streams), so dispatching, cancelling and pumping node event
+  logs never block the loop;
+* the **cluster cache** runs on worker *threads* mid-pipeline —
+  :class:`NodeRpcClient` is a blocking :mod:`http.client` twin for the
+  cache/lease routes (binary npz payloads with the layout in an
+  ``X-Payload-Layout`` header).
+
+Every call is one connection (``Connection: close``): internal RPC is
+low-rate (leases, dispatches, heartbeats) and per-call connections mean
+a dead node can never poison a pooled socket.  All errors — refused,
+reset, timeout, non-2xx — normalise to :class:`RpcError`, which callers
+treat as "peer unavailable" and degrade from (compute locally, retry on
+the next-ranked node, re-dispatch).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from http.client import HTTPConnection, HTTPException
+from urllib.parse import quote
+
+__all__ = [
+    "RpcError",
+    "NodeRpcClient",
+    "request_json",
+    "stream_ndjson",
+]
+
+
+class RpcError(Exception):
+    """An internal RPC failed (connection-level or non-2xx status)."""
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _auth_headers(token: str | None) -> dict[str, str]:
+    return {"Authorization": f"Bearer {token}"} if token else {}
+
+
+# -- blocking transport (worker threads: cache + lease RPC) ---------------
+
+
+class NodeRpcClient:
+    """Blocking internal-RPC client for one peer node address."""
+
+    def __init__(
+        self, host: str, port: int, *, token: str | None = None, timeout: float = 10.0
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.token = token
+        self.timeout = timeout
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ):
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            sent = dict(_auth_headers(self.token))
+            sent.update(headers or {})
+            try:
+                connection.request(method, path, body=body, headers=sent)
+                response = connection.getresponse()
+                data = response.read()
+            except (OSError, HTTPException) as exc:
+                raise RpcError(
+                    f"{method} {self.host}:{self.port}{path}: {exc}"
+                ) from exc
+            return response.status, dict(response.getheaders()), data
+        finally:
+            connection.close()
+
+    # -- cache payload transfer ---------------------------------------
+
+    def cache_get(self, key: str) -> tuple[bytes, dict] | None:
+        """Fetch one cache payload from the owner; ``None`` on miss."""
+        status, headers, data = self._request(
+            "GET", f"/internal/v1/cache/entry?key={quote(key, safe='')}"
+        )
+        if status == 404:
+            return None
+        if status != 200:
+            raise RpcError(f"cache get {key!r} -> HTTP {status}", status=status)
+        try:
+            layout = json.loads(headers.get("X-Payload-Layout", ""))
+        except json.JSONDecodeError as exc:
+            raise RpcError(f"cache get {key!r}: bad layout header") from exc
+        return data, layout
+
+    def cache_put(self, key: str, data: bytes, layout: dict) -> None:
+        """Replicate one encoded payload to the owner node."""
+        status, _, _ = self._request(
+            "PUT",
+            f"/internal/v1/cache/entry?key={quote(key, safe='')}",
+            body=data,
+            headers={
+                "Content-Type": "application/octet-stream",
+                "X-Payload-Layout": json.dumps(layout),
+            },
+        )
+        if status not in (200, 204):
+            raise RpcError(f"cache put {key!r} -> HTTP {status}", status=status)
+
+    # -- cross-node single-flight leases -------------------------------
+
+    def lease_acquire(self, key: str, requester: str) -> dict:
+        """Ask the owner for the compute lease on ``key``.
+
+        Returns the owner's decision: ``{"state": "ready" | "granted" |
+        "wait", "retry_after": seconds}``.
+        """
+        body = json.dumps({"key": key, "requester": requester}).encode("utf-8")
+        status, _, data = self._request(
+            "POST",
+            "/internal/v1/cache/lease",
+            body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        if status != 200:
+            raise RpcError(f"lease acquire {key!r} -> HTTP {status}", status=status)
+        try:
+            return json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RpcError(f"lease acquire {key!r}: bad response body") from exc
+
+    def lease_release(self, key: str, requester: str) -> None:
+        status, _, _ = self._request(
+            "DELETE",
+            "/internal/v1/cache/lease"
+            f"?key={quote(key, safe='')}&requester={quote(requester, safe='')}",
+        )
+        if status not in (200, 204):
+            raise RpcError(f"lease release {key!r} -> HTTP {status}", status=status)
+
+
+# -- async transport (coordinator loop: dispatch + event pumps) -----------
+
+
+async def request_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: dict | None = None,
+    *,
+    token: str | None = None,
+    timeout: float = 10.0,
+) -> tuple[int, dict]:
+    """One unary JSON request over a fresh connection; ``(status, body)``."""
+    body = b""
+    if payload is not None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+    headers = {
+        "Host": f"{host}:{port}",
+        "Connection": "close",
+        "Accept": "application/json",
+        **_auth_headers(token),
+    }
+    if body or method in ("POST", "PUT", "PATCH"):
+        headers["Content-Type"] = "application/json"
+        headers["Content-Length"] = str(len(body))
+    request = (
+        f"{method} {path} HTTP/1.1\r\n"
+        + "".join(f"{name}: {value}\r\n" for name, value in headers.items())
+        + "\r\n"
+    ).encode("latin-1") + body
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=timeout
+        )
+    except (OSError, asyncio.TimeoutError) as exc:
+        raise RpcError(f"{method} {host}:{port}{path}: {exc}") from exc
+    try:
+        writer.write(request)
+        await writer.drain()
+        status, response_headers = await asyncio.wait_for(
+            _read_response_head(reader), timeout=timeout
+        )
+        data = await asyncio.wait_for(
+            _read_body(reader, response_headers), timeout=timeout
+        )
+    except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError) as exc:
+        raise RpcError(f"{method} {host}:{port}{path}: {exc}") from exc
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (OSError, ConnectionError):
+            pass
+    if not data:
+        return status, {}
+    try:
+        decoded = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return status, {}
+    return status, decoded if isinstance(decoded, dict) else {}
+
+
+async def stream_ndjson(
+    host: str,
+    port: int,
+    path: str,
+    *,
+    token: str | None = None,
+    connect_timeout: float = 10.0,
+):
+    """Async-iterate the NDJSON event stream at ``path``.
+
+    Decodes chunked transfer framing and yields one dict per event line.
+    Connection drops raise :class:`RpcError` — the caller (the
+    coordinator's replication pump) resumes with ``?from_seq=N`` or
+    re-dispatches, depending on whether the node is still alive.  Reads
+    between events are unbounded by design: a healthy stream can idle
+    for as long as a job computes.
+    """
+    headers = {
+        "Host": f"{host}:{port}",
+        "Connection": "close",
+        "Accept": "application/x-ndjson",
+        **_auth_headers(token),
+    }
+    request = (
+        f"GET {path} HTTP/1.1\r\n"
+        + "".join(f"{name}: {value}\r\n" for name, value in headers.items())
+        + "\r\n"
+    ).encode("latin-1")
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=connect_timeout
+        )
+    except (OSError, asyncio.TimeoutError) as exc:
+        raise RpcError(f"GET {host}:{port}{path}: {exc}") from exc
+    try:
+        writer.write(request)
+        await writer.drain()
+        status, response_headers = await asyncio.wait_for(
+            _read_response_head(reader), timeout=connect_timeout
+        )
+        if status != 200:
+            body = await _read_body(reader, response_headers)
+            message = body.decode("utf-8", "replace").strip() or "no body"
+            raise RpcError(
+                f"GET {host}:{port}{path} -> HTTP {status}: {message}",
+                status=status,
+            )
+        if "chunked" not in response_headers.get("transfer-encoding", "").lower():
+            raise RpcError(f"GET {host}:{port}{path}: expected a chunked stream")
+        buffer = b""
+        async for chunk in _iter_chunks(reader):
+            buffer += chunk
+            while b"\n" in buffer:
+                line, _, buffer = buffer.partition(b"\n")
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+    except (OSError, asyncio.IncompleteReadError, ValueError) as exc:
+        raise RpcError(f"GET {host}:{port}{path}: stream broke: {exc}") from exc
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (OSError, ConnectionError):
+            pass
+
+
+async def _read_response_head(reader) -> tuple[int, dict[str, str]]:
+    status_line = await reader.readline()
+    if not status_line:
+        raise asyncio.IncompleteReadError(b"", None)
+    parts = status_line.decode("latin-1").split(None, 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise RpcError(f"malformed status line {status_line!r}")
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    return int(parts[1]), headers
+
+
+async def _read_body(reader, headers: dict[str, str]) -> bytes:
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        data = b""
+        async for chunk in _iter_chunks(reader):
+            data += chunk
+        return data
+    length = headers.get("content-length")
+    if length is not None:
+        return await reader.readexactly(int(length))
+    return await reader.read()  # Connection: close framing
+
+
+async def _iter_chunks(reader):
+    """Decode chunked transfer encoding into raw chunk payloads."""
+    while True:
+        size_line = await reader.readline()
+        if not size_line:
+            raise asyncio.IncompleteReadError(b"", None)
+        size = int(size_line.split(b";")[0].strip() or b"0", 16)
+        if size == 0:
+            await reader.readline()  # trailing CRLF after the zero chunk
+            return
+        chunk = await reader.readexactly(size)
+        await reader.readexactly(2)  # chunk-terminating CRLF
+        yield chunk

@@ -302,6 +302,15 @@ class DiskCacheStore:
             timeout=self.lock_timeout,
         )
 
+    def lock_path_for(self, key: str) -> str:
+        """Path of ``key``'s single-flight compute lock file.
+
+        Exposed for operational introspection (is anything computing
+        this key?) and for crash-recovery tests that need to hold the
+        lock from another process.
+        """
+        return os.path.join(self.root, "locks", f"key-{self._digest(key)}.lock")
+
     def _key_lock(self, digest: str) -> FileLock:
         return FileLock(
             os.path.join(self.root, "locks", f"key-{digest}.lock"),

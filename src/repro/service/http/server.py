@@ -64,7 +64,39 @@ from repro.service.http.protocol import (
 from repro.service.jobs import JOB_KINDS, JobSpec
 from repro.service.metrics import MetricsRegistry
 
-__all__ = ["HttpFront", "HttpFrontConfig", "REQUEST_LATENCY_BUCKETS"]
+__all__ = [
+    "HttpFront",
+    "HttpFrontConfig",
+    "REQUEST_LATENCY_BUCKETS",
+    "spec_from_payload",
+]
+
+
+def spec_from_payload(payload: dict) -> JobSpec:
+    """Validate a JSON job-submission body into a :class:`JobSpec`.
+
+    Shared by every front that accepts submissions (the single-box HTTP
+    front and the cluster coordinator), so both reject malformed specs
+    with identical 400 taxonomy codes.
+    """
+    unknown = set(payload) - JobSpec.field_names()
+    if unknown:
+        raise HttpError(
+            400,
+            f"unknown job spec fields: {', '.join(sorted(unknown))}",
+            code="unknown_field",
+        )
+    kind = payload.get("kind", "mosaic")
+    if kind not in JOB_KINDS:
+        raise HttpError(
+            400,
+            f"unknown job kind {kind!r} (use one of {JOB_KINDS})",
+            code="unknown_kind",
+        )
+    try:
+        return JobSpec(**payload)
+    except (TypeError, JobError) as exc:
+        raise HttpError(400, f"invalid job spec: {exc}", code="invalid_spec") from None
 
 #: Request-latency buckets: sub-millisecond routing up to long streams.
 REQUEST_LATENCY_BUCKETS: tuple[float, ...] = (
@@ -367,27 +399,7 @@ class HttpFront:
         return 200
 
     async def _post_job(self, request: HttpRequest, writer) -> int:
-        payload = request.json()
-        unknown = set(payload) - JobSpec.field_names()
-        if unknown:
-            raise HttpError(
-                400,
-                f"unknown job spec fields: {', '.join(sorted(unknown))}",
-                code="unknown_field",
-            )
-        kind = payload.get("kind", "mosaic")
-        if kind not in JOB_KINDS:
-            raise HttpError(
-                400,
-                f"unknown job kind {kind!r} (use one of {JOB_KINDS})",
-                code="unknown_kind",
-            )
-        try:
-            spec = JobSpec(**payload)
-        except (TypeError, JobError) as exc:
-            raise HttpError(
-                400, f"invalid job spec: {exc}", code="invalid_spec"
-            ) from None
+        spec = spec_from_payload(request.json())
         try:
             job_id = await self.broker.submit(spec)
         except AdmissionRejected as exc:

@@ -289,9 +289,15 @@ class JobRecord:
             # (supervisor vs. a queue-side cancel) must deliver their
             # events in commit order, or a stream could see a terminal
             # state followed by RUNNING.
-            self.notify(
-                "state", {"state": new_state.value, "attempts": self.attempts}
-            )
+            payload = {"state": new_state.value, "attempts": self.attempts}
+            if new_state is JobState.DONE:
+                # Ship the bit-identity witness in the terminal event, so
+                # any front (including a coordinator replicating another
+                # node's log) can prove which artifact this run produced.
+                digest = self.result_digest()
+                if digest is not None:
+                    payload["result_digest"] = digest
+            self.notify("state", payload)
 
     @property
     def queue_wait(self) -> float | None:
@@ -306,6 +312,33 @@ class JobRecord:
         if self.finished_at is None:
             return None
         return self.finished_at - self.submitted_at
+
+    def result_digest(self) -> str | None:
+        """SHA-256 over the result's image and permutation bytes.
+
+        The digest is the cross-node bit-identity witness: two runs of
+        the same spec on different machines must produce the same value.
+        Memoized — the result is immutable once the job is terminal.
+
+        ``None`` when there is no result or it has no image (custom
+        runner payloads).
+        """
+        cached = getattr(self, "_result_digest", None)
+        if cached is not None:
+            return cached
+        result = self.result
+        image = getattr(result, "image", None)
+        if image is None or not hasattr(image, "tobytes"):
+            return None
+        hasher = hashlib.sha256()
+        hasher.update(repr(getattr(image, "shape", None)).encode())
+        hasher.update(image.tobytes())
+        permutation = getattr(result, "permutation", None)
+        if permutation is not None and hasattr(permutation, "tobytes"):
+            hasher.update(permutation.tobytes())
+        digest = hasher.hexdigest()
+        self._result_digest = digest
+        return digest
 
     def summary(self) -> dict:
         """JSON-ready snapshot for the metrics report."""
@@ -326,6 +359,9 @@ class JobRecord:
             out["total_error"] = int(result.total_error)
             out["sweeps"] = result.sweeps
             out["timings"] = result.timings.as_dict()
+            digest = self.result_digest()
+            if digest is not None:
+                out["result_digest"] = digest
             meta = result.meta if isinstance(result.meta, dict) else {}
             if isinstance(meta.get("cache"), dict):
                 # Per-artifact hit/miss outcomes; recorded in the worker

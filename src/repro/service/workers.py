@@ -236,8 +236,9 @@ class WorkerPool:
         same-fingerprint jobs then share one batched Step-2 launch,
         with the window bounding the added latency and ``batch_max``
         the jobs per launch.  Thread pools only — the live coordinator
-        cannot cross a process boundary, so process pools keep solo
-        launches.
+        cannot cross a process boundary, so ``batch_window > 0`` with
+        ``kind="process"`` raises :class:`~repro.exceptions.JobError`
+        instead of silently running solo launches.
     """
 
     def __init__(
@@ -266,6 +267,17 @@ class WorkerPool:
             raise JobError(f"max_retries must be >= 0, got {max_retries}")
         if batch_window < 0:
             raise JobError(f"batch_window must be >= 0, got {batch_window}")
+        if batch_window > 0 and kind == "process":
+            # The live coordinator (locks + condition variables) cannot
+            # be pickled into process workers; silently dropping it used
+            # to leave users paying the batch-window latency for solo
+            # launches.  Fail loudly instead.
+            raise JobError(
+                "batch_window requires a thread executor: the Step-2 batch "
+                "coordinator cannot cross a process boundary, so "
+                "kind='process' pools always run solo Step-2 launches "
+                "(drop --batch-window or switch to --executor thread)"
+            )
         self.workers = workers
         self.kind = kind
         self.cache = cache

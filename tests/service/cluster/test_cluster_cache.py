@@ -1,0 +1,217 @@
+"""Consistent-hashed cache tier: remote hits, replication, single-flight.
+
+Runs two real worker nodes in one asyncio loop (``MiniCluster`` with
+disk-backed cluster caches) and drives each node's
+:class:`ClusterCacheStore` directly — blocking calls run off-loop, the
+cache RPC travels over the nodes' real internal routes.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.service.cluster import ClusterCacheStore, NodeRpcClient, PeerDirectory
+from repro.service import DiskCacheStore
+
+from .conftest import MiniCluster, run_async
+
+#: Keys contain slashes on purpose — the RPC carries them URL-encoded.
+KEYS = [f"step2/sad/fp-{i:03d}" for i in range(64)]
+
+
+def owned_key(store: ClusterCacheStore, owner_id: str) -> str:
+    for key in KEYS:
+        if store.directory.owner(key) == owner_id:
+            return key
+    raise AssertionError(f"no test key hashes to {owner_id}")
+
+
+def value_for(key: str) -> np.ndarray:
+    return np.full((16, 16), hash(key) % 251, dtype=np.int32)
+
+
+class TestRemoteReads:
+    def test_remote_hit_replicates_locally(self, tmp_path):
+        async def scenario():
+            async with MiniCluster(nodes=2, cache_root=tmp_path) as cluster:
+                a, b = cluster.nodes[0], cluster.nodes[1]
+                key = owned_key(a.cluster_cache, "n1")
+                expected = value_for(key)
+                b.cluster_cache.local.put(key, expected)
+
+                got = await cluster.call(a.cluster_cache.get, key)
+                np.testing.assert_array_equal(got, expected)
+                # read-through replication: the next read never leaves the box
+                assert a.cluster_cache.local.contains(key)
+                counts = a.cluster_cache.counts()
+                assert counts["remote_hits"] == 1
+                assert counts["replications_in"] == 1
+
+                again = await cluster.call(a.cluster_cache.get, key)
+                np.testing.assert_array_equal(again, expected)
+                assert a.cluster_cache.counts()["remote_hits"] == 1
+
+        run_async(scenario())
+
+    def test_remote_miss_returns_default(self, tmp_path):
+        async def scenario():
+            async with MiniCluster(nodes=2, cache_root=tmp_path) as cluster:
+                a = cluster.nodes[0]
+                key = owned_key(a.cluster_cache, "n1")
+                got = await cluster.call(
+                    lambda: a.cluster_cache.get(key, "fallback")
+                )
+                assert got == "fallback"
+                assert a.cluster_cache.counts()["remote_misses"] == 1
+
+        run_async(scenario())
+
+    def test_put_replicates_to_owner(self, tmp_path):
+        async def scenario():
+            async with MiniCluster(nodes=2, cache_root=tmp_path) as cluster:
+                a, b = cluster.nodes[0], cluster.nodes[1]
+                key = owned_key(a.cluster_cache, "n1")
+                expected = value_for(key)
+                await cluster.call(a.cluster_cache.put, key, expected)
+                assert b.cluster_cache.local.contains(key)
+                np.testing.assert_array_equal(
+                    b.cluster_cache.local.get(key), expected
+                )
+                assert a.cluster_cache.counts()["replications_out"] == 1
+
+        run_async(scenario())
+
+
+class TestGetOrCompute:
+    def test_owner_ready_skips_compute(self, tmp_path):
+        async def scenario():
+            async with MiniCluster(nodes=2, cache_root=tmp_path) as cluster:
+                a, b = cluster.nodes[0], cluster.nodes[1]
+                key = owned_key(a.cluster_cache, "n1")
+                expected = value_for(key)
+                b.cluster_cache.local.put(key, expected)
+                calls = []
+
+                def compute():
+                    calls.append(1)
+                    return value_for(key)
+
+                got = await cluster.call(
+                    a.cluster_cache.get_or_compute, key, compute
+                )
+                np.testing.assert_array_equal(got, expected)
+                assert calls == []
+
+        run_async(scenario())
+
+    def test_granted_computes_then_replicates_and_releases(self, tmp_path):
+        async def scenario():
+            async with MiniCluster(nodes=2, cache_root=tmp_path) as cluster:
+                a, b = cluster.nodes[0], cluster.nodes[1]
+                key = owned_key(a.cluster_cache, "n1")
+                expected = value_for(key)
+                calls = []
+
+                def compute():
+                    calls.append(1)
+                    return expected
+
+                got = await cluster.call(
+                    a.cluster_cache.get_or_compute, key, compute
+                )
+                np.testing.assert_array_equal(got, expected)
+                assert calls == [1]
+                # the artifact replicated to its owner and the lease is gone
+                assert b.cluster_cache.local.contains(key)
+                assert b.front.leases.active() == 0
+                counts = a.cluster_cache.counts()
+                assert counts["lease_grants"] == 1
+                assert counts["replications_out"] == 1
+                # a sibling node now gets a ready answer, zero compute
+                got_b = await cluster.call(
+                    b.cluster_cache.get_or_compute,
+                    key,
+                    lambda: pytest.fail("owner must not recompute"),
+                )
+                np.testing.assert_array_equal(got_b, expected)
+
+        run_async(scenario())
+
+    def test_self_owned_key_stays_local(self, tmp_path):
+        async def scenario():
+            async with MiniCluster(nodes=2, cache_root=tmp_path) as cluster:
+                a = cluster.nodes[0]
+                key = owned_key(a.cluster_cache, "n0")
+                calls = []
+
+                def compute():
+                    calls.append(1)
+                    return value_for(key)
+
+                await cluster.call(a.cluster_cache.get_or_compute, key, compute)
+                assert calls == [1]
+                counts = a.cluster_cache.counts()
+                assert counts["lease_grants"] == 0
+                assert counts["replications_out"] == 0
+
+        run_async(scenario())
+
+    def test_wait_polls_until_value_lands_locally(self, tmp_path):
+        async def scenario():
+            async with MiniCluster(nodes=2, cache_root=tmp_path) as cluster:
+                a, b = cluster.nodes[0], cluster.nodes[1]
+                key = owned_key(a.cluster_cache, "n1")
+                expected = value_for(key)
+                # another node holds the owner's lease for this key
+                b.front.leases.acquire(key, "n9", ready=False)
+
+                def land_value(_delay):
+                    # stand-in for "the grantee finished and replicated":
+                    # the value appears in our local store mid-wait
+                    a.cluster_cache.local.put(key, expected)
+
+                a.cluster_cache._sleep = land_value
+                got = await cluster.call(
+                    a.cluster_cache.get_or_compute,
+                    key,
+                    lambda: pytest.fail("waiter must not compute"),
+                )
+                np.testing.assert_array_equal(got, expected)
+                assert a.cluster_cache.counts()["lease_waits"] >= 1
+
+        run_async(scenario())
+
+
+class TestOwnerFailure:
+    def test_dead_owner_degrades_to_local_compute(self, tmp_path):
+        local = DiskCacheStore(str(tmp_path / "solo"), max_bytes=1 << 30)
+        directory = PeerDirectory("me")
+        # the owner of every key is a node nobody is listening on
+        directory.set_nodes({"dead": ("127.0.0.1", 1)})
+        store = ClusterCacheStore(local, directory, token="t", rpc_timeout=0.5)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return np.arange(8)
+
+        got = store.get_or_compute("k/any", compute)
+        np.testing.assert_array_equal(got, np.arange(8))
+        assert calls == [1]
+        assert store.counts()["owner_failures"] >= 1
+        # reads likewise degrade instead of raising
+        assert store.get("k/other", "dflt") == "dflt"
+
+    def test_pickle_roundtrip_keeps_topology(self, tmp_path):
+        local = DiskCacheStore(str(tmp_path / "solo"), max_bytes=1 << 30)
+        directory = PeerDirectory("me")
+        directory.set_nodes({"me": ("127.0.0.1", 1), "peer": ("127.0.0.1", 2)})
+        store = ClusterCacheStore(local, directory, token="t")
+        assert store.process_safe
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.directory.nodes() == directory.nodes()
+        assert clone.token == "t"
+        assert clone.counts()["remote_hits"] == 0

@@ -1,0 +1,312 @@
+"""Coordinator end-to-end: dispatch, replication, failure, resume.
+
+Everything runs in one asyncio loop via ``MiniCluster``; the stock
+``MosaicServiceClient`` talks to the coordinator exactly as it talks to
+a single-node front — the cluster tier is protocol-transparent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.client import MosaicServiceClient
+
+from .conftest import TOKEN, MiniCluster, SweepRunner, run_async, spec_dict
+
+
+def make_client(cluster: MiniCluster, **kwargs) -> MosaicServiceClient:
+    # A stream idle for 2 minutes is a dead cluster: fail the test
+    # instead of wedging teardown on a log that will never close.
+    kwargs.setdefault("stream_timeout", 120.0)
+    return MosaicServiceClient(cluster.base_url, token=TOKEN, **kwargs)
+
+
+class TestSubmitAndStream:
+    def test_job_completes_with_gap_free_stamped_events(self):
+        async def scenario():
+            async with MiniCluster(nodes=2) as cluster:
+                client = make_client(cluster)
+                job = await cluster.call(client.submit, spec_dict("c1"))
+                assert job["node"] in ("n0", "n1")
+                events = await cluster.call(
+                    lambda: list(client.events(job["job_id"]))
+                )
+                assert [e["seq"] for e in events] == list(range(len(events)))
+                assert events[-1]["terminal"]
+                assert events[-1]["payload"]["state"] == "DONE"
+                assert sum(1 for e in events if e.get("terminal")) == 1
+                # every replicated event carries the coordinator lag stamp
+                assert all(
+                    isinstance(e["payload"].get("ts"), float) for e in events
+                )
+                # the summary shows the digest the node computed
+                record = await cluster.call(client.job, job["job_id"])
+                assert record["state"] == "DONE"
+                assert record["node"] == job["node"]
+                return events
+
+        run_async(scenario())
+
+    def test_resume_from_seq_mid_and_after_terminal(self):
+        async def scenario():
+            async with MiniCluster(nodes=2) as cluster:
+                client = make_client(cluster)
+                job = await cluster.call(client.submit, spec_dict("c2"))
+                events = await cluster.call(
+                    lambda: list(client.events(job["job_id"]))
+                )
+                total = len(events)
+                assert total >= 3
+                # replay from the middle, after the job is long gone
+                tail = await cluster.call(
+                    lambda: list(client.events(job["job_id"], from_seq=total - 2))
+                )
+                assert [e["seq"] for e in tail] == [total - 2, total - 1]
+                assert tail == events[-2:]
+
+        run_async(scenario())
+
+    def test_shard_affinity_same_spec_same_node(self):
+        async def scenario():
+            async with MiniCluster(nodes=3) as cluster:
+                client = make_client(cluster)
+                nodes = set()
+                for attempt in range(3):
+                    job = await cluster.call(
+                        client.submit, spec_dict("affine", seed=99)
+                    )
+                    nodes.add(job["node"])
+                    await cluster.call(
+                        lambda: list(client.events(job["job_id"]))
+                    )
+                assert len(nodes) == 1  # same fingerprint -> same owner
+
+        run_async(scenario())
+
+    def test_distinct_specs_spread_over_nodes(self):
+        async def scenario():
+            async with MiniCluster(nodes=2) as cluster:
+                client = make_client(cluster)
+                images = [
+                    "portrait", "sailboat", "airplane", "peppers",
+                    "barbara", "baboon", "tiffany",
+                ]
+                nodes = set()
+                for index in range(10):
+                    # the shard key is the Step-2 fingerprint: distinct
+                    # image pairs, not names/seeds, make distinct shards
+                    job = await cluster.call(
+                        client.submit,
+                        spec_dict(
+                            f"spread-{index}",
+                            input=images[index % 7],
+                            target=images[(index + 1 + index // 7) % 7],
+                            size=16,
+                        ),
+                    )
+                    nodes.add(job["node"])
+                    await cluster.call(
+                        lambda: list(client.events(job["job_id"]))
+                    )
+                assert nodes == {"n0", "n1"}
+
+        run_async(scenario())
+
+    def test_cancel_forwarded_to_executing_node(self):
+        async def scenario():
+            factory = lambda index: SweepRunner(sweeps=2000, dwell=0.01)
+            async with MiniCluster(nodes=2, runner_factory=factory) as cluster:
+                client = make_client(cluster)
+                job = await cluster.call(client.submit, spec_dict("c-cancel"))
+                victim = next(
+                    n for n in cluster.nodes if n.node_id == job["node"]
+                )
+                await cluster.call(victim.runner.first_sweep.wait, 10)
+                accepted = await cluster.call(client.cancel, job["job_id"])
+                assert accepted is True
+                events = await cluster.call(
+                    lambda: list(client.events(job["job_id"]))
+                )
+                assert events[-1]["payload"]["state"] == "CANCELLED"
+
+        run_async(scenario())
+
+
+class TestFailureHandling:
+    def test_node_crash_redispatches_with_seamless_stream(self):
+        async def scenario():
+            factory = lambda index: SweepRunner(sweeps=30, dwell=0.05)
+            async with MiniCluster(
+                nodes=2, runner_factory=factory, heartbeat_deadline=0.6
+            ) as cluster:
+                client = make_client(cluster)
+                job = await cluster.call(client.submit, spec_dict("crashy"))
+                victim = next(
+                    n for n in cluster.nodes if n.node_id == job["node"]
+                )
+                survivor = next(
+                    n for n in cluster.nodes if n.node_id != job["node"]
+                )
+
+                events: list[dict] = []
+                errors: list[Exception] = []
+
+                def stream():
+                    try:
+                        for event in client.events(job["job_id"]):
+                            events.append(event)
+                    except Exception as exc:  # noqa: BLE001
+                        errors.append(exc)
+
+                thread = threading.Thread(target=stream, daemon=True)
+                thread.start()
+                await cluster.call(victim.runner.first_sweep.wait, 10)
+                await asyncio.sleep(0.2)
+                await victim.crash()
+                for _ in range(200):
+                    await asyncio.sleep(0.1)
+                    if events and events[-1].get("terminal"):
+                        break
+                await cluster.call(thread.join, 5)
+
+                assert not errors, errors
+                kinds = [e["kind"] for e in events]
+                assert kinds.count("redispatch") == 1
+                marker = events[kinds.index("redispatch")]
+                assert marker["payload"]["from_node"] == victim.node_id
+                assert marker["payload"]["to_node"] == survivor.node_id
+                # the stream never broke, never gapped, ended exactly once
+                assert [e["seq"] for e in events] == list(range(len(events)))
+                assert sum(1 for e in events if e.get("terminal")) == 1
+                assert events[-1]["payload"]["state"] == "DONE"
+                # late resume replays across the redispatch boundary
+                tail = await cluster.call(
+                    lambda: list(client.events(job["job_id"], from_seq=1))
+                )
+                assert tail == events[1:]
+                assert (
+                    cluster.coordinator.metrics.counter(
+                        "cluster_jobs_redispatched_total"
+                    ).value
+                    == 1
+                )
+
+        run_async(scenario())
+
+    def test_crash_with_no_survivor_fails_job_cleanly(self):
+        async def scenario():
+            factory = lambda index: SweepRunner(sweeps=2000, dwell=0.01)
+            async with MiniCluster(
+                nodes=1, runner_factory=factory, heartbeat_deadline=0.6
+            ) as cluster:
+                client = make_client(cluster)
+                job = await cluster.call(client.submit, spec_dict("orphan"))
+                victim = cluster.nodes[0]
+                await cluster.call(victim.runner.first_sweep.wait, 10)
+                await victim.crash()
+                events = await cluster.call(
+                    lambda: list(client.events(job["job_id"]))
+                )
+                assert events[-1]["terminal"]
+                assert events[-1]["payload"]["state"] == "FAILED"
+                assert "no live node" in events[-1]["payload"]["error"]
+
+        run_async(scenario())
+
+
+class TestFrontBehaviour:
+    def test_auth_required_on_v1(self):
+        async def scenario():
+            async with MiniCluster(nodes=1) as cluster:
+                bad = MosaicServiceClient(cluster.base_url, token="wrong")
+
+                def poke():
+                    with pytest.raises(Exception) as err:
+                        bad.submit(spec_dict("nope"))
+                    return err
+
+                err = await cluster.call(poke)
+                assert "401" in str(err.value)
+
+        run_async(scenario())
+
+    def test_invalid_spec_rejected_with_400(self):
+        async def scenario():
+            async with MiniCluster(nodes=1) as cluster:
+                client = make_client(cluster)
+
+                def poke():
+                    with pytest.raises(Exception) as err:
+                        client.submit({"input": "portrait"})  # no target
+                    return err
+
+                err = await cluster.call(poke)
+                assert "400" in str(err.value)
+                # nothing was dispatched for the bad payload
+                assert cluster.coordinator.jobs == {}
+
+        run_async(scenario())
+
+    def test_healthz_and_cluster_introspection(self):
+        async def scenario():
+            async with MiniCluster(nodes=2) as cluster:
+                def fetch(path, token=None):
+                    req = urllib.request.Request(cluster.base_url + path)
+                    if token:
+                        req.add_header("Authorization", f"Bearer {token}")
+                    with urllib.request.urlopen(req, timeout=10) as resp:
+                        return resp.read().decode()
+
+                import json
+
+                health = json.loads(await cluster.call(fetch, "/healthz"))
+                assert health["role"] == "coordinator"
+                assert health["nodes_up"] == 2
+
+                info = json.loads(
+                    await cluster.call(fetch, "/internal/v1/cluster", TOKEN)
+                )
+                assert {n["node_id"] for n in info["nodes"]} == {"n0", "n1"}
+                assert all(n["state"] == "up" for n in info["nodes"])
+
+        run_async(scenario())
+
+    def test_metrics_exposes_cluster_series(self):
+        async def scenario():
+            async with MiniCluster(nodes=2) as cluster:
+                client = make_client(cluster)
+                job = await cluster.call(client.submit, spec_dict("m1"))
+                await cluster.call(lambda: list(client.events(job["job_id"])))
+                text = await cluster.call(client.metrics_text)
+                for series in (
+                    "cluster_nodes_up 2",
+                    "node_up_n0 1",
+                    "node_up_n1 1",
+                    "cluster_jobs_dispatched_total 1",
+                    "cluster_events_replicated_total",
+                    "cluster_cache_remote_hit_ratio",
+                    "cluster_pending_jobs",
+                ):
+                    assert series in text, series
+
+        run_async(scenario())
+
+    def test_no_nodes_means_503(self):
+        async def scenario():
+            async with MiniCluster(nodes=0) as cluster:
+                client = make_client(cluster)
+
+                def poke():
+                    with pytest.raises(Exception) as err:
+                        client.submit(spec_dict("nowhere"))
+                    return err
+
+                err = await cluster.call(poke)
+                assert "503" in str(err.value)
+
+        run_async(scenario())

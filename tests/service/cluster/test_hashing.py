@@ -1,0 +1,85 @@
+"""Rendezvous hashing: determinism, stability, minimal disruption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.cluster import (
+    rendezvous_owner,
+    rendezvous_ranked,
+    rendezvous_score,
+)
+
+MEMBERS = ["node-a", "node-b", "node-c", "node-d"]
+
+
+def keys(n: int = 200) -> list[str]:
+    return [f"step2/fp-{i:04d}" for i in range(n)]
+
+
+class TestScore:
+    def test_deterministic(self):
+        assert rendezvous_score("m", "k") == rendezvous_score("m", "k")
+
+    def test_member_and_key_both_matter(self):
+        assert rendezvous_score("m1", "k") != rendezvous_score("m2", "k")
+        assert rendezvous_score("m", "k1") != rendezvous_score("m", "k2")
+
+    def test_no_concatenation_ambiguity(self):
+        # ("ab", "c") and ("a", "bc") must not collide: the separator
+        # byte keeps member/key boundaries distinct.
+        assert rendezvous_score("ab", "c") != rendezvous_score("a", "bc")
+
+
+class TestRanked:
+    def test_full_permutation(self):
+        ranked = rendezvous_ranked("some-key", MEMBERS)
+        assert sorted(ranked) == sorted(MEMBERS)
+
+    def test_deterministic_across_input_order(self):
+        ranked = rendezvous_ranked("some-key", MEMBERS)
+        assert ranked == rendezvous_ranked("some-key", list(reversed(MEMBERS)))
+
+    def test_owner_is_first_ranked(self):
+        for key in keys(50):
+            assert rendezvous_owner(key, MEMBERS) == rendezvous_ranked(key, MEMBERS)[0]
+
+    def test_empty_members(self):
+        assert rendezvous_ranked("k", []) == []
+        assert rendezvous_owner("k", []) is None
+
+
+class TestMinimalDisruption:
+    def test_removing_a_member_only_remaps_its_keys(self):
+        before = {k: rendezvous_owner(k, MEMBERS) for k in keys()}
+        survivors = [m for m in MEMBERS if m != "node-b"]
+        after = {k: rendezvous_owner(k, survivors) for k in keys()}
+        for key in keys():
+            if before[key] != "node-b":
+                assert after[key] == before[key], key
+            else:
+                assert after[key] in survivors
+
+    def test_adding_a_member_only_claims_keys(self):
+        before = {k: rendezvous_owner(k, MEMBERS) for k in keys()}
+        grown = MEMBERS + ["node-e"]
+        after = {k: rendezvous_owner(k, grown) for k in keys()}
+        moved = [k for k in keys() if after[k] != before[k]]
+        assert all(after[k] == "node-e" for k in moved)
+        # the new node takes roughly 1/5 of the keys, not none, not all
+        assert 0 < len(moved) < len(keys())
+
+    def test_distribution_is_roughly_even(self):
+        counts = {m: 0 for m in MEMBERS}
+        for key in keys(1000):
+            counts[rendezvous_owner(key, MEMBERS)] += 1
+        for member, count in counts.items():
+            assert 150 < count < 350, (member, count)
+
+
+class TestFailoverOrder:
+    def test_ranked_tail_is_failover_sequence(self):
+        key = "step2/fp-0042"
+        ranked = rendezvous_ranked(key, MEMBERS)
+        # dropping the owner promotes exactly the next-ranked member
+        assert rendezvous_owner(key, [m for m in MEMBERS if m != ranked[0]]) == ranked[1]

@@ -1,0 +1,88 @@
+"""Owner-side compute-lease arbitration (cross-node single-flight)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.service.cluster import CacheLeaseTable
+
+
+class TestAcquire:
+    def test_ready_short_circuits(self):
+        table = CacheLeaseTable()
+        assert table.acquire("k", "n1", ready=True) == {"state": "ready"}
+        assert table.granted == 0
+
+    def test_ready_clears_stale_lease(self):
+        table = CacheLeaseTable()
+        table.acquire("k", "n1", ready=False)
+        assert table.active() == 1
+        # artifact landed while n1 computed; a later acquire sees ready
+        # and the lease is dropped, not left to expire
+        table.acquire("k", "n2", ready=True)
+        assert table.active() == 0
+
+    def test_first_acquire_granted(self):
+        table = CacheLeaseTable()
+        assert table.acquire("k", "n1", ready=False) == {"state": "granted"}
+        assert table.granted == 1
+        assert table.active() == 1
+
+    def test_second_requester_waits(self):
+        table = CacheLeaseTable(retry_after=0.25)
+        table.acquire("k", "n1", ready=False)
+        decision = table.acquire("k", "n2", ready=False)
+        assert decision == {"state": "wait", "retry_after": 0.25}
+
+    def test_idempotent_regrant_to_same_holder(self):
+        table = CacheLeaseTable()
+        table.acquire("k", "n1", ready=False)
+        # the grant response was lost; the same node retries
+        assert table.acquire("k", "n1", ready=False) == {"state": "granted"}
+        assert table.reclaimed == 0
+
+    def test_distinct_keys_independent(self):
+        table = CacheLeaseTable()
+        assert table.acquire("k1", "n1", ready=False)["state"] == "granted"
+        assert table.acquire("k2", "n2", ready=False)["state"] == "granted"
+        assert table.active() == 2
+
+
+class TestTtlReclaim:
+    def test_expired_lease_reclaimed_by_other_node(self):
+        table = CacheLeaseTable(ttl=0.05)
+        table.acquire("k", "n1", ready=False)
+        time.sleep(0.08)  # n1 "died" mid-compute
+        assert table.acquire("k", "n2", ready=False) == {"state": "granted"}
+        assert table.reclaimed == 1
+
+    def test_unexpired_lease_not_reclaimed(self):
+        table = CacheLeaseTable(ttl=30.0)
+        table.acquire("k", "n1", ready=False)
+        assert table.acquire("k", "n2", ready=False)["state"] == "wait"
+        assert table.reclaimed == 0
+
+    def test_invalid_ttl(self):
+        with pytest.raises(ValueError):
+            CacheLeaseTable(ttl=0)
+
+
+class TestRelease:
+    def test_holder_releases(self):
+        table = CacheLeaseTable()
+        table.acquire("k", "n1", ready=False)
+        assert table.release("k", "n1") is True
+        assert table.active() == 0
+        # key is free again
+        assert table.acquire("k", "n2", ready=False)["state"] == "granted"
+
+    def test_non_holder_release_refused(self):
+        table = CacheLeaseTable()
+        table.acquire("k", "n1", ready=False)
+        assert table.release("k", "n2") is False
+        assert table.active() == 1
+
+    def test_release_unknown_key(self):
+        assert CacheLeaseTable().release("nope", "n1") is False

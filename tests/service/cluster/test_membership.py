@@ -1,0 +1,139 @@
+"""Membership registry and the node-side peer directory."""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.service.cluster import ClusterMembership, PeerDirectory
+from repro.service.metrics import MetricsRegistry
+
+
+class TestClusterMembership:
+    def test_register_and_query(self):
+        membership = ClusterMembership(heartbeat_deadline=1.0)
+        membership.register("a", "127.0.0.1", 9001)
+        membership.register("b", "127.0.0.1", 9002)
+        assert membership.is_up("a")
+        assert sorted(membership.live_ids()) == ["a", "b"]
+        assert membership.get("a").url == "http://127.0.0.1:9001"
+        assert membership.get("missing") is None
+
+    def test_heartbeat_unknown_node_rejected(self):
+        membership = ClusterMembership(heartbeat_deadline=1.0)
+        assert membership.heartbeat("ghost") is False
+
+    def test_heartbeat_updates_stats(self):
+        membership = ClusterMembership(heartbeat_deadline=1.0)
+        membership.register("a", "h", 1)
+        assert membership.heartbeat("a", {"pending_jobs": 3}) is True
+        assert membership.get("a").stats == {"pending_jobs": 3}
+        assert membership.get("a").heartbeats == 1
+
+    def test_sweep_marks_overdue_down(self):
+        membership = ClusterMembership(heartbeat_deadline=0.5)
+        membership.register("a", "h", 1)
+        membership.register("b", "h", 2)
+        membership.heartbeat("a")
+        # push b's heartbeat into the past, beyond the deadline
+        membership.get("b").last_heartbeat = time.monotonic() - 2.0
+        dead = membership.sweep()
+        assert [info.node_id for info in dead] == ["b"]
+        assert not membership.is_up("b")
+        assert membership.live_ids() == ["a"]
+        # a second sweep reports nothing new
+        assert membership.sweep() == []
+
+    def test_down_node_cannot_heartbeat_back_to_life(self):
+        membership = ClusterMembership(heartbeat_deadline=0.1)
+        membership.register("a", "h", 1)
+        membership.get("a").last_heartbeat = time.monotonic() - 1.0
+        membership.sweep()
+        # the coordinator already moved its jobs: heartbeat is refused...
+        assert membership.heartbeat("a") is False
+        assert not membership.is_up("a")
+        # ...and the node must re-register to rejoin
+        membership.register("a", "h", 1)
+        assert membership.is_up("a")
+
+    def test_version_bumps_on_every_change(self):
+        membership = ClusterMembership(heartbeat_deadline=0.1)
+        v0 = membership.version
+        membership.register("a", "h", 1)
+        v1 = membership.version
+        assert v1 > v0
+        membership.get("a").last_heartbeat = time.monotonic() - 1.0
+        membership.sweep()
+        v2 = membership.version
+        assert v2 > v1
+        membership.remove("a")
+        assert membership.version > v2
+
+    def test_snapshot_lists_live_nodes_only(self):
+        membership = ClusterMembership(heartbeat_deadline=0.1)
+        membership.register("a", "h", 1)
+        membership.register("b", "h", 2)
+        membership.get("b").last_heartbeat = time.monotonic() - 1.0
+        membership.sweep()
+        snap = membership.snapshot()
+        assert list(snap["nodes"]) == ["a"]
+        assert snap["version"] == membership.version
+
+    def test_ranked_excludes(self):
+        membership = ClusterMembership(heartbeat_deadline=1.0)
+        for node_id in ("a", "b", "c"):
+            membership.register(node_id, "h", 1)
+        ranked = membership.ranked("some-key")
+        assert len(ranked) == 3
+        tail = membership.ranked("some-key", exclude={ranked[0].node_id})
+        assert [info.node_id for info in tail] == [
+            info.node_id for info in ranked[1:]
+        ]
+
+    def test_metrics_gauges(self):
+        metrics = MetricsRegistry()
+        membership = ClusterMembership(heartbeat_deadline=0.1, metrics=metrics)
+        membership.register("a", "h", 1)
+        assert metrics.gauge("cluster_nodes_up").value == 1
+        assert metrics.gauge("node_up_a").value == 1
+        membership.get("a").last_heartbeat = time.monotonic() - 1.0
+        membership.sweep()
+        assert metrics.gauge("cluster_nodes_up").value == 0
+        assert metrics.gauge("node_up_a").value == 0
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValueError):
+            ClusterMembership(heartbeat_deadline=0)
+
+
+class TestPeerDirectory:
+    def test_owner_falls_back_to_self_when_empty(self):
+        directory = PeerDirectory("me")
+        assert directory.owner("any-key") == "me"
+
+    def test_set_nodes_and_ownership(self):
+        directory = PeerDirectory("a")
+        directory.set_nodes({"a": ("h", 1), "b": ("h", 2)})
+        owners = {directory.owner(f"k{i}") for i in range(50)}
+        assert owners == {"a", "b"}
+        assert directory.address("b") == ("h", 2)
+        assert len(directory) == 2
+
+    def test_stale_push_rejected(self):
+        directory = PeerDirectory("a")
+        assert directory.set_nodes({"a": ("h", 1)}, version=5) is True
+        assert directory.set_nodes({"b": ("h", 2)}, version=4) is False
+        assert list(directory.nodes()) == ["a"]
+        assert directory.set_nodes({"b": ("h", 2)}, version=6) is True
+        assert list(directory.nodes()) == ["b"]
+
+    def test_pickle_roundtrip(self):
+        directory = PeerDirectory("a")
+        directory.set_nodes({"a": ("h", 1), "b": ("h", 2)}, version=3)
+        clone = pickle.loads(pickle.dumps(directory))
+        assert clone.self_id == "a"
+        assert clone.version == 3
+        assert clone.nodes() == directory.nodes()
+        assert clone.owner("k") == directory.owner("k")

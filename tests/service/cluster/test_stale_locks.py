@@ -1,0 +1,136 @@
+"""Stale-lock reclaim after a SIGKILLed holder, box-local and cluster.
+
+Three layers share one crash-recovery story:
+
+* ``FileLock`` (flock) — the kernel drops the lock with the process, so
+  a SIGKILLed holder can never wedge later acquirers.
+* ``DiskCacheStore.get_or_compute`` — built on the per-key flock; a
+  killed computer's lock evaporates and the value is computed exactly
+  once more (or zero times, if the victim got as far as publishing).
+* ``CacheLeaseTable`` — the cross-node analogue has no shared kernel,
+  so it substitutes a TTL: a lease whose holder died expires and the
+  next acquirer gets a fresh grant.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.service import DiskCacheStore, FileLock
+from repro.service.cluster import CacheLeaseTable
+
+
+def _hold_lock(path: str, acquired) -> None:
+    lock = FileLock(path, timeout=5.0)
+    lock.acquire()
+    acquired.set()
+    time.sleep(60)  # never reached: parent SIGKILLs us
+
+
+def _fill_then_stall(root: str, key: str, acquired) -> None:
+    store = DiskCacheStore(root, max_bytes=1 << 30)
+    store.put(key, np.arange(6))
+    acquired.set()
+    time.sleep(60)
+
+
+@pytest.fixture
+def mp_ctx():
+    return multiprocessing.get_context("fork")
+
+
+class TestFileLockReclaim:
+    def test_sigkilled_holder_releases_lock(self, tmp_path, mp_ctx):
+        path = str(tmp_path / "x.lock")
+        acquired = mp_ctx.Event()
+        proc = mp_ctx.Process(target=_hold_lock, args=(path, acquired))
+        proc.start()
+        try:
+            assert acquired.wait(10)
+            # the child really holds it: a short acquire times out
+            quick = FileLock(path, timeout=0.2)
+            from repro.service import LockTimeout
+
+            with pytest.raises(LockTimeout):
+                quick.acquire()
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.join(10)
+            # flock died with the holder; reclaim needs no cleanup step
+            reclaimed = FileLock(path, timeout=5.0)
+            reclaimed.acquire()
+            assert reclaimed.held
+            reclaimed.release()
+        finally:
+            if proc.is_alive():
+                proc.kill()
+                proc.join(5)
+
+
+class TestDiskCacheReclaim:
+    def test_killed_computer_does_not_wedge_get_or_compute(
+        self, tmp_path, mp_ctx
+    ):
+        root = str(tmp_path / "store")
+        key = "step2/sad/k1"
+        # the victim takes the per-key compute lock and dies holding it
+        lock_holder = mp_ctx.Event()
+        store = DiskCacheStore(root, max_bytes=1 << 30)
+        lock_path = store.lock_path_for(key)
+        proc = mp_ctx.Process(target=_hold_lock, args=(lock_path, lock_holder))
+        proc.start()
+        try:
+            assert lock_holder.wait(10)
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.join(10)
+            calls = []
+
+            def compute():
+                calls.append(1)
+                return np.arange(4)
+
+            got = store.get_or_compute(key, compute)
+            np.testing.assert_array_equal(got, np.arange(4))
+            assert calls == [1]  # computed once, never double
+        finally:
+            if proc.is_alive():
+                proc.kill()
+                proc.join(5)
+
+    def test_published_value_survives_killed_holder_without_recompute(
+        self, tmp_path, mp_ctx
+    ):
+        root = str(tmp_path / "store")
+        key = "step2/sad/k2"
+        published = mp_ctx.Event()
+        proc = mp_ctx.Process(target=_fill_then_stall, args=(root, key, published))
+        proc.start()
+        try:
+            assert published.wait(10)
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.join(10)
+            store = DiskCacheStore(root, max_bytes=1 << 30)
+            got = store.get_or_compute(
+                key, lambda: pytest.fail("value already published")
+            )
+            np.testing.assert_array_equal(got, np.arange(6))
+        finally:
+            if proc.is_alive():
+                proc.kill()
+                proc.join(5)
+
+
+class TestClusterLeaseReclaim:
+    def test_ttl_substitutes_for_flock_across_nodes(self):
+        table = CacheLeaseTable(ttl=0.05)
+        assert table.acquire("k", "victim", ready=False)["state"] == "granted"
+        # the victim node is SIGKILLed mid-compute: nothing releases
+        assert table.acquire("k", "next", ready=False)["state"] == "wait"
+        time.sleep(0.08)
+        assert table.acquire("k", "next", ready=False)["state"] == "granted"
+        assert table.reclaimed == 1

@@ -235,3 +235,69 @@ class TestErrorMapping:
     def test_rejects_non_http_scheme(self):
         with pytest.raises(JobError, match="http"):
             MosaicServiceClient("ftp://example.com")
+
+
+class TestReconnectJitter:
+    """Seeded jitter on the reconnect backoff (herd spreading)."""
+
+    @staticmethod
+    async def collect_sleeps(
+        server: FlakyStreamServer, *, jitter_seed, **kwargs
+    ) -> list[float]:
+        client = MosaicServiceClient(
+            f"http://127.0.0.1:{server.port}", timeout=5.0, jitter_seed=jitter_seed
+        )
+        sleeps: list[float] = []
+        client._sleep = sleeps.append
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None,
+            lambda: list(client.events("job-1", reconnect_delay=0.02, **kwargs)),
+        )
+        return sleeps
+
+    def test_jittered_delays_stay_in_band(self):
+        async def main():
+            async with FlakyStreamServer(
+                make_events(8), cuts=[2, 2, 2, None]
+            ) as server:
+                sleeps = await self.collect_sleeps(server, jitter_seed=7)
+                assert len(sleeps) == 3  # one per reconnect
+                for delay in sleeps:
+                    assert 0.02 <= delay <= 0.02 * 1.5  # default jitter 0.5
+
+        run_async(main())
+
+    def test_same_seed_same_delays_different_seed_spreads(self):
+        async def run_with(seed):
+            async with FlakyStreamServer(
+                make_events(8), cuts=[2, 2, 2, None]
+            ) as server:
+                return await self.collect_sleeps(server, jitter_seed=seed)
+
+        async def main():
+            first = await run_with(11)
+            second = await run_with(11)
+            other = await run_with(12)
+            assert first == second  # reproducible runs
+            assert first != other  # distinct clients desynchronize
+            assert len(set(first)) == len(first)  # and drift between retries
+
+        run_async(main())
+
+    def test_zero_jitter_gives_exact_backoff(self):
+        async def main():
+            async with FlakyStreamServer(
+                make_events(6), cuts=[2, 2, None]
+            ) as server:
+                sleeps = await self.collect_sleeps(
+                    server, jitter_seed=None, reconnect_jitter=0.0
+                )
+                assert sleeps == [0.02, 0.02]
+
+        run_async(main())
+
+    def test_negative_jitter_rejected(self):
+        client = MosaicServiceClient("http://127.0.0.1:1")
+        with pytest.raises(JobError, match="reconnect_jitter"):
+            list(client.events("job-1", reconnect_jitter=-0.1))
